@@ -1,0 +1,62 @@
+//! Ablation: architectural knobs of the simulated cluster — TCDM bank
+//! count, stream FIFO depth, launch-queue depth — and the reassociation
+//! pass, all on the jacobi_2d SARIS kernel.
+
+use saris_bench::{paper_inputs, paper_tile};
+use saris_codegen::{run_stencil, RunOptions, Variant};
+use saris_core::{gallery, Grid};
+
+fn run_with(opts: &RunOptions) -> (u64, f64, u64) {
+    let s = gallery::jacobi_2d();
+    let tile = paper_tile(&s);
+    let inputs = paper_inputs(&s, tile);
+    let refs: Vec<&Grid> = inputs.iter().collect();
+    let run = run_stencil(&s, &refs, opts).expect("runs");
+    (
+        run.report.cycles,
+        run.report.fpu_util(),
+        run.report.tcdm_conflicts,
+    )
+}
+
+fn main() {
+    println!("Ablation: cluster architecture knobs (jacobi_2d, saris u4)\n");
+
+    println!("TCDM banks (paper platform: 32):");
+    for banks in [8, 16, 32, 64] {
+        let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
+        opts.cluster.tcdm_banks = banks;
+        let (cycles, util, conflicts) = run_with(&opts);
+        println!(
+            "  {banks:>3} banks: {cycles:>6} cycles, util {util:.3}, {conflicts:>6} conflicts"
+        );
+    }
+
+    println!("\nstream data-FIFO depth (default 4):");
+    for depth in [1, 2, 4, 8] {
+        let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
+        opts.cluster.stream_fifo_depth = depth;
+        let (cycles, util, _) = run_with(&opts);
+        println!("  depth {depth}: {cycles:>6} cycles, util {util:.3}");
+    }
+
+    println!("\nlaunch-queue depth (launch run-ahead, default 2):");
+    for depth in [1, 2, 4] {
+        let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
+        opts.cluster.launch_queue_depth = depth;
+        let (cycles, util, _) = run_with(&opts);
+        println!("  depth {depth}: {cycles:>6} cycles, util {util:.3}");
+    }
+
+    println!("\nreassociation accumulators (default 2; 0 disables):");
+    for acc in [0, 2, 3, 4] {
+        for (variant, label) in [(Variant::Base, "base"), (Variant::Saris, "saris")] {
+            let u = if variant == Variant::Base { 4 } else { 2 };
+            let opts = RunOptions::new(variant)
+                .with_unroll(u)
+                .with_reassociate(acc);
+            let (cycles, util, _) = run_with(&opts);
+            println!("  acc {acc} {label:<5} u{u}: {cycles:>6} cycles, util {util:.3}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation: unroll factor ("up to four-fold iff beneficial"). Prints the
+//! cycle count of every feasible unroll for both variants — the data
+//! behind the tuner's choices and the paper's register-pressure story
+//! (large unrolls stop being generatable for wide stencils).
+
+use saris_bench::{paper_inputs, paper_tile};
+use saris_codegen::{run_stencil, CodegenError, RunOptions, Variant};
+use saris_core::{gallery, Grid};
+
+fn main() {
+    println!("Ablation: unroll factor (cycles; '-' = register file refuses)\n");
+    println!(
+        "{:<12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "code", "base u1", "base u2", "base u4", "saris u1", "saris u2", "saris u4"
+    );
+    for s in gallery::all() {
+        let tile = paper_tile(&s);
+        let inputs = paper_inputs(&s, tile);
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        let mut cells = Vec::new();
+        for variant in [Variant::Base, Variant::Saris] {
+            for unroll in [1, 2, 4] {
+                let opts = RunOptions::new(variant).with_unroll(unroll);
+                match run_stencil(&s, &refs, &opts) {
+                    Ok(run) => cells.push(run.report.cycles.to_string()),
+                    Err(
+                        CodegenError::RegisterPressure { .. }
+                        | CodegenError::FrepBodyTooLarge { .. },
+                    ) => cells.push("-".to_string()),
+                    Err(e) => panic!("{} {variant} u{unroll}: {e}", s.name()),
+                }
+            }
+        }
+        println!(
+            "{:<12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+            s.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5]
+        );
+    }
+}

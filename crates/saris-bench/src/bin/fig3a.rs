@@ -1,0 +1,33 @@
+//! Regenerates Figure 3a: execution speedup of `saris` over `base`
+//! variants on one eight-core cluster.
+
+use saris_bench::{evaluate_all, geomean};
+
+fn main() {
+    println!("Figure 3a: SARIS speedup over base (single cluster)\n");
+    println!(
+        "{:<12} {:>10} {:>5} {:>10} {:>5} {:>8}",
+        "code", "base cyc", "u", "saris cyc", "u", "speedup"
+    );
+    let results = evaluate_all();
+    for r in &results {
+        println!(
+            "{:<12} {:>10} {:>5} {:>10} {:>5} {:>8.2}",
+            r.name(),
+            r.base.report.cycles,
+            r.base.kernel.unroll,
+            r.saris.report.cycles,
+            r.saris.kernel.unroll,
+            r.speedup()
+        );
+    }
+    let speedups: Vec<f64> = results.iter().map(saris_bench::CodeResult::speedup).collect();
+    let lo = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = speedups.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "\ngeomean speedup {:.2}x (paper: 2.72x), range {:.2}-{:.2}x (paper: 2.36-3.87x)",
+        geomean(speedups.iter().copied()),
+        lo,
+        hi
+    );
+}

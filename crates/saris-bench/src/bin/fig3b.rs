@@ -1,0 +1,38 @@
+//! Regenerates Figure 3b: FPU utilization and per-core IPC for both code
+//! variants on one cluster.
+
+use saris_bench::{evaluate_all, geomean};
+
+fn main() {
+    println!("Figure 3b: FPU utilization and IPC per variant\n");
+    println!(
+        "{:<12} {:>10} {:>9} | {:>10} {:>9}",
+        "code", "base util", "base IPC", "saris util", "saris IPC"
+    );
+    let results = evaluate_all();
+    for r in &results {
+        println!(
+            "{:<12} {:>10.3} {:>9.2} | {:>10.3} {:>9.2}",
+            r.name(),
+            r.base.report.fpu_util(),
+            r.base.report.ipc(),
+            r.saris.report.fpu_util(),
+            r.saris.report.ipc()
+        );
+    }
+    let bu = geomean(results.iter().map(|r| r.base.report.fpu_util()));
+    let su = geomean(results.iter().map(|r| r.saris.report.fpu_util()));
+    let bi = geomean(results.iter().map(|r| r.base.report.ipc()));
+    let si = geomean(results.iter().map(|r| r.saris.report.ipc()));
+    println!(
+        "\ngeomean FPU util: base {bu:.2} (paper 0.35), saris {su:.2} (paper 0.81)"
+    );
+    println!("geomean IPC:      base {bi:.2} (paper 0.89), saris {si:.2} (paper 1.11)");
+    let min_saris_util = results
+        .iter()
+        .map(|r| r.saris.report.fpu_util())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "minimum saris FPU util {min_saris_util:.2} (paper: never below 0.70, ac_iso_cd lowest)"
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates Figure 4: cluster power consumption for both variants and
+//! the SARIS energy-efficiency gain.
+
+use saris_bench::{evaluate_all, geomean, power_of};
+use saris_energy::efficiency_gain;
+
+fn main() {
+    println!("Figure 4: cluster power and energy-efficiency gain\n");
+    println!(
+        "{:<12} {:>10} {:>11} {:>10}",
+        "code", "base (mW)", "saris (mW)", "eff. gain"
+    );
+    let results = evaluate_all();
+    let mut base_w = Vec::new();
+    let mut saris_w = Vec::new();
+    let mut gains = Vec::new();
+    for r in &results {
+        let (pb, ps) = power_of(r);
+        let gain = efficiency_gain(&pb, &ps);
+        println!(
+            "{:<12} {:>10.0} {:>11.0} {:>10.2}",
+            r.name(),
+            1e3 * pb.total_watts(),
+            1e3 * ps.total_watts(),
+            gain
+        );
+        base_w.push(pb.total_watts());
+        saris_w.push(ps.total_watts());
+        gains.push(gain);
+    }
+    println!(
+        "\ngeomean power: base {:.0} mW (paper 227 mW), saris {:.0} mW (paper 390 mW)",
+        1e3 * geomean(base_w.iter().copied()),
+        1e3 * geomean(saris_w.iter().copied())
+    );
+    let lo = gains.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = gains.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "geomean efficiency gain {:.2}x (paper 1.58x), range {lo:.2}-{hi:.2}x (paper 1.27-2.17x)",
+        geomean(gains.iter().copied())
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates Figure 5: estimated FPU utilizations and SARIS speedups on
+//! the Manticore-256s scaleout, with compute-to-memory time ratios for
+//! memory-bound codes.
+
+use saris_bench::{evaluate_all, geomean, scaleout_of};
+use saris_scaleout::MachineModel;
+
+fn main() {
+    println!("Figure 5: Manticore-256s scaleout estimate\n");
+    println!(
+        "{:<12} {:>10} {:>11} {:>8} {:>7} {:>9} {:>8}",
+        "code", "base util", "saris util", "speedup", "CMTR", "bound", "GFLOP/s"
+    );
+    let machine = MachineModel::manticore_256s();
+    let results = evaluate_all();
+    let mut base_utils = Vec::new();
+    let mut saris_utils = Vec::new();
+    let mut speedups = Vec::new();
+    let mut mem_bound_speedups = Vec::new();
+    let mut best_gflops = 0.0f64;
+    for r in &results {
+        let (sb, ss) = scaleout_of(r);
+        let speedup = sb.total_cycles / ss.total_cycles;
+        println!(
+            "{:<12} {:>10.3} {:>11.3} {:>8.2} {:>6.0}% {:>9} {:>8.0}",
+            r.name(),
+            sb.fpu_util,
+            ss.fpu_util,
+            speedup,
+            100.0 * ss.cmtr.min(9.99),
+            if ss.memory_bound { "memory" } else { "compute" },
+            ss.gflops
+        );
+        base_utils.push(sb.fpu_util);
+        saris_utils.push(ss.fpu_util);
+        speedups.push(speedup);
+        if ss.memory_bound {
+            mem_bound_speedups.push(speedup);
+        }
+        best_gflops = best_gflops.max(ss.gflops);
+    }
+    println!(
+        "\ngeomean FPU util: base {:.2} (paper 0.35), saris {:.2} (paper 0.64)",
+        geomean(base_utils.iter().copied()),
+        geomean(saris_utils.iter().copied())
+    );
+    println!(
+        "geomean speedup {:.2}x (paper 2.14x); memory-bound geomean {:.2}x (paper 1.78x)",
+        geomean(speedups.iter().copied()),
+        geomean(mem_bound_speedups.iter().copied())
+    );
+    println!(
+        "peak performance {best_gflops:.0} GFLOP/s of {:.0} (paper: 406 GFLOP/s)",
+        machine.peak_gflops()
+    );
+}

@@ -1,0 +1,228 @@
+//! # saris-bench — the paper-artifact regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation:
+//!
+//! | Binary     | Artifact | Regenerates |
+//! |------------|----------|-------------|
+//! | `table1`   | Table 1  | per-code characteristics |
+//! | `listing1` | Sec. 2.1 | point-loop instruction mixes (35% vs 58%) |
+//! | `fig3a`    | Fig. 3a  | single-cluster SARIS speedups |
+//! | `fig3b`    | Fig. 3b  | FPU utilization and IPC per variant |
+//! | `fig4`     | Fig. 4   | cluster power and energy-efficiency gain |
+//! | `fig5`     | Fig. 5   | Manticore-256s scaleout estimates |
+//! | `table2`   | Table 2  | % of peak vs published approaches |
+//! | `all`      | —        | everything, as an EXPERIMENTS.md fragment |
+//!
+//! Ablation binaries (`ablation_*`) sweep the design choices DESIGN.md
+//! calls out: unroll factor, coefficient strategy, reassociation depth,
+//! TCDM bank count, and stream FIFO depth.
+//!
+//! The library part holds the shared evaluation pipeline so every binary
+//! reports from identical runs.
+
+#![warn(missing_docs)]
+
+use saris_codegen::{
+    measure_dma_utilization, tune_unroll, RunOptions, StencilRun, Variant, DEFAULT_CANDIDATES,
+};
+use saris_core::{gallery, Extent, Grid, Space, Stencil};
+use saris_energy::{EnergyModel, PowerReport};
+use saris_scaleout::{estimate, ClusterMeasurement, MachineModel, ScaleoutEstimate};
+use snitch_sim::ClusterConfig;
+
+/// The paper's tile for a stencil: 64^2 (2D) or 16^3 (3D), halo included.
+pub fn paper_tile(stencil: &Stencil) -> Extent {
+    match stencil.space() {
+        Space::Dim2 => Extent::new_2d(64, 64),
+        Space::Dim3 => Extent::cube(Space::Dim3, 16),
+    }
+}
+
+/// The paper's scaleout grid: 16384^2 (2D) or 512^3 (3D), as in AN5D.
+pub fn paper_grid(stencil: &Stencil) -> Extent {
+    match stencil.space() {
+        Space::Dim2 => Extent::new_2d(16384, 16384),
+        Space::Dim3 => Extent::cube(Space::Dim3, 512),
+    }
+}
+
+/// Deterministic pseudo-random input grids for a stencil.
+pub fn paper_inputs(stencil: &Stencil, tile: Extent) -> Vec<Grid> {
+    stencil
+        .input_arrays()
+        .enumerate()
+        .map(|(i, _)| Grid::pseudo_random(tile, 0x5a21_5000 + i as u64))
+        .collect()
+}
+
+/// Both tuned variants of one code, verified against the reference.
+#[derive(Debug)]
+pub struct CodeResult {
+    /// The stencil.
+    pub stencil: Stencil,
+    /// Tile extent used.
+    pub tile: Extent,
+    /// Tuned baseline run.
+    pub base: StencilRun,
+    /// Tuned SARIS run.
+    pub saris: StencilRun,
+    /// Verification error of the baseline vs the golden reference.
+    pub base_error: f64,
+    /// Verification error of the SARIS kernel vs the golden reference.
+    pub saris_error: f64,
+}
+
+impl CodeResult {
+    /// SARIS speedup over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.base.report.cycles as f64 / self.saris.report.cycles as f64
+    }
+
+    /// The code's name.
+    pub fn name(&self) -> &str {
+        self.stencil.name()
+    }
+}
+
+/// Tunes and runs both variants of one gallery code on the paper tile.
+///
+/// # Panics
+///
+/// Panics if compilation, simulation or verification fails — the harness
+/// must not silently report numbers from broken kernels.
+pub fn evaluate_code(stencil: &Stencil) -> CodeResult {
+    let tile = paper_tile(stencil);
+    let inputs = paper_inputs(stencil, tile);
+    let refs: Vec<&Grid> = inputs.iter().collect();
+    let base = tune_unroll(
+        stencil,
+        &refs,
+        &RunOptions::new(Variant::Base),
+        &DEFAULT_CANDIDATES,
+    )
+    .unwrap_or_else(|e| panic!("{} base: {e}", stencil.name()));
+    let saris = tune_unroll(
+        stencil,
+        &refs,
+        &RunOptions::new(Variant::Saris),
+        &DEFAULT_CANDIDATES,
+    )
+    .unwrap_or_else(|e| panic!("{} saris: {e}", stencil.name()));
+    let base_error = base.best.max_error_vs_reference(stencil, &refs);
+    let saris_error = saris.best.max_error_vs_reference(stencil, &refs);
+    assert!(
+        base_error < 1e-9 && saris_error < 1e-9,
+        "{}: verification failed (base {base_error:e}, saris {saris_error:e})",
+        stencil.name()
+    );
+    CodeResult {
+        stencil: stencil.clone(),
+        tile,
+        base: base.best,
+        saris: saris.best,
+        base_error,
+        saris_error,
+    }
+}
+
+/// Evaluates all ten gallery codes in Table 1 order.
+pub fn evaluate_all() -> Vec<CodeResult> {
+    gallery::all().iter().map(evaluate_code).collect()
+}
+
+/// Geometric mean.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Power estimates for one code result.
+pub fn power_of(result: &CodeResult) -> (PowerReport, PowerReport) {
+    let model = EnergyModel::gf12lp();
+    (
+        model.estimate(&result.base.report),
+        model.estimate(&result.saris.report),
+    )
+}
+
+/// Scaleout estimates (base, saris) for one code result, using the
+/// paper's grids and the measured DMA utilization.
+pub fn scaleout_of(result: &CodeResult) -> (ScaleoutEstimate, ScaleoutEstimate) {
+    let machine = MachineModel::manticore_256s();
+    let grid = paper_grid(&result.stencil);
+    let dma_util = measure_dma_utilization(result.tile, &ClusterConfig::snitch())
+        .expect("dma measurement");
+    let measure = |run: &StencilRun| ClusterMeasurement {
+        compute_cycles_per_tile: run.report.cycles as f64,
+        fpu_ops_per_tile: run
+            .report
+            .cores
+            .iter()
+            .map(|c| c.fpu.arith as f64)
+            .sum(),
+        flops_per_tile: run.report.flops() as f64,
+        dma_utilization: dma_util,
+        core_imbalance: run.report.runtime_imbalance(),
+    };
+    (
+        estimate(
+            &machine,
+            &result.stencil,
+            result.tile,
+            grid,
+            &measure(&result.base),
+        ),
+        estimate(
+            &machine,
+            &result.stencil,
+            result.tile,
+            grid,
+            &measure(&result.saris),
+        ),
+    )
+}
+
+/// Renders a markdown table row.
+pub fn md_row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn paper_tiles_match_section_2_3() {
+        let s2 = gallery::jacobi_2d();
+        let s3 = gallery::j3d27pt();
+        assert_eq!(paper_tile(&s2), Extent::new_2d(64, 64));
+        assert_eq!(paper_tile(&s3), Extent::cube(Space::Dim3, 16));
+        assert_eq!(paper_grid(&s2), Extent::new_2d(16384, 16384));
+        assert_eq!(paper_grid(&s3), Extent::cube(Space::Dim3, 512));
+    }
+
+    #[test]
+    fn evaluate_one_small_code_end_to_end() {
+        // Full pipeline smoke test on the cheapest code.
+        let r = evaluate_code(&gallery::jacobi_2d());
+        assert!(r.speedup() > 1.3, "speedup {}", r.speedup());
+        let (pb, ps) = power_of(&r);
+        assert!(ps.total_watts() > pb.total_watts());
+        let (sb, ss) = scaleout_of(&r);
+        assert!(ss.fpu_util >= sb.fpu_util * 0.8);
+    }
+}

@@ -1,0 +1,124 @@
+//! Code-generation error types.
+
+use std::error::Error;
+use std::fmt;
+
+use saris_core::error::PlanError;
+use saris_isa::BuildProgramError;
+use snitch_sim::SimError;
+
+/// An error raised while lowering a stencil to a kernel, or while running
+/// the resulting kernel.
+#[derive(Debug)]
+pub enum CodegenError {
+    /// Stream planning failed.
+    Plan(PlanError),
+    /// The assembled program failed validation.
+    Build(BuildProgramError),
+    /// Simulation of the kernel failed.
+    Sim(SimError),
+    /// The per-slot FP register demand exceeds the register file.
+    RegisterPressure {
+        /// Stencil name.
+        name: String,
+        /// Requested unroll factor.
+        unroll: usize,
+        /// Registers needed.
+        needed: usize,
+        /// Registers available.
+        available: usize,
+    },
+    /// An addressing immediate exceeds the 12-bit field and cannot be
+    /// folded into a pointer register.
+    ImmOverflow {
+        /// Stencil name.
+        name: String,
+        /// The offending immediate.
+        imm: i64,
+    },
+    /// The FREP body for this unroll does not fit the sequencer buffer.
+    FrepBodyTooLarge {
+        /// Stencil name.
+        name: String,
+        /// Body length in instructions.
+        body: usize,
+        /// Sequencer capacity.
+        capacity: usize,
+    },
+    /// The kernel's data does not fit in TCDM.
+    TcdmOverflow {
+        /// Stencil name.
+        name: String,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The tuner was given no unroll candidates.
+    NoCandidates,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Plan(e) => write!(f, "planning failed: {e}"),
+            CodegenError::Build(e) => write!(f, "program assembly failed: {e}"),
+            CodegenError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CodegenError::RegisterPressure {
+                name,
+                unroll,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{name}: unroll {unroll} needs {needed} FP registers, {available} available"
+            ),
+            CodegenError::ImmOverflow { name, imm } => {
+                write!(f, "{name}: immediate {imm} exceeds the 12-bit field")
+            }
+            CodegenError::FrepBodyTooLarge {
+                name,
+                body,
+                capacity,
+            } => write!(
+                f,
+                "{name}: frep body of {body} instructions exceeds sequencer capacity {capacity}"
+            ),
+            CodegenError::TcdmOverflow {
+                name,
+                needed,
+                available,
+            } => write!(f, "{name}: needs {needed} B of TCDM, only {available} B available"),
+            CodegenError::NoCandidates => write!(f, "no unroll candidates supplied"),
+        }
+    }
+}
+
+impl Error for CodegenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodegenError::Plan(e) => Some(e),
+            CodegenError::Build(e) => Some(e),
+            CodegenError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for CodegenError {
+    fn from(e: PlanError) -> CodegenError {
+        CodegenError::Plan(e)
+    }
+}
+
+impl From<BuildProgramError> for CodegenError {
+    fn from(e: BuildProgramError) -> CodegenError {
+        CodegenError::Build(e)
+    }
+}
+
+impl From<SimError> for CodegenError {
+    fn from(e: SimError) -> CodegenError {
+        CodegenError::Sim(e)
+    }
+}

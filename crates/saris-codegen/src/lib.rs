@@ -1,0 +1,56 @@
+//! # saris-codegen — stencil-to-kernel lowering for the Snitch cluster
+//!
+//! Two code generators, mirroring the paper's two code variants:
+//!
+//! * [`Variant::Base`] — optimized RV32G baselines: per-plane pointer
+//!   registers with 12-bit immediates, coefficient residency with
+//!   per-point reload when the FP register file is exhausted, and
+//!   up-to-4x unrolling with slot interleaving to hide FPU latency.
+//! * [`Variant::Saris`] — SARIS kernels: static index arrays, 3-instruction
+//!   per-window `SRIR` launches, an affine SR2 write stream covering each
+//!   core's tile walk, FREP around the compute block, and affine
+//!   coefficient streaming for register-bound codes.
+//!
+//! Both parallelize across the eight cluster cores with the paper's
+//! 4-fold x / 2-fold y interleaving, and both produce *functionally
+//! correct* kernels whose outputs are verified against the golden
+//! reference executor.
+//!
+//! # Examples
+//!
+//! ```
+//! use saris_codegen::{run_stencil, RunOptions, Variant};
+//! use saris_core::{gallery, Extent, Grid};
+//!
+//! # fn main() -> Result<(), saris_codegen::CodegenError> {
+//! let stencil = gallery::jacobi_2d();
+//! let tile = Extent::new_2d(32, 32);
+//! let input = Grid::pseudo_random(tile, 7);
+//! let run = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Saris))?;
+//! assert_eq!(run.max_error_vs_reference(&stencil, &[&input]), 0.0);
+//! println!("{}", run.report);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod error;
+pub mod map;
+pub mod runtime;
+pub mod saris;
+pub mod slots;
+pub mod tuner;
+pub mod walk;
+
+pub use base::CompiledCore;
+pub use error::CodegenError;
+pub use map::TcdmMap;
+pub use runtime::{
+    compile, execute, measure_dma_utilization, run_stencil, run_time_steps, BufferRotation,
+    CompiledKernel, RunOptions, StencilRun, TimeSteppedRun, Variant,
+};
+pub use saris::SarisPlans;
+pub use tuner::{tune_unroll, TunedRun, DEFAULT_CANDIDATES};
+pub use walk::CoreWalk;

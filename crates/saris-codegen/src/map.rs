@@ -1,0 +1,297 @@
+//! TCDM memory map for one compiled kernel.
+
+use std::fmt;
+
+use saris_core::layout::{ArenaLayout, ELEM_BYTES};
+use saris_core::stencil::{ArrayId, Stencil};
+use saris_core::Point;
+use snitch_sim::{ClusterConfig, TCDM_BASE};
+
+use crate::error::CodegenError;
+
+/// Rounds up to an 8-byte boundary.
+fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+/// A per-core-replicated table region.
+///
+/// Kernel-constant tables (coefficients, index arrays) are hammered by
+/// every core on every window; a single shared copy would serialize all
+/// eight cores on the same one or two TCDM banks. Each core therefore
+/// gets its own replica, and replicas are staggered by one extra word so
+/// equal positions land on different banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicatedRegion {
+    base: u64,
+    /// Byte stride between consecutive cores' replicas.
+    stride: u64,
+    /// Payload bytes per replica.
+    len: usize,
+}
+
+impl ReplicatedRegion {
+    /// Base address of `core`'s replica.
+    pub fn base_for(&self, core: usize) -> u64 {
+        self.base + self.stride * core as u64
+    }
+
+    /// Payload bytes per replica.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All per-core base addresses.
+    pub fn bases(&self, n_cores: usize) -> impl Iterator<Item = u64> + '_ {
+        (0..n_cores).map(|c| self.base_for(c))
+    }
+}
+
+/// Byte placement of everything a kernel needs in TCDM: the grid arena,
+/// a guard row, the coefficient tables, and the stream index arrays
+/// (tables replicated per core, bank-staggered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcdmMap {
+    /// Base of the grid arena (arrays back-to-back, declaration order).
+    pub arena_base: u64,
+    /// Coefficient table in declaration order (baseline prologue loads
+    /// and spills; SARIS paired-mode prologue loads).
+    pub coeff: ReplicatedRegion,
+    /// Coefficient *stream* tables in pop order (SARIS coeff-stream
+    /// mode), if present.
+    pub coeff_stream: Option<ReplicatedRegion>,
+    /// Index arrays: `[sr0_main, sr1_main, sr0_rem, sr1_rem]`.
+    pub index: [Option<ReplicatedRegion>; 4],
+    /// First free byte after all allocations.
+    pub end: u64,
+    n_cores: usize,
+    layout: ArenaLayout,
+}
+
+impl TcdmMap {
+    /// Plans the map.
+    ///
+    /// `index_lens` are the byte lengths of the four index arrays
+    /// (`[sr0_main, sr1_main, sr0_rem, sr1_rem]`, 0 for absent), and
+    /// `coeff_stream_len` the pop-order coefficient count (0 for none).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::TcdmOverflow`] if everything does not fit.
+    pub fn plan(
+        stencil: &Stencil,
+        layout: &ArenaLayout,
+        cfg: &ClusterConfig,
+        index_lens: [usize; 4],
+        coeff_stream_len: usize,
+    ) -> Result<TcdmMap, CodegenError> {
+        let n_cores = cfg.n_cores;
+        let arena_base = TCDM_BASE;
+        // One guard row after the arena absorbs tail writes from padded
+        // or wrapped accesses without clobbering the tables.
+        let guard = layout.extent().nx * ELEM_BYTES;
+        let mut cursor = arena_base as usize + layout.total_bytes() + guard;
+        let replicate = |cursor: &mut usize, len: usize| -> ReplicatedRegion {
+            *cursor = align8(*cursor);
+            let base = *cursor as u64;
+            // Stagger replicas by one word so core k's word 0 sits on a
+            // different bank than core k-1's.
+            let stride = (align8(len) + 8) as u64;
+            *cursor += stride as usize * n_cores;
+            ReplicatedRegion { base, stride, len }
+        };
+        let coeff = replicate(&mut cursor, stencil.coeffs().len() * ELEM_BYTES);
+        let coeff_stream = (coeff_stream_len > 0)
+            .then(|| replicate(&mut cursor, coeff_stream_len * ELEM_BYTES));
+        let mut index = [None; 4];
+        for (slot, &len) in index_lens.iter().enumerate() {
+            if len > 0 {
+                index[slot] = Some(replicate(&mut cursor, len));
+            }
+        }
+        cursor = align8(cursor);
+        let available = cfg.tcdm_bytes;
+        let needed = cursor - TCDM_BASE as usize;
+        if needed > available {
+            return Err(CodegenError::TcdmOverflow {
+                name: stencil.name().to_string(),
+                needed,
+                available,
+            });
+        }
+        Ok(TcdmMap {
+            arena_base,
+            coeff,
+            coeff_stream,
+            index,
+            end: cursor as u64,
+            n_cores,
+            layout: layout.clone(),
+        })
+    }
+
+    /// The arena layout.
+    pub fn layout(&self) -> &ArenaLayout {
+        &self.layout
+    }
+
+    /// Number of replicas of each table.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Byte address of `point` within `array`.
+    pub fn addr_of(&self, array: ArrayId, point: Point) -> u64 {
+        self.arena_base + (self.layout.elem_of(array, point) * ELEM_BYTES) as u64
+    }
+
+    /// Byte address of the anchor element of `point` (the launch-base
+    /// reference before the plan's base adjustment).
+    pub fn anchor_addr(&self, point: Point) -> u64 {
+        self.arena_base + (self.layout.anchor_elem(point) * ELEM_BYTES) as u64
+    }
+
+    /// Byte address of `array`'s first element.
+    pub fn array_base(&self, array: ArrayId) -> u64 {
+        self.arena_base + (self.layout.array_base_elem(array) * ELEM_BYTES) as u64
+    }
+
+    /// Base of `core`'s coefficient-table replica.
+    pub fn coeff_base(&self, core: usize) -> u64 {
+        self.coeff.base_for(core)
+    }
+
+    /// Base of `core`'s replica of index array `slot`
+    /// (`[sr0_main, sr1_main, sr0_rem, sr1_rem]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not planned.
+    pub fn index_base(&self, slot: usize, core: usize) -> u64 {
+        self.index[slot]
+            .as_ref()
+            .expect("index slot planned")
+            .base_for(core)
+    }
+
+    /// Base of `core`'s coefficient-stream replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no coefficient stream was planned.
+    pub fn coeff_stream_base(&self, core: usize) -> u64 {
+        self.coeff_stream
+            .as_ref()
+            .expect("coeff stream planned")
+            .base_for(core)
+    }
+
+    /// Bytes of TCDM this kernel occupies.
+    pub fn bytes_used(&self) -> usize {
+        (self.end - TCDM_BASE) as usize
+    }
+}
+
+impl fmt::Display for TcdmMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tcdm map: arena@{:#x}, {} B used, tables x{}",
+            self.arena_base,
+            self.bytes_used(),
+            self.n_cores
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_core::gallery;
+    use saris_core::geom::Extent;
+
+    #[test]
+    fn replicas_are_staggered_across_banks() {
+        let s = gallery::jacobi_2d();
+        let layout = ArenaLayout::for_stencil(&s, Extent::new_2d(64, 64));
+        let cfg = ClusterConfig::snitch();
+        let map = TcdmMap::plan(&s, &layout, &cfg, [30, 20, 10, 6], 0).unwrap();
+        let r = map.index[0].unwrap();
+        let banks = cfg.tcdm_banks as u64;
+        let bank_of = |addr: u64| ((addr - TCDM_BASE) / 8) % banks;
+        let b0 = bank_of(r.base_for(0));
+        let b1 = bank_of(r.base_for(1));
+        assert_ne!(b0, b1, "consecutive replicas must start on different banks");
+        assert_eq!(r.base_for(1) - r.base_for(0), r.stride);
+        assert_eq!(r.stride % 8, 0);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let s = gallery::ac_iso_cd();
+        let layout = ArenaLayout::for_stencil(&s, Extent::cube(s.space(), 16));
+        let cfg = ClusterConfig::snitch();
+        let map = TcdmMap::plan(&s, &layout, &cfg, [104, 104, 26, 26], 30).unwrap();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let arena_end = map.arena_base + layout.total_bytes() as u64;
+        spans.push((map.arena_base, arena_end));
+        let mut add_region = |r: &ReplicatedRegion| {
+            for c in 0..cfg.n_cores {
+                let b = r.base_for(c);
+                spans.push((b, b + r.len() as u64));
+            }
+        };
+        add_region(&map.coeff);
+        add_region(map.coeff_stream.as_ref().unwrap());
+        for slot in map.index.iter().flatten() {
+            add_region(slot);
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+        assert!(map.bytes_used() <= cfg.tcdm_bytes);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let s = gallery::box3d1r();
+        let layout = ArenaLayout::for_stencil(&s, Extent::new_3d(24, 24, 24));
+        let cfg = ClusterConfig::snitch();
+        let err = TcdmMap::plan(&s, &layout, &cfg, [0; 4], 0).unwrap_err();
+        assert!(matches!(err, CodegenError::TcdmOverflow { .. }));
+    }
+
+    #[test]
+    fn paper_tiles_fit_with_replication() {
+        for s in gallery::all() {
+            let tile = match s.space() {
+                saris_core::Space::Dim2 => Extent::new_2d(64, 64),
+                saris_core::Space::Dim3 => Extent::cube(s.space(), 16),
+            };
+            let layout = ArenaLayout::for_stencil(&s, tile);
+            let cfg = ClusterConfig::snitch();
+            let map = TcdmMap::plan(&s, &layout, &cfg, [500, 500, 120, 120], 64);
+            assert!(map.is_ok(), "{} does not fit", s.name());
+        }
+    }
+
+    #[test]
+    fn addresses_resolve() {
+        let s = gallery::ac_iso_cd();
+        let tile = Extent::cube(s.space(), 16);
+        let layout = ArenaLayout::for_stencil(&s, tile);
+        let cfg = ClusterConfig::snitch();
+        let map = TcdmMap::plan(&s, &layout, &cfg, [0; 4], 0).unwrap();
+        let p = Point::new_3d(1, 2, 3);
+        let anchor = s.input_arrays().next().unwrap();
+        assert_eq!(map.addr_of(anchor, p), map.anchor_addr(p));
+        let out_addr = map.addr_of(s.output(), p);
+        assert_eq!(out_addr - map.addr_of(anchor, p), (2 * tile.len() * 8) as u64);
+    }
+}

@@ -1,0 +1,744 @@
+//! The kernel runtime: compile, install, execute, read back, verify.
+
+use std::fmt;
+
+use saris_core::grid::Grid;
+use saris_core::layout::{ArenaLayout, ELEM_BYTES};
+use saris_core::method::{SarisOptions, SarisPlan, StreamMode};
+use saris_core::parallel::InterleavePlan;
+use saris_core::stencil::{ArrayRole, Stencil};
+use saris_core::{reference, Extent};
+use snitch_sim::{Cluster, ClusterConfig, DmaDescriptor, RunReport, MAIN_BASE};
+
+use crate::base::CompiledCore;
+use crate::error::CodegenError;
+use crate::map::TcdmMap;
+use crate::saris::{gen_saris_core, SarisPlans};
+
+/// Which code generator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Optimized RV32G baseline (no extensions).
+    Base,
+    /// SARIS-accelerated (SSSR + FREP).
+    Saris,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variant::Base => f.write_str("base"),
+            Variant::Saris => f.write_str("saris"),
+        }
+    }
+}
+
+/// Options controlling compilation and execution.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Code generator.
+    pub variant: Variant,
+    /// Unroll factor (use [`crate::tuner::tune_unroll`] for "iff
+    /// beneficial" selection).
+    pub unroll: usize,
+    /// Core interleaving.
+    pub interleave: InterleavePlan,
+    /// Cluster configuration.
+    pub cluster: ClusterConfig,
+    /// SARIS planner knobs.
+    pub saris: SarisOptions,
+    /// Simulation cycle budget (0 = auto from problem size).
+    pub max_cycles: u64,
+    /// Mirror the paper's double buffering by streaming a tile-sized DMA
+    /// transfer in and out of main memory concurrently with the kernel.
+    pub concurrent_dma: bool,
+    /// Accumulators for the arithmetic-reassociation pass applied before
+    /// code generation (the paper's baselines use `-Ofast` plus a custom
+    /// reassociation pass). `<= 1` disables the pass; disabled kernels
+    /// match the golden reference bit-for-bit, enabled kernels to
+    /// floating-point reassociation tolerance (~1e-13).
+    pub reassociate: usize,
+    /// Whether the baseline may reload register-exhausting coefficients
+    /// per point instead of refusing the unroll factor. Off by default:
+    /// production compilers do not unroll past register pressure, which
+    /// is exactly the paper's explanation for baseline behavior on
+    /// register-bound codes. Kept as an ablation knob.
+    pub base_allow_spill: bool,
+}
+
+impl RunOptions {
+    /// Defaults for a variant: unroll 1, Snitch cluster, no DMA.
+    pub fn new(variant: Variant) -> RunOptions {
+        RunOptions {
+            variant,
+            unroll: 1,
+            interleave: InterleavePlan::snitch(),
+            cluster: ClusterConfig::snitch(),
+            saris: SarisOptions::default(),
+            max_cycles: 0,
+            concurrent_dma: false,
+            reassociate: 2,
+            base_allow_spill: false,
+        }
+    }
+
+    /// Sets the reassociation accumulator count (`<= 1` disables).
+    #[must_use]
+    pub fn with_reassociate(mut self, accumulators: usize) -> RunOptions {
+        self.reassociate = accumulators;
+        self
+    }
+
+    /// Sets the unroll factor.
+    #[must_use]
+    pub fn with_unroll(mut self, unroll: usize) -> RunOptions {
+        self.unroll = unroll;
+        self
+    }
+
+    /// Enables concurrent tile DMA traffic.
+    #[must_use]
+    pub fn with_concurrent_dma(mut self) -> RunOptions {
+        self.concurrent_dma = true;
+        self
+    }
+}
+
+/// A compiled kernel: one program per core plus everything the host must
+/// install in TCDM before running.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The variant.
+    pub variant: Variant,
+    /// The unroll factor.
+    pub unroll: usize,
+    /// The stream mode (SARIS only).
+    pub mode: Option<StreamMode>,
+    /// Per-core compiled programs.
+    pub cores: Vec<CompiledCore>,
+    /// The TCDM memory map.
+    pub map: TcdmMap,
+    /// Raw byte images to install: `(address, bytes)`.
+    pub install: Vec<(u64, Vec<u8>)>,
+}
+
+impl CompiledKernel {
+    /// Total static code size across cores, in instructions.
+    pub fn total_instrs(&self) -> usize {
+        self.cores.iter().map(|c| c.program.len()).sum()
+    }
+}
+
+/// Compiles `stencil` for tiles of `extent` (including halo).
+///
+/// # Errors
+///
+/// Propagates planning, register-pressure, immediate-range, FREP-capacity
+/// and TCDM-capacity errors.
+pub fn compile(
+    stencil: &Stencil,
+    extent: Extent,
+    options: &RunOptions,
+) -> Result<CompiledKernel, CodegenError> {
+    let reassociated;
+    let stencil = if options.reassociate > 1 {
+        reassociated = stencil.reassociated(options.reassociate);
+        &reassociated
+    } else {
+        stencil
+    };
+    let layout = ArenaLayout::for_stencil(stencil, extent);
+    match options.variant {
+        Variant::Base => {
+            let map = TcdmMap::plan(stencil, &layout, &options.cluster, [0; 4], 0)?;
+            let cores = (0..options.cluster.n_cores)
+                .map(|core| {
+                    crate::base::gen_base_core_with_policy(
+                        stencil,
+                        &map,
+                        &options.interleave,
+                        options.unroll,
+                        core,
+                        &options.cluster,
+                        options.base_allow_spill,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let coeff_img = pack_f64(&coeff_values(stencil));
+            let install = map
+                .coeff
+                .bases(options.cluster.n_cores)
+                .map(|base| (base, coeff_img.clone()))
+                .collect();
+            Ok(CompiledKernel {
+                variant: Variant::Base,
+                unroll: options.unroll,
+                mode: None,
+                cores,
+                map,
+                install,
+            })
+        }
+        Variant::Saris => {
+            let mut saris_opts = options.saris;
+            let main = SarisPlan::derive(
+                stencil,
+                &layout,
+                saris_opts,
+                options.unroll,
+                options.interleave.px(),
+            )?;
+            // Narrow to 8-bit indices when every window offset fits: one
+            // 64-bit fetch then delivers eight indices, halving index
+            // traffic on the streamer ports.
+            let max_idx = main
+                .indices
+                .sr0
+                .rel_indices
+                .iter()
+                .chain(main.indices.sr1.iter().flat_map(|a| a.rel_indices.iter()))
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let main = if saris_opts.index_width == saris_isa::IndexWidth::U16
+                && max_idx <= u8::MAX as u64
+            {
+                saris_opts.index_width = saris_isa::IndexWidth::U8;
+                SarisPlan::derive(
+                    stencil,
+                    &layout,
+                    saris_opts,
+                    options.unroll,
+                    options.interleave.px(),
+                )?
+            } else {
+                main
+            };
+            // The remainder plan must agree with the main plan on which
+            // coefficients are register-resident, so it inherits the main
+            // plan's effective budget.
+            let mut rem_opts = saris_opts;
+            rem_opts.coeff_reg_budget = main.schedule.resident_coeffs();
+            let rem = SarisPlan::derive(
+                stencil,
+                &layout,
+                rem_opts,
+                1,
+                options.interleave.px(),
+            )?;
+            let plans = SarisPlans { main, rem };
+            let idx_imgs = [
+                Some(plans.main.indices.sr0.pack(plans.main.index_width)),
+                plans
+                    .main
+                    .indices
+                    .sr1
+                    .as_ref()
+                    .map(|a| a.pack(plans.main.index_width)),
+                Some(plans.rem.indices.sr0.pack(plans.rem.index_width)),
+                plans
+                    .rem
+                    .indices
+                    .sr1
+                    .as_ref()
+                    .map(|a| a.pack(plans.rem.index_width)),
+            ];
+            let idx_lens = [
+                idx_imgs[0].as_ref().map_or(0, Vec::len),
+                idx_imgs[1].as_ref().map_or(0, Vec::len),
+                idx_imgs[2].as_ref().map_or(0, Vec::len),
+                idx_imgs[3].as_ref().map_or(0, Vec::len),
+            ];
+            let coeff_tables = plans.coeff_stream_tables();
+            let coeff_stream_len = coeff_tables.as_ref().map_or(0, |(m, r)| m.len() + r.len());
+            let map = TcdmMap::plan(
+                stencil,
+                &layout,
+                &options.cluster,
+                idx_lens,
+                coeff_stream_len,
+            )?;
+            let n_cores = options.cluster.n_cores;
+            let mut install = Vec::new();
+            let coeff_img = pack_f64(&coeff_values(stencil));
+            for base in map.coeff.bases(n_cores) {
+                install.push((base, coeff_img.clone()));
+            }
+            for (slot, img) in idx_imgs.into_iter().enumerate() {
+                if let Some(img) = img {
+                    for core in 0..n_cores {
+                        install.push((map.index_base(slot, core), img.clone()));
+                    }
+                }
+            }
+            if let Some((main_t, rem_t)) = &coeff_tables {
+                let mut stream_img = pack_f64(main_t);
+                stream_img.extend_from_slice(&pack_f64(rem_t));
+                for core in 0..n_cores {
+                    install.push((map.coeff_stream_base(core), stream_img.clone()));
+                }
+            }
+            let mode = plans.main.mode();
+            let cores = (0..options.cluster.n_cores)
+                .map(|core| {
+                    gen_saris_core(
+                        stencil,
+                        &map,
+                        &plans,
+                        &options.interleave,
+                        core,
+                        &options.cluster,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(CompiledKernel {
+                variant: Variant::Saris,
+                unroll: options.unroll,
+                mode: Some(mode),
+                cores,
+                map,
+                install,
+            })
+        }
+    }
+}
+
+fn coeff_values(stencil: &Stencil) -> Vec<f64> {
+    stencil.coeffs().iter().map(|c| c.value()).collect()
+}
+
+fn pack_f64(values: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    bytes
+}
+
+/// The result of executing one compiled kernel on one tile.
+#[derive(Debug, Clone)]
+pub struct StencilRun {
+    /// The computed output tile (halo zeroed).
+    pub output: Grid,
+    /// The simulator measurement report.
+    pub report: RunReport,
+    /// The kernel that ran.
+    pub kernel: CompiledKernel,
+}
+
+impl StencilRun {
+    /// Largest absolute difference against the golden reference executor.
+    pub fn max_error_vs_reference(&self, stencil: &Stencil, inputs: &[&Grid]) -> f64 {
+        let mut input_refs: Vec<&Grid> = inputs.to_vec();
+        let expect = reference::apply_to_new(stencil, &mut input_refs, self.output.extent());
+        self.output.max_abs_diff(&expect)
+    }
+}
+
+/// Compiles and executes one time iteration of `stencil` over `inputs`
+/// (one grid per declared input array, all of the same extent).
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the stencil's input arrays or the
+/// grids disagree on extent.
+pub fn run_stencil(
+    stencil: &Stencil,
+    inputs: &[&Grid],
+    options: &RunOptions,
+) -> Result<StencilRun, CodegenError> {
+    let n_inputs = stencil.input_arrays().count();
+    assert_eq!(inputs.len(), n_inputs, "one grid per input array");
+    let extent = inputs
+        .first()
+        .map_or_else(|| panic!("stencil needs at least one input"), |g| g.extent());
+    for g in inputs {
+        assert_eq!(g.extent(), extent, "grids must share an extent");
+    }
+    let kernel = compile(stencil, extent, options)?;
+    execute(stencil, inputs, kernel, options)
+}
+
+/// Executes an already-compiled kernel.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn execute(
+    stencil: &Stencil,
+    inputs: &[&Grid],
+    kernel: CompiledKernel,
+    options: &RunOptions,
+) -> Result<StencilRun, CodegenError> {
+    let extent = kernel.map.layout().extent();
+    let mut cluster = Cluster::new(options.cluster.clone());
+    // Install input grids and zero the rest of the arena.
+    let mut next_input = 0;
+    for (i, decl) in stencil.arrays().iter().enumerate() {
+        let base = kernel.map.arena_base + (i * extent.len() * ELEM_BYTES) as u64;
+        match decl.role() {
+            ArrayRole::Input => {
+                cluster.write_f64_slice(base, inputs[next_input].as_slice())?;
+                next_input += 1;
+            }
+            ArrayRole::Output => {
+                cluster.write_f64_slice(base, &vec![0.0; extent.len()])?;
+            }
+        }
+    }
+    for (addr, bytes) in &kernel.install {
+        cluster.write_bytes(*addr, bytes)?;
+    }
+    for (core, cc) in kernel.cores.iter().enumerate() {
+        cluster.load_program(core, cc.program.clone());
+    }
+    if options.concurrent_dma {
+        enqueue_tile_dma(&mut cluster, &kernel.map, stencil)?;
+    }
+    let max_cycles = if options.max_cycles > 0 {
+        options.max_cycles
+    } else {
+        auto_cycle_budget(stencil, extent)
+    };
+    let report = cluster.run(max_cycles)?;
+    let out_base = kernel.map.array_base(stencil.output());
+    let out = cluster.read_f64_slice(out_base, extent.len())?;
+    Ok(StencilRun {
+        output: Grid::from_raw(extent, out),
+        report,
+        kernel,
+    })
+}
+
+fn auto_cycle_budget(stencil: &Stencil, extent: Extent) -> u64 {
+    // Worst realistic case is ~40 cycles/point/core-share; give 50x slack.
+    let points = extent.len() as u64;
+    let flops = stencil.stats().flops;
+    1_000_000 + points * flops * 8
+}
+
+/// Queues tile-shaped inbound and outbound DMA traffic mirroring the
+/// paper's double buffering (next input tile in, previous output out).
+/// Transfers use a staging window in main memory and the arena itself as
+/// the TCDM side, matching the bytes a real double-buffered run moves.
+fn enqueue_tile_dma(
+    cluster: &mut Cluster,
+    map: &TcdmMap,
+    stencil: &Stencil,
+) -> Result<(), CodegenError> {
+    let extent = map.layout().extent();
+    let tile_bytes = extent.len() * ELEM_BYTES;
+    let n_inputs = stencil.input_arrays().count();
+    let mut main_cursor = MAIN_BASE;
+    // Inbound: one tile per input array into a staging area placed after
+    // the arena (or wrapping, if space is tight, we reuse the arena halo
+    // space; the traffic pattern is what matters for bandwidth).
+    for i in 0..n_inputs {
+        cluster.dma_enqueue(DmaDescriptor::copy_1d(
+            main_cursor,
+            map.arena_base + (i * tile_bytes) as u64,
+            tile_bytes,
+        ))?;
+        main_cursor += tile_bytes as u64;
+    }
+    // Outbound: the output tile.
+    cluster.dma_enqueue(DmaDescriptor::copy_1d(
+        map.array_base(stencil.output()),
+        main_cursor,
+        tile_bytes,
+    ))?;
+    Ok(())
+}
+
+/// Measures the DMA engine's achievable bandwidth utilization for
+/// tile-shaped transfers (the paper's "mean DMA bandwidth utilization
+/// measured in our single-cluster experiments").
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_dma_utilization(
+    extent: Extent,
+    cfg: &ClusterConfig,
+) -> Result<f64, CodegenError> {
+    let mut cluster = Cluster::new(cfg.clone());
+    let tile_bytes = extent.len() * ELEM_BYTES;
+    let row_bytes = extent.nx * ELEM_BYTES;
+    let rows = (extent.ny * extent.nz) as u32;
+    // 2D/3D-shaped transfer: rows of the tile, strided in main memory as
+    // they would be inside the big grid.
+    let big_row_stride = (extent.nx * 4 * ELEM_BYTES) as i64;
+    cluster.dma_enqueue(DmaDescriptor {
+        src: MAIN_BASE,
+        dst: snitch_sim::TCDM_BASE,
+        inner_bytes: row_bytes,
+        counts: [rows, 1],
+        src_strides: [big_row_stride, 0],
+        dst_strides: [row_bytes as i64, 0],
+    })?;
+    cluster.dma_enqueue(DmaDescriptor {
+        src: snitch_sim::TCDM_BASE,
+        dst: MAIN_BASE + (tile_bytes * 8) as u64,
+        inner_bytes: row_bytes,
+        counts: [rows, 1],
+        src_strides: [row_bytes as i64, 0],
+        dst_strides: [big_row_stride, 0],
+    })?;
+    let report = cluster.run(10_000_000)?;
+    Ok(report.dma.utilization(cfg.dma_beat_bytes as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_core::gallery;
+    use saris_core::Space;
+
+    fn tile_of(s: &Stencil) -> Extent {
+        match s.space() {
+            Space::Dim2 => Extent::new_2d(32, 32),
+            Space::Dim3 => Extent::cube(Space::Dim3, 12),
+        }
+    }
+
+    fn inputs_for(s: &Stencil, extent: Extent) -> Vec<Grid> {
+        s.input_arrays()
+            .enumerate()
+            .map(|(i, _)| Grid::pseudo_random(extent, 42 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn base_jacobi_matches_reference_exactly_without_reassociation() {
+        let s = gallery::jacobi_2d();
+        let extent = tile_of(&s);
+        let inputs = inputs_for(&s, extent);
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        let run = run_stencil(
+            &s,
+            &refs,
+            &RunOptions::new(Variant::Base).with_reassociate(0),
+        )
+        .unwrap();
+        assert_eq!(run.max_error_vs_reference(&s, &refs), 0.0);
+        assert!(run.report.cycles > 0);
+    }
+
+    #[test]
+    fn saris_jacobi_matches_reference_exactly_without_reassociation() {
+        let s = gallery::jacobi_2d();
+        let extent = tile_of(&s);
+        let inputs = inputs_for(&s, extent);
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        let run = run_stencil(
+            &s,
+            &refs,
+            &RunOptions::new(Variant::Saris).with_reassociate(0),
+        )
+        .unwrap();
+        assert_eq!(
+            run.max_error_vs_reference(&s, &refs),
+            0.0,
+            "kernel output diverges from the golden reference"
+        );
+    }
+
+    #[test]
+    fn reassociated_kernels_match_within_fp_tolerance() {
+        let s = gallery::jacobi_2d();
+        let extent = tile_of(&s);
+        let inputs = inputs_for(&s, extent);
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        for variant in [Variant::Base, Variant::Saris] {
+            let run = run_stencil(&s, &refs, &RunOptions::new(variant)).unwrap();
+            let err = run.max_error_vs_reference(&s, &refs);
+            assert!(err < 1e-12, "{variant}: err {err:e}");
+        }
+    }
+
+    #[test]
+    fn saris_is_faster_than_base_on_jacobi() {
+        let s = gallery::jacobi_2d();
+        let extent = Extent::new_2d(64, 64);
+        let inputs = inputs_for(&s, extent);
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        let base = run_stencil(&s, &refs, &RunOptions::new(Variant::Base).with_unroll(4))
+            .unwrap();
+        let saris =
+            run_stencil(&s, &refs, &RunOptions::new(Variant::Saris).with_unroll(4))
+                .unwrap();
+        assert!(base.max_error_vs_reference(&s, &refs) < 1e-12);
+        assert!(saris.max_error_vs_reference(&s, &refs) < 1e-12);
+        let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
+        assert!(
+            speedup > 1.5,
+            "expected a clear SARIS speedup, got {speedup:.2} ({} vs {})",
+            base.report.cycles,
+            saris.report.cycles
+        );
+    }
+
+    #[test]
+    fn dma_utilization_is_high() {
+        let util =
+            measure_dma_utilization(Extent::new_2d(64, 64), &ClusterConfig::snitch())
+                .unwrap();
+        assert!(util > 0.5 && util <= 1.0, "dma util {util}");
+    }
+}
+
+/// How grids rotate between time iterations of a stencil sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferRotation {
+    /// `out` becomes the (single) input of the next step (Jacobi-style
+    /// alternating buffers).
+    Alternating,
+    /// Leapfrog: `(u, um) <- (out, u)` — the `ac_iso_cd` wave equation.
+    Leapfrog,
+}
+
+impl BufferRotation {
+    /// The natural rotation for a stencil: alternating for one input
+    /// array, leapfrog for two.
+    ///
+    /// # Panics
+    ///
+    /// Panics for stencils with more than two input arrays (no default
+    /// rotation exists; drive [`execute`] manually).
+    pub fn natural(stencil: &Stencil) -> BufferRotation {
+        match stencil.input_arrays().count() {
+            1 => BufferRotation::Alternating,
+            2 => BufferRotation::Leapfrog,
+            n => panic!("no natural rotation for {n} input arrays"),
+        }
+    }
+}
+
+/// The outcome of a multi-step sweep.
+#[derive(Debug, Clone)]
+pub struct TimeSteppedRun {
+    /// Grid states after the final step, in input-array order (the
+    /// youngest field first).
+    pub grids: Vec<Grid>,
+    /// Per-step simulator reports.
+    pub reports: Vec<RunReport>,
+}
+
+impl TimeSteppedRun {
+    /// Total cycles across all steps.
+    pub fn total_cycles(&self) -> u64 {
+        self.reports.iter().map(|r| r.cycles).sum()
+    }
+}
+
+/// Runs `steps` time iterations of `stencil`, compiling once and rotating
+/// buffers between steps per `rotation`.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the stencil's input arrays.
+pub fn run_time_steps(
+    stencil: &Stencil,
+    inputs: &[&Grid],
+    steps: usize,
+    rotation: BufferRotation,
+    options: &RunOptions,
+) -> Result<TimeSteppedRun, CodegenError> {
+    let n_inputs = stencil.input_arrays().count();
+    assert_eq!(inputs.len(), n_inputs, "one grid per input array");
+    let extent = inputs[0].extent();
+    let kernel = compile(stencil, extent, options)?;
+    let mut grids: Vec<Grid> = inputs.iter().map(|g| (*g).clone()).collect();
+    let mut reports = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let refs: Vec<&Grid> = grids.iter().collect();
+        let run = execute(stencil, &refs, kernel.clone(), options)?;
+        reports.push(run.report);
+        match rotation {
+            BufferRotation::Alternating => grids[0] = run.output,
+            BufferRotation::Leapfrog => {
+                let u = std::mem::replace(&mut grids[0], run.output);
+                grids[1] = u;
+            }
+        }
+    }
+    Ok(TimeSteppedRun { grids, reports })
+}
+
+#[cfg(test)]
+mod timestep_tests {
+    use super::*;
+    use saris_core::gallery;
+
+    #[test]
+    fn alternating_steps_match_reference() {
+        let s = gallery::jacobi_2d();
+        let tile = Extent::new_2d(20, 20);
+        let input = Grid::pseudo_random(tile, 8);
+        let opts = RunOptions::new(Variant::Saris)
+            .with_unroll(2)
+            .with_reassociate(0);
+        let run =
+            run_time_steps(&s, &[&input], 3, BufferRotation::Alternating, &opts).unwrap();
+        assert_eq!(run.reports.len(), 3);
+        // March the reference in lockstep.
+        let mut cur = input;
+        for _ in 0..3 {
+            let mut refs = vec![&cur];
+            cur = reference::apply_to_new(&s, &mut refs, tile);
+        }
+        assert_eq!(run.grids[0].max_abs_diff(&cur), 0.0);
+        assert!(run.total_cycles() > 0);
+    }
+
+    #[test]
+    fn leapfrog_steps_match_reference() {
+        let s = gallery::ac_iso_cd();
+        let tile = Extent::cube(saris_core::Space::Dim3, 12);
+        let u0 = Grid::pseudo_random(tile, 1);
+        let um0 = Grid::pseudo_random(tile, 2);
+        let opts = RunOptions::new(Variant::Saris)
+            .with_unroll(1)
+            .with_reassociate(0);
+        let rotation = BufferRotation::natural(&s);
+        assert_eq!(rotation, BufferRotation::Leapfrog);
+        let run = run_time_steps(&s, &[&u0, &um0], 2, rotation, &opts).unwrap();
+        // Reference leapfrog.
+        let (mut u, mut um) = (u0, um0);
+        for _ in 0..2 {
+            let mut refs = vec![&u, &um];
+            let out = reference::apply_to_new(&s, &mut refs, tile);
+            um = std::mem::replace(&mut u, out);
+        }
+        assert_eq!(run.grids[0].max_abs_diff(&u), 0.0);
+        assert_eq!(run.grids[1].max_abs_diff(&um), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no natural rotation")]
+    fn natural_rotation_rejects_many_arrays() {
+        use saris_core::stencil::StencilBuilder;
+        use saris_core::{Offset, Space};
+        let mut b = StencilBuilder::new("tri", Space::Dim2);
+        let a0 = b.input("a");
+        let a1 = b.input("b");
+        let a2 = b.input("c");
+        b.output("out");
+        let t0 = b.tap(a0, Offset::CENTER);
+        let t1 = b.tap(a1, Offset::CENTER);
+        let t2 = b.tap(a2, Offset::CENTER);
+        let x = b.add(t0, t1);
+        let y = b.add(x, t2);
+        b.store(y);
+        let s = b.finish().unwrap();
+        let _ = BufferRotation::natural(&s);
+    }
+}

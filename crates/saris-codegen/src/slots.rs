@@ -1,0 +1,185 @@
+//! Shared code-generation machinery: FP register pools, unroll-slot
+//! interleaving, and last-use analysis.
+//!
+//! Both code generators translate each unrolled point ("slot") into an
+//! independent instruction stream using slot-private registers, then
+//! merge the streams round-robin. The merge is the scheduling pass that
+//! hides FPU latency: consecutive instructions of one slot end up `U`
+//! issue slots apart, so a dependent chain with latency `L` runs
+//! stall-free once `U >= L` — which is exactly why the paper's baselines
+//! unroll "up to four-fold iff beneficial".
+
+use saris_isa::{FpReg, Instr};
+
+/// A stack-like pool of FP registers owned by one slot.
+#[derive(Debug, Clone)]
+pub struct RegPool {
+    free: Vec<FpReg>,
+    capacity: usize,
+}
+
+impl RegPool {
+    /// Creates a pool over the given registers.
+    pub fn new(regs: Vec<FpReg>) -> RegPool {
+        RegPool {
+            capacity: regs.len(),
+            free: regs,
+        }
+    }
+
+    /// Allocates a register (LIFO), if any remain.
+    pub fn alloc(&mut self) -> Option<FpReg> {
+        self.free.pop()
+    }
+
+    /// Returns a register to the pool.
+    pub fn free(&mut self, r: FpReg) {
+        debug_assert!(!self.free.contains(&r), "double free of {r}");
+        self.free.push(r);
+    }
+
+    /// Registers currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.capacity - self.free.len()
+    }
+}
+
+/// Computes, for each temporary of an op list, the index of its last use
+/// (`ops.len()` if it is the stored result).
+///
+/// `uses(i)` must yield the temporary indices read by op `i`.
+pub fn last_uses<F>(n_ops: usize, result_tmp: Option<usize>, mut uses: F) -> Vec<usize>
+where
+    F: FnMut(usize) -> Vec<usize>,
+{
+    let mut last = vec![0usize; n_ops];
+    for i in 0..n_ops {
+        for t in uses(i) {
+            last[t] = last[t].max(i);
+        }
+    }
+    if let Some(t) = result_tmp {
+        last[t] = n_ops;
+    }
+    last
+}
+
+/// Merges per-slot instruction streams round-robin: instruction `j` of
+/// slot `u` lands at position `j * n_slots + u`.
+///
+/// # Panics
+///
+/// Panics if the slots differ in length (they are structurally identical
+/// by construction).
+pub fn interleave_slots(slots: Vec<Vec<Instr>>) -> Vec<Instr> {
+    if slots.is_empty() {
+        return Vec::new();
+    }
+    let len = slots[0].len();
+    assert!(
+        slots.iter().all(|s| s.len() == len),
+        "slots must have equal length"
+    );
+    let mut merged = Vec::with_capacity(len * slots.len());
+    for j in 0..len {
+        for slot in &slots {
+            merged.push(slot[j].clone());
+        }
+    }
+    merged
+}
+
+/// The integer registers available to kernel code generators, in
+/// allocation order (temporaries, arguments, saved).
+pub fn int_reg_pool() -> Vec<saris_isa::IntReg> {
+    use saris_isa::IntReg;
+    let mut pool = vec![
+        IntReg::T0,
+        IntReg::T1,
+        IntReg::T2,
+        IntReg::T3,
+        IntReg::T4,
+        IntReg::T5,
+        IntReg::T6,
+        IntReg::A0,
+        IntReg::A1,
+        IntReg::A2,
+        IntReg::A3,
+        IntReg::A4,
+        IntReg::A5,
+        IntReg::A6,
+        IntReg::A7,
+    ];
+    for s in 2..=11 {
+        pool.push(IntReg::saved(s));
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_isa::FpROp;
+
+    #[test]
+    fn pool_alloc_free_roundtrip() {
+        let regs: Vec<FpReg> = (3..6).map(|i| FpReg::new(i).unwrap()).collect();
+        let mut p = RegPool::new(regs);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_eq!(p.in_use(), 2);
+        p.free(a);
+        assert_eq!(p.in_use(), 1);
+        let c = p.alloc().unwrap();
+        assert_eq!(c, a, "LIFO reuse");
+        p.free(b);
+        p.free(c);
+        assert_eq!(p.in_use(), 0);
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_none(), "pool exhausted");
+    }
+
+    #[test]
+    fn last_uses_tracks_result() {
+        // op0 defines t0; op1 uses t0; op2 uses t0 again; result = t2.
+        let last = last_uses(3, Some(2), |i| match i {
+            1 => vec![0],
+            2 => vec![0, 1],
+            _ => vec![],
+        });
+        assert_eq!(last, vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn interleave_round_robin() {
+        let mk = |r: u8| Instr::FpR {
+            op: FpROp::Add,
+            rd: FpReg::new(r).unwrap(),
+            rs1: FpReg::new(r).unwrap(),
+            rs2: FpReg::new(r).unwrap(),
+        };
+        let merged = interleave_slots(vec![vec![mk(3), mk(4)], vec![mk(5), mk(6)]]);
+        let regs: Vec<u8> = merged
+            .iter()
+            .map(|i| match i {
+                Instr::FpR { rd, .. } => rd.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(regs, vec![3, 5, 4, 6]);
+    }
+
+    #[test]
+    fn int_pool_is_large_and_unique() {
+        let pool = int_reg_pool();
+        assert_eq!(pool.len(), 25);
+        let mut dedup = pool.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 25);
+        assert!(!pool.contains(&saris_isa::IntReg::ZERO));
+        assert!(!pool.contains(&saris_isa::IntReg::SP));
+    }
+}

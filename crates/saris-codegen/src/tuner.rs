@@ -1,0 +1,124 @@
+//! The "unroll iff beneficial" auto-tuner (paper Section 2.3: codes
+//! "further unroll their point loops up to four-fold iff beneficial to
+//! performance").
+
+use saris_core::grid::Grid;
+use saris_core::stencil::Stencil;
+
+use crate::error::CodegenError;
+use crate::runtime::{run_stencil, RunOptions, StencilRun};
+
+/// The default unroll candidates (the paper's "up to four-fold").
+pub const DEFAULT_CANDIDATES: [usize; 3] = [1, 2, 4];
+
+/// The outcome of tuning: the winning run and the per-candidate cycle
+/// counts that were measured.
+#[derive(Debug)]
+pub struct TunedRun {
+    /// The fastest run.
+    pub best: StencilRun,
+    /// `(unroll, cycles)` for every candidate that compiled and ran.
+    pub measured: Vec<(usize, u64)>,
+}
+
+impl TunedRun {
+    /// The winning unroll factor.
+    pub fn unroll(&self) -> usize {
+        self.best.kernel.unroll
+    }
+}
+
+/// Simulates every unroll candidate and keeps the fastest.
+///
+/// Candidates that fail with register pressure or FREP-capacity errors
+/// are skipped (they are genuinely not implementable at that width, which
+/// is exactly the paper's register-bound story); any other error aborts.
+///
+/// # Errors
+///
+/// Returns [`CodegenError::NoCandidates`] if no candidate both compiles
+/// and runs, or the first hard error encountered.
+pub fn tune_unroll(
+    stencil: &Stencil,
+    inputs: &[&Grid],
+    options: &RunOptions,
+    candidates: &[usize],
+) -> Result<TunedRun, CodegenError> {
+    let mut best: Option<StencilRun> = None;
+    let mut measured = Vec::new();
+    for &u in candidates {
+        let opts = options.clone().with_unroll(u);
+        match run_stencil(stencil, inputs, &opts) {
+            Ok(run) => {
+                measured.push((u, run.report.cycles));
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| run.report.cycles < b.report.cycles);
+                if better {
+                    best = Some(run);
+                }
+            }
+            Err(
+                CodegenError::RegisterPressure { .. } | CodegenError::FrepBodyTooLarge { .. },
+            ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    match best {
+        Some(b) => Ok(TunedRun { best: b, measured }),
+        None => Err(CodegenError::NoCandidates),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Variant;
+    use saris_core::{gallery, Extent};
+
+    #[test]
+    fn tuner_picks_a_winner_for_base_jacobi() {
+        let s = gallery::jacobi_2d();
+        let extent = Extent::new_2d(32, 32);
+        let input = Grid::pseudo_random(extent, 1);
+        let tuned = tune_unroll(
+            &s,
+            &[&input],
+            &RunOptions::new(Variant::Base),
+            &DEFAULT_CANDIDATES,
+        )
+        .unwrap();
+        assert!(!tuned.measured.is_empty());
+        let min = tuned.measured.iter().map(|&(_, c)| c).min().unwrap();
+        assert_eq!(tuned.best.report.cycles, min);
+        // Deep chains benefit from unrolling: u > 1 should win.
+        assert!(tuned.unroll() > 1, "measured: {:?}", tuned.measured);
+    }
+
+    #[test]
+    fn tuner_skips_infeasible_widths() {
+        // j3d27pt at unroll 4 blows the register file in base form; the
+        // tuner must still return a winner from the feasible set.
+        let s = gallery::j3d27pt();
+        let extent = Extent::cube(saris_core::Space::Dim3, 10);
+        let input = Grid::pseudo_random(extent, 2);
+        let tuned = tune_unroll(
+            &s,
+            &[&input],
+            &RunOptions::new(Variant::Base),
+            &DEFAULT_CANDIDATES,
+        )
+        .unwrap();
+        assert!(!tuned.measured.is_empty());
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        let s = gallery::jacobi_2d();
+        let extent = Extent::new_2d(16, 16);
+        let input = Grid::pseudo_random(extent, 3);
+        let err =
+            tune_unroll(&s, &[&input], &RunOptions::new(Variant::Base), &[]).unwrap_err();
+        assert!(matches!(err, CodegenError::NoCandidates));
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-core iteration geometry.
+
+use saris_core::geom::{Extent, Point, Space};
+use saris_core::parallel::InterleavePlan;
+use saris_core::stencil::Stencil;
+
+/// The interior walk of one core: start point, strided counts, and the
+/// interleave strides. Cores sweep `z` fully and interleave `x`/`y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreWalk {
+    /// First interior x of this core.
+    pub x0: usize,
+    /// First interior y of this core.
+    pub y0: usize,
+    /// First interior z (0 for 2D).
+    pub z0: usize,
+    /// Number of x iterations (stride `px`).
+    pub count_x: usize,
+    /// Number of y iterations (stride `py`).
+    pub count_y: usize,
+    /// Number of z iterations (stride 1).
+    pub count_z: usize,
+    /// x interleave stride in points.
+    pub px: usize,
+    /// y interleave stride in points.
+    pub py: usize,
+}
+
+impl CoreWalk {
+    /// Computes the walk of `core` for `stencil` on a tile of `extent`.
+    pub fn compute(
+        stencil: &Stencil,
+        extent: Extent,
+        interleave: &InterleavePlan,
+        core: usize,
+    ) -> CoreWalk {
+        let halo = stencil.halo();
+        let (cx, cy) = interleave.core_coords(core);
+        let (hx, hy) = (halo.rx as usize, halo.ry as usize);
+        let x0 = hx + cx;
+        let y0 = hy + cy;
+        let x_hi = extent.nx.saturating_sub(hx);
+        let y_hi = extent.ny.saturating_sub(hy);
+        let count_x = if x0 < x_hi {
+            (x_hi - x0).div_ceil(interleave.px())
+        } else {
+            0
+        };
+        let count_y = if y0 < y_hi {
+            (y_hi - y0).div_ceil(interleave.py())
+        } else {
+            0
+        };
+        let (z0, count_z) = match stencil.space() {
+            Space::Dim2 => (0, 1),
+            Space::Dim3 => {
+                let hz = halo.rz as usize;
+                let z_hi = extent.nz.saturating_sub(hz);
+                (hz, z_hi.saturating_sub(hz))
+            }
+        };
+        CoreWalk {
+            x0,
+            y0,
+            z0,
+            count_x,
+            count_y,
+            count_z,
+            px: interleave.px(),
+            py: interleave.py(),
+        }
+    }
+
+    /// Total interior points this core updates.
+    pub fn points(&self) -> usize {
+        self.count_x * self.count_y * self.count_z
+    }
+
+    /// Whether the core has any work.
+    pub fn is_empty(&self) -> bool {
+        self.points() == 0
+    }
+
+    /// The core's first point.
+    pub fn origin(&self) -> Point {
+        Point {
+            x: self.x0,
+            y: self.y0,
+            z: self.z0,
+        }
+    }
+
+    /// Full-unroll block count and remainder for unroll factor `u`.
+    pub fn blocks(&self, u: usize) -> (usize, usize) {
+        (self.count_x / u, self.count_x % u)
+    }
+
+    /// Byte delta advancing a row pointer from the end of one row walk to
+    /// the start of the next (`x` is contiguous, elements are 8 bytes).
+    pub fn row_delta_bytes(&self, extent: Extent) -> i64 {
+        (self.py * extent.nx) as i64 * 8 - (self.count_x * self.px) as i64 * 8
+    }
+
+    /// Byte delta advancing a pointer from the end of one plane walk to
+    /// the start of the next.
+    pub fn plane_delta_bytes(&self, extent: Extent) -> i64 {
+        (extent.nx * extent.ny) as i64 * 8
+            - (self.count_y * self.py * extent.nx) as i64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_core::gallery;
+
+    #[test]
+    fn walks_partition_the_interior() {
+        for s in gallery::all() {
+            let extent = match s.space() {
+                Space::Dim2 => Extent::new_2d(64, 64),
+                Space::Dim3 => Extent::cube(Space::Dim3, 16),
+            };
+            let plan = InterleavePlan::snitch();
+            let total: usize = (0..8)
+                .map(|c| CoreWalk::compute(&s, extent, &plan, c).points())
+                .sum();
+            assert_eq!(total, s.interior(extent).len(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn pointer_walk_matches_point_sequence() {
+        // Walk the pointer deltas and verify they land on every point the
+        // core owns, in order.
+        let s = gallery::star3d2r();
+        let extent = Extent::cube(Space::Dim3, 16);
+        let plan = InterleavePlan::snitch();
+        let w = CoreWalk::compute(&s, extent, &plan, 5);
+        let mut addr = (extent.linear(w.x0, w.y0, w.z0) * 8) as i64;
+        let mut visited = Vec::new();
+        for _ in 0..w.count_z {
+            for _ in 0..w.count_y {
+                for _ in 0..w.count_x {
+                    visited.push(addr);
+                    addr += (w.px * 8) as i64;
+                }
+                addr += w.row_delta_bytes(extent);
+            }
+            addr += w.plane_delta_bytes(extent);
+        }
+        // Compare against direct enumeration.
+        let mut expect = Vec::new();
+        for z in 0..w.count_z {
+            for y in 0..w.count_y {
+                for x in 0..w.count_x {
+                    let p = (
+                        w.x0 + x * w.px,
+                        w.y0 + y * w.py,
+                        w.z0 + z,
+                    );
+                    expect.push((extent.linear(p.0, p.1, p.2) * 8) as i64);
+                }
+            }
+        }
+        assert_eq!(visited, expect);
+    }
+
+    #[test]
+    fn blocks_split() {
+        let s = gallery::jacobi_2d();
+        let extent = Extent::new_2d(64, 64);
+        let plan = InterleavePlan::snitch();
+        let w = CoreWalk::compute(&s, extent, &plan, 2); // cx=2: count_x=15
+        assert_eq!(w.count_x, 15);
+        assert_eq!(w.blocks(4), (3, 3));
+        assert_eq!(w.blocks(1), (15, 0));
+    }
+
+    #[test]
+    fn empty_walk_for_tiny_interior() {
+        let s = gallery::jacobi_2d();
+        let extent = Extent::new_2d(4, 3);
+        let plan = InterleavePlan::snitch();
+        // Interior is 2x1: cores with cx >= 2 or cy >= 1 have nothing.
+        let w = CoreWalk::compute(&s, extent, &plan, 7);
+        assert!(w.is_empty());
+        let w0 = CoreWalk::compute(&s, extent, &plan, 0);
+        assert_eq!(w0.points(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! The ten stencil codes evaluated in the paper (Table 1).
+//!
+//! Each constructor reproduces the per-point characteristics reported in
+//! Table 1 exactly — dimensionality, radius, grid loads, coefficients and
+//! FLOPs — which unit tests assert. Coefficient *values* are stable,
+//! deterministic choices (sums of neighbor weights bounded by 1) since the
+//! paper's evaluation is performance-only; functional correctness is
+//! checked against the reference executor.
+//!
+//! | Code         | Dims | Rad. | #Loads | #Coeffs | #FLOPs |
+//! |--------------|------|------|--------|---------|--------|
+//! | `jacobi_2d`  | 2D   | 1    | 5      | 1       | 5      |
+//! | `j2d5pt`     | 2D   | 1    | 5      | 6       | 10     |
+//! | `box2d1r`    | 2D   | 1    | 9      | 9       | 17     |
+//! | `j2d9pt`     | 2D   | 2    | 9      | 10      | 18     |
+//! | `j2d9pt_gol` | 2D   | 1    | 9      | 10      | 18     |
+//! | `star2d3r`   | 2D   | 3    | 13     | 13      | 25     |
+//! | `star3d2r`   | 3D   | 2    | 13     | 13      | 25     |
+//! | `ac_iso_cd`  | 3D   | 4    | 26     | 13      | 38     |
+//! | `box3d1r`    | 3D   | 1    | 27     | 27      | 53     |
+//! | `j3d27pt`    | 3D   | 1    | 27     | 28      | 54     |
+
+use crate::geom::{Offset, Space};
+use crate::stencil::{Operand, Stencil, StencilBuilder};
+
+/// Names of the gallery stencils in Table 1 order (sorted by FLOPs/point).
+pub const NAMES: [&str; 10] = [
+    "jacobi_2d",
+    "j2d5pt",
+    "box2d1r",
+    "j2d9pt",
+    "j2d9pt_gol",
+    "star2d3r",
+    "star3d2r",
+    "ac_iso_cd",
+    "box3d1r",
+    "j3d27pt",
+];
+
+/// All gallery stencils in Table 1 order.
+pub fn all() -> Vec<Stencil> {
+    vec![
+        jacobi_2d(),
+        j2d5pt(),
+        box2d1r(),
+        j2d9pt(),
+        j2d9pt_gol(),
+        star2d3r(),
+        star3d2r(),
+        ac_iso_cd(),
+        box3d1r(),
+        j3d27pt(),
+    ]
+}
+
+/// Looks up a gallery stencil by name.
+///
+/// # Examples
+///
+/// ```
+/// let s = saris_core::gallery::by_name("jacobi_2d").unwrap();
+/// assert_eq!(s.stats().flops, 5);
+/// assert!(saris_core::gallery::by_name("nope").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Stencil> {
+    match name {
+        "jacobi_2d" => Some(jacobi_2d()),
+        "j2d5pt" => Some(j2d5pt()),
+        "box2d1r" => Some(box2d1r()),
+        "j2d9pt" => Some(j2d9pt()),
+        "j2d9pt_gol" => Some(j2d9pt_gol()),
+        "star2d3r" => Some(star2d3r()),
+        "star3d2r" => Some(star3d2r()),
+        "ac_iso_cd" => Some(ac_iso_cd()),
+        "box3d1r" => Some(box3d1r()),
+        "j3d27pt" => Some(j3d27pt()),
+        _ => None,
+    }
+}
+
+/// The offsets of a 2D star of radius `r` (center first, then `x` arms,
+/// then `y` arms, nearest first).
+fn star2d_offsets(r: i32) -> Vec<Offset> {
+    let mut offs = vec![Offset::CENTER];
+    for d in 1..=r {
+        offs.push(Offset::d2(-d, 0));
+        offs.push(Offset::d2(d, 0));
+    }
+    for d in 1..=r {
+        offs.push(Offset::d2(0, -d));
+        offs.push(Offset::d2(0, d));
+    }
+    offs
+}
+
+/// The offsets of a 3D star of radius `r` (center first, then per-axis
+/// arms).
+fn star3d_offsets(r: i32) -> Vec<Offset> {
+    let mut offs = vec![Offset::CENTER];
+    for d in 1..=r {
+        offs.push(Offset::d3(-d, 0, 0));
+        offs.push(Offset::d3(d, 0, 0));
+    }
+    for d in 1..=r {
+        offs.push(Offset::d3(0, -d, 0));
+        offs.push(Offset::d3(0, d, 0));
+    }
+    for d in 1..=r {
+        offs.push(Offset::d3(0, 0, -d));
+        offs.push(Offset::d3(0, 0, d));
+    }
+    offs
+}
+
+/// The offsets of a full 2D box of radius `r`, row-major.
+fn box2d_offsets(r: i32) -> Vec<Offset> {
+    let mut offs = Vec::new();
+    for dy in -r..=r {
+        for dx in -r..=r {
+            offs.push(Offset::d2(dx, dy));
+        }
+    }
+    offs
+}
+
+/// The offsets of a full 3D box of radius `r`, row-major.
+fn box3d_offsets(r: i32) -> Vec<Offset> {
+    let mut offs = Vec::new();
+    for dz in -r..=r {
+        for dy in -r..=r {
+            for dx in -r..=r {
+                offs.push(Offset::d3(dx, dy, dz));
+            }
+        }
+    }
+    offs
+}
+
+/// Builds the common "weighted sum of taps" pattern: `acc = c0 * taps[0]`,
+/// then an FMA per remaining tap, optionally followed by a final scale by
+/// one more coefficient.
+fn weighted_sum(
+    b: &mut StencilBuilder,
+    taps: &[Operand],
+    weight: f64,
+    final_scale: Option<f64>,
+) -> Operand {
+    let c0 = b.coeff("c0", weight);
+    let mut acc = b.mul(c0, taps[0]);
+    for (i, &tap) in taps.iter().enumerate().skip(1) {
+        let c = b.coeff(format!("c{i}"), weight);
+        acc = b.fma(c, tap, acc);
+    }
+    if let Some(scale) = final_scale {
+        let cs = b.coeff(format!("c{}", taps.len()), scale);
+        acc = b.mul(cs, acc);
+    }
+    acc
+}
+
+/// PolyBench `jacobi_2d`: 5-point star average (1 coefficient, 5 FLOPs).
+pub fn jacobi_2d() -> Stencil {
+    let mut b = StencilBuilder::new("jacobi_2d", Space::Dim2);
+    let inp = b.input("inp");
+    b.output("out");
+    let k = b.coeff("k", 0.2);
+    let c = b.tap(inp, Offset::CENTER);
+    let w = b.tap(inp, Offset::d2(-1, 0));
+    let e = b.tap(inp, Offset::d2(1, 0));
+    let n = b.tap(inp, Offset::d2(0, -1));
+    let s = b.tap(inp, Offset::d2(0, 1));
+    // Reassociated as opposing pairs so both indirect SRs are read
+    // concurrently, matching the paper's Figure 2b scheduling idea.
+    let we = b.add(w, e);
+    let ns = b.add(n, s);
+    let cross = b.add(we, ns);
+    let sum = b.add(cross, c);
+    let r = b.mul(k, sum);
+    b.store(r);
+    b.finish().expect("jacobi_2d is valid")
+}
+
+/// AN5D `j2d5pt`: 5-point star with per-tap coefficients and a final scale
+/// (6 coefficients, 10 FLOPs).
+pub fn j2d5pt() -> Stencil {
+    let mut b = StencilBuilder::new("j2d5pt", Space::Dim2);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = star2d_offsets(1).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.19, Some(0.98));
+    b.store(acc);
+    b.finish().expect("j2d5pt is valid")
+}
+
+/// AN5D `box2d1r`: dense 3x3 box with per-tap coefficients
+/// (9 coefficients, 17 FLOPs).
+pub fn box2d1r() -> Stencil {
+    let mut b = StencilBuilder::new("box2d1r", Space::Dim2);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = box2d_offsets(1).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.108, None);
+    b.store(acc);
+    b.finish().expect("box2d1r is valid")
+}
+
+/// AN5D `j2d9pt`: radius-2 star with per-tap coefficients and a final
+/// scale (10 coefficients, 18 FLOPs).
+pub fn j2d9pt() -> Stencil {
+    let mut b = StencilBuilder::new("j2d9pt", Space::Dim2);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = star2d_offsets(2).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.107, Some(0.99));
+    b.store(acc);
+    b.finish().expect("j2d9pt is valid")
+}
+
+/// AN5D `j2d9pt_gol` ("game of life" shape): dense 3x3 box with per-tap
+/// coefficients and a final scale (10 coefficients, 18 FLOPs).
+pub fn j2d9pt_gol() -> Stencil {
+    let mut b = StencilBuilder::new("j2d9pt_gol", Space::Dim2);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = box2d_offsets(1).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.108, Some(0.98));
+    b.store(acc);
+    b.finish().expect("j2d9pt_gol is valid")
+}
+
+/// AN5D `star2d3r`: radius-3 star with per-tap coefficients
+/// (13 coefficients, 25 FLOPs).
+pub fn star2d3r() -> Stencil {
+    let mut b = StencilBuilder::new("star2d3r", Space::Dim2);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = star2d_offsets(3).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.075, None);
+    b.store(acc);
+    b.finish().expect("star2d3r is valid")
+}
+
+/// AN5D `star3d2r`: 3D radius-2 star with per-tap coefficients
+/// (13 coefficients, 25 FLOPs).
+pub fn star3d2r() -> Stencil {
+    let mut b = StencilBuilder::new("star3d2r", Space::Dim3);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = star3d_offsets(2).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.075, None);
+    b.store(acc);
+    b.finish().expect("star3d2r is valid")
+}
+
+/// `ac_iso_cd`: acoustic isotropic constant-density wave propagation
+/// (Jacquelin et al., SC '22) — a symmetric radius-4 3D star over the
+/// current wavefield `u` plus the previous time step `um`
+/// (26 loads, 13 coefficients, 38 FLOPs).
+///
+/// The update computes `out = c0*u + sum_axis sum_r c_{axis,r} *
+/// (u[+r] + u[-r]) - um`, i.e. the leapfrog time integration with the
+/// `2 + v^2 dt^2 L_0` center term folded into `c0`.
+pub fn ac_iso_cd() -> Stencil {
+    let mut b = StencilBuilder::new("ac_iso_cd", Space::Dim3);
+    let u = b.input("u");
+    let um = b.input("um");
+    b.output("out");
+    let center = b.tap(u, Offset::CENTER);
+    let prev = b.tap(um, Offset::CENTER);
+    // Folded center coefficient: 2 - v^2 dt^2 * (2*sum of axis weights).
+    let c0 = b.coeff("c0", 0.41);
+    let mut acc = b.mul(c0, center);
+    let axes: [(&str, fn(i32) -> Offset); 3] = [
+        ("x", |d| Offset::d3(d, 0, 0)),
+        ("y", |d| Offset::d3(0, d, 0)),
+        ("z", |d| Offset::d3(0, 0, d)),
+    ];
+    // Fourth-order-style symmetric weights, decaying with distance.
+    let weights = [0.16, -0.02, 0.004, -0.0005];
+    for (axis, mk) in axes {
+        for r in 1..=4i32 {
+            let neg = b.tap(u, mk(-r));
+            let pos = b.tap(u, mk(r));
+            let pair = b.add(neg, pos);
+            let c = b.coeff(format!("c{axis}{r}"), weights[(r - 1) as usize]);
+            acc = b.fma(c, pair, acc);
+        }
+    }
+    let r = b.sub(acc, prev);
+    b.store(r);
+    b.finish().expect("ac_iso_cd is valid")
+}
+
+/// AN5D `box3d1r`: dense 3x3x3 box with per-tap coefficients
+/// (27 coefficients, 53 FLOPs).
+pub fn box3d1r() -> Stencil {
+    let mut b = StencilBuilder::new("box3d1r", Space::Dim3);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = box3d_offsets(1).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.036, None);
+    b.store(acc);
+    b.finish().expect("box3d1r is valid")
+}
+
+/// AN5D `j3d27pt`: dense 3x3x3 box with per-tap coefficients and a final
+/// scale (28 coefficients, 54 FLOPs).
+pub fn j3d27pt() -> Stencil {
+    let mut b = StencilBuilder::new("j3d27pt", Space::Dim3);
+    let inp = b.input("inp");
+    b.output("out");
+    let taps: Vec<_> = box3d_offsets(1).iter().map(|&o| b.tap(inp, o)).collect();
+    let acc = weighted_sum(&mut b, &taps, 0.036, Some(0.99));
+    b.store(acc);
+    b.finish().expect("j3d27pt is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Space;
+
+    /// Table 1 of the paper, verbatim.
+    const TABLE_1: [(&str, Space, u32, usize, usize, u64); 10] = [
+        ("jacobi_2d", Space::Dim2, 1, 5, 1, 5),
+        ("j2d5pt", Space::Dim2, 1, 5, 6, 10),
+        ("box2d1r", Space::Dim2, 1, 9, 9, 17),
+        ("j2d9pt", Space::Dim2, 2, 9, 10, 18),
+        ("j2d9pt_gol", Space::Dim2, 1, 9, 10, 18),
+        ("star2d3r", Space::Dim2, 3, 13, 13, 25),
+        ("star3d2r", Space::Dim3, 2, 13, 13, 25),
+        ("ac_iso_cd", Space::Dim3, 4, 26, 13, 38),
+        ("box3d1r", Space::Dim3, 1, 27, 27, 53),
+        ("j3d27pt", Space::Dim3, 1, 27, 28, 54),
+    ];
+
+    #[test]
+    fn table_1_matches_paper_exactly() {
+        for (stencil, (name, space, radius, loads, coeffs, flops)) in
+            all().iter().zip(TABLE_1)
+        {
+            assert_eq!(stencil.name(), name);
+            let st = stencil.stats();
+            assert_eq!(st.space, space, "{name} dims");
+            assert_eq!(st.radius, radius, "{name} radius");
+            assert_eq!(st.loads, loads, "{name} loads");
+            assert_eq!(st.coeffs, coeffs, "{name} coeffs");
+            assert_eq!(st.flops, flops, "{name} flops");
+        }
+    }
+
+    #[test]
+    fn sorted_by_flops_per_point() {
+        let flops: Vec<_> = all().iter().map(|s| s.stats().flops).collect();
+        let mut sorted = flops.clone();
+        sorted.sort_unstable();
+        assert_eq!(flops, sorted, "gallery must be in Table 1 (FLOPs) order");
+    }
+
+    #[test]
+    fn by_name_covers_all() {
+        for name in NAMES {
+            let s = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.name(), name);
+        }
+        assert!(by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn ac_iso_cd_has_two_input_arrays() {
+        let s = ac_iso_cd();
+        assert_eq!(s.input_arrays().count(), 2);
+        assert_eq!(s.arrays().len(), 3);
+    }
+
+    #[test]
+    fn single_input_codes_have_one_input() {
+        for s in all() {
+            if s.name() != "ac_iso_cd" {
+                assert_eq!(s.input_arrays().count(), 1, "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn star_offsets_shape() {
+        assert_eq!(star2d_offsets(3).len(), 13);
+        assert_eq!(star3d_offsets(2).len(), 13);
+        assert_eq!(box2d_offsets(1).len(), 9);
+        assert_eq!(box3d_offsets(1).len(), 27);
+        // no duplicates
+        let offs = star3d_offsets(4);
+        for (i, a) in offs.iter().enumerate() {
+            for b in &offs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_are_contractive() {
+        // Keep iterated applications bounded: the absolute coefficient sum
+        // (weighting each tap once) should not exceed ~1.05 for any code.
+        for s in all() {
+            let sum: f64 = s.coeffs().iter().map(|c| c.value().abs()).sum();
+            assert!(sum < 2.3, "{}: |coeff| sum = {sum}", s.name());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Memory layout of a stencil's arrays within a TCDM arena.
+//!
+//! All arrays of a stencil share the tile extent and are placed
+//! back-to-back in one contiguous *arena*. Placing them contiguously is
+//! what lets a single indirection base cover taps from several arrays
+//! ("since the indices include array bases, any number of I/O arrays may
+//! be streamed" — paper Section 2.1): every tap has a *constant* element
+//! offset relative to the update point's position in the anchor array.
+
+use std::fmt;
+
+use crate::geom::{Extent, Point};
+use crate::stencil::{ArrayId, Stencil, Tap};
+
+/// Number of bytes per grid element (double precision).
+pub const ELEM_BYTES: usize = 8;
+
+/// Placement of a stencil's arrays in one contiguous arena.
+///
+/// # Examples
+///
+/// ```
+/// use saris_core::{gallery, layout::ArenaLayout};
+/// use saris_core::geom::Extent;
+///
+/// let s = gallery::ac_iso_cd();
+/// let layout = ArenaLayout::for_stencil(&s, Extent::cube(s.space(), 16));
+/// assert_eq!(layout.total_elems(), 3 * 16 * 16 * 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaLayout {
+    extent: Extent,
+    /// Base element of each array (indexed by `ArrayId`).
+    array_base_elems: Vec<usize>,
+    /// The array relative to which tap offsets are expressed (the first
+    /// input array).
+    anchor: ArrayId,
+}
+
+impl ArenaLayout {
+    /// Lays out all of `stencil`'s arrays back-to-back for tiles of
+    /// `extent` (including halo), in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stencil declares no input array.
+    pub fn for_stencil(stencil: &Stencil, extent: Extent) -> ArenaLayout {
+        let n = stencil.arrays().len();
+        let array_base_elems = (0..n).map(|i| i * extent.len()).collect();
+        let anchor = stencil
+            .input_arrays()
+            .next()
+            .expect("stencil must declare an input array");
+        ArenaLayout {
+            extent,
+            array_base_elems,
+            anchor,
+        }
+    }
+
+    /// The shared tile extent (including halo).
+    pub fn extent(&self) -> Extent {
+        self.extent
+    }
+
+    /// The anchor array (tap offsets are relative to the update point's
+    /// element in this array).
+    pub fn anchor(&self) -> ArrayId {
+        self.anchor
+    }
+
+    /// Total arena size in elements.
+    pub fn total_elems(&self) -> usize {
+        self.array_base_elems.len() * self.extent.len()
+    }
+
+    /// Total arena size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total_elems() * ELEM_BYTES
+    }
+
+    /// Base element of `array` within the arena.
+    pub fn array_base_elem(&self, array: ArrayId) -> usize {
+        self.array_base_elems[array.index()]
+    }
+
+    /// Arena element index of `point` within `array`.
+    pub fn elem_of(&self, array: ArrayId, point: Point) -> usize {
+        self.array_base_elem(array) + self.extent.linear_point(point)
+    }
+
+    /// The constant element offset of a tap relative to the update point's
+    /// element in the anchor array.
+    pub fn tap_rel_offset(&self, tap: &Tap) -> i64 {
+        let array_delta =
+            self.array_base_elem(tap.array) as i64 - self.array_base_elem(self.anchor) as i64;
+        array_delta + self.extent.linear_offset(tap.offset)
+    }
+
+    /// Arena element of the update point in the anchor array (the
+    /// per-point indirection base, in elements).
+    pub fn anchor_elem(&self, point: Point) -> usize {
+        self.elem_of(self.anchor, point)
+    }
+}
+
+impl fmt::Display for ArenaLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arena {} arrays x {} ({} KiB)",
+            self.array_base_elems.len(),
+            self.extent,
+            self.total_bytes() / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+    use crate::geom::Offset;
+
+    #[test]
+    fn tap_rel_offset_matches_direct_computation() {
+        let s = gallery::ac_iso_cd();
+        let extent = Extent::cube(s.space(), 16);
+        let layout = ArenaLayout::for_stencil(&s, extent);
+        let p = Point::new_3d(7, 8, 9);
+        for tap in s.taps() {
+            let expect = layout.elem_of(tap.array, p.offset(tap.offset)) as i64
+                - layout.anchor_elem(p) as i64;
+            assert_eq!(layout.tap_rel_offset(tap), expect, "tap {:?}", tap);
+        }
+    }
+
+    #[test]
+    fn anchor_is_first_input() {
+        let s = gallery::jacobi_2d();
+        let layout = ArenaLayout::for_stencil(&s, Extent::new_2d(8, 8));
+        assert_eq!(layout.anchor().index(), 0);
+        assert_eq!(layout.array_base_elem(s.output()), 64);
+    }
+
+    #[test]
+    fn multi_array_offsets_cross_arrays() {
+        let s = gallery::ac_iso_cd();
+        let extent = Extent::cube(s.space(), 16);
+        let layout = ArenaLayout::for_stencil(&s, extent);
+        // The `um` center tap lives one whole array above `u`.
+        let um_tap = s
+            .taps()
+            .iter()
+            .find(|t| t.array.index() == 1)
+            .expect("ac_iso_cd reads um");
+        assert_eq!(um_tap.offset, Offset::CENTER);
+        assert_eq!(layout.tap_rel_offset(um_tap), extent.len() as i64);
+    }
+
+    #[test]
+    fn arena_sizes() {
+        let s = gallery::jacobi_2d();
+        let layout = ArenaLayout::for_stencil(&s, Extent::new_2d(64, 64));
+        assert_eq!(layout.total_elems(), 2 * 4096);
+        assert_eq!(layout.total_bytes(), 2 * 4096 * 8);
+        assert!(layout.to_string().contains("arena 2"));
+    }
+}

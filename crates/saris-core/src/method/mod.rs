@@ -1,0 +1,28 @@
+//! The SARIS method: stream partitioning, point-loop scheduling, and
+//! static index-array construction (paper Section 2.1).
+//!
+//! The method's four steps map onto this module as follows:
+//!
+//! 1. *Map all grid data loads to indirect stream reads* — every stencil
+//!    tap becomes a stream pop ([`schedule`]).
+//! 2. *Partition these reads among available indirect SRs, maximizing
+//!    their concurrent use and balancing their utilization* — operand
+//!    pairing and load balancing in [`PointSchedule::derive`].
+//! 3. *Map grid data stores or loads of constant stencil coefficients that
+//!    cannot be kept in the register file to remaining SRs* — the output
+//!    store always goes to the affine SR2; register-exhausting
+//!    coefficient sets switch the plan to [`StreamMode::CoeffStream`].
+//! 4. *Determine a point loop schedule specifying in which order the
+//!    computations access streams; this determines the index arrays* —
+//!    [`index::build_index_arrays`] linearizes the pop sequences into
+//!    per-launch index arrays around a non-negative origin.
+
+pub mod index;
+pub mod plan;
+pub mod schedule;
+
+pub use index::{build_index_arrays, IndexArrays, SrIndexArray};
+pub use plan::{SarisOptions, SarisPlan};
+pub use schedule::{
+    CoeffStrategy, PointSchedule, ScheduledOp, ScheduledOpKind, SlotDst, SlotSrc, StreamMode,
+};

@@ -1,0 +1,479 @@
+//! SARIS steps 1–4: mapping grid loads to indirect streams, partitioning
+//! them over the available stream registers, and deriving the point-loop
+//! schedule (paper Figure 2b).
+//!
+//! Two stream-usage modes exist, chosen by coefficient register pressure:
+//!
+//! * [`StreamMode::Paired`] — taps are split across the two indirect SRs,
+//!   pairing the operands of two-tap operations so both streams are read
+//!   concurrently (paper steps 1–2); coefficients live in FP registers.
+//! * [`StreamMode::CoeffStream`] — for register-bound codes ("SARIS avoids
+//!   this register bottleneck by streaming grid points and
+//!   register-exhausting coefficients directly from TCDM", Section 3.1):
+//!   *all* taps go to SR0 and the per-point coefficient sequence is
+//!   streamed from an affine, repeating SR1 pattern.
+
+use std::fmt;
+
+use saris_isa::SsrId;
+
+use crate::stencil::{BinKind, Operand, PointOp, Stencil};
+
+/// How streams are partitioned for a stencil.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamMode {
+    /// Taps split across SR0/SR1; coefficients held in FP registers,
+    /// with any register-exhausting excess reloaded by static `fld`s
+    /// inside the FREP body.
+    Paired,
+    /// All taps on SR0; coefficients streamed from an affine SR1.
+    CoeffStream,
+}
+
+/// How register-exhausting coefficients are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoeffStrategy {
+    /// Keep what fits in registers; reload the excess with static `fld`s
+    /// in the FP block (default). Both indirect SRs stay available for
+    /// paired tap streaming, which a 27-tap code needs: a single streamer
+    /// port cannot deliver 27 taps plus index traffic per ~27-op point.
+    #[default]
+    Hybrid,
+    /// Stream the whole coefficient sequence from an affine SR1 and move
+    /// all taps to SR0 (the literal reading of the paper's step 3; kept
+    /// for ablation).
+    StreamSr1,
+}
+
+impl fmt::Display for StreamMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamMode::Paired => f.write_str("paired"),
+            StreamMode::CoeffStream => f.write_str("coeff-stream"),
+        }
+    }
+}
+
+/// Source of one operand slot in the scheduled point loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotSrc {
+    /// A temporary produced by an earlier scheduled op.
+    Tmp(usize),
+    /// A coefficient resident in an FP register (index into
+    /// [`Stencil::coeffs`]).
+    CoeffReg(usize),
+    /// A register-exhausting coefficient reloaded from the coefficient
+    /// table by a static `fld` in the FP block.
+    CoeffMem(usize),
+    /// A pop from a stream register.
+    Stream(SsrId),
+}
+
+impl fmt::Display for SlotSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotSrc::Tmp(i) => write!(f, "t{i}"),
+            SlotSrc::CoeffReg(i) => write!(f, "c{i}"),
+            SlotSrc::CoeffMem(i) => write!(f, "[c{i}]"),
+            SlotSrc::Stream(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Destination of one scheduled op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotDst {
+    /// A temporary (index equals the op's position).
+    Tmp(usize),
+    /// The output store, pushed to the affine write stream (SR2).
+    Store,
+}
+
+/// Operation kind of a scheduled op (mirrors [`PointOp`] plus a move used
+/// when the stored result is a direct tap/coefficient read).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduledOpKind {
+    /// Two-operand add.
+    Add,
+    /// Two-operand subtract.
+    Sub,
+    /// Two-operand multiply.
+    Mul,
+    /// Fused multiply-add (`srcs[0] * srcs[1] + srcs[2]`).
+    Fma,
+    /// Register move (single source).
+    Mv,
+}
+
+/// One operation of the SARIS point-loop schedule, with resolved operand
+/// sources (paper Figure 2b lists exactly this: each compute operation and
+/// its stream accesses, in order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Operation kind.
+    pub kind: ScheduledOpKind,
+    /// Operand sources in architectural order.
+    pub srcs: Vec<SlotSrc>,
+    /// Where the result goes.
+    pub dst: SlotDst,
+}
+
+impl fmt::Display for ScheduledOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dst = match self.dst {
+            SlotDst::Tmp(i) => format!("t{i}"),
+            SlotDst::Store => "SR2".to_string(),
+        };
+        let srcs: Vec<String> = self.srcs.iter().map(|s| s.to_string()).collect();
+        write!(f, "{dst} = {:?}({})", self.kind, srcs.join(", "))
+    }
+}
+
+/// The complete point-loop schedule: scheduled ops plus the per-stream pop
+/// sequences they imply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointSchedule {
+    /// Stream partitioning mode.
+    pub mode: StreamMode,
+    /// Operations in issue order.
+    pub ops: Vec<ScheduledOp>,
+    /// Tap pops on SR0/SR1 as `(op index, tap index)` pairs, in pop
+    /// order per point. The op index lets index-array construction
+    /// interleave unroll slots at op granularity.
+    pub sr_tap_pops: [Vec<(usize, usize)>; 2],
+    /// Coefficient pops from SR1 as `(op index, coeff index)` pairs
+    /// (empty unless [`StreamMode::CoeffStream`]).
+    pub coeff_pops: Vec<(usize, usize)>,
+    /// Op index being scheduled (construction-time bookkeeping).
+    current_op: usize,
+    /// Coefficients below this index stay in registers (paired mode).
+    resident_coeffs: usize,
+}
+
+impl PointSchedule {
+    /// Derives the schedule for `stencil`.
+    ///
+    /// `coeff_reg_budget` is the number of FP registers the code generator
+    /// can afford to dedicate to coefficients. With
+    /// [`CoeffStrategy::Hybrid`] the excess becomes [`SlotSrc::CoeffMem`]
+    /// loads; with [`CoeffStrategy::StreamSr1`] an excess switches the
+    /// whole schedule to [`StreamMode::CoeffStream`].
+    pub fn derive(
+        stencil: &Stencil,
+        coeff_reg_budget: usize,
+        strategy: CoeffStrategy,
+    ) -> PointSchedule {
+        let mode = match strategy {
+            CoeffStrategy::Hybrid => StreamMode::Paired,
+            CoeffStrategy::StreamSr1 => {
+                if stencil.coeffs().len() <= coeff_reg_budget {
+                    StreamMode::Paired
+                } else {
+                    StreamMode::CoeffStream
+                }
+            }
+        };
+        let mut sched = PointSchedule {
+            mode,
+            ops: Vec::with_capacity(stencil.ops().len()),
+            sr_tap_pops: [Vec::new(), Vec::new()],
+            coeff_pops: Vec::new(),
+            current_op: 0,
+            resident_coeffs: coeff_reg_budget,
+        };
+        let result_tmp = match stencil.result() {
+            Operand::Tmp(i) => Some(i),
+            _ => None,
+        };
+        for (i, op) in stencil.ops().iter().enumerate() {
+            sched.current_op = i;
+            let (kind, operands) = match op {
+                PointOp::Bin { kind, a, b } => {
+                    let k = match kind {
+                        BinKind::Add => ScheduledOpKind::Add,
+                        BinKind::Sub => ScheduledOpKind::Sub,
+                        BinKind::Mul => ScheduledOpKind::Mul,
+                    };
+                    (k, vec![*a, *b])
+                }
+                PointOp::Fma { a, b, c } => (ScheduledOpKind::Fma, vec![*a, *b, *c]),
+            };
+            let srcs = sched.assign_sources(&operands);
+            let dst = if result_tmp == Some(i) {
+                SlotDst::Store
+            } else {
+                SlotDst::Tmp(i)
+            };
+            sched.ops.push(ScheduledOp { kind, srcs, dst });
+        }
+        // A stencil whose stored result is a raw tap or coefficient needs
+        // one extra move into the write stream.
+        if result_tmp.is_none() {
+            sched.current_op = stencil.ops().len();
+            let srcs = sched.assign_sources(&[stencil.result()]);
+            sched.ops.push(ScheduledOp {
+                kind: ScheduledOpKind::Mv,
+                srcs,
+                dst: SlotDst::Store,
+            });
+        }
+        sched
+    }
+
+    /// Assigns sources for one op's operands, recording stream pops.
+    fn assign_sources(&mut self, operands: &[Operand]) -> Vec<SlotSrc> {
+        // Paper step 2: "for each axis, we map the two opposing grid point
+        // loads to SR0 and SR1 respectively, so they can concurrently be
+        // read by an addition" — generalized: two tap operands of one op
+        // go to distinct SRs (less-loaded one first); single taps go to
+        // the less-loaded SR.
+        let tap_slots: Vec<usize> = operands
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, Operand::Tap(_)))
+            .map(|(slot, _)| slot)
+            .collect();
+        let mut srcs: Vec<Option<SlotSrc>> = vec![None; operands.len()];
+        match self.mode {
+            StreamMode::Paired => {
+                let mut next_sr = None;
+                for &slot in &tap_slots {
+                    let tap = match operands[slot] {
+                        Operand::Tap(t) => t,
+                        _ => unreachable!(),
+                    };
+                    let sr = match next_sr.take() {
+                        Some(sr) => sr,
+                        None => self.less_loaded_sr(),
+                    };
+                    // If this op has another tap after this one, force it
+                    // onto the opposite SR for concurrent reads.
+                    if tap_slots.len() >= 2 && next_sr.is_none() {
+                        next_sr = Some(other_sr(sr));
+                    }
+                    let op_idx = self.current_op;
+                    self.sr_tap_pops[sr_idx(sr)].push((op_idx, tap));
+                    srcs[slot] = Some(SlotSrc::Stream(sr));
+                }
+                for (slot, operand) in operands.iter().enumerate() {
+                    if srcs[slot].is_none() {
+                        srcs[slot] = Some(match operand {
+                            Operand::Coeff(c) if *c < self.resident_coeffs => {
+                                SlotSrc::CoeffReg(*c)
+                            }
+                            Operand::Coeff(c) => SlotSrc::CoeffMem(*c),
+                            Operand::Tmp(t) => SlotSrc::Tmp(*t),
+                            Operand::Tap(_) => unreachable!("taps assigned above"),
+                        });
+                    }
+                }
+            }
+            StreamMode::CoeffStream => {
+                for (slot, operand) in operands.iter().enumerate() {
+                    srcs[slot] = Some(match operand {
+                        Operand::Tap(t) => {
+                            self.sr_tap_pops[0].push((self.current_op, *t));
+                            SlotSrc::Stream(SsrId::Ssr0)
+                        }
+                        Operand::Coeff(c) => {
+                            self.coeff_pops.push((self.current_op, *c));
+                            SlotSrc::Stream(SsrId::Ssr1)
+                        }
+                        Operand::Tmp(t) => SlotSrc::Tmp(*t),
+                    });
+                }
+            }
+        }
+        srcs.into_iter().map(|s| s.expect("all slots filled")).collect()
+    }
+
+    fn less_loaded_sr(&self) -> SsrId {
+        if self.sr_tap_pops[0].len() <= self.sr_tap_pops[1].len() {
+            SsrId::Ssr0
+        } else {
+            SsrId::Ssr1
+        }
+    }
+
+    /// The tap indices popped from stream `k` in pop order (without op
+    /// indices).
+    pub fn tap_seq(&self, k: usize) -> Vec<usize> {
+        self.sr_tap_pops[k].iter().map(|&(_, t)| t).collect()
+    }
+
+    /// The coefficient indices popped from SR1 in pop order.
+    pub fn coeff_seq(&self) -> Vec<usize> {
+        self.coeff_pops.iter().map(|&(_, c)| c).collect()
+    }
+
+    /// Whether any op reloads a coefficient from memory.
+    pub fn has_coeff_mem(&self) -> bool {
+        self.ops.iter().any(|op| {
+            op.srcs.iter().any(|s| matches!(s, SlotSrc::CoeffMem(_)))
+        })
+    }
+
+    /// Highest register-resident coefficient count this schedule assumed.
+    pub fn resident_coeffs(&self) -> usize {
+        self.resident_coeffs
+    }
+
+    /// Total stream pops per point on SR0 and SR1 (tap pops, plus
+    /// coefficient pops on SR1 in coeff-stream mode).
+    pub fn pops_per_point(&self) -> [usize; 2] {
+        [
+            self.sr_tap_pops[0].len(),
+            self.sr_tap_pops[1].len() + self.coeff_pops.len(),
+        ]
+    }
+
+    /// Imbalance between SR0 and SR1 pop counts (paper step 2 minimizes
+    /// this): `|pops0 - pops1|`.
+    pub fn pop_imbalance(&self) -> usize {
+        let [a, b] = self.pops_per_point();
+        a.abs_diff(b)
+    }
+
+    /// Whether any scheduled op pops the same SR more than once (such ops
+    /// serialize FIFO reads and are avoided by the partitioner for
+    /// two-tap operations).
+    pub fn has_same_sr_double_pop(&self) -> bool {
+        self.ops.iter().any(|op| {
+            let mut counts = [0usize; 3];
+            for s in &op.srcs {
+                if let SlotSrc::Stream(sr) = s {
+                    counts[sr.index()] += 1;
+                }
+            }
+            counts.iter().any(|&c| c > 1)
+        })
+    }
+}
+
+fn sr_idx(sr: SsrId) -> usize {
+    match sr {
+        SsrId::Ssr0 => 0,
+        SsrId::Ssr1 => 1,
+        SsrId::Ssr2 => unreachable!("taps never map to the write stream"),
+    }
+}
+
+fn other_sr(sr: SsrId) -> SsrId {
+    match sr {
+        SsrId::Ssr0 => SsrId::Ssr1,
+        SsrId::Ssr1 => SsrId::Ssr0,
+        SsrId::Ssr2 => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+
+    #[test]
+    fn jacobi_is_paired_and_balanced() {
+        let s = gallery::jacobi_2d();
+        let sched = PointSchedule::derive(&s, 20, CoeffStrategy::StreamSr1);
+        assert_eq!(sched.mode, StreamMode::Paired);
+        // 5 taps -> 3 + 2 split.
+        assert_eq!(sched.pops_per_point(), [3, 2]);
+        assert_eq!(sched.pop_imbalance(), 1);
+        assert!(!sched.has_same_sr_double_pop());
+        assert!(sched.coeff_pops.is_empty());
+    }
+
+    #[test]
+    fn two_tap_ops_use_opposite_streams() {
+        let s = gallery::jacobi_2d();
+        let sched = PointSchedule::derive(&s, 20, CoeffStrategy::StreamSr1);
+        for op in &sched.ops {
+            let streams: Vec<_> = op
+                .srcs
+                .iter()
+                .filter_map(|s| match s {
+                    SlotSrc::Stream(sr) => Some(*sr),
+                    _ => None,
+                })
+                .collect();
+            if streams.len() == 2 {
+                assert_ne!(streams[0], streams[1], "op {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn register_bound_codes_stream_coefficients() {
+        let s = gallery::j3d27pt();
+        let sched = PointSchedule::derive(&s, 20, CoeffStrategy::StreamSr1);
+        assert_eq!(sched.mode, StreamMode::CoeffStream);
+        // All 27 taps on SR0, all 28 coefficient uses streamed on SR1.
+        assert_eq!(sched.sr_tap_pops[0].len(), 27);
+        assert!(sched.sr_tap_pops[1].is_empty());
+        assert_eq!(sched.coeff_pops.len(), 28);
+        // Pops per point nearly balanced across the two streams.
+        assert_eq!(sched.pop_imbalance(), 1);
+    }
+
+    #[test]
+    fn ac_iso_cd_pairs_opposing_points() {
+        let s = gallery::ac_iso_cd();
+        let sched = PointSchedule::derive(&s, 20, CoeffStrategy::StreamSr1);
+        assert_eq!(sched.mode, StreamMode::Paired);
+        // 26 taps split 13/13 (paper: minimal utilization imbalance).
+        assert_eq!(sched.pops_per_point(), [13, 13]);
+        assert!(!sched.has_same_sr_double_pop());
+    }
+
+    #[test]
+    fn every_tap_is_popped_exactly_once() {
+        for s in gallery::all() {
+            let sched = PointSchedule::derive(&s, 20, CoeffStrategy::StreamSr1);
+            let mut seen = vec![0usize; s.taps().len()];
+            for pops in &sched.sr_tap_pops {
+                for &(_, t) in pops {
+                    seen[t] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{}: tap pop counts {seen:?}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_one_store_per_point() {
+        for s in gallery::all() {
+            let sched = PointSchedule::derive(&s, 20, CoeffStrategy::StreamSr1);
+            let stores = sched
+                .ops
+                .iter()
+                .filter(|op| op.dst == SlotDst::Store)
+                .count();
+            assert_eq!(stores, 1, "{}", s.name());
+            // And the store is the last op.
+            assert_eq!(sched.ops.last().unwrap().dst, SlotDst::Store, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn coeff_pop_sequence_matches_op_order() {
+        let s = gallery::box3d1r();
+        let sched = PointSchedule::derive(&s, 20, CoeffStrategy::StreamSr1);
+        // box3d1r uses c0..c26 in order.
+        let expect: Vec<usize> = (0..27).collect();
+        assert_eq!(sched.coeff_seq(), expect);
+        // Op indices are non-decreasing.
+        let ops: Vec<usize> = sched.coeff_pops.iter().map(|&(o, _)| o).collect();
+        assert!(ops.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn budget_threshold_switches_mode() {
+        let s = gallery::star2d3r(); // 13 coefficients
+        assert_eq!(PointSchedule::derive(&s, 13, CoeffStrategy::StreamSr1).mode, StreamMode::Paired);
+        assert_eq!(PointSchedule::derive(&s, 12, CoeffStrategy::StreamSr1).mode, StreamMode::CoeffStream);
+    }
+}

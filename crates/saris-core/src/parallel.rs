@@ -1,0 +1,190 @@
+//! Grid-point parallelization across cluster cores.
+//!
+//! The paper parallelizes point loops "among the eight cluster cores using
+//! four-fold x-axis and two-fold y-axis iteration interleaving": core
+//! `(cx, cy)` handles interior points with `x = cx (mod 4)` and
+//! `y = cy (mod 2)`. Because interior extents are generally not divisible
+//! by the interleave factors, cores receive slightly different point
+//! counts — the "core runtime imbalances" the paper lists among the
+//! remaining inefficiencies.
+
+use std::fmt;
+
+use crate::geom::Extent;
+
+/// An x/y interleaved assignment of interior points to cores.
+///
+/// # Examples
+///
+/// ```
+/// use saris_core::parallel::InterleavePlan;
+/// use saris_core::geom::Extent;
+///
+/// let plan = InterleavePlan::snitch(); // 4-fold x, 2-fold y
+/// assert_eq!(plan.cores(), 8);
+/// let interior = Extent::new_2d(62, 62);
+/// let total: usize = (0..8).map(|c| plan.points_for_core(interior, c)).sum();
+/// assert_eq!(total, interior.len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InterleavePlan {
+    /// Interleave factor along `x`.
+    px: usize,
+    /// Interleave factor along `y`.
+    py: usize,
+}
+
+impl InterleavePlan {
+    /// Creates a plan with the given interleave factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is zero.
+    pub fn new(px: usize, py: usize) -> InterleavePlan {
+        assert!(px > 0 && py > 0, "interleave factors must be positive");
+        InterleavePlan { px, py }
+    }
+
+    /// The paper's Snitch-cluster plan: 4-fold `x`, 2-fold `y` (8 cores).
+    pub fn snitch() -> InterleavePlan {
+        InterleavePlan { px: 4, py: 2 }
+    }
+
+    /// Interleave factor along `x`.
+    pub fn px(&self) -> usize {
+        self.px
+    }
+
+    /// Interleave factor along `y`.
+    pub fn py(&self) -> usize {
+        self.py
+    }
+
+    /// Number of cores the plan occupies.
+    pub fn cores(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// The `(cx, cy)` interleave coordinates of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= self.cores()`.
+    pub fn core_coords(&self, core: usize) -> (usize, usize) {
+        assert!(core < self.cores(), "core {core} out of range");
+        (core % self.px, core / self.px)
+    }
+
+    /// Number of `x` iterations core `cx` performs over an interior of
+    /// `nx` points (`ceil((nx - cx) / px)`, 0 if `cx >= nx`).
+    pub fn x_count(&self, nx: usize, cx: usize) -> usize {
+        if cx >= nx {
+            0
+        } else {
+            (nx - cx).div_ceil(self.px)
+        }
+    }
+
+    /// Number of `y` iterations core `cy` performs over `ny` points.
+    pub fn y_count(&self, ny: usize, cy: usize) -> usize {
+        if cy >= ny {
+            0
+        } else {
+            (ny - cy).div_ceil(self.py)
+        }
+    }
+
+    /// Interior points assigned to `core` (z is swept fully by all cores).
+    pub fn points_for_core(&self, interior: Extent, core: usize) -> usize {
+        let (cx, cy) = self.core_coords(core);
+        self.x_count(interior.nx, cx) * self.y_count(interior.ny, cy) * interior.nz
+    }
+
+    /// Ratio of the maximum to the mean per-core point count — a static
+    /// proxy for core runtime imbalance.
+    pub fn imbalance(&self, interior: Extent) -> f64 {
+        let counts: Vec<usize> = (0..self.cores())
+            .map(|c| self.points_for_core(interior, c))
+            .collect();
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+impl fmt::Display for InterleavePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x-interleave x, {}x-interleave y", self.px, self.py)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snitch_plan_is_eight_cores() {
+        let p = InterleavePlan::snitch();
+        assert_eq!(p.cores(), 8);
+        assert_eq!(p.core_coords(0), (0, 0));
+        assert_eq!(p.core_coords(3), (3, 0));
+        assert_eq!(p.core_coords(4), (0, 1));
+        assert_eq!(p.core_coords(7), (3, 1));
+    }
+
+    #[test]
+    fn counts_partition_the_interior() {
+        let p = InterleavePlan::snitch();
+        for (nx, ny, nz) in [(62, 62, 1), (58, 58, 1), (14, 14, 14), (8, 8, 8), (5, 3, 2)] {
+            let e = Extent::new_3d(nx, ny, nz);
+            let total: usize = (0..p.cores()).map(|c| p.points_for_core(e, c)).sum();
+            assert_eq!(total, e.len(), "{e}");
+        }
+    }
+
+    #[test]
+    fn ragged_counts_differ() {
+        let p = InterleavePlan::snitch();
+        // 62 = 4*15 + 2: cores cx=0,1 get 16 x-iterations, cx=2,3 get 15.
+        assert_eq!(p.x_count(62, 0), 16);
+        assert_eq!(p.x_count(62, 1), 16);
+        assert_eq!(p.x_count(62, 2), 15);
+        assert_eq!(p.x_count(62, 3), 15);
+        assert_eq!(p.y_count(62, 0), 31);
+        assert_eq!(p.y_count(62, 1), 31);
+    }
+
+    #[test]
+    fn divisible_extents_are_balanced() {
+        let p = InterleavePlan::snitch();
+        let e = Extent::new_2d(64, 64);
+        assert!((p.imbalance(e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_extents_are_imbalanced() {
+        let p = InterleavePlan::snitch();
+        let e = Extent::new_2d(62, 61);
+        assert!(p.imbalance(e) > 1.0);
+    }
+
+    #[test]
+    fn empty_assignment_for_tiny_interiors() {
+        let p = InterleavePlan::snitch();
+        assert_eq!(p.x_count(2, 3), 0);
+        let e = Extent::new_2d(2, 1);
+        assert_eq!(p.points_for_core(e, 7), 0);
+        let total: usize = (0..8).map(|c| p.points_for_core(e, c)).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_out_of_range_panics() {
+        let _ = InterleavePlan::snitch().core_coords(8);
+    }
+}

@@ -1,0 +1,147 @@
+//! Operational-intensity and roofline analysis for stencil tiles.
+//!
+//! The paper's Section 3.3 argues from operational intensity: "codes with
+//! few FLOPs per grid point exhibit a low operational intensity and thus
+//! a low CMTR, making them memory bound", and 3D halos depress the
+//! intensity further. This module computes those quantities directly from
+//! a stencil and a tile geometry, independent of any simulation.
+
+use crate::geom::{Extent, Halo};
+use crate::stencil::Stencil;
+
+/// Operational intensity of one double-buffered tile sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileIntensity {
+    /// Floating-point operations per tile.
+    pub flops: f64,
+    /// DMA bytes per tile (inputs with their own halos in, interior out).
+    pub bytes: f64,
+    /// FLOPs per byte.
+    pub intensity: f64,
+}
+
+/// Computes the operational intensity of `stencil` on tiles of `tile`
+/// (halo included).
+///
+/// # Examples
+///
+/// ```
+/// use saris_core::{gallery, roofline, Extent, Space};
+///
+/// let jacobi = roofline::tile_intensity(&gallery::jacobi_2d(), Extent::new_2d(64, 64));
+/// let j3d = roofline::tile_intensity(&gallery::j3d27pt(), Extent::cube(Space::Dim3, 16));
+/// // The 27-point 3D code is far more compute-intense per byte.
+/// assert!(j3d.intensity > 2.0 * jacobi.intensity);
+/// ```
+pub fn tile_intensity(stencil: &Stencil, tile: Extent) -> TileIntensity {
+    let interior = stencil.interior(tile);
+    let flops = stencil.stats().flops as f64 * interior.len() as f64;
+    let mut bytes = interior.len() as f64 * 8.0; // output
+    for array in stencil.input_arrays() {
+        let halo = Halo::covering(
+            stencil
+                .taps()
+                .iter()
+                .filter(|t| t.array == array)
+                .map(|t| &t.offset),
+        );
+        let region_len = (interior.nx + 2 * halo.rx as usize).min(tile.nx)
+            * (interior.ny + 2 * halo.ry as usize).min(tile.ny)
+            * if tile.nz == 1 {
+                1
+            } else {
+                (interior.nz + 2 * halo.rz as usize).min(tile.nz)
+            };
+        bytes += region_len as f64 * 8.0;
+    }
+    TileIntensity {
+        flops,
+        bytes,
+        intensity: flops / bytes,
+    }
+}
+
+/// The machine balance (FLOPs per byte at which compute and memory time
+/// are equal) for a peak compute rate in FLOPs per cycle and a bandwidth
+/// in bytes per cycle.
+pub fn machine_balance(peak_flops_per_cycle: f64, bytes_per_cycle: f64) -> f64 {
+    peak_flops_per_cycle / bytes_per_cycle
+}
+
+/// Attainable FLOPs per cycle under the roofline: the minimum of the
+/// compute peak and `intensity * bandwidth`.
+pub fn attainable(intensity: f64, peak_flops_per_cycle: f64, bytes_per_cycle: f64) -> f64 {
+    peak_flops_per_cycle.min(intensity * bytes_per_cycle)
+}
+
+/// Whether a tile sweep is memory-bound at the given machine point.
+pub fn is_memory_bound(
+    stencil: &Stencil,
+    tile: Extent,
+    peak_flops_per_cycle: f64,
+    bytes_per_cycle: f64,
+) -> bool {
+    tile_intensity(stencil, tile).intensity < machine_balance(peak_flops_per_cycle, bytes_per_cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+    use crate::geom::Space;
+
+    fn paper_tile(s: &Stencil) -> Extent {
+        match s.space() {
+            Space::Dim2 => Extent::new_2d(64, 64),
+            Space::Dim3 => Extent::cube(Space::Dim3, 16),
+        }
+    }
+
+    #[test]
+    fn intensity_rises_with_flops_per_point_within_a_family() {
+        // Within the 2D star family, more FLOPs per point means more
+        // intensity (the Table 1 ordering is by FLOPs per point).
+        let j = tile_intensity(&gallery::jacobi_2d(), paper_tile(&gallery::jacobi_2d()));
+        let s3 = tile_intensity(&gallery::star2d3r(), paper_tile(&gallery::star2d3r()));
+        assert!(s3.intensity > j.intensity);
+    }
+
+    #[test]
+    fn three_d_halos_depress_intensity() {
+        // star3d2r and star2d3r have identical per-point FLOPs (25), but
+        // the 3D halo consumes a much larger share of the tile — the
+        // paper's "3D halos more strongly reduce the ratio of input to
+        // output points in a tile" regression argument.
+        let s2 = tile_intensity(&gallery::star2d3r(), paper_tile(&gallery::star2d3r()));
+        let s3 = tile_intensity(&gallery::star3d2r(), paper_tile(&gallery::star3d2r()));
+        assert!(s3.intensity < s2.intensity);
+    }
+
+    #[test]
+    fn manticore_balance_splits_the_gallery() {
+        // Cluster peak 16 FLOP/cycle vs 12.8 B/cycle share: balance 1.25.
+        let balance = machine_balance(16.0, 12.8);
+        assert!((balance - 1.25).abs() < 1e-12);
+        let jacobi_bound =
+            is_memory_bound(&gallery::jacobi_2d(), paper_tile(&gallery::jacobi_2d()), 16.0, 12.8);
+        let j3d_bound =
+            is_memory_bound(&gallery::j3d27pt(), paper_tile(&gallery::j3d27pt()), 16.0, 12.8);
+        assert!(jacobi_bound, "jacobi_2d sits below the balance point");
+        assert!(!j3d_bound, "j3d27pt sits above it");
+    }
+
+    #[test]
+    fn attainable_clamps_at_peak() {
+        assert_eq!(attainable(10.0, 16.0, 12.8), 16.0);
+        assert!((attainable(0.5, 16.0, 12.8) - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ac_iso_cd_counts_both_input_arrays() {
+        let s = gallery::ac_iso_cd();
+        let t = tile_intensity(&s, paper_tile(&s));
+        // u with full halo (16^3) + um interior (8^3) + out interior (8^3).
+        let expect_bytes = (4096 + 512 + 512) as f64 * 8.0;
+        assert!((t.bytes - expect_bytes).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,327 @@
+//! # saris-energy — activity-based cluster power and energy model
+//!
+//! Substitutes for the paper's post-layout power flow (GF 12LP+, Fusion
+//! Compiler + PrimeTime at 1 GHz, 25 °C, 0.8 V): cluster power is
+//! estimated from the simulator's activity counters,
+//!
+//! ```text
+//! P = sum_i (N_i * E_i) / T + P_static
+//! ```
+//!
+//! with per-event energies `E_i` for integer issue, FP arithmetic, FP
+//! loads/stores, TCDM bank accesses, streamer address generations, I$
+//! lookups and DMA beats. The constants in [`EnergyModel::gf12lp`] are
+//! *calibrated* so the ten-code geomeans land near the paper's reported
+//! cluster powers (base ≈ 227 mW, SARIS ≈ 390 mW); Figure 4's shape then
+//! follows from the activity ratios the simulator measures.
+//!
+//! # Examples
+//!
+//! ```
+//! use saris_energy::EnergyModel;
+//! use snitch_sim::{Cluster, ClusterConfig};
+//! use saris_isa::{Instr, ProgramBuilder};
+//!
+//! # fn main() -> Result<(), snitch_sim::SimError> {
+//! let mut cluster = Cluster::new(ClusterConfig::snitch());
+//! let mut b = ProgramBuilder::new();
+//! b.push(Instr::Halt);
+//! cluster.load_program_all(b.finish().expect("valid"));
+//! let report = cluster.run(100)?;
+//! let power = EnergyModel::gf12lp().estimate(&report);
+//! assert!(power.total_watts() > 0.0); // static floor
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use snitch_sim::RunReport;
+
+/// Per-event energies (picojoules) and static power (watts) of the
+/// cluster in a GF-12LP+-class technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Integer-core issue slot (fetch + decode + ALU).
+    pub pj_int_issue: f64,
+    /// One FP arithmetic operation (weighted DP add/mul/FMA mix).
+    pub pj_fp_arith: f64,
+    /// One FP load or store (datapath side; the bank access is separate).
+    pub pj_fp_mem: f64,
+    /// One 64-bit TCDM bank access (read or write).
+    pub pj_tcdm_access: f64,
+    /// One instruction-cache hit.
+    pub pj_icache_hit: f64,
+    /// One instruction-cache line refill.
+    pub pj_icache_miss: f64,
+    /// One streamed element's address generation and FIFO transit.
+    pub pj_stream_elem: f64,
+    /// One stream job arm (launch).
+    pub pj_stream_launch: f64,
+    /// One 64-bit DMA lane transfer.
+    pub pj_dma_word: f64,
+    /// Static + clock-tree power of the whole cluster, in watts.
+    pub w_static: f64,
+}
+
+impl EnergyModel {
+    /// Constants calibrated against the paper's reported cluster powers
+    /// (geomeans 227 mW base / 390 mW SARIS across the ten codes).
+    pub fn gf12lp() -> EnergyModel {
+        EnergyModel {
+            pj_int_issue: 2.0,
+            pj_fp_arith: 32.0,
+            pj_fp_mem: 3.0,
+            pj_tcdm_access: 10.0,
+            pj_icache_hit: 1.5,
+            pj_icache_miss: 30.0,
+            pj_stream_elem: 8.0,
+            pj_stream_launch: 3.0,
+            pj_dma_word: 10.0,
+            w_static: 0.045,
+        }
+    }
+
+    /// Estimates power and energy for one run.
+    pub fn estimate(&self, report: &RunReport) -> PowerReport {
+        let mut ev = EventCounts::default();
+        for core in &report.cores {
+            ev.int_issue += core.int_stats.retired;
+            ev.fp_arith += core.fpu.arith;
+            ev.fp_mem += core.fpu.loads + core.fpu.stores;
+            for s in &core.streamers {
+                ev.stream_elems += s.elems + s.idx_fetches;
+                ev.stream_launches += s.jobs;
+            }
+        }
+        ev.tcdm_accesses = report.tcdm_accesses;
+        ev.icache_hits = report.icache_hits;
+        ev.icache_misses = report.icache_misses;
+        ev.dma_words = report.dma.bytes / 8;
+
+        let pj = |n: u64, e: f64| n as f64 * e;
+        let breakdown = PowerBreakdown {
+            int_core: pj(ev.int_issue, self.pj_int_issue)
+                + pj(ev.icache_hits, self.pj_icache_hit)
+                + pj(ev.icache_misses, self.pj_icache_miss),
+            fpu: pj(ev.fp_arith, self.pj_fp_arith) + pj(ev.fp_mem, self.pj_fp_mem),
+            tcdm: pj(ev.tcdm_accesses, self.pj_tcdm_access),
+            streamers: pj(ev.stream_elems, self.pj_stream_elem)
+                + pj(ev.stream_launches, self.pj_stream_launch),
+            dma: pj(ev.dma_words, self.pj_dma_word),
+            static_pj: self.w_static * report.cycles as f64 / report.freq_hz * 1e12,
+        };
+        PowerReport {
+            cycles: report.cycles,
+            freq_hz: report.freq_hz,
+            events: ev,
+            breakdown,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::gf12lp()
+    }
+}
+
+/// Aggregated activity counts an estimate was computed from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Integer issue slots.
+    pub int_issue: u64,
+    /// FP arithmetic operations.
+    pub fp_arith: u64,
+    /// FP loads + stores.
+    pub fp_mem: u64,
+    /// TCDM bank accesses.
+    pub tcdm_accesses: u64,
+    /// Streamed elements + index fetches.
+    pub stream_elems: u64,
+    /// Stream launches.
+    pub stream_launches: u64,
+    /// I$ hits.
+    pub icache_hits: u64,
+    /// I$ refills.
+    pub icache_misses: u64,
+    /// DMA words moved.
+    pub dma_words: u64,
+}
+
+/// Energy breakdown in picojoules per component.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Integer cores + instruction fetch.
+    pub int_core: f64,
+    /// FPUs and FP load/store datapaths.
+    pub fpu: f64,
+    /// TCDM banks and interconnect.
+    pub tcdm: f64,
+    /// SSSR streamers.
+    pub streamers: f64,
+    /// DMA engine.
+    pub dma: f64,
+    /// Static/clock energy over the run.
+    pub static_pj: f64,
+}
+
+impl PowerBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.int_core + self.fpu + self.tcdm + self.streamers + self.dma + self.static_pj
+    }
+}
+
+/// The power/energy estimate of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Clock frequency (Hz).
+    pub freq_hz: f64,
+    /// Activity the estimate used.
+    pub events: EventCounts,
+    /// Per-component energies.
+    pub breakdown: PowerBreakdown,
+}
+
+impl PowerReport {
+    /// Mean cluster power over the run, in watts.
+    pub fn total_watts(&self) -> f64 {
+        if self.cycles == 0 {
+            return self.breakdown.static_pj.max(0.0) * 1e-12;
+        }
+        let seconds = self.cycles as f64 / self.freq_hz;
+        self.breakdown.total_pj() * 1e-12 / seconds
+    }
+
+    /// Total energy of the run, in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.breakdown.total_pj() * 1e-12
+    }
+
+    /// Energy per floating-point operation, in picojoules.
+    pub fn pj_per_flop(&self, flops: u64) -> f64 {
+        if flops == 0 {
+            0.0
+        } else {
+            self.breakdown.total_pj() / flops as f64
+        }
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} mW over {} cycles ({:.2} uJ)",
+            1e3 * self.total_watts(),
+            self.cycles,
+            1e6 * self.energy_joules()
+        )
+    }
+}
+
+/// Energy-efficiency gain of run `b` over run `a` at equal work
+/// (the paper's Figure 4 metric): `(P_a * T_a) / (P_b * T_b)`.
+pub fn efficiency_gain(a: &PowerReport, b: &PowerReport) -> f64 {
+    let ea = a.energy_joules();
+    let eb = b.energy_joules();
+    if eb == 0.0 {
+        0.0
+    } else {
+        ea / eb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_sim::DmaStats;
+    use snitch_sim::CoreReport;
+
+    fn synthetic_report(cycles: u64, arith_per_core: u64, tcdm: u64) -> RunReport {
+        let core = CoreReport {
+            halted_at: cycles,
+            int_stats: snitch_sim::core::IntStats {
+                retired: cycles / 2,
+                ..Default::default()
+            },
+            fpu: snitch_sim::fpu::FpuStats {
+                arith: arith_per_core,
+                retired: arith_per_core,
+                offloaded: arith_per_core,
+                flops: 2 * arith_per_core,
+                ..Default::default()
+            },
+            streamers: [snitch_sim::ssr::StreamerStats::default(); 3],
+            tcdm_wait_cycles: 0,
+        };
+        RunReport {
+            cycles,
+            cores: vec![core; 8],
+            tcdm_accesses: tcdm,
+            tcdm_conflicts: 0,
+            icache_hits: cycles,
+            icache_misses: 4,
+            dma: DmaStats::default(),
+            freq_hz: 1e9,
+        }
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let m = EnergyModel::gf12lp();
+        let low = m.estimate(&synthetic_report(10_000, 2_000, 10_000));
+        let high = m.estimate(&synthetic_report(10_000, 9_000, 40_000));
+        assert!(high.total_watts() > low.total_watts());
+    }
+
+    #[test]
+    fn static_floor_dominates_idle_runs() {
+        let m = EnergyModel::gf12lp();
+        let idle = m.estimate(&synthetic_report(10_000, 0, 0));
+        let w = idle.total_watts();
+        assert!(w >= m.w_static, "{w}");
+        assert!(w < m.w_static + 0.1, "{w}");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = EnergyModel::gf12lp();
+        let r = m.estimate(&synthetic_report(50_000, 30_000, 100_000));
+        let seconds = 50_000.0 / 1e9;
+        assert!((r.energy_joules() - r.total_watts() * seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_gain_favors_faster_lower_energy() {
+        let m = EnergyModel::gf12lp();
+        let slow = m.estimate(&synthetic_report(100_000, 30_000, 100_000));
+        let fast = m.estimate(&synthetic_report(40_000, 30_000, 100_000));
+        let gain = efficiency_gain(&slow, &fast);
+        assert!(gain > 1.0, "same work in less time must gain: {gain}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = EnergyModel::gf12lp();
+        let r = m.estimate(&synthetic_report(10_000, 5_000, 20_000));
+        let b = r.breakdown;
+        let sum = b.int_core + b.fpu + b.tcdm + b.streamers + b.dma + b.static_pj;
+        assert!((sum - b.total_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pj_per_flop_sane() {
+        let m = EnergyModel::gf12lp();
+        let r = m.estimate(&synthetic_report(10_000, 5_000, 20_000));
+        let flops = 8 * 2 * 5_000;
+        let pj = r.pj_per_flop(flops);
+        assert!(pj > 1.0 && pj < 200.0, "{pj}");
+        assert_eq!(r.pj_per_flop(0), 0.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Static instruction-mix analysis.
+//!
+//! Reproduces the paper's Section 2.1 accounting: in the baseline 7-point
+//! star point loop, "out of 20 loop instructions, only 7 (35 %) do useful
+//! compute, while 12 (60 %) are dedicated to memory accesses and address
+//! calculation"; with SARIS the useful-compute ratio rises to 58 %.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::instr::Instr;
+use crate::program::Program;
+
+/// Coarse functional class of an instruction, used for mix accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Useful FP compute (arithmetic, excluding pure moves).
+    Compute,
+    /// Data-memory accesses (`fld`/`fsd`/`lw`/`sw`).
+    Memory,
+    /// Integer ALU work (address calculation, counters, immediates).
+    AddrCalc,
+    /// Control transfer (branches, jumps, hardware loops).
+    Control,
+    /// Stream-register configuration and launches.
+    Stream,
+    /// Everything else (`nop`, `halt`, FP moves).
+    Other,
+}
+
+impl InstrClass {
+    /// All classes in display order.
+    pub const ALL: [InstrClass; 6] = [
+        InstrClass::Compute,
+        InstrClass::Memory,
+        InstrClass::AddrCalc,
+        InstrClass::Control,
+        InstrClass::Stream,
+        InstrClass::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            InstrClass::Compute => 0,
+            InstrClass::Memory => 1,
+            InstrClass::AddrCalc => 2,
+            InstrClass::Control => 3,
+            InstrClass::Stream => 4,
+            InstrClass::Other => 5,
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InstrClass::Compute => "compute",
+            InstrClass::Memory => "memory",
+            InstrClass::AddrCalc => "addr-calc",
+            InstrClass::Control => "control",
+            InstrClass::Stream => "stream",
+            InstrClass::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Classifies one instruction.
+///
+/// # Examples
+///
+/// ```
+/// use saris_isa::analysis::{classify, InstrClass};
+/// use saris_isa::instr::Instr;
+/// use saris_isa::reg::IntReg;
+///
+/// let i = Instr::Addi { rd: IntReg::T0, rs1: IntReg::T0, imm: 8 };
+/// assert_eq!(classify(&i), InstrClass::AddrCalc);
+/// ```
+pub fn classify(instr: &Instr) -> InstrClass {
+    use Instr::*;
+    match instr {
+        FpR { .. } | FpR4 { .. } => InstrClass::Compute,
+        FpU { op, .. } => {
+            if instr.flops() > 0 {
+                InstrClass::Compute
+            } else {
+                debug_assert!(matches!(op, crate::instr::FpUOp::Mv));
+                InstrClass::Other
+            }
+        }
+        Fld { .. } | Fsd { .. } | Lw { .. } | Sw { .. } => InstrClass::Memory,
+        Li { .. } | Addi { .. } | Add { .. } | Sub { .. } | Mul { .. } | Slli { .. } => {
+            InstrClass::AddrCalc
+        }
+        Branch { .. } | Jump { .. } | Frep { .. } => InstrClass::Control,
+        SsrEnable | SsrDisable | SsrSetup { .. } | SsrSetBase { .. } | SsrCommit { .. } => {
+            InstrClass::Stream
+        }
+        Nop | Halt => InstrClass::Other,
+    }
+}
+
+/// An instruction-mix histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrMix {
+    counts: [u64; 6],
+}
+
+impl InstrMix {
+    /// Computes the mix of an instruction sequence.
+    ///
+    /// Each instruction is weighted by its [`Instr::issue_cost`], so an
+    /// `SsrSetup` with several configuration writes counts accordingly.
+    pub fn of<'a>(instrs: impl IntoIterator<Item = &'a Instr>) -> InstrMix {
+        let mut mix = InstrMix::default();
+        for instr in instrs {
+            mix.counts[classify(instr).index()] += instr.issue_cost() as u64;
+        }
+        mix
+    }
+
+    /// Instructions in `class`.
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total weighted instruction count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of instructions in `class` (0 when empty).
+    pub fn fraction(&self, class: InstrClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of useful compute — the paper's headline point-loop metric.
+    pub fn useful_compute_fraction(&self) -> f64 {
+        self.fraction(InstrClass::Compute)
+    }
+
+    /// Fraction of memory-access plus address-calculation instructions
+    /// (the paper's "60 % dedicated to memory accesses and address
+    /// calculation" for the baseline).
+    pub fn memory_overhead_fraction(&self) -> f64 {
+        self.fraction(InstrClass::Memory) + self.fraction(InstrClass::AddrCalc)
+    }
+}
+
+impl fmt::Display for InstrMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        write!(f, "total {total}:")?;
+        for class in InstrClass::ALL {
+            let c = self.count(class);
+            if c > 0 {
+                write!(f, " {class}={c} ({:.0}%)", 100.0 * self.fraction(class))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Finds the innermost loop of `program`: the backward branch with the
+/// smallest body span. Returns the instruction range `[target, branch]`
+/// (inclusive of the branch).
+///
+/// This is a structural heuristic that matches the loops emitted by the
+/// stencil code generators (reducible, innermost-last); code generators
+/// also annotate their point loops explicitly, which should be preferred
+/// when available.
+pub fn innermost_loop(program: &Program) -> Option<Range<usize>> {
+    let mut best: Option<Range<usize>> = None;
+    for (i, instr) in program.iter() {
+        if let Instr::Branch { target, .. } = instr {
+            if *target <= i {
+                let candidate = *target..i + 1;
+                let better = match &best {
+                    None => true,
+                    Some(b) => candidate.len() < b.len(),
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Computes the instruction mix of a program slice (e.g. the innermost
+/// loop), expanding FREP bodies: instructions inside an `frep` body with an
+/// immediate count are weighted by the repeat count, since they retire that
+/// many times per loop traversal.
+pub fn loop_body_mix(program: &Program, range: Range<usize>) -> InstrMix {
+    let mut mix = InstrMix::default();
+    let instrs = program.instrs();
+    let mut i = range.start;
+    while i < range.end.min(instrs.len()) {
+        let instr = &instrs[i];
+        if let Instr::Frep { count, n_instrs } = instr {
+            let reps = match count {
+                crate::instr::FrepCount::Imm(c) => *c as u64 + 1,
+                crate::instr::FrepCount::Reg(_) => 1,
+            };
+            mix.counts[classify(instr).index()] += instr.issue_cost() as u64;
+            let body_end = (i + 1 + *n_instrs as usize).min(range.end);
+            for body_instr in &instrs[i + 1..body_end] {
+                mix.counts[classify(body_instr).index()] +=
+                    body_instr.issue_cost() as u64 * reps;
+            }
+            i = body_end;
+        } else {
+            mix.counts[classify(instr).index()] += instr.issue_cost() as u64;
+            i += 1;
+        }
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BranchCond, FpR4Op, FpROp, FrepCount};
+    use crate::program::ProgramBuilder;
+    use crate::reg::{FpReg, IntReg};
+
+    /// Builds the paper's Listing 1b baseline point loop (20 instructions).
+    fn listing_1b_loop() -> Vec<Instr> {
+        let fld = |rd: u8, base: IntReg, imm: i32| Instr::Fld {
+            rd: FpReg::new(rd).unwrap(),
+            base,
+            imm,
+        };
+        let t = [IntReg::T0, IntReg::T1, IntReg::T2, IntReg::T3];
+        let c = |i: u8| FpReg::new(8 + i).unwrap(); // coefficient registers
+        let ft = |i: u8| FpReg::new(3 + i).unwrap(); // temporaries (avoid ft0..2)
+        vec![
+            fld(3, t[0], 0),
+            Instr::FpR {
+                op: FpROp::Mul,
+                rd: ft(0),
+                rs1: c(0),
+                rs2: ft(0),
+            },
+            fld(4, t[0], -8),
+            fld(5, t[0], 8),
+            Instr::FpR {
+                op: FpROp::Add,
+                rd: ft(1),
+                rs1: ft(1),
+                rs2: ft(2),
+            },
+            Instr::FpR4 {
+                op: FpR4Op::Madd,
+                rd: ft(0),
+                rs1: c(1),
+                rs2: ft(1),
+                rs3: ft(0),
+            },
+            fld(4, t[0], -512),
+            fld(5, t[0], 512),
+            Instr::FpR {
+                op: FpROp::Add,
+                rd: ft(1),
+                rs1: ft(1),
+                rs2: ft(2),
+            },
+            Instr::FpR4 {
+                op: FpR4Op::Madd,
+                rd: ft(0),
+                rs1: c(2),
+                rs2: ft(1),
+                rs3: ft(0),
+            },
+            fld(4, t[1], 0),
+            fld(5, t[2], 0),
+            Instr::FpR {
+                op: FpROp::Add,
+                rd: ft(1),
+                rs1: ft(1),
+                rs2: ft(2),
+            },
+            Instr::FpR4 {
+                op: FpR4Op::Madd,
+                rd: ft(0),
+                rs1: c(3),
+                rs2: ft(1),
+                rs3: ft(0),
+            },
+            Instr::Fsd {
+                rs2: ft(0),
+                base: t[3],
+                imm: 0,
+            },
+            Instr::Addi {
+                rd: t[0],
+                rs1: t[0],
+                imm: 8,
+            },
+            Instr::Addi {
+                rd: t[1],
+                rs1: t[1],
+                imm: 8,
+            },
+            Instr::Addi {
+                rd: t[2],
+                rs1: t[2],
+                imm: 8,
+            },
+            Instr::Addi {
+                rd: t[3],
+                rs1: t[3],
+                imm: 8,
+            },
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: t[0],
+                rs2: IntReg::A0,
+                target: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn listing_1b_mix_matches_paper() {
+        let loop_body = listing_1b_loop();
+        assert_eq!(loop_body.len(), 20, "paper counts 20 loop instructions");
+        let mix = InstrMix::of(&loop_body);
+        assert_eq!(mix.count(InstrClass::Compute), 7, "7 useful compute");
+        assert_eq!(mix.count(InstrClass::Memory), 8, "7 loads + 1 store");
+        assert_eq!(mix.count(InstrClass::AddrCalc), 4, "4 pointer bumps");
+        assert_eq!(mix.count(InstrClass::Control), 1);
+        assert!((mix.useful_compute_fraction() - 0.35).abs() < 1e-9);
+        assert!((mix.memory_overhead_fraction() - 0.60).abs() < 1e-9);
+    }
+
+    /// Builds the paper's Listing 1d SARIS point loop (12 issue slots).
+    fn listing_1d_loop() -> Vec<Instr> {
+        use crate::instr::{SsrId, SsrSet};
+        let ft = |i: u8| FpReg::new(3 + i).unwrap();
+        let sr0 = FpReg::FT0;
+        let sr1 = FpReg::FT1;
+        let sr2 = FpReg::FT2;
+        let c = |i: u8| FpReg::new(8 + i).unwrap();
+        vec![
+            Instr::SsrSetBase {
+                ssr: SsrId::Ssr0,
+                rs1: IntReg::T0,
+            },
+            Instr::SsrSetBase {
+                ssr: SsrId::Ssr1,
+                rs1: IntReg::T0,
+            },
+            Instr::SsrCommit {
+                ssrs: SsrSet::of(SsrId::Ssr0).with(SsrId::Ssr1),
+            },
+            Instr::FpR {
+                op: FpROp::Mul,
+                rd: ft(0),
+                rs1: c(0),
+                rs2: sr0,
+            },
+            Instr::FpR {
+                op: FpROp::Add,
+                rd: ft(1),
+                rs1: sr0,
+                rs2: sr1,
+            },
+            Instr::FpR4 {
+                op: FpR4Op::Madd,
+                rd: ft(0),
+                rs1: c(1),
+                rs2: ft(1),
+                rs3: ft(0),
+            },
+            Instr::FpR {
+                op: FpROp::Add,
+                rd: ft(1),
+                rs1: sr0,
+                rs2: sr1,
+            },
+            Instr::FpR4 {
+                op: FpR4Op::Madd,
+                rd: ft(0),
+                rs1: c(2),
+                rs2: ft(1),
+                rs3: ft(0),
+            },
+            Instr::FpR {
+                op: FpROp::Add,
+                rd: ft(1),
+                rs1: sr0,
+                rs2: sr1,
+            },
+            Instr::FpR4 {
+                op: FpR4Op::Madd,
+                rd: sr2,
+                rs1: c(3),
+                rs2: ft(1),
+                rs3: ft(0),
+            },
+            Instr::Addi {
+                rd: IntReg::T0,
+                rs1: IntReg::T0,
+                imm: 8,
+            },
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: IntReg::T0,
+                rs2: IntReg::A0,
+                target: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn listing_1d_mix_matches_paper() {
+        let loop_body = listing_1d_loop();
+        let mix = InstrMix::of(&loop_body);
+        assert_eq!(mix.count(InstrClass::Compute), 7);
+        assert_eq!(mix.count(InstrClass::Stream), 3, "SRIR is 3 instructions");
+        assert_eq!(mix.count(InstrClass::Memory), 0);
+        assert_eq!(mix.total(), 12);
+        // 7/12 = 58.3%, the paper's "almost doubling ... from 35% to 58%".
+        assert!((mix.useful_compute_fraction() - 7.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn innermost_loop_detection() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T1, 10);
+        let outer = b.bind_here();
+        b.li(IntReg::T0, 5);
+        let inner = b.bind_here();
+        b.addi(IntReg::T0, IntReg::T0, -1);
+        b.bne(IntReg::T0, IntReg::ZERO, inner);
+        b.addi(IntReg::T1, IntReg::T1, -1);
+        b.bne(IntReg::T1, IntReg::ZERO, outer);
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        let l = innermost_loop(&p).unwrap();
+        assert_eq!(l, 2..4);
+    }
+
+    #[test]
+    fn innermost_loop_none_for_straightline() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 1);
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert!(innermost_loop(&p).is_none());
+    }
+
+    #[test]
+    fn frep_expansion_in_loop_mix() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Frep {
+            count: FrepCount::Imm(3),
+            n_instrs: 1,
+        });
+        b.push(Instr::FpR {
+            op: FpROp::Add,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT4,
+            rs2: FpReg::FT5,
+        });
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        let mix = loop_body_mix(&p, 0..2);
+        // frep (control, 1) + fadd x 4 repetitions.
+        assert_eq!(mix.count(InstrClass::Control), 1);
+        assert_eq!(mix.count(InstrClass::Compute), 4);
+    }
+
+    #[test]
+    fn mix_display_nonempty() {
+        let mix = InstrMix::of(&listing_1b_loop());
+        let s = mix.to_string();
+        assert!(s.contains("compute=7"), "{s}");
+    }
+}

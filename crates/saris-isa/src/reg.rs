@@ -1,0 +1,268 @@
+//! Integer and floating-point architectural registers.
+//!
+//! The register model follows the RV32G ABI. Three floating-point registers
+//! (`ft0`, `ft1`, `ft2`) are *stream-capable*: when the SSR extension is
+//! enabled, reads and writes of these registers are redirected to the
+//! corresponding stream register (see [`SsrId`](crate::instr::SsrId)).
+
+use std::fmt;
+
+/// An integer (`x`) register, `x0`..`x31`.
+///
+/// `x0` is hard-wired to zero, as on real RISC-V.
+///
+/// # Examples
+///
+/// ```
+/// use saris_isa::reg::IntReg;
+///
+/// let t0 = IntReg::T0;
+/// assert_eq!(t0.index(), 5);
+/// assert_eq!(t0.to_string(), "t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// Hard-wired zero register (`x0`).
+    pub const ZERO: IntReg = IntReg(0);
+    /// Return address (`x1`).
+    pub const RA: IntReg = IntReg(1);
+    /// Stack pointer (`x2`).
+    pub const SP: IntReg = IntReg(2);
+    /// Global pointer (`x3`).
+    pub const GP: IntReg = IntReg(3);
+    /// Thread pointer (`x4`).
+    pub const TP: IntReg = IntReg(4);
+    /// Temporary `t0` (`x5`).
+    pub const T0: IntReg = IntReg(5);
+    /// Temporary `t1` (`x6`).
+    pub const T1: IntReg = IntReg(6);
+    /// Temporary `t2` (`x7`).
+    pub const T2: IntReg = IntReg(7);
+    /// Saved register / frame pointer `s0` (`x8`).
+    pub const S0: IntReg = IntReg(8);
+    /// Saved register `s1` (`x9`).
+    pub const S1: IntReg = IntReg(9);
+    /// Argument register `a0` (`x10`).
+    pub const A0: IntReg = IntReg(10);
+    /// Argument register `a1` (`x11`).
+    pub const A1: IntReg = IntReg(11);
+    /// Argument register `a2` (`x12`).
+    pub const A2: IntReg = IntReg(12);
+    /// Argument register `a3` (`x13`).
+    pub const A3: IntReg = IntReg(13);
+    /// Argument register `a4` (`x14`).
+    pub const A4: IntReg = IntReg(14);
+    /// Argument register `a5` (`x15`).
+    pub const A5: IntReg = IntReg(15);
+    /// Argument register `a6` (`x16`).
+    pub const A6: IntReg = IntReg(16);
+    /// Argument register `a7` (`x17`).
+    pub const A7: IntReg = IntReg(17);
+    /// Temporary `t3` (`x28`).
+    pub const T3: IntReg = IntReg(28);
+    /// Temporary `t4` (`x29`).
+    pub const T4: IntReg = IntReg(29);
+    /// Temporary `t5` (`x30`).
+    pub const T5: IntReg = IntReg(30);
+    /// Temporary `t6` (`x31`).
+    pub const T6: IntReg = IntReg(31);
+
+    /// Creates a register from its architectural index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use saris_isa::reg::IntReg;
+    /// assert_eq!(IntReg::new(5), Some(IntReg::T0));
+    /// assert_eq!(IntReg::new(32), None);
+    /// ```
+    pub fn new(index: u8) -> Option<IntReg> {
+        (index < 32).then_some(IntReg(index))
+    }
+
+    /// Saved register `s2`..`s11` (`x18`..`x27`) by saved-register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n > 11`.
+    pub fn saved(n: u8) -> IntReg {
+        assert!((2..=11).contains(&n), "s{n} is not a valid saved register");
+        IntReg(16 + n)
+    }
+
+    /// The architectural index (`0..32`).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        f.write_str(NAMES[self.0 as usize])
+    }
+}
+
+/// A double-precision floating-point (`f`) register, `f0`..`f31`.
+///
+/// The first three registers (`ft0`, `ft1`, `ft2`) may be mapped to stream
+/// registers when the SSR extension is enabled.
+///
+/// # Examples
+///
+/// ```
+/// use saris_isa::reg::FpReg;
+///
+/// assert!(FpReg::FT0.is_stream_capable());
+/// assert!(!FpReg::FT3.is_stream_capable());
+/// assert_eq!(FpReg::FT3.to_string(), "ft3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// `ft0` (`f0`) — stream-capable (maps to SSR 0).
+    pub const FT0: FpReg = FpReg(0);
+    /// `ft1` (`f1`) — stream-capable (maps to SSR 1).
+    pub const FT1: FpReg = FpReg(1);
+    /// `ft2` (`f2`) — stream-capable (maps to SSR 2).
+    pub const FT2: FpReg = FpReg(2);
+    /// `ft3` (`f3`).
+    pub const FT3: FpReg = FpReg(3);
+    /// `ft4` (`f4`).
+    pub const FT4: FpReg = FpReg(4);
+    /// `ft5` (`f5`).
+    pub const FT5: FpReg = FpReg(5);
+    /// `ft6` (`f6`).
+    pub const FT6: FpReg = FpReg(6);
+    /// `ft7` (`f7`).
+    pub const FT7: FpReg = FpReg(7);
+    /// `fs0` (`f8`).
+    pub const FS0: FpReg = FpReg(8);
+    /// `fs1` (`f9`).
+    pub const FS1: FpReg = FpReg(9);
+    /// `fa0` (`f10`).
+    pub const FA0: FpReg = FpReg(10);
+    /// `fa1` (`f11`).
+    pub const FA1: FpReg = FpReg(11);
+
+    /// Number of architectural FP registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its architectural index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    pub fn new(index: u8) -> Option<FpReg> {
+        (index < 32).then_some(FpReg(index))
+    }
+
+    /// The architectural index (`0..32`).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register can be mapped to a stream register.
+    pub fn is_stream_capable(self) -> bool {
+        self.0 < 3
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1",
+            "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+            "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+        ];
+        f.write_str(NAMES[self.0 as usize])
+    }
+}
+
+/// Iterator over all FP registers that are *not* stream-capable, in index
+/// order. Useful for register allocators that must avoid `ft0..ft2`.
+///
+/// # Examples
+///
+/// ```
+/// use saris_isa::reg::{non_stream_fp_regs, FpReg};
+/// let regs: Vec<_> = non_stream_fp_regs().collect();
+/// assert_eq!(regs.len(), 29);
+/// assert_eq!(regs[0], FpReg::FT3);
+/// ```
+pub fn non_stream_fp_regs() -> impl Iterator<Item = FpReg> {
+    (3u8..32).map(|i| FpReg::new(i).expect("index < 32"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_roundtrip() {
+        for i in 0..32 {
+            let r = IntReg::new(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert!(IntReg::new(32).is_none());
+    }
+
+    #[test]
+    fn int_reg_names() {
+        assert_eq!(IntReg::ZERO.to_string(), "zero");
+        assert_eq!(IntReg::A0.to_string(), "a0");
+        assert_eq!(IntReg::T3.to_string(), "t3");
+        assert_eq!(IntReg::saved(2).to_string(), "s2");
+        assert_eq!(IntReg::saved(11).to_string(), "s11");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid saved register")]
+    fn saved_out_of_range_panics() {
+        let _ = IntReg::saved(12);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::T0.is_zero());
+    }
+
+    #[test]
+    fn fp_reg_stream_capability() {
+        assert!(FpReg::FT0.is_stream_capable());
+        assert!(FpReg::FT1.is_stream_capable());
+        assert!(FpReg::FT2.is_stream_capable());
+        for r in non_stream_fp_regs() {
+            assert!(!r.is_stream_capable(), "{r} must not be stream-capable");
+        }
+    }
+
+    #[test]
+    fn fp_reg_names() {
+        assert_eq!(FpReg::FT0.to_string(), "ft0");
+        assert_eq!(FpReg::new(31).unwrap().to_string(), "ft11");
+        assert_eq!(FpReg::new(8).unwrap().to_string(), "fs0");
+    }
+
+    #[test]
+    fn non_stream_regs_are_29_unique() {
+        let regs: Vec<_> = non_stream_fp_regs().collect();
+        assert_eq!(regs.len(), 29);
+        let mut sorted = regs.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 29);
+    }
+}

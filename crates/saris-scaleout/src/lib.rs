@@ -1,0 +1,29 @@
+//! # saris-scaleout — the Manticore-256s manycore estimate
+//!
+//! Reimplements the paper's Section 3.3 methodology: a simplified
+//! Manticore with one compute chiplet (8 groups x 4 Snitch clusters =
+//! 256 cores at 1 GHz, 512 DP-GFLOP/s peak) attached to one HBM2E stack
+//! of eight 3.2 Gb/s/pin devices, one device per group.
+//!
+//! Exactly as in the paper, the estimate is analytic and fed by
+//! single-cluster measurements:
+//!
+//! * per-tile compute time and FPU ops come from the cycle-level
+//!   simulation of one cluster;
+//! * per-tile memory time follows from tile traffic and the group
+//!   bandwidth share, derated by the DMA bandwidth utilization measured
+//!   in the single-cluster experiments;
+//! * double buffering overlaps the two: `T_tile = max(Tc, Tm)`;
+//! * runtime imbalance among the four clusters of a group is modeled by
+//!   bootstrapping (seeded) from the per-core runtime distribution
+//!   observed inside one cluster.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod model;
+pub mod table2;
+
+pub use machine::MachineModel;
+pub use model::{estimate, ClusterMeasurement, ScaleoutEstimate, TileTraffic};
+pub use table2::{reference_entries, Table2Entry};

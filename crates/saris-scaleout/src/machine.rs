@@ -1,0 +1,114 @@
+//! The Manticore-256s machine description.
+
+use std::fmt;
+
+/// Static parameters of the scaled-out system.
+///
+/// # Examples
+///
+/// ```
+/// let m = saris_scaleout::MachineModel::manticore_256s();
+/// assert_eq!(m.total_cores(), 256);
+/// assert!((m.peak_gflops() - 512.0).abs() < 1e-9);
+/// assert!((m.device_bandwidth_gbs() - 51.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Compute groups on the chiplet.
+    pub groups: usize,
+    /// Snitch clusters per group.
+    pub clusters_per_group: usize,
+    /// Cores per cluster.
+    pub cores_per_cluster: usize,
+    /// Clock frequency in hertz.
+    pub freq_hz: f64,
+    /// FLOPs per core per cycle at peak (one DP FMA).
+    pub flops_per_core_cycle: f64,
+    /// HBM2E pin rate in Gb/s.
+    pub hbm_gbps_per_pin: f64,
+    /// Data pins per HBM device (one device per group).
+    pub pins_per_device: usize,
+}
+
+impl MachineModel {
+    /// The paper's Manticore-256s: 8 groups x 4 clusters x 8 cores at
+    /// 1 GHz, one 8-device HBM2E stack at 3.2 Gb/s/pin.
+    pub fn manticore_256s() -> MachineModel {
+        MachineModel {
+            groups: 8,
+            clusters_per_group: 4,
+            cores_per_cluster: 8,
+            freq_hz: 1e9,
+            flops_per_core_cycle: 2.0,
+            hbm_gbps_per_pin: 3.2,
+            pins_per_device: 128,
+        }
+    }
+
+    /// Total compute cores.
+    pub fn total_cores(&self) -> usize {
+        self.groups * self.clusters_per_group * self.cores_per_cluster
+    }
+
+    /// Total clusters.
+    pub fn total_clusters(&self) -> usize {
+        self.groups * self.clusters_per_group
+    }
+
+    /// Peak double-precision throughput in GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.total_cores() as f64 * self.flops_per_core_cycle * self.freq_hz / 1e9
+    }
+
+    /// One HBM device's bandwidth in GB/s (shared by one group).
+    pub fn device_bandwidth_gbs(&self) -> f64 {
+        self.hbm_gbps_per_pin * self.pins_per_device as f64 / 8.0
+    }
+
+    /// Fair bandwidth share of one cluster, in bytes per cycle.
+    pub fn cluster_bandwidth_bytes_per_cycle(&self) -> f64 {
+        self.device_bandwidth_gbs() * 1e9 / self.clusters_per_group as f64 / self.freq_hz
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> MachineModel {
+        MachineModel::manticore_256s()
+    }
+}
+
+impl fmt::Display for MachineModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Manticore-{}s: {} groups x {} clusters, {:.0} GFLOP/s peak, {:.1} GB/s/group",
+            self.total_cores(),
+            self.groups,
+            self.clusters_per_group,
+            self.peak_gflops(),
+            self.device_bandwidth_gbs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figures() {
+        let m = MachineModel::manticore_256s();
+        assert_eq!(m.total_cores(), 256);
+        assert_eq!(m.total_clusters(), 32);
+        // 512 GFLOP/s peak: the paper's 406 GFLOP/s peak result is 79%.
+        assert!((m.peak_gflops() - 512.0).abs() < 1e-9);
+        // 51.2 GB/s per device => 12.8 B/cycle per cluster at 1 GHz.
+        assert!((m.cluster_bandwidth_bytes_per_cycle() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        let s = MachineModel::manticore_256s().to_string();
+        assert!(s.contains("256"), "{s}");
+    }
+}

@@ -1,0 +1,606 @@
+//! One Snitch core: single-issue integer pipeline plus its FP subsystem
+//! and three SSSR streamers.
+//!
+//! The integer core issues at most one instruction per cycle. FP
+//! instructions are *offloaded* to the [`FpSubsystem`] (stalling only when
+//! its queue is full), so integer and FP work proceed concurrently —
+//! Snitch's pseudo-dual-issue. Stream launches (`ssr_setbase` /
+//! `ssr_commit`) execute on the integer side and stall only when a
+//! streamer's launch queue is full, which lets launches run ahead of the
+//! FPU exactly as in the paper's Listing 1d loop.
+
+use std::sync::Arc;
+
+use saris_isa::{FrepCount, Instr, Program};
+
+use crate::config::ClusterConfig;
+use crate::error::SimError;
+use crate::fpu::FpSubsystem;
+use crate::icache::ICache;
+use crate::mem::{MemOp, MemPort, MemReq};
+use crate::ssr::Streamer;
+
+/// Integer-side stall counters (cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntStalls {
+    /// FP offload queue full.
+    pub offload_full: u64,
+    /// Stream launch queue full at `ssr_commit`.
+    pub launch_full: u64,
+    /// Waiting on integer loads/stores (includes TCDM conflicts).
+    pub lsu: u64,
+    /// Instruction-cache miss wait.
+    pub icache: u64,
+    /// Taken-branch bubbles.
+    pub branch: u64,
+    /// Waiting for streams to drain (`ssr_disable` / reconfiguration).
+    pub drain: u64,
+    /// Extra cycles of multi-cycle issues (`li` pairs, `ssr_setup`).
+    pub multi_issue: u64,
+}
+
+/// Integer-side activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntStats {
+    /// Integer instructions retired (FP offloads count on the FP side).
+    pub retired: u64,
+    /// Stall breakdown.
+    pub stalls: IntStalls,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IntState {
+    Ready,
+    /// Busy until the given cycle (exclusive).
+    StallUntil(u64),
+    /// Waiting for an integer load's data.
+    WaitLoad { rd: saris_isa::IntReg },
+    /// Waiting for an integer store's grant.
+    WaitStore,
+    Halted,
+}
+
+/// One core: integer pipeline, FP subsystem, streamers, LSU port.
+#[derive(Debug)]
+pub struct Core {
+    /// Core index within the cluster.
+    pub id: usize,
+    program: Arc<Program>,
+    pc: usize,
+    regs: [u64; 32],
+    state: IntState,
+    ssr_enabled: bool,
+    fetched_pc: Option<usize>,
+    /// The FP subsystem.
+    pub fp: FpSubsystem,
+    /// The three SSSR streamers.
+    pub streamers: [Streamer; 3],
+    /// Integer load/store TCDM port.
+    pub lsu_port: MemPort,
+    /// Integer-side counters.
+    pub stats: IntStats,
+    /// Cycle at which this core halted (for imbalance analysis).
+    pub halted_at: Option<u64>,
+}
+
+impl Core {
+    /// Creates a core executing `program` from pc 0.
+    pub fn new(id: usize, program: Arc<Program>, cfg: &ClusterConfig) -> Core {
+        Core {
+            id,
+            program,
+            pc: 0,
+            regs: [0; 32],
+            state: IntState::Ready,
+            ssr_enabled: false,
+            fetched_pc: None,
+            fp: FpSubsystem::new(cfg),
+            streamers: [Streamer::new(cfg), Streamer::new(cfg), Streamer::new(cfg)],
+            lsu_port: MemPort::new(),
+            stats: IntStats::default(),
+            halted_at: None,
+        }
+    }
+
+    /// Whether the core has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        matches!(self.state, IntState::Halted)
+    }
+
+    /// Whether the core and all its units are fully quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.is_halted()
+            && self.fp.is_drained()
+            && self.streamers.iter().all(Streamer::is_drained)
+            && self.lsu_port.is_idle()
+    }
+
+    /// Host write of an integer register (kernel arguments).
+    pub fn set_reg(&mut self, r: saris_isa::IntReg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    /// Host read of an integer register.
+    pub fn reg(&self, r: saris_isa::IntReg) -> u64 {
+        self.regs[r.index() as usize]
+    }
+
+    /// The current program counter (diagnostics).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// One-line state summary for timeout diagnostics.
+    pub fn state_summary(&self) -> String {
+        format!(
+            "core {} pc={} state={:?} fp_drained={} streams_drained={:?}",
+            self.id,
+            self.pc,
+            self.state,
+            self.fp.is_drained(),
+            [
+                self.streamers[0].is_drained(),
+                self.streamers[1].is_drained(),
+                self.streamers[2].is_drained()
+            ]
+        )
+    }
+
+    /// Advances the whole core by one cycle: streamers, FP subsystem,
+    /// then the integer pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`]s from any unit.
+    pub fn step(&mut self, now: u64, icache: &mut ICache) -> Result<(), SimError> {
+        for s in &mut self.streamers {
+            s.step();
+        }
+        self.fp.step(now, self.id, self.ssr_enabled, &mut self.streamers)?;
+        self.step_int(now, icache)
+    }
+
+    fn step_int(&mut self, now: u64, icache: &mut ICache) -> Result<(), SimError> {
+        match self.state {
+            IntState::Halted => return Ok(()),
+            IntState::StallUntil(t) => {
+                if now < t {
+                    return Ok(());
+                }
+                self.state = IntState::Ready;
+            }
+            IntState::WaitLoad { rd } => {
+                if let Some(resp) = self.lsu_port.take_completed() {
+                    self.set_reg(rd, resp.data);
+                    // Resume next cycle (writeback).
+                    self.state = IntState::StallUntil(now + 1);
+                } else {
+                    self.stats.stalls.lsu += 1;
+                }
+                return Ok(());
+            }
+            IntState::WaitStore => {
+                if self.lsu_port.take_completed().is_some() {
+                    self.state = IntState::StallUntil(now + 1);
+                } else {
+                    self.stats.stalls.lsu += 1;
+                }
+                return Ok(());
+            }
+            IntState::Ready => {}
+        }
+        // Instruction fetch through the shared I$ (once per pc visit).
+        if self.fetched_pc != Some(self.pc) {
+            let wait = icache.fetch(self.pc, now);
+            self.fetched_pc = Some(self.pc);
+            if wait > 0 {
+                self.stats.stalls.icache += wait as u64;
+                self.state = IntState::StallUntil(now + wait as u64);
+                return Ok(());
+            }
+        }
+        let instr = self
+            .program
+            .get(self.pc)
+            .ok_or(SimError::PcOutOfRange {
+                core: self.id,
+                pc: self.pc,
+            })?
+            .clone();
+        self.execute(&instr, now)
+    }
+
+    fn advance(&mut self) {
+        self.pc += 1;
+        self.fetched_pc = None;
+        self.stats.retired += 1;
+    }
+
+    fn reg_i(&self, r: saris_isa::IntReg) -> u64 {
+        self.regs[r.index() as usize]
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, instr: &Instr, now: u64) -> Result<(), SimError> {
+        use Instr::*;
+        match instr {
+            Li { rd, imm } => {
+                self.set_reg(*rd, *imm as u64);
+                if instr.issue_cost() > 1 {
+                    self.stats.stalls.multi_issue += (instr.issue_cost() - 1) as u64;
+                    self.state = IntState::StallUntil(now + instr.issue_cost() as u64);
+                }
+                self.advance();
+            }
+            Addi { rd, rs1, imm } => {
+                let v = self.reg_i(*rs1).wrapping_add(*imm as i64 as u64);
+                self.set_reg(*rd, v);
+                self.advance();
+            }
+            Add { rd, rs1, rs2 } => {
+                let v = self.reg_i(*rs1).wrapping_add(self.reg_i(*rs2));
+                self.set_reg(*rd, v);
+                self.advance();
+            }
+            Sub { rd, rs1, rs2 } => {
+                let v = self.reg_i(*rs1).wrapping_sub(self.reg_i(*rs2));
+                self.set_reg(*rd, v);
+                self.advance();
+            }
+            Mul { rd, rs1, rs2 } => {
+                let v = self.reg_i(*rs1).wrapping_mul(self.reg_i(*rs2));
+                self.set_reg(*rd, v);
+                // Shared multiplier: 2-cycle issue.
+                self.stats.stalls.multi_issue += 1;
+                self.state = IntState::StallUntil(now + 2);
+                self.advance();
+            }
+            Slli { rd, rs1, shamt } => {
+                let v = self.reg_i(*rs1) << shamt;
+                self.set_reg(*rd, v);
+                self.advance();
+            }
+            Lw { rd, base, imm } => {
+                if !self.lsu_port.is_idle() {
+                    self.stats.stalls.lsu += 1;
+                    return Ok(());
+                }
+                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
+                self.lsu_port.issue(MemReq {
+                    addr,
+                    op: MemOp::Read32,
+                });
+                self.state = IntState::WaitLoad { rd: *rd };
+                self.advance();
+            }
+            Sw { rs2, base, imm } => {
+                if !self.lsu_port.is_idle() {
+                    self.stats.stalls.lsu += 1;
+                    return Ok(());
+                }
+                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
+                let data = self.reg_i(*rs2) as u32;
+                self.lsu_port.issue(MemReq {
+                    addr,
+                    op: MemOp::Write32(data),
+                });
+                self.state = IntState::WaitStore;
+                self.advance();
+            }
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = cond.eval(self.reg_i(*rs1), self.reg_i(*rs2));
+                self.stats.retired += 1;
+                self.fetched_pc = None;
+                if taken {
+                    self.pc = *target;
+                    self.stats.stalls.branch += 1;
+                    self.state = IntState::StallUntil(now + 2);
+                } else {
+                    self.pc += 1;
+                }
+            }
+            Jump { target } => {
+                self.stats.retired += 1;
+                self.fetched_pc = None;
+                self.pc = *target;
+                self.stats.stalls.branch += 1;
+                self.state = IntState::StallUntil(now + 2);
+            }
+            Fld { rd, base, imm } => {
+                if !self.fp.can_offload() {
+                    self.stats.stalls.offload_full += 1;
+                    return Ok(());
+                }
+                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
+                self.fp.offload_mem(true, *rd, addr);
+                self.advance();
+            }
+            Fsd { rs2, base, imm } => {
+                if !self.fp.can_offload() {
+                    self.stats.stalls.offload_full += 1;
+                    return Ok(());
+                }
+                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
+                self.fp.offload_mem(false, *rs2, addr);
+                self.advance();
+            }
+            FpR { .. } | FpR4 { .. } | FpU { .. } => {
+                if !self.fp.can_offload() {
+                    self.stats.stalls.offload_full += 1;
+                    return Ok(());
+                }
+                self.fp.offload_arith(instr.clone());
+                self.advance();
+            }
+            Frep { count, n_instrs } => {
+                if !self.fp.frep_fits(*n_instrs as usize) {
+                    return Err(SimError::FrepMisuse {
+                        core: self.id,
+                        reason: "frep body empty or exceeds sequencer buffer",
+                    });
+                }
+                if !self.fp.can_accept_frep() {
+                    self.stats.stalls.offload_full += 1;
+                    return Ok(());
+                }
+                let reps = match count {
+                    FrepCount::Imm(c) => *c as u64,
+                    FrepCount::Reg(r) => self.reg_i(*r),
+                };
+                self.fp.offload_frep(reps, *n_instrs as usize);
+                self.advance();
+            }
+            SsrEnable => {
+                self.ssr_enabled = true;
+                self.advance();
+            }
+            SsrDisable => {
+                if !self.fp.is_drained() {
+                    self.stats.stalls.drain += 1;
+                    return Ok(());
+                }
+                for (i, s) in self.streamers.iter().enumerate() {
+                    if !s.is_drained() {
+                        if s.residue() > 0 && s.port.is_idle() && self.quiescent_residue(i) {
+                            return Err(SimError::StreamResidue {
+                                core: self.id,
+                                ssr: i,
+                                left: s.residue(),
+                            });
+                        }
+                        self.stats.stalls.drain += 1;
+                        return Ok(());
+                    }
+                }
+                self.ssr_enabled = false;
+                self.advance();
+            }
+            SsrSetup { ssr, cfg } => {
+                let s = &mut self.streamers[ssr.index()];
+                if !s.is_drained() {
+                    self.stats.stalls.drain += 1;
+                    return Ok(());
+                }
+                s.configure(cfg.as_ref().clone());
+                let cost = instr.issue_cost() as u64;
+                if cost > 1 {
+                    self.stats.stalls.multi_issue += cost - 1;
+                    self.state = IntState::StallUntil(now + cost);
+                }
+                self.advance();
+            }
+            SsrSetBase { ssr, rs1 } => {
+                let base = self.reg_i(*rs1);
+                self.streamers[ssr.index()].stage_base(base);
+                self.advance();
+            }
+            SsrCommit { ssrs } => {
+                for ssr in ssrs.iter() {
+                    if !self.streamers[ssr.index()].is_configured() {
+                        return Err(SimError::CommitUnconfigured {
+                            core: self.id,
+                            ssr: ssr.index(),
+                        });
+                    }
+                }
+                if !ssrs.iter().all(|s| self.streamers[s.index()].can_arm()) {
+                    self.stats.stalls.launch_full += 1;
+                    return Ok(());
+                }
+                for ssr in ssrs.iter() {
+                    let armed = self.streamers[ssr.index()].arm();
+                    debug_assert!(armed, "checked can_arm above");
+                }
+                self.advance();
+            }
+            Nop => self.advance(),
+            Halt => {
+                self.state = IntState::Halted;
+                self.halted_at = Some(now);
+                self.stats.retired += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether streamer `i` is quiescent apart from residual FIFO data
+    /// (definitely stuck, as opposed to still draining).
+    fn quiescent_residue(&self, i: usize) -> bool {
+        let s = &self.streamers[i];
+        // A write stream with queued data but no active job will never
+        // drain; a read stream with unread data likewise.
+        s.is_configured() && s.residue() > 0 && s.port.is_idle() && !s.can_make_progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TCDM_BASE;
+    use crate::mem::Tcdm;
+    use saris_isa::{IntReg, ProgramBuilder};
+
+    fn run_core(program: Program, max_cycles: u64) -> (Core, Tcdm, u64) {
+        let cfg = ClusterConfig::snitch();
+        let mut tcdm = Tcdm::new(&cfg);
+        let mut icache = ICache::new(&cfg);
+        let mut core = Core::new(0, Arc::new(program), &cfg);
+        let mut cycle = 0;
+        while cycle < max_cycles {
+            core.step(cycle, &mut icache).unwrap();
+            let mut ports: Vec<&mut MemPort> = vec![&mut core.lsu_port, &mut core.fp.lsu_port];
+            for s in &mut core.streamers {
+                ports.push(&mut s.port);
+            }
+            tcdm.arbitrate(&mut ports, cycle).unwrap();
+            cycle += 1;
+            if core.is_quiescent() {
+                break;
+            }
+        }
+        (core, tcdm, cycle)
+    }
+
+    #[test]
+    fn countdown_loop_timing() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 8);
+        let head = b.bind_here();
+        b.addi(IntReg::T0, IntReg::T0, -1);
+        b.bne(IntReg::T0, IntReg::ZERO, head);
+        b.push(Instr::Halt);
+        let (core, _, cycles) = run_core(b.finish().unwrap(), 1000);
+        assert!(core.is_halted());
+        assert_eq!(core.reg(IntReg::T0), 0);
+        // 1 (li) + 8*(addi+bne) + 7 taken-branch bubbles + halt + icache
+        // cold miss: roughly 28-45 cycles.
+        assert!(cycles > 20 && cycles < 60, "cycles = {cycles}");
+        // retired: li + 8 addi + 8 bne + halt = 18.
+        assert_eq!(core.stats.retired, 18);
+    }
+
+    #[test]
+    fn int_store_load_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, TCDM_BASE as i64);
+        b.li(IntReg::T1, 1234);
+        b.push(Instr::Sw {
+            rs2: IntReg::T1,
+            base: IntReg::T0,
+            imm: 16,
+        });
+        b.push(Instr::Lw {
+            rd: IntReg::T2,
+            base: IntReg::T0,
+            imm: 16,
+        });
+        b.push(Instr::Halt);
+        let (core, _, _) = run_core(b.finish().unwrap(), 1000);
+        assert_eq!(core.reg(IntReg::T2), 1234);
+    }
+
+    #[test]
+    fn fp_offload_runs_concurrently() {
+        // A long FP chain offloaded while the int core keeps counting:
+        // total time should be far less than the serial sum.
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, TCDM_BASE as i64);
+        // Load two operands, chain 4 dependent adds, store.
+        b.push(Instr::Fld {
+            rd: saris_isa::FpReg::FT3,
+            base: IntReg::T0,
+            imm: 0,
+        });
+        b.push(Instr::Fld {
+            rd: saris_isa::FpReg::FT4,
+            base: IntReg::T0,
+            imm: 8,
+        });
+        for _ in 0..4 {
+            b.push(Instr::FpR {
+                op: saris_isa::FpROp::Add,
+                rd: saris_isa::FpReg::FT3,
+                rs1: saris_isa::FpReg::FT3,
+                rs2: saris_isa::FpReg::FT4,
+            });
+        }
+        b.push(Instr::Fsd {
+            rs2: saris_isa::FpReg::FT3,
+            base: IntReg::T0,
+            imm: 16,
+        });
+        // Meanwhile the int core counts down 20 iterations.
+        b.li(IntReg::T1, 20);
+        let head = b.bind_here();
+        b.addi(IntReg::T1, IntReg::T1, -1);
+        b.bne(IntReg::T1, IntReg::ZERO, head);
+        b.push(Instr::Halt);
+        let (core, tcdm, _) = run_core(b.finish().unwrap(), 2000);
+        assert!(core.is_quiescent());
+        // 0 + 0 initial data, so result is 0; write must have landed.
+        assert_eq!(tcdm.read_u64(TCDM_BASE + 16).unwrap(), 0);
+        assert_eq!(core.fp.stats.arith, 4);
+        assert_eq!(core.fp.stats.loads, 2);
+        assert_eq!(core.fp.stats.stores, 1);
+    }
+
+    #[test]
+    fn halt_records_cycle() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Halt);
+        let (core, _, _) = run_core(b.finish().unwrap(), 100);
+        assert!(core.halted_at.is_some());
+    }
+
+    #[test]
+    fn x0_is_immutable() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::ZERO, 42);
+        b.addi(IntReg::ZERO, IntReg::ZERO, 5);
+        b.push(Instr::Halt);
+        let (core, _, _) = run_core(b.finish().unwrap(), 100);
+        assert_eq!(core.reg(IntReg::ZERO), 0);
+    }
+
+    #[test]
+    fn frep_with_register_count() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 4); // 5 executions
+        b.push(Instr::Frep {
+            count: saris_isa::FrepCount::Reg(IntReg::T0),
+            n_instrs: 1,
+        });
+        b.push(Instr::FpR {
+            op: saris_isa::FpROp::Add,
+            rd: saris_isa::FpReg::FT3,
+            rs1: saris_isa::FpReg::FT3,
+            rs2: saris_isa::FpReg::FT4,
+        });
+        b.push(Instr::Halt);
+        let cfg = ClusterConfig::snitch();
+        let mut tcdm = Tcdm::new(&cfg);
+        let mut icache = ICache::new(&cfg);
+        let mut core = Core::new(0, Arc::new(b.finish().unwrap()), &cfg);
+        core.fp.set_reg(saris_isa::FpReg::FT4, 2.0);
+        for cycle in 0..200 {
+            core.step(cycle, &mut icache).unwrap();
+            let mut ports: Vec<&mut MemPort> = vec![&mut core.lsu_port, &mut core.fp.lsu_port];
+            for s in &mut core.streamers {
+                ports.push(&mut s.port);
+            }
+            tcdm.arbitrate(&mut ports, cycle).unwrap();
+            if core.is_quiescent() {
+                break;
+            }
+        }
+        assert_eq!(core.fp.reg(saris_isa::FpReg::FT3), 10.0);
+        assert_eq!(core.fp.stats.retired, 5);
+    }
+}

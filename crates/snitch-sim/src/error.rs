@@ -1,0 +1,116 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fatal simulation error.
+///
+/// These indicate either malformed kernels (bad addresses, stream misuse)
+/// or a hung simulation (deadlock/timeout); they are returned, not
+/// panicked, so harnesses can report which kernel failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Access to an unmapped address.
+    BadAddress {
+        /// The offending byte address.
+        addr: u64,
+    },
+    /// Misaligned access.
+    Misaligned {
+        /// The offending byte address.
+        addr: u64,
+        /// Required alignment in bytes.
+        width: u64,
+    },
+    /// A core read a stream register whose streamer is not an armed read
+    /// stream, or wrote one that is not a write stream.
+    StreamMisuse {
+        /// Core index.
+        core: usize,
+        /// Stream index.
+        ssr: usize,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// `ssr_commit` on an unconfigured streamer.
+    CommitUnconfigured {
+        /// Core index.
+        core: usize,
+        /// Stream index.
+        ssr: usize,
+    },
+    /// An FREP appeared while the sequencer was already capturing or an
+    /// FREP body exceeded the sequencer buffer.
+    FrepMisuse {
+        /// Core index.
+        core: usize,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// `ssr_disable` with data left in stream FIFOs (kernel popped fewer
+    /// elements than it streamed).
+    StreamResidue {
+        /// Core index.
+        core: usize,
+        /// Stream index.
+        ssr: usize,
+        /// Elements left over.
+        left: usize,
+    },
+    /// The simulation exceeded its cycle budget.
+    Timeout {
+        /// Cycle at which the run was abandoned.
+        at_cycle: u64,
+        /// Human-readable per-core state summary.
+        state: String,
+    },
+    /// A program counter left the program.
+    PcOutOfRange {
+        /// Core index.
+        core: usize,
+        /// The bad PC.
+        pc: usize,
+    },
+    /// A DMA descriptor is malformed.
+    BadDmaDescriptor {
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadAddress { addr } => write!(f, "access to unmapped address {addr:#x}"),
+            SimError::Misaligned { addr, width } => {
+                write!(f, "misaligned {width}-byte access at {addr:#x}")
+            }
+            SimError::StreamMisuse { core, ssr, reason } => {
+                write!(f, "core {core} misused stream {ssr}: {reason}")
+            }
+            SimError::CommitUnconfigured { core, ssr } => {
+                write!(f, "core {core} committed unconfigured stream {ssr}")
+            }
+            SimError::FrepMisuse { core, reason } => {
+                write!(f, "core {core} frep misuse: {reason}")
+            }
+            SimError::StreamResidue { core, ssr, left } => {
+                write!(
+                    f,
+                    "core {core} disabled streams with {left} elements left in stream {ssr}"
+                )
+            }
+            SimError::Timeout { at_cycle, state } => {
+                write!(f, "simulation timed out at cycle {at_cycle}: {state}")
+            }
+            SimError::PcOutOfRange { core, pc } => {
+                write!(f, "core {core} pc {pc} out of program range")
+            }
+            SimError::BadDmaDescriptor { reason } => {
+                write!(f, "bad DMA descriptor: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}

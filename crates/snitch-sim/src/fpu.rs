@@ -1,0 +1,839 @@
+//! The per-core floating-point subsystem: offload queue, FREP sequencer,
+//! scoreboarded FP pipeline, FP loads/stores, and stream-register operand
+//! plumbing.
+//!
+//! Snitch offloads every FP instruction from the single-issue integer core
+//! into this subsystem, which executes them in order but *concurrently*
+//! with subsequent integer instructions — the pseudo-dual-issue the paper
+//! relies on. An [`Instr::Frep`] marker makes the sequencer capture the
+//! following block and replay it from its buffer, so replayed executions
+//! consume no integer-core issue slots at all.
+//!
+//! FP loads and stores also execute here (Snitch's FP register file lives
+//! in the FP subsystem): the integer core resolves their address at
+//! offload time and they retire *in order* with the arithmetic stream, so
+//! an `fsd` always observes the value of the op that precedes it in
+//! program order.
+
+use std::collections::VecDeque;
+
+use saris_isa::{FpReg, Instr, SsrId, StreamDir};
+
+use crate::config::ClusterConfig;
+use crate::error::SimError;
+use crate::mem::{MemOp, MemPort, MemReq};
+use crate::ssr::Streamer;
+
+/// Reasons the FP subsystem failed to issue in a cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpuStalls {
+    /// Waiting for a source register produced by an earlier FP op.
+    pub dependency: u64,
+    /// Waiting for data in a read-stream FIFO.
+    pub stream_empty: u64,
+    /// Waiting for space in a write-stream FIFO.
+    pub stream_full: u64,
+    /// Waiting for the FP LSU port (outstanding load/store).
+    pub lsu_busy: u64,
+    /// Nothing to issue (offload queue empty, no replay active).
+    pub idle: u64,
+}
+
+impl FpuStalls {
+    /// Total non-idle stall cycles.
+    pub fn total_blocked(&self) -> u64 {
+        self.dependency + self.stream_empty + self.stream_full + self.lsu_busy
+    }
+}
+
+/// Aggregate FP-subsystem activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpuStats {
+    /// FP instructions retired (including FREP replays).
+    pub retired: u64,
+    /// FP instructions offloaded from the integer core (each consumed an
+    /// integer-core issue slot; FREP replays beyond these are "free").
+    pub offloaded: u64,
+    /// FP *arithmetic* instructions retired (FPU-busy cycles).
+    pub arith: u64,
+    /// Floating-point operations performed (FMA = 2).
+    pub flops: u64,
+    /// FP loads retired.
+    pub loads: u64,
+    /// FP stores retired.
+    pub stores: u64,
+    /// Stream-register operand pops.
+    pub stream_pops: u64,
+    /// Stream-register result pushes.
+    pub stream_pushes: u64,
+    /// Stall breakdown.
+    pub stalls: FpuStalls,
+}
+
+/// One entry of the offload queue.
+#[derive(Debug, Clone, PartialEq)]
+enum FpOp {
+    /// FP arithmetic (FpR/FpR4/FpU).
+    Arith(Instr),
+    /// FP load/store with the address resolved at offload time.
+    Mem {
+        /// Load (`fld`) or store (`fsd`).
+        is_load: bool,
+        /// Data register.
+        reg: FpReg,
+        /// Resolved byte address.
+        addr: u64,
+    },
+    /// An FREP hardware loop. The body is captured into the sequencer
+    /// buffer *at offload time* (as on real Snitch), so capture never
+    /// depends on execution progress — the integer core can stream the
+    /// whole body in and move on to stream launches.
+    Frep {
+        /// Total executions of the body (`count + 1`).
+        total_reps: u64,
+        /// Body length the marker still expects during capture.
+        expected: usize,
+        /// Captured body.
+        body: Vec<FpOp>,
+    },
+}
+
+/// Execution cursor over the front FREP's body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrepCursor {
+    reps_remaining: u64,
+    pos: usize,
+}
+
+/// Sentinel for "load issued, grant not yet seen".
+const READY_UNKNOWN: u64 = u64::MAX;
+
+/// The floating-point subsystem of one core.
+#[derive(Debug)]
+pub struct FpSubsystem {
+    queue: VecDeque<FpOp>,
+    frep_cursor: Option<FrepCursor>,
+    /// Body instructions the most recent FREP marker still expects.
+    capture_remaining: usize,
+    regs: [f64; FpReg::COUNT],
+    ready_at: [u64; FpReg::COUNT],
+    /// The FP load/store TCDM port.
+    pub lsu_port: MemPort,
+    lsu_load_dst: Option<FpReg>,
+    lsu_store_busy: bool,
+    /// Activity counters.
+    pub stats: FpuStats,
+    queue_depth: usize,
+    sequencer_depth: usize,
+    lat_add: u64,
+    lat_mul: u64,
+    lat_fma: u64,
+    lat_div: u64,
+    lat_misc: u64,
+    lat_load: u64,
+}
+
+impl FpSubsystem {
+    /// Creates an idle FP subsystem.
+    pub fn new(cfg: &ClusterConfig) -> FpSubsystem {
+        FpSubsystem {
+            queue: VecDeque::new(),
+            frep_cursor: None,
+            capture_remaining: 0,
+            regs: [0.0; FpReg::COUNT],
+            ready_at: [0; FpReg::COUNT],
+            lsu_port: MemPort::new(),
+            lsu_load_dst: None,
+            lsu_store_busy: false,
+            stats: FpuStats::default(),
+            queue_depth: cfg.offload_queue_depth,
+            sequencer_depth: cfg.sequencer_depth,
+            lat_add: cfg.fpu_latency_add as u64,
+            lat_mul: cfg.fpu_latency_mul as u64,
+            lat_fma: cfg.fpu_latency_fma as u64,
+            lat_div: cfg.fpu_latency_div as u64,
+            lat_misc: cfg.fpu_latency_misc as u64,
+            lat_load: cfg.fp_load_latency as u64,
+        }
+    }
+
+    /// Whether the integer core can offload another FP instruction.
+    /// Instructions captured into an open FREP body go to the sequencer
+    /// buffer and are not limited by the queue depth.
+    pub fn can_offload(&self) -> bool {
+        self.capture_remaining > 0 || self.queue.len() < self.queue_depth
+    }
+
+    /// Whether an FREP body of `n_instrs` fits the sequencer buffer.
+    pub fn frep_fits(&self, n_instrs: usize) -> bool {
+        n_instrs >= 1 && n_instrs <= self.sequencer_depth
+    }
+
+    /// Whether an FREP marker can be offloaded right now (queue slot free
+    /// and no body capture still open).
+    pub fn can_accept_frep(&self) -> bool {
+        self.capture_remaining == 0 && self.queue.len() < self.queue_depth
+    }
+
+    fn push_op(&mut self, op: FpOp) {
+        self.stats.offloaded += 1;
+        if self.capture_remaining > 0 {
+            let Some(FpOp::Frep { body, .. }) = self.queue.back_mut() else {
+                unreachable!("capture without an open frep marker");
+            };
+            body.push(op);
+            self.capture_remaining -= 1;
+        } else {
+            self.queue.push_back(op);
+        }
+    }
+
+    /// Offloads an FP arithmetic instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (check [`Self::can_offload`]) or the
+    /// instruction is not FP arithmetic.
+    pub fn offload_arith(&mut self, instr: Instr) {
+        assert!(self.can_offload(), "offload queue full");
+        assert!(instr.is_fp_arith(), "offload_arith expects FP arithmetic");
+        self.push_op(FpOp::Arith(instr));
+    }
+
+    /// Offloads an FP load/store with its resolved byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn offload_mem(&mut self, is_load: bool, reg: FpReg, addr: u64) {
+        assert!(self.can_offload(), "offload queue full");
+        self.push_op(FpOp::Mem { is_load, reg, addr });
+    }
+
+    /// Offloads an FREP marker with its resolved repetition count
+    /// (`reps` extra replays; total executions = `reps + 1`). The next
+    /// `n_instrs` offloaded FP instructions are captured as its body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full, a capture is already open, or the
+    /// body does not fit the sequencer (check [`Self::frep_fits`]).
+    pub fn offload_frep(&mut self, reps: u64, n_instrs: usize) {
+        assert!(self.queue.len() < self.queue_depth, "offload queue full");
+        assert_eq!(self.capture_remaining, 0, "nested frep capture");
+        assert!(self.frep_fits(n_instrs), "frep body does not fit sequencer");
+        self.queue.push_back(FpOp::Frep {
+            total_reps: reps + 1,
+            expected: n_instrs,
+            body: Vec::with_capacity(n_instrs),
+        });
+        self.capture_remaining = n_instrs;
+    }
+
+    /// Whether all offloaded work has retired and no memory op is in
+    /// flight.
+    pub fn is_drained(&self) -> bool {
+        self.queue.is_empty()
+            && self.frep_cursor.is_none()
+            && self.capture_remaining == 0
+            && self.lsu_load_dst.is_none()
+            && !self.lsu_store_busy
+            && self.lsu_port.is_idle()
+    }
+
+    /// Host/debug register read.
+    pub fn reg(&self, r: FpReg) -> f64 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Host/debug register write.
+    pub fn set_reg(&mut self, r: FpReg, v: f64) {
+        self.regs[r.index() as usize] = v;
+        self.ready_at[r.index() as usize] = 0;
+    }
+
+    /// Advances one cycle: absorbs LSU grants, then issues at most one FP
+    /// operation — from the front FREP's captured body when one is
+    /// active, else from the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on stream misuse.
+    pub fn step(
+        &mut self,
+        now: u64,
+        core_id: usize,
+        ssr_enabled: bool,
+        streamers: &mut [Streamer; 3],
+    ) -> Result<(), SimError> {
+        self.absorb_lsu_grant(now);
+        // Activate the front FREP once its body is fully captured.
+        if self.frep_cursor.is_none() {
+            if let Some(FpOp::Frep {
+                total_reps,
+                expected,
+                body,
+            }) = self.queue.front()
+            {
+                if body.len() == *expected {
+                    self.frep_cursor = Some(FrepCursor {
+                        reps_remaining: *total_reps,
+                        pos: 0,
+                    });
+                } else {
+                    // Body still streaming in from the integer core.
+                    self.stats.stalls.idle += 1;
+                    return Ok(());
+                }
+            }
+        }
+        let Some(op) = self.next_op().cloned() else {
+            self.stats.stalls.idle += 1;
+            return Ok(());
+        };
+        let issued = match &op {
+            FpOp::Arith(instr) => {
+                self.try_issue_arith(instr, now, core_id, ssr_enabled, streamers)?
+            }
+            FpOp::Mem { is_load, reg, addr } => {
+                self.try_issue_mem(now, core_id, ssr_enabled, streamers, *is_load, *reg, *addr)?
+            }
+            FpOp::Frep { .. } => unreachable!("cursor selects body ops"),
+        };
+        if issued {
+            self.advance_sequencer();
+        }
+        Ok(())
+    }
+
+    fn next_op(&self) -> Option<&FpOp> {
+        match (&self.frep_cursor, self.queue.front()) {
+            (Some(cursor), Some(FpOp::Frep { body, .. })) => body.get(cursor.pos),
+            (None, front) => front,
+            (Some(_), _) => unreachable!("cursor without a frep at the front"),
+        }
+    }
+
+    /// Moves sequencing state forward after a successful issue.
+    fn advance_sequencer(&mut self) {
+        let Some(cursor) = &mut self.frep_cursor else {
+            self.queue.pop_front();
+            return;
+        };
+        let Some(FpOp::Frep { body, .. }) = self.queue.front() else {
+            unreachable!("cursor without a frep at the front");
+        };
+        cursor.pos += 1;
+        if cursor.pos == body.len() {
+            cursor.pos = 0;
+            cursor.reps_remaining -= 1;
+            if cursor.reps_remaining == 0 {
+                self.frep_cursor = None;
+                self.queue.pop_front();
+            }
+        }
+    }
+
+    fn absorb_lsu_grant(&mut self, now: u64) {
+        if let Some(resp) = self.lsu_port.take_completed() {
+            if let Some(rd) = self.lsu_load_dst.take() {
+                self.regs[rd.index() as usize] = f64::from_bits(resp.data);
+                self.ready_at[rd.index() as usize] = now + self.lat_load;
+            } else {
+                debug_assert!(self.lsu_store_busy, "grant without outstanding op");
+                self.lsu_store_busy = false;
+            }
+        }
+    }
+
+    fn try_issue_arith(
+        &mut self,
+        instr: &Instr,
+        now: u64,
+        core_id: usize,
+        ssr_enabled: bool,
+        streamers: &mut [Streamer; 3],
+    ) -> Result<bool, SimError> {
+        let (srcs, rd): (Vec<FpReg>, FpReg) = match instr {
+            Instr::FpR { rs1, rs2, rd, .. } => (vec![*rs1, *rs2], *rd),
+            Instr::FpR4 {
+                rs1, rs2, rs3, rd, ..
+            } => (vec![*rs1, *rs2, *rs3], *rd),
+            Instr::FpU { rs1, rd, .. } => (vec![*rs1], *rd),
+            other => unreachable!("non-arith {other}"),
+        };
+        if !self.sources_ready(&srcs, now, core_id, ssr_enabled, streamers)? {
+            return Ok(false);
+        }
+        let dst_stream = if ssr_enabled { SsrId::of_fp_reg(rd) } else { None };
+        if let Some(ssr) = dst_stream {
+            let s = &streamers[ssr.index()];
+            match s.dir() {
+                Some(StreamDir::Write) => {
+                    if s.push_space() == 0 {
+                        self.stats.stalls.stream_full += 1;
+                        return Ok(false);
+                    }
+                }
+                _ => {
+                    return Err(SimError::StreamMisuse {
+                        core: core_id,
+                        ssr: ssr.index(),
+                        reason: "write of a non-write stream register",
+                    })
+                }
+            }
+        }
+        // ---- issue ----
+        let vals: Vec<f64> = srcs
+            .iter()
+            .map(|&r| self.read_src(r, ssr_enabled, streamers))
+            .collect();
+        let (v, lat) = match instr {
+            Instr::FpR { op, .. } => (
+                op.apply(vals[0], vals[1]),
+                match op {
+                    saris_isa::FpROp::Add | saris_isa::FpROp::Sub => self.lat_add,
+                    saris_isa::FpROp::Mul => self.lat_mul,
+                    saris_isa::FpROp::Div => self.lat_div,
+                    saris_isa::FpROp::Min | saris_isa::FpROp::Max => self.lat_misc,
+                },
+            ),
+            Instr::FpR4 { op, .. } => (op.apply(vals[0], vals[1], vals[2]), self.lat_fma),
+            Instr::FpU { op, .. } => (
+                op.apply(vals[0]),
+                match op {
+                    saris_isa::FpUOp::Sqrt => self.lat_div,
+                    _ => self.lat_misc,
+                },
+            ),
+            _ => unreachable!(),
+        };
+        if let Some(ssr) = dst_stream {
+            streamers[ssr.index()].push(v);
+            self.stats.stream_pushes += 1;
+        } else {
+            self.regs[rd.index() as usize] = v;
+            self.ready_at[rd.index() as usize] = now + lat;
+        }
+        self.stats.arith += 1;
+        self.stats.flops += instr.flops();
+        self.stats.retired += 1;
+        Ok(true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue_mem(
+        &mut self,
+        now: u64,
+        core_id: usize,
+        ssr_enabled: bool,
+        streamers: &mut [Streamer; 3],
+        is_load: bool,
+        reg: FpReg,
+        addr: u64,
+    ) -> Result<bool, SimError> {
+        if self.lsu_load_dst.is_some() || self.lsu_store_busy || !self.lsu_port.is_idle() {
+            self.stats.stalls.lsu_busy += 1;
+            return Ok(false);
+        }
+        if is_load {
+            if ssr_enabled && reg.is_stream_capable() {
+                return Err(SimError::StreamMisuse {
+                    core: core_id,
+                    ssr: SsrId::of_fp_reg(reg).expect("stream-capable").index(),
+                    reason: "fld into an enabled stream register",
+                });
+            }
+            self.lsu_load_dst = Some(reg);
+            self.ready_at[reg.index() as usize] = READY_UNKNOWN;
+            self.lsu_port.issue(MemReq {
+                addr,
+                op: MemOp::Read64,
+            });
+            self.stats.loads += 1;
+        } else {
+            if !self.sources_ready(&[reg], now, core_id, ssr_enabled, streamers)? {
+                return Ok(false);
+            }
+            let v = self.read_src(reg, ssr_enabled, streamers);
+            self.lsu_store_busy = true;
+            self.lsu_port.issue(MemReq {
+                addr,
+                op: MemOp::Write64(v.to_bits()),
+            });
+            self.stats.stores += 1;
+        }
+        self.stats.retired += 1;
+        Ok(true)
+    }
+
+    /// Checks readiness of all sources (stream FIFO occupancy for mapped
+    /// registers, scoreboard for the rest). Counts one stall on failure.
+    fn sources_ready(
+        &mut self,
+        srcs: &[FpReg],
+        now: u64,
+        core_id: usize,
+        ssr_enabled: bool,
+        streamers: &[Streamer; 3],
+    ) -> Result<bool, SimError> {
+        if ssr_enabled {
+            let mut needs = [0usize; 3];
+            for r in srcs {
+                if let Some(ssr) = SsrId::of_fp_reg(*r) {
+                    needs[ssr.index()] += 1;
+                }
+            }
+            for (i, &n) in needs.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let s = &streamers[i];
+                if !s.is_configured() || s.dir() == Some(StreamDir::Write) {
+                    return Err(SimError::StreamMisuse {
+                        core: core_id,
+                        ssr: i,
+                        reason: "read of a non-read stream register",
+                    });
+                }
+                if s.available() < n {
+                    self.stats.stalls.stream_empty += 1;
+                    return Ok(false);
+                }
+            }
+        }
+        for r in srcs {
+            if ssr_enabled && r.is_stream_capable() {
+                continue;
+            }
+            if self.ready_at[r.index() as usize] > now {
+                self.stats.stalls.dependency += 1;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn read_src(&mut self, r: FpReg, ssr_enabled: bool, streamers: &mut [Streamer; 3]) -> f64 {
+        if ssr_enabled {
+            if let Some(ssr) = SsrId::of_fp_reg(r) {
+                self.stats.stream_pops += 1;
+                return streamers[ssr.index()].pop();
+            }
+        }
+        self.regs[r.index() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TCDM_BASE;
+    use crate::mem::Tcdm;
+    use saris_isa::{FpR4Op, FpROp};
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::snitch()
+    }
+
+    fn streamers(cfg: &ClusterConfig) -> [Streamer; 3] {
+        [Streamer::new(cfg), Streamer::new(cfg), Streamer::new(cfg)]
+    }
+
+    fn fadd(rd: u8, rs1: u8, rs2: u8) -> Instr {
+        Instr::FpR {
+            op: FpROp::Add,
+            rd: FpReg::new(rd).unwrap(),
+            rs1: FpReg::new(rs1).unwrap(),
+            rs2: FpReg::new(rs2).unwrap(),
+        }
+    }
+
+    #[test]
+    fn dependency_stall_matches_latency() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 1.0);
+        fp.set_reg(FpReg::FT5, 2.0);
+        fp.offload_arith(fadd(3, 4, 5));
+        fp.offload_arith(fadd(6, 3, 3));
+        let mut retire_cycles = Vec::new();
+        for now in 0..20u64 {
+            let before = fp.stats.retired;
+            fp.step(now, 0, false, &mut ss).unwrap();
+            if fp.stats.retired > before {
+                retire_cycles.push(now);
+            }
+        }
+        assert_eq!(retire_cycles.len(), 2);
+        assert_eq!(retire_cycles[1] - retire_cycles[0], cfg.fpu_latency_add as u64);
+        assert_eq!(fp.reg(FpReg::FT6), 6.0);
+        assert!(fp.stats.stalls.dependency > 0);
+    }
+
+    #[test]
+    fn independent_ops_issue_back_to_back() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        for i in 0..4u8 {
+            fp.set_reg(FpReg::new(10 + i).unwrap(), i as f64);
+        }
+        fp.offload_arith(fadd(3, 10, 11));
+        fp.offload_arith(fadd(4, 12, 13));
+        let mut retired_at = Vec::new();
+        for now in 0..10u64 {
+            let before = fp.stats.retired;
+            fp.step(now, 0, false, &mut ss).unwrap();
+            if fp.stats.retired > before {
+                retired_at.push(now);
+            }
+        }
+        assert_eq!(retired_at, vec![0, 1], "fully pipelined issue");
+    }
+
+    #[test]
+    fn frep_replays_block() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 1.0);
+        fp.set_reg(FpReg::FT3, 0.0);
+        // frep with 3 extra reps of { ft3 += ft4 }: executes 4 times.
+        fp.offload_frep(3, 1);
+        fp.offload_arith(fadd(3, 3, 4));
+        for now in 0..60u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.reg(FpReg::FT3), 4.0);
+        assert_eq!(fp.stats.retired, 4, "replays count as retired");
+        assert!(fp.is_drained());
+    }
+
+    #[test]
+    fn frep_zero_reps_executes_once() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 2.0);
+        fp.offload_frep(0, 1);
+        fp.offload_arith(fadd(3, 4, 4));
+        for now in 0..20u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.reg(FpReg::FT3), 4.0);
+        assert_eq!(fp.stats.retired, 1);
+        assert!(fp.is_drained());
+    }
+
+    #[test]
+    fn frep_two_instr_body_interleaves() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 1.0);
+        fp.set_reg(FpReg::FT5, 10.0);
+        fp.set_reg(FpReg::FT3, 0.0);
+        fp.set_reg(FpReg::FT6, 0.0);
+        // body: ft3 += ft4; ft6 += ft5 — executed twice.
+        fp.offload_frep(1, 2);
+        fp.offload_arith(fadd(3, 3, 4));
+        fp.offload_arith(fadd(6, 6, 5));
+        for now in 0..60u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.reg(FpReg::FT3), 2.0);
+        assert_eq!(fp.reg(FpReg::FT6), 20.0);
+        assert_eq!(fp.stats.retired, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested frep capture")]
+    fn nested_frep_capture_panics() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        fp.offload_frep(1, 2);
+        fp.offload_arith(fadd(3, 4, 4));
+        // Body of 2 not complete: a second marker is a caller bug.
+        fp.offload_frep(1, 1);
+    }
+
+    #[test]
+    fn back_to_back_freps_replay_in_order() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 1.0);
+        fp.set_reg(FpReg::FT5, 10.0);
+        // First frep: ft3 += ft4 twice; second frep: ft6 += ft5 thrice.
+        fp.offload_frep(1, 1);
+        fp.offload_arith(fadd(3, 3, 4));
+        fp.offload_frep(2, 1);
+        fp.offload_arith(fadd(6, 6, 5));
+        for now in 0..100u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.reg(FpReg::FT3), 2.0);
+        assert_eq!(fp.reg(FpReg::FT6), 30.0);
+        assert_eq!(fp.stats.retired, 5);
+        assert!(fp.is_drained());
+    }
+
+    #[test]
+    fn long_frep_body_exceeding_queue_depth_is_captured() {
+        // The body (8 instrs) exceeds the offload queue depth (4): capture
+        // at offload time must still accept all of it.
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 1.0);
+        fp.offload_frep(0, 8);
+        for i in 0..8u8 {
+            assert!(fp.can_offload(), "capture must bypass queue depth");
+            fp.offload_arith(fadd(8 + i, 4, 4));
+        }
+        for now in 0..50u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.stats.retired, 8);
+        assert!(fp.is_drained());
+    }
+
+    #[test]
+    fn fma_counts_two_flops() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 2.0);
+        fp.set_reg(FpReg::FT5, 3.0);
+        fp.set_reg(FpReg::FT6, 1.0);
+        fp.offload_arith(Instr::FpR4 {
+            op: FpR4Op::Madd,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT4,
+            rs2: FpReg::FT5,
+            rs3: FpReg::FT6,
+        });
+        for now in 0..5u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.reg(FpReg::FT3), 7.0);
+        assert_eq!(fp.stats.flops, 2);
+        assert_eq!(fp.stats.arith, 1);
+    }
+
+    #[test]
+    fn load_store_roundtrip_in_program_order() {
+        let cfg = cfg();
+        let mut t = Tcdm::new(&cfg);
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        t.write_u64(TCDM_BASE + 64, 2.5f64.to_bits()).unwrap();
+        fp.set_reg(FpReg::FT5, 1.5);
+        // fld ft4 <- [64]; ft3 = ft4 + ft5; fsd ft3 -> [72].
+        fp.offload_mem(true, FpReg::FT4, TCDM_BASE + 64);
+        fp.offload_arith(fadd(3, 4, 5));
+        fp.offload_mem(false, FpReg::FT3, TCDM_BASE + 72);
+        for now in 0..60u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+            t.arbitrate(&mut [&mut fp.lsu_port], now).unwrap();
+        }
+        assert!(fp.is_drained());
+        assert_eq!(f64::from_bits(t.read_u64(TCDM_BASE + 72).unwrap()), 4.0);
+        assert_eq!(fp.stats.loads, 1);
+        assert_eq!(fp.stats.stores, 1);
+    }
+
+    #[test]
+    fn store_waits_for_producer_in_program_order() {
+        // The RAW-through-queue hazard: fsd must see the fadd result even
+        // though the core offloads both in the same burst.
+        let cfg = cfg();
+        let mut t = Tcdm::new(&cfg);
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT4, 3.0);
+        fp.set_reg(FpReg::FT3, -99.0); // stale value that must NOT be stored
+        fp.offload_arith(fadd(3, 4, 4));
+        fp.offload_mem(false, FpReg::FT3, TCDM_BASE + 8);
+        for now in 0..60u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+            t.arbitrate(&mut [&mut fp.lsu_port], now).unwrap();
+        }
+        assert_eq!(f64::from_bits(t.read_u64(TCDM_BASE + 8).unwrap()), 6.0);
+    }
+
+    #[test]
+    fn stream_pop_stall_then_issue() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        ss[0].configure(crate::ssr::indirect_read(
+            TCDM_BASE,
+            4,
+            saris_isa::IndexWidth::U16,
+        ));
+        fp.set_reg(FpReg::FT4, 1.0);
+        fp.offload_arith(Instr::FpR {
+            op: FpROp::Add,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT0,
+            rs2: FpReg::FT4,
+        });
+        for now in 0..5u64 {
+            fp.step(now, 0, true, &mut ss).unwrap();
+        }
+        assert_eq!(fp.stats.retired, 0);
+        assert!(fp.stats.stalls.stream_empty >= 4);
+    }
+
+    #[test]
+    fn reading_write_stream_is_error() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        ss[2].configure(saris_isa::SsrCfg::Affine(saris_isa::AffineCfg {
+            dir: StreamDir::Write,
+            base: TCDM_BASE,
+            dims: 1,
+            strides: [8, 0, 0, 0],
+            bounds: [4, 1, 1, 1],
+        }));
+        fp.offload_arith(Instr::FpR {
+            op: FpROp::Add,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT2,
+            rs2: FpReg::FT3,
+        });
+        let err = fp.step(0, 0, true, &mut ss).unwrap_err();
+        assert!(matches!(err, SimError::StreamMisuse { ssr: 2, .. }));
+    }
+
+    #[test]
+    fn ft_regs_are_normal_when_ssrs_disabled() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        fp.set_reg(FpReg::FT0, 2.0);
+        fp.set_reg(FpReg::FT1, 3.0);
+        fp.offload_arith(fadd(2, 0, 1)); // ft2 = ft0 + ft1, all "stream" regs
+        for now in 0..5u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.reg(FpReg::FT2), 5.0);
+    }
+
+    #[test]
+    fn idle_counts_when_empty() {
+        let cfg = cfg();
+        let mut fp = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        for now in 0..3u64 {
+            fp.step(now, 0, false, &mut ss).unwrap();
+        }
+        assert_eq!(fp.stats.stalls.idle, 3);
+        assert!(fp.is_drained());
+    }
+}

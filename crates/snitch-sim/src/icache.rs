@@ -1,0 +1,136 @@
+//! Shared instruction-cache model.
+//!
+//! All cores execute structurally identical kernels (the same binary with
+//! per-core operands on real hardware), so lines are tagged by instruction
+//! line index alone and shared across cores. The model captures the two
+//! effects the paper mentions: cold-start misses and capacity pressure
+//! from large unrolled kernels. A single refill port serializes
+//! concurrent misses.
+
+use std::collections::HashMap;
+
+use crate::config::ClusterConfig;
+
+/// Shared L1 instruction cache (fully associative, LRU).
+#[derive(Debug)]
+pub struct ICache {
+    /// line -> last-use stamp.
+    lines: HashMap<u64, u64>,
+    capacity: usize,
+    instrs_per_line: usize,
+    miss_penalty: u32,
+    /// The single refill port is busy until this cycle.
+    refill_free_at: u64,
+    use_stamp: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl ICache {
+    /// Creates an empty cache per `cfg`.
+    pub fn new(cfg: &ClusterConfig) -> ICache {
+        ICache {
+            lines: HashMap::with_capacity(cfg.icache_lines),
+            capacity: cfg.icache_lines,
+            instrs_per_line: cfg.instrs_per_icache_line(),
+            miss_penalty: cfg.icache_miss_penalty,
+            refill_free_at: 0,
+            use_stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the line containing instruction index `pc` at `now`.
+    /// Returns the stall cycles the fetching core must wait (0 on a hit).
+    pub fn fetch(&mut self, pc: usize, now: u64) -> u32 {
+        let line = (pc / self.instrs_per_line) as u64;
+        self.use_stamp += 1;
+        if let Some(stamp) = self.lines.get_mut(&line) {
+            *stamp = self.use_stamp;
+            self.hits += 1;
+            return 0;
+        }
+        self.misses += 1;
+        // Evict LRU if full.
+        if self.lines.len() >= self.capacity {
+            if let Some((&lru, _)) = self.lines.iter().min_by_key(|(_, &s)| s) {
+                self.lines.remove(&lru);
+            }
+        }
+        self.lines.insert(line, self.use_stamp);
+        // Serialize refills through the single port.
+        let start = self.refill_free_at.max(now);
+        let done = start + self.miss_penalty as u64;
+        self.refill_free_at = done;
+        (done - now) as u32
+    }
+
+    /// Fraction of fetches that missed.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> ICache {
+        ICache::new(&ClusterConfig::snitch())
+    }
+
+    #[test]
+    fn cold_miss_then_hits() {
+        let mut c = cache();
+        let wait = c.fetch(0, 0);
+        assert!(wait > 0, "first access misses");
+        for pc in 1..16 {
+            assert_eq!(c.fetch(pc, 10), 0, "same line hits at pc {pc}");
+        }
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hits, 15);
+    }
+
+    #[test]
+    fn concurrent_misses_serialize_on_refill_port() {
+        let mut c = cache();
+        let w1 = c.fetch(0, 0);
+        let w2 = c.fetch(100, 0); // different line, same cycle
+        assert!(w2 > w1, "second refill waits for the port: {w1} vs {w2}");
+    }
+
+    #[test]
+    fn capacity_eviction_lru() {
+        let cfg = ClusterConfig::snitch();
+        let mut c = ICache::new(&cfg);
+        let per = cfg.instrs_per_icache_line();
+        // Fill all lines.
+        for l in 0..cfg.icache_lines {
+            c.fetch(l * per, 0);
+        }
+        // Touch line 0 so line 1 is LRU.
+        assert_eq!(c.fetch(0, 1000), 0);
+        // A new line evicts line 1.
+        assert!(c.fetch(cfg.icache_lines * per, 1000) > 0);
+        assert!(c.fetch(0, 2000) == 0, "line 0 stays resident");
+        assert!(c.fetch(per, 2000) > 0, "line 1 was evicted");
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = cache();
+        c.fetch(0, 0);
+        c.fetch(1, 1);
+        c.fetch(2, 2);
+        c.fetch(3, 3);
+        assert!((c.miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

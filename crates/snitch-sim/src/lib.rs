@@ -1,0 +1,58 @@
+//! # snitch-sim — a cycle-approximate, functional Snitch cluster simulator
+//!
+//! This crate substitutes for the RTL simulation of the SARIS paper: a
+//! software model of the PULP Snitch compute cluster with the SSSR and
+//! FREP extensions. It executes real `f64` arithmetic (results are
+//! verified against a golden reference) while modeling the architectural
+//! mechanisms the paper's evaluation hinges on:
+//!
+//! * single-issue integer cores that *offload* FP work to a concurrent FP
+//!   subsystem (pseudo-dual issue), with shared-issue-bandwidth accounting;
+//! * the FREP sequencer replaying FP blocks without integer issue slots;
+//! * three SSSR streamers per core (two indirect, one affine) with index
+//!   fetch traffic, launch-queue run-ahead, and FIFO back-pressure;
+//! * a 32-bank, word-interleaved TCDM with per-cycle round-robin
+//!   arbitration (bank conflicts);
+//! * a shared instruction cache and a 512-bit DMA engine overlapping bulk
+//!   transfers with compute.
+//!
+//! Fidelity notes: the model is cycle-*approximate* (see `DESIGN.md` at
+//! the repository root). Static stream configuration is carried as
+//! structured payloads charged at their real write counts; dynamic launch
+//! bases flow through integer registers exactly as on hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use snitch_sim::{Cluster, ClusterConfig};
+//! use saris_isa::{Instr, ProgramBuilder};
+//!
+//! # fn main() -> Result<(), snitch_sim::SimError> {
+//! let mut cluster = Cluster::new(ClusterConfig::snitch());
+//! let mut b = ProgramBuilder::new();
+//! b.push(Instr::Halt);
+//! cluster.load_program_all(b.finish().expect("valid"));
+//! let report = cluster.run(100)?;
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod core;
+pub mod dma;
+pub mod error;
+pub mod fpu;
+pub mod icache;
+pub mod mem;
+pub mod metrics;
+pub mod ssr;
+
+pub use cluster::Cluster;
+pub use config::{ClusterConfig, MAIN_BASE, TCDM_BASE};
+pub use dma::{Dma, DmaDescriptor, DmaStats};
+pub use error::SimError;
+pub use metrics::{CoreReport, RunReport};

@@ -1,0 +1,530 @@
+//! TCDM storage, memory ports, and per-bank arbitration.
+//!
+//! Every memory requester in the cluster (core LSUs, FP LSUs, streamers,
+//! DMA lanes) owns a [`MemPort`]. Each cycle the cluster gathers all ports
+//! with pending requests, groups them by bank, and grants at most one
+//! access per bank using a rotating round-robin priority. Ungranted
+//! requests stay pending and are retried automatically — that retry time
+//! is what the paper's "TCDM access contention" stalls are made of.
+
+use std::fmt;
+
+use crate::config::{ClusterConfig, MAIN_BASE, TCDM_BASE};
+use crate::error::SimError;
+
+/// A memory access operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemOp {
+    /// 64-bit read.
+    Read64,
+    /// 64-bit write of the payload.
+    Write64(u64),
+    /// 32-bit read (zero-extended into the response).
+    Read32,
+    /// 32-bit write of the payload's low half.
+    Write32(u32),
+}
+
+impl MemOp {
+    /// Whether the operation writes memory.
+    pub fn is_write(&self) -> bool {
+        matches!(self, MemOp::Write64(_) | MemOp::Write32(_))
+    }
+}
+
+/// A pending TCDM request held by a [`MemPort`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemReq {
+    /// Byte address (must be naturally aligned for the op width).
+    pub addr: u64,
+    /// The operation.
+    pub op: MemOp,
+}
+
+/// A completed response delivered back through the port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemResp {
+    /// The request that completed.
+    pub req: MemReq,
+    /// Read data (0 for writes).
+    pub data: u64,
+    /// Cycle at which the grant happened.
+    pub granted_at: u64,
+}
+
+/// One requester's interface to the TCDM interconnect.
+///
+/// A port holds at most one in-flight request. `issue` sets it pending;
+/// arbitration moves it to `completed`; the owner consumes the response on
+/// its next step via [`MemPort::take_completed`].
+#[derive(Debug, Default)]
+pub struct MemPort {
+    pending: Option<MemReq>,
+    completed: Option<MemResp>,
+    /// Cycles this port spent waiting for a grant (conflict time).
+    pub wait_cycles: u64,
+    /// Number of granted requests.
+    pub grants: u64,
+}
+
+impl MemPort {
+    /// Creates an idle port.
+    pub fn new() -> MemPort {
+        MemPort::default()
+    }
+
+    /// Whether the port can accept a new request.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none() && self.completed.is_none()
+    }
+
+    /// Whether a request is awaiting a grant.
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Issues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is not idle (owner bug).
+    pub fn issue(&mut self, req: MemReq) {
+        assert!(self.is_idle(), "port already busy");
+        self.pending = Some(req);
+    }
+
+    /// Takes a completed response, if any.
+    pub fn take_completed(&mut self) -> Option<MemResp> {
+        self.completed.take()
+    }
+
+    /// Peeks the completed response without consuming it.
+    pub fn completed(&self) -> Option<&MemResp> {
+        self.completed.as_ref()
+    }
+}
+
+/// The tightly-coupled data memory: word-interleaved banked storage.
+#[derive(Debug)]
+pub struct Tcdm {
+    data: Vec<u8>,
+    banks: usize,
+    /// Rotating arbitration offset.
+    rr: usize,
+    /// Total conflict grants lost (a request existed but another was
+    /// granted on the same bank that cycle).
+    pub conflicts: u64,
+    /// Total granted accesses.
+    pub accesses: u64,
+}
+
+impl Tcdm {
+    /// Creates zeroed TCDM per `cfg`.
+    pub fn new(cfg: &ClusterConfig) -> Tcdm {
+        Tcdm {
+            data: vec![0; cfg.tcdm_bytes],
+            banks: cfg.tcdm_banks,
+            rr: 0,
+            conflicts: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the memory is empty (never for constructed instances).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bank servicing a byte address (word-interleaved, 64-bit words).
+    pub fn bank_of(&self, addr: u64) -> Result<usize, SimError> {
+        let off = self.offset_of(addr)?;
+        Ok((off / 8) % self.banks)
+    }
+
+    fn offset_of(&self, addr: u64) -> Result<usize, SimError> {
+        if addr < TCDM_BASE || addr >= TCDM_BASE + self.data.len() as u64 {
+            return Err(SimError::BadAddress { addr });
+        }
+        Ok((addr - TCDM_BASE) as usize)
+    }
+
+    /// Host/debug read of a 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] for unmapped or misaligned
+    /// addresses.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, SimError> {
+        if addr % 8 != 0 {
+            return Err(SimError::Misaligned { addr, width: 8 });
+        }
+        let off = self.offset_of(addr)?;
+        Ok(u64::from_le_bytes(
+            self.data[off..off + 8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Host/debug write of a 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] for unmapped or misaligned
+    /// addresses.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), SimError> {
+        if addr % 8 != 0 {
+            return Err(SimError::Misaligned { addr, width: 8 });
+        }
+        let off = self.offset_of(addr)?;
+        self.data[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Host write of raw bytes (used to install index arrays and grids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] if the range is unmapped.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), SimError> {
+        let off = self.offset_of(addr)?;
+        if off + bytes.len() > self.data.len() {
+            return Err(SimError::BadAddress {
+                addr: addr + bytes.len() as u64,
+            });
+        }
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Host read of raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] if the range is unmapped.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], SimError> {
+        let off = self.offset_of(addr)?;
+        if off + len > self.data.len() {
+            return Err(SimError::BadAddress {
+                addr: addr + len as u64,
+            });
+        }
+        Ok(&self.data[off..off + len])
+    }
+
+    fn execute(&mut self, req: MemReq) -> Result<u64, SimError> {
+        match req.op {
+            MemOp::Read64 => self.read_u64(req.addr),
+            MemOp::Write64(v) => {
+                self.write_u64(req.addr, v)?;
+                Ok(0)
+            }
+            MemOp::Read32 => {
+                if req.addr % 4 != 0 {
+                    return Err(SimError::Misaligned {
+                        addr: req.addr,
+                        width: 4,
+                    });
+                }
+                let off = self.offset_of(req.addr)?;
+                Ok(u32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"))
+                    as u64)
+            }
+            MemOp::Write32(v) => {
+                if req.addr % 4 != 0 {
+                    return Err(SimError::Misaligned {
+                        addr: req.addr,
+                        width: 4,
+                    });
+                }
+                let off = self.offset_of(req.addr)?;
+                self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+                Ok(0)
+            }
+        }
+    }
+
+    /// Arbitrates one cycle over `ports`: grants at most one request per
+    /// bank with a rotating round-robin start, executes granted accesses,
+    /// and leaves losers pending (accumulating their wait time).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first address/alignment error encountered.
+    pub fn arbitrate(&mut self, ports: &mut [&mut MemPort], cycle: u64) -> Result<(), SimError> {
+        // Gather (port index) per bank.
+        let n = ports.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut granted_bank = vec![false; self.banks];
+        let start = self.rr % n;
+        self.rr = self.rr.wrapping_add(1);
+        for k in 0..n {
+            let i = (start + k) % n;
+            let Some(req) = ports[i].pending else {
+                continue;
+            };
+            let bank = self.bank_of(req.addr)?;
+            if granted_bank[bank] {
+                self.conflicts += 1;
+                ports[i].wait_cycles += 1;
+                continue;
+            }
+            granted_bank[bank] = true;
+            let data = self.execute(req)?;
+            self.accesses += 1;
+            ports[i].pending = None;
+            ports[i].grants += 1;
+            ports[i].completed = Some(MemResp {
+                req,
+                data,
+                granted_at: cycle,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Tcdm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TCDM {} KiB / {} banks ({} accesses, {} conflicts)",
+            self.data.len() / 1024,
+            self.banks,
+            self.accesses,
+            self.conflicts
+        )
+    }
+}
+
+/// Simulated main memory behind the DMA engine: flat storage with a
+/// bandwidth/latency model applied by the DMA, not here.
+#[derive(Debug)]
+pub struct MainMemory {
+    data: Vec<u8>,
+}
+
+impl MainMemory {
+    /// Creates zeroed main memory per `cfg`.
+    pub fn new(cfg: &ClusterConfig) -> MainMemory {
+        MainMemory {
+            data: vec![0; cfg.main_mem_bytes],
+        }
+    }
+
+    fn offset_of(&self, addr: u64, len: usize) -> Result<usize, SimError> {
+        if addr < MAIN_BASE || addr + len as u64 > MAIN_BASE + self.data.len() as u64 {
+            return Err(SimError::BadAddress { addr });
+        }
+        Ok((addr - MAIN_BASE) as usize)
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] if the range is unmapped.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], SimError> {
+        let off = self.offset_of(addr, len)?;
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Writes raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] if the range is unmapped.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), SimError> {
+        let off = self.offset_of(addr, bytes.len())?;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcdm() -> Tcdm {
+        Tcdm::new(&ClusterConfig::snitch())
+    }
+
+    #[test]
+    fn word_interleaved_banking() {
+        let t = tcdm();
+        assert_eq!(t.bank_of(TCDM_BASE).unwrap(), 0);
+        assert_eq!(t.bank_of(TCDM_BASE + 8).unwrap(), 1);
+        assert_eq!(t.bank_of(TCDM_BASE + 8 * 31).unwrap(), 31);
+        assert_eq!(t.bank_of(TCDM_BASE + 8 * 32).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut t = tcdm();
+        t.write_u64(TCDM_BASE + 16, 0xDEAD_BEEF_0123_4567).unwrap();
+        assert_eq!(t.read_u64(TCDM_BASE + 16).unwrap(), 0xDEAD_BEEF_0123_4567);
+        let v = 1.5f64.to_bits();
+        t.write_u64(TCDM_BASE + 24, v).unwrap();
+        assert_eq!(f64::from_bits(t.read_u64(TCDM_BASE + 24).unwrap()), 1.5);
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let mut t = tcdm();
+        assert!(matches!(t.read_u64(0), Err(SimError::BadAddress { .. })));
+        assert!(matches!(
+            t.read_u64(TCDM_BASE + 128 * 1024),
+            Err(SimError::BadAddress { .. })
+        ));
+        assert!(matches!(
+            t.read_u64(TCDM_BASE + 4),
+            Err(SimError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            t.write_bytes(TCDM_BASE + 128 * 1024 - 2, &[0; 4]),
+            Err(SimError::BadAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn conflict_free_grants_same_cycle() {
+        let mut t = tcdm();
+        let mut a = MemPort::new();
+        let mut b = MemPort::new();
+        a.issue(MemReq {
+            addr: TCDM_BASE,
+            op: MemOp::Read64,
+        });
+        b.issue(MemReq {
+            addr: TCDM_BASE + 8, // different bank
+            op: MemOp::Read64,
+        });
+        t.arbitrate(&mut [&mut a, &mut b], 0).unwrap();
+        assert!(a.take_completed().is_some());
+        assert!(b.take_completed().is_some());
+        assert_eq!(t.conflicts, 0);
+    }
+
+    #[test]
+    fn same_bank_conflicts_serialize() {
+        let mut t = tcdm();
+        let mut a = MemPort::new();
+        let mut b = MemPort::new();
+        a.issue(MemReq {
+            addr: TCDM_BASE,
+            op: MemOp::Read64,
+        });
+        b.issue(MemReq {
+            addr: TCDM_BASE + 8 * 32, // same bank 0
+            op: MemOp::Read64,
+        });
+        t.arbitrate(&mut [&mut a, &mut b], 0).unwrap();
+        let done = a.completed().is_some() as u32 + b.completed().is_some() as u32;
+        assert_eq!(done, 1, "exactly one grant on a conflicted bank");
+        assert_eq!(t.conflicts, 1);
+        let _ = a.take_completed();
+        let _ = b.take_completed();
+        t.arbitrate(&mut [&mut a, &mut b], 1).unwrap();
+        let done2 = a.completed().is_some() as u32 + b.completed().is_some() as u32;
+        assert_eq!(done2, 1, "loser granted next cycle");
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        // Two ports fighting for the same bank should alternate.
+        let mut t = tcdm();
+        let mut a = MemPort::new();
+        let mut b = MemPort::new();
+        for cycle in 0..10 {
+            if a.is_idle() {
+                a.issue(MemReq {
+                    addr: TCDM_BASE,
+                    op: MemOp::Read64,
+                });
+            }
+            if b.is_idle() {
+                b.issue(MemReq {
+                    addr: TCDM_BASE + 8 * 32,
+                    op: MemOp::Read64,
+                });
+            }
+            t.arbitrate(&mut [&mut a, &mut b], cycle).unwrap();
+            let _ = a.take_completed();
+            let _ = b.take_completed();
+        }
+        assert!(a.grants >= 4 && b.grants >= 4, "a={} b={}", a.grants, b.grants);
+    }
+
+    #[test]
+    fn write_then_read_through_ports() {
+        let mut t = tcdm();
+        let mut p = MemPort::new();
+        p.issue(MemReq {
+            addr: TCDM_BASE + 40,
+            op: MemOp::Write64(77),
+        });
+        t.arbitrate(&mut [&mut p], 0).unwrap();
+        assert!(p.take_completed().is_some());
+        p.issue(MemReq {
+            addr: TCDM_BASE + 40,
+            op: MemOp::Read64,
+        });
+        t.arbitrate(&mut [&mut p], 1).unwrap();
+        assert_eq!(p.take_completed().unwrap().data, 77);
+    }
+
+    #[test]
+    fn word32_access() {
+        let mut t = tcdm();
+        let mut p = MemPort::new();
+        p.issue(MemReq {
+            addr: TCDM_BASE + 4,
+            op: MemOp::Write32(0xABCD),
+        });
+        t.arbitrate(&mut [&mut p], 0).unwrap();
+        let _ = p.take_completed();
+        p.issue(MemReq {
+            addr: TCDM_BASE + 4,
+            op: MemOp::Read32,
+        });
+        t.arbitrate(&mut [&mut p], 1).unwrap();
+        assert_eq!(p.take_completed().unwrap().data, 0xABCD);
+        // The containing 64-bit word sees the bytes at the right offset.
+        assert_eq!(t.read_u64(TCDM_BASE).unwrap(), 0xABCD << 32);
+    }
+
+    #[test]
+    fn main_memory_roundtrip() {
+        let mut m = MainMemory::new(&ClusterConfig::snitch());
+        m.write_bytes(MAIN_BASE + 100, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_bytes(MAIN_BASE + 100, 3).unwrap(), &[1, 2, 3]);
+        assert!(m.read_bytes(MAIN_BASE - 1, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "port already busy")]
+    fn double_issue_panics() {
+        let mut p = MemPort::new();
+        let req = MemReq {
+            addr: TCDM_BASE,
+            op: MemOp::Read64,
+        };
+        p.issue(req);
+        p.issue(req);
+    }
+}

@@ -1,0 +1,603 @@
+//! SSSR streamers: hardware address generators behind `ft0..ft2`.
+//!
+//! Each streamer owns one TCDM port shared between *index fetches* (64-bit
+//! reads of the packed index array, delivering several indices at once)
+//! and *data accesses*. Armed jobs queue up ([`ClusterConfig::launch_queue_depth`])
+//! so the integer core can run ahead with launches while the FPU drains
+//! data — the launch run-ahead that makes the paper's per-window `SRIR`
+//! loop overlap with compute.
+//!
+//! [`ClusterConfig::launch_queue_depth`]: crate::config::ClusterConfig::launch_queue_depth
+
+use std::collections::VecDeque;
+
+use saris_isa::{AffineCfg, IndirectCfg, SsrCfg, StreamDir};
+
+use crate::config::ClusterConfig;
+use crate::mem::{MemOp, MemPort, MemReq};
+
+/// What the streamer's outstanding memory request is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    /// A 64-bit index-array fetch.
+    Index,
+    /// A data element read.
+    DataRead,
+    /// A data element write.
+    DataWrite,
+}
+
+/// Iteration state of the armed job currently being walked.
+#[derive(Debug, Clone)]
+struct ActiveJob {
+    /// Dynamic byte base (from `ssr_setbase` + static base).
+    base: u64,
+    /// Elements whose memory access has been *issued*.
+    issued: u32,
+    /// Elements whose memory access has completed.
+    completed: u32,
+    /// Total elements of this job.
+    total: u32,
+    /// Indices fetched from the index array so far (indirect only).
+    idx_fetched: u32,
+    /// Affine loop counters (innermost first).
+    counters: [u32; 4],
+}
+
+/// Aggregate streamer activity counters (fed to the energy model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamerStats {
+    /// Data elements streamed (reads + writes).
+    pub elems: u64,
+    /// 64-bit index-array fetches issued.
+    pub idx_fetches: u64,
+    /// Jobs armed.
+    pub jobs: u64,
+    /// Cycles with data available that nobody consumed (read) — a
+    /// diagnostic for over-provisioned FIFOs.
+    pub idle_full_cycles: u64,
+}
+
+/// One SSSR streamer.
+#[derive(Debug)]
+pub struct Streamer {
+    cfg: Option<SsrCfg>,
+    staged_base: Option<u64>,
+    jobs: VecDeque<u64>,
+    active: Option<ActiveJob>,
+    /// Read direction: delivered data awaiting FPU pops.
+    /// Write direction: FPU-pushed data awaiting memory writes.
+    data_fifo: VecDeque<f64>,
+    idx_fifo: VecDeque<u64>,
+    pending_kind: Option<PendingKind>,
+    /// The streamer's TCDM port.
+    pub port: MemPort,
+    fifo_depth: usize,
+    launch_depth: usize,
+    idx_depth: usize,
+    /// Activity counters.
+    pub stats: StreamerStats,
+}
+
+impl Streamer {
+    /// Creates an unconfigured streamer.
+    pub fn new(cfg: &ClusterConfig) -> Streamer {
+        Streamer {
+            cfg: None,
+            staged_base: None,
+            jobs: VecDeque::new(),
+            active: None,
+            data_fifo: VecDeque::new(),
+            idx_fifo: VecDeque::new(),
+            pending_kind: None,
+            port: MemPort::new(),
+            fifo_depth: cfg.stream_fifo_depth,
+            launch_depth: cfg.launch_queue_depth,
+            idx_depth: cfg.index_fifo_depth,
+            stats: StreamerStats::default(),
+        }
+    }
+
+    /// Installs a static configuration (from `ssr_setup`).
+    pub fn configure(&mut self, cfg: SsrCfg) {
+        self.cfg = Some(cfg);
+        self.staged_base = None;
+    }
+
+    /// The installed configuration.
+    pub fn config(&self) -> Option<&SsrCfg> {
+        self.cfg.as_ref()
+    }
+
+    /// Stages a dynamic base (from `ssr_setbase`).
+    pub fn stage_base(&mut self, base: u64) {
+        self.staged_base = Some(base);
+    }
+
+    /// Whether another job can be armed.
+    pub fn can_arm(&self) -> bool {
+        self.jobs.len() < self.launch_depth
+    }
+
+    /// Arms a job using the staged base (or the static base alone).
+    /// Returns `false` (and does nothing) if the launch queue is full.
+    ///
+    /// The effective base is `static_base + staged_base` for affine
+    /// streams and `staged_base` for indirect streams (whose config has no
+    /// static data base).
+    pub fn arm(&mut self) -> bool {
+        if !self.can_arm() {
+            return false;
+        }
+        let staged = self.staged_base.take().unwrap_or(0);
+        let base = match self.cfg.as_ref().expect("configured before arm") {
+            SsrCfg::Affine(a) => a.base.wrapping_add(staged),
+            SsrCfg::Indirect(_) => staged,
+        };
+        self.jobs.push_back(base);
+        self.stats.jobs += 1;
+        true
+    }
+
+    /// Whether the streamer is configured.
+    pub fn is_configured(&self) -> bool {
+        self.cfg.is_some()
+    }
+
+    /// The stream direction, if configured.
+    pub fn dir(&self) -> Option<StreamDir> {
+        self.cfg.as_ref().map(SsrCfg::dir)
+    }
+
+    /// Data elements available for the FPU to pop (read streams).
+    pub fn available(&self) -> usize {
+        match self.dir() {
+            Some(StreamDir::Read) => self.data_fifo.len(),
+            _ => 0,
+        }
+    }
+
+    /// Pops one element (read streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no element is available (the FPU checks first).
+    pub fn pop(&mut self) -> f64 {
+        debug_assert_eq!(self.dir(), Some(StreamDir::Read));
+        self.data_fifo.pop_front().expect("pop on empty stream FIFO")
+    }
+
+    /// Free slots for FPU pushes (write streams).
+    pub fn push_space(&self) -> usize {
+        match self.dir() {
+            Some(StreamDir::Write) => self.fifo_depth - self.data_fifo.len(),
+            _ => 0,
+        }
+    }
+
+    /// Pushes one element (write streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full (the FPU checks first).
+    pub fn push(&mut self, value: f64) {
+        debug_assert_eq!(self.dir(), Some(StreamDir::Write));
+        assert!(
+            self.data_fifo.len() < self.fifo_depth,
+            "push on full stream FIFO"
+        );
+        self.data_fifo.push_back(value);
+    }
+
+    /// Whether all armed work has fully completed and no data lingers
+    /// (write FIFO drained; read FIFO empty).
+    pub fn is_drained(&self) -> bool {
+        self.active.is_none()
+            && self.jobs.is_empty()
+            && self.data_fifo.is_empty()
+            && self.port.is_idle()
+            && self.pending_kind.is_none()
+    }
+
+    /// Elements lingering in the data FIFO (for residue diagnostics).
+    pub fn residue(&self) -> usize {
+        self.data_fifo.len()
+    }
+
+    /// Whether the streamer still has work it can advance on its own
+    /// (active or queued jobs, or an outstanding memory request). A
+    /// streamer with residue but no progress potential is stuck.
+    pub fn can_make_progress(&self) -> bool {
+        self.active.is_some()
+            || !self.jobs.is_empty()
+            || self.pending_kind.is_some()
+            || !self.port.is_idle()
+    }
+
+    /// Advances the streamer one cycle: consume a completed memory
+    /// response, activate queued jobs, and issue at most one new memory
+    /// request through the port.
+    pub fn step(&mut self) {
+        self.consume_response();
+        self.activate_next_job();
+        if self.port.is_pending() || self.pending_kind.is_some() {
+            return; // one outstanding request at a time
+        }
+        self.issue_next_request();
+    }
+
+    fn consume_response(&mut self) {
+        let Some(resp) = self.port.take_completed() else {
+            return;
+        };
+        let kind = self.pending_kind.take().expect("response without request");
+        let Some(active) = self.active.as_mut() else {
+            unreachable!("response without active job");
+        };
+        match kind {
+            PendingKind::Index => {
+                let SsrCfg::Indirect(icfg) = self.cfg.as_ref().expect("configured") else {
+                    unreachable!("index fetch on affine stream");
+                };
+                let per = icfg.idx_width.per_fetch() as u32;
+                let bytes = resp.data.to_le_bytes();
+                // The fetch may start mid-word if idx_base is not 8-byte
+                // aligned times the position; we require 8-byte aligned
+                // index arrays, so entry k of this fetch is global index
+                // idx_fetched + k.
+                for k in 0..per {
+                    let global = active.idx_fetched + k;
+                    if global >= icfg.idx_count {
+                        break;
+                    }
+                    let w = icfg.idx_width.bytes();
+                    let off = (k as usize) * w;
+                    let raw: u64 = match icfg.idx_width {
+                        saris_isa::IndexWidth::U8 => bytes[off] as u64,
+                        saris_isa::IndexWidth::U16 => {
+                            u16::from_le_bytes([bytes[off], bytes[off + 1]]) as u64
+                        }
+                        saris_isa::IndexWidth::U32 => u32::from_le_bytes(
+                            bytes[off..off + 4].try_into().expect("4 bytes"),
+                        ) as u64,
+                    };
+                    self.idx_fifo.push_back(raw);
+                }
+                active.idx_fetched = (active.idx_fetched + per).min(icfg.idx_count);
+            }
+            PendingKind::DataRead => {
+                self.data_fifo.push_back(f64::from_bits(resp.data));
+                active.completed += 1;
+                self.stats.elems += 1;
+            }
+            PendingKind::DataWrite => {
+                active.completed += 1;
+                self.stats.elems += 1;
+            }
+        }
+    }
+
+    fn activate_next_job(&mut self) {
+        if let Some(a) = &self.active {
+            if a.completed == a.total {
+                debug_assert!(self.idx_fifo.is_empty(), "job ended with stale indices");
+                self.active = None;
+            }
+        }
+        if self.active.is_none() {
+            if let Some(base) = self.jobs.pop_front() {
+                let total = match self.cfg.as_ref().expect("configured") {
+                    SsrCfg::Affine(a) => a.total_elems() as u32,
+                    SsrCfg::Indirect(i) => i.idx_count,
+                };
+                self.active = Some(ActiveJob {
+                    base,
+                    issued: 0,
+                    completed: 0,
+                    total,
+                    idx_fetched: 0,
+                    counters: [0; 4],
+                });
+            }
+        }
+    }
+
+    fn issue_next_request(&mut self) {
+        let Some(cfg) = self.cfg.clone() else { return };
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        if active.issued == active.total {
+            return;
+        }
+        match (&cfg, cfg.dir()) {
+            (SsrCfg::Indirect(icfg), dir) => {
+                let need_more_idx = active.idx_fetched < icfg.idx_count
+                    && self.idx_fifo.len() < self.idx_depth.min(icfg.idx_width.per_fetch());
+                let can_data = !self.idx_fifo.is_empty()
+                    && match dir {
+                        StreamDir::Read => {
+                            self.data_fifo.len() < self.fifo_depth
+                        }
+                        StreamDir::Write => !self.data_fifo.is_empty(),
+                    };
+                if can_data {
+                    let idx = self.idx_fifo.pop_front().expect("nonempty");
+                    let addr = active.base.wrapping_add(idx << icfg.shift);
+                    let op = match dir {
+                        StreamDir::Read => MemOp::Read64,
+                        StreamDir::Write => {
+                            let v = self.data_fifo.pop_front().expect("write data");
+                            MemOp::Write64(v.to_bits())
+                        }
+                    };
+                    active.issued += 1;
+                    self.pending_kind = Some(match dir {
+                        StreamDir::Read => PendingKind::DataRead,
+                        StreamDir::Write => PendingKind::DataWrite,
+                    });
+                    self.port.issue(MemReq { addr, op });
+                } else if need_more_idx {
+                    // 64-bit aligned fetch of the next index word.
+                    let fetch_no = active.idx_fetched as u64 / icfg.idx_width.per_fetch() as u64;
+                    let addr = icfg.idx_base + fetch_no * 8;
+                    self.stats.idx_fetches += 1;
+                    self.pending_kind = Some(PendingKind::Index);
+                    self.port.issue(MemReq {
+                        addr,
+                        op: MemOp::Read64,
+                    });
+                }
+            }
+            (SsrCfg::Affine(acfg), StreamDir::Read) => {
+                if self.data_fifo.len() < self.fifo_depth {
+                    let addr = affine_addr(acfg, active);
+                    advance_affine(acfg, active);
+                    active.issued += 1;
+                    self.pending_kind = Some(PendingKind::DataRead);
+                    self.port.issue(MemReq {
+                        addr,
+                        op: MemOp::Read64,
+                    });
+                }
+            }
+            (SsrCfg::Affine(acfg), StreamDir::Write) => {
+                if let Some(&v) = self.data_fifo.front() {
+                    let addr = affine_addr(acfg, active);
+                    advance_affine(acfg, active);
+                    self.data_fifo.pop_front();
+                    active.issued += 1;
+                    self.pending_kind = Some(PendingKind::DataWrite);
+                    self.port.issue(MemReq {
+                        addr,
+                        op: MemOp::Write64(v.to_bits()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn affine_addr(cfg: &AffineCfg, job: &ActiveJob) -> u64 {
+    let mut addr = job.base as i64;
+    for d in 0..cfg.dims as usize {
+        addr += job.counters[d] as i64 * cfg.strides[d];
+    }
+    addr as u64
+}
+
+fn advance_affine(cfg: &AffineCfg, job: &mut ActiveJob) {
+    for d in 0..cfg.dims as usize {
+        job.counters[d] += 1;
+        if job.counters[d] < cfg.bounds[d] {
+            return;
+        }
+        job.counters[d] = 0;
+    }
+}
+
+/// Helper building an indirect read config (used by tests and codegen).
+pub fn indirect_read(idx_base: u64, idx_count: u32, width: saris_isa::IndexWidth) -> SsrCfg {
+    SsrCfg::Indirect(IndirectCfg {
+        dir: StreamDir::Read,
+        idx_base,
+        idx_count,
+        idx_width: width,
+        shift: 3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TCDM_BASE;
+    use crate::mem::Tcdm;
+    use saris_isa::IndexWidth;
+
+    fn run_streamer(s: &mut Streamer, t: &mut Tcdm, cycles: u64) {
+        for c in 0..cycles {
+            s.step();
+            t.arbitrate(&mut [&mut s.port], c).unwrap();
+        }
+    }
+
+    #[test]
+    fn affine_read_streams_a_vector() {
+        let cfg = ClusterConfig::snitch();
+        let mut t = Tcdm::new(&cfg);
+        for i in 0..16u64 {
+            t.write_u64(TCDM_BASE + i * 8, (i as f64).to_bits()).unwrap();
+        }
+        let mut s = Streamer::new(&cfg);
+        s.configure(SsrCfg::Affine(AffineCfg {
+            dir: StreamDir::Read,
+            base: TCDM_BASE,
+            dims: 1,
+            strides: [8, 0, 0, 0],
+            bounds: [16, 1, 1, 1],
+        }));
+        assert!(s.arm());
+        let mut got = Vec::new();
+        for c in 0..200 {
+            s.step();
+            t.arbitrate(&mut [&mut s.port], c).unwrap();
+            while s.available() > 0 {
+                got.push(s.pop());
+            }
+            if got.len() == 16 {
+                break;
+            }
+        }
+        let expect: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert_eq!(got, expect);
+        assert!(s.is_drained());
+        assert_eq!(s.stats.elems, 16);
+        assert_eq!(s.stats.idx_fetches, 0);
+    }
+
+    #[test]
+    fn affine_2d_write_stream() {
+        let cfg = ClusterConfig::snitch();
+        let mut t = Tcdm::new(&cfg);
+        let mut s = Streamer::new(&cfg);
+        // 3 rows of 2 elements, row stride 64 bytes.
+        s.configure(SsrCfg::Affine(AffineCfg {
+            dir: StreamDir::Write,
+            base: TCDM_BASE + 256,
+            dims: 2,
+            strides: [8, 64, 0, 0],
+            bounds: [2, 3, 1, 1],
+        }));
+        assert!(s.arm());
+        let mut pushed = 0;
+        for c in 0..200 {
+            if pushed < 6 && s.push_space() > 0 {
+                s.push(pushed as f64 + 0.5);
+                pushed += 1;
+            }
+            s.step();
+            t.arbitrate(&mut [&mut s.port], c).unwrap();
+            if pushed == 6 && s.is_drained() {
+                break;
+            }
+        }
+        assert!(s.is_drained(), "write stream must drain");
+        for row in 0..3u64 {
+            for col in 0..2u64 {
+                let addr = TCDM_BASE + 256 + row * 64 + col * 8;
+                let v = f64::from_bits(t.read_u64(addr).unwrap());
+                assert_eq!(v, (row * 2 + col) as f64 + 0.5, "row {row} col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_gather_uses_index_array() {
+        let cfg = ClusterConfig::snitch();
+        let mut t = Tcdm::new(&cfg);
+        // Data at base + idx*8 for idx in [4, 0, 2, 9].
+        let data_base = TCDM_BASE + 1024;
+        for i in 0..16u64 {
+            t.write_u64(data_base + i * 8, ((100 + i) as f64).to_bits())
+                .unwrap();
+        }
+        let idx_base = TCDM_BASE + 4096;
+        let idxs: [u16; 4] = [4, 0, 2, 9];
+        let mut bytes = Vec::new();
+        for i in idxs {
+            bytes.extend_from_slice(&i.to_le_bytes());
+        }
+        t.write_bytes(idx_base, &bytes).unwrap();
+        let mut s = Streamer::new(&cfg);
+        s.configure(indirect_read(idx_base, 4, IndexWidth::U16));
+        s.stage_base(data_base);
+        assert!(s.arm());
+        let mut got = Vec::new();
+        for c in 0..200 {
+            s.step();
+            t.arbitrate(&mut [&mut s.port], c).unwrap();
+            while s.available() > 0 {
+                got.push(s.pop());
+            }
+            if got.len() == 4 {
+                break;
+            }
+        }
+        assert_eq!(got, vec![104.0, 100.0, 102.0, 109.0]);
+        // One 64-bit fetch covered all four u16 indices.
+        assert_eq!(s.stats.idx_fetches, 1);
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn launch_queue_allows_run_ahead_and_refetches_indices() {
+        let cfg = ClusterConfig::snitch();
+        let mut t = Tcdm::new(&cfg);
+        let data_base = TCDM_BASE;
+        for i in 0..64u64 {
+            t.write_u64(data_base + i * 8, (i as f64).to_bits()).unwrap();
+        }
+        let idx_base = TCDM_BASE + 2048;
+        let mut bytes = Vec::new();
+        for i in [0u16, 1, 2] {
+            bytes.extend_from_slice(&i.to_le_bytes());
+        }
+        t.write_bytes(idx_base, &bytes).unwrap();
+        let mut s = Streamer::new(&cfg);
+        s.configure(indirect_read(idx_base, 3, IndexWidth::U16));
+        // Arm two jobs with different bases (launch run-ahead).
+        s.stage_base(data_base);
+        assert!(s.arm());
+        s.stage_base(data_base + 10 * 8);
+        assert!(s.arm());
+        assert!(!s.can_arm() || cfg.launch_queue_depth > 2);
+        let mut got = Vec::new();
+        for c in 0..400 {
+            s.step();
+            t.arbitrate(&mut [&mut s.port], c).unwrap();
+            while s.available() > 0 {
+                got.push(s.pop());
+            }
+            if got.len() == 6 {
+                break;
+            }
+        }
+        assert_eq!(got, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        // The index array is re-read per job (paper's index overhead).
+        assert_eq!(s.stats.idx_fetches, 2);
+        assert_eq!(s.stats.jobs, 2);
+    }
+
+    #[test]
+    fn read_fifo_respects_depth() {
+        let cfg = ClusterConfig::snitch();
+        let mut t = Tcdm::new(&cfg);
+        let mut s = Streamer::new(&cfg);
+        s.configure(SsrCfg::Affine(AffineCfg {
+            dir: StreamDir::Read,
+            base: TCDM_BASE,
+            dims: 1,
+            strides: [8, 0, 0, 0],
+            bounds: [64, 1, 1, 1],
+        }));
+        assert!(s.arm());
+        // Never pop: the FIFO must cap at its depth (+1 in flight).
+        run_streamer(&mut s, &mut t, 100);
+        assert!(
+            s.available() <= cfg.stream_fifo_depth + 1,
+            "fifo overfilled: {}",
+            s.available()
+        );
+    }
+
+    #[test]
+    fn unconfigured_streamer_is_inert() {
+        let cfg = ClusterConfig::snitch();
+        let mut t = Tcdm::new(&cfg);
+        let mut s = Streamer::new(&cfg);
+        run_streamer(&mut s, &mut t, 10);
+        assert!(s.is_drained());
+        assert_eq!(s.available(), 0);
+        assert_eq!(s.push_space(), 0);
+    }
+}

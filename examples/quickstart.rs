@@ -1,0 +1,61 @@
+//! Quickstart: run one stencil on the simulated Snitch cluster in both
+//! variants and compare them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use saris::prelude::*;
+
+fn main() -> Result<(), saris::codegen::CodegenError> {
+    // The paper's simplest code: the PolyBench 5-point Jacobi.
+    let stencil = gallery::jacobi_2d();
+    println!("stencil: {stencil}");
+
+    // A 64x64 tile (halo included), filled with reproducible noise.
+    let tile = Extent::new_2d(64, 64);
+    let input = Grid::pseudo_random(tile, 42);
+
+    // The optimized RV32G baseline, with the paper's "unroll iff
+    // beneficial" tuning.
+    let base = tune_unroll(
+        &stencil,
+        &[&input],
+        &RunOptions::new(Variant::Base),
+        &saris::codegen::DEFAULT_CANDIDATES,
+    )?;
+    println!("\nbase   (unroll {}):  {}", base.unroll(), base.best.report);
+
+    // The SARIS variant: indirect stream registers + FREP.
+    let saris = tune_unroll(
+        &stencil,
+        &[&input],
+        &RunOptions::new(Variant::Saris),
+        &saris::codegen::DEFAULT_CANDIDATES,
+    )?;
+    println!("saris  (unroll {}): {}", saris.unroll(), saris.best.report);
+
+    // Both kernels are verified against the golden reference executor.
+    let err = saris.best.max_error_vs_reference(&stencil, &[&input]);
+    println!("\nmax |error| vs reference: {err:.2e}");
+    assert!(err < 1e-12);
+
+    let speedup = base.best.report.cycles as f64 / saris.best.report.cycles as f64;
+    println!(
+        "SARIS speedup: {speedup:.2}x  (FPU util {:.0}% -> {:.0}%)",
+        100.0 * base.best.report.fpu_util(),
+        100.0 * saris.best.report.fpu_util()
+    );
+
+    // And the calibrated energy model gives the Figure 4 metrics.
+    let model = EnergyModel::gf12lp();
+    let pb = model.estimate(&base.best.report);
+    let ps = model.estimate(&saris.best.report);
+    println!(
+        "power: {:.0} mW -> {:.0} mW, energy-efficiency gain {:.2}x",
+        1e3 * pb.total_watts(),
+        1e3 * ps.total_watts(),
+        efficiency_gain(&pb, &ps)
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! What-if explorer for the Manticore-256s scaleout: how do memory
+//! bandwidth and group size move a code across the memory-bound /
+//! compute-bound line?
+//!
+//! Runs one code on the simulated single cluster, then sweeps the
+//! machine model's HBM pin rate and clusters-per-group, reporting the
+//! estimated FPU utilization and compute-to-memory time ratio.
+//!
+//! ```sh
+//! cargo run --release --example scaleout_explorer [code]
+//! ```
+
+use saris::codegen::measure_dma_utilization;
+use saris::prelude::*;
+use saris::scaleout::ClusterMeasurement;
+
+fn main() -> Result<(), saris::codegen::CodegenError> {
+    let code = std::env::args().nth(1).unwrap_or_else(|| "star3d2r".into());
+    let stencil = gallery::by_name(&code)
+        .unwrap_or_else(|| panic!("unknown code {code}; see saris::core::gallery::NAMES"));
+    let tile = match stencil.space() {
+        Space::Dim2 => Extent::new_2d(64, 64),
+        Space::Dim3 => Extent::cube(Space::Dim3, 16),
+    };
+    let grid = match stencil.space() {
+        Space::Dim2 => Extent::new_2d(16384, 16384),
+        Space::Dim3 => Extent::cube(Space::Dim3, 512),
+    };
+    println!("code {code}: tile {tile}, grid {grid}\n");
+
+    // Single-cluster measurement (SARIS variant).
+    let inputs: Vec<Grid> = stencil
+        .input_arrays()
+        .enumerate()
+        .map(|(i, _)| Grid::pseudo_random(tile, 9 + i as u64))
+        .collect();
+    let refs: Vec<&Grid> = inputs.iter().collect();
+    let run = tune_unroll(
+        &stencil,
+        &refs,
+        &RunOptions::new(Variant::Saris),
+        &saris::codegen::DEFAULT_CANDIDATES,
+    )?
+    .best;
+    let dma_util = measure_dma_utilization(tile, &ClusterConfig::snitch())?;
+    println!(
+        "single cluster: {} cycles/tile, FPU util {:.0}%, DMA util {:.0}%\n",
+        run.report.cycles,
+        100.0 * run.report.fpu_util(),
+        100.0 * dma_util
+    );
+    let measurement = ClusterMeasurement {
+        compute_cycles_per_tile: run.report.cycles as f64,
+        fpu_ops_per_tile: run.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+        flops_per_tile: run.report.flops() as f64,
+        dma_utilization: dma_util,
+        core_imbalance: run.report.runtime_imbalance(),
+    };
+
+    println!(
+        "{:>12} {:>16} {:>10} {:>7} {:>9} {:>9}",
+        "pin Gb/s", "clusters/group", "util", "CMTR", "regime", "GFLOP/s"
+    );
+    for pins_gbps in [1.6, 2.4, 3.2, 4.8, 6.4] {
+        for cpg in [2, 4, 8] {
+            let mut machine = MachineModel::manticore_256s();
+            machine.hbm_gbps_per_pin = pins_gbps;
+            machine.clusters_per_group = cpg;
+            machine.groups = 32 / cpg; // keep 32 clusters total
+            let est = scaleout_estimate(&machine, &stencil, tile, grid, &measurement);
+            println!(
+                "{:>12.1} {:>16} {:>10.3} {:>6.0}% {:>9} {:>9.0}",
+                pins_gbps,
+                cpg,
+                est.fpu_util,
+                100.0 * est.cmtr.min(9.99),
+                if est.memory_bound { "memory" } else { "compute" },
+                est.gflops
+            );
+        }
+    }
+    println!("\nhigher pin rates / fewer clusters per group push the code compute-bound");
+    Ok(())
+}

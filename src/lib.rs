@@ -1,0 +1,71 @@
+//! # saris — stencil acceleration with register-mapped indirect streams
+//!
+//! A full reproduction of *"SARIS: Accelerating Stencil Computations on
+//! Energy-Efficient RISC-V Compute Clusters with Indirect Stream
+//! Registers"* (DAC 2024) as a Rust workspace, including every substrate
+//! the paper depends on:
+//!
+//! * [`core`] *(saris-core)* — the stencil IR, the ten-code gallery of the
+//!   paper's Table 1, the golden reference executor, and the SARIS
+//!   planning method itself (stream partitioning, point-loop scheduling,
+//!   static index arrays);
+//! * [`isa`] *(saris-isa)* — an RV32G-like IR with the SSSR stream-register
+//!   and FREP hardware-loop extensions;
+//! * [`sim`] *(snitch-sim)* — a cycle-approximate, functional simulator of
+//!   the eight-core Snitch cluster (banked TCDM, streamers, FREP
+//!   sequencer, DMA, shared I$);
+//! * [`codegen`] *(saris-codegen)* — optimized RV32G baseline and
+//!   SARIS-accelerated kernel generation, auto-tuned unrolling, and the
+//!   run/verify harness;
+//! * [`energy`] *(saris-energy)* — the calibrated power/energy model
+//!   behind Figure 4;
+//! * [`scaleout`] *(saris-scaleout)* — the analytic Manticore-256s
+//!   manycore estimate behind Figure 5 and Table 2.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use saris::prelude::*;
+//!
+//! # fn main() -> Result<(), saris::codegen::CodegenError> {
+//! // Take a stencil from the paper's gallery and a random input tile.
+//! let stencil = gallery::jacobi_2d();
+//! let tile = Extent::new_2d(32, 32);
+//! let input = Grid::pseudo_random(tile, 1);
+//!
+//! // Run both variants on the simulated Snitch cluster.
+//! let base = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Base))?;
+//! let saris = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Saris))?;
+//!
+//! // Verified against the golden reference, and faster.
+//! assert!(saris.max_error_vs_reference(&stencil, &[&input]) < 1e-12);
+//! assert!(saris.report.cycles < base.report.cycles);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! To regenerate the paper's tables and figures, see the `saris-bench`
+//! crate (`cargo run --release -p saris-bench --bin all`).
+
+#![warn(missing_docs)]
+
+pub use saris_codegen as codegen;
+pub use saris_core as core;
+pub use saris_energy as energy;
+pub use saris_isa as isa;
+pub use saris_scaleout as scaleout;
+pub use snitch_sim as sim;
+
+/// The most commonly used items, re-exported for `use saris::prelude::*`.
+pub mod prelude {
+    pub use saris_codegen::{
+        compile, run_stencil, tune_unroll, RunOptions, StencilRun, Variant,
+    };
+    pub use saris_core::{
+        gallery, reference, ArenaLayout, Extent, Grid, Halo, InterleavePlan, Offset, Point,
+        SarisOptions, SarisPlan, Space, Stencil, StencilBuilder, StreamMode,
+    };
+    pub use saris_energy::{efficiency_gain, EnergyModel};
+    pub use saris_scaleout::{estimate as scaleout_estimate, MachineModel};
+    pub use snitch_sim::{Cluster, ClusterConfig, RunReport};
+}

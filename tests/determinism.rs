@@ -1,0 +1,65 @@
+//! The whole pipeline is deterministic: identical inputs produce
+//! identical cycle counts, reports and output bits, and kernel timing is
+//! independent of the data values flowing through.
+
+use saris::prelude::*;
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let stencil = gallery::star3d2r();
+    let tile = Extent::cube(Space::Dim3, 12);
+    let input = Grid::pseudo_random(tile, 11);
+    let opts = RunOptions::new(Variant::Saris).with_unroll(2);
+    let a = run_stencil(&stencil, &[&input], &opts).unwrap();
+    let b = run_stencil(&stencil, &[&input], &opts).unwrap();
+    assert_eq!(a.report.cycles, b.report.cycles);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.output.max_abs_diff(&b.output), 0.0);
+}
+
+#[test]
+fn timing_is_data_independent() {
+    let stencil = gallery::j2d5pt();
+    let tile = Extent::new_2d(32, 32);
+    let opts = RunOptions::new(Variant::Saris).with_unroll(2);
+    let cycles: Vec<u64> = (0..3)
+        .map(|seed| {
+            let input = Grid::pseudo_random(tile, seed);
+            run_stencil(&stencil, &[&input], &opts).unwrap().report.cycles
+        })
+        .collect();
+    assert_eq!(cycles[0], cycles[1]);
+    assert_eq!(cycles[1], cycles[2]);
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let stencil = gallery::box2d1r();
+    let tile = Extent::new_2d(32, 32);
+    let opts = RunOptions::new(Variant::Saris).with_unroll(2);
+    let a = compile(&stencil, tile, &opts).unwrap();
+    let b = compile(&stencil, tile, &opts).unwrap();
+    for (ca, cb) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(ca.program, cb.program);
+    }
+    assert_eq!(a.install, b.install);
+}
+
+#[test]
+fn scaleout_bootstrap_is_seeded() {
+    use saris::scaleout::ClusterMeasurement;
+    let machine = MachineModel::manticore_256s();
+    let s = gallery::jacobi_2d();
+    let tile = Extent::new_2d(64, 64);
+    let grid = Extent::new_2d(16384, 16384);
+    let m = ClusterMeasurement {
+        compute_cycles_per_tile: 3000.0,
+        fpu_ops_per_tile: 19220.0,
+        flops_per_tile: 19220.0,
+        dma_utilization: 0.9,
+        core_imbalance: vec![0.95, 0.98, 1.0, 1.0, 1.01, 1.01, 1.02, 1.03],
+    };
+    let a = scaleout_estimate(&machine, &s, tile, grid, &m);
+    let b = scaleout_estimate(&machine, &s, tile, grid, &m);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,190 @@
+//! Shape assertions against the paper's headline claims, on the paper's
+//! own tile sizes. Absolute cycle counts differ from the authors' RTL;
+//! these tests pin down the *relationships* the paper reports.
+
+use saris::codegen::DEFAULT_CANDIDATES;
+use saris::prelude::*;
+
+fn tuned(stencil: &Stencil, variant: Variant) -> StencilRun {
+    let tile = match stencil.space() {
+        Space::Dim2 => Extent::new_2d(64, 64),
+        Space::Dim3 => Extent::cube(Space::Dim3, 16),
+    };
+    let inputs: Vec<Grid> = stencil
+        .input_arrays()
+        .enumerate()
+        .map(|(i, _)| Grid::pseudo_random(tile, 7 + i as u64))
+        .collect();
+    let refs: Vec<&Grid> = inputs.iter().collect();
+    tune_unroll(stencil, &refs, &RunOptions::new(variant), &DEFAULT_CANDIDATES)
+        .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()))
+        .best
+}
+
+/// "SARIS achieves significant speedups ... with a clear increasing trend"
+/// — every code must beat its baseline clearly.
+#[test]
+fn saris_beats_base_on_every_code() {
+    for stencil in gallery::all() {
+        let base = tuned(&stencil, Variant::Base);
+        let saris = tuned(&stencil, Variant::Saris);
+        let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
+        assert!(
+            speedup > 1.35,
+            "{}: speedup only {speedup:.2}",
+            stencil.name()
+        );
+    }
+}
+
+/// Figure 3b: base FPU utilization sits near the instruction-mix bound
+/// (~0.35-0.50) while SARIS reaches near-ideal utilization.
+#[test]
+fn fpu_utilization_shape() {
+    let jacobi = gallery::jacobi_2d();
+    let base = tuned(&jacobi, Variant::Base);
+    let saris = tuned(&jacobi, Variant::Saris);
+    let bu = base.report.fpu_util();
+    let su = saris.report.fpu_util();
+    assert!((0.30..=0.50).contains(&bu), "base util {bu}");
+    assert!(su > 0.70, "saris util {su} (paper: never below 0.70)");
+}
+
+/// Pseudo-dual issue: SARIS IPC exceeds 1 on a single-issue core
+/// (paper: geomean 1.11, never below 1.0 — jacobi is comfortably above).
+#[test]
+fn saris_ipc_exceeds_one_on_jacobi() {
+    let saris = tuned(&gallery::jacobi_2d(), Variant::Saris);
+    assert!(saris.report.ipc() > 1.0, "ipc {}", saris.report.ipc());
+}
+
+/// The register-bound story (Section 3.1): for the 27-tap codes the
+/// baseline collapses (paper: IPC down to 0.69) while SARIS holds its
+/// utilization by streaming taps and reloading coefficients without
+/// touching the register allocator.
+#[test]
+fn register_bound_codes_collapse_in_base_only() {
+    let s = gallery::j3d27pt();
+    let base = tuned(&s, Variant::Base);
+    let saris = tuned(&s, Variant::Saris);
+    assert!(
+        base.report.ipc() < 0.80,
+        "register-bound base IPC should collapse, got {}",
+        base.report.ipc()
+    );
+    assert!(
+        saris.report.fpu_util() > 0.60,
+        "saris must avoid the register bottleneck, got {}",
+        saris.report.fpu_util()
+    );
+    let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
+    let jacobi_base = tuned(&gallery::jacobi_2d(), Variant::Base);
+    let jacobi_saris = tuned(&gallery::jacobi_2d(), Variant::Saris);
+    let jacobi_speedup =
+        jacobi_base.report.cycles as f64 / jacobi_saris.report.cycles as f64;
+    assert!(
+        speedup > jacobi_speedup,
+        "the paper's rising trend: j3d27pt ({speedup:.2}) must beat jacobi ({jacobi_speedup:.2})"
+    );
+}
+
+/// ac_iso_cd stores more indices per point than any other code except
+/// the 27-tap boxes (which have one more tap but double the FLOPs to
+/// amortize them) — the paper: "more indices must be stored for fewer
+/// point iterations doing useful compute", its explanation for
+/// ac_iso_cd's lowest SARIS utilization.
+#[test]
+fn ac_iso_cd_pays_the_largest_index_overhead() {
+    use saris::core::layout::ArenaLayout;
+    let per_point = |s: &Stencil| {
+        let tile = match s.space() {
+            Space::Dim2 => Extent::new_2d(64, 64),
+            Space::Dim3 => Extent::cube(Space::Dim3, 16),
+        };
+        let layout = ArenaLayout::for_stencil(s, tile);
+        SarisPlan::derive(s, &layout, SarisOptions::default(), 1, 4)
+            .unwrap()
+            .indices_per_point()
+    };
+    let ac = per_point(&gallery::ac_iso_cd());
+    assert!(ac >= 26.0, "ac_iso_cd stores {ac} indices per point");
+    for other in gallery::all() {
+        if matches!(other.name(), "ac_iso_cd" | "box3d1r" | "j3d27pt") {
+            continue;
+        }
+        assert!(
+            ac > per_point(&other),
+            "{} stores more indices per point than ac_iso_cd",
+            other.name()
+        );
+    }
+    // The boxes amortize their indices over twice the FLOPs.
+    for name in ["box3d1r", "j3d27pt"] {
+        let other = gallery::by_name(name).unwrap();
+        let ratio_ac = ac / gallery::ac_iso_cd().stats().flops as f64;
+        let ratio_other = per_point(&other) / other.stats().flops as f64;
+        assert!(ratio_ac > ratio_other, "{name}");
+    }
+}
+
+/// Figure 4's direction: SARIS draws more power but finishes enough
+/// faster to win on energy for every code (paper: gains 1.27-2.17x).
+#[test]
+fn energy_efficiency_gains_are_positive() {
+    let model = EnergyModel::gf12lp();
+    for name in ["jacobi_2d", "j3d27pt"] {
+        let s = gallery::by_name(name).unwrap();
+        let base = tuned(&s, Variant::Base);
+        let saris = tuned(&s, Variant::Saris);
+        let pb = model.estimate(&base.report);
+        let ps = model.estimate(&saris.report);
+        assert!(
+            ps.total_watts() > pb.total_watts(),
+            "{name}: saris must draw more power"
+        );
+        let gain = efficiency_gain(&pb, &ps);
+        assert!(gain > 1.0, "{name}: efficiency gain {gain:.2}");
+    }
+}
+
+/// The scaleout regime split (Figure 5): low-intensity codes go
+/// memory-bound on the manycore, the high-intensity 27-point codes stay
+/// compute-bound, and CMTR rises with FLOPs per point.
+#[test]
+fn scaleout_regimes_follow_operational_intensity() {
+    use saris::codegen::measure_dma_utilization;
+    use saris::scaleout::ClusterMeasurement;
+    let machine = MachineModel::manticore_256s();
+    let mut cmtrs = Vec::new();
+    for name in ["jacobi_2d", "j3d27pt"] {
+        let s = gallery::by_name(name).unwrap();
+        let saris = tuned(&s, Variant::Saris);
+        let tile = match s.space() {
+            Space::Dim2 => Extent::new_2d(64, 64),
+            Space::Dim3 => Extent::cube(Space::Dim3, 16),
+        };
+        let grid = match s.space() {
+            Space::Dim2 => Extent::new_2d(16384, 16384),
+            Space::Dim3 => Extent::cube(Space::Dim3, 512),
+        };
+        let m = ClusterMeasurement {
+            compute_cycles_per_tile: saris.report.cycles as f64,
+            fpu_ops_per_tile: saris.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+            flops_per_tile: saris.report.flops() as f64,
+            dma_utilization: measure_dma_utilization(tile, &ClusterConfig::snitch())
+                .unwrap(),
+            core_imbalance: saris.report.runtime_imbalance(),
+        };
+        cmtrs.push(scaleout_estimate(&machine, &s, tile, grid, &m).cmtr);
+    }
+    assert!(
+        cmtrs[0] < 1.0,
+        "jacobi_2d must be memory-bound at scale (CMTR {})",
+        cmtrs[0]
+    );
+    assert!(
+        cmtrs[1] > 1.0,
+        "j3d27pt must stay compute-bound at scale (CMTR {})",
+        cmtrs[1]
+    );
+}

@@ -1,0 +1,169 @@
+//! Property-based tests over the full pipeline: randomly generated
+//! stencils and tiles must simulate to exactly the reference result, and
+//! the SARIS planner's invariants must hold for arbitrary shapes.
+
+use proptest::prelude::*;
+use saris::core::layout::ArenaLayout;
+use saris::core::method::PointSchedule;
+use saris::prelude::*;
+
+/// Strategy: a random but valid 2D stencil — a weighted sum over `n`
+/// distinct taps within `radius`, with optional symmetric pair adds.
+fn arb_stencil() -> impl Strategy<Value = Stencil> {
+    (
+        2usize..=9,                 // taps
+        1i32..=2,                   // radius
+        prop::bool::ANY,            // pair the opposing taps?
+        0u64..1000,                 // coefficient seed
+    )
+        .prop_map(|(n_taps, radius, paired, cseed)| {
+            let mut b = StencilBuilder::new("prop", Space::Dim2);
+            let inp = b.input("inp");
+            b.output("out");
+            // Distinct offsets: center plus a deterministic spiral.
+            let mut offsets = vec![Offset::CENTER];
+            'outer: for r in 1..=radius {
+                for (dx, dy) in [(r, 0), (-r, 0), (0, r), (0, -r), (r, r), (-r, -r)] {
+                    if offsets.len() >= n_taps {
+                        break 'outer;
+                    }
+                    offsets.push(Offset::d2(dx, dy));
+                }
+            }
+            let cv = |i: usize| 0.03 + ((cseed + i as u64 * 37) % 17) as f64 / 100.0;
+            if paired && offsets.len() >= 3 {
+                // center * c0 + sum of paired (a+b) * ci
+                let c0 = b.coeff("c0", cv(0));
+                let center = b.tap(inp, offsets[0]);
+                let mut acc = b.mul(c0, center);
+                let mut i = 1;
+                while i + 1 < offsets.len() {
+                    let t1 = b.tap(inp, offsets[i]);
+                    let t2 = b.tap(inp, offsets[i + 1]);
+                    let pair = b.add(t1, t2);
+                    let c = b.coeff(format!("c{i}"), cv(i));
+                    acc = b.fma(c, pair, acc);
+                    i += 2;
+                }
+                if i < offsets.len() {
+                    let t = b.tap(inp, offsets[i]);
+                    let c = b.coeff(format!("c{i}"), cv(i));
+                    acc = b.fma(c, t, acc);
+                }
+                b.store(acc);
+            } else {
+                let c0 = b.coeff("c0", cv(0));
+                let t0 = b.tap(inp, offsets[0]);
+                let mut acc = b.mul(c0, t0);
+                for (i, &o) in offsets.iter().enumerate().skip(1) {
+                    let t = b.tap(inp, o);
+                    let c = b.coeff(format!("c{i}"), cv(i));
+                    acc = b.fma(c, t, acc);
+                }
+                b.store(acc);
+            }
+            b.finish().expect("generated stencil is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case simulates a full cluster run
+        ..ProptestConfig::default()
+    })]
+
+    /// Any generated stencil, simulated in either variant without
+    /// reassociation, reproduces the reference executor bit-for-bit.
+    #[test]
+    fn random_stencils_simulate_exactly(
+        stencil in arb_stencil(),
+        seed in 0u64..1000,
+        saris_variant in prop::bool::ANY,
+        unroll in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let tile = Extent::new_2d(16, 16);
+        let input = Grid::pseudo_random(tile, seed);
+        let variant = if saris_variant { Variant::Saris } else { Variant::Base };
+        let opts = RunOptions::new(variant)
+            .with_unroll(unroll)
+            .with_reassociate(0);
+        match run_stencil(&stencil, &[&input], &opts) {
+            Ok(run) => {
+                prop_assert_eq!(run.max_error_vs_reference(&stencil, &[&input]), 0.0);
+            }
+            // Register pressure may legitimately reject wide unrolls.
+            Err(saris::codegen::CodegenError::RegisterPressure { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Planner invariants for arbitrary stencils: indices non-negative
+    /// and within width, every tap popped exactly once per point, at most
+    /// one store per point.
+    #[test]
+    fn planner_invariants(stencil in arb_stencil(), unroll in 1usize..=4) {
+        let tile = Extent::new_2d(24, 24);
+        let layout = ArenaLayout::for_stencil(&stencil, tile);
+        let plan = SarisPlan::derive(&stencil, &layout, SarisOptions::default(), unroll, 4)
+            .expect("plannable");
+        let width_max = plan.index_width.max_value();
+        for &i in &plan.indices.sr0.rel_indices {
+            prop_assert!(i <= width_max);
+        }
+        if let Some(sr1) = &plan.indices.sr1 {
+            for &i in &sr1.rel_indices {
+                prop_assert!(i <= width_max);
+            }
+        }
+        prop_assert!(plan.indices.base_adjust_elems <= 0);
+        // Tap pops cover every tap exactly once per point.
+        let mut seen = vec![0usize; stencil.taps().len()];
+        for k in 0..2 {
+            for t in plan.schedule.tap_seq(k) {
+                seen[t] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        // Exactly one store per point, and it is last.
+        use saris::core::method::SlotDst;
+        let stores = plan
+            .schedule
+            .ops
+            .iter()
+            .filter(|op| op.dst == SlotDst::Store)
+            .count();
+        prop_assert_eq!(stores, 1);
+    }
+
+    /// Reassociation preserves values within FP tolerance for arbitrary
+    /// stencils and accumulator counts.
+    #[test]
+    fn reassociation_tolerance(stencil in arb_stencil(), acc in 2usize..=4, seed in 0u64..100) {
+        let t = stencil.reassociated(acc);
+        let tile = Extent::new_2d(12, 12);
+        let input = Grid::pseudo_random(tile, seed);
+        let mut ra = vec![&input];
+        let a = saris::core::reference::apply_to_new(&stencil, &mut ra, tile);
+        let mut rb = vec![&input];
+        let b = saris::core::reference::apply_to_new(&t, &mut rb, tile);
+        prop_assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    /// The interleave partition covers every interior point exactly once
+    /// for arbitrary extents.
+    #[test]
+    fn interleave_partitions_any_extent(nx in 1usize..70, ny in 1usize..70) {
+        let plan = InterleavePlan::snitch();
+        let e = Extent::new_2d(nx, ny);
+        let total: usize = (0..plan.cores()).map(|c| plan.points_for_core(e, c)).sum();
+        prop_assert_eq!(total, e.len());
+    }
+
+    /// Schedules never double-pop one stream within a single operation
+    /// for paired-friendly stencils (the generator above).
+    #[test]
+    fn no_same_stream_double_pops(stencil in arb_stencil()) {
+        let sched = PointSchedule::derive(&stencil, 24, saris::core::method::CoeffStrategy::Hybrid);
+        prop_assert!(!sched.has_same_sr_double_pop());
+    }
+}
