@@ -1,4 +1,5 @@
-//! Criterion benchmarks over the reproduction pipeline.
+//! Wall-clock benchmarks over the reproduction pipeline, self-hosted
+//! (no external bench harness: `harness = false`).
 //!
 //! One group per paper artifact (scaled-down inputs so `cargo bench`
 //! completes in minutes; the full-fidelity numbers come from the
@@ -6,11 +7,31 @@
 //! simulator cycle throughput, code generation, index-array planning and
 //! the golden reference executor.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use saris_codegen::{compile, execute, run_stencil, RunOptions, Variant};
+use std::time::Instant;
+
+use saris_codegen::{compile, run_stencil, RunOptions, Session, Variant};
 use saris_core::{gallery, ArenaLayout, Extent, Grid, SarisOptions, SarisPlan, Space};
 use saris_energy::EnergyModel;
 use saris_scaleout::{estimate, ClusterMeasurement, MachineModel};
+
+/// Times `f` over `iters` iterations after one warmup call and prints
+/// mean time per iteration.
+fn bench<T>(group: &str, label: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / f64::from(iters);
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter * 1e6, "us")
+    };
+    println!("{group}/{label:<28} {value:>9.2} {unit}/iter  ({iters} iters)");
+}
 
 fn small_tile(s: &saris_core::Stencil) -> Extent {
     match s.space() {
@@ -21,9 +42,7 @@ fn small_tile(s: &saris_core::Stencil) -> Extent {
 
 /// Figure 3a/3b pipeline on a reduced tile: compile + simulate + verify,
 /// one bench per variant.
-fn bench_single_cluster(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_single_cluster");
-    g.sample_size(10);
+fn bench_single_cluster() {
     for (label, variant, unroll) in [
         ("jacobi_base_u4", Variant::Base, 4),
         ("jacobi_saris_u4", Variant::Saris, 4),
@@ -37,84 +56,65 @@ fn bench_single_cluster(c: &mut Criterion) {
         let tile = small_tile(&stencil);
         let input = Grid::pseudo_random(tile, 3);
         let opts = RunOptions::new(variant).with_unroll(unroll);
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let run = run_stencil(&stencil, &[&input], &opts).expect("runs");
-                std::hint::black_box(run.report.cycles)
-            })
+        bench("fig3_single_cluster", label, 10, || {
+            let run = run_stencil(&stencil, &[&input], &opts).expect("runs");
+            run.report.cycles
         });
     }
-    g.finish();
 }
 
 /// Simulator throughput: simulated cycles per wall second executing a
-/// pre-compiled SARIS kernel (execution only, no codegen).
-fn bench_sim_throughput(c: &mut Criterion) {
+/// session-cached SARIS kernel on a pooled cluster (execution only, the
+/// kernel compiles once).
+fn bench_sim_throughput() {
     let stencil = gallery::jacobi_2d();
     let tile = Extent::new_2d(32, 32);
     let input = Grid::pseudo_random(tile, 5);
     let opts = RunOptions::new(Variant::Saris).with_unroll(4);
-    let kernel = compile(&stencil, tile, &opts).expect("compiles");
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("execute_jacobi_saris", |b| {
-        b.iter_batched(
-            || kernel.clone(),
-            |k| {
-                let run = execute(&stencil, &[&input], k, &opts).expect("runs");
-                std::hint::black_box(run.report.cycles)
-            },
-            BatchSize::SmallInput,
-        )
+    let session = Session::new();
+    bench("simulator", "execute_jacobi_saris", 10, || {
+        let run = session
+            .run_stencil(&stencil, &[&input], &opts)
+            .expect("runs");
+        run.report.cycles
     });
-    g.finish();
+    let stats = session.stats();
+    println!(
+        "simulator/cache: {} compile(s), {} cache hit(s), {} cluster reuse(s)",
+        stats.compiles, stats.cache_hits, stats.clusters_reused
+    );
 }
 
 /// Code generation and planning costs (Table-1-wide).
-fn bench_codegen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codegen");
-    g.sample_size(20);
+fn bench_codegen() {
     for variant in [Variant::Base, Variant::Saris] {
-        g.bench_function(format!("compile_j3d27pt_{variant}"), |b| {
-            let stencil = gallery::j3d27pt();
-            let tile = small_tile(&stencil);
-            let opts = RunOptions::new(variant).with_unroll(1);
-            b.iter(|| std::hint::black_box(compile(&stencil, tile, &opts).expect("ok")))
+        let stencil = gallery::j3d27pt();
+        let tile = small_tile(&stencil);
+        let opts = RunOptions::new(variant).with_unroll(1);
+        bench("codegen", &format!("compile_j3d27pt_{variant}"), 20, || {
+            compile(&stencil, tile, &opts).expect("ok")
         });
     }
-    g.bench_function("plan_indices_ac_iso_cd", |b| {
-        let stencil = gallery::ac_iso_cd();
-        let layout = ArenaLayout::for_stencil(&stencil, Extent::cube(Space::Dim3, 16));
-        b.iter(|| {
-            std::hint::black_box(
-                SarisPlan::derive(&stencil, &layout, SarisOptions::default(), 2, 4)
-                    .expect("plans"),
-            )
-        })
+    let stencil = gallery::ac_iso_cd();
+    let layout = ArenaLayout::for_stencil(&stencil, Extent::cube(Space::Dim3, 16));
+    bench("codegen", "plan_indices_ac_iso_cd", 20, || {
+        SarisPlan::derive(&stencil, &layout, SarisOptions::default(), 2, 4).expect("plans")
     });
-    g.finish();
 }
 
 /// The golden reference executor (the verification cost).
-fn bench_reference(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reference");
-    g.sample_size(20);
-    g.bench_function("apply_box3d1r_12c", |b| {
-        let stencil = gallery::box3d1r();
-        let tile = Extent::cube(Space::Dim3, 12);
-        let input = Grid::pseudo_random(tile, 9);
-        b.iter(|| {
-            let mut refs = vec![&input];
-            std::hint::black_box(saris_core::reference::apply_to_new(
-                &stencil, &mut refs, tile,
-            ))
-        })
+fn bench_reference() {
+    let stencil = gallery::box3d1r();
+    let tile = Extent::cube(Space::Dim3, 12);
+    let input = Grid::pseudo_random(tile, 9);
+    bench("reference", "apply_box3d1r_12c", 20, || {
+        let mut refs = vec![&input];
+        saris_core::reference::apply_to_new(&stencil, &mut refs, tile)
     });
-    g.finish();
 }
 
 /// Figure 4 (energy estimate) and Figure 5 (scaleout estimate) costs.
-fn bench_models(c: &mut Criterion) {
+fn bench_models() {
     let stencil = gallery::jacobi_2d();
     let tile = Extent::new_2d(32, 32);
     let input = Grid::pseudo_random(tile, 5);
@@ -124,34 +124,28 @@ fn bench_models(c: &mut Criterion) {
         &RunOptions::new(Variant::Saris).with_unroll(4),
     )
     .expect("runs");
-    let mut g = c.benchmark_group("analytic_models");
-    g.bench_function("fig4_energy_estimate", |b| {
-        let model = EnergyModel::gf12lp();
-        b.iter(|| std::hint::black_box(model.estimate(&run.report).total_watts()))
+    let model = EnergyModel::gf12lp();
+    bench("analytic_models", "fig4_energy_estimate", 1000, || {
+        model.estimate(&run.report).total_watts()
     });
-    g.bench_function("fig5_scaleout_estimate", |b| {
-        let machine = MachineModel::manticore_256s();
-        let m = ClusterMeasurement {
-            compute_cycles_per_tile: run.report.cycles as f64,
-            fpu_ops_per_tile: run.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
-            flops_per_tile: run.report.flops() as f64,
-            dma_utilization: 0.9,
-            core_imbalance: run.report.runtime_imbalance(),
-        };
-        let grid = Extent::new_2d(16384, 16384);
-        b.iter(|| {
-            std::hint::black_box(estimate(&machine, &stencil, tile, grid, &m).fpu_util)
-        })
+    let machine = MachineModel::manticore_256s();
+    let m = ClusterMeasurement {
+        compute_cycles_per_tile: run.report.cycles as f64,
+        fpu_ops_per_tile: run.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+        flops_per_tile: run.report.flops() as f64,
+        dma_utilization: 0.9,
+        core_imbalance: run.report.runtime_imbalance(),
+    };
+    let grid = Extent::new_2d(16384, 16384);
+    bench("analytic_models", "fig5_scaleout_estimate", 1000, || {
+        estimate(&machine, &stencil, tile, grid, &m).fpu_util
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_single_cluster,
-    bench_sim_throughput,
-    bench_codegen,
-    bench_reference,
-    bench_models
-);
-criterion_main!(benches);
+fn main() {
+    bench_single_cluster();
+    bench_sim_throughput();
+    bench_codegen();
+    bench_reference();
+    bench_models();
+}

@@ -3,15 +3,15 @@
 //! pass, all on the jacobi_2d SARIS kernel.
 
 use saris_bench::{paper_inputs, paper_tile};
-use saris_codegen::{run_stencil, RunOptions, Variant};
+use saris_codegen::{RunOptions, Session, Variant};
 use saris_core::{gallery, Grid};
 
-fn run_with(opts: &RunOptions) -> (u64, f64, u64) {
+fn run_with(session: &Session, opts: &RunOptions) -> (u64, f64, u64) {
     let s = gallery::jacobi_2d();
     let tile = paper_tile(&s);
     let inputs = paper_inputs(&s, tile);
     let refs: Vec<&Grid> = inputs.iter().collect();
-    let run = run_stencil(&s, &refs, opts).expect("runs");
+    let run = session.run_stencil(&s, &refs, opts).expect("runs");
     (
         run.report.cycles,
         run.report.fpu_util(),
@@ -21,12 +21,13 @@ fn run_with(opts: &RunOptions) -> (u64, f64, u64) {
 
 fn main() {
     println!("Ablation: cluster architecture knobs (jacobi_2d, saris u4)\n");
+    let session = Session::new();
 
     println!("TCDM banks (paper platform: 32):");
     for banks in [8, 16, 32, 64] {
         let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
         opts.cluster.tcdm_banks = banks;
-        let (cycles, util, conflicts) = run_with(&opts);
+        let (cycles, util, conflicts) = run_with(&session, &opts);
         println!(
             "  {banks:>3} banks: {cycles:>6} cycles, util {util:.3}, {conflicts:>6} conflicts"
         );
@@ -36,7 +37,7 @@ fn main() {
     for depth in [1, 2, 4, 8] {
         let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
         opts.cluster.stream_fifo_depth = depth;
-        let (cycles, util, _) = run_with(&opts);
+        let (cycles, util, _) = run_with(&session, &opts);
         println!("  depth {depth}: {cycles:>6} cycles, util {util:.3}");
     }
 
@@ -44,7 +45,7 @@ fn main() {
     for depth in [1, 2, 4] {
         let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
         opts.cluster.launch_queue_depth = depth;
-        let (cycles, util, _) = run_with(&opts);
+        let (cycles, util, _) = run_with(&session, &opts);
         println!("  depth {depth}: {cycles:>6} cycles, util {util:.3}");
     }
 
@@ -55,7 +56,7 @@ fn main() {
             let opts = RunOptions::new(variant)
                 .with_unroll(u)
                 .with_reassociate(acc);
-            let (cycles, util, _) = run_with(&opts);
+            let (cycles, util, _) = run_with(&session, &opts);
             println!("  acc {acc} {label:<5} u{u}: {cycles:>6} cycles, util {util:.3}");
         }
     }

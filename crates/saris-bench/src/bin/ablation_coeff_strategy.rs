@@ -6,12 +6,13 @@
 //! single SR0 port for 27-tap codes.
 
 use saris_bench::{paper_inputs, paper_tile};
-use saris_codegen::{run_stencil, RunOptions, Variant};
+use saris_codegen::{RunOptions, Session, Variant};
 use saris_core::method::CoeffStrategy;
 use saris_core::{gallery, Grid};
 
 fn main() {
     println!("Ablation: coefficient strategy for register-bound codes\n");
+    let session = Session::new();
     println!(
         "{:<10} {:<12} {:>8} {:>8} {:>10} {:>12}",
         "code", "strategy", "unroll", "cycles", "FPU util", "SR0 accesses"
@@ -30,12 +31,12 @@ fn main() {
                 let mut opts = RunOptions::new(Variant::Saris).with_unroll(unroll);
                 opts.saris.coeff_strategy = strategy;
                 opts.saris.coeff_reg_budget = budget;
-                if let Ok(run) = run_stencil(&s, &refs, &opts) {
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|(_, b): &(usize, saris_codegen::StencilRun)| {
-                            run.report.cycles < b.report.cycles
-                        });
+                if let Ok(run) = session.run_stencil(&s, &refs, &opts) {
+                    let better =
+                        best.as_ref()
+                            .is_none_or(|(_, b): &(usize, saris_codegen::StencilRun)| {
+                                run.report.cycles < b.report.cycles
+                            });
                     if better {
                         best = Some((unroll, run));
                     }

@@ -2,10 +2,13 @@
 //! cycle count of every feasible unroll for both variants — the data
 //! behind the tuner's choices and the paper's register-pressure story
 //! (large unrolls stop being generatable for wide stencils).
+//!
+//! The whole sweep is one [`Session::run_batch`] fan-out: 60 jobs
+//! (10 codes x 2 variants x 3 unrolls) across pooled clusters.
 
 use saris_bench::{paper_inputs, paper_tile};
-use saris_codegen::{run_stencil, CodegenError, RunOptions, Variant};
-use saris_core::{gallery, Grid};
+use saris_codegen::{CodegenError, Job, RunOptions, Session, Variant};
+use saris_core::gallery;
 
 fn main() {
     println!("Ablation: unroll factor (cycles; '-' = register file refuses)\n");
@@ -13,24 +16,32 @@ fn main() {
         "{:<12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "code", "base u1", "base u2", "base u4", "saris u1", "saris u2", "saris u4"
     );
-    for s in gallery::all() {
-        let tile = paper_tile(&s);
-        let inputs = paper_inputs(&s, tile);
-        let refs: Vec<&Grid> = inputs.iter().collect();
-        let mut cells = Vec::new();
+    let codes = gallery::all();
+    let mut jobs = Vec::new();
+    for s in &codes {
+        let inputs = paper_inputs(s, paper_tile(s));
         for variant in [Variant::Base, Variant::Saris] {
             for unroll in [1, 2, 4] {
-                let opts = RunOptions::new(variant).with_unroll(unroll);
-                match run_stencil(&s, &refs, &opts) {
-                    Ok(run) => cells.push(run.report.cycles.to_string()),
-                    Err(
-                        CodegenError::RegisterPressure { .. }
-                        | CodegenError::FrepBodyTooLarge { .. },
-                    ) => cells.push("-".to_string()),
-                    Err(e) => panic!("{} {variant} u{unroll}: {e}", s.name()),
-                }
+                jobs.push(Job::new(
+                    s.clone(),
+                    inputs.clone(),
+                    RunOptions::new(variant).with_unroll(unroll),
+                ));
             }
         }
+    }
+    let session = Session::new();
+    let mut results = session.run_batch(&jobs).into_iter();
+    for s in &codes {
+        let cells: Vec<String> = (0..6)
+            .map(|slot| match results.next().expect("one result per job") {
+                Ok(run) => run.expect_report().cycles.to_string(),
+                Err(
+                    CodegenError::RegisterPressure { .. } | CodegenError::FrepBodyTooLarge { .. },
+                ) => "-".to_string(),
+                Err(e) => panic!("{} job {slot}: {e}", s.name()),
+            })
+            .collect();
         println!(
             "{:<12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
             s.name(),
@@ -42,4 +53,9 @@ fn main() {
             cells[5]
         );
     }
+    let stats = session.stats();
+    println!(
+        "\n({} jobs, {} kernels compiled, {} cluster reuses)",
+        stats.runs, stats.compiles, stats.clusters_reused
+    );
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 3a: execution speedup of `saris` over `base`
 //! variants on one eight-core cluster.
 
-use saris_bench::{evaluate_all, geomean};
+use saris_bench::{evaluate_all_in, geomean};
 
 fn main() {
     println!("Figure 3a: SARIS speedup over base (single cluster)\n");
@@ -9,7 +9,8 @@ fn main() {
         "{:<12} {:>10} {:>5} {:>10} {:>5} {:>8}",
         "code", "base cyc", "u", "saris cyc", "u", "speedup"
     );
-    let results = evaluate_all();
+    let session = saris_codegen::Session::new();
+    let results = evaluate_all_in(&session);
     for r in &results {
         println!(
             "{:<12} {:>10} {:>5} {:>10} {:>5} {:>8.2}",
@@ -21,7 +22,10 @@ fn main() {
             r.speedup()
         );
     }
-    let speedups: Vec<f64> = results.iter().map(saris_bench::CodeResult::speedup).collect();
+    let speedups: Vec<f64> = results
+        .iter()
+        .map(saris_bench::CodeResult::speedup)
+        .collect();
     let lo = speedups.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = speedups.iter().copied().fold(0.0f64, f64::max);
     println!(

@@ -1,7 +1,7 @@
 //! Regenerates Figure 3b: FPU utilization and per-core IPC for both code
 //! variants on one cluster.
 
-use saris_bench::{evaluate_all, geomean};
+use saris_bench::{evaluate_all_in, geomean};
 
 fn main() {
     println!("Figure 3b: FPU utilization and IPC per variant\n");
@@ -9,7 +9,8 @@ fn main() {
         "{:<12} {:>10} {:>9} | {:>10} {:>9}",
         "code", "base util", "base IPC", "saris util", "saris IPC"
     );
-    let results = evaluate_all();
+    let session = saris_codegen::Session::new();
+    let results = evaluate_all_in(&session);
     for r in &results {
         println!(
             "{:<12} {:>10.3} {:>9.2} | {:>10.3} {:>9.2}",
@@ -24,9 +25,7 @@ fn main() {
     let su = geomean(results.iter().map(|r| r.saris.report.fpu_util()));
     let bi = geomean(results.iter().map(|r| r.base.report.ipc()));
     let si = geomean(results.iter().map(|r| r.saris.report.ipc()));
-    println!(
-        "\ngeomean FPU util: base {bu:.2} (paper 0.35), saris {su:.2} (paper 0.81)"
-    );
+    println!("\ngeomean FPU util: base {bu:.2} (paper 0.35), saris {su:.2} (paper 0.81)");
     println!("geomean IPC:      base {bi:.2} (paper 0.89), saris {si:.2} (paper 1.11)");
     let min_saris_util = results
         .iter()

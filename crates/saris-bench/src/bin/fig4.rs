@@ -1,7 +1,7 @@
 //! Regenerates Figure 4: cluster power consumption for both variants and
 //! the SARIS energy-efficiency gain.
 
-use saris_bench::{evaluate_all, geomean, power_of};
+use saris_bench::{evaluate_all_in, geomean, power_of};
 use saris_energy::efficiency_gain;
 
 fn main() {
@@ -10,7 +10,8 @@ fn main() {
         "{:<12} {:>10} {:>11} {:>10}",
         "code", "base (mW)", "saris (mW)", "eff. gain"
     );
-    let results = evaluate_all();
+    let session = saris_codegen::Session::new();
+    let results = evaluate_all_in(&session);
     let mut base_w = Vec::new();
     let mut saris_w = Vec::new();
     let mut gains = Vec::new();

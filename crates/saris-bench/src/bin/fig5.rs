@@ -2,7 +2,7 @@
 //! the Manticore-256s scaleout, with compute-to-memory time ratios for
 //! memory-bound codes.
 
-use saris_bench::{evaluate_all, geomean, scaleout_of};
+use saris_bench::{evaluate_all_in, geomean, scaleout_of_in};
 use saris_scaleout::MachineModel;
 
 fn main() {
@@ -12,14 +12,15 @@ fn main() {
         "code", "base util", "saris util", "speedup", "CMTR", "bound", "GFLOP/s"
     );
     let machine = MachineModel::manticore_256s();
-    let results = evaluate_all();
+    let session = saris_codegen::Session::new();
+    let results = evaluate_all_in(&session);
     let mut base_utils = Vec::new();
     let mut saris_utils = Vec::new();
     let mut speedups = Vec::new();
     let mut mem_bound_speedups = Vec::new();
     let mut best_gflops = 0.0f64;
     for r in &results {
-        let (sb, ss) = scaleout_of(r);
+        let (sb, ss) = scaleout_of_in(&session, r);
         let speedup = sb.total_cycles / ss.total_cycles;
         println!(
             "{:<12} {:>10.3} {:>11.3} {:>8.2} {:>6.0}% {:>9} {:>8.0}",

@@ -3,7 +3,7 @@
 //! instructions on useful compute and 60 % on memory accesses and address
 //! calculation; SARIS raises the useful-compute ratio to 58 %.
 
-use saris_codegen::{compile, RunOptions, Variant};
+use saris_codegen::{RunOptions, Session, Variant};
 use saris_core::geom::{Offset, Space};
 use saris_core::stencil::{Stencil, StencilBuilder};
 use saris_core::Extent;
@@ -33,16 +33,17 @@ fn seven_point_star() -> Stencil {
     b.finish().expect("7-point star is valid")
 }
 
-fn mix_of(variant: Variant, stencil: &Stencil) -> InstrMix {
+fn mix_of(session: &Session, variant: Variant, stencil: &Stencil) -> InstrMix {
     let tile = Extent::cube(Space::Dim3, 16);
     // Unroll 1, no reassociation: the paper's illustrative, unoptimized
     // point loops.
     let opts = RunOptions::new(variant).with_unroll(1).with_reassociate(0);
-    let kernel = compile(stencil, tile, &opts).expect("compiles");
+    let (kernel, _) = session
+        .compile_cached(stencil, tile, &opts)
+        .expect("compiles");
     let core0 = &kernel.cores[0];
     let range = core0.point_loop.clone().expect("core 0 has a point loop");
-    let mut instrs: Vec<saris_isa::Instr> =
-        core0.program.instrs()[range].to_vec();
+    let mut instrs: Vec<saris_isa::Instr> = core0.program.instrs()[range].to_vec();
     if variant == Variant::Saris {
         // The per-window FP block lives in the FREP body ahead of the
         // launch loop; the paper's Listing 1d counts both (its SRIR loop
@@ -53,9 +54,7 @@ fn mix_of(variant: Variant, stencil: &Stencil) -> InstrMix {
             .position(|i| matches!(i, saris_isa::Instr::Frep { .. }))
             .expect("saris kernel uses frep");
         if let saris_isa::Instr::Frep { n_instrs, .. } = &prog[frep_at] {
-            instrs.extend_from_slice(
-                &prog[frep_at + 1..frep_at + 1 + *n_instrs as usize],
-            );
+            instrs.extend_from_slice(&prog[frep_at + 1..frep_at + 1 + *n_instrs as usize]);
         }
     }
     InstrMix::of(&instrs)
@@ -75,10 +74,11 @@ fn report(label: &str, mix: &InstrMix, paper_compute: f64) {
 fn main() {
     let stencil = seven_point_star();
     println!("Listing 1 point-loop instruction mix (symmetric 7-point star)\n");
-    let base = mix_of(Variant::Base, &stencil);
+    let session = Session::new();
+    let base = mix_of(&session, Variant::Base, &stencil);
     report("base (Listing 1b)", &base, 0.35);
     println!();
-    let saris = mix_of(Variant::Saris, &stencil);
+    let saris = mix_of(&session, Variant::Saris, &stencil);
     report("saris (Listing 1d launch loop)", &saris, 0.58);
     println!();
     println!(

@@ -3,7 +3,7 @@
 //! Reference rows are literature constants quoted from the paper; only
 //! the SARIS row is measured by this reproduction.
 
-use saris_bench::{evaluate_all, scaleout_of};
+use saris_bench::{evaluate_all_in, scaleout_of_in};
 use saris_scaleout::{reference_entries, MachineModel};
 
 fn main() {
@@ -18,8 +18,9 @@ fn main() {
     let machine = MachineModel::manticore_256s();
     let mut best = 0.0f64;
     let mut best_code = String::new();
-    for r in evaluate_all() {
-        let (_, ss) = scaleout_of(&r);
+    let session = saris_codegen::Session::new();
+    for r in evaluate_all_in(&session) {
+        let (_, ss) = scaleout_of_in(&session, &r);
         let frac = ss.fraction_of_peak(&machine);
         if frac > best {
             best = frac;
@@ -28,7 +29,11 @@ fn main() {
     }
     println!(
         "{:<16} {:<4} {:<22} {:<8} {:>4.0}%   <- this reproduction ({best_code})",
-        "SARIS (ours)", "", "Manticore-256s", "FP64", 100.0 * best
+        "SARIS (ours)",
+        "",
+        "Manticore-256s",
+        "FP64",
+        100.0 * best
     );
     println!(
         "\npaper: 79% (15% above AN5D's 69%); measured-vs-AN5D delta: {:+.0}%",

@@ -18,12 +18,16 @@
 //! TCDM bank count, and stream FIFO depth.
 //!
 //! The library part holds the shared evaluation pipeline so every binary
-//! reports from identical runs.
+//! reports from identical runs. All of it drives one
+//! [`Session`](saris_codegen::Session): the full gallery sweep is a
+//! single [`run_batch`](saris_codegen::Session::run_batch) fan-out, each
+//! `(code, variant, unroll)` kernel compiles exactly once, and clusters
+//! are recycled between runs.
 
 #![warn(missing_docs)]
 
 use saris_codegen::{
-    measure_dma_utilization, tune_unroll, RunOptions, StencilRun, Variant, DEFAULT_CANDIDATES,
+    CodegenError, Job, RunOptions, Session, StencilRun, Variant, DEFAULT_CANDIDATES,
 };
 use saris_core::{gallery, Extent, Grid, Space, Stencil};
 use saris_energy::{EnergyModel, PowerReport};
@@ -84,32 +88,9 @@ impl CodeResult {
     }
 }
 
-/// Tunes and runs both variants of one gallery code on the paper tile.
-///
-/// # Panics
-///
-/// Panics if compilation, simulation or verification fails — the harness
-/// must not silently report numbers from broken kernels.
-pub fn evaluate_code(stencil: &Stencil) -> CodeResult {
-    let tile = paper_tile(stencil);
-    let inputs = paper_inputs(stencil, tile);
-    let refs: Vec<&Grid> = inputs.iter().collect();
-    let base = tune_unroll(
-        stencil,
-        &refs,
-        &RunOptions::new(Variant::Base),
-        &DEFAULT_CANDIDATES,
-    )
-    .unwrap_or_else(|e| panic!("{} base: {e}", stencil.name()));
-    let saris = tune_unroll(
-        stencil,
-        &refs,
-        &RunOptions::new(Variant::Saris),
-        &DEFAULT_CANDIDATES,
-    )
-    .unwrap_or_else(|e| panic!("{} saris: {e}", stencil.name()));
-    let base_error = base.best.max_error_vs_reference(stencil, &refs);
-    let saris_error = saris.best.max_error_vs_reference(stencil, &refs);
+fn verified(stencil: &Stencil, refs: &[&Grid], base: StencilRun, saris: StencilRun) -> CodeResult {
+    let base_error = base.max_error_vs_reference(stencil, refs);
+    let saris_error = saris.max_error_vs_reference(stencil, refs);
     assert!(
         base_error < 1e-9 && saris_error < 1e-9,
         "{}: verification failed (base {base_error:e}, saris {saris_error:e})",
@@ -117,17 +98,121 @@ pub fn evaluate_code(stencil: &Stencil) -> CodeResult {
     );
     CodeResult {
         stencil: stencil.clone(),
-        tile,
-        base: base.best,
-        saris: saris.best,
+        tile: refs[0].extent(),
+        base,
+        saris,
         base_error,
         saris_error,
     }
 }
 
-/// Evaluates all ten gallery codes in Table 1 order.
+/// Tunes and runs both variants of one gallery code on the paper tile,
+/// through the given session (kernels cache, clusters pool).
+///
+/// # Panics
+///
+/// Panics if compilation, simulation or verification fails — the harness
+/// must not silently report numbers from broken kernels.
+pub fn evaluate_code_in(session: &Session, stencil: &Stencil) -> CodeResult {
+    let tile = paper_tile(stencil);
+    let inputs = paper_inputs(stencil, tile);
+    let refs: Vec<&Grid> = inputs.iter().collect();
+    let base = session
+        .tune_unroll(
+            stencil,
+            &refs,
+            &RunOptions::new(Variant::Base),
+            &DEFAULT_CANDIDATES,
+        )
+        .unwrap_or_else(|e| panic!("{} base: {e}", stencil.name()));
+    let saris = session
+        .tune_unroll(
+            stencil,
+            &refs,
+            &RunOptions::new(Variant::Saris),
+            &DEFAULT_CANDIDATES,
+        )
+        .unwrap_or_else(|e| panic!("{} saris: {e}", stencil.name()));
+    verified(stencil, &refs, base.best, saris.best)
+}
+
+/// [`evaluate_code_in`] on a throwaway session.
+///
+/// # Panics
+///
+/// As [`evaluate_code_in`].
+pub fn evaluate_code(stencil: &Stencil) -> CodeResult {
+    evaluate_code_in(&Session::new(), stencil)
+}
+
+/// Evaluates all ten gallery codes in Table 1 order through one session:
+/// every `(code, variant, unroll)` candidate becomes one batch job, the
+/// batch fans out across worker threads, and the fastest feasible unroll
+/// per `(code, variant)` wins — the same "unroll iff beneficial" rule the
+/// serial tuner applies.
+///
+/// # Panics
+///
+/// Panics if any code fails to compile, run, or verify.
+pub fn evaluate_all_in(session: &Session) -> Vec<CodeResult> {
+    let codes = gallery::all();
+    let variants = [Variant::Base, Variant::Saris];
+    let mut jobs = Vec::new();
+    for stencil in &codes {
+        let inputs = paper_inputs(stencil, paper_tile(stencil));
+        for variant in variants {
+            for &unroll in &DEFAULT_CANDIDATES {
+                jobs.push(Job::new(
+                    stencil.clone(),
+                    inputs.clone(),
+                    RunOptions::new(variant).with_unroll(unroll),
+                ));
+            }
+        }
+    }
+    let mut results = session.run_batch(&jobs).into_iter();
+    codes
+        .iter()
+        .map(|stencil| {
+            let mut best: [Option<StencilRun>; 2] = [None, None];
+            for (v, _) in variants.iter().enumerate() {
+                for _ in &DEFAULT_CANDIDATES {
+                    let outcome = results.next().expect("one result per job");
+                    match outcome.map(saris_codegen::SessionRun::into_stencil_run) {
+                        Ok(Ok(run)) => {
+                            let better = best[v]
+                                .as_ref()
+                                .is_none_or(|b| run.report.cycles < b.report.cycles);
+                            if better {
+                                best[v] = Some(run);
+                            }
+                        }
+                        // Register-bound widths are genuinely infeasible.
+                        Err(
+                            CodegenError::RegisterPressure { .. }
+                            | CodegenError::FrepBodyTooLarge { .. },
+                        ) => {}
+                        Err(e) | Ok(Err(e)) => panic!("{}: {e}", stencil.name()),
+                    }
+                }
+            }
+            let [base, saris] = best;
+            let base = base.unwrap_or_else(|| panic!("{}: no feasible base", stencil.name()));
+            let saris = saris.unwrap_or_else(|| panic!("{}: no feasible saris", stencil.name()));
+            let inputs = paper_inputs(stencil, paper_tile(stencil));
+            let refs: Vec<&Grid> = inputs.iter().collect();
+            verified(stencil, &refs, base, saris)
+        })
+        .collect()
+}
+
+/// [`evaluate_all_in`] on a throwaway session.
+///
+/// # Panics
+///
+/// As [`evaluate_all_in`].
 pub fn evaluate_all() -> Vec<CodeResult> {
-    gallery::all().iter().map(evaluate_code).collect()
+    evaluate_all_in(&Session::new())
 }
 
 /// Geometric mean.
@@ -154,20 +239,20 @@ pub fn power_of(result: &CodeResult) -> (PowerReport, PowerReport) {
 }
 
 /// Scaleout estimates (base, saris) for one code result, using the
-/// paper's grids and the measured DMA utilization.
-pub fn scaleout_of(result: &CodeResult) -> (ScaleoutEstimate, ScaleoutEstimate) {
+/// paper's grids and the DMA utilization measured on a pooled cluster of
+/// the given session.
+pub fn scaleout_of_in(
+    session: &Session,
+    result: &CodeResult,
+) -> (ScaleoutEstimate, ScaleoutEstimate) {
     let machine = MachineModel::manticore_256s();
     let grid = paper_grid(&result.stencil);
-    let dma_util = measure_dma_utilization(result.tile, &ClusterConfig::snitch())
+    let dma_util = session
+        .measure_dma_utilization(result.tile, &ClusterConfig::snitch())
         .expect("dma measurement");
     let measure = |run: &StencilRun| ClusterMeasurement {
         compute_cycles_per_tile: run.report.cycles as f64,
-        fpu_ops_per_tile: run
-            .report
-            .cores
-            .iter()
-            .map(|c| c.fpu.arith as f64)
-            .sum(),
+        fpu_ops_per_tile: run.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
         flops_per_tile: run.report.flops() as f64,
         dma_utilization: dma_util,
         core_imbalance: run.report.runtime_imbalance(),
@@ -188,6 +273,11 @@ pub fn scaleout_of(result: &CodeResult) -> (ScaleoutEstimate, ScaleoutEstimate) 
             &measure(&result.saris),
         ),
     )
+}
+
+/// [`scaleout_of_in`] on a throwaway session.
+pub fn scaleout_of(result: &CodeResult) -> (ScaleoutEstimate, ScaleoutEstimate) {
+    scaleout_of_in(&Session::new(), result)
 }
 
 /// Renders a markdown table row.
@@ -217,12 +307,18 @@ mod tests {
 
     #[test]
     fn evaluate_one_small_code_end_to_end() {
-        // Full pipeline smoke test on the cheapest code.
-        let r = evaluate_code(&gallery::jacobi_2d());
+        // Full pipeline smoke test on the cheapest code, one session.
+        let session = Session::new();
+        let r = evaluate_code_in(&session, &gallery::jacobi_2d());
         assert!(r.speedup() > 1.3, "speedup {}", r.speedup());
         let (pb, ps) = power_of(&r);
         assert!(ps.total_watts() > pb.total_watts());
-        let (sb, ss) = scaleout_of(&r);
+        let (sb, ss) = scaleout_of_in(&session, &r);
         assert!(ss.fpu_util >= sb.fpu_util * 0.8);
+        // Six candidate kernels (2 variants x 3 unrolls), each compiled
+        // exactly once; clusters recycled after the first run.
+        let stats = session.stats();
+        assert!(stats.compiles <= 6, "{stats:?}");
+        assert!(stats.clusters_reused >= stats.runs - 1, "{stats:?}");
     }
 }

@@ -9,23 +9,62 @@ use saris_core::{gallery, Extent, Grid, Space};
 fn main() {
     let mut speedups = Vec::new();
     let mut utils = Vec::new();
-    println!("{:<12} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} {:>7} | {:>7} {:>6}",
-        "code", "base cyc", "b.util", "b.ipc", "saris cyc", "s.util", "s.ipc", "s.u", "speedup", "err");
+    println!(
+        "{:<12} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} {:>7} | {:>7} {:>6}",
+        "code",
+        "base cyc",
+        "b.util",
+        "b.ipc",
+        "saris cyc",
+        "s.util",
+        "s.ipc",
+        "s.u",
+        "speedup",
+        "err"
+    );
     for s in gallery::all() {
-        let tile = match s.space() { Space::Dim2 => Extent::new_2d(64, 64), Space::Dim3 => Extent::cube(Space::Dim3, 16) };
-        let inputs: Vec<Grid> = s.input_arrays().enumerate().map(|(i,_)| Grid::pseudo_random(tile, 42+i as u64)).collect();
+        let tile = match s.space() {
+            Space::Dim2 => Extent::new_2d(64, 64),
+            Space::Dim3 => Extent::cube(Space::Dim3, 16),
+        };
+        let inputs: Vec<Grid> = s
+            .input_arrays()
+            .enumerate()
+            .map(|(i, _)| Grid::pseudo_random(tile, 42 + i as u64))
+            .collect();
         let refs: Vec<&Grid> = inputs.iter().collect();
-        let base = tune_unroll(&s, &refs, &RunOptions::new(Variant::Base), &DEFAULT_CANDIDATES).unwrap_or_else(|e| panic!("{} base: {e}", s.name()));
-        let saris = tune_unroll(&s, &refs, &RunOptions::new(Variant::Saris), &DEFAULT_CANDIDATES).unwrap_or_else(|e| panic!("{} saris: {e}", s.name()));
+        let base = tune_unroll(
+            &s,
+            &refs,
+            &RunOptions::new(Variant::Base),
+            &DEFAULT_CANDIDATES,
+        )
+        .unwrap_or_else(|e| panic!("{} base: {e}", s.name()));
+        let saris = tune_unroll(
+            &s,
+            &refs,
+            &RunOptions::new(Variant::Saris),
+            &DEFAULT_CANDIDATES,
+        )
+        .unwrap_or_else(|e| panic!("{} saris: {e}", s.name()));
         let eb = base.best.max_error_vs_reference(&s, &refs);
         let es = saris.best.max_error_vs_reference(&s, &refs);
         let sp = base.best.report.cycles as f64 / saris.best.report.cycles as f64;
         speedups.push(sp);
         utils.push((base.best.report.fpu_util(), saris.best.report.fpu_util()));
-        println!("{:<12} {:>9} {:>9.3} {:>7.2} | {:>9} {:>9.3} {:>7.2} {:>7} | {:>7.2} {:>6.0e}",
-            s.name(), base.best.report.cycles, base.best.report.fpu_util(), base.best.report.ipc(),
-            saris.best.report.cycles, saris.best.report.fpu_util(), saris.best.report.ipc(),
-            saris.unroll(), sp, eb.max(es));
+        println!(
+            "{:<12} {:>9} {:>9.3} {:>7.2} | {:>9} {:>9.3} {:>7.2} {:>7} | {:>7.2} {:>6.0e}",
+            s.name(),
+            base.best.report.cycles,
+            base.best.report.fpu_util(),
+            base.best.report.ipc(),
+            saris.best.report.cycles,
+            saris.best.report.fpu_util(),
+            saris.best.report.ipc(),
+            saris.unroll(),
+            sp,
+            eb.max(es)
+        );
     }
     let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
     let bu: Vec<f64> = utils.iter().map(|u| u.0).collect();

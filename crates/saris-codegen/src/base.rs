@@ -15,9 +15,7 @@ use std::ops::Range;
 use saris_core::layout::ELEM_BYTES;
 use saris_core::parallel::InterleavePlan;
 use saris_core::stencil::{ArrayId, BinKind, Operand, PointOp, Stencil};
-use saris_isa::{
-    BranchCond, FpR4Op, FpROp, FpReg, Instr, IntReg, Program, ProgramBuilder,
-};
+use saris_isa::{BranchCond, FpR4Op, FpROp, FpReg, Instr, IntReg, Program, ProgramBuilder};
 use snitch_sim::ClusterConfig;
 
 use crate::error::CodegenError;
@@ -155,8 +153,7 @@ impl<'a> BaseCtx<'a> {
 
         // FP allocation: decide coefficient residency and slot pool size.
         let pool_resident = measure_pool(stencil, n_coeffs);
-        let (pool_size, resident) = if 32usize.saturating_sub(unroll * pool_resident) >= n_coeffs
-        {
+        let (pool_size, resident) = if 32usize.saturating_sub(unroll * pool_resident) >= n_coeffs {
             (pool_resident, n_coeffs)
         } else if !allow_spill {
             // A compiler-like policy: this unroll factor exhausts the
@@ -279,10 +276,10 @@ impl<'a> BaseCtx<'a> {
         let mut pool = RegPool::new(self.slot_pools[u].clone());
         let mut tmp_reg: HashMap<usize, FpReg> = HashMap::new();
         let read_operand = |operand: Operand,
-                                out: &mut Vec<Instr>,
-                                pool: &mut RegPool,
-                                transients: &mut Vec<FpReg>,
-                                tmp_reg: &HashMap<usize, FpReg>|
+                            out: &mut Vec<Instr>,
+                            pool: &mut RegPool,
+                            transients: &mut Vec<FpReg>,
+                            tmp_reg: &HashMap<usize, FpReg>|
          -> Result<FpReg, CodegenError> {
             match operand {
                 Operand::Tap(t) => {
@@ -614,8 +611,8 @@ mod tests {
         // Listing 1b has 20 loop instructions: 7 loads, 7 FP ops, 1
         // store, 4 pointer bumps, 1 branch. Our symmetric 3D star r=1
         // equivalent: taps on 3 planes (3 pointers) + out = 4 bumps.
-        use saris_core::stencil::StencilBuilder;
         use saris_core::geom::Offset;
+        use saris_core::stencil::StencilBuilder;
         let mut sb = StencilBuilder::new("star3d1r_sym", Space::Dim3);
         let inp = sb.input("inp");
         sb.output("out");
@@ -697,7 +694,10 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, Instr::Fld { .. }))
             .count();
-        assert!(loads > 108, "expected coefficient spills, got {loads} loads");
+        assert!(
+            loads > 108,
+            "expected coefficient spills, got {loads} loads"
+        );
     }
 
     #[test]

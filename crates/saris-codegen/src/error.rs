@@ -56,6 +56,12 @@ pub enum CodegenError {
     },
     /// The tuner was given no unroll candidates.
     NoCandidates,
+    /// The caller asked for a simulator measurement from a backend that
+    /// does not produce one (e.g. the correctness-only native backend).
+    NoReport {
+        /// The backend that was asked.
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for CodegenError {
@@ -88,8 +94,14 @@ impl fmt::Display for CodegenError {
                 name,
                 needed,
                 available,
-            } => write!(f, "{name}: needs {needed} B of TCDM, only {available} B available"),
+            } => write!(
+                f,
+                "{name}: needs {needed} B of TCDM, only {available} B available"
+            ),
             CodegenError::NoCandidates => write!(f, "no unroll candidates supplied"),
+            CodegenError::NoReport { backend } => {
+                write!(f, "backend `{backend}` does not produce simulator reports")
+            }
         }
     }
 }

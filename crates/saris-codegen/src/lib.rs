@@ -40,6 +40,7 @@ pub mod error;
 pub mod map;
 pub mod runtime;
 pub mod saris;
+pub mod session;
 pub mod slots;
 pub mod tuner;
 pub mod walk;
@@ -48,9 +49,14 @@ pub use base::CompiledCore;
 pub use error::CodegenError;
 pub use map::TcdmMap;
 pub use runtime::{
-    compile, execute, measure_dma_utilization, run_stencil, run_time_steps, BufferRotation,
-    CompiledKernel, RunOptions, StencilRun, TimeSteppedRun, Variant,
+    compile, execute, execute_on, measure_dma_utilization, measure_dma_utilization_on, run_stencil,
+    run_time_steps, BufferRotation, CompiledKernel, RunOptions, StencilRun, TimeSteppedRun,
+    Variant,
 };
 pub use saris::SarisPlans;
-pub use tuner::{tune_unroll, TunedRun, DEFAULT_CANDIDATES};
+pub use session::{
+    Backend, ClusterPool, ExecOutcome, ExecRequest, Job, KernelKey, NativeBackend, Session,
+    SessionRun, SessionStats, SimBackend,
+};
+pub use tuner::{tune_unroll, tune_unroll_with, TunedRun, DEFAULT_CANDIDATES};
 pub use walk::CoreWalk;

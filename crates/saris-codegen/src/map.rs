@@ -106,8 +106,8 @@ impl TcdmMap {
             ReplicatedRegion { base, stride, len }
         };
         let coeff = replicate(&mut cursor, stencil.coeffs().len() * ELEM_BYTES);
-        let coeff_stream = (coeff_stream_len > 0)
-            .then(|| replicate(&mut cursor, coeff_stream_len * ELEM_BYTES));
+        let coeff_stream =
+            (coeff_stream_len > 0).then(|| replicate(&mut cursor, coeff_stream_len * ELEM_BYTES));
         let mut index = [None; 4];
         for (slot, &len) in index_lens.iter().enumerate() {
             if len > 0 {
@@ -292,6 +292,9 @@ mod tests {
         let anchor = s.input_arrays().next().unwrap();
         assert_eq!(map.addr_of(anchor, p), map.anchor_addr(p));
         let out_addr = map.addr_of(s.output(), p);
-        assert_eq!(out_addr - map.addr_of(anchor, p), (2 * tile.len() * 8) as u64);
+        assert_eq!(
+            out_addr - map.addr_of(anchor, p),
+            (2 * tile.len() * 8) as u64
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! The kernel runtime: compile, install, execute, read back, verify.
 
 use std::fmt;
+use std::sync::Arc;
 
 use saris_core::grid::Grid;
 use saris_core::layout::{ArenaLayout, ELEM_BYTES};
@@ -101,6 +102,27 @@ impl RunOptions {
     pub fn with_concurrent_dma(mut self) -> RunOptions {
         self.concurrent_dma = true;
         self
+    }
+
+    /// A fingerprint over every field that affects *compilation*. The
+    /// execution-only knobs (`max_cycles`, `concurrent_dma`) are left
+    /// out, so sweeps over them share cached kernels in the session
+    /// layer's kernel cache.
+    pub fn compile_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!(
+            "{:?}|{}|{:?}|{:?}|{:?}|{}|{}",
+            self.variant,
+            self.unroll,
+            self.interleave,
+            self.cluster,
+            self.saris,
+            self.reassociate,
+            self.base_allow_spill,
+        )
+        .hash(&mut h);
+        h.finish()
     }
 }
 
@@ -219,13 +241,7 @@ pub fn compile(
             // plan's effective budget.
             let mut rem_opts = saris_opts;
             rem_opts.coeff_reg_budget = main.schedule.resident_coeffs();
-            let rem = SarisPlan::derive(
-                stencil,
-                &layout,
-                rem_opts,
-                1,
-                options.interleave.px(),
-            )?;
+            let rem = SarisPlan::derive(stencil, &layout, rem_opts, 1, options.interleave.px())?;
             let plans = SarisPlans { main, rem };
             let idx_imgs = [
                 Some(plans.main.indices.sr0.pack(plans.main.index_width)),
@@ -322,8 +338,8 @@ pub struct StencilRun {
     pub output: Grid,
     /// The simulator measurement report.
     pub report: RunReport,
-    /// The kernel that ran.
-    pub kernel: CompiledKernel,
+    /// The kernel that ran (shared, so cached kernels are not cloned).
+    pub kernel: Arc<CompiledKernel>,
 }
 
 impl StencilRun {
@@ -353,9 +369,10 @@ pub fn run_stencil(
 ) -> Result<StencilRun, CodegenError> {
     let n_inputs = stencil.input_arrays().count();
     assert_eq!(inputs.len(), n_inputs, "one grid per input array");
-    let extent = inputs
-        .first()
-        .map_or_else(|| panic!("stencil needs at least one input"), |g| g.extent());
+    let extent = inputs.first().map_or_else(
+        || panic!("stencil needs at least one input"),
+        |g| g.extent(),
+    );
     for g in inputs {
         assert_eq!(g.extent(), extent, "grids must share an extent");
     }
@@ -363,7 +380,7 @@ pub fn run_stencil(
     execute(stencil, inputs, kernel, options)
 }
 
-/// Executes an already-compiled kernel.
+/// Executes an already-compiled kernel on a fresh cluster.
 ///
 /// # Errors
 ///
@@ -374,8 +391,32 @@ pub fn execute(
     kernel: CompiledKernel,
     options: &RunOptions,
 ) -> Result<StencilRun, CodegenError> {
-    let extent = kernel.map.layout().extent();
     let mut cluster = Cluster::new(options.cluster.clone());
+    let kernel = Arc::new(kernel);
+    let (output, report) = execute_on(stencil, inputs, &kernel, options, &mut cluster)?;
+    Ok(StencilRun {
+        output,
+        report,
+        kernel,
+    })
+}
+
+/// Executes an already-compiled kernel on a caller-provided cluster (the
+/// reuse path of the session layer's cluster pool). The cluster must be
+/// in its power-on state — freshly constructed or [`Cluster::reset`] —
+/// and built from the same configuration the kernel was compiled for.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn execute_on(
+    stencil: &Stencil,
+    inputs: &[&Grid],
+    kernel: &CompiledKernel,
+    options: &RunOptions,
+    cluster: &mut Cluster,
+) -> Result<(Grid, RunReport), CodegenError> {
+    let extent = kernel.map.layout().extent();
     // Install input grids and zero the rest of the arena.
     let mut next_input = 0;
     for (i, decl) in stencil.arrays().iter().enumerate() {
@@ -386,7 +427,7 @@ pub fn execute(
                 next_input += 1;
             }
             ArrayRole::Output => {
-                cluster.write_f64_slice(base, &vec![0.0; extent.len()])?;
+                cluster.zero_f64_slice(base, extent.len())?;
             }
         }
     }
@@ -397,28 +438,33 @@ pub fn execute(
         cluster.load_program(core, cc.program.clone());
     }
     if options.concurrent_dma {
-        enqueue_tile_dma(&mut cluster, &kernel.map, stencil)?;
+        enqueue_tile_dma(cluster, &kernel.map, stencil)?;
     }
     let max_cycles = if options.max_cycles > 0 {
         options.max_cycles
     } else {
-        auto_cycle_budget(stencil, extent)
+        auto_cycle_budget(stencil, extent, options.cluster.n_cores)
     };
     let report = cluster.run(max_cycles)?;
     let out_base = kernel.map.array_base(stencil.output());
     let out = cluster.read_f64_slice(out_base, extent.len())?;
-    Ok(StencilRun {
-        output: Grid::from_raw(extent, out),
-        report,
-        kernel,
-    })
+    Ok((Grid::from_raw(extent, out), report))
 }
 
-fn auto_cycle_budget(stencil: &Stencil, extent: Extent) -> u64 {
-    // Worst realistic case is ~40 cycles/point/core-share; give 50x slack.
+/// The simulation budget when the caller sets `max_cycles = 0`: the worst
+/// realistic kernel retires one point per core-share in ~40 cycles — or,
+/// for arithmetic-heavy stencils, four cycles per flop — and we grant 50x
+/// slack on top plus a fixed startup allowance, so only genuinely hung
+/// simulations time out.
+pub(crate) fn auto_cycle_budget(stencil: &Stencil, extent: Extent, n_cores: usize) -> u64 {
+    const WORST_CYCLES_PER_POINT: u64 = 40;
+    const STALL_CYCLES_PER_FLOP: u64 = 4;
+    const SLACK: u64 = 50;
     let points = extent.len() as u64;
     let flops = stencil.stats().flops;
-    1_000_000 + points * flops * 8
+    let per_point = WORST_CYCLES_PER_POINT.max(STALL_CYCLES_PER_FLOP * flops);
+    let per_core_points = points.div_ceil(n_cores.max(1) as u64);
+    1_000_000 + per_core_points * per_point * SLACK
 }
 
 /// Queues tile-shaped inbound and outbound DMA traffic mirroring the
@@ -461,11 +507,22 @@ fn enqueue_tile_dma(
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn measure_dma_utilization(
-    extent: Extent,
-    cfg: &ClusterConfig,
-) -> Result<f64, CodegenError> {
+pub fn measure_dma_utilization(extent: Extent, cfg: &ClusterConfig) -> Result<f64, CodegenError> {
     let mut cluster = Cluster::new(cfg.clone());
+    measure_dma_utilization_on(extent, &mut cluster)
+}
+
+/// [`measure_dma_utilization`] on a caller-provided (reset) cluster — the
+/// session layer's pooled path.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_dma_utilization_on(
+    extent: Extent,
+    cluster: &mut Cluster,
+) -> Result<f64, CodegenError> {
+    let beat_bytes = cluster.config().dma_beat_bytes as f64;
     let tile_bytes = extent.len() * ELEM_BYTES;
     let row_bytes = extent.nx * ELEM_BYTES;
     let rows = (extent.ny * extent.nz) as u32;
@@ -489,7 +546,7 @@ pub fn measure_dma_utilization(
         dst_strides: [big_row_stride, 0],
     })?;
     let report = cluster.run(10_000_000)?;
-    Ok(report.dma.utilization(cfg.dma_beat_bytes as f64))
+    Ok(report.dma.utilization(beat_bytes))
 }
 
 #[cfg(test)]
@@ -566,11 +623,9 @@ mod tests {
         let extent = Extent::new_2d(64, 64);
         let inputs = inputs_for(&s, extent);
         let refs: Vec<&Grid> = inputs.iter().collect();
-        let base = run_stencil(&s, &refs, &RunOptions::new(Variant::Base).with_unroll(4))
-            .unwrap();
+        let base = run_stencil(&s, &refs, &RunOptions::new(Variant::Base).with_unroll(4)).unwrap();
         let saris =
-            run_stencil(&s, &refs, &RunOptions::new(Variant::Saris).with_unroll(4))
-                .unwrap();
+            run_stencil(&s, &refs, &RunOptions::new(Variant::Saris).with_unroll(4)).unwrap();
         assert!(base.max_error_vs_reference(&s, &refs) < 1e-12);
         assert!(saris.max_error_vs_reference(&s, &refs) < 1e-12);
         let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
@@ -582,11 +637,34 @@ mod tests {
         );
     }
 
+    /// The auto budget implements its stated rationale (40 cycles per
+    /// point per core-share, 50x slack): gallery kernels must finish well
+    /// inside it — here, using less than a tenth of the budget — while
+    /// the budget stays bounded enough to catch hangs quickly.
+    #[test]
+    fn auto_cycle_budget_has_ample_slack() {
+        for (s, unroll) in [(gallery::jacobi_2d(), 4), (gallery::j3d27pt(), 1)] {
+            let extent = tile_of(&s);
+            let inputs = inputs_for(&s, extent);
+            let refs: Vec<&Grid> = inputs.iter().collect();
+            for variant in [Variant::Base, Variant::Saris] {
+                let opts = RunOptions::new(variant).with_unroll(unroll);
+                let run = run_stencil(&s, &refs, &opts).unwrap();
+                let budget = auto_cycle_budget(&s, extent, opts.cluster.n_cores);
+                assert!(
+                    run.report.cycles * 10 < budget,
+                    "{} {variant}: {} cycles vs budget {budget}",
+                    s.name(),
+                    run.report.cycles
+                );
+            }
+        }
+    }
+
     #[test]
     fn dma_utilization_is_high() {
         let util =
-            measure_dma_utilization(Extent::new_2d(64, 64), &ClusterConfig::snitch())
-                .unwrap();
+            measure_dma_utilization(Extent::new_2d(64, 64), &ClusterConfig::snitch()).unwrap();
         assert!(util > 0.5 && util <= 1.0, "dma util {util}");
     }
 }
@@ -636,7 +714,9 @@ impl TimeSteppedRun {
 }
 
 /// Runs `steps` time iterations of `stencil`, compiling once and rotating
-/// buffers between steps per `rotation`.
+/// buffers between steps per `rotation`. Delegates to a throwaway
+/// [`crate::Session`], so the kernel compiles once and every step reuses
+/// one pooled cluster; keep your own session when stepping many sweeps.
 ///
 /// # Errors
 ///
@@ -652,25 +732,7 @@ pub fn run_time_steps(
     rotation: BufferRotation,
     options: &RunOptions,
 ) -> Result<TimeSteppedRun, CodegenError> {
-    let n_inputs = stencil.input_arrays().count();
-    assert_eq!(inputs.len(), n_inputs, "one grid per input array");
-    let extent = inputs[0].extent();
-    let kernel = compile(stencil, extent, options)?;
-    let mut grids: Vec<Grid> = inputs.iter().map(|g| (*g).clone()).collect();
-    let mut reports = Vec::with_capacity(steps);
-    for _ in 0..steps {
-        let refs: Vec<&Grid> = grids.iter().collect();
-        let run = execute(stencil, &refs, kernel.clone(), options)?;
-        reports.push(run.report);
-        match rotation {
-            BufferRotation::Alternating => grids[0] = run.output,
-            BufferRotation::Leapfrog => {
-                let u = std::mem::replace(&mut grids[0], run.output);
-                grids[1] = u;
-            }
-        }
-    }
-    Ok(TimeSteppedRun { grids, reports })
+    crate::session::Session::new().run_time_steps(stencil, inputs, steps, rotation, options)
 }
 
 #[cfg(test)]
@@ -686,8 +748,7 @@ mod timestep_tests {
         let opts = RunOptions::new(Variant::Saris)
             .with_unroll(2)
             .with_reassociate(0);
-        let run =
-            run_time_steps(&s, &[&input], 3, BufferRotation::Alternating, &opts).unwrap();
+        let run = run_time_steps(&s, &[&input], 3, BufferRotation::Alternating, &opts).unwrap();
         assert_eq!(run.reports.len(), 3);
         // March the reference in lockstep.
         let mut cur = input;

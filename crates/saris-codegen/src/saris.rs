@@ -152,8 +152,7 @@ pub fn gen_saris_core(
         });
     }
     debug_assert_eq!(
-        plans.main.indices.base_adjust_elems,
-        plans.rem.indices.base_adjust_elems,
+        plans.main.indices.base_adjust_elems, plans.rem.indices.base_adjust_elems,
         "main and remainder plans share the window base"
     );
     let unroll = plans.unroll();
@@ -237,8 +236,8 @@ impl SarisCtx<'_> {
     /// Affine coefficient-stream config for one part: walk
     /// `coeff_per_window` entries per window, `windows` windows per job.
     fn coeff_cfg(&self, part: &Part<'_>, windows: usize) -> SsrCfg {
-        let base = self.map.coeff_stream_base(self.core)
-            + (part.coeff_table_off * ELEM_BYTES) as u64;
+        let base =
+            self.map.coeff_stream_base(self.core) + (part.coeff_table_off * ELEM_BYTES) as u64;
         SsrCfg::Affine(AffineCfg {
             dir: StreamDir::Read,
             base,
@@ -495,8 +494,8 @@ impl SarisCtx<'_> {
         let extent = self.map.layout().extent();
         let is_3d = extent.nz > 1;
         let y_stride = (w.py * extent.nx * ELEM_BYTES) as i64;
-        let plane_adjust = (extent.nx * extent.ny * ELEM_BYTES) as i64
-            - w.count_y as i64 * y_stride;
+        let plane_adjust =
+            (extent.nx * extent.ny * ELEM_BYTES) as i64 - w.count_y as i64 * y_stride;
 
         let main_body = self.emit_block(&self.plans.main)?;
         let rem_body = self.emit_block(&self.plans.rem)?;
@@ -511,11 +510,11 @@ impl SarisCtx<'_> {
                 });
             }
         }
-        let (main_coeff_len, rem_coeff_off, rem_coeff_len) =
-            match self.plans.coeff_stream_tables() {
-                Some((m, r)) => (m.len(), m.len(), r.len()),
-                None => (0, 0, 0),
-            };
+        let (main_coeff_len, rem_coeff_off, rem_coeff_len) = match self.plans.coeff_stream_tables()
+        {
+            Some((m, r)) => (m.len(), m.len(), r.len()),
+            None => (0, 0, 0),
+        };
         let main_part = Part {
             plan: &self.plans.main,
             idx_slots: [0, 1],
@@ -642,8 +641,10 @@ mod tests {
     fn plans_for(s: &Stencil, tile: Extent, unroll: usize) -> (SarisPlans, TcdmMap) {
         let layout = ArenaLayout::for_stencil(s, tile);
         let main = SarisPlan::derive(s, &layout, SarisOptions::default(), unroll, 4).unwrap();
-        let mut rem_opts = SarisOptions::default();
-        rem_opts.coeff_reg_budget = main.schedule.resident_coeffs();
+        let rem_opts = SarisOptions {
+            coeff_reg_budget: main.schedule.resident_coeffs(),
+            ..SarisOptions::default()
+        };
         let rem = SarisPlan::derive(s, &layout, rem_opts, 1, 4).unwrap();
         let plans = SarisPlans { main, rem };
         let coeff_stream_len = plans
@@ -691,14 +692,7 @@ mod tests {
             for unroll in [1, 2] {
                 let (plans, map) = plans_for(&s, tile_of(&s), unroll);
                 for core in 0..8 {
-                    let r = gen_saris_core(
-                        &s,
-                        &map,
-                        &plans,
-                        &InterleavePlan::snitch(),
-                        core,
-                        &cfg,
-                    );
+                    let r = gen_saris_core(&s, &map, &plans, &InterleavePlan::snitch(), core, &cfg);
                     match r {
                         Ok(cc) => assert!(!cc.program.is_empty()),
                         Err(CodegenError::FrepBodyTooLarge { .. }) => {}
@@ -861,8 +855,7 @@ mod tests {
         let (plans, map) = plans_for(&s, tile_of(&s), 4);
         let mut cfg = ClusterConfig::snitch();
         cfg.sequencer_depth = 64; // 4 * (28 + reloads) > 64
-        let err =
-            gen_saris_core(&s, &map, &plans, &InterleavePlan::snitch(), 0, &cfg).unwrap_err();
+        let err = gen_saris_core(&s, &map, &plans, &InterleavePlan::snitch(), 0, &cfg).unwrap_err();
         assert!(matches!(err, CodegenError::FrepBodyTooLarge { .. }));
     }
 

@@ -1,0 +1,746 @@
+//! The execution engine: a reusable [`Session`] that caches compiled
+//! kernels, pools reset [`Cluster`] instances, and dispatches runs to a
+//! pluggable [`Backend`].
+//!
+//! Everything that repeatedly compiles-and-runs kernels — the paper
+//! harness in `saris-bench`, the unroll tuner, multi-step sweeps, the
+//! examples — goes through a session, so:
+//!
+//! * a `(stencil fingerprint, extent, options)` kernel compiles exactly
+//!   once per session, however many variants/tiles a sweep touches;
+//! * clusters are recycled via [`Cluster::reset`] instead of being
+//!   reconstructed (arena, register and metric state reset in place);
+//! * batches fan out across worker threads, one pooled cluster per
+//!   worker ([`Session::run_batch`]);
+//! * the execution substrate is swappable: the cycle-approximate
+//!   [`SimBackend`] for measurements, the [`NativeBackend`] (golden
+//!   reference executor) for correctness-only and large-scale scenarios.
+//!
+//! # Examples
+//!
+//! ```
+//! use saris_codegen::{RunOptions, Session, Variant};
+//! use saris_core::{gallery, Extent, Grid};
+//!
+//! # fn main() -> Result<(), saris_codegen::CodegenError> {
+//! let session = Session::new();
+//! let stencil = gallery::jacobi_2d();
+//! let input = Grid::pseudo_random(Extent::new_2d(16, 16), 1);
+//! let opts = RunOptions::new(Variant::Saris);
+//! let first = session.run(&stencil, &[&input], &opts)?;
+//! let second = session.run(&stencil, &[&input], &opts)?;
+//! assert!(!first.cache_hit && second.cache_hit);
+//! assert_eq!(session.stats().compiles, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use saris_core::grid::Grid;
+use saris_core::stencil::Stencil;
+use saris_core::{reference, Extent};
+use snitch_sim::{Cluster, ClusterConfig, RunReport};
+
+use crate::error::CodegenError;
+use crate::runtime::{
+    compile, execute_on, measure_dma_utilization_on, BufferRotation, CompiledKernel, RunOptions,
+    StencilRun, TimeSteppedRun,
+};
+use crate::tuner::TunedRun;
+
+/// The key a compiled kernel is cached under: stencil structure, tile
+/// extent, and the compile-relevant option fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    stencil: u64,
+    extent: Extent,
+    options: u64,
+}
+
+impl KernelKey {
+    /// Derives the cache key for one compilation request.
+    pub fn new(stencil: &Stencil, extent: Extent, options: &RunOptions) -> KernelKey {
+        KernelKey {
+            stencil: stencil.fingerprint(),
+            extent,
+            options: options.compile_fingerprint(),
+        }
+    }
+}
+
+/// A pool of reusable simulated clusters. Released clusters are kept
+/// alive and handed back — after a [`Cluster::reset`] — to the next
+/// acquirer with a matching configuration, avoiding the TCDM/main-memory
+/// reconstruction cost of `Cluster::new` on every run.
+#[derive(Debug, Default)]
+pub struct ClusterPool {
+    free: Mutex<Vec<Cluster>>,
+}
+
+impl ClusterPool {
+    /// Creates an empty pool.
+    pub fn new() -> ClusterPool {
+        ClusterPool::default()
+    }
+
+    /// Acquires a power-on-state cluster for `cfg`. Returns the cluster
+    /// and whether it was recycled from the pool (vs newly constructed).
+    pub fn acquire(&self, cfg: &ClusterConfig) -> (Cluster, bool) {
+        let recycled = {
+            let mut free = self.free.lock().expect("cluster pool lock");
+            free.iter()
+                .position(|c| c.config() == cfg)
+                .map(|pos| free.swap_remove(pos))
+        };
+        match recycled {
+            Some(mut cluster) => {
+                cluster.reset();
+                (cluster, true)
+            }
+            None => (Cluster::new(cfg.clone()), false),
+        }
+    }
+
+    /// Returns a cluster to the pool for later reuse.
+    pub fn release(&self, cluster: Cluster) {
+        self.free.lock().expect("cluster pool lock").push(cluster);
+    }
+
+    /// Number of idle clusters currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("cluster pool lock").len()
+    }
+}
+
+/// One execution request handed to a [`Backend`].
+pub struct ExecRequest<'a> {
+    /// The stencil to apply.
+    pub stencil: &'a Stencil,
+    /// One grid per declared input array, all of the same extent.
+    pub inputs: &'a [&'a Grid],
+    /// Execution options.
+    pub options: &'a RunOptions,
+    /// The cached kernel, when the backend asked for one.
+    pub kernel: Option<&'a Arc<CompiledKernel>>,
+    /// The session's cluster pool.
+    pub pool: &'a ClusterPool,
+}
+
+/// What a [`Backend`] produced for one request.
+pub struct ExecOutcome {
+    /// The computed output tile.
+    pub output: Grid,
+    /// The simulator measurement, when the backend simulates.
+    pub report: Option<RunReport>,
+    /// Whether a pooled cluster was recycled for this run.
+    pub cluster_reused: bool,
+}
+
+/// An execution substrate the [`Session`] dispatches runs to.
+pub trait Backend: Send + Sync {
+    /// A short identifier (`"sim"`, `"native"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether execution consumes compiled kernels. When `true` the
+    /// session compiles (through its cache) before calling
+    /// [`Backend::execute`]; when `false` no codegen happens at all.
+    fn needs_kernel(&self) -> bool;
+
+    /// Executes one request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation or execution errors.
+    fn execute(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, CodegenError>;
+}
+
+/// The cycle-approximate Snitch-cluster simulator backend: compiles
+/// kernels, runs them on pooled clusters, and reports cycles/activity.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimBackend;
+
+impl Backend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn needs_kernel(&self) -> bool {
+        true
+    }
+
+    fn execute(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, CodegenError> {
+        let kernel = req.kernel.expect("sim backend runs need a compiled kernel");
+        let (mut cluster, cluster_reused) = req.pool.acquire(&req.options.cluster);
+        let result = execute_on(req.stencil, req.inputs, kernel, req.options, &mut cluster);
+        // Pool the cluster even after an error: acquisition resets it.
+        req.pool.release(cluster);
+        let (output, report) = result?;
+        Ok(ExecOutcome {
+            output,
+            report: Some(report),
+            cluster_reused,
+        })
+    }
+}
+
+/// The golden-reference backend: executes the stencil natively with the
+/// scalar reference executor. Orders of magnitude faster than the
+/// simulator and exact by construction, but produces no cycle report —
+/// use it for correctness runs and large-scale scenario sweeps.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NativeBackend;
+
+impl Backend for NativeBackend {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn needs_kernel(&self) -> bool {
+        false
+    }
+
+    fn execute(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, CodegenError> {
+        let extent = req.inputs[0].extent();
+        let mut refs: Vec<&Grid> = req.inputs.to_vec();
+        let output = reference::apply_to_new(req.stencil, &mut refs, extent);
+        Ok(ExecOutcome {
+            output,
+            report: None,
+            cluster_reused: false,
+        })
+    }
+}
+
+/// Counters describing what a session reused versus rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Jobs executed (single runs, batch members, time steps).
+    pub runs: u64,
+    /// Kernels compiled (cache misses).
+    pub compiles: u64,
+    /// Kernel-cache hits.
+    pub cache_hits: u64,
+    /// Runs that recycled a pooled cluster.
+    pub clusters_reused: u64,
+}
+
+/// One unit of batch work: a stencil applied to owned input grids under
+/// the given options.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The stencil.
+    pub stencil: Stencil,
+    /// One grid per declared input array.
+    pub inputs: Vec<Grid>,
+    /// Execution options.
+    pub options: RunOptions,
+}
+
+impl Job {
+    /// Bundles a job.
+    pub fn new(stencil: Stencil, inputs: Vec<Grid>, options: RunOptions) -> Job {
+        Job {
+            stencil,
+            inputs,
+            options,
+        }
+    }
+}
+
+/// The outcome of one session run.
+#[derive(Debug, Clone)]
+pub struct SessionRun {
+    /// The computed output tile (halo zeroed).
+    pub output: Grid,
+    /// The simulator measurement (`None` for report-free backends).
+    pub report: Option<RunReport>,
+    /// The kernel that ran (`None` for codegen-free backends).
+    pub kernel: Option<Arc<CompiledKernel>>,
+    /// Which backend executed the run.
+    pub backend: &'static str,
+    /// Whether the kernel came from the session's cache.
+    pub cache_hit: bool,
+}
+
+impl SessionRun {
+    /// The simulator report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend produced none (e.g. [`NativeBackend`]).
+    pub fn expect_report(&self) -> &RunReport {
+        self.report
+            .as_ref()
+            .unwrap_or_else(|| panic!("the `{}` backend produces no report", self.backend))
+    }
+
+    /// Largest absolute difference against the golden reference executor.
+    pub fn max_error_vs_reference(&self, stencil: &Stencil, inputs: &[&Grid]) -> f64 {
+        let mut refs: Vec<&Grid> = inputs.to_vec();
+        let expect = reference::apply_to_new(stencil, &mut refs, self.output.extent());
+        self.output.max_abs_diff(&expect)
+    }
+
+    /// Converts into the classic [`StencilRun`] shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::NoReport`] when the backend produced no
+    /// report or kernel.
+    pub fn into_stencil_run(self) -> Result<StencilRun, CodegenError> {
+        let backend = self.backend;
+        match (self.report, self.kernel) {
+            (Some(report), Some(kernel)) => Ok(StencilRun {
+                output: self.output,
+                report,
+                kernel,
+            }),
+            _ => Err(CodegenError::NoReport { backend }),
+        }
+    }
+}
+
+/// One kernel-cache entry: a per-key slot so concurrent compilations of
+/// *different* kernels proceed in parallel, while two threads racing on
+/// the *same* key serialize on the slot and the loser gets a cache hit.
+type KernelSlot = Arc<Mutex<Option<Arc<CompiledKernel>>>>;
+
+/// A reusable execution engine: kernel cache + cluster pool + backend.
+///
+/// Sessions are `Sync`; a single session can serve many worker threads
+/// concurrently (that is exactly what [`Session::run_batch`] does).
+pub struct Session {
+    backend: Arc<dyn Backend>,
+    pool: ClusterPool,
+    cache: Mutex<HashMap<KernelKey, KernelSlot>>,
+    stats: Mutex<SessionStats>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session on the cycle-approximate simulator ([`SimBackend`]).
+    pub fn new() -> Session {
+        Session::with_backend(Arc::new(SimBackend))
+    }
+
+    /// A session on the golden-reference executor ([`NativeBackend`]).
+    pub fn native() -> Session {
+        Session::with_backend(Arc::new(NativeBackend))
+    }
+
+    /// A session on a custom backend.
+    pub fn with_backend(backend: Arc<dyn Backend>) -> Session {
+        Session {
+            backend,
+            pool: ClusterPool::new(),
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(SessionStats::default()),
+        }
+    }
+
+    /// The active backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// A snapshot of the reuse counters.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.lock().expect("session stats lock")
+    }
+
+    /// Number of kernels currently cached (successful compiles only).
+    pub fn cached_kernels(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("kernel cache lock")
+            .values()
+            .filter(|slot| slot.lock().expect("kernel slot lock").is_some())
+            .count()
+    }
+
+    /// Number of idle clusters currently pooled.
+    pub fn pooled_clusters(&self) -> usize {
+        self.pool.idle()
+    }
+
+    /// Compiles `stencil` for `extent` through the kernel cache: each
+    /// `(stencil fingerprint, extent, compile options)` key compiles at
+    /// most once per session, concurrent callers included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors (which are not cached — a failing
+    /// key fails again on retry).
+    pub fn compile_cached(
+        &self,
+        stencil: &Stencil,
+        extent: Extent,
+        options: &RunOptions,
+    ) -> Result<(Arc<CompiledKernel>, bool), CodegenError> {
+        let key = KernelKey::new(stencil, extent, options);
+        // Two-level locking: the map lock is held only to find or create
+        // the key's slot, so compilations of different kernels run in
+        // parallel. Racing threads on the same key serialize on the slot
+        // lock — the winner compiles, the losers wake up to a hit.
+        let slot = Arc::clone(
+            self.cache
+                .lock()
+                .expect("kernel cache lock")
+                .entry(key)
+                .or_default(),
+        );
+        let mut slot = slot.lock().expect("kernel slot lock");
+        if let Some(kernel) = &*slot {
+            let mut stats = self.stats.lock().expect("session stats lock");
+            stats.cache_hits += 1;
+            return Ok((Arc::clone(kernel), true));
+        }
+        let kernel = Arc::new(compile(stencil, extent, options)?);
+        *slot = Some(Arc::clone(&kernel));
+        let mut stats = self.stats.lock().expect("session stats lock");
+        stats.compiles += 1;
+        Ok((kernel, false))
+    }
+
+    /// Compiles (through the cache) and executes one run on the session's
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and execution errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the stencil's input arrays or
+    /// the grids disagree on extent.
+    pub fn run(
+        &self,
+        stencil: &Stencil,
+        inputs: &[&Grid],
+        options: &RunOptions,
+    ) -> Result<SessionRun, CodegenError> {
+        let n_inputs = stencil.input_arrays().count();
+        assert_eq!(inputs.len(), n_inputs, "one grid per input array");
+        let extent = inputs.first().map_or_else(
+            || panic!("stencil needs at least one input"),
+            |g| g.extent(),
+        );
+        for g in inputs {
+            assert_eq!(g.extent(), extent, "grids must share an extent");
+        }
+        let (kernel, cache_hit) = if self.backend.needs_kernel() {
+            let (kernel, hit) = self.compile_cached(stencil, extent, options)?;
+            (Some(kernel), hit)
+        } else {
+            (None, false)
+        };
+        let outcome = self.backend.execute(&ExecRequest {
+            stencil,
+            inputs,
+            options,
+            kernel: kernel.as_ref(),
+            pool: &self.pool,
+        })?;
+        {
+            let mut stats = self.stats.lock().expect("session stats lock");
+            stats.runs += 1;
+            stats.clusters_reused += u64::from(outcome.cluster_reused);
+        }
+        Ok(SessionRun {
+            output: outcome.output,
+            report: outcome.report,
+            kernel,
+            backend: self.backend.name(),
+            cache_hit,
+        })
+    }
+
+    /// Like [`Session::run`], shaped as the classic [`StencilRun`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates run errors; returns [`CodegenError::NoReport`] on
+    /// backends without simulator reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/arity mismatches, as [`Session::run`].
+    pub fn run_stencil(
+        &self,
+        stencil: &Stencil,
+        inputs: &[&Grid],
+        options: &RunOptions,
+    ) -> Result<StencilRun, CodegenError> {
+        self.run(stencil, inputs, options)?.into_stencil_run()
+    }
+
+    /// Runs a batch of jobs, fanning out across worker threads (one
+    /// pooled cluster per worker). Kernels flow through the per-key
+    /// cache slots, so identical jobs never compile twice even when
+    /// their workers race — the first run of a key compiles
+    /// (`cache_hit == false`), every other run hits. Results come back
+    /// in job order; each job fails or succeeds independently.
+    pub fn run_batch(&self, jobs: &[Job]) -> Vec<Result<SessionRun, CodegenError>> {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(jobs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<SessionRun, CodegenError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let refs: Vec<&Grid> = job.inputs.iter().collect();
+                    let run = self.run(&job.stencil, &refs, &job.options);
+                    *results[i].lock().expect("batch result lock") = Some(run);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch result lock")
+                    .expect("every job index was visited")
+            })
+            .collect()
+    }
+
+    /// The "unroll iff beneficial" tuner, through the session: every
+    /// candidate's kernel lands in the cache, so re-tuning or re-running
+    /// the winner is compile-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::tuner::tune_unroll`]: candidates failing on register
+    /// pressure or FREP capacity are skipped; no surviving candidate
+    /// yields [`CodegenError::NoCandidates`].
+    pub fn tune_unroll(
+        &self,
+        stencil: &Stencil,
+        inputs: &[&Grid],
+        options: &RunOptions,
+        candidates: &[usize],
+    ) -> Result<TunedRun, CodegenError> {
+        crate::tuner::tune_unroll_with(candidates, |unroll| {
+            self.run_stencil(stencil, inputs, &options.clone().with_unroll(unroll))
+        })
+    }
+
+    /// Runs `steps` time iterations, compiling once (through the cache)
+    /// and rotating buffers between steps per `rotation`. With the
+    /// simulator backend every step reuses one pooled cluster; with
+    /// report-free backends `reports` comes back empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and execution errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the stencil's input arrays.
+    pub fn run_time_steps(
+        &self,
+        stencil: &Stencil,
+        inputs: &[&Grid],
+        steps: usize,
+        rotation: BufferRotation,
+        options: &RunOptions,
+    ) -> Result<TimeSteppedRun, CodegenError> {
+        let n_inputs = stencil.input_arrays().count();
+        assert_eq!(inputs.len(), n_inputs, "one grid per input array");
+        let mut grids: Vec<Grid> = inputs.iter().map(|g| (*g).clone()).collect();
+        let mut reports = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let refs: Vec<&Grid> = grids.iter().collect();
+            let run = self.run(stencil, &refs, options)?;
+            if let Some(report) = run.report {
+                reports.push(report);
+            }
+            match rotation {
+                BufferRotation::Alternating => grids[0] = run.output,
+                BufferRotation::Leapfrog => {
+                    let u = std::mem::replace(&mut grids[0], run.output);
+                    grids[1] = u;
+                }
+            }
+        }
+        Ok(TimeSteppedRun { grids, reports })
+    }
+
+    /// Measures DMA bandwidth utilization for tile-shaped transfers on a
+    /// pooled cluster (see [`crate::measure_dma_utilization`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn measure_dma_utilization(
+        &self,
+        extent: Extent,
+        cfg: &ClusterConfig,
+    ) -> Result<f64, CodegenError> {
+        let (mut cluster, reused) = self.pool.acquire(cfg);
+        let result = measure_dma_utilization_on(extent, &mut cluster);
+        self.pool.release(cluster);
+        let mut stats = self.stats.lock().expect("session stats lock");
+        stats.runs += 1;
+        stats.clusters_reused += u64::from(reused);
+        result
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("backend", &self.backend.name())
+            .field("cached_kernels", &self.cached_kernels())
+            .field("pooled_clusters", &self.pool.idle())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run_stencil, Variant};
+    use saris_core::gallery;
+
+    fn jacobi_setup() -> (Stencil, Grid, RunOptions) {
+        let s = gallery::jacobi_2d();
+        let input = Grid::pseudo_random(Extent::new_2d(16, 16), 3);
+        (s, input, RunOptions::new(Variant::Saris))
+    }
+
+    #[test]
+    fn cache_hits_on_identical_requests() {
+        let (s, input, opts) = jacobi_setup();
+        let session = Session::new();
+        let a = session.run(&s, &[&input], &opts).unwrap();
+        let b = session.run(&s, &[&input], &opts).unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        assert_eq!(session.stats().compiles, 1);
+        assert_eq!(session.stats().cache_hits, 1);
+        assert_eq!(session.cached_kernels(), 1);
+        // Identical kernel object, identical results.
+        assert!(Arc::ptr_eq(
+            a.kernel.as_ref().unwrap(),
+            b.kernel.as_ref().unwrap()
+        ));
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn execution_only_knobs_share_kernels() {
+        let (s, input, opts) = jacobi_setup();
+        let session = Session::new();
+        session.run(&s, &[&input], &opts).unwrap();
+        let mut budget = opts.clone();
+        budget.max_cycles = 10_000_000;
+        let run = session.run(&s, &[&input], &budget).unwrap();
+        assert!(run.cache_hit, "max_cycles must not force a recompile");
+        // Compile-relevant knobs do.
+        let run = session
+            .run(&s, &[&input], &opts.clone().with_unroll(2))
+            .unwrap();
+        assert!(!run.cache_hit);
+        assert_eq!(session.stats().compiles, 2);
+    }
+
+    #[test]
+    fn pooled_clusters_are_recycled() {
+        let (s, input, opts) = jacobi_setup();
+        let session = Session::new();
+        session.run(&s, &[&input], &opts).unwrap();
+        assert_eq!(session.pooled_clusters(), 1);
+        session.run(&s, &[&input], &opts).unwrap();
+        assert_eq!(session.pooled_clusters(), 1, "cluster returns to the pool");
+        assert_eq!(session.stats().clusters_reused, 1);
+    }
+
+    #[test]
+    fn session_matches_free_run_stencil() {
+        let (s, input, opts) = jacobi_setup();
+        let session = Session::new();
+        let ours = session.run_stencil(&s, &[&input], &opts).unwrap();
+        let theirs = run_stencil(&s, &[&input], &opts).unwrap();
+        assert_eq!(ours.output.max_abs_diff(&theirs.output), 0.0);
+        assert_eq!(ours.report, theirs.report);
+    }
+
+    #[test]
+    fn native_backend_is_the_reference() {
+        let (s, input, opts) = jacobi_setup();
+        let session = Session::native();
+        let run = session.run(&s, &[&input], &opts).unwrap();
+        assert_eq!(run.backend, "native");
+        assert!(run.report.is_none());
+        assert!(run.kernel.is_none());
+        assert_eq!(run.max_error_vs_reference(&s, &[&input]), 0.0);
+        assert_eq!(session.stats().compiles, 0, "native runs never compile");
+        assert!(matches!(
+            session.run_stencil(&s, &[&input], &opts),
+            Err(CodegenError::NoReport { backend: "native" })
+        ));
+    }
+
+    #[test]
+    fn batch_results_keep_job_order() {
+        let (s, _, opts) = jacobi_setup();
+        let jobs: Vec<Job> = (0..4)
+            .map(|seed| {
+                Job::new(
+                    s.clone(),
+                    vec![Grid::pseudo_random(Extent::new_2d(16, 16), seed)],
+                    opts.clone(),
+                )
+            })
+            .collect();
+        let session = Session::new();
+        let results = session.run_batch(&jobs);
+        assert_eq!(results.len(), 4);
+        for (job, result) in jobs.iter().zip(results) {
+            let run = result.expect("job runs");
+            let refs: Vec<&Grid> = job.inputs.iter().collect();
+            let serial = run_stencil(&job.stencil, &refs, &job.options).unwrap();
+            assert_eq!(run.output.max_abs_diff(&serial.output), 0.0);
+        }
+        // One shape, one compile, four runs.
+        assert_eq!(session.stats().compiles, 1);
+        assert_eq!(session.stats().runs, 4);
+    }
+
+    #[test]
+    fn batch_jobs_fail_independently() {
+        let (s, input, opts) = jacobi_setup();
+        // j3d27pt at base unroll 4 hits register pressure.
+        let wide = gallery::j3d27pt();
+        let wide_input = Grid::pseudo_random(Extent::cube(saris_core::Space::Dim3, 8), 1);
+        let jobs = vec![
+            Job::new(s.clone(), vec![input.clone()], opts.clone()),
+            Job::new(
+                wide,
+                vec![wide_input],
+                RunOptions::new(Variant::Base).with_unroll(4),
+            ),
+        ];
+        let results = Session::new().run_batch(&jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CodegenError::RegisterPressure { .. })
+        ));
+    }
+}

@@ -34,6 +34,9 @@ impl TunedRun {
 /// are skipped (they are genuinely not implementable at that width, which
 /// is exactly the paper's register-bound story); any other error aborts.
 ///
+/// Prefer [`crate::Session::tune_unroll`] when tuning more than one code:
+/// the session caches every candidate kernel for later reuse.
+///
 /// # Errors
 ///
 /// Returns [`CodegenError::NoCandidates`] if no candidate both compiles
@@ -44,11 +47,28 @@ pub fn tune_unroll(
     options: &RunOptions,
     candidates: &[usize],
 ) -> Result<TunedRun, CodegenError> {
+    tune_unroll_with(candidates, |unroll| {
+        run_stencil(stencil, inputs, &options.clone().with_unroll(unroll))
+    })
+}
+
+/// The tuner core: measures every candidate through `run` and keeps the
+/// fastest, skipping candidates that are genuinely not implementable
+/// (register pressure, FREP capacity). Both the free [`tune_unroll`] and
+/// the session-cached [`crate::Session::tune_unroll`] drive this.
+///
+/// # Errors
+///
+/// Returns [`CodegenError::NoCandidates`] if no candidate both compiles
+/// and runs, or the first hard error encountered.
+pub fn tune_unroll_with(
+    candidates: &[usize],
+    mut run: impl FnMut(usize) -> Result<StencilRun, CodegenError>,
+) -> Result<TunedRun, CodegenError> {
     let mut best: Option<StencilRun> = None;
     let mut measured = Vec::new();
     for &u in candidates {
-        let opts = options.clone().with_unroll(u);
-        match run_stencil(stencil, inputs, &opts) {
+        match run(u) {
             Ok(run) => {
                 measured.push((u, run.report.cycles));
                 let better = best
@@ -58,9 +78,7 @@ pub fn tune_unroll(
                     best = Some(run);
                 }
             }
-            Err(
-                CodegenError::RegisterPressure { .. } | CodegenError::FrepBodyTooLarge { .. },
-            ) => {}
+            Err(CodegenError::RegisterPressure { .. } | CodegenError::FrepBodyTooLarge { .. }) => {}
             Err(e) => return Err(e),
         }
     }
@@ -117,8 +135,7 @@ mod tests {
         let s = gallery::jacobi_2d();
         let extent = Extent::new_2d(16, 16);
         let input = Grid::pseudo_random(extent, 3);
-        let err =
-            tune_unroll(&s, &[&input], &RunOptions::new(Variant::Base), &[]).unwrap_err();
+        let err = tune_unroll(&s, &[&input], &RunOptions::new(Variant::Base), &[]).unwrap_err();
         assert!(matches!(err, CodegenError::NoCandidates));
     }
 }

@@ -104,8 +104,7 @@ impl CoreWalk {
     /// Byte delta advancing a pointer from the end of one plane walk to
     /// the start of the next.
     pub fn plane_delta_bytes(&self, extent: Extent) -> i64 {
-        (extent.nx * extent.ny) as i64 * 8
-            - (self.count_y * self.py * extent.nx) as i64 * 8
+        (extent.nx * extent.ny) as i64 * 8 - (self.count_y * self.py * extent.nx) as i64 * 8
     }
 }
 
@@ -154,11 +153,7 @@ mod tests {
         for z in 0..w.count_z {
             for y in 0..w.count_y {
                 for x in 0..w.count_x {
-                    let p = (
-                        w.x0 + x * w.px,
-                        w.y0 + y * w.py,
-                        w.z0 + z,
-                    );
+                    let p = (w.x0 + x * w.px, w.y0 + y * w.py, w.z0 + z);
                     expect.push((extent.linear(p.0, p.1, p.2) * 8) as i64);
                 }
             }

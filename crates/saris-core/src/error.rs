@@ -119,7 +119,10 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::IndexOverflow { name, index, max } => {
-                write!(f, "stencil {name}: index {index} exceeds width maximum {max}")
+                write!(
+                    f,
+                    "stencil {name}: index {index} exceeds width maximum {max}"
+                )
             }
             PlanError::TileTooSmall { name } => {
                 write!(f, "stencil {name}: tile smaller than twice the halo")

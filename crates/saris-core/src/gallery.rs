@@ -270,7 +270,8 @@ pub fn ac_iso_cd() -> Stencil {
     // Folded center coefficient: 2 - v^2 dt^2 * (2*sum of axis weights).
     let c0 = b.coeff("c0", 0.41);
     let mut acc = b.mul(c0, center);
-    let axes: [(&str, fn(i32) -> Offset); 3] = [
+    type AxisOffset = fn(i32) -> Offset;
+    let axes: [(&str, AxisOffset); 3] = [
         ("x", |d| Offset::d3(d, 0, 0)),
         ("y", |d| Offset::d3(0, d, 0)),
         ("z", |d| Offset::d3(0, 0, d)),
@@ -336,9 +337,7 @@ mod tests {
 
     #[test]
     fn table_1_matches_paper_exactly() {
-        for (stencil, (name, space, radius, loads, coeffs, flops)) in
-            all().iter().zip(TABLE_1)
-        {
+        for (stencil, (name, space, radius, loads, coeffs, flops)) in all().iter().zip(TABLE_1) {
             assert_eq!(stencil.name(), name);
             let st = stencil.stats();
             assert_eq!(st.space, space, "{name} dims");

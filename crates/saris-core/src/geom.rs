@@ -138,9 +138,8 @@ impl Extent {
     /// Iterates all points in the extent (x fastest).
     pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
-        (0..nz).flat_map(move |z| {
-            (0..ny).flat_map(move |y| (0..nx).map(move |x| Point { x, y, z }))
-        })
+        (0..nz)
+            .flat_map(move |z| (0..ny).flat_map(move |y| (0..nx).map(move |x| Point { x, y, z })))
     }
 
     /// Iterates the interior points at distance `>= halo` from every face
@@ -154,9 +153,8 @@ impl Extent {
         let (nx, ny) = (self.nx, self.ny);
         let (rx, ry) = (halo.rx as usize, halo.ry as usize);
         zr.flat_map(move |z| {
-            (ry..ny.saturating_sub(ry)).flat_map(move |y| {
-                (rx..nx.saturating_sub(rx)).map(move |x| Point { x, y, z })
-            })
+            (ry..ny.saturating_sub(ry))
+                .flat_map(move |y| (rx..nx.saturating_sub(rx)).map(move |x| Point { x, y, z }))
         })
     }
 
@@ -383,7 +381,9 @@ mod tests {
         let e = Extent::new_2d(6, 5);
         let pts: Vec<_> = e.interior_points(Halo::uniform(1)).collect();
         assert_eq!(pts.len(), 4 * 3);
-        assert!(pts.iter().all(|p| p.x >= 1 && p.x <= 4 && p.y >= 1 && p.y <= 3));
+        assert!(pts
+            .iter()
+            .all(|p| p.x >= 1 && p.x <= 4 && p.y >= 1 && p.y <= 3));
         // 2D grids ignore the z halo entirely.
         let pts3: Vec<_> = e.interior_points(Halo::uniform(1)).collect();
         assert_eq!(pts.len(), pts3.len());
@@ -405,9 +405,20 @@ mod tests {
 
     #[test]
     fn halo_covering() {
-        let offs = [Offset::d3(-3, 0, 0), Offset::d3(0, 2, 0), Offset::d3(1, 1, -1)];
+        let offs = [
+            Offset::d3(-3, 0, 0),
+            Offset::d3(0, 2, 0),
+            Offset::d3(1, 1, -1),
+        ];
         let h = Halo::covering(&offs);
-        assert_eq!(h, Halo { rx: 3, ry: 2, rz: 1 });
+        assert_eq!(
+            h,
+            Halo {
+                rx: 3,
+                ry: 2,
+                rz: 1
+            }
+        );
         assert_eq!(h.max_radius(), 3);
     }
 

@@ -153,15 +153,15 @@ mod tests {
     fn setup(name: &str, tile: usize) -> (crate::stencil::Stencil, ArenaLayout, PointSchedule) {
         let s = gallery::by_name(name).unwrap();
         let layout = ArenaLayout::for_stencil(&s, Extent::cube(s.space(), tile));
-        let sched = PointSchedule::derive(&s, 20, crate::method::schedule::CoeffStrategy::StreamSr1);
+        let sched =
+            PointSchedule::derive(&s, 20, crate::method::schedule::CoeffStrategy::StreamSr1);
         (s, layout, sched)
     }
 
     #[test]
     fn indices_are_nonnegative_and_resolve_correctly() {
         let (s, layout, sched) = setup("jacobi_2d", 64);
-        let arrays =
-            build_index_arrays(&s, &layout, &sched, 1, 4, IndexWidth::U16).unwrap();
+        let arrays = build_index_arrays(&s, &layout, &sched, 1, 4, IndexWidth::U16).unwrap();
         // Check that base + index reproduces the tap element for a sample
         // point (at unroll 1 the interleaved order is plain pop order).
         let p = Point::new_2d(10, 20);
@@ -206,10 +206,11 @@ mod tests {
     #[test]
     fn base_adjust_is_most_negative_offset() {
         let (s, layout, sched) = setup("ac_iso_cd", 16);
-        let arrays =
-            build_index_arrays(&s, &layout, &sched, 1, 4, IndexWidth::U16).unwrap();
+        let arrays = build_index_arrays(&s, &layout, &sched, 1, 4, IndexWidth::U16).unwrap();
         // Most negative tap offset of a radius-4 3D star: -4 planes.
-        let expect = layout.extent().linear_offset(crate::geom::Offset::d3(0, 0, -4));
+        let expect = layout
+            .extent()
+            .linear_offset(crate::geom::Offset::d3(0, 0, -4));
         assert_eq!(arrays.base_adjust_elems, expect);
         assert!(arrays.sr0.rel_indices.iter().all(|&i| i <= u16::MAX as u64));
     }
@@ -218,9 +219,9 @@ mod tests {
     fn coeff_stream_mode_has_no_sr1_indices() {
         let s = gallery::j3d27pt();
         let layout = ArenaLayout::for_stencil(&s, Extent::cube(s.space(), 16));
-        let sched = PointSchedule::derive(&s, 20, crate::method::schedule::CoeffStrategy::StreamSr1);
-        let arrays =
-            build_index_arrays(&s, &layout, &sched, 2, 4, IndexWidth::U16).unwrap();
+        let sched =
+            PointSchedule::derive(&s, 20, crate::method::schedule::CoeffStrategy::StreamSr1);
+        let arrays = build_index_arrays(&s, &layout, &sched, 2, 4, IndexWidth::U16).unwrap();
         assert!(arrays.sr1.is_none());
         assert_eq!(arrays.sr0.len(), 2 * 27);
     }
@@ -246,8 +247,7 @@ mod tests {
     #[test]
     fn multi_array_indices_reach_second_array() {
         let (s, layout, sched) = setup("ac_iso_cd", 16);
-        let arrays =
-            build_index_arrays(&s, &layout, &sched, 1, 4, IndexWidth::U16).unwrap();
+        let arrays = build_index_arrays(&s, &layout, &sched, 1, 4, IndexWidth::U16).unwrap();
         // The um tap (one full array above) must appear in some stream.
         let tile_len = layout.extent().len() as i64;
         let max_idx = arrays

@@ -107,8 +107,7 @@ impl SarisPlan {
         let effective_budget = options
             .coeff_reg_budget
             .min(32usize.saturating_sub(3 + unroll * 3));
-        let schedule =
-            PointSchedule::derive(stencil, effective_budget, options.coeff_strategy);
+        let schedule = PointSchedule::derive(stencil, effective_budget, options.coeff_strategy);
         let indices = build_index_arrays(
             stencil,
             layout,
@@ -144,8 +143,7 @@ impl SarisPlan {
 
     /// Bytes of index storage this plan needs in TCDM (both streams).
     pub fn index_bytes(&self) -> usize {
-        let n = self.indices.sr0.len()
-            + self.indices.sr1.as_ref().map_or(0, |a| a.len());
+        let n = self.indices.sr0.len() + self.indices.sr1.as_ref().map_or(0, |a| a.len());
         n * self.index_width.bytes()
     }
 
@@ -192,9 +190,8 @@ mod tests {
             };
             let layout = ArenaLayout::for_stencil(&s, Extent::cube(s.space(), tile));
             for unroll in [1, 2, 4] {
-                let plan =
-                    SarisPlan::derive(&s, &layout, SarisOptions::default(), unroll, 4)
-                        .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+                let plan = SarisPlan::derive(&s, &layout, SarisOptions::default(), unroll, 4)
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
                 assert_eq!(plan.unroll, unroll);
                 assert_eq!(
                     plan.indices.sr0.len() % unroll,
@@ -249,8 +246,7 @@ mod tests {
     fn tile_too_small_rejected() {
         let s = gallery::ac_iso_cd(); // radius 4 needs tile > 8
         let layout = ArenaLayout::for_stencil(&s, Extent::cube(s.space(), 8));
-        let err =
-            SarisPlan::derive(&s, &layout, SarisOptions::default(), 1, 4).unwrap_err();
+        let err = SarisPlan::derive(&s, &layout, SarisOptions::default(), 1, 4).unwrap_err();
         assert!(matches!(err, PlanError::TileTooSmall { .. }));
     }
 
@@ -268,9 +264,7 @@ mod tests {
         // having the largest setup overhead.
         let worst = plan_for("ac_iso_cd", 16, 1).indices_per_point();
         for name in ["jacobi_2d", "j2d5pt", "star2d3r", "star3d2r"] {
-            let tile = if gallery::by_name(name).unwrap().space()
-                == crate::geom::Space::Dim2
-            {
+            let tile = if gallery::by_name(name).unwrap().space() == crate::geom::Space::Dim2 {
                 64
             } else {
                 16

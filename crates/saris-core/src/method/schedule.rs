@@ -258,9 +258,7 @@ impl PointSchedule {
                 for (slot, operand) in operands.iter().enumerate() {
                     if srcs[slot].is_none() {
                         srcs[slot] = Some(match operand {
-                            Operand::Coeff(c) if *c < self.resident_coeffs => {
-                                SlotSrc::CoeffReg(*c)
-                            }
+                            Operand::Coeff(c) if *c < self.resident_coeffs => SlotSrc::CoeffReg(*c),
                             Operand::Coeff(c) => SlotSrc::CoeffMem(*c),
                             Operand::Tmp(t) => SlotSrc::Tmp(*t),
                             Operand::Tap(_) => unreachable!("taps assigned above"),
@@ -284,7 +282,9 @@ impl PointSchedule {
                 }
             }
         }
-        srcs.into_iter().map(|s| s.expect("all slots filled")).collect()
+        srcs.into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect()
     }
 
     fn less_loaded_sr(&self) -> SsrId {
@@ -308,9 +308,9 @@ impl PointSchedule {
 
     /// Whether any op reloads a coefficient from memory.
     pub fn has_coeff_mem(&self) -> bool {
-        self.ops.iter().any(|op| {
-            op.srcs.iter().any(|s| matches!(s, SlotSrc::CoeffMem(_)))
-        })
+        self.ops
+            .iter()
+            .any(|op| op.srcs.iter().any(|s| matches!(s, SlotSrc::CoeffMem(_))))
     }
 
     /// Highest register-resident coefficient count this schedule assumed.
@@ -454,7 +454,12 @@ mod tests {
                 .count();
             assert_eq!(stores, 1, "{}", s.name());
             // And the store is the last op.
-            assert_eq!(sched.ops.last().unwrap().dst, SlotDst::Store, "{}", s.name());
+            assert_eq!(
+                sched.ops.last().unwrap().dst,
+                SlotDst::Store,
+                "{}",
+                s.name()
+            );
         }
     }
 
@@ -473,7 +478,13 @@ mod tests {
     #[test]
     fn budget_threshold_switches_mode() {
         let s = gallery::star2d3r(); // 13 coefficients
-        assert_eq!(PointSchedule::derive(&s, 13, CoeffStrategy::StreamSr1).mode, StreamMode::Paired);
-        assert_eq!(PointSchedule::derive(&s, 12, CoeffStrategy::StreamSr1).mode, StreamMode::CoeffStream);
+        assert_eq!(
+            PointSchedule::derive(&s, 13, CoeffStrategy::StreamSr1).mode,
+            StreamMode::Paired
+        );
+        assert_eq!(
+            PointSchedule::derive(&s, 12, CoeffStrategy::StreamSr1).mode,
+            StreamMode::CoeffStream
+        );
     }
 }

@@ -125,10 +125,7 @@ mod tests {
             let mut refs: Vec<&Grid> = inputs.iter().collect();
             let out = apply_to_new(&s, &mut refs, tile);
             // Outputs must be finite and not all zero on the interior.
-            let interior: Vec<f64> = tile
-                .interior_points(s.halo())
-                .map(|p| out.get(p))
-                .collect();
+            let interior: Vec<f64> = tile.interior_points(s.halo()).map(|p| out.get(p)).collect();
             assert!(!interior.is_empty(), "{}", s.name());
             assert!(interior.iter().all(|v| v.is_finite()), "{}", s.name());
             assert!(

@@ -122,10 +122,18 @@ mod tests {
         // Cluster peak 16 FLOP/cycle vs 12.8 B/cycle share: balance 1.25.
         let balance = machine_balance(16.0, 12.8);
         assert!((balance - 1.25).abs() < 1e-12);
-        let jacobi_bound =
-            is_memory_bound(&gallery::jacobi_2d(), paper_tile(&gallery::jacobi_2d()), 16.0, 12.8);
-        let j3d_bound =
-            is_memory_bound(&gallery::j3d27pt(), paper_tile(&gallery::j3d27pt()), 16.0, 12.8);
+        let jacobi_bound = is_memory_bound(
+            &gallery::jacobi_2d(),
+            paper_tile(&gallery::jacobi_2d()),
+            16.0,
+            12.8,
+        );
+        let j3d_bound = is_memory_bound(
+            &gallery::j3d27pt(),
+            paper_tile(&gallery::j3d27pt()),
+            16.0,
+            12.8,
+        );
         assert!(jacobi_bound, "jacobi_2d sits below the balance point");
         assert!(!j3d_bound, "j3d27pt sits above it");
     }

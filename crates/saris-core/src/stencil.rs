@@ -239,6 +239,19 @@ impl Stencil {
         &self.name
     }
 
+    /// A structural fingerprint covering everything code generation
+    /// depends on: arrays, taps, coefficient values (bit-exact via their
+    /// shortest-roundtrip rendering), the operation sequence, and the
+    /// output binding. Two stencils with equal fingerprints compile to
+    /// identical kernels for identical extents and options, which is what
+    /// the execution-engine kernel cache keys on.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{self:?}").hash(&mut h);
+        h.finish()
+    }
+
     /// The stencil's dimensionality.
     pub fn space(&self) -> Space {
         self.space
@@ -378,7 +391,9 @@ impl Stencil {
         // (e.g. a final scale): these stay as post-chain ops.
         let additive_prev = |op: &PointOp| -> Option<usize> {
             match op {
-                PointOp::Fma { c: Operand::Tmp(p), .. } => Some(*p),
+                PointOp::Fma {
+                    c: Operand::Tmp(p), ..
+                } => Some(*p),
                 PointOp::Bin {
                     kind: BinKind::Add,
                     a: Operand::Tmp(p),
@@ -520,7 +535,9 @@ impl Stencil {
                 }),
                 (
                     PointOp::Bin {
-                        kind: BinKind::Add, a, b,
+                        kind: BinKind::Add,
+                        a,
+                        b,
                     },
                     maybe_acc,
                 ) => {
@@ -545,7 +562,9 @@ impl Stencil {
                 }
                 (
                     PointOp::Bin {
-                        kind: BinKind::Sub, a: _, b,
+                        kind: BinKind::Sub,
+                        a: _,
+                        b,
                     },
                     Some(acc),
                 ) => Some(PointOp::Bin {
@@ -839,7 +858,9 @@ fn validate(s: &Stencil) -> Result<(), StencilError> {
     }
     for tap in &s.taps {
         if s.arrays[tap.array.0].role != ArrayRole::Input {
-            return Err(StencilError::TapOnOutput { name: s.name.clone() });
+            return Err(StencilError::TapOnOutput {
+                name: s.name.clone(),
+            });
         }
     }
     Ok(())
@@ -871,7 +892,14 @@ mod tests {
         assert_eq!(st.flops, 2);
         assert_eq!(st.radius, 1);
         assert_eq!(st.space, Space::Dim2);
-        assert_eq!(s.halo(), Halo { rx: 1, ry: 0, rz: 0 });
+        assert_eq!(
+            s.halo(),
+            Halo {
+                rx: 1,
+                ry: 0,
+                rz: 0
+            }
+        );
     }
 
     #[test]
@@ -1019,10 +1047,7 @@ mod reassoc_tests {
     use crate::reference;
 
     fn max_diff(original: &Stencil, transformed: &Stencil) -> f64 {
-        let tile = Extent::cube(
-            original.space(),
-            2 * original.stats().radius as usize + 6,
-        );
+        let tile = Extent::cube(original.space(), 2 * original.stats().radius as usize + 6);
         let inputs: Vec<Grid> = original
             .input_arrays()
             .enumerate()
@@ -1041,11 +1066,7 @@ mod reassoc_tests {
             for acc in [2, 3, 4] {
                 let t = s.reassociated(acc);
                 let diff = max_diff(&s, &t);
-                assert!(
-                    diff < 1e-12,
-                    "{} acc={acc}: diff {diff:e}",
-                    s.name()
-                );
+                assert!(diff < 1e-12, "{} acc={acc}: diff {diff:e}", s.name());
             }
         }
     }
@@ -1109,5 +1130,20 @@ mod reassoc_tests {
             // Re-run the validation logic by round-tripping the op list.
             assert!(validate(&t).is_ok(), "{}", s.name());
         }
+    }
+
+    #[test]
+    fn fingerprints_separate_the_gallery() {
+        let prints: Vec<u64> = gallery::all().iter().map(Stencil::fingerprint).collect();
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Stable for clones, different after a structural change (the
+        // 27-point chain is deep enough that reassociation rewrites it).
+        let s = gallery::j3d27pt();
+        assert_eq!(s.fingerprint(), s.clone().fingerprint());
+        assert_ne!(s.fingerprint(), s.reassociated(3).fingerprint());
     }
 }

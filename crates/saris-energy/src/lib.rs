@@ -240,8 +240,8 @@ pub fn efficiency_gain(a: &PowerReport, b: &PowerReport) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snitch_sim::DmaStats;
     use snitch_sim::CoreReport;
+    use snitch_sim::DmaStats;
 
     fn synthetic_report(cycles: u64, arith_per_core: u64, tcdm: u64) -> RunReport {
         let core = CoreReport {

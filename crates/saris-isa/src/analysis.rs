@@ -212,8 +212,7 @@ pub fn loop_body_mix(program: &Program, range: Range<usize>) -> InstrMix {
             mix.counts[classify(instr).index()] += instr.issue_cost() as u64;
             let body_end = (i + 1 + *n_instrs as usize).min(range.end);
             for body_instr in &instrs[i + 1..body_end] {
-                mix.counts[classify(body_instr).index()] +=
-                    body_instr.issue_cost() as u64 * reps;
+                mix.counts[classify(body_instr).index()] += body_instr.issue_cost() as u64 * reps;
             }
             i = body_end;
         } else {

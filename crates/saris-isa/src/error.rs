@@ -62,7 +62,10 @@ impl fmt::Display for BuildProgramError {
                 write!(f, "label {label} bound more than once")
             }
             BuildProgramError::ImmOutOfRange { at, imm } => {
-                write!(f, "immediate {imm} at instruction {at} exceeds 12-bit range")
+                write!(
+                    f,
+                    "immediate {imm} at instruction {at} exceeds 12-bit range"
+                )
             }
             BuildProgramError::TargetOutOfRange { at, target } => {
                 write!(f, "branch at {at} targets out-of-range index {target}")

@@ -183,7 +183,13 @@ impl ProgramBuilder {
     }
 
     /// Appends a conditional branch to `label`.
-    pub fn branch(&mut self, cond: BranchCond, rs1: IntReg, rs2: IntReg, label: Label) -> &mut Self {
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        rs1: IntReg,
+        rs2: IntReg,
+        label: Label,
+    ) -> &mut Self {
         let at = self.here();
         self.patches.push((at, label));
         self.push(Instr::Branch {
@@ -283,24 +289,17 @@ pub fn validate(program: &Program) -> Result<(), BuildProgramError> {
                     *flag = true;
                 }
             }
-            Instr::Addi { imm, .. } => {
-                if !(-2048..=2047).contains(imm) {
-                    return Err(BuildProgramError::ImmOutOfRange {
-                        at: i,
-                        imm: *imm as i64,
-                    });
-                }
-            }
-            Instr::Lw { imm, .. }
+            Instr::Addi { imm, .. }
+            | Instr::Lw { imm, .. }
             | Instr::Sw { imm, .. }
             | Instr::Fld { imm, .. }
-            | Instr::Fsd { imm, .. } => {
-                if !(-2048..=2047).contains(imm) {
-                    return Err(BuildProgramError::ImmOutOfRange {
-                        at: i,
-                        imm: *imm as i64,
-                    });
-                }
+            | Instr::Fsd { imm, .. }
+                if !(-2048..=2047).contains(imm) =>
+            {
+                return Err(BuildProgramError::ImmOutOfRange {
+                    at: i,
+                    imm: *imm as i64,
+                });
             }
             _ => {}
         }

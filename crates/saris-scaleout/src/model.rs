@@ -2,9 +2,6 @@
 
 use std::fmt;
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use saris_core::{Extent, Stencil};
 
 use crate::machine::MachineModel;
@@ -112,8 +109,32 @@ impl fmt::Display for ScaleoutEstimate {
             self.fpu_util,
             self.gflops,
             self.cmtr,
-            if self.memory_bound { " (memory-bound)" } else { "" }
+            if self.memory_bound {
+                " (memory-bound)"
+            } else {
+                ""
+            }
         )
+    }
+}
+
+/// A small, self-contained splitmix64 generator for the seeded bootstrap
+/// (keeps the estimate dependency-free and bit-reproducible).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `0..n` (the tiny modulo bias is irrelevant for
+    /// the bootstrap's 3-8 element ratio sets).
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
     }
 }
 
@@ -125,13 +146,13 @@ fn bootstrap_makespan_factor(ratios: &[f64], n: usize, seed: u64) -> f64 {
     if ratios.is_empty() || n == 0 {
         return 1.0;
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64(seed);
     const ROUNDS: usize = 2000;
     let mut acc = 0.0;
     for _ in 0..ROUNDS {
         let mut max = f64::MIN;
         for _ in 0..n {
-            let r = ratios[rng.gen_range(0..ratios.len())];
+            let r = ratios[rng.index(ratios.len())];
             if r > max {
                 max = r;
             }
@@ -159,8 +180,8 @@ pub fn estimate(
     measurement: &ClusterMeasurement,
 ) -> ScaleoutEstimate {
     let traffic = TileTraffic::for_stencil(stencil, tile);
-    let cluster_bw = machine.cluster_bandwidth_bytes_per_cycle()
-        * measurement.dma_utilization.clamp(0.05, 1.0);
+    let cluster_bw =
+        machine.cluster_bandwidth_bytes_per_cycle() * measurement.dma_utilization.clamp(0.05, 1.0);
     let tm = traffic.total() as f64 / cluster_bw;
     let imbalance = bootstrap_makespan_factor(
         &measurement.core_imbalance,
@@ -249,7 +270,11 @@ mod tests {
         assert!(e.fpu_util < 0.8);
         // Utilization degrades by exactly the CMTR share.
         let expected = 0.8 * e.tc / e.tm / (e.tc / m.compute_cycles_per_tile);
-        assert!((e.fpu_util - expected).abs() < 0.02, "{} vs {expected}", e.fpu_util);
+        assert!(
+            (e.fpu_util - expected).abs() < 0.02,
+            "{} vs {expected}",
+            e.fpu_util
+        );
     }
 
     #[test]
@@ -273,7 +298,7 @@ mod tests {
         let a = bootstrap_makespan_factor(&ratios, 4, 7);
         let b = bootstrap_makespan_factor(&ratios, 4, 7);
         assert_eq!(a, b);
-        assert!(a >= 1.0 && a <= 1.1 + 1e-9, "{a}");
+        assert!((1.0..=1.1 + 1e-9).contains(&a), "{a}");
         assert_eq!(bootstrap_makespan_factor(&[], 4, 7), 1.0);
     }
 

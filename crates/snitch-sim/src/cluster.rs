@@ -73,6 +73,26 @@ impl Cluster {
         &self.cfg
     }
 
+    /// Returns the cluster to its power-on state — zeroed memories,
+    /// cold caches, idle DMA, every core on the implicit `halt` — while
+    /// keeping the storage allocations alive.
+    ///
+    /// A reset cluster is indistinguishable from a freshly constructed
+    /// one (same cycle counts, same reports, same output bits), which is
+    /// what makes pooling clusters across kernel executions safe; see
+    /// the session layer in `saris-codegen`.
+    pub fn reset(&mut self) {
+        let halt_program = Arc::new(trivial_halt());
+        for i in 0..self.cores.len() {
+            self.cores[i] = Core::new(i, Arc::clone(&halt_program), &self.cfg);
+        }
+        self.tcdm.reset();
+        self.main.reset();
+        self.icache.reset();
+        self.dma.reset();
+        self.cycle = 0;
+    }
+
     /// Loads `program` onto `core` (resetting its pc).
     ///
     /// # Panics
@@ -134,6 +154,16 @@ impl Cluster {
     /// Returns [`SimError::BadAddress`] if the range is unmapped.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), SimError> {
         self.tcdm.write_bytes(addr, bytes)
+    }
+
+    /// Host zero-fill of `len` `f64` elements in TCDM, without staging a
+    /// zeroed buffer on the host side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] if the range is unmapped.
+    pub fn zero_f64_slice(&mut self, addr: u64, len: usize) -> Result<(), SimError> {
+        self.tcdm.zero_bytes(addr, len * 8)
     }
 
     /// Host write of an `f64` slice into simulated main memory.
@@ -267,9 +297,7 @@ fn trivial_halt() -> Program {
 mod tests {
     use super::*;
     use crate::config::TCDM_BASE;
-    use saris_isa::{
-        FpR4Op, FpReg, FpROp, Instr, IntReg, ProgramBuilder, SsrId, SsrSet,
-    };
+    use saris_isa::{FpR4Op, FpROp, FpReg, Instr, IntReg, ProgramBuilder, SsrId, SsrSet};
 
     fn halting_cluster() -> Cluster {
         Cluster::new(ClusterConfig::snitch())
@@ -286,7 +314,8 @@ mod tests {
     #[test]
     fn tcdm_host_access() {
         let mut c = halting_cluster();
-        c.write_f64_slice(TCDM_BASE + 256, &[1.0, 2.5, -3.0]).unwrap();
+        c.write_f64_slice(TCDM_BASE + 256, &[1.0, 2.5, -3.0])
+            .unwrap();
         assert_eq!(
             c.read_f64_slice(TCDM_BASE + 256, 3).unwrap(),
             vec![1.0, 2.5, -3.0]
@@ -464,13 +493,65 @@ mod tests {
         );
     }
 
+    /// After `reset()` the cluster repeats a run bit- and cycle-exactly,
+    /// and host writes from the previous run are gone.
+    #[test]
+    fn reset_matches_fresh_cluster() {
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.li(IntReg::T0, TCDM_BASE as i64);
+            b.li(IntReg::T1, 20);
+            let head = b.bind_here();
+            b.push(Instr::Fld {
+                rd: FpReg::FT3,
+                base: IntReg::T0,
+                imm: 0,
+            });
+            b.addi(IntReg::T1, IntReg::T1, -1);
+            b.bne(IntReg::T1, IntReg::ZERO, head);
+            b.push(Instr::Halt);
+            b.finish().unwrap()
+        };
+        let mut c = halting_cluster();
+        c.write_f64_slice(TCDM_BASE, &[4.25]).unwrap();
+        c.load_program(0, program.clone());
+        let first = c.run(100_000).unwrap();
+        c.reset();
+        // The old payload must be gone, and an idle run must report
+        // exactly what a fresh cluster's idle run reports (cold caches
+        // included).
+        assert_eq!(c.read_f64_slice(TCDM_BASE, 1).unwrap(), vec![0.0]);
+        let idle = c.run(100).unwrap();
+        let fresh_idle = halting_cluster().run(100).unwrap();
+        assert_eq!(idle, fresh_idle);
+        // Repeating the identical workload reproduces the identical report.
+        c.reset();
+        c.write_f64_slice(TCDM_BASE, &[4.25]).unwrap();
+        c.load_program(0, program);
+        let second = c.run(100_000).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn zero_f64_slice_clears_range() {
+        let mut c = halting_cluster();
+        c.write_f64_slice(TCDM_BASE + 64, &[1.0, 2.0, 3.0]).unwrap();
+        c.zero_f64_slice(TCDM_BASE + 64, 2).unwrap();
+        assert_eq!(
+            c.read_f64_slice(TCDM_BASE + 64, 3).unwrap(),
+            vec![0.0, 0.0, 3.0]
+        );
+        assert!(c.zero_f64_slice(TCDM_BASE + 128 * 1024 - 8, 2).is_err());
+    }
+
     #[test]
     fn dma_overlaps_with_compute() {
         let mut c = halting_cluster();
         // Preload main memory and queue a big inbound transfer.
         let n = 2048;
         let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        c.write_main_f64_slice(crate::config::MAIN_BASE, &vals).unwrap();
+        c.write_main_f64_slice(crate::config::MAIN_BASE, &vals)
+            .unwrap();
         c.dma_enqueue(DmaDescriptor::copy_1d(
             crate::config::MAIN_BASE,
             TCDM_BASE + 32 * 1024,
@@ -516,7 +597,10 @@ mod error_path_tests {
         b.push(Instr::Halt);
         c.load_program(0, b.finish().unwrap());
         let err = c.run(1000).unwrap_err();
-        assert!(matches!(err, SimError::CommitUnconfigured { core: 0, ssr: 0 }));
+        assert!(matches!(
+            err,
+            SimError::CommitUnconfigured { core: 0, ssr: 0 }
+        ));
     }
 
     /// A kernel that streams more data than it pops is caught at
@@ -551,7 +635,14 @@ mod error_path_tests {
         c.load_program(0, b.finish().unwrap());
         let err = c.run(10_000).unwrap_err();
         assert!(
-            matches!(err, SimError::StreamResidue { core: 0, ssr: 0, .. }),
+            matches!(
+                err,
+                SimError::StreamResidue {
+                    core: 0,
+                    ssr: 0,
+                    ..
+                }
+            ),
             "got {err}"
         );
     }

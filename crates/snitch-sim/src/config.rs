@@ -132,14 +132,20 @@ impl ClusterConfig {
             "TCDM must divide evenly into 64-bit banks"
         );
         assert!(self.stream_fifo_depth > 0, "stream FIFO depth must be > 0");
-        assert!(self.launch_queue_depth > 0, "launch queue depth must be > 0");
-        assert!(self.offload_queue_depth > 0, "offload queue depth must be > 0");
+        assert!(
+            self.launch_queue_depth > 0,
+            "launch queue depth must be > 0"
+        );
+        assert!(
+            self.offload_queue_depth > 0,
+            "offload queue depth must be > 0"
+        );
         assert!(self.sequencer_depth > 0, "sequencer depth must be > 0");
         assert!(
-            self.dma_beat_bytes % 8 == 0 && self.dma_beat_bytes > 0,
+            self.dma_beat_bytes.is_multiple_of(8) && self.dma_beat_bytes > 0,
             "DMA beat must be a positive multiple of 8 bytes"
         );
-        assert!(self.icache_line_bytes % 4 == 0 && self.icache_line_bytes > 0);
+        assert!(self.icache_line_bytes.is_multiple_of(4) && self.icache_line_bytes > 0);
     }
 }
 

@@ -54,7 +54,9 @@ enum IntState {
     /// Busy until the given cycle (exclusive).
     StallUntil(u64),
     /// Waiting for an integer load's data.
-    WaitLoad { rd: saris_isa::IntReg },
+    WaitLoad {
+        rd: saris_isa::IntReg,
+    },
     /// Waiting for an integer store's grant.
     WaitStore,
     Halted,
@@ -158,7 +160,8 @@ impl Core {
         for s in &mut self.streamers {
             s.step();
         }
-        self.fp.step(now, self.id, self.ssr_enabled, &mut self.streamers)?;
+        self.fp
+            .step(now, self.id, self.ssr_enabled, &mut self.streamers)?;
         self.step_int(now, icache)
     }
 

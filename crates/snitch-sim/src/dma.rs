@@ -74,12 +74,12 @@ impl DmaDescriptor {
     }
 
     fn validate(&self) -> Result<(), SimError> {
-        if self.inner_bytes == 0 || self.inner_bytes % 8 != 0 {
+        if self.inner_bytes == 0 || !self.inner_bytes.is_multiple_of(8) {
             return Err(SimError::BadDmaDescriptor {
                 reason: "inner run must be a positive multiple of 8 bytes",
             });
         }
-        if self.src % 8 != 0 || self.dst % 8 != 0 {
+        if !self.src.is_multiple_of(8) || !self.dst.is_multiple_of(8) {
             return Err(SimError::BadDmaDescriptor {
                 reason: "src/dst must be 8-byte aligned",
             });
@@ -213,6 +213,18 @@ impl Dma {
         self.queue.is_empty() && self.active.is_none()
     }
 
+    /// Returns the engine to its power-on state: drops queued and active
+    /// transfers, idles every lane port, and zeroes the counters.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.active = None;
+        for port in &mut self.ports {
+            *port = MemPort::new();
+        }
+        self.inflight.fill(None);
+        self.stats = DmaStats::default();
+    }
+
     /// Pending + active descriptor count.
     pub fn backlog(&self) -> usize {
         self.queue.len() + usize::from(self.active.is_some())
@@ -333,8 +345,12 @@ mod tests {
         let (_, mut t, mut m, mut d) = setup();
         let payload: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
         m.write_bytes(MAIN_BASE + 4096, &payload).unwrap();
-        d.enqueue(DmaDescriptor::copy_1d(MAIN_BASE + 4096, TCDM_BASE + 512, 256))
-            .unwrap();
+        d.enqueue(DmaDescriptor::copy_1d(
+            MAIN_BASE + 4096,
+            TCDM_BASE + 512,
+            256,
+        ))
+        .unwrap();
         run_dma(&mut t, &mut m, &mut d, 10_000);
         assert_eq!(t.read_bytes(TCDM_BASE + 512, 256).unwrap(), &payload[..]);
         assert_eq!(d.stats.bytes, 256);
@@ -346,8 +362,12 @@ mod tests {
         let (_, mut t, mut m, mut d) = setup();
         let payload: Vec<u8> = (0..128u32).map(|i| (i * 3) as u8).collect();
         t.write_bytes(TCDM_BASE + 64, &payload).unwrap();
-        d.enqueue(DmaDescriptor::copy_1d(TCDM_BASE + 64, MAIN_BASE + 1024, 128))
-            .unwrap();
+        d.enqueue(DmaDescriptor::copy_1d(
+            TCDM_BASE + 64,
+            MAIN_BASE + 1024,
+            128,
+        ))
+        .unwrap();
         run_dma(&mut t, &mut m, &mut d, 10_000);
         assert_eq!(m.read_bytes(MAIN_BASE + 1024, 128).unwrap(), &payload[..]);
     }
@@ -360,15 +380,8 @@ mod tests {
             let data = [row as u8 + 1; 16];
             m.write_bytes(MAIN_BASE + row * 64, &data).unwrap();
         }
-        d.enqueue(DmaDescriptor::copy_2d(
-            MAIN_BASE,
-            TCDM_BASE,
-            16,
-            4,
-            64,
-            16,
-        ))
-        .unwrap();
+        d.enqueue(DmaDescriptor::copy_2d(MAIN_BASE, TCDM_BASE, 16, 4, 64, 16))
+            .unwrap();
         run_dma(&mut t, &mut m, &mut d, 10_000);
         for row in 0..4u64 {
             let got = t.read_bytes(TCDM_BASE + row * 16, 16).unwrap();
@@ -398,7 +411,8 @@ mod tests {
         let (_, mut t, mut m, mut d) = setup();
         m.write_bytes(MAIN_BASE, &[7; 8]).unwrap();
         m.write_bytes(MAIN_BASE + 8, &[9; 8]).unwrap();
-        d.enqueue(DmaDescriptor::copy_1d(MAIN_BASE, TCDM_BASE, 8)).unwrap();
+        d.enqueue(DmaDescriptor::copy_1d(MAIN_BASE, TCDM_BASE, 8))
+            .unwrap();
         d.enqueue(DmaDescriptor::copy_1d(MAIN_BASE + 8, TCDM_BASE + 8, 8))
             .unwrap();
         run_dma(&mut t, &mut m, &mut d, 10_000);

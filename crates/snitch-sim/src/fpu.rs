@@ -365,7 +365,11 @@ impl FpSubsystem {
         if !self.sources_ready(&srcs, now, core_id, ssr_enabled, streamers)? {
             return Ok(false);
         }
-        let dst_stream = if ssr_enabled { SsrId::of_fp_reg(rd) } else { None };
+        let dst_stream = if ssr_enabled {
+            SsrId::of_fp_reg(rd)
+        } else {
+            None
+        };
         if let Some(ssr) = dst_stream {
             let s = &streamers[ssr.index()];
             match s.dir() {
@@ -568,7 +572,10 @@ mod tests {
             }
         }
         assert_eq!(retire_cycles.len(), 2);
-        assert_eq!(retire_cycles[1] - retire_cycles[0], cfg.fpu_latency_add as u64);
+        assert_eq!(
+            retire_cycles[1] - retire_cycles[0],
+            cfg.fpu_latency_add as u64
+        );
         assert_eq!(fp.reg(FpReg::FT6), 6.0);
         assert!(fp.stats.stalls.dependency > 0);
     }

@@ -68,6 +68,16 @@ impl ICache {
         (done - now) as u32
     }
 
+    /// Returns the cache to its power-on state (cold lines, zeroed
+    /// counters, idle refill port).
+    pub fn reset(&mut self) {
+        self.lines.clear();
+        self.refill_free_at = 0;
+        self.use_stamp = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Fraction of fetches that missed.
     pub fn miss_rate(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -160,7 +160,7 @@ impl Tcdm {
     /// Returns [`SimError::BadAddress`] for unmapped or misaligned
     /// addresses.
     pub fn read_u64(&self, addr: u64) -> Result<u64, SimError> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(SimError::Misaligned { addr, width: 8 });
         }
         let off = self.offset_of(addr)?;
@@ -176,7 +176,7 @@ impl Tcdm {
     /// Returns [`SimError::BadAddress`] for unmapped or misaligned
     /// addresses.
     pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), SimError> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(SimError::Misaligned { addr, width: 8 });
         }
         let off = self.offset_of(addr)?;
@@ -215,6 +215,32 @@ impl Tcdm {
         Ok(&self.data[off..off + len])
     }
 
+    /// Host zero-fill of a byte range (no staging buffer, unlike
+    /// [`Tcdm::write_bytes`] with a zeroed slice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadAddress`] if the range is unmapped.
+    pub fn zero_bytes(&mut self, addr: u64, len: usize) -> Result<(), SimError> {
+        let off = self.offset_of(addr)?;
+        if off + len > self.data.len() {
+            return Err(SimError::BadAddress {
+                addr: addr + len as u64,
+            });
+        }
+        self.data[off..off + len].fill(0);
+        Ok(())
+    }
+
+    /// Returns the memory to its power-on state (zeroed storage, zeroed
+    /// counters) without releasing the allocation.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+        self.rr = 0;
+        self.conflicts = 0;
+        self.accesses = 0;
+    }
+
     fn execute(&mut self, req: MemReq) -> Result<u64, SimError> {
         match req.op {
             MemOp::Read64 => self.read_u64(req.addr),
@@ -223,18 +249,17 @@ impl Tcdm {
                 Ok(0)
             }
             MemOp::Read32 => {
-                if req.addr % 4 != 0 {
+                if !req.addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned {
                         addr: req.addr,
                         width: 4,
                     });
                 }
                 let off = self.offset_of(req.addr)?;
-                Ok(u32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"))
-                    as u64)
+                Ok(u32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes")) as u64)
             }
             MemOp::Write32(v) => {
-                if req.addr % 4 != 0 {
+                if !req.addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned {
                         addr: req.addr,
                         width: 4,
@@ -354,6 +379,12 @@ impl MainMemory {
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
+
+    /// Returns the memory to its power-on state without releasing the
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+    }
 }
 
 #[cfg(test)]
@@ -467,7 +498,12 @@ mod tests {
             let _ = a.take_completed();
             let _ = b.take_completed();
         }
-        assert!(a.grants >= 4 && b.grants >= 4, "a={} b={}", a.grants, b.grants);
+        assert!(
+            a.grants >= 4 && b.grants >= 4,
+            "a={} b={}",
+            a.grants,
+            b.grants
+        );
     }
 
     #[test]

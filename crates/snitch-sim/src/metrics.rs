@@ -100,8 +100,7 @@ impl RunReport {
         if self.cores.is_empty() {
             return 0.0;
         }
-        self.cores.iter().map(|c| c.ipc(self.cycles)).sum::<f64>()
-            / self.cores.len() as f64
+        self.cores.iter().map(|c| c.ipc(self.cycles)).sum::<f64>() / self.cores.len() as f64
     }
 
     /// Total floating-point operations performed.
@@ -130,9 +129,7 @@ impl RunReport {
 
     /// Max-over-mean core runtime (1.0 = perfectly balanced).
     pub fn imbalance_factor(&self) -> f64 {
-        self.runtime_imbalance()
-            .into_iter()
-            .fold(1.0f64, f64::max)
+        self.runtime_imbalance().into_iter().fold(1.0f64, f64::max)
     }
 
     /// Sum of all cores' integer stalls.
@@ -271,8 +268,17 @@ impl RunReport {
         let _ = writeln!(
             out,
             "{:>4} {:>9} {:>8} {:>8} {:>6} {:>6} | {:>7} {:>7} {:>7} {:>7} {:>7}",
-            "core", "halted", "int_ret", "fp_ret", "util", "ipc", "dep", "s.emp", "s.full",
-            "launch", "tcdm"
+            "core",
+            "halted",
+            "int_ret",
+            "fp_ret",
+            "util",
+            "ipc",
+            "dep",
+            "s.emp",
+            "s.full",
+            "launch",
+            "tcdm"
         );
         for (i, c) in self.cores.iter().enumerate() {
             let _ = writeln!(

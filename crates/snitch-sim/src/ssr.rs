@@ -164,7 +164,9 @@ impl Streamer {
     /// Panics if no element is available (the FPU checks first).
     pub fn pop(&mut self) -> f64 {
         debug_assert_eq!(self.dir(), Some(StreamDir::Read));
-        self.data_fifo.pop_front().expect("pop on empty stream FIFO")
+        self.data_fifo
+            .pop_front()
+            .expect("pop on empty stream FIFO")
     }
 
     /// Free slots for FPU pushes (write streams).
@@ -257,9 +259,10 @@ impl Streamer {
                         saris_isa::IndexWidth::U16 => {
                             u16::from_le_bytes([bytes[off], bytes[off + 1]]) as u64
                         }
-                        saris_isa::IndexWidth::U32 => u32::from_le_bytes(
-                            bytes[off..off + 4].try_into().expect("4 bytes"),
-                        ) as u64,
+                        saris_isa::IndexWidth::U32 => {
+                            u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+                                as u64
+                        }
                     };
                     self.idx_fifo.push_back(raw);
                 }
@@ -316,9 +319,7 @@ impl Streamer {
                     && self.idx_fifo.len() < self.idx_depth.min(icfg.idx_width.per_fetch());
                 let can_data = !self.idx_fifo.is_empty()
                     && match dir {
-                        StreamDir::Read => {
-                            self.data_fifo.len() < self.fifo_depth
-                        }
+                        StreamDir::Read => self.data_fifo.len() < self.fifo_depth,
                         StreamDir::Write => !self.data_fifo.is_empty(),
                     };
                 if can_data {
@@ -426,7 +427,8 @@ mod tests {
         let cfg = ClusterConfig::snitch();
         let mut t = Tcdm::new(&cfg);
         for i in 0..16u64 {
-            t.write_u64(TCDM_BASE + i * 8, (i as f64).to_bits()).unwrap();
+            t.write_u64(TCDM_BASE + i * 8, (i as f64).to_bits())
+                .unwrap();
         }
         let mut s = Streamer::new(&cfg);
         s.configure(SsrCfg::Affine(AffineCfg {
@@ -535,7 +537,8 @@ mod tests {
         let mut t = Tcdm::new(&cfg);
         let data_base = TCDM_BASE;
         for i in 0..64u64 {
-            t.write_u64(data_base + i * 8, (i as f64).to_bits()).unwrap();
+            t.write_u64(data_base + i * 8, (i as f64).to_bits())
+                .unwrap();
         }
         let idx_base = TCDM_BASE + 2048;
         let mut bytes = Vec::new();

@@ -49,10 +49,13 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
     // --- Inspect what the SARIS method derives. ---
     let tile = Extent::new_2d(64, 64);
     let layout = ArenaLayout::for_stencil(&stencil, tile);
-    let plan = SarisPlan::derive(&stencil, &layout, SarisOptions::default(), 2, 4)
-        .expect("plannable");
+    let plan =
+        SarisPlan::derive(&stencil, &layout, SarisOptions::default(), 2, 4).expect("plannable");
     println!("\n{plan}");
-    println!("stream mode: {} (coefficients fit the register file)", plan.mode());
+    println!(
+        "stream mode: {} (coefficients fit the register file)",
+        plan.mode()
+    );
     println!(
         "tap pops per point: SR0 x{}, SR1 x{} (balanced pairs)",
         plan.schedule.tap_seq(0).len(),
@@ -67,10 +70,19 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
         plan.indices.sr0.rel_indices
     );
 
-    // --- Run both variants and verify. ---
+    // --- Run both variants and verify, through one session. ---
+    let session = Session::new();
     let input = Grid::pseudo_random(tile, 7);
-    let base = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Base).with_unroll(4))?;
-    let saris = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Saris).with_unroll(2))?;
+    let base = session.run_stencil(
+        &stencil,
+        &[&input],
+        &RunOptions::new(Variant::Base).with_unroll(4),
+    )?;
+    let saris = session.run_stencil(
+        &stencil,
+        &[&input],
+        &RunOptions::new(Variant::Saris).with_unroll(2),
+    )?;
     assert!(saris.max_error_vs_reference(&stencil, &[&input]) < 1e-12);
     assert!(base.max_error_vs_reference(&stencil, &[&input]) < 1e-12);
     println!(

@@ -16,9 +16,13 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
     let tile = Extent::new_2d(64, 64);
     let input = Grid::pseudo_random(tile, 42);
 
+    // One execution engine for the whole program: kernels cache,
+    // clusters are recycled between runs.
+    let session = Session::new();
+
     // The optimized RV32G baseline, with the paper's "unroll iff
     // beneficial" tuning.
-    let base = tune_unroll(
+    let base = session.tune_unroll(
         &stencil,
         &[&input],
         &RunOptions::new(Variant::Base),
@@ -27,7 +31,7 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
     println!("\nbase   (unroll {}):  {}", base.unroll(), base.best.report);
 
     // The SARIS variant: indirect stream registers + FREP.
-    let saris = tune_unroll(
+    let saris = session.tune_unroll(
         &stencil,
         &[&input],
         &RunOptions::new(Variant::Saris),
@@ -56,6 +60,12 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
         1e3 * pb.total_watts(),
         1e3 * ps.total_watts(),
         efficiency_gain(&pb, &ps)
+    );
+
+    let stats = session.stats();
+    println!(
+        "engine: {} runs, {} kernels compiled, {} cluster reuses",
+        stats.runs, stats.compiles, stats.clusters_reused
     );
     Ok(())
 }

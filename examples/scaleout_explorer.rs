@@ -10,7 +10,6 @@
 //! cargo run --release --example scaleout_explorer [code]
 //! ```
 
-use saris::codegen::measure_dma_utilization;
 use saris::prelude::*;
 use saris::scaleout::ClusterMeasurement;
 
@@ -35,14 +34,16 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
         .map(|(i, _)| Grid::pseudo_random(tile, 9 + i as u64))
         .collect();
     let refs: Vec<&Grid> = inputs.iter().collect();
-    let run = tune_unroll(
-        &stencil,
-        &refs,
-        &RunOptions::new(Variant::Saris),
-        &saris::codegen::DEFAULT_CANDIDATES,
-    )?
-    .best;
-    let dma_util = measure_dma_utilization(tile, &ClusterConfig::snitch())?;
+    let session = Session::new();
+    let run = session
+        .tune_unroll(
+            &stencil,
+            &refs,
+            &RunOptions::new(Variant::Saris),
+            &saris::codegen::DEFAULT_CANDIDATES,
+        )?
+        .best;
+    let dma_util = session.measure_dma_utilization(tile, &ClusterConfig::snitch())?;
     println!(
         "single cluster: {} cycles/tile, FPU util {:.0}%, DMA util {:.0}%\n",
         run.report.cycles,
@@ -74,7 +75,11 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
                 cpg,
                 est.fpu_util,
                 100.0 * est.cmtr.min(9.99),
-                if est.memory_bound { "memory" } else { "compute" },
+                if est.memory_bound {
+                    "memory"
+                } else {
+                    "compute"
+                },
                 est.gflops
             );
         }

@@ -44,6 +44,55 @@
 //! # }
 //! ```
 //!
+//! # The execution engine: `Session` and backends
+//!
+//! Anything that runs more than one kernel should go through a
+//! [`Session`](codegen::Session) — the reusable execution engine behind
+//! the bench harness, the tuner, and the examples. A session caches
+//! compiled kernels by `(stencil fingerprint, extent, options)`, recycles
+//! simulated clusters via `Cluster::reset` instead of reconstructing
+//! them, fans batches out across worker threads
+//! ([`Session::run_batch`](codegen::Session::run_batch)), and dispatches
+//! to a pluggable [`Backend`](codegen::Backend): the cycle-approximate
+//! [`SimBackend`](codegen::SimBackend) for measurements or the
+//! golden-reference [`NativeBackend`](codegen::NativeBackend) for
+//! correctness-only and large-scale scenario sweeps.
+//!
+//! ```
+//! use saris::prelude::*;
+//!
+//! # fn main() -> Result<(), saris::codegen::CodegenError> {
+//! let session = Session::new(); // simulator backend
+//! let stencil = gallery::jacobi_2d();
+//! let input = Grid::pseudo_random(Extent::new_2d(16, 16), 1);
+//! let opts = RunOptions::new(Variant::Saris);
+//!
+//! // A variant sweep: the kernel compiles once, later runs hit the
+//! // cache and reuse a pooled cluster.
+//! let first = session.run(&stencil, &[&input], &opts)?;
+//! let again = session.run(&stencil, &[&input], &opts)?;
+//! assert!(again.cache_hit && !first.cache_hit);
+//! assert_eq!(session.stats().compiles, 1);
+//!
+//! // Batches fan out across threads, one pooled cluster per worker.
+//! let jobs: Vec<Job> = (0..4)
+//!     .map(|seed| {
+//!         let grid = Grid::pseudo_random(Extent::new_2d(16, 16), seed);
+//!         Job::new(stencil.clone(), vec![grid], opts.clone())
+//!     })
+//!     .collect();
+//! for result in session.run_batch(&jobs) {
+//!     assert!(result?.cache_hit); // all four share the cached kernel
+//! }
+//!
+//! // The native backend skips codegen and the simulator entirely.
+//! let native = Session::native();
+//! let exact = native.run(&stencil, &[&input], &opts)?;
+//! assert_eq!(exact.max_error_vs_reference(&stencil, &[&input]), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! To regenerate the paper's tables and figures, see the `saris-bench`
 //! crate (`cargo run --release -p saris-bench --bin all`).
 
@@ -59,7 +108,8 @@ pub use snitch_sim as sim;
 /// The most commonly used items, re-exported for `use saris::prelude::*`.
 pub mod prelude {
     pub use saris_codegen::{
-        compile, run_stencil, tune_unroll, RunOptions, StencilRun, Variant,
+        compile, run_stencil, tune_unroll, Backend, Job, NativeBackend, RunOptions, Session,
+        SessionRun, SessionStats, SimBackend, StencilRun, Variant,
     };
     pub use saris_core::{
         gallery, reference, ArenaLayout, Extent, Grid, Halo, InterleavePlan, Offset, Point,

@@ -25,7 +25,10 @@ fn timing_is_data_independent() {
     let cycles: Vec<u64> = (0..3)
         .map(|seed| {
             let input = Grid::pseudo_random(tile, seed);
-            run_stencil(&stencil, &[&input], &opts).unwrap().report.cycles
+            run_stencil(&stencil, &[&input], &opts)
+                .unwrap()
+                .report
+                .cycles
         })
         .collect();
     assert_eq!(cycles[0], cycles[1]);

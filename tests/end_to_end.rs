@@ -52,23 +52,16 @@ fn all_codes_within_tolerance_with_reassociation() {
             match run_stencil(&stencil, &refs, &opts) {
                 Ok(run) => {
                     let err = run.max_error_vs_reference(&stencil, &refs);
-                    assert!(
-                        err < 1e-12,
-                        "{} {variant}: err {err:e}",
-                        stencil.name()
-                    );
+                    assert!(err < 1e-12, "{} {variant}: err {err:e}", stencil.name());
                 }
                 // The no-spill baseline may refuse unroll 2 for wide
                 // codes; unroll 1 must then work.
                 Err(saris::codegen::CodegenError::RegisterPressure { .. })
                     if variant == Variant::Base =>
                 {
-                    let run = run_stencil(
-                        &stencil,
-                        &refs,
-                        &RunOptions::new(variant).with_unroll(1),
-                    )
-                    .unwrap_or_else(|e| panic!("{} base u1: {e}", stencil.name()));
+                    let run =
+                        run_stencil(&stencil, &refs, &RunOptions::new(variant).with_unroll(1))
+                            .unwrap_or_else(|e| panic!("{} base u1: {e}", stencil.name()));
                     assert!(run.max_error_vs_reference(&stencil, &refs) < 1e-12);
                 }
                 Err(e) => panic!("{} {variant}: {e}", stencil.name()),
@@ -87,11 +80,12 @@ fn coeff_stream_strategy_is_correct() {
         let tile = tile_of(&stencil);
         let inputs = inputs_of(&stencil, tile);
         let refs: Vec<&Grid> = inputs.iter().collect();
-        let mut opts = RunOptions::new(Variant::Saris).with_unroll(1).with_reassociate(0);
+        let mut opts = RunOptions::new(Variant::Saris)
+            .with_unroll(1)
+            .with_reassociate(0);
         opts.saris.coeff_strategy = CoeffStrategy::StreamSr1;
         opts.saris.coeff_reg_budget = 20;
-        let run = run_stencil(&stencil, &refs, &opts)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let run = run_stencil(&stencil, &refs, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(run.kernel.mode, Some(StreamMode::CoeffStream));
         assert_eq!(run.max_error_vs_reference(&stencil, &refs), 0.0, "{name}");
     }
@@ -107,7 +101,9 @@ fn multi_step_leapfrog_stays_synchronized() {
     let mut um = Grid::pseudo_random(tile, 6);
     let mut ref_u = u.clone();
     let mut ref_um = um.clone();
-    let opts = RunOptions::new(Variant::Saris).with_unroll(1).with_reassociate(0);
+    let opts = RunOptions::new(Variant::Saris)
+        .with_unroll(1)
+        .with_reassociate(0);
     for step in 0..3 {
         let run = run_stencil(&stencil, &[&u, &um], &opts).expect("runs");
         let mut refs = vec![&ref_u, &ref_um];
@@ -130,7 +126,9 @@ fn pathological_values_flow_through() {
         2 => 1e-320, // subnormal
         _ => -1.0,
     });
-    let opts = RunOptions::new(Variant::Saris).with_unroll(1).with_reassociate(0);
+    let opts = RunOptions::new(Variant::Saris)
+        .with_unroll(1)
+        .with_reassociate(0);
     let run = run_stencil(&stencil, &[&input], &opts).expect("runs");
     assert_eq!(run.max_error_vs_reference(&stencil, &[&input]), 0.0);
 }

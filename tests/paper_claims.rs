@@ -16,9 +16,14 @@ fn tuned(stencil: &Stencil, variant: Variant) -> StencilRun {
         .map(|(i, _)| Grid::pseudo_random(tile, 7 + i as u64))
         .collect();
     let refs: Vec<&Grid> = inputs.iter().collect();
-    tune_unroll(stencil, &refs, &RunOptions::new(variant), &DEFAULT_CANDIDATES)
-        .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()))
-        .best
+    tune_unroll(
+        stencil,
+        &refs,
+        &RunOptions::new(variant),
+        &DEFAULT_CANDIDATES,
+    )
+    .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()))
+    .best
 }
 
 /// "SARIS achieves significant speedups ... with a clear increasing trend"
@@ -80,8 +85,7 @@ fn register_bound_codes_collapse_in_base_only() {
     let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
     let jacobi_base = tuned(&gallery::jacobi_2d(), Variant::Base);
     let jacobi_saris = tuned(&gallery::jacobi_2d(), Variant::Saris);
-    let jacobi_speedup =
-        jacobi_base.report.cycles as f64 / jacobi_saris.report.cycles as f64;
+    let jacobi_speedup = jacobi_base.report.cycles as f64 / jacobi_saris.report.cycles as f64;
     assert!(
         speedup > jacobi_speedup,
         "the paper's rising trend: j3d27pt ({speedup:.2}) must beat jacobi ({jacobi_speedup:.2})"
@@ -171,8 +175,7 @@ fn scaleout_regimes_follow_operational_intensity() {
             compute_cycles_per_tile: saris.report.cycles as f64,
             fpu_ops_per_tile: saris.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
             flops_per_tile: saris.report.flops() as f64,
-            dma_utilization: measure_dma_utilization(tile, &ClusterConfig::snitch())
-                .unwrap(),
+            dma_utilization: measure_dma_utilization(tile, &ClusterConfig::snitch()).unwrap(),
             core_imbalance: saris.report.runtime_imbalance(),
         };
         cmtrs.push(scaleout_estimate(&machine, &s, tile, grid, &m).cmtr);

@@ -1,121 +1,147 @@
-//! Property-based tests over the full pipeline: randomly generated
-//! stencils and tiles must simulate to exactly the reference result, and
-//! the SARIS planner's invariants must hold for arbitrary shapes.
+//! Randomized-property tests over the full pipeline, driven by a local
+//! seeded generator (no external property-testing dependency): randomly
+//! generated stencils and tiles must simulate to exactly the reference
+//! result, and the SARIS planner's invariants must hold for arbitrary
+//! shapes.
 
-use proptest::prelude::*;
 use saris::core::layout::ArenaLayout;
 use saris::core::method::PointSchedule;
 use saris::prelude::*;
 
-/// Strategy: a random but valid 2D stencil — a weighted sum over `n`
-/// distinct taps within `radius`, with optional symmetric pair adds.
-fn arb_stencil() -> impl Strategy<Value = Stencil> {
-    (
-        2usize..=9,                 // taps
-        1i32..=2,                   // radius
-        prop::bool::ANY,            // pair the opposing taps?
-        0u64..1000,                 // coefficient seed
-    )
-        .prop_map(|(n_taps, radius, paired, cseed)| {
-            let mut b = StencilBuilder::new("prop", Space::Dim2);
-            let inp = b.input("inp");
-            b.output("out");
-            // Distinct offsets: center plus a deterministic spiral.
-            let mut offsets = vec![Offset::CENTER];
-            'outer: for r in 1..=radius {
-                for (dx, dy) in [(r, 0), (-r, 0), (0, r), (0, -r), (r, r), (-r, -r)] {
-                    if offsets.len() >= n_taps {
-                        break 'outer;
-                    }
-                    offsets.push(Offset::d2(dx, dy));
-                }
-            }
-            let cv = |i: usize| 0.03 + ((cseed + i as u64 * 37) % 17) as f64 / 100.0;
-            if paired && offsets.len() >= 3 {
-                // center * c0 + sum of paired (a+b) * ci
-                let c0 = b.coeff("c0", cv(0));
-                let center = b.tap(inp, offsets[0]);
-                let mut acc = b.mul(c0, center);
-                let mut i = 1;
-                while i + 1 < offsets.len() {
-                    let t1 = b.tap(inp, offsets[i]);
-                    let t2 = b.tap(inp, offsets[i + 1]);
-                    let pair = b.add(t1, t2);
-                    let c = b.coeff(format!("c{i}"), cv(i));
-                    acc = b.fma(c, pair, acc);
-                    i += 2;
-                }
-                if i < offsets.len() {
-                    let t = b.tap(inp, offsets[i]);
-                    let c = b.coeff(format!("c{i}"), cv(i));
-                    acc = b.fma(c, t, acc);
-                }
-                b.store(acc);
-            } else {
-                let c0 = b.coeff("c0", cv(0));
-                let t0 = b.tap(inp, offsets[0]);
-                let mut acc = b.mul(c0, t0);
-                for (i, &o) in offsets.iter().enumerate().skip(1) {
-                    let t = b.tap(inp, o);
-                    let c = b.coeff(format!("c{i}"), cv(i));
-                    acc = b.fma(c, t, acc);
-                }
-                b.store(acc);
-            }
-            b.finish().expect("generated stencil is valid")
-        })
+/// Deterministic splitmix64 driving the case generation.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A draw from `lo..=hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, // each case simulates a full cluster run
-        ..ProptestConfig::default()
-    })]
+/// A random but valid 2D stencil — a weighted sum over `n` distinct taps
+/// within `radius`, with optional symmetric pair adds.
+fn arb_stencil(g: &mut Gen) -> Stencil {
+    let n_taps = g.range(2, 9) as usize;
+    let radius = g.range(1, 2) as i32;
+    let paired = g.bool();
+    let cseed = g.range(0, 999);
+    let mut b = StencilBuilder::new("prop", Space::Dim2);
+    let inp = b.input("inp");
+    b.output("out");
+    // Distinct offsets: center plus a deterministic spiral.
+    let mut offsets = vec![Offset::CENTER];
+    'outer: for r in 1..=radius {
+        for (dx, dy) in [(r, 0), (-r, 0), (0, r), (0, -r), (r, r), (-r, -r)] {
+            if offsets.len() >= n_taps {
+                break 'outer;
+            }
+            offsets.push(Offset::d2(dx, dy));
+        }
+    }
+    let cv = |i: usize| 0.03 + ((cseed + i as u64 * 37) % 17) as f64 / 100.0;
+    if paired && offsets.len() >= 3 {
+        // center * c0 + sum of paired (a+b) * ci
+        let c0 = b.coeff("c0", cv(0));
+        let center = b.tap(inp, offsets[0]);
+        let mut acc = b.mul(c0, center);
+        let mut i = 1;
+        while i + 1 < offsets.len() {
+            let t1 = b.tap(inp, offsets[i]);
+            let t2 = b.tap(inp, offsets[i + 1]);
+            let pair = b.add(t1, t2);
+            let c = b.coeff(format!("c{i}"), cv(i));
+            acc = b.fma(c, pair, acc);
+            i += 2;
+        }
+        if i < offsets.len() {
+            let t = b.tap(inp, offsets[i]);
+            let c = b.coeff(format!("c{i}"), cv(i));
+            acc = b.fma(c, t, acc);
+        }
+        b.store(acc);
+    } else {
+        let c0 = b.coeff("c0", cv(0));
+        let t0 = b.tap(inp, offsets[0]);
+        let mut acc = b.mul(c0, t0);
+        for (i, &o) in offsets.iter().enumerate().skip(1) {
+            let t = b.tap(inp, o);
+            let c = b.coeff(format!("c{i}"), cv(i));
+            acc = b.fma(c, t, acc);
+        }
+        b.store(acc);
+    }
+    b.finish().expect("generated stencil is valid")
+}
 
-    /// Any generated stencil, simulated in either variant without
-    /// reassociation, reproduces the reference executor bit-for-bit.
-    #[test]
-    fn random_stencils_simulate_exactly(
-        stencil in arb_stencil(),
-        seed in 0u64..1000,
-        saris_variant in prop::bool::ANY,
-        unroll in prop::sample::select(vec![1usize, 2, 4]),
-    ) {
+/// Any generated stencil, simulated in either variant without
+/// reassociation, reproduces the reference executor bit-for-bit.
+#[test]
+fn random_stencils_simulate_exactly() {
+    let mut g = Gen(0x5a21_0001);
+    for case in 0..12 {
+        let stencil = arb_stencil(&mut g);
+        let seed = g.range(0, 999);
+        let variant = if g.bool() {
+            Variant::Saris
+        } else {
+            Variant::Base
+        };
+        let unroll = [1usize, 2, 4][g.range(0, 2) as usize];
         let tile = Extent::new_2d(16, 16);
         let input = Grid::pseudo_random(tile, seed);
-        let variant = if saris_variant { Variant::Saris } else { Variant::Base };
         let opts = RunOptions::new(variant)
             .with_unroll(unroll)
             .with_reassociate(0);
         match run_stencil(&stencil, &[&input], &opts) {
             Ok(run) => {
-                prop_assert_eq!(run.max_error_vs_reference(&stencil, &[&input]), 0.0);
+                assert_eq!(
+                    run.max_error_vs_reference(&stencil, &[&input]),
+                    0.0,
+                    "case {case}: {variant} u{unroll} diverged"
+                );
             }
             // Register pressure may legitimately reject wide unrolls.
             Err(saris::codegen::CodegenError::RegisterPressure { .. }) => {}
-            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            Err(e) => panic!("case {case}: {e}"),
         }
     }
+}
 
-    /// Planner invariants for arbitrary stencils: indices non-negative
-    /// and within width, every tap popped exactly once per point, at most
-    /// one store per point.
-    #[test]
-    fn planner_invariants(stencil in arb_stencil(), unroll in 1usize..=4) {
+/// Planner invariants for arbitrary stencils: indices non-negative and
+/// within width, every tap popped exactly once per point, at most one
+/// store per point.
+#[test]
+fn planner_invariants() {
+    let mut g = Gen(0x5a21_0002);
+    for case in 0..16 {
+        let stencil = arb_stencil(&mut g);
+        let unroll = g.range(1, 4) as usize;
         let tile = Extent::new_2d(24, 24);
         let layout = ArenaLayout::for_stencil(&stencil, tile);
         let plan = SarisPlan::derive(&stencil, &layout, SarisOptions::default(), unroll, 4)
             .expect("plannable");
         let width_max = plan.index_width.max_value();
         for &i in &plan.indices.sr0.rel_indices {
-            prop_assert!(i <= width_max);
+            assert!(i <= width_max, "case {case}");
         }
         if let Some(sr1) = &plan.indices.sr1 {
             for &i in &sr1.rel_indices {
-                prop_assert!(i <= width_max);
+                assert!(i <= width_max, "case {case}");
             }
         }
-        prop_assert!(plan.indices.base_adjust_elems <= 0);
+        assert!(plan.indices.base_adjust_elems <= 0, "case {case}");
         // Tap pops cover every tap exactly once per point.
         let mut seen = vec![0usize; stencil.taps().len()];
         for k in 0..2 {
@@ -123,7 +149,7 @@ proptest! {
                 seen[t] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1));
+        assert!(seen.iter().all(|&c| c == 1), "case {case}");
         // Exactly one store per point, and it is last.
         use saris::core::method::SlotDst;
         let stores = plan
@@ -132,13 +158,19 @@ proptest! {
             .iter()
             .filter(|op| op.dst == SlotDst::Store)
             .count();
-        prop_assert_eq!(stores, 1);
+        assert_eq!(stores, 1, "case {case}");
     }
+}
 
-    /// Reassociation preserves values within FP tolerance for arbitrary
-    /// stencils and accumulator counts.
-    #[test]
-    fn reassociation_tolerance(stencil in arb_stencil(), acc in 2usize..=4, seed in 0u64..100) {
+/// Reassociation preserves values within FP tolerance for arbitrary
+/// stencils and accumulator counts.
+#[test]
+fn reassociation_tolerance() {
+    let mut g = Gen(0x5a21_0003);
+    for case in 0..16 {
+        let stencil = arb_stencil(&mut g);
+        let acc = g.range(2, 4) as usize;
+        let seed = g.range(0, 99);
         let t = stencil.reassociated(acc);
         let tile = Extent::new_2d(12, 12);
         let input = Grid::pseudo_random(tile, seed);
@@ -146,24 +178,33 @@ proptest! {
         let a = saris::core::reference::apply_to_new(&stencil, &mut ra, tile);
         let mut rb = vec![&input];
         let b = saris::core::reference::apply_to_new(&t, &mut rb, tile);
-        prop_assert!(a.max_abs_diff(&b) < 1e-12);
+        assert!(a.max_abs_diff(&b) < 1e-12, "case {case} (acc {acc})");
     }
+}
 
-    /// The interleave partition covers every interior point exactly once
-    /// for arbitrary extents.
-    #[test]
-    fn interleave_partitions_any_extent(nx in 1usize..70, ny in 1usize..70) {
-        let plan = InterleavePlan::snitch();
+/// The interleave partition covers every interior point exactly once for
+/// arbitrary extents.
+#[test]
+fn interleave_partitions_any_extent() {
+    let mut g = Gen(0x5a21_0004);
+    let plan = InterleavePlan::snitch();
+    for _ in 0..64 {
+        let nx = g.range(1, 69) as usize;
+        let ny = g.range(1, 69) as usize;
         let e = Extent::new_2d(nx, ny);
         let total: usize = (0..plan.cores()).map(|c| plan.points_for_core(e, c)).sum();
-        prop_assert_eq!(total, e.len());
+        assert_eq!(total, e.len(), "{nx}x{ny}");
     }
+}
 
-    /// Schedules never double-pop one stream within a single operation
-    /// for paired-friendly stencils (the generator above).
-    #[test]
-    fn no_same_stream_double_pops(stencil in arb_stencil()) {
+/// Schedules never double-pop one stream within a single operation for
+/// paired-friendly stencils (the generator above).
+#[test]
+fn no_same_stream_double_pops() {
+    let mut g = Gen(0x5a21_0005);
+    for case in 0..24 {
+        let stencil = arb_stencil(&mut g);
         let sched = PointSchedule::derive(&stencil, 24, saris::core::method::CoeffStrategy::Hybrid);
-        prop_assert!(!sched.has_same_sr_double_pop());
+        assert!(!sched.has_same_sr_double_pop(), "case {case}");
     }
 }

@@ -1,0 +1,196 @@
+//! Execution-engine acceptance tests: kernel-cache behavior across a full
+//! gallery sweep, cluster-reset determinism, batch-vs-serial equivalence,
+//! and backend agreement with the golden reference.
+
+use saris::prelude::*;
+use saris::sim::Cluster;
+
+fn tile_of(s: &Stencil) -> Extent {
+    match s.space() {
+        Space::Dim2 => Extent::new_2d(16, 16),
+        Space::Dim3 => Extent::cube(Space::Dim3, 12),
+    }
+}
+
+fn inputs_of(s: &Stencil, tile: Extent) -> Vec<Grid> {
+    s.input_arrays()
+        .enumerate()
+        .map(|(i, _)| Grid::pseudo_random(tile, 4000 + i as u64))
+        .collect()
+}
+
+/// A variant sweep over the full gallery through one session compiles
+/// each `(stencil, extent, options)` kernel exactly once: the second
+/// pass is all cache hits and recompiles nothing.
+#[test]
+fn gallery_sweep_compiles_each_kernel_exactly_once() {
+    let session = Session::new();
+    let mut unique_kernels = 0;
+    for pass in 0..2 {
+        for stencil in gallery::all() {
+            let tile = tile_of(&stencil);
+            let inputs = inputs_of(&stencil, tile);
+            let refs: Vec<&Grid> = inputs.iter().collect();
+            for variant in [Variant::Base, Variant::Saris] {
+                let opts = RunOptions::new(variant);
+                let run = session.run(&stencil, &refs, &opts).unwrap();
+                assert_eq!(
+                    run.cache_hit,
+                    pass == 1,
+                    "{} {variant} pass {pass}",
+                    stencil.name()
+                );
+                if pass == 0 {
+                    unique_kernels += 1;
+                }
+            }
+        }
+    }
+    let stats = session.stats();
+    assert_eq!(stats.compiles, unique_kernels);
+    assert_eq!(stats.cache_hits, unique_kernels);
+    assert_eq!(session.cached_kernels(), unique_kernels as usize);
+    // Every run after the first recycled a pooled cluster.
+    assert_eq!(stats.clusters_reused, stats.runs - 1);
+}
+
+/// A freshly constructed cluster and a `reset()` cluster produce
+/// byte-identical outputs and identical `RunReport`s for the same kernel.
+#[test]
+fn reset_cluster_matches_fresh_cluster() {
+    let stencil = gallery::j2d5pt();
+    let tile = Extent::new_2d(16, 16);
+    let inputs = inputs_of(&stencil, tile);
+    let refs: Vec<&Grid> = inputs.iter().collect();
+    let opts = RunOptions::new(Variant::Saris).with_unroll(2);
+    let kernel = compile(&stencil, tile, &opts).unwrap();
+
+    let mut fresh = Cluster::new(opts.cluster.clone());
+    let (out_fresh, report_fresh) =
+        saris::codegen::execute_on(&stencil, &refs, &kernel, &opts, &mut fresh).unwrap();
+
+    // Reuse the same (now dirty) cluster after a reset.
+    fresh.reset();
+    let (out_reset, report_reset) =
+        saris::codegen::execute_on(&stencil, &refs, &kernel, &opts, &mut fresh).unwrap();
+
+    let bits = |g: &Grid| -> Vec<u64> { g.as_slice().iter().map(|v| v.to_bits()).collect() };
+    assert_eq!(
+        bits(&out_fresh),
+        bits(&out_reset),
+        "outputs must be byte-identical"
+    );
+    assert_eq!(report_fresh, report_reset, "reports must be identical");
+}
+
+/// `run_batch` on four-plus jobs yields outputs identical to serial
+/// `run_stencil`, in job order.
+#[test]
+fn batch_matches_serial_runs() {
+    let session = Session::new();
+    let mut jobs = Vec::new();
+    for (i, name) in ["jacobi_2d", "j2d5pt", "jacobi_2d", "box2d1r", "j2d9pt"]
+        .iter()
+        .enumerate()
+    {
+        let stencil = gallery::by_name(name).unwrap();
+        let tile = tile_of(&stencil);
+        let inputs: Vec<Grid> = stencil
+            .input_arrays()
+            .enumerate()
+            .map(|(k, _)| Grid::pseudo_random(tile, 100 * i as u64 + k as u64))
+            .collect();
+        let variant = if i % 2 == 0 {
+            Variant::Saris
+        } else {
+            Variant::Base
+        };
+        jobs.push(Job::new(stencil, inputs, RunOptions::new(variant)));
+    }
+    let results = session.run_batch(&jobs);
+    assert_eq!(results.len(), jobs.len());
+    for (job, result) in jobs.iter().zip(results) {
+        let batched = result.unwrap_or_else(|e| panic!("{}: {e}", job.stencil.name()));
+        let refs: Vec<&Grid> = job.inputs.iter().collect();
+        let serial = run_stencil(&job.stencil, &refs, &job.options).unwrap();
+        let batched_bits: Vec<u64> = batched
+            .output
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let serial_bits: Vec<u64> = serial
+            .output
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(batched_bits, serial_bits, "{}", job.stencil.name());
+        assert_eq!(
+            batched.expect_report(),
+            &serial.report,
+            "{}",
+            job.stencil.name()
+        );
+    }
+    // jacobi_2d saris appears twice with identical options: 4 compiles
+    // for 5 jobs.
+    assert_eq!(session.stats().compiles, 4);
+}
+
+/// The simulator backend and the native (golden reference) backend agree
+/// with the reference executor to well under 1e-12 on every gallery code.
+#[test]
+fn backends_agree_with_reference() {
+    let sim = Session::new();
+    let native = Session::native();
+    for stencil in gallery::all() {
+        let tile = tile_of(&stencil);
+        let inputs = inputs_of(&stencil, tile);
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        let opts = RunOptions::new(Variant::Saris);
+        let sim_run = sim.run(&stencil, &refs, &opts).unwrap();
+        let native_run = native.run(&stencil, &refs, &opts).unwrap();
+        let sim_err = sim_run.max_error_vs_reference(&stencil, &refs);
+        let native_err = native_run.max_error_vs_reference(&stencil, &refs);
+        assert!(sim_err < 1e-12, "{}: sim err {sim_err:e}", stencil.name());
+        assert_eq!(
+            native_err,
+            0.0,
+            "{}: native is the reference",
+            stencil.name()
+        );
+        let cross = sim_run.output.max_abs_diff(&native_run.output);
+        assert!(cross < 1e-12, "{}: sim vs native {cross:e}", stencil.name());
+    }
+    assert_eq!(native.stats().compiles, 0, "native sweeps never compile");
+}
+
+/// Session time stepping matches the free-function (and thus reference)
+/// path while compiling once.
+#[test]
+fn session_time_steps_compile_once() {
+    let stencil = gallery::jacobi_2d();
+    let tile = Extent::new_2d(16, 16);
+    let input = Grid::pseudo_random(tile, 77);
+    let opts = RunOptions::new(Variant::Saris).with_reassociate(0);
+    let session = Session::new();
+    let run = session
+        .run_time_steps(
+            &stencil,
+            &[&input],
+            3,
+            saris::codegen::BufferRotation::Alternating,
+            &opts,
+        )
+        .unwrap();
+    assert_eq!(run.reports.len(), 3);
+    assert_eq!(session.stats().compiles, 1);
+    // March the reference in lockstep.
+    let mut cur = input;
+    for _ in 0..3 {
+        let mut refs = vec![&cur];
+        cur = reference::apply_to_new(&stencil, &mut refs, tile);
+    }
+    assert_eq!(run.grids[0].max_abs_diff(&cur), 0.0);
+}
