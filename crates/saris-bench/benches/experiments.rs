@@ -9,8 +9,8 @@
 
 use std::time::Instant;
 
-use saris_codegen::{compile, run_stencil, RunOptions, Session, Variant};
-use saris_core::{gallery, ArenaLayout, Extent, Grid, SarisOptions, SarisPlan, Space};
+use saris_codegen::{compile, Outcome, RunOptions, Session, Variant, Workload};
+use saris_core::{gallery, ArenaLayout, Extent, Grid, SarisOptions, SarisPlan, Space, Stencil};
 use saris_energy::EnergyModel;
 use saris_scaleout::{estimate, ClusterMeasurement, MachineModel};
 
@@ -40,6 +40,18 @@ fn small_tile(s: &saris_core::Stencil) -> Extent {
     }
 }
 
+/// One-shot submission on a throwaway session (the compile-every-time
+/// pipeline cost).
+fn submit_once(stencil: &Stencil, tile: Extent, opts: RunOptions) -> Outcome {
+    let spec = Workload::new(stencil.clone())
+        .extent(tile)
+        .input_seed(3)
+        .options(opts)
+        .freeze()
+        .expect("valid workload");
+    Session::new().submit(&spec).expect("runs")
+}
+
 /// Figure 3a/3b pipeline on a reduced tile: compile + simulate + verify,
 /// one bench per variant.
 fn bench_single_cluster() {
@@ -54,11 +66,11 @@ fn bench_single_cluster() {
             gallery::star3d2r()
         };
         let tile = small_tile(&stencil);
-        let input = Grid::pseudo_random(tile, 3);
         let opts = RunOptions::new(variant).with_unroll(unroll);
         bench("fig3_single_cluster", label, 10, || {
-            let run = run_stencil(&stencil, &[&input], &opts).expect("runs");
-            run.report.cycles
+            submit_once(&stencil, tile, opts.clone())
+                .expect_report()
+                .cycles
         });
     }
 }
@@ -67,16 +79,15 @@ fn bench_single_cluster() {
 /// session-cached SARIS kernel on a pooled cluster (execution only, the
 /// kernel compiles once).
 fn bench_sim_throughput() {
-    let stencil = gallery::jacobi_2d();
-    let tile = Extent::new_2d(32, 32);
-    let input = Grid::pseudo_random(tile, 5);
-    let opts = RunOptions::new(Variant::Saris).with_unroll(4);
+    let spec = Workload::new(gallery::jacobi_2d())
+        .extent(Extent::new_2d(32, 32))
+        .input_seed(5)
+        .options(RunOptions::new(Variant::Saris).with_unroll(4))
+        .freeze()
+        .expect("valid workload");
     let session = Session::new();
     bench("simulator", "execute_jacobi_saris", 10, || {
-        let run = session
-            .run_stencil(&stencil, &[&input], &opts)
-            .expect("runs");
-        run.report.cycles
+        session.submit(&spec).expect("runs").expect_report().cycles
     });
     let stats = session.stats();
     println!(
@@ -117,24 +128,23 @@ fn bench_reference() {
 fn bench_models() {
     let stencil = gallery::jacobi_2d();
     let tile = Extent::new_2d(32, 32);
-    let input = Grid::pseudo_random(tile, 5);
-    let run = run_stencil(
+    let run = submit_once(
         &stencil,
-        &[&input],
-        &RunOptions::new(Variant::Saris).with_unroll(4),
-    )
-    .expect("runs");
+        tile,
+        RunOptions::new(Variant::Saris).with_unroll(4),
+    );
+    let report = run.expect_report().clone();
     let model = EnergyModel::gf12lp();
     bench("analytic_models", "fig4_energy_estimate", 1000, || {
-        model.estimate(&run.report).total_watts()
+        model.estimate(&report).total_watts()
     });
     let machine = MachineModel::manticore_256s();
     let m = ClusterMeasurement {
-        compute_cycles_per_tile: run.report.cycles as f64,
-        fpu_ops_per_tile: run.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
-        flops_per_tile: run.report.flops() as f64,
+        compute_cycles_per_tile: report.cycles as f64,
+        fpu_ops_per_tile: report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+        flops_per_tile: report.flops() as f64,
         dma_utilization: 0.9,
-        core_imbalance: run.report.runtime_imbalance(),
+        core_imbalance: report.runtime_imbalance(),
     };
     let grid = Extent::new_2d(16384, 16384);
     bench("analytic_models", "fig5_scaleout_estimate", 1000, || {

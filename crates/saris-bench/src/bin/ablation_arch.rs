@@ -2,32 +2,34 @@
 //! count, stream FIFO depth, launch-queue depth — and the reassociation
 //! pass, all on the jacobi_2d SARIS kernel.
 
-use saris_bench::{paper_inputs, paper_tile};
-use saris_codegen::{RunOptions, Session, Variant};
-use saris_core::{gallery, Grid};
+use std::sync::Arc;
 
-fn run_with(session: &Session, opts: &RunOptions) -> (u64, f64, u64) {
-    let s = gallery::jacobi_2d();
-    let tile = paper_tile(&s);
-    let inputs = paper_inputs(&s, tile);
-    let refs: Vec<&Grid> = inputs.iter().collect();
-    let run = session.run_stencil(&s, &refs, opts).expect("runs");
-    (
-        run.report.cycles,
-        run.report.fpu_util(),
-        run.report.tcdm_conflicts,
-    )
+use saris_bench::{paper_tile, PAPER_SEED};
+use saris_codegen::{RunOptions, Session, Variant, Workload};
+use saris_core::{gallery, Stencil};
+
+fn run_with(session: &Session, stencil: &Arc<Stencil>, opts: RunOptions) -> (u64, f64, u64) {
+    let spec = Workload::new(Arc::clone(stencil))
+        .extent(paper_tile(stencil))
+        .input_seed(PAPER_SEED)
+        .options(opts)
+        .freeze()
+        .expect("valid workload");
+    let run = session.submit(&spec).expect("runs");
+    let report = run.expect_report();
+    (report.cycles, report.fpu_util(), report.tcdm_conflicts)
 }
 
 fn main() {
     println!("Ablation: cluster architecture knobs (jacobi_2d, saris u4)\n");
     let session = Session::new();
+    let stencil = Arc::new(gallery::jacobi_2d());
 
     println!("TCDM banks (paper platform: 32):");
     for banks in [8, 16, 32, 64] {
         let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
         opts.cluster.tcdm_banks = banks;
-        let (cycles, util, conflicts) = run_with(&session, &opts);
+        let (cycles, util, conflicts) = run_with(&session, &stencil, opts);
         println!(
             "  {banks:>3} banks: {cycles:>6} cycles, util {util:.3}, {conflicts:>6} conflicts"
         );
@@ -37,7 +39,7 @@ fn main() {
     for depth in [1, 2, 4, 8] {
         let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
         opts.cluster.stream_fifo_depth = depth;
-        let (cycles, util, _) = run_with(&session, &opts);
+        let (cycles, util, _) = run_with(&session, &stencil, opts);
         println!("  depth {depth}: {cycles:>6} cycles, util {util:.3}");
     }
 
@@ -45,7 +47,7 @@ fn main() {
     for depth in [1, 2, 4] {
         let mut opts = RunOptions::new(Variant::Saris).with_unroll(4);
         opts.cluster.launch_queue_depth = depth;
-        let (cycles, util, _) = run_with(&session, &opts);
+        let (cycles, util, _) = run_with(&session, &stencil, opts);
         println!("  depth {depth}: {cycles:>6} cycles, util {util:.3}");
     }
 
@@ -56,7 +58,7 @@ fn main() {
             let opts = RunOptions::new(variant)
                 .with_unroll(u)
                 .with_reassociate(acc);
-            let (cycles, util, _) = run_with(&session, &opts);
+            let (cycles, util, _) = run_with(&session, &stencil, opts);
             println!("  acc {acc} {label:<5} u{u}: {cycles:>6} cycles, util {util:.3}");
         }
     }

@@ -5,10 +5,12 @@
 //! coefficient sequence on an affine SR1 — which oversubscribes the
 //! single SR0 port for 27-tap codes.
 
-use saris_bench::{paper_inputs, paper_tile};
-use saris_codegen::{RunOptions, Session, Variant};
+use std::sync::Arc;
+
+use saris_bench::{paper_tile, PAPER_SEED};
+use saris_codegen::{RunOptions, Session, Tune, Variant, Workload};
+use saris_core::gallery;
 use saris_core::method::CoeffStrategy;
-use saris_core::{gallery, Grid};
 
 fn main() {
     println!("Ablation: coefficient strategy for register-bound codes\n");
@@ -18,33 +20,29 @@ fn main() {
         "code", "strategy", "unroll", "cycles", "FPU util", "SR0 accesses"
     );
     for name in ["star2d3r", "ac_iso_cd", "box3d1r", "j3d27pt"] {
-        let s = gallery::by_name(name).unwrap();
-        let tile = paper_tile(&s);
-        let inputs = paper_inputs(&s, tile);
-        let refs: Vec<&Grid> = inputs.iter().collect();
+        let s = Arc::new(gallery::by_name(name).unwrap());
         for (label, strategy, budget) in [
             ("hybrid", CoeffStrategy::Hybrid, 24),
             ("stream-sr1", CoeffStrategy::StreamSr1, 20),
         ] {
-            let mut best: Option<(usize, _)> = None;
-            for unroll in [1, 2, 4] {
-                let mut opts = RunOptions::new(Variant::Saris).with_unroll(unroll);
-                opts.saris.coeff_strategy = strategy;
-                opts.saris.coeff_reg_budget = budget;
-                if let Ok(run) = session.run_stencil(&s, &refs, &opts) {
-                    let better =
-                        best.as_ref()
-                            .is_none_or(|(_, b): &(usize, saris_codegen::StencilRun)| {
-                                run.report.cycles < b.report.cycles
-                            });
-                    if better {
-                        best = Some((unroll, run));
-                    }
-                }
-            }
-            let (unroll, run) = best.expect("at least one unroll works");
-            let sr0: u64 = run
-                .report
+            let mut opts = RunOptions::new(Variant::Saris);
+            opts.saris.coeff_strategy = strategy;
+            opts.saris.coeff_reg_budget = budget;
+            // The tuner measures every unroll and keeps the fastest
+            // feasible one — infeasible widths are skipped, exactly the
+            // old per-unroll loop.
+            let spec = Workload::new(Arc::clone(&s))
+                .extent(paper_tile(&s))
+                .input_seed(PAPER_SEED)
+                .options(opts)
+                .tune(Tune::Auto)
+                .freeze()
+                .expect("valid workload");
+            let run = session
+                .submit(&spec)
+                .unwrap_or_else(|e| panic!("{name} {label}: {e}"));
+            let report = run.expect_report();
+            let sr0: u64 = report
                 .cores
                 .iter()
                 .map(|c| c.streamers[0].elems + c.streamers[0].idx_fetches)
@@ -53,9 +51,9 @@ fn main() {
                 "{:<10} {:<12} {:>8} {:>8} {:>10.3} {:>12}",
                 name,
                 label,
-                unroll,
-                run.report.cycles,
-                run.report.fpu_util(),
+                run.unroll().unwrap_or(0),
+                report.cycles,
+                report.fpu_util(),
                 sr0
             );
         }

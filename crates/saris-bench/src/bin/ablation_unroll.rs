@@ -3,11 +3,14 @@
 //! behind the tuner's choices and the paper's register-pressure story
 //! (large unrolls stop being generatable for wide stencils).
 //!
-//! The whole sweep is one [`Session::run_batch`] fan-out: 60 jobs
-//! (10 codes x 2 variants x 3 unrolls) across pooled clusters.
+//! The whole sweep is one [`Session::submit_all`] fan-out: 60 fixed
+//! specs (10 codes x 2 variants x 3 unrolls) across pooled clusters,
+//! each code's stencil IR shared behind one `Arc`.
 
-use saris_bench::{paper_inputs, paper_tile};
-use saris_codegen::{CodegenError, Job, RunOptions, Session, Variant};
+use std::sync::Arc;
+
+use saris_bench::{paper_tile, PAPER_SEED};
+use saris_codegen::{CodegenError, Session, Variant, Workload, WorkloadSpec};
 use saris_core::gallery;
 
 fn main() {
@@ -16,30 +19,33 @@ fn main() {
         "{:<12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "code", "base u1", "base u2", "base u4", "saris u1", "saris u2", "saris u4"
     );
-    let codes = gallery::all();
-    let mut jobs = Vec::new();
+    let codes: Vec<Arc<_>> = gallery::all().into_iter().map(Arc::new).collect();
+    let mut specs: Vec<WorkloadSpec> = Vec::new();
     for s in &codes {
-        let inputs = paper_inputs(s, paper_tile(s));
         for variant in [Variant::Base, Variant::Saris] {
             for unroll in [1, 2, 4] {
-                jobs.push(Job::new(
-                    s.clone(),
-                    inputs.clone(),
-                    RunOptions::new(variant).with_unroll(unroll),
-                ));
+                specs.push(
+                    Workload::new(Arc::clone(s))
+                        .extent(paper_tile(s))
+                        .input_seed(PAPER_SEED)
+                        .variant(variant)
+                        .unroll(unroll)
+                        .freeze()
+                        .expect("valid workload"),
+                );
             }
         }
     }
     let session = Session::new();
-    let mut results = session.run_batch(&jobs).into_iter();
+    let mut results = session.submit_all(&specs).into_iter();
     for s in &codes {
         let cells: Vec<String> = (0..6)
-            .map(|slot| match results.next().expect("one result per job") {
+            .map(|slot| match results.next().expect("one result per spec") {
                 Ok(run) => run.expect_report().cycles.to_string(),
                 Err(
                     CodegenError::RegisterPressure { .. } | CodegenError::FrepBodyTooLarge { .. },
                 ) => "-".to_string(),
-                Err(e) => panic!("{} job {slot}: {e}", s.name()),
+                Err(e) => panic!("{} spec {slot}: {e}", s.name()),
             })
             .collect();
         println!(
@@ -55,7 +61,7 @@ fn main() {
     }
     let stats = session.stats();
     println!(
-        "\n({} jobs, {} kernels compiled, {} cluster reuses)",
+        "\n({} runs, {} kernels compiled, {} cluster reuses)",
         stats.runs, stats.compiles, stats.clusters_reused
     );
 }

@@ -15,10 +15,10 @@ fn main() {
         println!(
             "{:<12} {:>10} {:>5} {:>10} {:>5} {:>8.2}",
             r.name(),
-            r.base.report.cycles,
-            r.base.kernel.unroll,
-            r.saris.report.cycles,
-            r.saris.kernel.unroll,
+            r.base.expect_report().cycles,
+            r.base.unroll().unwrap_or(0),
+            r.saris.expect_report().cycles,
+            r.saris.unroll().unwrap_or(0),
             r.speedup()
         );
     }

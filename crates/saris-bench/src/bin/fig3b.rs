@@ -15,21 +15,21 @@ fn main() {
         println!(
             "{:<12} {:>10.3} {:>9.2} | {:>10.3} {:>9.2}",
             r.name(),
-            r.base.report.fpu_util(),
-            r.base.report.ipc(),
-            r.saris.report.fpu_util(),
-            r.saris.report.ipc()
+            r.base.expect_report().fpu_util(),
+            r.base.expect_report().ipc(),
+            r.saris.expect_report().fpu_util(),
+            r.saris.expect_report().ipc()
         );
     }
-    let bu = geomean(results.iter().map(|r| r.base.report.fpu_util()));
-    let su = geomean(results.iter().map(|r| r.saris.report.fpu_util()));
-    let bi = geomean(results.iter().map(|r| r.base.report.ipc()));
-    let si = geomean(results.iter().map(|r| r.saris.report.ipc()));
+    let bu = geomean(results.iter().map(|r| r.base.expect_report().fpu_util()));
+    let su = geomean(results.iter().map(|r| r.saris.expect_report().fpu_util()));
+    let bi = geomean(results.iter().map(|r| r.base.expect_report().ipc()));
+    let si = geomean(results.iter().map(|r| r.saris.expect_report().ipc()));
     println!("\ngeomean FPU util: base {bu:.2} (paper 0.35), saris {su:.2} (paper 0.81)");
     println!("geomean IPC:      base {bi:.2} (paper 0.89), saris {si:.2} (paper 1.11)");
     let min_saris_util = results
         .iter()
-        .map(|r| r.saris.report.fpu_util())
+        .map(|r| r.saris.expect_report().fpu_util())
         .fold(f64::INFINITY, f64::min);
     println!(
         "minimum saris FPU util {min_saris_util:.2} (paper: never below 0.70, ac_iso_cd lowest)"

@@ -18,21 +18,28 @@
 //! TCDM bank count, and stream FIFO depth.
 //!
 //! The library part holds the shared evaluation pipeline so every binary
-//! reports from identical runs. All of it drives one
-//! [`Session`](saris_codegen::Session): the full gallery sweep is a
-//! single [`run_batch`](saris_codegen::Session::run_batch) fan-out, each
-//! `(code, variant, unroll)` kernel compiles exactly once, and clusters
-//! are recycled between runs.
+//! reports from identical runs. Everything is phrased as
+//! [`WorkloadSpec`]s answered by one [`Session`]: the full gallery sweep
+//! is a single [`Session::submit_all`] fan-out of tuned, verified specs
+//! (one `Arc`-shared stencil per code), each `(code, variant, unroll)`
+//! kernel compiles exactly once, and clusters are recycled between runs.
 
 #![warn(missing_docs)]
 
-use saris_codegen::{
-    CodegenError, Job, RunOptions, Session, StencilRun, Variant, DEFAULT_CANDIDATES,
-};
+use std::sync::Arc;
+
+use saris_codegen::{Outcome, Session, Tune, Variant, Workload, WorkloadSpec};
 use saris_core::{gallery, Extent, Grid, Space, Stencil};
 use saris_energy::{EnergyModel, PowerReport};
 use saris_scaleout::{estimate, ClusterMeasurement, MachineModel, ScaleoutEstimate};
-use snitch_sim::ClusterConfig;
+
+/// The base input seed every paper workload derives its grids from
+/// (input array `i` is seeded with `PAPER_SEED + i`).
+pub const PAPER_SEED: u64 = 0x5a21_5000;
+
+/// The verification tolerance the harness demands before reporting any
+/// number (bit-exact with the reassociation pass disabled).
+pub const PAPER_TOLERANCE: f64 = 1e-9;
 
 /// The paper's tile for a stencil: 64^2 (2D) or 16^3 (3D), halo included.
 pub fn paper_tile(stencil: &Stencil) -> Extent {
@@ -50,90 +57,88 @@ pub fn paper_grid(stencil: &Stencil) -> Extent {
     }
 }
 
-/// Deterministic pseudo-random input grids for a stencil.
+/// The deterministic input grids a [`PAPER_SEED`]-seeded workload
+/// materializes for a stencil.
 pub fn paper_inputs(stencil: &Stencil, tile: Extent) -> Vec<Grid> {
     stencil
         .input_arrays()
         .enumerate()
-        .map(|(i, _)| Grid::pseudo_random(tile, 0x5a21_5000 + i as u64))
+        .map(|(i, _)| Grid::pseudo_random(tile, PAPER_SEED + i as u64))
         .collect()
+}
+
+/// The paper workload for one `(code, variant)` pair: the paper tile,
+/// seeded inputs, "unroll iff beneficial" tuning, and verification
+/// against the golden reference.
+pub fn paper_workload(stencil: &Arc<Stencil>, variant: Variant) -> WorkloadSpec {
+    Workload::new(Arc::clone(stencil))
+        .extent(paper_tile(stencil))
+        .input_seed(PAPER_SEED)
+        .variant(variant)
+        .tune(Tune::Auto)
+        .verify(PAPER_TOLERANCE)
+        .freeze()
+        .expect("paper workloads are valid")
 }
 
 /// Both tuned variants of one code, verified against the reference.
 #[derive(Debug)]
 pub struct CodeResult {
-    /// The stencil.
-    pub stencil: Stencil,
+    /// The stencil (shared with the specs that produced the outcomes).
+    pub stencil: Arc<Stencil>,
     /// Tile extent used.
     pub tile: Extent,
-    /// Tuned baseline run.
-    pub base: StencilRun,
-    /// Tuned SARIS run.
-    pub saris: StencilRun,
-    /// Verification error of the baseline vs the golden reference.
-    pub base_error: f64,
-    /// Verification error of the SARIS kernel vs the golden reference.
-    pub saris_error: f64,
+    /// Tuned baseline outcome.
+    pub base: Outcome,
+    /// Tuned SARIS outcome.
+    pub saris: Outcome,
 }
 
 impl CodeResult {
     /// SARIS speedup over the baseline.
     pub fn speedup(&self) -> f64 {
-        self.base.report.cycles as f64 / self.saris.report.cycles as f64
+        self.base.expect_report().cycles as f64 / self.saris.expect_report().cycles as f64
     }
 
     /// The code's name.
     pub fn name(&self) -> &str {
         self.stencil.name()
     }
-}
 
-fn verified(stencil: &Stencil, refs: &[&Grid], base: StencilRun, saris: StencilRun) -> CodeResult {
-    let base_error = base.max_error_vs_reference(stencil, refs);
-    let saris_error = saris.max_error_vs_reference(stencil, refs);
-    assert!(
-        base_error < 1e-9 && saris_error < 1e-9,
-        "{}: verification failed (base {base_error:e}, saris {saris_error:e})",
-        stencil.name()
-    );
-    CodeResult {
-        stencil: stencil.clone(),
-        tile: refs[0].extent(),
-        base,
-        saris,
-        base_error,
-        saris_error,
+    /// Verification error of the baseline vs the golden reference.
+    pub fn base_error(&self) -> f64 {
+        self.base.verify_error.unwrap_or(0.0)
+    }
+
+    /// Verification error of the SARIS kernel vs the golden reference.
+    pub fn saris_error(&self) -> f64 {
+        self.saris.verify_error.unwrap_or(0.0)
     }
 }
 
 /// Tunes and runs both variants of one gallery code on the paper tile,
-/// through the given session (kernels cache, clusters pool).
+/// through the given session (kernels cache, clusters pool). Every
+/// outcome is verified inside the submission — the harness never reports
+/// numbers from broken kernels.
 ///
 /// # Panics
 ///
-/// Panics if compilation, simulation or verification fails — the harness
-/// must not silently report numbers from broken kernels.
+/// Panics if compilation, simulation or verification fails.
 pub fn evaluate_code_in(session: &Session, stencil: &Stencil) -> CodeResult {
-    let tile = paper_tile(stencil);
-    let inputs = paper_inputs(stencil, tile);
-    let refs: Vec<&Grid> = inputs.iter().collect();
-    let base = session
-        .tune_unroll(
-            stencil,
-            &refs,
-            &RunOptions::new(Variant::Base),
-            &DEFAULT_CANDIDATES,
-        )
-        .unwrap_or_else(|e| panic!("{} base: {e}", stencil.name()));
-    let saris = session
-        .tune_unroll(
-            stencil,
-            &refs,
-            &RunOptions::new(Variant::Saris),
-            &DEFAULT_CANDIDATES,
-        )
-        .unwrap_or_else(|e| panic!("{} saris: {e}", stencil.name()));
-    verified(stencil, &refs, base.best, saris.best)
+    let stencil = Arc::new(stencil.clone());
+    let submit = |variant| {
+        session
+            .submit(&paper_workload(&stencil, variant))
+            .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()))
+    };
+    let base = submit(Variant::Base);
+    let saris = submit(Variant::Saris);
+    CodeResult {
+        tile: paper_tile(&stencil),
+        stencil,
+        base,
+        saris,
+    }
 }
 
 /// [`evaluate_code_in`] on a throwaway session.
@@ -146,62 +151,43 @@ pub fn evaluate_code(stencil: &Stencil) -> CodeResult {
 }
 
 /// Evaluates all ten gallery codes in Table 1 order through one session:
-/// every `(code, variant, unroll)` candidate becomes one batch job, the
-/// batch fans out across worker threads, and the fastest feasible unroll
-/// per `(code, variant)` wins — the same "unroll iff beneficial" rule the
-/// serial tuner applies.
+/// one tuned, verified [`WorkloadSpec`] per `(code, variant)` — sharing
+/// each stencil IR behind one `Arc` — fanned out across worker threads
+/// with [`Session::submit_all`]. Tuning applies the paper's "unroll iff
+/// beneficial" rule per spec.
 ///
 /// # Panics
 ///
 /// Panics if any code fails to compile, run, or verify.
 pub fn evaluate_all_in(session: &Session) -> Vec<CodeResult> {
-    let codes = gallery::all();
-    let variants = [Variant::Base, Variant::Saris];
-    let mut jobs = Vec::new();
-    for stencil in &codes {
-        let inputs = paper_inputs(stencil, paper_tile(stencil));
-        for variant in variants {
-            for &unroll in &DEFAULT_CANDIDATES {
-                jobs.push(Job::new(
-                    stencil.clone(),
-                    inputs.clone(),
-                    RunOptions::new(variant).with_unroll(unroll),
-                ));
-            }
-        }
-    }
-    let mut results = session.run_batch(&jobs).into_iter();
-    codes
+    let codes: Vec<Arc<Stencil>> = gallery::all().into_iter().map(Arc::new).collect();
+    let specs: Vec<WorkloadSpec> = codes
         .iter()
+        .flat_map(|s| {
+            [
+                paper_workload(s, Variant::Base),
+                paper_workload(s, Variant::Saris),
+            ]
+        })
+        .collect();
+    let mut outcomes = session.submit_all(&specs).into_iter();
+    codes
+        .into_iter()
         .map(|stencil| {
-            let mut best: [Option<StencilRun>; 2] = [None, None];
-            for (v, _) in variants.iter().enumerate() {
-                for _ in &DEFAULT_CANDIDATES {
-                    let outcome = results.next().expect("one result per job");
-                    match outcome.map(saris_codegen::SessionRun::into_stencil_run) {
-                        Ok(Ok(run)) => {
-                            let better = best[v]
-                                .as_ref()
-                                .is_none_or(|b| run.report.cycles < b.report.cycles);
-                            if better {
-                                best[v] = Some(run);
-                            }
-                        }
-                        // Register-bound widths are genuinely infeasible.
-                        Err(
-                            CodegenError::RegisterPressure { .. }
-                            | CodegenError::FrepBodyTooLarge { .. },
-                        ) => {}
-                        Err(e) | Ok(Err(e)) => panic!("{}: {e}", stencil.name()),
-                    }
-                }
+            let mut next = |variant: Variant| {
+                outcomes
+                    .next()
+                    .expect("one outcome per spec")
+                    .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()))
+            };
+            let base = next(Variant::Base);
+            let saris = next(Variant::Saris);
+            CodeResult {
+                tile: paper_tile(&stencil),
+                stencil,
+                base,
+                saris,
             }
-            let [base, saris] = best;
-            let base = base.unwrap_or_else(|| panic!("{}: no feasible base", stencil.name()));
-            let saris = saris.unwrap_or_else(|| panic!("{}: no feasible saris", stencil.name()));
-            let inputs = paper_inputs(stencil, paper_tile(stencil));
-            let refs: Vec<&Grid> = inputs.iter().collect();
-            verified(stencil, &refs, base, saris)
         })
         .collect()
 }
@@ -233,29 +219,37 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 pub fn power_of(result: &CodeResult) -> (PowerReport, PowerReport) {
     let model = EnergyModel::gf12lp();
     (
-        model.estimate(&result.base.report),
-        model.estimate(&result.saris.report),
+        model.estimate(result.base.expect_report()),
+        model.estimate(result.saris.expect_report()),
     )
 }
 
 /// Scaleout estimates (base, saris) for one code result, using the
-/// paper's grids and the DMA utilization measured on a pooled cluster of
-/// the given session.
+/// paper's grids and the DMA utilization measured by a probe workload on
+/// a pooled cluster of the given session.
 pub fn scaleout_of_in(
     session: &Session,
     result: &CodeResult,
 ) -> (ScaleoutEstimate, ScaleoutEstimate) {
     let machine = MachineModel::manticore_256s();
     let grid = paper_grid(&result.stencil);
+    let probe = Workload::dma_probe(result.tile)
+        .freeze()
+        .expect("probe workloads are valid");
     let dma_util = session
-        .measure_dma_utilization(result.tile, &ClusterConfig::snitch())
-        .expect("dma measurement");
-    let measure = |run: &StencilRun| ClusterMeasurement {
-        compute_cycles_per_tile: run.report.cycles as f64,
-        fpu_ops_per_tile: run.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
-        flops_per_tile: run.report.flops() as f64,
-        dma_utilization: dma_util,
-        core_imbalance: run.report.runtime_imbalance(),
+        .submit(&probe)
+        .expect("dma measurement")
+        .dma_utilization
+        .expect("probes measure utilization");
+    let measure = |run: &Outcome| {
+        let report = run.expect_report();
+        ClusterMeasurement {
+            compute_cycles_per_tile: report.cycles as f64,
+            fpu_ops_per_tile: report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+            flops_per_tile: report.flops() as f64,
+            dma_utilization: dma_util,
+            core_imbalance: report.runtime_imbalance(),
+        }
     };
     (
         estimate(
@@ -306,11 +300,25 @@ mod tests {
     }
 
     #[test]
+    fn paper_workloads_materialize_the_published_inputs() {
+        let s = gallery::jacobi_2d();
+        let tile = paper_tile(&s);
+        // The seeded spec and the documented grids agree, so a sharded
+        // coordinator can ship the tiny seeded spec instead of grid data.
+        assert_eq!(
+            paper_inputs(&s, tile),
+            vec![Grid::pseudo_random(tile, PAPER_SEED)]
+        );
+    }
+
+    #[test]
     fn evaluate_one_small_code_end_to_end() {
         // Full pipeline smoke test on the cheapest code, one session.
         let session = Session::new();
         let r = evaluate_code_in(&session, &gallery::jacobi_2d());
         assert!(r.speedup() > 1.3, "speedup {}", r.speedup());
+        assert!(r.base_error() < PAPER_TOLERANCE && r.saris_error() < PAPER_TOLERANCE);
+        assert!(r.base.tuning.is_some() && r.saris.tuning.is_some());
         let (pb, ps) = power_of(&r);
         assert!(ps.total_watts() > pb.total_watts());
         let (sb, ss) = scaleout_of_in(&session, &r);

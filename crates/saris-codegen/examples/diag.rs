@@ -3,10 +3,11 @@
 //! working on the code generators (the polished reproduction harnesses
 //! live in `saris-bench`).
 
-use saris_codegen::{tune_unroll, RunOptions, Variant, DEFAULT_CANDIDATES};
-use saris_core::{gallery, Extent, Grid, Space};
+use saris_codegen::{Outcome, Session, Tune, Variant, Workload};
+use saris_core::{gallery, Extent, Space};
 
 fn main() {
+    let session = Session::new();
     let mut speedups = Vec::new();
     let mut utils = Vec::new();
     println!(
@@ -27,43 +28,41 @@ fn main() {
             Space::Dim2 => Extent::new_2d(64, 64),
             Space::Dim3 => Extent::cube(Space::Dim3, 16),
         };
-        let inputs: Vec<Grid> = s
-            .input_arrays()
-            .enumerate()
-            .map(|(i, _)| Grid::pseudo_random(tile, 42 + i as u64))
-            .collect();
-        let refs: Vec<&Grid> = inputs.iter().collect();
-        let base = tune_unroll(
-            &s,
-            &refs,
-            &RunOptions::new(Variant::Base),
-            &DEFAULT_CANDIDATES,
-        )
-        .unwrap_or_else(|e| panic!("{} base: {e}", s.name()));
-        let saris = tune_unroll(
-            &s,
-            &refs,
-            &RunOptions::new(Variant::Saris),
-            &DEFAULT_CANDIDATES,
-        )
-        .unwrap_or_else(|e| panic!("{} saris: {e}", s.name()));
-        let eb = base.best.max_error_vs_reference(&s, &refs);
-        let es = saris.best.max_error_vs_reference(&s, &refs);
-        let sp = base.best.report.cycles as f64 / saris.best.report.cycles as f64;
+        let tuned = |variant| -> Outcome {
+            let spec = Workload::new(s.clone())
+                .extent(tile)
+                .input_seed(42)
+                .variant(variant)
+                .tune(Tune::Auto)
+                .verify(1e-9)
+                .freeze()
+                .expect("valid workload");
+            session
+                .submit(&spec)
+                .unwrap_or_else(|e| panic!("{} {variant}: {e}", s.name()))
+        };
+        let base = tuned(Variant::Base);
+        let saris = tuned(Variant::Saris);
+        let sp = base.expect_report().cycles as f64 / saris.expect_report().cycles as f64;
         speedups.push(sp);
-        utils.push((base.best.report.fpu_util(), saris.best.report.fpu_util()));
+        utils.push((
+            base.expect_report().fpu_util(),
+            saris.expect_report().fpu_util(),
+        ));
         println!(
             "{:<12} {:>9} {:>9.3} {:>7.2} | {:>9} {:>9.3} {:>7.2} {:>7} | {:>7.2} {:>6.0e}",
             s.name(),
-            base.best.report.cycles,
-            base.best.report.fpu_util(),
-            base.best.report.ipc(),
-            saris.best.report.cycles,
-            saris.best.report.fpu_util(),
-            saris.best.report.ipc(),
-            saris.unroll(),
+            base.expect_report().cycles,
+            base.expect_report().fpu_util(),
+            base.expect_report().ipc(),
+            saris.expect_report().cycles,
+            saris.expect_report().fpu_util(),
+            saris.expect_report().ipc(),
+            saris.unroll().unwrap_or(0),
             sp,
-            eb.max(es)
+            base.verify_error
+                .unwrap_or(0.0)
+                .max(saris.verify_error.unwrap_or(0.0))
         );
     }
     let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
@@ -71,4 +70,9 @@ fn main() {
     let su: Vec<f64> = utils.iter().map(|u| u.1).collect();
     println!("geomean speedup {:.2} (paper 2.72) | base util {:.2} (paper 0.35) | saris util {:.2} (paper 0.81)",
         geo(&speedups), geo(&bu), geo(&su));
+    let stats = session.stats();
+    println!(
+        "engine: {} runs, {} compiles, {} cache hits, {} cluster reuses",
+        stats.runs, stats.compiles, stats.cache_hits, stats.clusters_reused
+    );
 }

@@ -62,6 +62,22 @@ pub enum CodegenError {
         /// The backend that was asked.
         backend: &'static str,
     },
+    /// A [`Workload`](crate::Workload) could not be frozen into a valid
+    /// [`WorkloadSpec`](crate::WorkloadSpec).
+    InvalidWorkload {
+        /// What was inconsistent or missing.
+        reason: String,
+    },
+    /// A workload requested verification and the executed output diverged
+    /// from the golden reference by more than the requested tolerance.
+    VerificationFailed {
+        /// Stencil name.
+        name: String,
+        /// Largest absolute difference measured.
+        error: f64,
+        /// The tolerance the workload requested.
+        tolerance: f64,
+    },
 }
 
 impl fmt::Display for CodegenError {
@@ -102,6 +118,17 @@ impl fmt::Display for CodegenError {
             CodegenError::NoReport { backend } => {
                 write!(f, "backend `{backend}` does not produce simulator reports")
             }
+            CodegenError::InvalidWorkload { reason } => {
+                write!(f, "invalid workload: {reason}")
+            }
+            CodegenError::VerificationFailed {
+                name,
+                error,
+                tolerance,
+            } => write!(
+                f,
+                "{name}: output diverges from the golden reference by {error:e} (tolerance {tolerance:e})"
+            ),
         }
     }
 }

@@ -16,19 +16,30 @@
 //! correct* kernels whose outputs are verified against the golden
 //! reference executor.
 //!
+//! Execution goes through one typed request/response pair: describe one
+//! unit of work with the [`Workload`] builder, freeze it into an
+//! immutable [`WorkloadSpec`], and [`submit`](Session::submit) it to a
+//! [`Session`] for an [`Outcome`]. One surface covers one-shot runs,
+//! "unroll iff beneficial" tuning ([`Tune`]), multi-step sweeps,
+//! verification, batches ([`Session::submit_all`]), and DMA-utilization
+//! probes.
+//!
 //! # Examples
 //!
 //! ```
-//! use saris_codegen::{run_stencil, RunOptions, Variant};
-//! use saris_core::{gallery, Extent, Grid};
+//! use saris_codegen::{Session, Tune, Variant, Workload};
+//! use saris_core::{gallery, Extent};
 //!
 //! # fn main() -> Result<(), saris_codegen::CodegenError> {
-//! let stencil = gallery::jacobi_2d();
-//! let tile = Extent::new_2d(32, 32);
-//! let input = Grid::pseudo_random(tile, 7);
-//! let run = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Saris))?;
-//! assert_eq!(run.max_error_vs_reference(&stencil, &[&input]), 0.0);
-//! println!("{}", run.report);
+//! let spec = Workload::new(gallery::jacobi_2d())
+//!     .extent(Extent::new_2d(32, 32))
+//!     .input_seed(7)
+//!     .variant(Variant::Saris)
+//!     .tune(Tune::Auto)
+//!     .verify(1e-12)
+//!     .freeze()?;
+//! let run = Session::new().submit(&spec)?;
+//! println!("unroll {:?}: {}", run.unroll(), run.expect_report());
 //! # Ok(())
 //! # }
 //! ```
@@ -44,19 +55,17 @@ pub mod session;
 pub mod slots;
 pub mod tuner;
 pub mod walk;
+pub mod workload;
 
 pub use base::CompiledCore;
 pub use error::CodegenError;
 pub use map::TcdmMap;
-pub use runtime::{
-    compile, execute, execute_on, measure_dma_utilization, measure_dma_utilization_on, run_stencil,
-    run_time_steps, BufferRotation, CompiledKernel, RunOptions, StencilRun, TimeSteppedRun,
-    Variant,
-};
+pub use runtime::{compile, BufferRotation, CompiledKernel, RunOptions, Variant};
 pub use saris::SarisPlans;
 pub use session::{
-    Backend, ClusterPool, ExecOutcome, ExecRequest, Job, KernelKey, NativeBackend, Session,
-    SessionRun, SessionStats, SimBackend,
+    Backend, ClusterPool, ExecOutcome, ExecRequest, NativeBackend, Session, SessionConfig,
+    SessionStats, SimBackend,
 };
-pub use tuner::{tune_unroll, tune_unroll_with, TunedRun, DEFAULT_CANDIDATES};
+pub use tuner::{Tune, TuningDecision, DEFAULT_CANDIDATES};
 pub use walk::CoreWalk;
+pub use workload::{InputSpec, Outcome, Workload, WorkloadSpec, WorkloadTelemetry};

@@ -1,14 +1,18 @@
-//! The kernel runtime: compile, install, execute, read back, verify.
+//! The kernel runtime: compilation ([`compile`]) and the low-level
+//! install/execute/read-back machinery behind the session backends.
+//!
+//! Callers do not execute kernels from here — build a
+//! [`Workload`](crate::Workload) and [`submit`](crate::Session::submit)
+//! it to a [`Session`](crate::Session) instead.
 
 use std::fmt;
-use std::sync::Arc;
 
 use saris_core::grid::Grid;
 use saris_core::layout::{ArenaLayout, ELEM_BYTES};
 use saris_core::method::{SarisOptions, SarisPlan, StreamMode};
 use saris_core::parallel::InterleavePlan;
 use saris_core::stencil::{ArrayRole, Stencil};
-use saris_core::{reference, Extent};
+use saris_core::Extent;
 use snitch_sim::{Cluster, ClusterConfig, DmaDescriptor, RunReport, MAIN_BASE};
 
 use crate::base::CompiledCore;
@@ -35,12 +39,12 @@ impl fmt::Display for Variant {
 }
 
 /// Options controlling compilation and execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
     /// Code generator.
     pub variant: Variant,
-    /// Unroll factor (use [`crate::tuner::tune_unroll`] for "iff
-    /// beneficial" selection).
+    /// Unroll factor (set [`Tune::Auto`](crate::Tune::Auto) on the
+    /// workload for "iff beneficial" selection).
     pub unroll: usize,
     /// Core interleaving.
     pub interleave: InterleavePlan,
@@ -331,76 +335,6 @@ fn pack_f64(values: &[f64]) -> Vec<u8> {
     bytes
 }
 
-/// The result of executing one compiled kernel on one tile.
-#[derive(Debug, Clone)]
-pub struct StencilRun {
-    /// The computed output tile (halo zeroed).
-    pub output: Grid,
-    /// The simulator measurement report.
-    pub report: RunReport,
-    /// The kernel that ran (shared, so cached kernels are not cloned).
-    pub kernel: Arc<CompiledKernel>,
-}
-
-impl StencilRun {
-    /// Largest absolute difference against the golden reference executor.
-    pub fn max_error_vs_reference(&self, stencil: &Stencil, inputs: &[&Grid]) -> f64 {
-        let mut input_refs: Vec<&Grid> = inputs.to_vec();
-        let expect = reference::apply_to_new(stencil, &mut input_refs, self.output.extent());
-        self.output.max_abs_diff(&expect)
-    }
-}
-
-/// Compiles and executes one time iteration of `stencil` over `inputs`
-/// (one grid per declared input array, all of the same extent).
-///
-/// # Errors
-///
-/// Propagates compilation and simulation errors.
-///
-/// # Panics
-///
-/// Panics if `inputs` does not match the stencil's input arrays or the
-/// grids disagree on extent.
-pub fn run_stencil(
-    stencil: &Stencil,
-    inputs: &[&Grid],
-    options: &RunOptions,
-) -> Result<StencilRun, CodegenError> {
-    let n_inputs = stencil.input_arrays().count();
-    assert_eq!(inputs.len(), n_inputs, "one grid per input array");
-    let extent = inputs.first().map_or_else(
-        || panic!("stencil needs at least one input"),
-        |g| g.extent(),
-    );
-    for g in inputs {
-        assert_eq!(g.extent(), extent, "grids must share an extent");
-    }
-    let kernel = compile(stencil, extent, options)?;
-    execute(stencil, inputs, kernel, options)
-}
-
-/// Executes an already-compiled kernel on a fresh cluster.
-///
-/// # Errors
-///
-/// Propagates simulation errors.
-pub fn execute(
-    stencil: &Stencil,
-    inputs: &[&Grid],
-    kernel: CompiledKernel,
-    options: &RunOptions,
-) -> Result<StencilRun, CodegenError> {
-    let mut cluster = Cluster::new(options.cluster.clone());
-    let kernel = Arc::new(kernel);
-    let (output, report) = execute_on(stencil, inputs, &kernel, options, &mut cluster)?;
-    Ok(StencilRun {
-        output,
-        report,
-        kernel,
-    })
-}
-
 /// Executes an already-compiled kernel on a caller-provided cluster (the
 /// reuse path of the session layer's cluster pool). The cluster must be
 /// in its power-on state — freshly constructed or [`Cluster::reset`] —
@@ -409,7 +343,7 @@ pub fn execute(
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn execute_on(
+pub(crate) fn execute_on(
     stencil: &Stencil,
     inputs: &[&Grid],
     kernel: &CompiledKernel,
@@ -501,24 +435,13 @@ fn enqueue_tile_dma(
 }
 
 /// Measures the DMA engine's achievable bandwidth utilization for
-/// tile-shaped transfers (the paper's "mean DMA bandwidth utilization
-/// measured in our single-cluster experiments").
+/// tile-shaped transfers on a caller-provided (reset) cluster — the
+/// machinery behind [`Workload::dma_probe`](crate::Workload::dma_probe).
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn measure_dma_utilization(extent: Extent, cfg: &ClusterConfig) -> Result<f64, CodegenError> {
-    let mut cluster = Cluster::new(cfg.clone());
-    measure_dma_utilization_on(extent, &mut cluster)
-}
-
-/// [`measure_dma_utilization`] on a caller-provided (reset) cluster — the
-/// session layer's pooled path.
-///
-/// # Errors
-///
-/// Propagates simulation errors.
-pub fn measure_dma_utilization_on(
+pub(crate) fn measure_dma_utilization_on(
     extent: Extent,
     cluster: &mut Cluster,
 ) -> Result<f64, CodegenError> {
@@ -549,9 +472,40 @@ pub fn measure_dma_utilization_on(
     Ok(report.dma.utilization(beat_bytes))
 }
 
+/// How grids rotate between time iterations of a stencil sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferRotation {
+    /// `out` becomes the (single) input of the next step (Jacobi-style
+    /// alternating buffers).
+    Alternating,
+    /// Leapfrog: `(u, um) <- (out, u)` — the `ac_iso_cd` wave equation.
+    Leapfrog,
+}
+
+impl BufferRotation {
+    /// The natural rotation for a stencil: alternating for one input
+    /// array, leapfrog for two. Multi-step workloads pick this up
+    /// automatically when no explicit
+    /// [`rotation`](crate::Workload::rotation) is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics for stencils with more than two input arrays (no default
+    /// rotation exists; set one explicitly on the workload).
+    pub fn natural(stencil: &Stencil) -> BufferRotation {
+        match stencil.input_arrays().count() {
+            1 => BufferRotation::Alternating,
+            2 => BufferRotation::Leapfrog,
+            n => panic!("no natural rotation for {n} input arrays"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
+    use crate::workload::{Outcome, Workload};
     use saris_core::gallery;
     use saris_core::Space;
 
@@ -562,57 +516,38 @@ mod tests {
         }
     }
 
-    fn inputs_for(s: &Stencil, extent: Extent) -> Vec<Grid> {
-        s.input_arrays()
-            .enumerate()
-            .map(|(i, _)| Grid::pseudo_random(extent, 42 + i as u64))
-            .collect()
+    /// One verified run through a throwaway session (tolerance `tol`).
+    fn run_verified(s: &Stencil, opts: RunOptions, tol: f64) -> Outcome {
+        let spec = Workload::new(s.clone())
+            .extent(tile_of(s))
+            .input_seed(42)
+            .options(opts)
+            .verify(tol)
+            .freeze()
+            .unwrap();
+        Session::new()
+            .submit(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()))
     }
 
     #[test]
-    fn base_jacobi_matches_reference_exactly_without_reassociation() {
+    fn both_variants_match_reference_exactly_without_reassociation() {
         let s = gallery::jacobi_2d();
-        let extent = tile_of(&s);
-        let inputs = inputs_for(&s, extent);
-        let refs: Vec<&Grid> = inputs.iter().collect();
-        let run = run_stencil(
-            &s,
-            &refs,
-            &RunOptions::new(Variant::Base).with_reassociate(0),
-        )
-        .unwrap();
-        assert_eq!(run.max_error_vs_reference(&s, &refs), 0.0);
-        assert!(run.report.cycles > 0);
-    }
-
-    #[test]
-    fn saris_jacobi_matches_reference_exactly_without_reassociation() {
-        let s = gallery::jacobi_2d();
-        let extent = tile_of(&s);
-        let inputs = inputs_for(&s, extent);
-        let refs: Vec<&Grid> = inputs.iter().collect();
-        let run = run_stencil(
-            &s,
-            &refs,
-            &RunOptions::new(Variant::Saris).with_reassociate(0),
-        )
-        .unwrap();
-        assert_eq!(
-            run.max_error_vs_reference(&s, &refs),
-            0.0,
-            "kernel output diverges from the golden reference"
-        );
+        for variant in [Variant::Base, Variant::Saris] {
+            let run = run_verified(&s, RunOptions::new(variant).with_reassociate(0), 0.0);
+            assert_eq!(run.verify_error, Some(0.0));
+            if variant == Variant::Saris {
+                assert!(run.expect_report().cycles > 0);
+            }
+        }
     }
 
     #[test]
     fn reassociated_kernels_match_within_fp_tolerance() {
         let s = gallery::jacobi_2d();
-        let extent = tile_of(&s);
-        let inputs = inputs_for(&s, extent);
-        let refs: Vec<&Grid> = inputs.iter().collect();
         for variant in [Variant::Base, Variant::Saris] {
-            let run = run_stencil(&s, &refs, &RunOptions::new(variant)).unwrap();
-            let err = run.max_error_vs_reference(&s, &refs);
+            let run = run_verified(&s, RunOptions::new(variant), 1e-12);
+            let err = run.verify_error.unwrap();
             assert!(err < 1e-12, "{variant}: err {err:e}");
         }
     }
@@ -620,20 +555,25 @@ mod tests {
     #[test]
     fn saris_is_faster_than_base_on_jacobi() {
         let s = gallery::jacobi_2d();
-        let extent = Extent::new_2d(64, 64);
-        let inputs = inputs_for(&s, extent);
-        let refs: Vec<&Grid> = inputs.iter().collect();
-        let base = run_stencil(&s, &refs, &RunOptions::new(Variant::Base).with_unroll(4)).unwrap();
-        let saris =
-            run_stencil(&s, &refs, &RunOptions::new(Variant::Saris).with_unroll(4)).unwrap();
-        assert!(base.max_error_vs_reference(&s, &refs) < 1e-12);
-        assert!(saris.max_error_vs_reference(&s, &refs) < 1e-12);
-        let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
+        let session = Session::new();
+        let run_64 = |variant| {
+            let spec = Workload::new(s.clone())
+                .extent(Extent::new_2d(64, 64))
+                .input_seed(42)
+                .options(RunOptions::new(variant).with_unroll(4))
+                .verify(1e-12)
+                .freeze()
+                .unwrap();
+            session.submit(&spec).unwrap()
+        };
+        let base = run_64(Variant::Base);
+        let saris = run_64(Variant::Saris);
+        let speedup = base.expect_report().cycles as f64 / saris.expect_report().cycles as f64;
         assert!(
             speedup > 1.5,
             "expected a clear SARIS speedup, got {speedup:.2} ({} vs {})",
-            base.report.cycles,
-            saris.report.cycles
+            base.expect_report().cycles,
+            saris.expect_report().cycles
         );
     }
 
@@ -645,142 +585,61 @@ mod tests {
     fn auto_cycle_budget_has_ample_slack() {
         for (s, unroll) in [(gallery::jacobi_2d(), 4), (gallery::j3d27pt(), 1)] {
             let extent = tile_of(&s);
-            let inputs = inputs_for(&s, extent);
-            let refs: Vec<&Grid> = inputs.iter().collect();
             for variant in [Variant::Base, Variant::Saris] {
                 let opts = RunOptions::new(variant).with_unroll(unroll);
-                let run = run_stencil(&s, &refs, &opts).unwrap();
-                let budget = auto_cycle_budget(&s, extent, opts.cluster.n_cores);
+                let n_cores = opts.cluster.n_cores;
+                let run = run_verified(&s, opts, 1e-12);
+                let budget = auto_cycle_budget(&s, extent, n_cores);
                 assert!(
-                    run.report.cycles * 10 < budget,
+                    run.expect_report().cycles * 10 < budget,
                     "{} {variant}: {} cycles vs budget {budget}",
                     s.name(),
-                    run.report.cycles
+                    run.expect_report().cycles
                 );
             }
         }
     }
 
     #[test]
-    fn dma_utilization_is_high() {
-        let util =
-            measure_dma_utilization(Extent::new_2d(64, 64), &ClusterConfig::snitch()).unwrap();
-        assert!(util > 0.5 && util <= 1.0, "dma util {util}");
-    }
-}
-
-/// How grids rotate between time iterations of a stencil sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BufferRotation {
-    /// `out` becomes the (single) input of the next step (Jacobi-style
-    /// alternating buffers).
-    Alternating,
-    /// Leapfrog: `(u, um) <- (out, u)` — the `ac_iso_cd` wave equation.
-    Leapfrog,
-}
-
-impl BufferRotation {
-    /// The natural rotation for a stencil: alternating for one input
-    /// array, leapfrog for two.
-    ///
-    /// # Panics
-    ///
-    /// Panics for stencils with more than two input arrays (no default
-    /// rotation exists; drive [`execute`] manually).
-    pub fn natural(stencil: &Stencil) -> BufferRotation {
-        match stencil.input_arrays().count() {
-            1 => BufferRotation::Alternating,
-            2 => BufferRotation::Leapfrog,
-            n => panic!("no natural rotation for {n} input arrays"),
-        }
-    }
-}
-
-/// The outcome of a multi-step sweep.
-#[derive(Debug, Clone)]
-pub struct TimeSteppedRun {
-    /// Grid states after the final step, in input-array order (the
-    /// youngest field first).
-    pub grids: Vec<Grid>,
-    /// Per-step simulator reports.
-    pub reports: Vec<RunReport>,
-}
-
-impl TimeSteppedRun {
-    /// Total cycles across all steps.
-    pub fn total_cycles(&self) -> u64 {
-        self.reports.iter().map(|r| r.cycles).sum()
-    }
-}
-
-/// Runs `steps` time iterations of `stencil`, compiling once and rotating
-/// buffers between steps per `rotation`. Delegates to a throwaway
-/// [`crate::Session`], so the kernel compiles once and every step reuses
-/// one pooled cluster; keep your own session when stepping many sweeps.
-///
-/// # Errors
-///
-/// Propagates compilation and simulation errors.
-///
-/// # Panics
-///
-/// Panics if `inputs` does not match the stencil's input arrays.
-pub fn run_time_steps(
-    stencil: &Stencil,
-    inputs: &[&Grid],
-    steps: usize,
-    rotation: BufferRotation,
-    options: &RunOptions,
-) -> Result<TimeSteppedRun, CodegenError> {
-    crate::session::Session::new().run_time_steps(stencil, inputs, steps, rotation, options)
-}
-
-#[cfg(test)]
-mod timestep_tests {
-    use super::*;
-    use saris_core::gallery;
-
-    #[test]
     fn alternating_steps_match_reference() {
         let s = gallery::jacobi_2d();
-        let tile = Extent::new_2d(20, 20);
-        let input = Grid::pseudo_random(tile, 8);
-        let opts = RunOptions::new(Variant::Saris)
-            .with_unroll(2)
-            .with_reassociate(0);
-        let run = run_time_steps(&s, &[&input], 3, BufferRotation::Alternating, &opts).unwrap();
+        let spec = Workload::new(s)
+            .extent(Extent::new_2d(20, 20))
+            .input_seed(8)
+            .options(
+                RunOptions::new(Variant::Saris)
+                    .with_unroll(2)
+                    .with_reassociate(0),
+            )
+            .time_steps(3)
+            .verify(0.0)
+            .freeze()
+            .unwrap();
+        let run = Session::new().submit(&spec).unwrap();
         assert_eq!(run.reports.len(), 3);
-        // March the reference in lockstep.
-        let mut cur = input;
-        for _ in 0..3 {
-            let mut refs = vec![&cur];
-            cur = reference::apply_to_new(&s, &mut refs, tile);
-        }
-        assert_eq!(run.grids[0].max_abs_diff(&cur), 0.0);
+        assert_eq!(run.verify_error, Some(0.0), "lockstep with the reference");
         assert!(run.total_cycles() > 0);
     }
 
     #[test]
     fn leapfrog_steps_match_reference() {
         let s = gallery::ac_iso_cd();
-        let tile = Extent::cube(saris_core::Space::Dim3, 12);
-        let u0 = Grid::pseudo_random(tile, 1);
-        let um0 = Grid::pseudo_random(tile, 2);
-        let opts = RunOptions::new(Variant::Saris)
-            .with_unroll(1)
-            .with_reassociate(0);
-        let rotation = BufferRotation::natural(&s);
-        assert_eq!(rotation, BufferRotation::Leapfrog);
-        let run = run_time_steps(&s, &[&u0, &um0], 2, rotation, &opts).unwrap();
-        // Reference leapfrog.
-        let (mut u, mut um) = (u0, um0);
-        for _ in 0..2 {
-            let mut refs = vec![&u, &um];
-            let out = reference::apply_to_new(&s, &mut refs, tile);
-            um = std::mem::replace(&mut u, out);
-        }
-        assert_eq!(run.grids[0].max_abs_diff(&u), 0.0);
-        assert_eq!(run.grids[1].max_abs_diff(&um), 0.0);
+        assert_eq!(BufferRotation::natural(&s), BufferRotation::Leapfrog);
+        let spec = Workload::new(s)
+            .extent(Extent::cube(saris_core::Space::Dim3, 12))
+            .input_seed(1)
+            .options(
+                RunOptions::new(Variant::Saris)
+                    .with_unroll(1)
+                    .with_reassociate(0),
+            )
+            .time_steps(2)
+            .verify(0.0)
+            .freeze()
+            .unwrap();
+        let run = Session::new().submit(&spec).unwrap();
+        assert_eq!(run.grids.len(), 2, "both wavefields survive the sweep");
+        assert_eq!(run.verify_error, Some(0.0));
     }
 
     #[test]

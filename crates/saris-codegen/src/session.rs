@@ -1,17 +1,22 @@
-//! The execution engine: a reusable [`Session`] that caches compiled
-//! kernels, pools reset [`Cluster`] instances, and dispatches runs to a
-//! pluggable [`Backend`].
+//! The execution engine: a reusable [`Session`] that answers
+//! [`WorkloadSpec`]s — caching compiled kernels, pooling reset
+//! [`Cluster`] instances, and dispatching runs to a pluggable
+//! [`Backend`].
 //!
-//! Everything that repeatedly compiles-and-runs kernels — the paper
-//! harness in `saris-bench`, the unroll tuner, multi-step sweeps, the
-//! examples — goes through a session, so:
+//! Everything that compiles-and-runs kernels — the paper harness in
+//! `saris-bench`, the examples, the tests — goes through one pair of
+//! calls: [`Session::submit`] for one workload,
+//! [`Session::submit_all`] to fan a spec list across worker threads.
+//! A single surface subsumes one-shot runs, unroll tuning, multi-step
+//! sweeps, batches, and DMA-utilization probes, so:
 //!
-//! * a `(stencil fingerprint, extent, options)` kernel compiles exactly
-//!   once per session, however many variants/tiles a sweep touches;
+//! * a `(stencil fingerprint, extent, compile options)` kernel compiles
+//!   exactly once per session (bounded by
+//!   [`SessionConfig::max_cached_kernels`], LRU-evicted beyond that),
+//!   however many specs a sweep touches;
 //! * clusters are recycled via [`Cluster::reset`] instead of being
-//!   reconstructed (arena, register and metric state reset in place);
-//! * batches fan out across worker threads, one pooled cluster per
-//!   worker ([`Session::run_batch`]);
+//!   reconstructed, with the idle pool bounded by
+//!   [`SessionConfig::max_pooled_clusters`];
 //! * the execution substrate is swappable: the cycle-approximate
 //!   [`SimBackend`] for measurements, the [`NativeBackend`] (golden
 //!   reference executor) for correctness-only and large-scale scenarios.
@@ -19,24 +24,27 @@
 //! # Examples
 //!
 //! ```
-//! use saris_codegen::{RunOptions, Session, Variant};
-//! use saris_core::{gallery, Extent, Grid};
+//! use saris_codegen::{Session, Variant, Workload};
+//! use saris_core::{gallery, Extent};
 //!
 //! # fn main() -> Result<(), saris_codegen::CodegenError> {
 //! let session = Session::new();
-//! let stencil = gallery::jacobi_2d();
-//! let input = Grid::pseudo_random(Extent::new_2d(16, 16), 1);
-//! let opts = RunOptions::new(Variant::Saris);
-//! let first = session.run(&stencil, &[&input], &opts)?;
-//! let second = session.run(&stencil, &[&input], &opts)?;
-//! assert!(!first.cache_hit && second.cache_hit);
+//! let spec = Workload::new(gallery::jacobi_2d())
+//!     .extent(Extent::new_2d(16, 16))
+//!     .input_seed(1)
+//!     .variant(Variant::Saris)
+//!     .freeze()?;
+//! let first = session.submit(&spec)?;
+//! let again = session.submit(&spec)?;
+//! assert_eq!(first.telemetry.compiles, 1);
+//! assert_eq!(again.telemetry.cache_hits, 1);
 //! assert_eq!(session.stats().compiles, 1);
 //! # Ok(())
 //! # }
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use saris_core::grid::Grid;
@@ -47,14 +55,17 @@ use snitch_sim::{Cluster, ClusterConfig, RunReport};
 use crate::error::CodegenError;
 use crate::runtime::{
     compile, execute_on, measure_dma_utilization_on, BufferRotation, CompiledKernel, RunOptions,
-    StencilRun, TimeSteppedRun,
 };
-use crate::tuner::TunedRun;
+use crate::tuner::{is_infeasible_width, TuningDecision};
+use crate::workload::{Outcome, StencilWork, WorkloadKind, WorkloadSpec, WorkloadTelemetry};
 
 /// The key a compiled kernel is cached under: stencil structure, tile
-/// extent, and the compile-relevant option fields.
+/// extent, and the compile-relevant option fields. This is the
+/// compile-relevant *subset* of a workload's
+/// [`fingerprint`](WorkloadSpec::fingerprint), so distinct specs (e.g. a
+/// `max_cycles` sweep) still share cached kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct KernelKey {
+pub(crate) struct KernelKey {
     stencil: u64,
     extent: Extent,
     options: u64,
@@ -62,7 +73,7 @@ pub struct KernelKey {
 
 impl KernelKey {
     /// Derives the cache key for one compilation request.
-    pub fn new(stencil: &Stencil, extent: Extent, options: &RunOptions) -> KernelKey {
+    pub(crate) fn new(stencil: &Stencil, extent: Extent, options: &RunOptions) -> KernelKey {
         KernelKey {
             stencil: stencil.fingerprint(),
             extent,
@@ -71,19 +82,61 @@ impl KernelKey {
     }
 }
 
+/// Bounds on what a [`Session`] keeps alive. Both caches evict
+/// least-recently-used entries beyond their cap and count evictions in
+/// [`SessionStats::evictions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum compiled kernels kept in the cache (`0` disables caching).
+    pub max_cached_kernels: usize,
+    /// Maximum idle clusters kept in the pool (`0` disables pooling).
+    pub max_pooled_clusters: usize,
+}
+
+impl Default for SessionConfig {
+    /// Generous defaults: large sweeps stay fully cached (the ten-code
+    /// gallery at three unrolls and two variants is 60 kernels), while a
+    /// long-lived serving session no longer grows without bound.
+    fn default() -> SessionConfig {
+        SessionConfig {
+            max_cached_kernels: 1024,
+            max_pooled_clusters: 64,
+        }
+    }
+}
+
 /// A pool of reusable simulated clusters. Released clusters are kept
 /// alive and handed back — after a [`Cluster::reset`] — to the next
 /// acquirer with a matching configuration, avoiding the TCDM/main-memory
-/// reconstruction cost of `Cluster::new` on every run.
-#[derive(Debug, Default)]
+/// reconstruction cost of `Cluster::new` on every run. The pool holds at
+/// most `cap` idle clusters; releases beyond that drop the cluster and
+/// count an eviction.
+#[derive(Debug)]
 pub struct ClusterPool {
     free: Mutex<Vec<Cluster>>,
+    cap: usize,
+    evicted: AtomicU64,
+}
+
+impl Default for ClusterPool {
+    fn default() -> ClusterPool {
+        ClusterPool::bounded(usize::MAX)
+    }
 }
 
 impl ClusterPool {
-    /// Creates an empty pool.
+    /// Creates an unbounded pool.
     pub fn new() -> ClusterPool {
         ClusterPool::default()
+    }
+
+    /// Creates a pool holding at most `cap` idle clusters.
+    pub fn bounded(cap: usize) -> ClusterPool {
+        ClusterPool {
+            free: Mutex::new(Vec::new()),
+            cap,
+            evicted: AtomicU64::new(0),
+        }
     }
 
     /// Acquires a power-on-state cluster for `cfg`. Returns the cluster
@@ -104,14 +157,28 @@ impl ClusterPool {
         }
     }
 
-    /// Returns a cluster to the pool for later reuse.
+    /// Returns a cluster to the pool for later reuse. When the pool is
+    /// at capacity the *oldest* idle cluster is dropped instead.
     pub fn release(&self, cluster: Cluster) {
-        self.free.lock().expect("cluster pool lock").push(cluster);
+        let mut free = self.free.lock().expect("cluster pool lock");
+        if free.len() >= self.cap {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            if self.cap == 0 {
+                return;
+            }
+            free.remove(0);
+        }
+        free.push(cluster);
     }
 
     /// Number of idle clusters currently pooled.
     pub fn idle(&self) -> usize {
         self.free.lock().expect("cluster pool lock").len()
+    }
+
+    /// Clusters dropped because the pool was at capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 }
 
@@ -217,7 +284,7 @@ impl Backend for NativeBackend {
 /// Counters describing what a session reused versus rebuilt.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Jobs executed (single runs, batch members, time steps).
+    /// Kernel executions (tuning candidates, batch members, time steps).
     pub runs: u64,
     /// Kernels compiled (cache misses).
     pub compiles: u64,
@@ -225,82 +292,9 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Runs that recycled a pooled cluster.
     pub clusters_reused: u64,
-}
-
-/// One unit of batch work: a stencil applied to owned input grids under
-/// the given options.
-#[derive(Debug, Clone)]
-pub struct Job {
-    /// The stencil.
-    pub stencil: Stencil,
-    /// One grid per declared input array.
-    pub inputs: Vec<Grid>,
-    /// Execution options.
-    pub options: RunOptions,
-}
-
-impl Job {
-    /// Bundles a job.
-    pub fn new(stencil: Stencil, inputs: Vec<Grid>, options: RunOptions) -> Job {
-        Job {
-            stencil,
-            inputs,
-            options,
-        }
-    }
-}
-
-/// The outcome of one session run.
-#[derive(Debug, Clone)]
-pub struct SessionRun {
-    /// The computed output tile (halo zeroed).
-    pub output: Grid,
-    /// The simulator measurement (`None` for report-free backends).
-    pub report: Option<RunReport>,
-    /// The kernel that ran (`None` for codegen-free backends).
-    pub kernel: Option<Arc<CompiledKernel>>,
-    /// Which backend executed the run.
-    pub backend: &'static str,
-    /// Whether the kernel came from the session's cache.
-    pub cache_hit: bool,
-}
-
-impl SessionRun {
-    /// The simulator report.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the backend produced none (e.g. [`NativeBackend`]).
-    pub fn expect_report(&self) -> &RunReport {
-        self.report
-            .as_ref()
-            .unwrap_or_else(|| panic!("the `{}` backend produces no report", self.backend))
-    }
-
-    /// Largest absolute difference against the golden reference executor.
-    pub fn max_error_vs_reference(&self, stencil: &Stencil, inputs: &[&Grid]) -> f64 {
-        let mut refs: Vec<&Grid> = inputs.to_vec();
-        let expect = reference::apply_to_new(stencil, &mut refs, self.output.extent());
-        self.output.max_abs_diff(&expect)
-    }
-
-    /// Converts into the classic [`StencilRun`] shape.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CodegenError::NoReport`] when the backend produced no
-    /// report or kernel.
-    pub fn into_stencil_run(self) -> Result<StencilRun, CodegenError> {
-        let backend = self.backend;
-        match (self.report, self.kernel) {
-            (Some(report), Some(kernel)) => Ok(StencilRun {
-                output: self.output,
-                report,
-                kernel,
-            }),
-            _ => Err(CodegenError::NoReport { backend }),
-        }
-    }
+    /// Cache/pool entries dropped by the [`SessionConfig`] bounds
+    /// (LRU-evicted kernels plus clusters released into a full pool).
+    pub evictions: u64,
 }
 
 /// One kernel-cache entry: a per-key slot so concurrent compilations of
@@ -308,14 +302,33 @@ impl SessionRun {
 /// the *same* key serialize on the slot and the loser gets a cache hit.
 type KernelSlot = Arc<Mutex<Option<Arc<CompiledKernel>>>>;
 
+struct CacheEntry {
+    slot: KernelSlot,
+    last_used: u64,
+}
+
+/// The LRU-bounded kernel cache (recency tracked with a logical tick).
+struct KernelCache {
+    entries: HashMap<KernelKey, CacheEntry>,
+    tick: u64,
+}
+
+/// What one internal kernel execution produced.
+struct RunOut {
+    output: Grid,
+    report: Option<RunReport>,
+    kernel: Option<Arc<CompiledKernel>>,
+}
+
 /// A reusable execution engine: kernel cache + cluster pool + backend.
 ///
 /// Sessions are `Sync`; a single session can serve many worker threads
-/// concurrently (that is exactly what [`Session::run_batch`] does).
+/// concurrently (that is exactly what [`Session::submit_all`] does).
 pub struct Session {
     backend: Arc<dyn Backend>,
+    config: SessionConfig,
     pool: ClusterPool,
-    cache: Mutex<HashMap<KernelKey, KernelSlot>>,
+    cache: Mutex<KernelCache>,
     stats: Mutex<SessionStats>,
 }
 
@@ -336,12 +349,26 @@ impl Session {
         Session::with_backend(Arc::new(NativeBackend))
     }
 
-    /// A session on a custom backend.
+    /// A simulator session with explicit cache/pool bounds.
+    pub fn with_config(config: SessionConfig) -> Session {
+        Session::with_backend_and_config(Arc::new(SimBackend), config)
+    }
+
+    /// A session on a custom backend with default bounds.
     pub fn with_backend(backend: Arc<dyn Backend>) -> Session {
+        Session::with_backend_and_config(backend, SessionConfig::default())
+    }
+
+    /// A session on a custom backend with explicit cache/pool bounds.
+    pub fn with_backend_and_config(backend: Arc<dyn Backend>, config: SessionConfig) -> Session {
         Session {
             backend,
-            pool: ClusterPool::new(),
-            cache: Mutex::new(HashMap::new()),
+            config,
+            pool: ClusterPool::bounded(config.max_pooled_clusters),
+            cache: Mutex::new(KernelCache {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
             stats: Mutex::new(SessionStats::default()),
         }
     }
@@ -351,9 +378,16 @@ impl Session {
         self.backend.name()
     }
 
+    /// The configured cache/pool bounds.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
     /// A snapshot of the reuse counters.
     pub fn stats(&self) -> SessionStats {
-        *self.stats.lock().expect("session stats lock")
+        let mut stats = *self.stats.lock().expect("session stats lock");
+        stats.evictions += self.pool.evictions();
+        stats
     }
 
     /// Number of kernels currently cached (successful compiles only).
@@ -361,8 +395,9 @@ impl Session {
         self.cache
             .lock()
             .expect("kernel cache lock")
+            .entries
             .values()
-            .filter(|slot| slot.lock().expect("kernel slot lock").is_some())
+            .filter(|entry| entry.slot.lock().expect("kernel slot lock").is_some())
             .count()
     }
 
@@ -373,7 +408,8 @@ impl Session {
 
     /// Compiles `stencil` for `extent` through the kernel cache: each
     /// `(stencil fingerprint, extent, compile options)` key compiles at
-    /// most once per session, concurrent callers included.
+    /// most once while cached, concurrent callers included. Returns the
+    /// kernel and whether it was a cache hit.
     ///
     /// # Errors
     ///
@@ -387,60 +423,86 @@ impl Session {
     ) -> Result<(Arc<CompiledKernel>, bool), CodegenError> {
         let key = KernelKey::new(stencil, extent, options);
         // Two-level locking: the map lock is held only to find or create
-        // the key's slot, so compilations of different kernels run in
-        // parallel. Racing threads on the same key serialize on the slot
-        // lock — the winner compiles, the losers wake up to a hit.
-        let slot = Arc::clone(
-            self.cache
-                .lock()
-                .expect("kernel cache lock")
-                .entry(key)
-                .or_default(),
-        );
-        let mut slot = slot.lock().expect("kernel slot lock");
+        // the key's slot (and enforce the LRU bound), so compilations of
+        // different kernels run in parallel. Racing threads on the same
+        // key serialize on the slot lock — the winner compiles, the
+        // losers wake up to a hit.
+        let slot_arc = {
+            let mut cache = self.cache.lock().expect("kernel cache lock");
+            cache.tick += 1;
+            let tick = cache.tick;
+            let entry = cache.entries.entry(key).or_insert_with(|| CacheEntry {
+                slot: Arc::default(),
+                last_used: tick,
+            });
+            entry.last_used = tick;
+            let slot = Arc::clone(&entry.slot);
+            while cache.entries.len() > self.config.max_cached_kernels {
+                let lru = cache
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("cache is non-empty");
+                cache.entries.remove(&lru);
+                self.stats.lock().expect("session stats lock").evictions += 1;
+            }
+            slot
+        };
+        let mut slot = slot_arc.lock().expect("kernel slot lock");
         if let Some(kernel) = &*slot {
             let mut stats = self.stats.lock().expect("session stats lock");
             stats.cache_hits += 1;
             return Ok((Arc::clone(kernel), true));
         }
-        let kernel = Arc::new(compile(stencil, extent, options)?);
+        let kernel = match compile(stencil, extent, options) {
+            Ok(kernel) => Arc::new(kernel),
+            Err(e) => {
+                // Drop the failed key's entry so it neither occupies LRU
+                // capacity nor evicts real kernels; a retry re-creates
+                // it. Skip the cleanup if a racing retry already holds
+                // the slot (it will do its own bookkeeping).
+                drop(slot);
+                let mut cache = self.cache.lock().expect("kernel cache lock");
+                let still_empty = cache.entries.get(&key).is_some_and(|entry| {
+                    Arc::ptr_eq(&entry.slot, &slot_arc)
+                        && entry.slot.try_lock().is_ok_and(|s| s.is_none())
+                });
+                if still_empty {
+                    cache.entries.remove(&key);
+                }
+                return Err(e);
+            }
+        };
         *slot = Some(Arc::clone(&kernel));
         let mut stats = self.stats.lock().expect("session stats lock");
         stats.compiles += 1;
         Ok((kernel, false))
     }
 
-    /// Compiles (through the cache) and executes one run on the session's
-    /// backend.
-    ///
-    /// # Errors
-    ///
-    /// Propagates compilation and execution errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not match the stencil's input arrays or
-    /// the grids disagree on extent.
-    pub fn run(
+    /// One kernel execution: compile (through the cache, when the backend
+    /// wants kernels), dispatch to the backend, account telemetry.
+    fn run_one(
         &self,
         stencil: &Stencil,
         inputs: &[&Grid],
         options: &RunOptions,
-    ) -> Result<SessionRun, CodegenError> {
-        let n_inputs = stencil.input_arrays().count();
-        assert_eq!(inputs.len(), n_inputs, "one grid per input array");
+        tel: &mut WorkloadTelemetry,
+    ) -> Result<RunOut, CodegenError> {
         let extent = inputs.first().map_or_else(
             || panic!("stencil needs at least one input"),
             |g| g.extent(),
         );
-        for g in inputs {
-            assert_eq!(g.extent(), extent, "grids must share an extent");
-        }
-        let (kernel, cache_hit) = if self.backend.needs_kernel() {
+        let kernel = if self.backend.needs_kernel() {
             let (kernel, hit) = self.compile_cached(stencil, extent, options)?;
-            (Some(kernel), hit)
+            if hit {
+                tel.cache_hits += 1;
+            } else {
+                tel.compiles += 1;
+            }
+            Some(kernel)
         } else {
-            (None, false)
+            None
         };
         let outcome = self.backend.execute(&ExecRequest {
             stencil,
@@ -449,60 +511,56 @@ impl Session {
             kernel: kernel.as_ref(),
             pool: &self.pool,
         })?;
+        tel.runs += 1;
+        tel.clusters_reused += u64::from(outcome.cluster_reused);
         {
             let mut stats = self.stats.lock().expect("session stats lock");
             stats.runs += 1;
             stats.clusters_reused += u64::from(outcome.cluster_reused);
         }
-        Ok(SessionRun {
+        Ok(RunOut {
             output: outcome.output,
             report: outcome.report,
             kernel,
-            backend: self.backend.name(),
-            cache_hit,
         })
     }
 
-    /// Like [`Session::run`], shaped as the classic [`StencilRun`].
+    /// Answers one [`WorkloadSpec`] — the single entry point subsuming
+    /// one-shot runs, unroll tuning, multi-step sweeps, and
+    /// DMA-utilization probes.
     ///
     /// # Errors
     ///
-    /// Propagates run errors; returns [`CodegenError::NoReport`] on
-    /// backends without simulator reports.
-    ///
-    /// # Panics
-    ///
-    /// Panics on input/arity mismatches, as [`Session::run`].
-    pub fn run_stencil(
-        &self,
-        stencil: &Stencil,
-        inputs: &[&Grid],
-        options: &RunOptions,
-    ) -> Result<StencilRun, CodegenError> {
-        self.run(stencil, inputs, options)?.into_stencil_run()
+    /// Propagates compilation and execution errors,
+    /// [`CodegenError::NoCandidates`] when tuning finds no feasible
+    /// unroll, and [`CodegenError::VerificationFailed`] when the spec
+    /// requested verification and the output diverges beyond tolerance.
+    pub fn submit(&self, spec: &WorkloadSpec) -> Result<Outcome, CodegenError> {
+        match spec.kind() {
+            WorkloadKind::DmaProbe { extent, cluster } => self.submit_probe(spec, *extent, cluster),
+            WorkloadKind::Stencil(work) => self.submit_stencil(spec, work),
+        }
     }
 
-    /// Runs a batch of jobs, fanning out across worker threads (one
-    /// pooled cluster per worker). Kernels flow through the per-key
-    /// cache slots, so identical jobs never compile twice even when
-    /// their workers race — the first run of a key compiles
-    /// (`cache_hit == false`), every other run hits. Results come back
-    /// in job order; each job fails or succeeds independently.
-    pub fn run_batch(&self, jobs: &[Job]) -> Vec<Result<SessionRun, CodegenError>> {
+    /// Answers a list of specs, fanning out across worker threads (one
+    /// pooled cluster per worker). Kernels flow through the per-key cache
+    /// slots, so identical compile requests never compile twice even when
+    /// their workers race. Outcomes come back in spec order; each spec
+    /// fails or succeeds independently.
+    pub fn submit_all(&self, specs: &[WorkloadSpec]) -> Vec<Result<Outcome, CodegenError>> {
         let workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
-            .min(jobs.len().max(1));
+            .min(specs.len().max(1));
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<SessionRun, CodegenError>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<Outcome, CodegenError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let refs: Vec<&Grid> = job.inputs.iter().collect();
-                    let run = self.run(&job.stencil, &refs, &job.options);
-                    *results[i].lock().expect("batch result lock") = Some(run);
+                    let Some(spec) = specs.get(i) else { break };
+                    let outcome = self.submit(spec);
+                    *results[i].lock().expect("batch result lock") = Some(outcome);
                 });
             }
         });
@@ -511,91 +569,212 @@ impl Session {
             .map(|slot| {
                 slot.into_inner()
                     .expect("batch result lock")
-                    .expect("every job index was visited")
+                    .expect("every spec index was visited")
             })
             .collect()
     }
 
-    /// The "unroll iff beneficial" tuner, through the session: every
-    /// candidate's kernel lands in the cache, so re-tuning or re-running
-    /// the winner is compile-free.
-    ///
-    /// # Errors
-    ///
-    /// As [`crate::tuner::tune_unroll`]: candidates failing on register
-    /// pressure or FREP capacity are skipped; no surviving candidate
-    /// yields [`CodegenError::NoCandidates`].
-    pub fn tune_unroll(
+    fn submit_probe(
         &self,
-        stencil: &Stencil,
-        inputs: &[&Grid],
-        options: &RunOptions,
-        candidates: &[usize],
-    ) -> Result<TunedRun, CodegenError> {
-        crate::tuner::tune_unroll_with(candidates, |unroll| {
-            self.run_stencil(stencil, inputs, &options.clone().with_unroll(unroll))
-        })
-    }
-
-    /// Runs `steps` time iterations, compiling once (through the cache)
-    /// and rotating buffers between steps per `rotation`. With the
-    /// simulator backend every step reuses one pooled cluster; with
-    /// report-free backends `reports` comes back empty.
-    ///
-    /// # Errors
-    ///
-    /// Propagates compilation and execution errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not match the stencil's input arrays.
-    pub fn run_time_steps(
-        &self,
-        stencil: &Stencil,
-        inputs: &[&Grid],
-        steps: usize,
-        rotation: BufferRotation,
-        options: &RunOptions,
-    ) -> Result<TimeSteppedRun, CodegenError> {
-        let n_inputs = stencil.input_arrays().count();
-        assert_eq!(inputs.len(), n_inputs, "one grid per input array");
-        let mut grids: Vec<Grid> = inputs.iter().map(|g| (*g).clone()).collect();
-        let mut reports = Vec::with_capacity(steps);
-        for _ in 0..steps {
-            let refs: Vec<&Grid> = grids.iter().collect();
-            let run = self.run(stencil, &refs, options)?;
-            if let Some(report) = run.report {
-                reports.push(report);
-            }
-            match rotation {
-                BufferRotation::Alternating => grids[0] = run.output,
-                BufferRotation::Leapfrog => {
-                    let u = std::mem::replace(&mut grids[0], run.output);
-                    grids[1] = u;
-                }
-            }
-        }
-        Ok(TimeSteppedRun { grids, reports })
-    }
-
-    /// Measures DMA bandwidth utilization for tile-shaped transfers on a
-    /// pooled cluster (see [`crate::measure_dma_utilization`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation errors.
-    pub fn measure_dma_utilization(
-        &self,
+        spec: &WorkloadSpec,
         extent: Extent,
         cfg: &ClusterConfig,
-    ) -> Result<f64, CodegenError> {
+    ) -> Result<Outcome, CodegenError> {
         let (mut cluster, reused) = self.pool.acquire(cfg);
         let result = measure_dma_utilization_on(extent, &mut cluster);
         self.pool.release(cluster);
-        let mut stats = self.stats.lock().expect("session stats lock");
-        stats.runs += 1;
-        stats.clusters_reused += u64::from(reused);
-        result
+        {
+            let mut stats = self.stats.lock().expect("session stats lock");
+            stats.runs += 1;
+            stats.clusters_reused += u64::from(reused);
+        }
+        let utilization = result?;
+        Ok(Outcome {
+            fingerprint: spec.fingerprint(),
+            // Probes always measure on the simulated cluster, whatever
+            // backend the session runs stencils on.
+            backend: SimBackend.name(),
+            grids: Vec::new(),
+            reports: Vec::new(),
+            kernel: None,
+            tuning: None,
+            verify_error: None,
+            dma_utilization: Some(utilization),
+            telemetry: WorkloadTelemetry {
+                runs: 1,
+                clusters_reused: u64::from(reused),
+                ..WorkloadTelemetry::default()
+            },
+        })
+    }
+
+    fn submit_stencil(
+        &self,
+        spec: &WorkloadSpec,
+        work: &StencilWork,
+    ) -> Result<Outcome, CodegenError> {
+        let stencil = &*work.stencil;
+        // Explicit grids are borrowed straight from the spec's `Arc` —
+        // only seeded inputs materialize fresh grids, and only the
+        // rotated (multi-step) path below copies them into working
+        // buffers.
+        let seeded_store;
+        let inputs: &[Grid] = match &work.inputs {
+            crate::workload::InputSpec::Grids(grids) => grids,
+            seeded => {
+                seeded_store = seeded.materialize(stencil, work.extent);
+                &seeded_store
+            }
+        };
+        let mut tel = WorkloadTelemetry::default();
+
+        // Tuning: measure every candidate on the initial inputs, skip
+        // widths the register file or FREP sequencer genuinely refuses,
+        // keep the fastest. Codegen-free backends have nothing to tune.
+        let mut first_run = None;
+        let (options, tuning) = if let (Some(candidates), true) =
+            (work.tune.candidates(), self.backend.needs_kernel())
+        {
+            let refs: Vec<&Grid> = inputs.iter().collect();
+            let mut best: Option<(usize, u64, RunOut)> = None;
+            let mut measured = Vec::new();
+            for &unroll in candidates {
+                let opts = work.options.clone().with_unroll(unroll);
+                match self.run_one(stencil, &refs, &opts, &mut tel) {
+                    Ok(run) => {
+                        let cycles = run.report.as_ref().map_or(u64::MAX, |r| r.cycles);
+                        measured.push((unroll, cycles));
+                        if best.as_ref().is_none_or(|(_, c, _)| cycles < *c) {
+                            best = Some((unroll, cycles, run));
+                        }
+                    }
+                    Err(e) if is_infeasible_width(&e) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            let (unroll, _, run) = best.ok_or(CodegenError::NoCandidates)?;
+            first_run = Some(run);
+            (
+                work.options.clone().with_unroll(unroll),
+                Some(TuningDecision { unroll, measured }),
+            )
+        } else {
+            (work.options.clone(), None)
+        };
+
+        // Time stepping: the winning configuration's first application is
+        // reused from tuning; later steps rotate buffers per the spec.
+        let mut reports = Vec::new();
+        let mut kernel = None;
+        let mut take_step =
+            |working: &[Grid], first_run: &mut Option<RunOut>| -> Result<Grid, CodegenError> {
+                let run = match first_run.take() {
+                    Some(run) => run,
+                    None => {
+                        let refs: Vec<&Grid> = working.iter().collect();
+                        self.run_one(stencil, &refs, &options, &mut tel)?
+                    }
+                };
+                if let Some(report) = run.report {
+                    reports.push(report);
+                }
+                if run.kernel.is_some() {
+                    kernel = run.kernel;
+                }
+                Ok(run.output)
+            };
+        let grids = if let Some(rotation) = work.rotation {
+            let mut working = inputs.to_vec();
+            for _ in 0..work.time_steps {
+                let output = take_step(&working, &mut first_run)?;
+                rotate(&mut working, output, rotation);
+            }
+            working
+        } else {
+            let output = take_step(inputs, &mut first_run)?;
+            vec![output]
+        };
+
+        // Verification: march the golden reference through the same
+        // steps and rotation, then compare every final grid.
+        let verify_error = match work.verify {
+            None => None,
+            Some(tolerance) => {
+                let reference_grids = if let Some(rotation) = work.rotation {
+                    let mut marched = inputs.to_vec();
+                    for _ in 0..work.time_steps {
+                        let mut refs: Vec<&Grid> = marched.iter().collect();
+                        let out = reference::apply_to_new(stencil, &mut refs, work.extent);
+                        rotate(&mut marched, out, rotation);
+                    }
+                    marched
+                } else {
+                    let mut refs: Vec<&Grid> = inputs.iter().collect();
+                    vec![reference::apply_to_new(stencil, &mut refs, work.extent)]
+                };
+                let error = grids
+                    .iter()
+                    .zip(&reference_grids)
+                    .map(|(a, b)| verify_diff(a, b))
+                    .fold(0.0, f64::max);
+                if error > tolerance {
+                    return Err(CodegenError::VerificationFailed {
+                        name: stencil.name().to_string(),
+                        error,
+                        tolerance,
+                    });
+                }
+                Some(error)
+            }
+        };
+
+        Ok(Outcome {
+            fingerprint: spec.fingerprint(),
+            backend: self.backend.name(),
+            grids,
+            reports,
+            kernel,
+            tuning,
+            verify_error,
+            dma_utilization: None,
+            telemetry: tel,
+        })
+    }
+}
+
+/// NaN-aware verification distance: bitwise-equal elements (including
+/// equal infinities and identical NaN payloads) count as zero, and any
+/// remaining NaN difference — a kernel producing NaN where the reference
+/// does not, or vice versa — counts as infinite, so broken kernels can
+/// never slip through a finite tolerance.
+fn verify_diff(a: &Grid, b: &Grid) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            if x.to_bits() == y.to_bits() {
+                0.0
+            } else {
+                let d = (x - y).abs();
+                if d.is_nan() {
+                    f64::INFINITY
+                } else {
+                    d
+                }
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Applies one buffer rotation: the new output becomes the youngest
+/// field.
+fn rotate(grids: &mut [Grid], output: Grid, rotation: BufferRotation) {
+    match rotation {
+        BufferRotation::Alternating => grids[0] = output,
+        BufferRotation::Leapfrog => {
+            let u = std::mem::replace(&mut grids[0], output);
+            grids[1] = u;
+        }
     }
 }
 
@@ -603,6 +782,7 @@ impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("backend", &self.backend.name())
+            .field("config", &self.config)
             .field("cached_kernels", &self.cached_kernels())
             .field("pooled_clusters", &self.pool.idle())
             .field("stats", &self.stats())
@@ -613,23 +793,28 @@ impl std::fmt::Debug for Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::{run_stencil, Variant};
+    use crate::runtime::Variant;
+    use crate::tuner::Tune;
+    use crate::workload::Workload;
     use saris_core::gallery;
 
-    fn jacobi_setup() -> (Stencil, Grid, RunOptions) {
-        let s = gallery::jacobi_2d();
-        let input = Grid::pseudo_random(Extent::new_2d(16, 16), 3);
-        (s, input, RunOptions::new(Variant::Saris))
+    fn jacobi_spec() -> WorkloadSpec {
+        Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .variant(Variant::Saris)
+            .freeze()
+            .unwrap()
     }
 
     #[test]
     fn cache_hits_on_identical_requests() {
-        let (s, input, opts) = jacobi_setup();
+        let spec = jacobi_spec();
         let session = Session::new();
-        let a = session.run(&s, &[&input], &opts).unwrap();
-        let b = session.run(&s, &[&input], &opts).unwrap();
-        assert!(!a.cache_hit);
-        assert!(b.cache_hit);
+        let a = session.submit(&spec).unwrap();
+        let b = session.submit(&spec).unwrap();
+        assert_eq!(a.telemetry.compiles, 1);
+        assert_eq!(b.telemetry.cache_hits, 1);
         assert_eq!(session.stats().compiles, 1);
         assert_eq!(session.stats().cache_hits, 1);
         assert_eq!(session.cached_kernels(), 1);
@@ -638,84 +823,128 @@ mod tests {
             a.kernel.as_ref().unwrap(),
             b.kernel.as_ref().unwrap()
         ));
-        assert_eq!(a.output, b.output);
-        assert_eq!(a.report, b.report);
+        assert_eq!(a.grids, b.grids);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.fingerprint, spec.fingerprint());
     }
 
     #[test]
     fn execution_only_knobs_share_kernels() {
-        let (s, input, opts) = jacobi_setup();
         let session = Session::new();
-        session.run(&s, &[&input], &opts).unwrap();
-        let mut budget = opts.clone();
-        budget.max_cycles = 10_000_000;
-        let run = session.run(&s, &[&input], &budget).unwrap();
-        assert!(run.cache_hit, "max_cycles must not force a recompile");
-        // Compile-relevant knobs do.
-        let run = session
-            .run(&s, &[&input], &opts.clone().with_unroll(2))
+        session.submit(&jacobi_spec()).unwrap();
+        let mut budget_opts = RunOptions::new(Variant::Saris);
+        budget_opts.max_cycles = 10_000_000;
+        let budget = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .options(budget_opts)
+            .freeze()
             .unwrap();
-        assert!(!run.cache_hit);
+        assert_ne!(budget.fingerprint(), jacobi_spec().fingerprint());
+        let run = session.submit(&budget).unwrap();
+        assert_eq!(
+            run.telemetry.cache_hits, 1,
+            "max_cycles must not force a recompile"
+        );
+        // Compile-relevant knobs do.
+        let unrolled = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .unroll(2)
+            .freeze()
+            .unwrap();
+        let run = session.submit(&unrolled).unwrap();
+        assert_eq!(run.telemetry.compiles, 1);
         assert_eq!(session.stats().compiles, 2);
     }
 
     #[test]
     fn pooled_clusters_are_recycled() {
-        let (s, input, opts) = jacobi_setup();
+        let spec = jacobi_spec();
         let session = Session::new();
-        session.run(&s, &[&input], &opts).unwrap();
+        session.submit(&spec).unwrap();
         assert_eq!(session.pooled_clusters(), 1);
-        session.run(&s, &[&input], &opts).unwrap();
+        session.submit(&spec).unwrap();
         assert_eq!(session.pooled_clusters(), 1, "cluster returns to the pool");
         assert_eq!(session.stats().clusters_reused, 1);
     }
 
     #[test]
-    fn session_matches_free_run_stencil() {
-        let (s, input, opts) = jacobi_setup();
-        let session = Session::new();
-        let ours = session.run_stencil(&s, &[&input], &opts).unwrap();
-        let theirs = run_stencil(&s, &[&input], &opts).unwrap();
-        assert_eq!(ours.output.max_abs_diff(&theirs.output), 0.0);
-        assert_eq!(ours.report, theirs.report);
-    }
-
-    #[test]
     fn native_backend_is_the_reference() {
-        let (s, input, opts) = jacobi_setup();
+        let spec = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .verify(0.0)
+            .freeze()
+            .unwrap();
         let session = Session::native();
-        let run = session.run(&s, &[&input], &opts).unwrap();
+        let run = session.submit(&spec).unwrap();
         assert_eq!(run.backend, "native");
-        assert!(run.report.is_none());
+        assert!(run.reports.is_empty() && run.report().is_none());
         assert!(run.kernel.is_none());
-        assert_eq!(run.max_error_vs_reference(&s, &[&input]), 0.0);
+        assert_eq!(run.verify_error, Some(0.0), "native output is exact");
         assert_eq!(session.stats().compiles, 0, "native runs never compile");
-        assert!(matches!(
-            session.run_stencil(&s, &[&input], &opts),
-            Err(CodegenError::NoReport { backend: "native" })
-        ));
     }
 
     #[test]
-    fn batch_results_keep_job_order() {
-        let (s, _, opts) = jacobi_setup();
-        let jobs: Vec<Job> = (0..4)
+    fn tuning_skips_infeasible_widths_and_keeps_the_fastest() {
+        // j3d27pt at base unroll 4 hits register pressure; the tuner
+        // must still return a winner from the feasible set.
+        let spec = Workload::new(gallery::j3d27pt())
+            .extent(Extent::cube(saris_core::Space::Dim3, 10))
+            .input_seed(2)
+            .variant(Variant::Base)
+            .tune(Tune::Auto)
+            .freeze()
+            .unwrap();
+        let outcome = Session::new().submit(&spec).unwrap();
+        let tuning = outcome.tuning.clone().expect("tuned");
+        assert!(!tuning.measured.is_empty() && tuning.measured.len() < 3);
+        let min = tuning.measured.iter().map(|&(_, c)| c).min().unwrap();
+        assert_eq!(outcome.expect_report().cycles, min);
+        assert_eq!(outcome.unroll(), Some(tuning.unroll));
+    }
+
+    #[test]
+    fn tuning_prefers_beneficial_unrolls() {
+        let spec = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(32, 32))
+            .input_seed(1)
+            .variant(Variant::Base)
+            .tune(Tune::Auto)
+            .freeze()
+            .unwrap();
+        let outcome = Session::new().submit(&spec).unwrap();
+        let tuning = outcome.tuning.expect("tuned");
+        // Deep chains benefit from unrolling: u > 1 should win.
+        assert!(tuning.unroll > 1, "measured: {:?}", tuning.measured);
+    }
+
+    #[test]
+    fn batch_results_keep_spec_order() {
+        let stencil = Arc::new(gallery::jacobi_2d());
+        let specs: Vec<WorkloadSpec> = (0..4)
             .map(|seed| {
-                Job::new(
-                    s.clone(),
-                    vec![Grid::pseudo_random(Extent::new_2d(16, 16), seed)],
-                    opts.clone(),
-                )
+                Workload::new(Arc::clone(&stencil))
+                    .extent(Extent::new_2d(16, 16))
+                    .input_seed(seed)
+                    .verify(1e-12)
+                    .freeze()
+                    .unwrap()
             })
             .collect();
         let session = Session::new();
-        let results = session.run_batch(&jobs);
+        let results = session.submit_all(&specs);
         assert_eq!(results.len(), 4);
-        for (job, result) in jobs.iter().zip(results) {
-            let run = result.expect("job runs");
-            let refs: Vec<&Grid> = job.inputs.iter().collect();
-            let serial = run_stencil(&job.stencil, &refs, &job.options).unwrap();
-            assert_eq!(run.output.max_abs_diff(&serial.output), 0.0);
+        for (spec, result) in specs.iter().zip(results) {
+            let outcome = result.expect("spec runs");
+            assert_eq!(outcome.fingerprint, spec.fingerprint());
+            // Identical to a serial submission on a fresh session.
+            let serial = Session::new().submit(spec).unwrap();
+            assert_eq!(
+                outcome.expect_output().max_abs_diff(serial.expect_output()),
+                0.0
+            );
         }
         // One shape, one compile, four runs.
         assert_eq!(session.stats().compiles, 1);
@@ -723,24 +952,150 @@ mod tests {
     }
 
     #[test]
-    fn batch_jobs_fail_independently() {
-        let (s, input, opts) = jacobi_setup();
+    fn batch_specs_fail_independently() {
         // j3d27pt at base unroll 4 hits register pressure.
-        let wide = gallery::j3d27pt();
-        let wide_input = Grid::pseudo_random(Extent::cube(saris_core::Space::Dim3, 8), 1);
-        let jobs = vec![
-            Job::new(s.clone(), vec![input.clone()], opts.clone()),
-            Job::new(
-                wide,
-                vec![wide_input],
-                RunOptions::new(Variant::Base).with_unroll(4),
-            ),
+        let specs = vec![
+            jacobi_spec(),
+            Workload::new(gallery::j3d27pt())
+                .extent(Extent::cube(saris_core::Space::Dim3, 8))
+                .input_seed(1)
+                .variant(Variant::Base)
+                .unroll(4)
+                .freeze()
+                .unwrap(),
         ];
-        let results = Session::new().run_batch(&jobs);
+        let results = Session::new().submit_all(&specs);
         assert!(results[0].is_ok());
         assert!(matches!(
             results[1],
             Err(CodegenError::RegisterPressure { .. })
         ));
+    }
+
+    #[test]
+    fn verification_failure_is_an_error() {
+        // On j2d5pt the default reassociation changes the FP rounding,
+        // so demanding bit-exactness must fail...
+        let workload = || {
+            Workload::new(gallery::j2d5pt())
+                .extent(Extent::new_2d(32, 32))
+                .input_seed(3)
+        };
+        let err = Session::new()
+            .submit(&workload().verify(0.0).freeze().unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CodegenError::VerificationFailed { .. }));
+        // ...while the documented tolerance passes and reports the error.
+        let outcome = Session::new()
+            .submit(&workload().verify(1e-12).freeze().unwrap())
+            .unwrap();
+        let err = outcome.verify_error.expect("verified");
+        assert!(err > 0.0 && err < 1e-12);
+        // Disabling reassociation restores bit-exactness.
+        let exact = workload()
+            .options(RunOptions::new(Variant::Saris).with_reassociate(0))
+            .verify(0.0)
+            .freeze()
+            .unwrap();
+        let outcome = Session::new().submit(&exact).unwrap();
+        assert_eq!(outcome.verify_error, Some(0.0));
+    }
+
+    #[test]
+    fn kernel_cache_evicts_lru_beyond_the_cap() {
+        let session = Session::with_config(SessionConfig {
+            max_cached_kernels: 1,
+            max_pooled_clusters: 64,
+        });
+        let u1 = jacobi_spec();
+        let u2 = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .unroll(2)
+            .freeze()
+            .unwrap();
+        session.submit(&u1).unwrap();
+        session.submit(&u2).unwrap(); // evicts u1's kernel
+        assert_eq!(session.cached_kernels(), 1);
+        assert_eq!(session.stats().evictions, 1);
+        let again = session.submit(&u1).unwrap(); // recompiles
+        assert_eq!(again.telemetry.compiles, 1);
+        assert_eq!(session.stats().compiles, 3);
+        assert_eq!(session.stats().evictions, 2);
+    }
+
+    #[test]
+    fn cluster_pool_respects_its_bound() {
+        let session = Session::with_config(SessionConfig {
+            max_cached_kernels: 1024,
+            max_pooled_clusters: 0,
+        });
+        let spec = jacobi_spec();
+        session.submit(&spec).unwrap();
+        session.submit(&spec).unwrap();
+        assert_eq!(session.pooled_clusters(), 0, "pooling disabled");
+        assert_eq!(session.stats().clusters_reused, 0);
+        assert_eq!(session.stats().evictions, 2);
+    }
+
+    #[test]
+    fn failed_compiles_leave_no_cache_entries() {
+        let session = Session::with_config(SessionConfig {
+            max_cached_kernels: 2,
+            max_pooled_clusters: 64,
+        });
+        // j3d27pt at base unroll 4 fails on register pressure; the
+        // failed key must not linger as an empty entry that occupies
+        // LRU capacity.
+        let failing = Workload::new(gallery::j3d27pt())
+            .extent(Extent::cube(saris_core::Space::Dim3, 8))
+            .input_seed(1)
+            .variant(Variant::Base)
+            .unroll(4)
+            .freeze()
+            .unwrap();
+        assert!(session.submit(&failing).is_err());
+        assert_eq!(session.cached_kernels(), 0);
+        // Two real kernels now fit the cap without any eviction.
+        session.submit(&jacobi_spec()).unwrap();
+        let u2 = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .unroll(2)
+            .freeze()
+            .unwrap();
+        session.submit(&u2).unwrap();
+        assert_eq!(session.cached_kernels(), 2);
+        assert_eq!(session.stats().evictions, 0);
+    }
+
+    #[test]
+    fn verify_diff_is_nan_aware() {
+        let tile = Extent::new_2d(2, 2);
+        let zeros = Grid::zeros(tile);
+        let mut broken = Grid::zeros(tile);
+        broken.set(saris_core::Point::new_2d(0, 0), f64::NAN);
+        // NaN against a finite reference is an infinite divergence, not
+        // a silently dropped one.
+        assert_eq!(verify_diff(&broken, &zeros), f64::INFINITY);
+        // Bitwise-identical grids — NaN payloads and infinities
+        // included — are a zero diff.
+        assert_eq!(verify_diff(&broken, &broken.clone()), 0.0);
+        let inf = Grid::filled(tile, f64::INFINITY);
+        assert_eq!(verify_diff(&inf, &inf.clone()), 0.0);
+        assert_eq!(verify_diff(&inf, &zeros), f64::INFINITY);
+    }
+
+    #[test]
+    fn dma_probe_reports_utilization() {
+        let session = Session::new();
+        let probe = Workload::dma_probe(Extent::new_2d(64, 64))
+            .freeze()
+            .unwrap();
+        let outcome = session.submit(&probe).unwrap();
+        let util = outcome.dma_utilization.expect("probe measures");
+        assert!(util > 0.5 && util <= 1.0, "dma util {util}");
+        assert!(outcome.grids.is_empty() && outcome.reports.is_empty());
+        assert_eq!(session.stats().runs, 1);
     }
 }

@@ -1,141 +1,90 @@
-//! The "unroll iff beneficial" auto-tuner (paper Section 2.3: codes
+//! The "unroll iff beneficial" tuning policy (paper Section 2.3: codes
 //! "further unroll their point loops up to four-fold iff beneficial to
 //! performance").
-
-use saris_core::grid::Grid;
-use saris_core::stencil::Stencil;
+//!
+//! Tuning is requested declaratively: set [`Tune::Auto`] (or
+//! [`Tune::Candidates`]) on a [`Workload`](crate::Workload) and
+//! [`Session::submit`](crate::Session::submit) measures every candidate
+//! through the session's kernel cache, skips widths the register file or
+//! FREP sequencer genuinely refuses, keeps the fastest, and reports the
+//! decision in [`Outcome::tuning`](crate::Outcome::tuning).
 
 use crate::error::CodegenError;
-use crate::runtime::{run_stencil, RunOptions, StencilRun};
 
 /// The default unroll candidates (the paper's "up to four-fold").
 pub const DEFAULT_CANDIDATES: [usize; 3] = [1, 2, 4];
 
-/// The outcome of tuning: the winning run and the per-candidate cycle
-/// counts that were measured.
-#[derive(Debug)]
-pub struct TunedRun {
-    /// The fastest run.
-    pub best: StencilRun,
+/// How a workload picks its unroll factor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Tune {
+    /// Use the unroll factor set in the workload's
+    /// [`RunOptions`](crate::RunOptions) as-is (no tuning).
+    Fixed,
+    /// Measure the paper's candidates ([`DEFAULT_CANDIDATES`]) and keep
+    /// the fastest feasible one.
+    Auto,
+    /// Measure an explicit candidate list and keep the fastest feasible
+    /// one.
+    Candidates(Vec<usize>),
+}
+
+impl Tune {
+    /// The candidate unroll factors this policy measures (`None` for
+    /// [`Tune::Fixed`]).
+    pub fn candidates(&self) -> Option<&[usize]> {
+        match self {
+            Tune::Fixed => None,
+            Tune::Auto => Some(&DEFAULT_CANDIDATES),
+            Tune::Candidates(c) => Some(c),
+        }
+    }
+}
+
+/// What the tuner decided for one workload: the winning unroll factor and
+/// the per-candidate cycle counts that were measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuningDecision {
+    /// The winning unroll factor.
+    pub unroll: usize,
     /// `(unroll, cycles)` for every candidate that compiled and ran.
     pub measured: Vec<(usize, u64)>,
 }
 
-impl TunedRun {
-    /// The winning unroll factor.
-    pub fn unroll(&self) -> usize {
-        self.best.kernel.unroll
-    }
-}
-
-/// Simulates every unroll candidate and keeps the fastest.
-///
-/// Candidates that fail with register pressure or FREP-capacity errors
-/// are skipped (they are genuinely not implementable at that width, which
-/// is exactly the paper's register-bound story); any other error aborts.
-///
-/// Prefer [`crate::Session::tune_unroll`] when tuning more than one code:
-/// the session caches every candidate kernel for later reuse.
-///
-/// # Errors
-///
-/// Returns [`CodegenError::NoCandidates`] if no candidate both compiles
-/// and runs, or the first hard error encountered.
-pub fn tune_unroll(
-    stencil: &Stencil,
-    inputs: &[&Grid],
-    options: &RunOptions,
-    candidates: &[usize],
-) -> Result<TunedRun, CodegenError> {
-    tune_unroll_with(candidates, |unroll| {
-        run_stencil(stencil, inputs, &options.clone().with_unroll(unroll))
-    })
-}
-
-/// The tuner core: measures every candidate through `run` and keeps the
-/// fastest, skipping candidates that are genuinely not implementable
-/// (register pressure, FREP capacity). Both the free [`tune_unroll`] and
-/// the session-cached [`crate::Session::tune_unroll`] drive this.
-///
-/// # Errors
-///
-/// Returns [`CodegenError::NoCandidates`] if no candidate both compiles
-/// and runs, or the first hard error encountered.
-pub fn tune_unroll_with(
-    candidates: &[usize],
-    mut run: impl FnMut(usize) -> Result<StencilRun, CodegenError>,
-) -> Result<TunedRun, CodegenError> {
-    let mut best: Option<StencilRun> = None;
-    let mut measured = Vec::new();
-    for &u in candidates {
-        match run(u) {
-            Ok(run) => {
-                measured.push((u, run.report.cycles));
-                let better = best
-                    .as_ref()
-                    .is_none_or(|b| run.report.cycles < b.report.cycles);
-                if better {
-                    best = Some(run);
-                }
-            }
-            Err(CodegenError::RegisterPressure { .. } | CodegenError::FrepBodyTooLarge { .. }) => {}
-            Err(e) => return Err(e),
-        }
-    }
-    match best {
-        Some(b) => Ok(TunedRun { best: b, measured }),
-        None => Err(CodegenError::NoCandidates),
-    }
+/// Whether an error marks an unroll width that is genuinely not
+/// implementable (register pressure, FREP capacity) — the tuner skips
+/// such candidates instead of aborting, which is exactly the paper's
+/// register-bound story.
+pub(crate) fn is_infeasible_width(err: &CodegenError) -> bool {
+    matches!(
+        err,
+        CodegenError::RegisterPressure { .. } | CodegenError::FrepBodyTooLarge { .. }
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::Variant;
-    use saris_core::{gallery, Extent};
 
     #[test]
-    fn tuner_picks_a_winner_for_base_jacobi() {
-        let s = gallery::jacobi_2d();
-        let extent = Extent::new_2d(32, 32);
-        let input = Grid::pseudo_random(extent, 1);
-        let tuned = tune_unroll(
-            &s,
-            &[&input],
-            &RunOptions::new(Variant::Base),
-            &DEFAULT_CANDIDATES,
-        )
-        .unwrap();
-        assert!(!tuned.measured.is_empty());
-        let min = tuned.measured.iter().map(|&(_, c)| c).min().unwrap();
-        assert_eq!(tuned.best.report.cycles, min);
-        // Deep chains benefit from unrolling: u > 1 should win.
-        assert!(tuned.unroll() > 1, "measured: {:?}", tuned.measured);
+    fn tune_candidates_expose_the_paper_defaults() {
+        assert_eq!(Tune::Fixed.candidates(), None);
+        assert_eq!(Tune::Auto.candidates(), Some(&DEFAULT_CANDIDATES[..]));
+        assert_eq!(Tune::Candidates(vec![1, 3]).candidates(), Some(&[1, 3][..]));
     }
 
     #[test]
-    fn tuner_skips_infeasible_widths() {
-        // j3d27pt at unroll 4 blows the register file in base form; the
-        // tuner must still return a winner from the feasible set.
-        let s = gallery::j3d27pt();
-        let extent = Extent::cube(saris_core::Space::Dim3, 10);
-        let input = Grid::pseudo_random(extent, 2);
-        let tuned = tune_unroll(
-            &s,
-            &[&input],
-            &RunOptions::new(Variant::Base),
-            &DEFAULT_CANDIDATES,
-        )
-        .unwrap();
-        assert!(!tuned.measured.is_empty());
-    }
-
-    #[test]
-    fn empty_candidates_error() {
-        let s = gallery::jacobi_2d();
-        let extent = Extent::new_2d(16, 16);
-        let input = Grid::pseudo_random(extent, 3);
-        let err = tune_unroll(&s, &[&input], &RunOptions::new(Variant::Base), &[]).unwrap_err();
-        assert!(matches!(err, CodegenError::NoCandidates));
+    fn infeasible_widths_are_exactly_the_register_bound_errors() {
+        assert!(is_infeasible_width(&CodegenError::RegisterPressure {
+            name: "x".into(),
+            unroll: 4,
+            needed: 40,
+            available: 32,
+        }));
+        assert!(is_infeasible_width(&CodegenError::FrepBodyTooLarge {
+            name: "x".into(),
+            body: 20,
+            capacity: 16,
+        }));
+        assert!(!is_infeasible_width(&CodegenError::NoCandidates));
     }
 }

@@ -7,7 +7,7 @@
 //!   point-update operation sequence;
 //! * the ten evaluation codes of the paper's Table 1 ([`gallery`]), with
 //!   per-point characteristics asserted against the paper;
-//! * a golden scalar executor ([`reference`]) used to verify simulated
+//! * a golden scalar executor ([`mod@reference`]) used to verify simulated
 //!   kernels;
 //! * the **SARIS method** ([`method`]): partitioning grid loads over
 //!   indirect stream registers, pairing operands for concurrent stream

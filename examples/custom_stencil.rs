@@ -70,31 +70,30 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
         plan.indices.sr0.rel_indices
     );
 
-    // --- Run both variants and verify, through one session. ---
+    // --- Run both variants, through one session. Verification against
+    // the golden reference happens inside the submission. ---
     let session = Session::new();
-    let input = Grid::pseudo_random(tile, 7);
-    let base = session.run_stencil(
-        &stencil,
-        &[&input],
-        &RunOptions::new(Variant::Base).with_unroll(4),
-    )?;
-    let saris = session.run_stencil(
-        &stencil,
-        &[&input],
-        &RunOptions::new(Variant::Saris).with_unroll(2),
-    )?;
-    assert!(saris.max_error_vs_reference(&stencil, &[&input]) < 1e-12);
-    assert!(base.max_error_vs_reference(&stencil, &[&input]) < 1e-12);
+    let workload = |variant, unroll| {
+        Workload::new(stencil.clone())
+            .extent(tile)
+            .input_seed(7)
+            .variant(variant)
+            .unroll(unroll)
+            .verify(1e-12)
+            .freeze()
+    };
+    let base = session.submit(&workload(Variant::Base, 4)?)?;
+    let saris = session.submit(&workload(Variant::Saris, 2)?)?;
     println!(
         "\nbase:  {} cycles (util {:.0}%)",
-        base.report.cycles,
-        100.0 * base.report.fpu_util()
+        base.expect_report().cycles,
+        100.0 * base.expect_report().fpu_util()
     );
     println!(
         "saris: {} cycles (util {:.0}%), speedup {:.2}x",
-        saris.report.cycles,
-        100.0 * saris.report.fpu_util(),
-        base.report.cycles as f64 / saris.report.cycles as f64
+        saris.expect_report().cycles,
+        100.0 * saris.expect_report().fpu_util(),
+        base.expect_report().cycles as f64 / saris.expect_report().cycles as f64
     );
     Ok(())
 }

@@ -12,49 +12,57 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
     let stencil = gallery::jacobi_2d();
     println!("stencil: {stencil}");
 
-    // A 64x64 tile (halo included), filled with reproducible noise.
-    let tile = Extent::new_2d(64, 64);
-    let input = Grid::pseudo_random(tile, 42);
-
     // One execution engine for the whole program: kernels cache,
     // clusters are recycled between runs.
     let session = Session::new();
 
-    // The optimized RV32G baseline, with the paper's "unroll iff
-    // beneficial" tuning.
-    let base = session.tune_unroll(
-        &stencil,
-        &[&input],
-        &RunOptions::new(Variant::Base),
-        &saris::codegen::DEFAULT_CANDIDATES,
-    )?;
-    println!("\nbase   (unroll {}):  {}", base.unroll(), base.best.report);
+    // One workload per variant: a 64x64 tile (halo included) of
+    // reproducible noise, the paper's "unroll iff beneficial" tuning,
+    // and verification against the golden reference executor.
+    let workload = |variant| {
+        Workload::new(stencil.clone())
+            .extent(Extent::new_2d(64, 64))
+            .input_seed(42)
+            .variant(variant)
+            .tune(Tune::Auto)
+            .verify(1e-12)
+            .freeze()
+    };
+
+    // The optimized RV32G baseline.
+    let base = session.submit(&workload(Variant::Base)?)?;
+    println!(
+        "\nbase   (unroll {}):  {}",
+        base.unroll().unwrap_or(1),
+        base.expect_report()
+    );
 
     // The SARIS variant: indirect stream registers + FREP.
-    let saris = session.tune_unroll(
-        &stencil,
-        &[&input],
-        &RunOptions::new(Variant::Saris),
-        &saris::codegen::DEFAULT_CANDIDATES,
-    )?;
-    println!("saris  (unroll {}): {}", saris.unroll(), saris.best.report);
+    let saris = session.submit(&workload(Variant::Saris)?)?;
+    println!(
+        "saris  (unroll {}): {}",
+        saris.unroll().unwrap_or(1),
+        saris.expect_report()
+    );
 
-    // Both kernels are verified against the golden reference executor.
-    let err = saris.best.max_error_vs_reference(&stencil, &[&input]);
-    println!("\nmax |error| vs reference: {err:.2e}");
-    assert!(err < 1e-12);
+    // Verification ran inside the submission; the outcome carries the
+    // measured error.
+    println!(
+        "\nmax |error| vs reference: {:.2e}",
+        saris.verify_error.unwrap_or(0.0)
+    );
 
-    let speedup = base.best.report.cycles as f64 / saris.best.report.cycles as f64;
+    let speedup = base.expect_report().cycles as f64 / saris.expect_report().cycles as f64;
     println!(
         "SARIS speedup: {speedup:.2}x  (FPU util {:.0}% -> {:.0}%)",
-        100.0 * base.best.report.fpu_util(),
-        100.0 * saris.best.report.fpu_util()
+        100.0 * base.expect_report().fpu_util(),
+        100.0 * saris.expect_report().fpu_util()
     );
 
     // And the calibrated energy model gives the Figure 4 metrics.
     let model = EnergyModel::gf12lp();
-    let pb = model.estimate(&base.best.report);
-    let ps = model.estimate(&saris.best.report);
+    let pb = model.estimate(base.expect_report());
+    let ps = model.estimate(saris.expect_report());
     println!(
         "power: {:.0} mW -> {:.0} mW, energy-efficiency gain {:.2}x",
         1e3 * pb.total_watts(),

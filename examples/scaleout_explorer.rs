@@ -27,35 +27,35 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
     };
     println!("code {code}: tile {tile}, grid {grid}\n");
 
-    // Single-cluster measurement (SARIS variant).
-    let inputs: Vec<Grid> = stencil
-        .input_arrays()
-        .enumerate()
-        .map(|(i, _)| Grid::pseudo_random(tile, 9 + i as u64))
-        .collect();
-    let refs: Vec<&Grid> = inputs.iter().collect();
+    // Single-cluster measurement (SARIS variant), tuned with the
+    // paper's "unroll iff beneficial" policy; the DMA probe is a
+    // workload too.
     let session = Session::new();
-    let run = session
-        .tune_unroll(
-            &stencil,
-            &refs,
-            &RunOptions::new(Variant::Saris),
-            &saris::codegen::DEFAULT_CANDIDATES,
-        )?
-        .best;
-    let dma_util = session.measure_dma_utilization(tile, &ClusterConfig::snitch())?;
+    let run = session.submit(
+        &Workload::new(stencil.clone())
+            .extent(tile)
+            .input_seed(9)
+            .variant(Variant::Saris)
+            .tune(Tune::Auto)
+            .freeze()?,
+    )?;
+    let dma_util = session
+        .submit(&Workload::dma_probe(tile).freeze()?)?
+        .dma_utilization
+        .expect("probes measure utilization");
+    let report = run.expect_report();
     println!(
         "single cluster: {} cycles/tile, FPU util {:.0}%, DMA util {:.0}%\n",
-        run.report.cycles,
-        100.0 * run.report.fpu_util(),
+        report.cycles,
+        100.0 * report.fpu_util(),
         100.0 * dma_util
     );
     let measurement = ClusterMeasurement {
-        compute_cycles_per_tile: run.report.cycles as f64,
-        fpu_ops_per_tile: run.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
-        flops_per_tile: run.report.flops() as f64,
+        compute_cycles_per_tile: report.cycles as f64,
+        fpu_ops_per_tile: report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+        flops_per_tile: report.flops() as f64,
         dma_utilization: dma_util,
-        core_imbalance: run.report.runtime_imbalance(),
+        core_imbalance: report.runtime_imbalance(),
     };
 
     println!(

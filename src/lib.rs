@@ -15,8 +15,8 @@
 //!   the eight-core Snitch cluster (banked TCDM, streamers, FREP
 //!   sequencer, DMA, shared I$);
 //! * [`codegen`] *(saris-codegen)* — optimized RV32G baseline and
-//!   SARIS-accelerated kernel generation, auto-tuned unrolling, and the
-//!   run/verify harness;
+//!   SARIS-accelerated kernel generation, plus the execution engine that
+//!   runs them;
 //! * [`energy`] *(saris-energy)* — the calibrated power/energy model
 //!   behind Figure 4;
 //! * [`scaleout`] *(saris-scaleout)* — the analytic Manticore-256s
@@ -24,71 +24,105 @@
 //!
 //! # Quickstart
 //!
+//! Execution is a typed request/response pair: describe one unit of work
+//! with the [`Workload`](codegen::Workload) builder, freeze it into an
+//! immutable [`WorkloadSpec`](codegen::WorkloadSpec), and submit it to a
+//! [`Session`](codegen::Session). The [`Outcome`](codegen::Outcome)
+//! carries the grids, per-step reports, the tuning decision, the
+//! verification error, and cache/pool telemetry.
+//!
 //! ```
 //! use saris::prelude::*;
 //!
 //! # fn main() -> Result<(), saris::codegen::CodegenError> {
-//! // Take a stencil from the paper's gallery and a random input tile.
-//! let stencil = gallery::jacobi_2d();
-//! let tile = Extent::new_2d(32, 32);
-//! let input = Grid::pseudo_random(tile, 1);
+//! // Take a stencil from the paper's gallery; inputs are reproducible
+//! // pseudo-random tiles described by a seed.
+//! let session = Session::new();
+//! let workload = |variant| {
+//!     Workload::new(gallery::jacobi_2d())
+//!         .extent(Extent::new_2d(32, 32))
+//!         .input_seed(1)
+//!         .variant(variant)
+//!         .verify(1e-12) // checked against the golden reference
+//!         .freeze()
+//! };
 //!
 //! // Run both variants on the simulated Snitch cluster.
-//! let base = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Base))?;
-//! let saris = run_stencil(&stencil, &[&input], &RunOptions::new(Variant::Saris))?;
+//! let base = session.submit(&workload(Variant::Base)?)?;
+//! let saris = session.submit(&workload(Variant::Saris)?)?;
 //!
-//! // Verified against the golden reference, and faster.
-//! assert!(saris.max_error_vs_reference(&stencil, &[&input]) < 1e-12);
-//! assert!(saris.report.cycles < base.report.cycles);
+//! // Verified inside the submission, and faster.
+//! assert!(saris.verify_error.unwrap() < 1e-12);
+//! assert!(saris.expect_report().cycles < base.expect_report().cycles);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! # The execution engine: `Session` and backends
+//! # The execution engine: `Session`, workloads, backends
 //!
-//! Anything that runs more than one kernel should go through a
-//! [`Session`](codegen::Session) — the reusable execution engine behind
-//! the bench harness, the tuner, and the examples. A session caches
-//! compiled kernels by `(stencil fingerprint, extent, options)`, recycles
+//! A [`Session`](codegen::Session) is the reusable execution engine
+//! behind the bench harness and the examples. It caches compiled kernels
+//! by `(stencil fingerprint, extent, compile options)` — bounded and
+//! LRU-evicted per [`SessionConfig`](codegen::SessionConfig) — recycles
 //! simulated clusters via `Cluster::reset` instead of reconstructing
-//! them, fans batches out across worker threads
-//! ([`Session::run_batch`](codegen::Session::run_batch)), and dispatches
-//! to a pluggable [`Backend`](codegen::Backend): the cycle-approximate
-//! [`SimBackend`](codegen::SimBackend) for measurements or the
-//! golden-reference [`NativeBackend`](codegen::NativeBackend) for
-//! correctness-only and large-scale scenario sweeps.
+//! them, and dispatches to a pluggable [`Backend`](codegen::Backend):
+//! the cycle-approximate [`SimBackend`](codegen::SimBackend) for
+//! measurements or the golden-reference
+//! [`NativeBackend`](codegen::NativeBackend) for correctness-only and
+//! large-scale scenario sweeps.
+//!
+//! One `submit` surface covers every scenario: fixed runs, the paper's
+//! "unroll iff beneficial" tuning ([`Tune`](codegen::Tune)), multi-step
+//! sweeps with buffer rotation, DMA-utilization probes
+//! ([`Workload::dma_probe`](codegen::Workload::dma_probe)), and threaded
+//! batches ([`Session::submit_all`](codegen::Session::submit_all)).
+//! Specs are cloneable, hashable and self-contained — sharing stencil IR
+//! and input grids behind `Arc`s — which makes them the unit a sharded
+//! or async serving layer ships between processes.
 //!
 //! ```
+//! use std::sync::Arc;
 //! use saris::prelude::*;
 //!
 //! # fn main() -> Result<(), saris::codegen::CodegenError> {
 //! let session = Session::new(); // simulator backend
-//! let stencil = gallery::jacobi_2d();
-//! let input = Grid::pseudo_random(Extent::new_2d(16, 16), 1);
-//! let opts = RunOptions::new(Variant::Saris);
+//! let stencil = Arc::new(gallery::jacobi_2d());
 //!
-//! // A variant sweep: the kernel compiles once, later runs hit the
-//! // cache and reuse a pooled cluster.
-//! let first = session.run(&stencil, &[&input], &opts)?;
-//! let again = session.run(&stencil, &[&input], &opts)?;
-//! assert!(again.cache_hit && !first.cache_hit);
-//! assert_eq!(session.stats().compiles, 1);
+//! // A tuned, multi-step, verified workload in one request.
+//! let spec = Workload::new(Arc::clone(&stencil))
+//!     .extent(Extent::new_2d(16, 16))
+//!     .input_seed(1)
+//!     .tune(Tune::Auto)
+//!     .time_steps(3)
+//!     .verify(1e-9)
+//!     .freeze()?;
+//! let outcome = session.submit(&spec)?;
+//! assert_eq!(outcome.reports.len(), 3);
+//! assert!(outcome.tuning.is_some());
 //!
-//! // Batches fan out across threads, one pooled cluster per worker.
-//! let jobs: Vec<Job> = (0..4)
+//! // Batches fan out across threads; every spec shares the stencil IR
+//! // behind the Arc, and identical kernels compile exactly once.
+//! let specs: Vec<WorkloadSpec> = (0..4)
 //!     .map(|seed| {
-//!         let grid = Grid::pseudo_random(Extent::new_2d(16, 16), seed);
-//!         Job::new(stencil.clone(), vec![grid], opts.clone())
+//!         Workload::new(Arc::clone(&stencil))
+//!             .extent(Extent::new_2d(16, 16))
+//!             .input_seed(seed)
+//!             .freeze()
 //!     })
-//!     .collect();
-//! for result in session.run_batch(&jobs) {
-//!     assert!(result?.cache_hit); // all four share the cached kernel
+//!     .collect::<Result<_, _>>()?;
+//! for outcome in session.submit_all(&specs) {
+//!     outcome?;
 //! }
 //!
 //! // The native backend skips codegen and the simulator entirely.
-//! let native = Session::native();
-//! let exact = native.run(&stencil, &[&input], &opts)?;
-//! assert_eq!(exact.max_error_vs_reference(&stencil, &[&input]), 0.0);
+//! let exact = Session::native().submit(
+//!     &Workload::new(Arc::clone(&stencil))
+//!         .extent(Extent::new_2d(16, 16))
+//!         .input_seed(1)
+//!         .verify(0.0) // the native backend *is* the reference
+//!         .freeze()?,
+//! )?;
+//! assert_eq!(exact.verify_error, Some(0.0));
 //! # Ok(())
 //! # }
 //! ```
@@ -108,8 +142,9 @@ pub use snitch_sim as sim;
 /// The most commonly used items, re-exported for `use saris::prelude::*`.
 pub mod prelude {
     pub use saris_codegen::{
-        compile, run_stencil, tune_unroll, Backend, Job, NativeBackend, RunOptions, Session,
-        SessionRun, SessionStats, SimBackend, StencilRun, Variant,
+        compile, Backend, BufferRotation, CodegenError, InputSpec, NativeBackend, Outcome,
+        RunOptions, Session, SessionConfig, SessionStats, SimBackend, Tune, TuningDecision,
+        Variant, Workload, WorkloadSpec, WorkloadTelemetry, DEFAULT_CANDIDATES,
     };
     pub use saris_core::{
         gallery, reference, ArenaLayout, Extent, Grid, Halo, InterleavePlan, Offset, Point,

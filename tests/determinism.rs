@@ -1,34 +1,36 @@
-//! The whole pipeline is deterministic: identical inputs produce
+//! The whole pipeline is deterministic: identical workload specs produce
 //! identical cycle counts, reports and output bits, and kernel timing is
 //! independent of the data values flowing through.
 
 use saris::prelude::*;
 
 #[test]
-fn repeated_runs_are_bit_identical() {
-    let stencil = gallery::star3d2r();
-    let tile = Extent::cube(Space::Dim3, 12);
-    let input = Grid::pseudo_random(tile, 11);
-    let opts = RunOptions::new(Variant::Saris).with_unroll(2);
-    let a = run_stencil(&stencil, &[&input], &opts).unwrap();
-    let b = run_stencil(&stencil, &[&input], &opts).unwrap();
-    assert_eq!(a.report.cycles, b.report.cycles);
-    assert_eq!(a.report, b.report);
-    assert_eq!(a.output.max_abs_diff(&b.output), 0.0);
+fn repeated_submissions_are_bit_identical() {
+    let spec = Workload::new(gallery::star3d2r())
+        .extent(Extent::cube(Space::Dim3, 12))
+        .input_seed(11)
+        .options(RunOptions::new(Variant::Saris).with_unroll(2))
+        .freeze()
+        .unwrap();
+    let a = Session::new().submit(&spec).unwrap();
+    let b = Session::new().submit(&spec).unwrap();
+    assert_eq!(a.expect_report().cycles, b.expect_report().cycles);
+    assert_eq!(a.expect_report(), b.expect_report());
+    assert_eq!(a.expect_output().max_abs_diff(b.expect_output()), 0.0);
 }
 
 #[test]
 fn timing_is_data_independent() {
-    let stencil = gallery::j2d5pt();
-    let tile = Extent::new_2d(32, 32);
-    let opts = RunOptions::new(Variant::Saris).with_unroll(2);
+    let session = Session::new();
     let cycles: Vec<u64> = (0..3)
         .map(|seed| {
-            let input = Grid::pseudo_random(tile, seed);
-            run_stencil(&stencil, &[&input], &opts)
-                .unwrap()
-                .report
-                .cycles
+            let spec = Workload::new(gallery::j2d5pt())
+                .extent(Extent::new_2d(32, 32))
+                .input_seed(seed)
+                .options(RunOptions::new(Variant::Saris).with_unroll(2))
+                .freeze()
+                .unwrap();
+            session.submit(&spec).unwrap().expect_report().cycles
         })
         .collect();
     assert_eq!(cycles[0], cycles[1]);
@@ -46,6 +48,21 @@ fn compilation_is_deterministic() {
         assert_eq!(ca.program, cb.program);
     }
     assert_eq!(a.install, b.install);
+}
+
+#[test]
+fn workload_fingerprints_are_stable_across_freezes() {
+    let spec = || {
+        Workload::new(gallery::box2d1r())
+            .extent(Extent::new_2d(32, 32))
+            .input_seed(7)
+            .tune(Tune::Auto)
+            .verify(1e-9)
+            .freeze()
+            .unwrap()
+    };
+    assert_eq!(spec(), spec());
+    assert_eq!(spec().fingerprint(), spec().fingerprint());
 }
 
 #[test]

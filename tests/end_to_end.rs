@@ -1,5 +1,6 @@
 //! End-to-end functional verification: every gallery code, both variants,
-//! simulated on the cluster and compared against the golden reference.
+//! simulated on the cluster and checked against the golden reference by
+//! in-submission verification.
 
 use saris::prelude::*;
 
@@ -10,32 +11,27 @@ fn tile_of(s: &Stencil) -> Extent {
     }
 }
 
-fn inputs_of(s: &Stencil, tile: Extent) -> Vec<Grid> {
-    s.input_arrays()
-        .enumerate()
-        .map(|(i, _)| Grid::pseudo_random(tile, 1000 + i as u64))
-        .collect()
+fn workload_of(s: &Stencil, opts: RunOptions) -> Workload {
+    Workload::new(s.clone())
+        .extent(tile_of(s))
+        .input_seed(1000)
+        .options(opts)
 }
 
 /// Without reassociation both generators must reproduce the reference
 /// executor bit-for-bit: same op order, same FMA contraction.
+/// `verify(0.0)` demands exactly that inside the submission.
 #[test]
 fn all_codes_bit_exact_without_reassociation() {
+    let session = Session::new();
     for stencil in gallery::all() {
-        let tile = tile_of(&stencil);
-        let inputs = inputs_of(&stencil, tile);
-        let refs: Vec<&Grid> = inputs.iter().collect();
         for variant in [Variant::Base, Variant::Saris] {
             let opts = RunOptions::new(variant).with_unroll(2).with_reassociate(0);
-            let run = run_stencil(&stencil, &refs, &opts)
+            let spec = workload_of(&stencil, opts).verify(0.0).freeze().unwrap();
+            let run = session
+                .submit(&spec)
                 .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()));
-            let err = run.max_error_vs_reference(&stencil, &refs);
-            assert_eq!(
-                err,
-                0.0,
-                "{} {variant}: expected bit-exact output",
-                stencil.name()
-            );
+            assert_eq!(run.verify_error, Some(0.0));
         }
     }
 }
@@ -43,26 +39,23 @@ fn all_codes_bit_exact_without_reassociation() {
 /// With the default reassociation the outputs match within FP tolerance.
 #[test]
 fn all_codes_within_tolerance_with_reassociation() {
+    let session = Session::new();
     for stencil in gallery::all() {
-        let tile = tile_of(&stencil);
-        let inputs = inputs_of(&stencil, tile);
-        let refs: Vec<&Grid> = inputs.iter().collect();
         for variant in [Variant::Base, Variant::Saris] {
             let opts = RunOptions::new(variant).with_unroll(2);
-            match run_stencil(&stencil, &refs, &opts) {
-                Ok(run) => {
-                    let err = run.max_error_vs_reference(&stencil, &refs);
-                    assert!(err < 1e-12, "{} {variant}: err {err:e}", stencil.name());
-                }
+            let spec = workload_of(&stencil, opts).verify(1e-12).freeze().unwrap();
+            match session.submit(&spec) {
+                Ok(run) => assert!(run.verify_error.unwrap() < 1e-12),
                 // The no-spill baseline may refuse unroll 2 for wide
                 // codes; unroll 1 must then work.
-                Err(saris::codegen::CodegenError::RegisterPressure { .. })
-                    if variant == Variant::Base =>
-                {
-                    let run =
-                        run_stencil(&stencil, &refs, &RunOptions::new(variant).with_unroll(1))
-                            .unwrap_or_else(|e| panic!("{} base u1: {e}", stencil.name()));
-                    assert!(run.max_error_vs_reference(&stencil, &refs) < 1e-12);
+                Err(CodegenError::RegisterPressure { .. }) if variant == Variant::Base => {
+                    let narrow = workload_of(&stencil, RunOptions::new(variant).with_unroll(1))
+                        .verify(1e-12)
+                        .freeze()
+                        .unwrap();
+                    session
+                        .submit(&narrow)
+                        .unwrap_or_else(|e| panic!("{} base u1: {e}", stencil.name()));
                 }
                 Err(e) => panic!("{} {variant}: {e}", stencil.name()),
             }
@@ -75,50 +68,54 @@ fn all_codes_within_tolerance_with_reassociation() {
 #[test]
 fn coeff_stream_strategy_is_correct() {
     use saris::core::method::CoeffStrategy;
+    let session = Session::new();
     for name in ["box3d1r", "j3d27pt"] {
         let stencil = gallery::by_name(name).unwrap();
-        let tile = tile_of(&stencil);
-        let inputs = inputs_of(&stencil, tile);
-        let refs: Vec<&Grid> = inputs.iter().collect();
         let mut opts = RunOptions::new(Variant::Saris)
             .with_unroll(1)
             .with_reassociate(0);
         opts.saris.coeff_strategy = CoeffStrategy::StreamSr1;
         opts.saris.coeff_reg_budget = 20;
-        let run = run_stencil(&stencil, &refs, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert_eq!(run.kernel.mode, Some(StreamMode::CoeffStream));
-        assert_eq!(run.max_error_vs_reference(&stencil, &refs), 0.0, "{name}");
+        let spec = workload_of(&stencil, opts).verify(0.0).freeze().unwrap();
+        let run = session
+            .submit(&spec)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            run.kernel.expect("sim runs carry kernels").mode,
+            Some(StreamMode::CoeffStream)
+        );
+        assert_eq!(run.verify_error, Some(0.0), "{name}");
     }
 }
 
-/// Multi-iteration leapfrog (buffer rotation across runs) stays in sync
-/// with the reference — the seismic use case.
+/// Multi-iteration leapfrog (buffer rotation across steps) stays in sync
+/// with the reference — the seismic use case, now a single time-stepped
+/// workload verified in-submission.
 #[test]
 fn multi_step_leapfrog_stays_synchronized() {
     let stencil = gallery::ac_iso_cd();
-    let tile = Extent::cube(Space::Dim3, 12);
-    let mut u = Grid::pseudo_random(tile, 5);
-    let mut um = Grid::pseudo_random(tile, 6);
-    let mut ref_u = u.clone();
-    let mut ref_um = um.clone();
-    let opts = RunOptions::new(Variant::Saris)
-        .with_unroll(1)
-        .with_reassociate(0);
-    for step in 0..3 {
-        let run = run_stencil(&stencil, &[&u, &um], &opts).expect("runs");
-        let mut refs = vec![&ref_u, &ref_um];
-        let expect = saris::core::reference::apply_to_new(&stencil, &mut refs, tile);
-        assert_eq!(run.output.max_abs_diff(&expect), 0.0, "step {step}");
-        um = std::mem::replace(&mut u, run.output);
-        ref_um = std::mem::replace(&mut ref_u, expect);
-    }
+    let spec = Workload::new(stencil)
+        .extent(Extent::cube(Space::Dim3, 12))
+        .input_seed(5)
+        .options(
+            RunOptions::new(Variant::Saris)
+                .with_unroll(1)
+                .with_reassociate(0),
+        )
+        .time_steps(3)
+        .verify(0.0)
+        .freeze()
+        .unwrap();
+    let run = Session::new().submit(&spec).unwrap();
+    assert_eq!(run.reports.len(), 3);
+    assert_eq!(run.grids.len(), 2, "both leapfrog fields come back");
+    assert_eq!(run.verify_error, Some(0.0));
 }
 
 /// Kernels tolerate pathological inputs (infinities, zeros, denormals)
 /// without disturbing the simulator.
 #[test]
 fn pathological_values_flow_through() {
-    let stencil = gallery::jacobi_2d();
     let tile = Extent::new_2d(16, 16);
     let input = Grid::from_fn(tile, |p| match (p.x + p.y) % 4 {
         0 => 0.0,
@@ -126,29 +123,38 @@ fn pathological_values_flow_through() {
         2 => 1e-320, // subnormal
         _ => -1.0,
     });
-    let opts = RunOptions::new(Variant::Saris)
-        .with_unroll(1)
-        .with_reassociate(0);
-    let run = run_stencil(&stencil, &[&input], &opts).expect("runs");
-    assert_eq!(run.max_error_vs_reference(&stencil, &[&input]), 0.0);
+    let spec = Workload::new(gallery::jacobi_2d())
+        .inputs(vec![input])
+        .options(
+            RunOptions::new(Variant::Saris)
+                .with_unroll(1)
+                .with_reassociate(0),
+        )
+        .verify(0.0)
+        .freeze()
+        .unwrap();
+    let run = Session::new().submit(&spec).expect("runs");
+    assert_eq!(run.verify_error, Some(0.0));
 }
 
 /// Tiles that give some cores no work at all still complete.
 #[test]
 fn degenerate_tiny_tiles_complete() {
     let stencil = gallery::jacobi_2d();
+    let session = Session::new();
     for (nx, ny) in [(4, 4), (5, 3), (3, 8)] {
-        let tile = Extent::new_2d(nx, ny);
-        let input = Grid::pseudo_random(tile, 3);
         for variant in [Variant::Base, Variant::Saris] {
-            let opts = RunOptions::new(variant).with_unroll(1).with_reassociate(0);
-            let run = run_stencil(&stencil, &[&input], &opts)
+            let spec = Workload::new(stencil.clone())
+                .extent(Extent::new_2d(nx, ny))
+                .input_seed(3)
+                .options(RunOptions::new(variant).with_unroll(1).with_reassociate(0))
+                .verify(0.0)
+                .freeze()
+                .unwrap();
+            let run = session
+                .submit(&spec)
                 .unwrap_or_else(|e| panic!("{nx}x{ny} {variant}: {e}"));
-            assert_eq!(
-                run.max_error_vs_reference(&stencil, &[&input]),
-                0.0,
-                "{nx}x{ny} {variant}"
-            );
+            assert_eq!(run.verify_error, Some(0.0), "{nx}x{ny} {variant}");
         }
     }
 }

@@ -2,28 +2,25 @@
 //! own tile sizes. Absolute cycle counts differ from the authors' RTL;
 //! these tests pin down the *relationships* the paper reports.
 
-use saris::codegen::DEFAULT_CANDIDATES;
 use saris::prelude::*;
 
-fn tuned(stencil: &Stencil, variant: Variant) -> StencilRun {
+fn tuned(stencil: &Stencil, variant: Variant) -> RunReport {
     let tile = match stencil.space() {
         Space::Dim2 => Extent::new_2d(64, 64),
         Space::Dim3 => Extent::cube(Space::Dim3, 16),
     };
-    let inputs: Vec<Grid> = stencil
-        .input_arrays()
-        .enumerate()
-        .map(|(i, _)| Grid::pseudo_random(tile, 7 + i as u64))
-        .collect();
-    let refs: Vec<&Grid> = inputs.iter().collect();
-    tune_unroll(
-        stencil,
-        &refs,
-        &RunOptions::new(variant),
-        &DEFAULT_CANDIDATES,
-    )
-    .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()))
-    .best
+    let spec = Workload::new(stencil.clone())
+        .extent(tile)
+        .input_seed(7)
+        .variant(variant)
+        .tune(Tune::Auto)
+        .freeze()
+        .expect("valid workload");
+    Session::new()
+        .submit(&spec)
+        .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()))
+        .expect_report()
+        .clone()
 }
 
 /// "SARIS achieves significant speedups ... with a clear increasing trend"
@@ -33,7 +30,7 @@ fn saris_beats_base_on_every_code() {
     for stencil in gallery::all() {
         let base = tuned(&stencil, Variant::Base);
         let saris = tuned(&stencil, Variant::Saris);
-        let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
+        let speedup = base.cycles as f64 / saris.cycles as f64;
         assert!(
             speedup > 1.35,
             "{}: speedup only {speedup:.2}",
@@ -49,8 +46,8 @@ fn fpu_utilization_shape() {
     let jacobi = gallery::jacobi_2d();
     let base = tuned(&jacobi, Variant::Base);
     let saris = tuned(&jacobi, Variant::Saris);
-    let bu = base.report.fpu_util();
-    let su = saris.report.fpu_util();
+    let bu = base.fpu_util();
+    let su = saris.fpu_util();
     assert!((0.30..=0.50).contains(&bu), "base util {bu}");
     assert!(su > 0.70, "saris util {su} (paper: never below 0.70)");
 }
@@ -60,7 +57,7 @@ fn fpu_utilization_shape() {
 #[test]
 fn saris_ipc_exceeds_one_on_jacobi() {
     let saris = tuned(&gallery::jacobi_2d(), Variant::Saris);
-    assert!(saris.report.ipc() > 1.0, "ipc {}", saris.report.ipc());
+    assert!(saris.ipc() > 1.0, "ipc {}", saris.ipc());
 }
 
 /// The register-bound story (Section 3.1): for the 27-tap codes the
@@ -73,19 +70,19 @@ fn register_bound_codes_collapse_in_base_only() {
     let base = tuned(&s, Variant::Base);
     let saris = tuned(&s, Variant::Saris);
     assert!(
-        base.report.ipc() < 0.80,
+        base.ipc() < 0.80,
         "register-bound base IPC should collapse, got {}",
-        base.report.ipc()
+        base.ipc()
     );
     assert!(
-        saris.report.fpu_util() > 0.60,
+        saris.fpu_util() > 0.60,
         "saris must avoid the register bottleneck, got {}",
-        saris.report.fpu_util()
+        saris.fpu_util()
     );
-    let speedup = base.report.cycles as f64 / saris.report.cycles as f64;
+    let speedup = base.cycles as f64 / saris.cycles as f64;
     let jacobi_base = tuned(&gallery::jacobi_2d(), Variant::Base);
     let jacobi_saris = tuned(&gallery::jacobi_2d(), Variant::Saris);
-    let jacobi_speedup = jacobi_base.report.cycles as f64 / jacobi_saris.report.cycles as f64;
+    let jacobi_speedup = jacobi_base.cycles as f64 / jacobi_saris.cycles as f64;
     assert!(
         speedup > jacobi_speedup,
         "the paper's rising trend: j3d27pt ({speedup:.2}) must beat jacobi ({jacobi_speedup:.2})"
@@ -140,8 +137,8 @@ fn energy_efficiency_gains_are_positive() {
         let s = gallery::by_name(name).unwrap();
         let base = tuned(&s, Variant::Base);
         let saris = tuned(&s, Variant::Saris);
-        let pb = model.estimate(&base.report);
-        let ps = model.estimate(&saris.report);
+        let pb = model.estimate(&base);
+        let ps = model.estimate(&saris);
         assert!(
             ps.total_watts() > pb.total_watts(),
             "{name}: saris must draw more power"
@@ -156,9 +153,9 @@ fn energy_efficiency_gains_are_positive() {
 /// compute-bound, and CMTR rises with FLOPs per point.
 #[test]
 fn scaleout_regimes_follow_operational_intensity() {
-    use saris::codegen::measure_dma_utilization;
     use saris::scaleout::ClusterMeasurement;
     let machine = MachineModel::manticore_256s();
+    let session = Session::new();
     let mut cmtrs = Vec::new();
     for name in ["jacobi_2d", "j3d27pt"] {
         let s = gallery::by_name(name).unwrap();
@@ -172,11 +169,15 @@ fn scaleout_regimes_follow_operational_intensity() {
             Space::Dim3 => Extent::cube(Space::Dim3, 512),
         };
         let m = ClusterMeasurement {
-            compute_cycles_per_tile: saris.report.cycles as f64,
-            fpu_ops_per_tile: saris.report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
-            flops_per_tile: saris.report.flops() as f64,
-            dma_utilization: measure_dma_utilization(tile, &ClusterConfig::snitch()).unwrap(),
-            core_imbalance: saris.report.runtime_imbalance(),
+            compute_cycles_per_tile: saris.cycles as f64,
+            fpu_ops_per_tile: saris.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+            flops_per_tile: saris.flops() as f64,
+            dma_utilization: session
+                .submit(&Workload::dma_probe(tile).freeze().unwrap())
+                .unwrap()
+                .dma_utilization
+                .unwrap(),
+            core_imbalance: saris.runtime_imbalance(),
         };
         cmtrs.push(scaleout_estimate(&machine, &s, tile, grid, &m).cmtr);
     }

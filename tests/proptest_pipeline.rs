@@ -86,10 +86,12 @@ fn arb_stencil(g: &mut Gen) -> Stencil {
 }
 
 /// Any generated stencil, simulated in either variant without
-/// reassociation, reproduces the reference executor bit-for-bit.
+/// reassociation, reproduces the reference executor bit-for-bit
+/// (demanded by `verify(0.0)` inside the submission).
 #[test]
 fn random_stencils_simulate_exactly() {
     let mut g = Gen(0x5a21_0001);
+    let session = Session::new();
     for case in 0..12 {
         let stencil = arb_stencil(&mut g);
         let seed = g.range(0, 999);
@@ -99,16 +101,22 @@ fn random_stencils_simulate_exactly() {
             Variant::Base
         };
         let unroll = [1usize, 2, 4][g.range(0, 2) as usize];
-        let tile = Extent::new_2d(16, 16);
-        let input = Grid::pseudo_random(tile, seed);
-        let opts = RunOptions::new(variant)
-            .with_unroll(unroll)
-            .with_reassociate(0);
-        match run_stencil(&stencil, &[&input], &opts) {
+        let spec = Workload::new(stencil)
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(seed)
+            .options(
+                RunOptions::new(variant)
+                    .with_unroll(unroll)
+                    .with_reassociate(0),
+            )
+            .verify(0.0)
+            .freeze()
+            .unwrap();
+        match session.submit(&spec) {
             Ok(run) => {
                 assert_eq!(
-                    run.max_error_vs_reference(&stencil, &[&input]),
-                    0.0,
+                    run.verify_error,
+                    Some(0.0),
                     "case {case}: {variant} u{unroll} diverged"
                 );
             }

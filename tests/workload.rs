@@ -1,0 +1,168 @@
+//! Spec-layer acceptance tests: fingerprint identity, cache interaction,
+//! and gallery consistency — the properties a sharded/async serving
+//! coordinator will rely on.
+
+use std::collections::HashSet;
+
+use saris::prelude::*;
+
+fn base_workload() -> Workload {
+    Workload::new(gallery::jacobi_2d())
+        .extent(Extent::new_2d(16, 16))
+        .input_seed(1)
+}
+
+/// Distinct requests produce distinct fingerprints across every knob and
+/// every gallery code.
+#[test]
+fn distinct_specs_have_distinct_fingerprints() {
+    let mut seen = HashSet::new();
+    // Every gallery code, both variants, three unrolls.
+    for stencil in gallery::all() {
+        let tile = match stencil.space() {
+            Space::Dim2 => Extent::new_2d(16, 16),
+            Space::Dim3 => Extent::cube(Space::Dim3, 12),
+        };
+        for variant in [Variant::Base, Variant::Saris] {
+            for unroll in DEFAULT_CANDIDATES {
+                let spec = Workload::new(stencil.clone())
+                    .extent(tile)
+                    .input_seed(1)
+                    .variant(variant)
+                    .unroll(unroll)
+                    .freeze()
+                    .unwrap();
+                assert!(
+                    seen.insert(spec.fingerprint()),
+                    "collision at {} {variant} u{unroll}",
+                    stencil.name()
+                );
+            }
+        }
+    }
+    // Request-shaping knobs beyond (code, variant, unroll).
+    for wl in [
+        base_workload().input_seed(2),
+        base_workload().extent(Extent::new_2d(20, 20)),
+        base_workload().tune(Tune::Auto),
+        base_workload().tune(Tune::Candidates(vec![1, 2])),
+        base_workload().time_steps(4),
+        base_workload().rotation(BufferRotation::Alternating),
+        base_workload().verify(1e-9),
+    ] {
+        assert!(seen.insert(wl.freeze().unwrap().fingerprint()));
+    }
+    assert!(seen.insert(
+        Workload::dma_probe(Extent::new_2d(16, 16))
+            .freeze()
+            .unwrap()
+            .fingerprint()
+    ));
+}
+
+/// Equal specs are equal values, hash alike, and hit the kernel cache
+/// exactly once however many times they are submitted.
+#[test]
+fn equal_specs_share_one_compile() {
+    let a = base_workload().freeze().unwrap();
+    let b = base_workload().freeze().unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // Hash consistency: both land in the same set bucket.
+    let mut set = HashSet::new();
+    set.insert(a.clone());
+    assert!(set.contains(&b));
+
+    let session = Session::new();
+    let first = session.submit(&a).unwrap();
+    let second = session.submit(&b).unwrap();
+    let third = session.submit(&a).unwrap();
+    assert_eq!(first.telemetry.compiles, 1);
+    assert_eq!(second.telemetry.cache_hits, 1);
+    assert_eq!(third.telemetry.cache_hits, 1);
+    assert_eq!(session.stats().compiles, 1, "equal specs compile once");
+    // And the answers are deterministic.
+    assert_eq!(first.expect_output(), second.expect_output());
+    assert_eq!(first.expect_report(), third.expect_report());
+}
+
+/// The spec fingerprint subsumes the kernel-cache key: specs differing
+/// only in execution knobs still share compiled kernels.
+#[test]
+fn execution_knobs_change_identity_but_share_kernels() {
+    let mut opts = RunOptions::new(Variant::Saris);
+    opts.max_cycles = 123_456_789;
+    let tweaked = base_workload().options(opts).freeze().unwrap();
+    let plain = base_workload().freeze().unwrap();
+    assert_ne!(plain.fingerprint(), tweaked.fingerprint());
+    let session = Session::new();
+    session.submit(&plain).unwrap();
+    let run = session.submit(&tweaked).unwrap();
+    assert_eq!(run.telemetry.cache_hits, 1, "kernel shared across specs");
+    assert_eq!(session.stats().compiles, 1);
+}
+
+/// `gallery::NAMES`, `gallery::by_name` and `gallery::all()` stay
+/// mutually consistent, and the stencils they hand out are structurally
+/// distinct (distinct fingerprints).
+#[test]
+fn gallery_names_by_name_and_all_are_consistent() {
+    let all = gallery::all();
+    assert_eq!(all.len(), gallery::NAMES.len());
+    let mut prints = HashSet::new();
+    for (stencil, name) in all.iter().zip(gallery::NAMES) {
+        assert_eq!(stencil.name(), name, "all() follows NAMES order");
+        let looked_up =
+            gallery::by_name(name).unwrap_or_else(|| panic!("by_name misses listed code {name}"));
+        assert_eq!(
+            looked_up.fingerprint(),
+            stencil.fingerprint(),
+            "{name}: by_name and all() disagree"
+        );
+        assert!(
+            prints.insert(stencil.fingerprint()),
+            "{name}: duplicate stencil structure in the gallery"
+        );
+    }
+    assert!(gallery::by_name("no_such_code").is_none());
+}
+
+/// Workload validation happens at freeze time, as typed errors.
+#[test]
+fn invalid_workloads_fail_to_freeze() {
+    let missing_extent = Workload::new(gallery::jacobi_2d()).freeze();
+    assert!(matches!(
+        missing_extent,
+        Err(CodegenError::InvalidWorkload { .. })
+    ));
+    let bad_arity = Workload::new(gallery::ac_iso_cd())
+        .inputs(vec![Grid::zeros(Extent::cube(Space::Dim3, 10))])
+        .freeze();
+    assert!(matches!(
+        bad_arity,
+        Err(CodegenError::InvalidWorkload { .. })
+    ));
+    let no_candidates = base_workload().tune(Tune::Candidates(vec![])).freeze();
+    assert!(matches!(
+        no_candidates,
+        Err(CodegenError::InvalidWorkload { .. })
+    ));
+}
+
+/// Explicit input grids and their seeded description answer identically
+/// (so a coordinator may ship either form).
+#[test]
+fn seeded_and_explicit_inputs_agree() {
+    let tile = Extent::new_2d(16, 16);
+    let seeded = base_workload().freeze().unwrap();
+    let explicit = Workload::new(gallery::jacobi_2d())
+        .inputs(vec![Grid::pseudo_random(tile, 1)])
+        .freeze()
+        .unwrap();
+    assert_eq!(explicit.extent(), tile, "extent derived from the grids");
+    let session = Session::new();
+    let a = session.submit(&seeded).unwrap();
+    let b = session.submit(&explicit).unwrap();
+    assert_eq!(a.expect_output(), b.expect_output());
+    assert_eq!(b.telemetry.cache_hits, 1, "same kernel serves both");
+}
