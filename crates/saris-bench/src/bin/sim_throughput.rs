@@ -1,0 +1,239 @@
+//! Simulator-throughput benchmark: how many simulated cycles per wall
+//! second `snitch-sim` delivers on the paper's kernel gallery.
+//!
+//! Simulator throughput bounds everything the harness does — tuning
+//! sweeps, scaleout bootstraps, a future serving loop — so this benchmark
+//! tracks it as a first-class artifact. It runs every gallery code in
+//! both variants (plus a DMA double-buffering workload) through one
+//! [`Session`], measures wall time per workload over several warm
+//! iterations (the first, compile-bearing submission is excluded), and
+//! emits `BENCH_sim_throughput.json` with per-workload and aggregate
+//! simulated-cycles-per-second numbers.
+//!
+//! Usage: `sim_throughput [--subset] [--iters N] [--out PATH]`
+//!
+//! `--subset` runs a three-code subset with one timed iteration — the
+//! configuration CI uses so perf regressions stay visible per PR without
+//! dominating the pipeline.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use saris_bench::PAPER_SEED;
+use saris_codegen::{RunOptions, Session, Variant, Workload, WorkloadSpec};
+use saris_core::{gallery, Extent, Space, Stencil};
+
+/// Simulated cycles per wall second measured on this benchmark at the
+/// commit *before* the allocation-free cycle loop landed (same machine,
+/// release build, full gallery, default iterations; median of three
+/// runs spanning 9.1e5–9.6e5). Kept so every later run reports its
+/// speedup against the recorded pre-optimization state; see ROADMAP.md
+/// for the measurement log.
+const PRE_OPT_BASELINE_CYCLES_PER_SEC: f64 = 9.3e5;
+
+struct BenchRow {
+    name: String,
+    cycles: u64,
+    fast_forwarded: u64,
+    wall_seconds: f64,
+    iters: usize,
+}
+
+impl BenchRow {
+    fn cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.wall_seconds
+        }
+    }
+}
+
+fn paper_options(variant: Variant) -> RunOptions {
+    // Fixed unroll 1 (feasible for every gallery code in both variants)
+    // instead of tuning, and no in-submission verification: the benchmark
+    // times the *simulator*, not codegen or the native reference.
+    RunOptions::new(variant).with_unroll(1)
+}
+
+fn bench_tile(stencil: &Stencil) -> Extent {
+    match stencil.space() {
+        Space::Dim2 => Extent::new_2d(64, 64),
+        Space::Dim3 => Extent::cube(Space::Dim3, 16),
+    }
+}
+
+fn gallery_specs(subset: bool) -> Vec<(String, WorkloadSpec)> {
+    let names: &[&str] = if subset {
+        &["jacobi_2d", "star3d2r", "j3d27pt"]
+    } else {
+        &gallery::NAMES
+    };
+    let mut specs = Vec::new();
+    for name in names {
+        let stencil = gallery::by_name(name).expect("gallery name");
+        for variant in [Variant::Base, Variant::Saris] {
+            let spec = Workload::new(stencil.clone())
+                .extent(bench_tile(&stencil))
+                .input_seed(PAPER_SEED)
+                .options(paper_options(variant))
+                .freeze()
+                .expect("bench workloads are valid");
+            specs.push((format!("{name}/{variant}"), spec));
+        }
+    }
+    // A DMA double-buffering workload: tile-sized transfers streaming in
+    // and out of main memory concurrently with the kernel, so the bench
+    // also covers the engine's DMA and idle-wait paths.
+    let stencil = gallery::jacobi_2d();
+    let spec = Workload::new(stencil.clone())
+        .extent(bench_tile(&stencil))
+        .input_seed(PAPER_SEED)
+        .options(paper_options(Variant::Saris).with_concurrent_dma())
+        .freeze()
+        .expect("bench workloads are valid");
+    specs.push(("jacobi_2d/saris+dma".to_string(), spec));
+    specs
+}
+
+fn run_bench(session: &Session, name: &str, spec: &WorkloadSpec, iters: usize) -> BenchRow {
+    // Warm-up submission: compiles the kernel and populates the cluster
+    // pool, so the timed iterations measure simulation alone.
+    session
+        .submit(spec)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut cycles = 0;
+    let mut fast_forwarded = 0;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let outcome = session
+            .submit(spec)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        cycles += outcome.total_cycles();
+        fast_forwarded += outcome.telemetry.cycles_fast_forwarded;
+    }
+    BenchRow {
+        name: name.to_string(),
+        cycles,
+        fast_forwarded,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        iters,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(rows: &[BenchRow], subset: bool) -> String {
+    let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+    let total_ff: u64 = rows.iter().map(|r| r.fast_forwarded).sum();
+    let total_wall: f64 = rows.iter().map(|r| r.wall_seconds).sum();
+    let total_rate = if total_wall == 0.0 {
+        0.0
+    } else {
+        total_cycles as f64 / total_wall
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sim_throughput\",");
+    let _ = writeln!(out, "  \"subset\": {subset},");
+    let _ = writeln!(
+        out,
+        "  \"pre_opt_baseline_cycles_per_sec\": {PRE_OPT_BASELINE_CYCLES_PER_SEC:.3e},"
+    );
+    // The recorded baseline is a full-gallery measurement; a subset run
+    // covers a different workload mix, so comparing the rates would
+    // produce a meaningless "speedup". Emit null rather than a skewed
+    // number CI readers might track.
+    if subset {
+        let _ = writeln!(out, "  \"speedup_vs_pre_opt_baseline\": null,");
+    } else {
+        let _ = writeln!(
+            out,
+            "  \"speedup_vs_pre_opt_baseline\": {:.3},",
+            total_rate / PRE_OPT_BASELINE_CYCLES_PER_SEC
+        );
+    }
+    let _ = writeln!(out, "  \"total_sim_cycles\": {total_cycles},");
+    let _ = writeln!(out, "  \"total_cycles_fast_forwarded\": {total_ff},");
+    let _ = writeln!(out, "  \"total_wall_seconds\": {total_wall:.6},");
+    let _ = writeln!(out, "  \"total_sim_cycles_per_sec\": {total_rate:.3e},");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"iters\": {}, \"sim_cycles\": {}, \
+             \"cycles_fast_forwarded\": {}, \"wall_seconds\": {:.6}, \
+             \"sim_cycles_per_sec\": {:.3e}}}{comma}",
+            json_escape(&r.name),
+            r.iters,
+            r.cycles,
+            r.fast_forwarded,
+            r.wall_seconds,
+            r.cycles_per_sec(),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let subset = args.iter().any(|a| a == "--subset");
+    let mut iters = if subset { 1 } else { 3 };
+    let mut out_path = "BENCH_sim_throughput.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters takes a positive integer");
+            }
+            "--out" => out_path = it.next().expect("--out takes a path").clone(),
+            "--subset" => {}
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(iters > 0, "need at least one timed iteration");
+
+    println!("sim_throughput: simulated cycles per wall second\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>14}",
+        "workload", "sim cycles", "fast-fwd", "wall s", "cycles/s"
+    );
+    let session = Session::new();
+    let mut rows = Vec::new();
+    for (name, spec) in gallery_specs(subset) {
+        let row = run_bench(&session, &name, &spec, iters);
+        println!(
+            "{:<22} {:>12} {:>12} {:>10.4} {:>14.3e}",
+            row.name,
+            row.cycles,
+            row.fast_forwarded,
+            row.wall_seconds,
+            row.cycles_per_sec()
+        );
+        rows.push(row);
+    }
+    let json = render_json(&rows, subset);
+    let total_rate: f64 = {
+        let cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+        let wall: f64 = rows.iter().map(|r| r.wall_seconds).sum();
+        cycles as f64 / wall.max(f64::MIN_POSITIVE)
+    };
+    if subset {
+        println!("\ntotal: {total_rate:.3e} simulated cycles/sec (subset — not comparable to the full-gallery baseline)");
+    } else {
+        println!(
+            "\ntotal: {:.3e} simulated cycles/sec ({:.2}x the recorded pre-optimization baseline)",
+            total_rate,
+            total_rate / PRE_OPT_BASELINE_CYCLES_PER_SEC
+        );
+    }
+    std::fs::write(&out_path, json).expect("write benchmark artifact");
+    println!("wrote {out_path}");
+}

@@ -295,6 +295,9 @@ pub struct SessionStats {
     /// Cache/pool entries dropped by the [`SessionConfig`] bounds
     /// (LRU-evicted kernels plus clusters released into a full pool).
     pub evictions: u64,
+    /// Simulated cycles the engine skipped via idle fast-forwarding
+    /// across all runs (dead time the simulator never stepped through).
+    pub cycles_fast_forwarded: u64,
 }
 
 /// One kernel-cache entry: a per-key slot so concurrent compilations of
@@ -513,10 +516,16 @@ impl Session {
         })?;
         tel.runs += 1;
         tel.clusters_reused += u64::from(outcome.cluster_reused);
+        let fast_forwarded = outcome
+            .report
+            .as_ref()
+            .map_or(0, |r| r.cycles_fast_forwarded);
+        tel.cycles_fast_forwarded += fast_forwarded;
         {
             let mut stats = self.stats.lock().expect("session stats lock");
             stats.runs += 1;
             stats.clusters_reused += u64::from(outcome.cluster_reused);
+            stats.cycles_fast_forwarded += fast_forwarded;
         }
         Ok(RunOut {
             output: outcome.output,

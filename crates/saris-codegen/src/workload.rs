@@ -535,6 +535,11 @@ pub struct WorkloadTelemetry {
     pub cache_hits: u64,
     /// Executions that recycled a pooled cluster.
     pub clusters_reused: u64,
+    /// Simulated cycles the engine skipped via idle fast-forwarding
+    /// across this workload's runs (see
+    /// [`RunReport::cycles_fast_forwarded`]) — how much dead time the
+    /// simulator never had to step through.
+    pub cycles_fast_forwarded: u64,
 }
 
 /// The response half of the execution-engine API: everything one

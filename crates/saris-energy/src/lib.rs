@@ -262,6 +262,7 @@ mod tests {
         };
         RunReport {
             cycles,
+            cycles_fast_forwarded: 0,
             cores: vec![core; 8],
             tcdm_accesses: tcdm,
             tcdm_conflicts: 0,

@@ -234,7 +234,7 @@ impl fmt::Display for IndexWidth {
 /// `base` here is the *static* base; if an [`Instr::SsrSetBase`] executes
 /// before the arming [`Instr::SsrCommit`], the staged register value is
 /// added to `base`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AffineCfg {
     /// Stream direction.
     pub dir: StreamDir,
@@ -276,7 +276,7 @@ impl AffineCfg {
 ///
 /// where `base` is the dynamic value staged by [`Instr::SsrSetBase`] and
 /// `idx` is the little-endian packed index array at `idx_base`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IndirectCfg {
     /// Stream direction.
     pub dir: StreamDir,
@@ -298,7 +298,12 @@ impl IndirectCfg {
 }
 
 /// Static stream configuration: affine or indirect.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Configurations are plain `Copy` data (no heap payload): simulators can
+/// carry them inline in pre-decoded execution tables and hand copies to
+/// their streamers without allocating. The `Box` in [`Instr::SsrSetup`]
+/// exists only to keep the *instruction* enum small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SsrCfg {
     /// Affine loop-nest stream.
     Affine(AffineCfg),
@@ -691,6 +696,30 @@ pub enum Instr {
     Halt,
 }
 
+/// The operand registers of one FP arithmetic instruction, decoded into
+/// fixed arrays — the allocation-free form execution tables store so hot
+/// loops never build per-instruction operand `Vec`s.
+///
+/// Only the first [`n_srcs`](FpOperands::n_srcs) entries of
+/// [`srcs`](FpOperands::srcs) are meaningful; the rest repeat the first
+/// source so the array is always fully initialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FpOperands {
+    /// Destination register.
+    pub rd: FpReg,
+    /// Source registers (first `n_srcs` entries).
+    pub srcs: [FpReg; 3],
+    /// Number of meaningful source registers (1..=3).
+    pub n_srcs: u8,
+}
+
+impl FpOperands {
+    /// The meaningful source registers.
+    pub fn srcs(&self) -> &[FpReg] {
+        &self.srcs[..self.n_srcs as usize]
+    }
+}
+
 impl Instr {
     /// Whether this instruction executes in the FP subsystem (and is thus a
     /// legal FREP body instruction and offloaded through the sequencer).
@@ -746,6 +775,32 @@ impl Instr {
     /// Whether this is a control-transfer instruction.
     pub fn is_control(&self) -> bool {
         matches!(self, Instr::Branch { .. } | Instr::Jump { .. })
+    }
+
+    /// The decoded operand registers of an FP *arithmetic* instruction
+    /// ([`Instr::FpR`], [`Instr::FpR4`], [`Instr::FpU`]), `None` for
+    /// everything else.
+    pub fn fp_operands(&self) -> Option<FpOperands> {
+        match self {
+            Instr::FpR { rd, rs1, rs2, .. } => Some(FpOperands {
+                rd: *rd,
+                srcs: [*rs1, *rs2, *rs1],
+                n_srcs: 2,
+            }),
+            Instr::FpR4 {
+                rd, rs1, rs2, rs3, ..
+            } => Some(FpOperands {
+                rd: *rd,
+                srcs: [*rs1, *rs2, *rs3],
+                n_srcs: 3,
+            }),
+            Instr::FpU { rd, rs1, .. } => Some(FpOperands {
+                rd: *rd,
+                srcs: [*rs1, *rs1, *rs1],
+                n_srcs: 1,
+            }),
+            _ => None,
+        }
     }
 }
 

@@ -51,8 +51,8 @@ pub mod reg;
 
 pub use error::BuildProgramError;
 pub use instr::{
-    AffineCfg, BranchCond, FpR4Op, FpROp, FpUOp, FrepCount, IndexWidth, IndirectCfg, Instr, SsrCfg,
-    SsrId, SsrSet, StreamDir,
+    AffineCfg, BranchCond, FpOperands, FpR4Op, FpROp, FpUOp, FrepCount, IndexWidth, IndirectCfg,
+    Instr, SsrCfg, SsrId, SsrSet, StreamDir,
 };
 pub use program::{Label, Program, ProgramBuilder};
 pub use reg::{FpReg, IntReg};

@@ -1,16 +1,49 @@
 //! The cluster: cores, TCDM, shared I$, DMA, and the lockstep cycle loop.
+//!
+//! # Hot-loop invariants
+//!
+//! [`Cluster::step`] — the innermost function of every simulation — is
+//! allocation-free: programs execute from pre-decoded [`ExecTable`]s, the
+//! per-bank grant scratch lives inside [`Tcdm`], and arbitration streams
+//! over the units' ports in place instead of gathering them into a
+//! per-cycle list. Nothing on the per-cycle path clones, boxes, or grows.
+//!
+//! # Fast-forwarding
+//!
+//! [`Cluster::run`] may skip ("fast-forward") spans of provably dead
+//! cycles instead of stepping through them one by one. A span is dead
+//! when *every* unit is inert: each core is halted or stalled until a
+//! known cycle, each FP subsystem is drained, each streamer has no job or
+//! request in flight, no TCDM port holds a request or response, and the
+//! DMA engine is idle or waiting out its main-memory burst latency. The
+//! engine then jumps straight to the earliest wakeup (a stall expiry or
+//! the DMA's burst-ready cycle), clamped to the cycle budget.
+//!
+//! Skipping preserves observability bit-for-bit: the few counters that
+//! tick even in dead cycles — each FPU's idle-stall count, the TCDM's
+//! rotating arbitration priority, and the DMA's busy/latency cycles
+//! while latency-bound — are booked for the skipped span exactly as if
+//! it had been stepped, so a fast-forwarded [`RunReport`] differs from a
+//! stepped one only in [`RunReport::cycles_fast_forwarded`]. The
+//! equivalence is asserted property-style across the kernel gallery in
+//! `tests/fast_forward.rs`; disable via
+//! [`ClusterConfig::fast_forward`] to force stepping.
 
 use std::sync::Arc;
 
 use saris_isa::Program;
 
 use crate::config::ClusterConfig;
-use crate::core::Core;
-use crate::dma::{Dma, DmaDescriptor};
+use crate::core::{Core, CoreWake};
+use crate::decode::ExecTable;
+use crate::dma::{Dma, DmaDescriptor, DmaWake};
 use crate::error::SimError;
 use crate::icache::ICache;
-use crate::mem::{MainMemory, MemPort, Tcdm};
+use crate::mem::{self, MainMemory, Tcdm};
 use crate::metrics::{CoreReport, RunReport};
+
+/// TCDM ports owned by one core: integer LSU, FP LSU, three streamers.
+const PORTS_PER_CORE: usize = 5;
 
 /// A simulated Snitch cluster.
 ///
@@ -47,15 +80,21 @@ pub struct Cluster {
     icache: ICache,
     cores: Vec<Core>,
     dma: Dma,
+    /// Cores currently halted — maintained on halt transitions so the run
+    /// loop's quiescence scan only happens once everything has halted.
+    halted_cores: usize,
+    /// Cycles [`Cluster::run`] skipped via fast-forwarding since the last
+    /// reset (subset of `cycle`).
+    fast_forwarded: u64,
 }
 
 impl Cluster {
     /// Creates a cluster with all cores executing an implicit `halt`.
     pub fn new(cfg: ClusterConfig) -> Cluster {
         cfg.validate();
-        let halt_program = Arc::new(trivial_halt());
+        let halt_table = Arc::new(ExecTable::decode(&trivial_halt(), &cfg));
         let cores = (0..cfg.n_cores)
-            .map(|i| Core::new(i, Arc::clone(&halt_program), &cfg))
+            .map(|i| Core::new(i, Arc::clone(&halt_table), &cfg))
             .collect();
         Cluster {
             tcdm: Tcdm::new(&cfg),
@@ -64,6 +103,8 @@ impl Cluster {
             cores,
             dma: Dma::new(&cfg),
             cycle: 0,
+            halted_cores: 0,
+            fast_forwarded: 0,
             cfg,
         }
     }
@@ -80,35 +121,49 @@ impl Cluster {
     /// A reset cluster is indistinguishable from a freshly constructed
     /// one (same cycle counts, same reports, same output bits), which is
     /// what makes pooling clusters across kernel executions safe; see
-    /// the session layer in `saris-codegen`.
+    /// the session layer in `saris-codegen`. That includes the hot-loop
+    /// scratch state added for the allocation-free cycle path: the halt
+    /// counter, the fast-forward tally, and the TCDM grant scratch all
+    /// return to power-on values.
     pub fn reset(&mut self) {
-        let halt_program = Arc::new(trivial_halt());
+        let halt_table = Arc::new(ExecTable::decode(&trivial_halt(), &self.cfg));
         for i in 0..self.cores.len() {
-            self.cores[i] = Core::new(i, Arc::clone(&halt_program), &self.cfg);
+            self.cores[i] = Core::new(i, Arc::clone(&halt_table), &self.cfg);
         }
         self.tcdm.reset();
         self.main.reset();
         self.icache.reset();
         self.dma.reset();
         self.cycle = 0;
+        self.halted_cores = 0;
+        self.fast_forwarded = 0;
     }
 
-    /// Loads `program` onto `core` (resetting its pc).
+    /// Loads `program` onto `core` (resetting its pc), pre-decoding it
+    /// into the dense execution table the core runs from.
     ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
     pub fn load_program(&mut self, core: usize, program: Program) {
-        let arc = Arc::new(program);
-        self.cores[core] = Core::new(core, arc, &self.cfg);
+        let table = Arc::new(ExecTable::decode(&program, &self.cfg));
+        self.cores[core] = Core::new(core, table, &self.cfg);
+        self.recount_halted();
     }
 
-    /// Loads the same program onto every core.
+    /// Loads the same program onto every core, decoding it once and
+    /// sharing the execution table.
     pub fn load_program_all(&mut self, program: Program) {
-        let arc = Arc::new(program);
+        let table = Arc::new(ExecTable::decode(&program, &self.cfg));
         for i in 0..self.cores.len() {
-            self.cores[i] = Core::new(i, Arc::clone(&arc), &self.cfg);
+            self.cores[i] = Core::new(i, Arc::clone(&table), &self.cfg);
         }
+        self.recount_halted();
+    }
+
+    /// Re-derives the halted-core count after cores were replaced.
+    fn recount_halted(&mut self) {
+        self.halted_cores = self.cores.iter().filter(|c| c.is_halted()).count();
     }
 
     /// Mutable access to a core (argument registers, FP registers).
@@ -209,28 +264,79 @@ impl Cluster {
     pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
         for core in &mut self.cores {
+            let was_halted = core.is_halted();
             core.step(now, &mut self.icache)?;
-        }
-        self.dma.step(now, &mut self.main)?;
-        // Gather every port and arbitrate the banks.
-        let mut ports: Vec<&mut MemPort> = Vec::with_capacity(self.cores.len() * 5 + 8);
-        for core in &mut self.cores {
-            ports.push(&mut core.lsu_port);
-            ports.push(&mut core.fp.lsu_port);
-            for s in &mut core.streamers {
-                ports.push(&mut s.port);
+            if !was_halted && core.is_halted() {
+                self.halted_cores += 1;
             }
         }
-        for p in &mut self.dma.ports {
-            ports.push(p);
-        }
-        self.tcdm.arbitrate(&mut ports, now)?;
+        self.dma.step(now, &mut self.main)?;
+        self.arbitrate(now)?;
         self.cycle += 1;
         Ok(())
     }
 
+    /// One TCDM arbitration cycle, streaming every unit's port to the
+    /// arbiter in place (no gathered port list, no allocation). The visit
+    /// order — per core: integer LSU, FP LSU, streamers 0..2; then the
+    /// DMA lanes — matches what a gathered list would be, so grant
+    /// priority is unchanged.
+    ///
+    /// A single pre-scan collects the pending ports into a bitmask;
+    /// request-free cycles (integer phases, stall spans) only advance the
+    /// rotating priority, and busy cycles offer *only* the pending ports
+    /// — in the exact rotating order, reconstructed by splitting the mask
+    /// at the priority start — instead of touching all
+    /// `cores * 5 + lanes` ports twice.
+    fn arbitrate(&mut self, now: u64) -> Result<(), SimError> {
+        let Cluster {
+            tcdm, cores, dma, ..
+        } = self;
+        let n_core_ports = cores.len() * PORTS_PER_CORE;
+        let n = n_core_ports + dma.ports.len();
+        if n > 128 {
+            // Oversized configurations fall back to offering every port.
+            let arb = tcdm.begin_cycle(n);
+            for pass in 0..2 {
+                for i in 0..n {
+                    tcdm.offer(arb, pass, i, port_mut(cores, dma, i), now)?;
+                }
+            }
+            return Ok(());
+        }
+        let mut mask: u128 = 0;
+        for (c, core) in cores.iter().enumerate() {
+            let base = c * PORTS_PER_CORE;
+            mask |= (core.lsu_port.is_pending() as u128) << base;
+            mask |= (core.fp.lsu_port.is_pending() as u128) << (base + 1);
+            for (k, s) in core.streamers.iter().enumerate() {
+                mask |= (s.port.is_pending() as u128) << (base + 2 + k);
+            }
+        }
+        for (k, p) in dma.ports.iter().enumerate() {
+            mask |= (p.is_pending() as u128) << (n_core_ports + k);
+        }
+        if mask == 0 {
+            tcdm.skip_idle_cycles(1);
+            return Ok(());
+        }
+        let arb = tcdm.begin_cycle(n);
+        let wrap = (1u128 << arb.start()) - 1;
+        for (pass, mut m) in [(0, mask & !wrap), (1, mask & wrap)] {
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                tcdm.offer(arb, pass, i, port_mut(cores, dma, i), now)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Runs until every core is quiescent and the DMA is idle, or
-    /// `max_cycles` elapse.
+    /// `max_cycles` elapse. When [`ClusterConfig::fast_forward`] is set
+    /// (the default), provably dead spans are skipped instead of stepped
+    /// — see the module docs for the exact conditions and why reports
+    /// stay bit-identical.
     ///
     /// # Errors
     ///
@@ -238,9 +344,21 @@ impl Cluster {
     /// exhausted, or any propagated unit error.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
         let start = self.cycle;
-        while self.cycle - start < max_cycles {
-            if self.cores.iter().all(Core::is_quiescent) && self.dma.is_idle() {
-                return Ok(self.report(self.cycle - start));
+        let ff_start = self.fast_forwarded;
+        let budget_end = start.saturating_add(max_cycles);
+        while self.cycle < budget_end {
+            // The full quiescence scan only runs once every core has
+            // halted (tracked incrementally on halt transitions): while
+            // any core is live the cluster cannot be quiescent, so
+            // per-cycle scans would be wasted work.
+            if self.halted_cores == self.cores.len()
+                && self.dma.is_idle()
+                && self.cores.iter().all(Core::is_quiescent)
+            {
+                return Ok(self.report(self.cycle - start, self.fast_forwarded - ff_start));
+            }
+            if self.cfg.fast_forward && self.try_fast_forward(budget_end) {
+                continue; // re-evaluate quiescence and budget at the new cycle
             }
             self.step()?;
         }
@@ -255,8 +373,63 @@ impl Cluster {
         })
     }
 
+    /// Attempts to jump over a span of dead cycles. Returns `true` (and
+    /// advances `cycle`, booking all skipped-cycle counters) only when
+    /// every unit is provably inert strictly before the computed wakeup;
+    /// returns `false` when anything might act next cycle.
+    fn try_fast_forward(&mut self, budget_end: u64) -> bool {
+        let now = self.cycle;
+        // `u64::MAX` = "no unit ever wakes" (only counters and the
+        // timeout budget bound the skip).
+        let mut wake = u64::MAX;
+        for core in &self.cores {
+            match core.wake() {
+                CoreWake::Never => {}
+                CoreWake::At(t) => wake = wake.min(t),
+                CoreWake::Active => return false,
+            }
+            // A live FPU or streamer may issue (or count non-idle stalls)
+            // any cycle, and an outstanding port holds traffic the next
+            // arbitration cycle must see: all must be inert.
+            if !core.fp.is_drained() || !core.lsu_port.is_idle() {
+                return false;
+            }
+            if !core.streamers.iter().all(crate::ssr::Streamer::is_inert) {
+                return false;
+            }
+        }
+        let mut dma_latency_bound = false;
+        match self.dma.wake(now) {
+            DmaWake::Idle => {}
+            DmaWake::Active => return false,
+            DmaWake::LatencyUntil(t) => {
+                dma_latency_bound = true;
+                wake = wake.min(t);
+            }
+        }
+        let wake = wake.min(budget_end);
+        if wake <= now {
+            return false;
+        }
+        // Book everything the skipped cycles would have counted: each
+        // drained FPU idles once per cycle, the TCDM's round-robin
+        // priority rotates, and a latency-bound DMA accrues busy and
+        // latency time. Nothing else ticks in a dead cycle.
+        let skipped = wake - now;
+        for core in &mut self.cores {
+            core.fp.skip_idle_cycles(skipped);
+        }
+        self.tcdm.skip_idle_cycles(skipped);
+        if dma_latency_bound {
+            self.dma.skip_latency_cycles(skipped);
+        }
+        self.fast_forwarded += skipped;
+        self.cycle = wake;
+        true
+    }
+
     /// Builds the measurement report for the elapsed window.
-    fn report(&self, cycles: u64) -> RunReport {
+    fn report(&self, cycles: u64, cycles_fast_forwarded: u64) -> RunReport {
         let cores = self
             .cores
             .iter()
@@ -276,6 +449,7 @@ impl Cluster {
             .collect();
         RunReport {
             cycles,
+            cycles_fast_forwarded,
             cores,
             tcdm_accesses: self.tcdm.accesses,
             tcdm_conflicts: self.tcdm.conflicts,
@@ -284,6 +458,22 @@ impl Cluster {
             dma: self.dma.stats,
             freq_hz: self.cfg.freq_hz,
         }
+    }
+}
+
+/// The TCDM port at flat arbitration index `i` (per core: integer LSU,
+/// FP LSU, streamers 0..2; then the DMA lanes).
+fn port_mut<'a>(cores: &'a mut [Core], dma: &'a mut Dma, i: usize) -> &'a mut mem::MemPort {
+    let n_core_ports = cores.len() * PORTS_PER_CORE;
+    if i < n_core_ports {
+        let core = &mut cores[i / PORTS_PER_CORE];
+        match i % PORTS_PER_CORE {
+            0 => &mut core.lsu_port,
+            1 => &mut core.fp.lsu_port,
+            slot => &mut core.streamers[slot - 2].port,
+        }
+    } else {
+        &mut dma.ports[i - n_core_ports]
     }
 }
 
@@ -530,6 +720,143 @@ mod tests {
         c.load_program(0, program);
         let second = c.run(100_000).unwrap();
         assert_eq!(first, second);
+    }
+
+    /// Runs the same programs on a fast-forwarding and a stepped cluster
+    /// and asserts the reports agree bit-for-bit (modulo the ff tally).
+    fn assert_ff_equivalent(build: impl Fn(&mut Cluster), max_cycles: u64) -> RunReport {
+        let mut fast = Cluster::new(ClusterConfig::snitch());
+        let mut stepped_cfg = ClusterConfig::snitch();
+        stepped_cfg.fast_forward = false;
+        let mut stepped = Cluster::new(stepped_cfg);
+        build(&mut fast);
+        build(&mut stepped);
+        let fast_report = fast.run(max_cycles).unwrap();
+        let stepped_report = stepped.run(max_cycles).unwrap();
+        assert_eq!(stepped_report.cycles_fast_forwarded, 0);
+        let mut scrubbed = fast_report.clone();
+        scrubbed.cycles_fast_forwarded = 0;
+        assert_eq!(scrubbed, stepped_report);
+        fast_report
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_halt_tail() {
+        // Cores 1..7 halt at cycle 0 (icache hit after core 0's refill
+        // insert); core 0 waits out the serialized refill. Those waits
+        // are dead cycles the engine must skip — without changing the
+        // report at all.
+        let report = assert_ff_equivalent(|_| {}, 1_000);
+        assert!(report.cycles < 20);
+        assert!(
+            report.cycles_fast_forwarded > 0,
+            "idle refill waits should fast-forward"
+        );
+    }
+
+    #[test]
+    fn fast_forward_skips_dma_latency_windows() {
+        let report = assert_ff_equivalent(
+            |c| {
+                let vals: Vec<f64> = (0..512).map(|i| i as f64).collect();
+                c.write_main_f64_slice(crate::config::MAIN_BASE, &vals)
+                    .unwrap();
+                // Two transfers: each burst start waits out the
+                // main-memory latency while every core is halted.
+                c.dma_enqueue(DmaDescriptor::copy_1d(
+                    crate::config::MAIN_BASE,
+                    TCDM_BASE,
+                    512 * 8,
+                ))
+                .unwrap();
+                c.dma_enqueue(DmaDescriptor::copy_1d(
+                    crate::config::MAIN_BASE,
+                    TCDM_BASE + 8192,
+                    512 * 8,
+                ))
+                .unwrap();
+            },
+            100_000,
+        );
+        assert_eq!(report.dma.bytes, 2 * 512 * 8);
+        // Nearly every latency-wait cycle is dead time (the burst-start
+        // cycle itself, where the descriptor activates, is not).
+        assert!(
+            report.cycles_fast_forwarded >= report.dma.latency_cycles / 2,
+            "latency windows ({}) should mostly be skipped (got {})",
+            report.dma.latency_cycles,
+            report.cycles_fast_forwarded
+        );
+    }
+
+    #[test]
+    fn fast_forward_equivalent_on_compute_with_dma() {
+        // The dma_overlaps_with_compute scenario, both ways.
+        assert_ff_equivalent(
+            |c| {
+                let n = 2048;
+                let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                c.write_main_f64_slice(crate::config::MAIN_BASE, &vals)
+                    .unwrap();
+                c.dma_enqueue(DmaDescriptor::copy_1d(
+                    crate::config::MAIN_BASE,
+                    TCDM_BASE + 32 * 1024,
+                    n * 8,
+                ))
+                .unwrap();
+                let mut b = ProgramBuilder::new();
+                b.push(Instr::Frep {
+                    count: saris_isa::FrepCount::Imm(499),
+                    n_instrs: 1,
+                });
+                b.push(Instr::FpR {
+                    op: FpROp::Add,
+                    rd: FpReg::FT3,
+                    rs1: FpReg::FT4,
+                    rs2: FpReg::FT3,
+                });
+                b.push(Instr::Halt);
+                c.load_program(0, b.finish().unwrap());
+            },
+            100_000,
+        );
+    }
+
+    #[test]
+    fn fast_forward_timeout_is_identical() {
+        // A stuck cluster (write stream with residue, no job) spins to
+        // the budget; fast-forwarding must report the same timeout cycle.
+        let build = |c: &mut Cluster| {
+            let mut b = ProgramBuilder::new();
+            let spin = b.bind_here();
+            b.jump(spin);
+            b.push(Instr::Halt);
+            c.load_program(0, b.finish().unwrap());
+        };
+        let mut fast = Cluster::new(ClusterConfig::snitch());
+        let mut stepped_cfg = ClusterConfig::snitch();
+        stepped_cfg.fast_forward = false;
+        let mut stepped = Cluster::new(stepped_cfg);
+        build(&mut fast);
+        build(&mut stepped);
+        let fast_err = fast.run(500).unwrap_err();
+        let stepped_err = stepped.run(500).unwrap_err();
+        match (fast_err, stepped_err) {
+            (
+                SimError::Timeout {
+                    at_cycle: a,
+                    state: sa,
+                },
+                SimError::Timeout {
+                    at_cycle: b,
+                    state: sb,
+                },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(sa, sb);
+            }
+            other => panic!("expected matching timeouts, got {other:?}"),
+        }
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub struct ClusterConfig {
     pub dma_beat_bytes: usize,
     /// Clock frequency in hertz (used for derived wall-time metrics).
     pub freq_hz: f64,
+    /// Whether [`Cluster::run`](crate::Cluster::run) may fast-forward
+    /// across provably dead cycles (all cores halted or stalled, no
+    /// memory traffic in flight, DMA idle or waiting out its burst
+    /// latency). Reports are identical either way — fast-forwarding
+    /// preserves every cycle and counter bit-for-bit and additionally
+    /// reports how much it skipped — so this stays on except when
+    /// exercising the stepped path (equivalence tests, debugging).
+    pub fast_forward: bool,
 }
 
 impl ClusterConfig {
@@ -104,6 +112,7 @@ impl ClusterConfig {
             icache_miss_penalty: 8,
             dma_beat_bytes: 64,
             freq_hz: 1.0e9,
+            fast_forward: true,
         }
     }
 

@@ -8,12 +8,21 @@
 //! `ssr_commit`) execute on the integer side and stall only when a
 //! streamer's launch queue is full, which lets launches run ahead of the
 //! FPU exactly as in the paper's Listing 1d loop.
+//!
+//! # Hot-loop invariants
+//!
+//! Cores execute from a pre-decoded [`ExecTable`] (see
+//! [`crate::decode`]): fetching an instruction is a by-value copy from a
+//! dense array — no per-cycle clone, no `Box` traffic from `ssr_setup`
+//! payloads, no operand `Vec`s. [`Core::step`] performs no heap
+//! allocation in any state.
 
 use std::sync::Arc;
 
-use saris_isa::{FrepCount, Instr, Program};
+use saris_isa::FrepCount;
 
 use crate::config::ClusterConfig;
+use crate::decode::{ExecTable, Op};
 use crate::error::SimError;
 use crate::fpu::FpSubsystem;
 use crate::icache::ICache;
@@ -62,12 +71,24 @@ enum IntState {
     Halted,
 }
 
+/// What the integer pipeline will do next, as seen by the cluster's
+/// fast-forward scan (see [`Cluster::run`](crate::Cluster::run)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoreWake {
+    /// Halted: never does anything again.
+    Never,
+    /// Stalled: provably inert strictly before the given cycle.
+    At(u64),
+    /// Ready or waiting on memory: may act next cycle.
+    Active,
+}
+
 /// One core: integer pipeline, FP subsystem, streamers, LSU port.
 #[derive(Debug)]
 pub struct Core {
     /// Core index within the cluster.
     pub id: usize,
-    program: Arc<Program>,
+    table: Arc<ExecTable>,
     pc: usize,
     regs: [u64; 32],
     state: IntState,
@@ -86,11 +107,15 @@ pub struct Core {
 }
 
 impl Core {
-    /// Creates a core executing `program` from pc 0.
-    pub fn new(id: usize, program: Arc<Program>, cfg: &ClusterConfig) -> Core {
+    /// Creates a core executing the decoded `table` from pc 0.
+    ///
+    /// Tables are shareable: load the same `Arc` onto every core to decode
+    /// a program once (see
+    /// [`Cluster::load_program_all`](crate::Cluster::load_program_all)).
+    pub fn new(id: usize, table: Arc<ExecTable>, cfg: &ClusterConfig) -> Core {
         Core {
             id,
-            program,
+            table,
             pc: 0,
             regs: [0; 32],
             state: IntState::Ready,
@@ -115,6 +140,16 @@ impl Core {
             && self.fp.is_drained()
             && self.streamers.iter().all(Streamer::is_drained)
             && self.lsu_port.is_idle()
+    }
+
+    /// The integer pipeline's next-action classification for the
+    /// fast-forward scan.
+    pub(crate) fn wake(&self) -> CoreWake {
+        match self.state {
+            IntState::Halted => CoreWake::Never,
+            IntState::StallUntil(t) => CoreWake::At(t),
+            IntState::Ready | IntState::WaitLoad { .. } | IntState::WaitStore => CoreWake::Active,
+        }
     }
 
     /// Host write of an integer register (kernel arguments).
@@ -204,15 +239,13 @@ impl Core {
                 return Ok(());
             }
         }
-        let instr = self
-            .program
-            .get(self.pc)
-            .ok_or(SimError::PcOutOfRange {
-                core: self.id,
-                pc: self.pc,
-            })?
-            .clone();
-        self.execute(&instr, now)
+        // By-value fetch from the dense decoded table: no clone, no
+        // allocation, no borrow held across execution.
+        let op = self.table.get(self.pc).ok_or(SimError::PcOutOfRange {
+            core: self.id,
+            pc: self.pc,
+        })?;
+        self.execute(op, now)
     }
 
     fn advance(&mut self) {
@@ -226,65 +259,64 @@ impl Core {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn execute(&mut self, instr: &Instr, now: u64) -> Result<(), SimError> {
-        use Instr::*;
-        match instr {
-            Li { rd, imm } => {
-                self.set_reg(*rd, *imm as u64);
-                if instr.issue_cost() > 1 {
-                    self.stats.stalls.multi_issue += (instr.issue_cost() - 1) as u64;
-                    self.state = IntState::StallUntil(now + instr.issue_cost() as u64);
+    fn execute(&mut self, op: Op, now: u64) -> Result<(), SimError> {
+        match op {
+            Op::Li { rd, imm, cost } => {
+                self.set_reg(rd, imm as u64);
+                if cost > 1 {
+                    self.stats.stalls.multi_issue += (cost - 1) as u64;
+                    self.state = IntState::StallUntil(now + cost as u64);
                 }
                 self.advance();
             }
-            Addi { rd, rs1, imm } => {
-                let v = self.reg_i(*rs1).wrapping_add(*imm as i64 as u64);
-                self.set_reg(*rd, v);
+            Op::Addi { rd, rs1, imm } => {
+                let v = self.reg_i(rs1).wrapping_add(imm as i64 as u64);
+                self.set_reg(rd, v);
                 self.advance();
             }
-            Add { rd, rs1, rs2 } => {
-                let v = self.reg_i(*rs1).wrapping_add(self.reg_i(*rs2));
-                self.set_reg(*rd, v);
+            Op::Add { rd, rs1, rs2 } => {
+                let v = self.reg_i(rs1).wrapping_add(self.reg_i(rs2));
+                self.set_reg(rd, v);
                 self.advance();
             }
-            Sub { rd, rs1, rs2 } => {
-                let v = self.reg_i(*rs1).wrapping_sub(self.reg_i(*rs2));
-                self.set_reg(*rd, v);
+            Op::Sub { rd, rs1, rs2 } => {
+                let v = self.reg_i(rs1).wrapping_sub(self.reg_i(rs2));
+                self.set_reg(rd, v);
                 self.advance();
             }
-            Mul { rd, rs1, rs2 } => {
-                let v = self.reg_i(*rs1).wrapping_mul(self.reg_i(*rs2));
-                self.set_reg(*rd, v);
+            Op::Mul { rd, rs1, rs2 } => {
+                let v = self.reg_i(rs1).wrapping_mul(self.reg_i(rs2));
+                self.set_reg(rd, v);
                 // Shared multiplier: 2-cycle issue.
                 self.stats.stalls.multi_issue += 1;
                 self.state = IntState::StallUntil(now + 2);
                 self.advance();
             }
-            Slli { rd, rs1, shamt } => {
-                let v = self.reg_i(*rs1) << shamt;
-                self.set_reg(*rd, v);
+            Op::Slli { rd, rs1, shamt } => {
+                let v = self.reg_i(rs1) << shamt;
+                self.set_reg(rd, v);
                 self.advance();
             }
-            Lw { rd, base, imm } => {
+            Op::Lw { rd, base, imm } => {
                 if !self.lsu_port.is_idle() {
                     self.stats.stalls.lsu += 1;
                     return Ok(());
                 }
-                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
+                let addr = self.reg_i(base).wrapping_add(imm as i64 as u64);
                 self.lsu_port.issue(MemReq {
                     addr,
                     op: MemOp::Read32,
                 });
-                self.state = IntState::WaitLoad { rd: *rd };
+                self.state = IntState::WaitLoad { rd };
                 self.advance();
             }
-            Sw { rs2, base, imm } => {
+            Op::Sw { rs2, base, imm } => {
                 if !self.lsu_port.is_idle() {
                     self.stats.stalls.lsu += 1;
                     return Ok(());
                 }
-                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
-                let data = self.reg_i(*rs2) as u32;
+                let addr = self.reg_i(base).wrapping_add(imm as i64 as u64);
+                let data = self.reg_i(rs2) as u32;
                 self.lsu_port.issue(MemReq {
                     addr,
                     op: MemOp::Write32(data),
@@ -292,58 +324,54 @@ impl Core {
                 self.state = IntState::WaitStore;
                 self.advance();
             }
-            Branch {
+            Op::Branch {
                 cond,
                 rs1,
                 rs2,
                 target,
             } => {
-                let taken = cond.eval(self.reg_i(*rs1), self.reg_i(*rs2));
+                let taken = cond.eval(self.reg_i(rs1), self.reg_i(rs2));
                 self.stats.retired += 1;
                 self.fetched_pc = None;
                 if taken {
-                    self.pc = *target;
+                    self.pc = target as usize;
                     self.stats.stalls.branch += 1;
                     self.state = IntState::StallUntil(now + 2);
                 } else {
                     self.pc += 1;
                 }
             }
-            Jump { target } => {
+            Op::Jump { target } => {
                 self.stats.retired += 1;
                 self.fetched_pc = None;
-                self.pc = *target;
+                self.pc = target as usize;
                 self.stats.stalls.branch += 1;
                 self.state = IntState::StallUntil(now + 2);
             }
-            Fld { rd, base, imm } => {
+            Op::FpMem {
+                is_load,
+                reg,
+                base,
+                imm,
+            } => {
                 if !self.fp.can_offload() {
                     self.stats.stalls.offload_full += 1;
                     return Ok(());
                 }
-                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
-                self.fp.offload_mem(true, *rd, addr);
+                let addr = self.reg_i(base).wrapping_add(imm as i64 as u64);
+                self.fp.offload_mem(is_load, reg, addr);
                 self.advance();
             }
-            Fsd { rs2, base, imm } => {
+            Op::FpArith(arith) => {
                 if !self.fp.can_offload() {
                     self.stats.stalls.offload_full += 1;
                     return Ok(());
                 }
-                let addr = self.reg_i(*base).wrapping_add(*imm as i64 as u64);
-                self.fp.offload_mem(false, *rs2, addr);
+                self.fp.offload_arith(arith);
                 self.advance();
             }
-            FpR { .. } | FpR4 { .. } | FpU { .. } => {
-                if !self.fp.can_offload() {
-                    self.stats.stalls.offload_full += 1;
-                    return Ok(());
-                }
-                self.fp.offload_arith(instr.clone());
-                self.advance();
-            }
-            Frep { count, n_instrs } => {
-                if !self.fp.frep_fits(*n_instrs as usize) {
+            Op::Frep { count, n_instrs } => {
+                if !self.fp.frep_fits(n_instrs as usize) {
                     return Err(SimError::FrepMisuse {
                         core: self.id,
                         reason: "frep body empty or exceeds sequencer buffer",
@@ -354,17 +382,17 @@ impl Core {
                     return Ok(());
                 }
                 let reps = match count {
-                    FrepCount::Imm(c) => *c as u64,
-                    FrepCount::Reg(r) => self.reg_i(*r),
+                    FrepCount::Imm(c) => c as u64,
+                    FrepCount::Reg(r) => self.reg_i(r),
                 };
-                self.fp.offload_frep(reps, *n_instrs as usize);
+                self.fp.offload_frep(reps, n_instrs as usize);
                 self.advance();
             }
-            SsrEnable => {
+            Op::SsrEnable => {
                 self.ssr_enabled = true;
                 self.advance();
             }
-            SsrDisable => {
+            Op::SsrDisable => {
                 if !self.fp.is_drained() {
                     self.stats.stalls.drain += 1;
                     return Ok(());
@@ -385,26 +413,25 @@ impl Core {
                 self.ssr_enabled = false;
                 self.advance();
             }
-            SsrSetup { ssr, cfg } => {
+            Op::SsrSetup { ssr, cfg, cost } => {
                 let s = &mut self.streamers[ssr.index()];
                 if !s.is_drained() {
                     self.stats.stalls.drain += 1;
                     return Ok(());
                 }
-                s.configure(cfg.as_ref().clone());
-                let cost = instr.issue_cost() as u64;
+                s.configure(cfg);
                 if cost > 1 {
-                    self.stats.stalls.multi_issue += cost - 1;
-                    self.state = IntState::StallUntil(now + cost);
+                    self.stats.stalls.multi_issue += (cost - 1) as u64;
+                    self.state = IntState::StallUntil(now + cost as u64);
                 }
                 self.advance();
             }
-            SsrSetBase { ssr, rs1 } => {
-                let base = self.reg_i(*rs1);
+            Op::SsrSetBase { ssr, rs1 } => {
+                let base = self.reg_i(rs1);
                 self.streamers[ssr.index()].stage_base(base);
                 self.advance();
             }
-            SsrCommit { ssrs } => {
+            Op::SsrCommit { ssrs } => {
                 for ssr in ssrs.iter() {
                     if !self.streamers[ssr.index()].is_configured() {
                         return Err(SimError::CommitUnconfigured {
@@ -423,8 +450,8 @@ impl Core {
                 }
                 self.advance();
             }
-            Nop => self.advance(),
-            Halt => {
+            Op::Nop => self.advance(),
+            Op::Halt => {
                 self.state = IntState::Halted;
                 self.halted_at = Some(now);
                 self.stats.retired += 1;
@@ -448,13 +475,17 @@ mod tests {
     use super::*;
     use crate::config::TCDM_BASE;
     use crate::mem::Tcdm;
-    use saris_isa::{IntReg, ProgramBuilder};
+    use saris_isa::{Instr, IntReg, Program, ProgramBuilder};
+
+    fn table(program: &Program, cfg: &ClusterConfig) -> Arc<ExecTable> {
+        Arc::new(ExecTable::decode(program, cfg))
+    }
 
     fn run_core(program: Program, max_cycles: u64) -> (Core, Tcdm, u64) {
         let cfg = ClusterConfig::snitch();
         let mut tcdm = Tcdm::new(&cfg);
         let mut icache = ICache::new(&cfg);
-        let mut core = Core::new(0, Arc::new(program), &cfg);
+        let mut core = Core::new(0, table(&program, &cfg), &cfg);
         let mut cycle = 0;
         while cycle < max_cycles {
             core.step(cycle, &mut icache).unwrap();
@@ -590,7 +621,8 @@ mod tests {
         let cfg = ClusterConfig::snitch();
         let mut tcdm = Tcdm::new(&cfg);
         let mut icache = ICache::new(&cfg);
-        let mut core = Core::new(0, Arc::new(b.finish().unwrap()), &cfg);
+        let program = b.finish().unwrap();
+        let mut core = Core::new(0, table(&program, &cfg), &cfg);
         core.fp.set_reg(saris_isa::FpReg::FT4, 2.0);
         for cycle in 0..200 {
             core.step(cycle, &mut icache).unwrap();

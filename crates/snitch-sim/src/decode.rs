@@ -1,0 +1,301 @@
+//! Pre-decoded execution tables: the allocation-free form programs take
+//! inside the simulator's hot loop.
+//!
+//! [`Cluster::load_program`](crate::Cluster::load_program) decodes each
+//! loaded [`Program`] exactly once into an [`ExecTable`] — a dense array
+//! of decoded ops indexed by pc. Decoding resolves everything the per-cycle
+//! path would otherwise recompute or reallocate:
+//!
+//! * operand registers of FP arithmetic land in fixed arrays
+//!   ([`FpArithOp`]), so issuing never builds per-instruction `Vec`s;
+//! * FP latencies are resolved against the [`ClusterConfig`] once, so
+//!   the FPU issues without a per-op latency match;
+//! * multi-cycle issue costs (`li` pairs, `ssr_setup` write counts) are
+//!   precomputed;
+//! * the `Box<SsrCfg>` payload of [`Instr::SsrSetup`] is inlined, so
+//!   fetching an op is a plain copy with no heap traffic.
+//!
+//! Every decoded op is `Copy`; a core fetches by value (`table[pc]`) and the
+//! cycle loop touches no allocator. See the crate docs for the full list
+//! of hot-loop invariants.
+
+use saris_isa::{Instr, Program, SsrCfg};
+
+use crate::config::ClusterConfig;
+use crate::fpu::FpArithOp;
+
+/// One pre-decoded instruction, sized and shaped for by-value fetch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Op {
+    /// `li` with its issue cost resolved (1 or 2 cycles).
+    Li {
+        rd: saris_isa::IntReg,
+        imm: i64,
+        cost: u32,
+    },
+    Addi {
+        rd: saris_isa::IntReg,
+        rs1: saris_isa::IntReg,
+        imm: i32,
+    },
+    Add {
+        rd: saris_isa::IntReg,
+        rs1: saris_isa::IntReg,
+        rs2: saris_isa::IntReg,
+    },
+    Sub {
+        rd: saris_isa::IntReg,
+        rs1: saris_isa::IntReg,
+        rs2: saris_isa::IntReg,
+    },
+    Mul {
+        rd: saris_isa::IntReg,
+        rs1: saris_isa::IntReg,
+        rs2: saris_isa::IntReg,
+    },
+    Slli {
+        rd: saris_isa::IntReg,
+        rs1: saris_isa::IntReg,
+        shamt: u8,
+    },
+    Lw {
+        rd: saris_isa::IntReg,
+        base: saris_isa::IntReg,
+        imm: i32,
+    },
+    Sw {
+        rs2: saris_isa::IntReg,
+        base: saris_isa::IntReg,
+        imm: i32,
+    },
+    Branch {
+        cond: saris_isa::BranchCond,
+        rs1: saris_isa::IntReg,
+        rs2: saris_isa::IntReg,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    /// `fld` (`is_load`) or `fsd`: resolved to the FP LSU at offload time.
+    FpMem {
+        is_load: bool,
+        reg: saris_isa::FpReg,
+        base: saris_isa::IntReg,
+        imm: i32,
+    },
+    /// FP arithmetic with operands and latency fully decoded.
+    FpArith(FpArithOp),
+    Frep {
+        count: saris_isa::FrepCount,
+        n_instrs: u8,
+    },
+    SsrEnable,
+    SsrDisable,
+    /// `ssr_setup` with the configuration inlined (no `Box`) and the
+    /// issue cost (configuration-register write count) precomputed.
+    SsrSetup {
+        ssr: saris_isa::SsrId,
+        cfg: SsrCfg,
+        cost: u32,
+    },
+    SsrSetBase {
+        ssr: saris_isa::SsrId,
+        rs1: saris_isa::IntReg,
+    },
+    SsrCommit {
+        ssrs: saris_isa::SsrSet,
+    },
+    Nop,
+    Halt,
+}
+
+/// A [`Program`] decoded once, up front, into dense per-pc ops.
+///
+/// Tables are immutable and shareable: [`Cluster::load_program_all`]
+/// decodes once and hands every core the same `Arc<ExecTable>`.
+///
+/// [`Cluster::load_program_all`]: crate::Cluster::load_program_all
+#[derive(Debug)]
+pub struct ExecTable {
+    ops: Vec<Op>,
+}
+
+impl ExecTable {
+    /// Decodes `program` against `cfg` (which supplies the FP latencies).
+    pub fn decode(program: &Program, cfg: &ClusterConfig) -> ExecTable {
+        let ops = program
+            .instrs()
+            .iter()
+            .map(|instr| decode_instr(instr, cfg))
+            .collect();
+        ExecTable { ops }
+    }
+
+    /// Number of decoded instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The decoded op at `pc`, if in range.
+    pub(crate) fn get(&self, pc: usize) -> Option<Op> {
+        self.ops.get(pc).copied()
+    }
+}
+
+fn decode_instr(instr: &Instr, cfg: &ClusterConfig) -> Op {
+    match instr {
+        Instr::Li { rd, imm } => Op::Li {
+            rd: *rd,
+            imm: *imm,
+            cost: instr.issue_cost(),
+        },
+        Instr::Addi { rd, rs1, imm } => Op::Addi {
+            rd: *rd,
+            rs1: *rs1,
+            imm: *imm,
+        },
+        Instr::Add { rd, rs1, rs2 } => Op::Add {
+            rd: *rd,
+            rs1: *rs1,
+            rs2: *rs2,
+        },
+        Instr::Sub { rd, rs1, rs2 } => Op::Sub {
+            rd: *rd,
+            rs1: *rs1,
+            rs2: *rs2,
+        },
+        Instr::Mul { rd, rs1, rs2 } => Op::Mul {
+            rd: *rd,
+            rs1: *rs1,
+            rs2: *rs2,
+        },
+        Instr::Slli { rd, rs1, shamt } => Op::Slli {
+            rd: *rd,
+            rs1: *rs1,
+            shamt: *shamt,
+        },
+        Instr::Lw { rd, base, imm } => Op::Lw {
+            rd: *rd,
+            base: *base,
+            imm: *imm,
+        },
+        Instr::Sw { rs2, base, imm } => Op::Sw {
+            rs2: *rs2,
+            base: *base,
+            imm: *imm,
+        },
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => Op::Branch {
+            cond: *cond,
+            rs1: *rs1,
+            rs2: *rs2,
+            target: *target as u32,
+        },
+        Instr::Jump { target } => Op::Jump {
+            target: *target as u32,
+        },
+        Instr::Fld { rd, base, imm } => Op::FpMem {
+            is_load: true,
+            reg: *rd,
+            base: *base,
+            imm: *imm,
+        },
+        Instr::Fsd { rs2, base, imm } => Op::FpMem {
+            is_load: false,
+            reg: *rs2,
+            base: *base,
+            imm: *imm,
+        },
+        Instr::FpR { .. } | Instr::FpR4 { .. } | Instr::FpU { .. } => {
+            Op::FpArith(FpArithOp::decode(instr, cfg).expect("FP arithmetic"))
+        }
+        Instr::Frep { count, n_instrs } => Op::Frep {
+            count: *count,
+            n_instrs: *n_instrs,
+        },
+        Instr::SsrEnable => Op::SsrEnable,
+        Instr::SsrDisable => Op::SsrDisable,
+        Instr::SsrSetup { ssr, cfg: ssr_cfg } => Op::SsrSetup {
+            ssr: *ssr,
+            cfg: *ssr_cfg.as_ref(),
+            cost: instr.issue_cost(),
+        },
+        Instr::SsrSetBase { ssr, rs1 } => Op::SsrSetBase {
+            ssr: *ssr,
+            rs1: *rs1,
+        },
+        Instr::SsrCommit { ssrs } => Op::SsrCommit { ssrs: *ssrs },
+        Instr::Nop => Op::Nop,
+        Instr::Halt => Op::Halt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_isa::{FpROp, FpReg, IntReg, ProgramBuilder};
+
+    #[test]
+    fn decode_preserves_length_and_costs() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 1 << 20); // 2-cycle li
+        b.push(Instr::FpR {
+            op: FpROp::Add,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT4,
+            rs2: FpReg::FT5,
+        });
+        b.push(Instr::Halt);
+        let program = b.finish().unwrap();
+        let cfg = ClusterConfig::snitch();
+        let table = ExecTable::decode(&program, &cfg);
+        assert_eq!(table.len(), program.len());
+        assert!(matches!(table.get(0), Some(Op::Li { cost: 2, .. })));
+        match table.get(1) {
+            Some(Op::FpArith(op)) => {
+                assert_eq!(op.latency(), cfg.fpu_latency_add as u64);
+                assert_eq!(op.operands().n_srcs, 2);
+            }
+            other => panic!("expected decoded FP arithmetic, got {other:?}"),
+        }
+        assert!(matches!(table.get(2), Some(Op::Halt)));
+        assert_eq!(table.get(3), None);
+    }
+
+    #[test]
+    fn ssr_setup_is_inlined() {
+        let mut b = ProgramBuilder::new();
+        let cfg = saris_isa::SsrCfg::Affine(saris_isa::AffineCfg {
+            dir: saris_isa::StreamDir::Read,
+            base: crate::config::TCDM_BASE,
+            dims: 2,
+            strides: [8, 64, 0, 0],
+            bounds: [4, 4, 1, 1],
+        });
+        b.push(Instr::SsrSetup {
+            ssr: saris_isa::SsrId::Ssr0,
+            cfg: Box::new(cfg),
+        });
+        b.push(Instr::Halt);
+        let table = ExecTable::decode(&b.finish().unwrap(), &ClusterConfig::snitch());
+        match table.get(0) {
+            Some(Op::SsrSetup {
+                cfg: decoded, cost, ..
+            }) => {
+                assert_eq!(decoded, cfg);
+                assert_eq!(cost, cfg.write_count());
+            }
+            other => panic!("expected ssr_setup, got {other:?}"),
+        }
+    }
+}

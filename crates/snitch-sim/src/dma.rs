@@ -134,6 +134,19 @@ impl DmaStats {
     }
 }
 
+/// What the DMA engine will do next, as seen by the cluster's
+/// fast-forward scan (see [`Cluster::run`](crate::Cluster::run)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DmaWake {
+    /// No queued or active transfer: never acts until a new enqueue.
+    Idle,
+    /// Waiting out the main-memory burst latency: inert strictly before
+    /// the given cycle, but counting busy/latency cycles while waiting.
+    LatencyUntil(u64),
+    /// Moving data (or about to): may act next cycle.
+    Active,
+}
+
 #[derive(Debug)]
 struct ActiveTransfer {
     desc: DmaDescriptor,
@@ -228,6 +241,42 @@ impl Dma {
     /// Pending + active descriptor count.
     pub fn backlog(&self) -> usize {
         self.queue.len() + usize::from(self.active.is_some())
+    }
+
+    /// The engine's next-action classification for the cluster's
+    /// fast-forward scan at cycle `now`.
+    pub(crate) fn wake(&self, now: u64) -> DmaWake {
+        if self.ports.iter().any(|p| !p.is_idle()) {
+            // A grant to absorb (or a request in flight): active.
+            return DmaWake::Active;
+        }
+        match &self.active {
+            None => {
+                if self.queue.is_empty() {
+                    DmaWake::Idle
+                } else {
+                    // A queued descriptor starts next step.
+                    DmaWake::Active
+                }
+            }
+            Some(t) => {
+                if now < t.main_ready_at {
+                    DmaWake::LatencyUntil(t.main_ready_at)
+                } else {
+                    DmaWake::Active
+                }
+            }
+        }
+    }
+
+    /// Books the counters `cycles` burst-latency wait steps would have
+    /// accumulated — the fast-forward path's counter preservation for an
+    /// engine classified [`DmaWake::LatencyUntil`]: each waited cycle is
+    /// both busy and latency-bound.
+    pub(crate) fn skip_latency_cycles(&mut self, cycles: u64) {
+        debug_assert!(self.active.is_some(), "latency skip without a transfer");
+        self.stats.busy_cycles += cycles;
+        self.stats.latency_cycles += cycles;
     }
 
     /// Advances one cycle: absorb TCDM grants, start transfers, issue up
@@ -331,8 +380,7 @@ mod tests {
     fn run_dma(t: &mut Tcdm, m: &mut MainMemory, d: &mut Dma, max: u64) -> u64 {
         for cycle in 0..max {
             d.step(cycle, m).unwrap();
-            let mut ports: Vec<&mut MemPort> = d.ports.iter_mut().collect();
-            t.arbitrate(&mut ports, cycle).unwrap();
+            t.arbitrate_slice(&mut d.ports, cycle).unwrap();
             if d.is_idle() {
                 return cycle;
             }

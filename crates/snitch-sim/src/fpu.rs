@@ -5,19 +5,29 @@
 //! Snitch offloads every FP instruction from the single-issue integer core
 //! into this subsystem, which executes them in order but *concurrently*
 //! with subsequent integer instructions — the pseudo-dual-issue the paper
-//! relies on. An [`Instr::Frep`] marker makes the sequencer capture the
-//! following block and replay it from its buffer, so replayed executions
-//! consume no integer-core issue slots at all.
+//! relies on. An [`Instr::Frep`] marker makes the
+//! sequencer capture the following block and replay it from its buffer, so
+//! replayed executions consume no integer-core issue slots at all.
 //!
 //! FP loads and stores also execute here (Snitch's FP register file lives
 //! in the FP subsystem): the integer core resolves their address at
 //! offload time and they retire *in order* with the arithmetic stream, so
 //! an `fsd` always observes the value of the op that precedes it in
 //! program order.
+//!
+//! # Hot-loop invariants
+//!
+//! The per-cycle path ([`FpSubsystem::step`]) neither allocates nor
+//! clones: arithmetic arrives pre-decoded as [`FpArithOp`] (operands in
+//! fixed arrays, latency resolved against the [`ClusterConfig`] at decode
+//! time), and the issue candidate each cycle is a small `Copy` view of
+//! the queue front. The only allocations happen at offload time, when an
+//! FREP marker grows its capture buffer — once per loop body, not per
+//! replayed cycle.
 
 use std::collections::VecDeque;
 
-use saris_isa::{FpReg, Instr, SsrId, StreamDir};
+use saris_isa::{FpOperands, FpR4Op, FpROp, FpReg, FpUOp, Instr, SsrId, StreamDir};
 
 use crate::config::ClusterConfig;
 use crate::error::SimError;
@@ -70,11 +80,91 @@ pub struct FpuStats {
     pub stalls: FpuStalls,
 }
 
+/// The operation kind of a decoded FP arithmetic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FpArithKind {
+    /// Two-operand (`fadd.d` family).
+    R(FpROp),
+    /// Fused three-operand (`fmadd.d` family).
+    R4(FpR4Op),
+    /// Single-operand (`fmv.d` family).
+    U(FpUOp),
+}
+
+impl FpArithKind {
+    fn apply(self, v: [f64; 3]) -> f64 {
+        match self {
+            FpArithKind::R(op) => op.apply(v[0], v[1]),
+            FpArithKind::R4(op) => op.apply(v[0], v[1], v[2]),
+            FpArithKind::U(op) => op.apply(v[0]),
+        }
+    }
+}
+
+/// One FP arithmetic instruction decoded for allocation-free issue:
+/// operand registers in fixed arrays ([`FpOperands`]) and the result
+/// latency resolved against a [`ClusterConfig`] up front.
+///
+/// Built once per program by [`ExecTable::decode`](crate::ExecTable) and
+/// handed to [`FpSubsystem::offload_arith`] by value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpArithOp {
+    kind: FpArithKind,
+    operands: FpOperands,
+    latency: u64,
+    flops: u8,
+}
+
+impl FpArithOp {
+    /// Decodes an FP arithmetic instruction ([`Instr::FpR`],
+    /// [`Instr::FpR4`], [`Instr::FpU`]), resolving its result latency from
+    /// `cfg`. Returns `None` for any other instruction.
+    pub fn decode(instr: &Instr, cfg: &ClusterConfig) -> Option<FpArithOp> {
+        let operands = instr.fp_operands()?;
+        let (kind, latency) = match instr {
+            Instr::FpR { op, .. } => (
+                FpArithKind::R(*op),
+                match op {
+                    FpROp::Add | FpROp::Sub => cfg.fpu_latency_add,
+                    FpROp::Mul => cfg.fpu_latency_mul,
+                    FpROp::Div => cfg.fpu_latency_div,
+                    FpROp::Min | FpROp::Max => cfg.fpu_latency_misc,
+                },
+            ),
+            Instr::FpR4 { op, .. } => (FpArithKind::R4(*op), cfg.fpu_latency_fma),
+            Instr::FpU { op, .. } => (
+                FpArithKind::U(*op),
+                match op {
+                    FpUOp::Sqrt => cfg.fpu_latency_div,
+                    _ => cfg.fpu_latency_misc,
+                },
+            ),
+            _ => unreachable!("fp_operands returned Some for non-arith"),
+        };
+        Some(FpArithOp {
+            kind,
+            operands,
+            latency: latency as u64,
+            flops: instr.flops() as u8,
+        })
+    }
+
+    /// The decoded operand registers.
+    pub fn operands(&self) -> FpOperands {
+        self.operands
+    }
+
+    /// The resolved result latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
 /// One entry of the offload queue.
 #[derive(Debug, Clone, PartialEq)]
 enum FpOp {
-    /// FP arithmetic (FpR/FpR4/FpU).
-    Arith(Instr),
+    /// Decoded FP arithmetic.
+    Arith(FpArithOp),
     /// FP load/store with the address resolved at offload time.
     Mem {
         /// Load (`fld`) or store (`fsd`).
@@ -95,6 +185,19 @@ enum FpOp {
         expected: usize,
         /// Captured body.
         body: Vec<FpOp>,
+    },
+}
+
+/// The `Copy` view of the next issuable operation — what [`FpOp`] looks
+/// like once FREP markers are excluded, so each cycle's candidate is
+/// extracted without cloning queue entries.
+#[derive(Debug, Clone, Copy)]
+enum IssueOp {
+    Arith(FpArithOp),
+    Mem {
+        is_load: bool,
+        reg: FpReg,
+        addr: u64,
     },
 }
 
@@ -125,11 +228,6 @@ pub struct FpSubsystem {
     pub stats: FpuStats,
     queue_depth: usize,
     sequencer_depth: usize,
-    lat_add: u64,
-    lat_mul: u64,
-    lat_fma: u64,
-    lat_div: u64,
-    lat_misc: u64,
     lat_load: u64,
 }
 
@@ -148,11 +246,6 @@ impl FpSubsystem {
             stats: FpuStats::default(),
             queue_depth: cfg.offload_queue_depth,
             sequencer_depth: cfg.sequencer_depth,
-            lat_add: cfg.fpu_latency_add as u64,
-            lat_mul: cfg.fpu_latency_mul as u64,
-            lat_fma: cfg.fpu_latency_fma as u64,
-            lat_div: cfg.fpu_latency_div as u64,
-            lat_misc: cfg.fpu_latency_misc as u64,
             lat_load: cfg.fp_load_latency as u64,
         }
     }
@@ -188,16 +281,14 @@ impl FpSubsystem {
         }
     }
 
-    /// Offloads an FP arithmetic instruction.
+    /// Offloads a decoded FP arithmetic instruction.
     ///
     /// # Panics
     ///
-    /// Panics if the queue is full (check [`Self::can_offload`]) or the
-    /// instruction is not FP arithmetic.
-    pub fn offload_arith(&mut self, instr: Instr) {
+    /// Panics if the queue is full (check [`Self::can_offload`]).
+    pub fn offload_arith(&mut self, op: FpArithOp) {
         assert!(self.can_offload(), "offload queue full");
-        assert!(instr.is_fp_arith(), "offload_arith expects FP arithmetic");
-        self.push_op(FpOp::Arith(instr));
+        self.push_op(FpOp::Arith(op));
     }
 
     /// Offloads an FP load/store with its resolved byte address.
@@ -252,6 +343,15 @@ impl FpSubsystem {
         self.ready_at[r.index() as usize] = 0;
     }
 
+    /// Books the idle-stall cycles a drained subsystem would have counted
+    /// had the cluster stepped through `cycles` dead cycles one by one —
+    /// the fast-forward path's counter preservation (see
+    /// [`Cluster::run`](crate::Cluster::run)).
+    pub(crate) fn skip_idle_cycles(&mut self, cycles: u64) {
+        debug_assert!(self.is_drained(), "fast-forward over a live FPU");
+        self.stats.stalls.idle += cycles;
+    }
+
     /// Advances one cycle: absorbs LSU grants, then issues at most one FP
     /// operation — from the front FREP's captured body when one is
     /// active, else from the queue.
@@ -287,18 +387,17 @@ impl FpSubsystem {
                 }
             }
         }
-        let Some(op) = self.next_op().cloned() else {
+        let Some(op) = self.next_op() else {
             self.stats.stalls.idle += 1;
             return Ok(());
         };
-        let issued = match &op {
-            FpOp::Arith(instr) => {
-                self.try_issue_arith(instr, now, core_id, ssr_enabled, streamers)?
+        let issued = match op {
+            IssueOp::Arith(op) => {
+                self.try_issue_arith(&op, now, core_id, ssr_enabled, streamers)?
             }
-            FpOp::Mem { is_load, reg, addr } => {
-                self.try_issue_mem(now, core_id, ssr_enabled, streamers, *is_load, *reg, *addr)?
+            IssueOp::Mem { is_load, reg, addr } => {
+                self.try_issue_mem(now, core_id, ssr_enabled, streamers, is_load, reg, addr)?
             }
-            FpOp::Frep { .. } => unreachable!("cursor selects body ops"),
         };
         if issued {
             self.advance_sequencer();
@@ -306,12 +405,21 @@ impl FpSubsystem {
         Ok(())
     }
 
-    fn next_op(&self) -> Option<&FpOp> {
-        match (&self.frep_cursor, self.queue.front()) {
+    fn next_op(&self) -> Option<IssueOp> {
+        let op = match (&self.frep_cursor, self.queue.front()) {
             (Some(cursor), Some(FpOp::Frep { body, .. })) => body.get(cursor.pos),
             (None, front) => front,
             (Some(_), _) => unreachable!("cursor without a frep at the front"),
-        }
+        }?;
+        Some(match op {
+            FpOp::Arith(a) => IssueOp::Arith(*a),
+            FpOp::Mem { is_load, reg, addr } => IssueOp::Mem {
+                is_load: *is_load,
+                reg: *reg,
+                addr: *addr,
+            },
+            FpOp::Frep { .. } => unreachable!("cursor selects body ops"),
+        })
     }
 
     /// Moves sequencing state forward after a successful issue.
@@ -348,21 +456,15 @@ impl FpSubsystem {
 
     fn try_issue_arith(
         &mut self,
-        instr: &Instr,
+        op: &FpArithOp,
         now: u64,
         core_id: usize,
         ssr_enabled: bool,
         streamers: &mut [Streamer; 3],
     ) -> Result<bool, SimError> {
-        let (srcs, rd): (Vec<FpReg>, FpReg) = match instr {
-            Instr::FpR { rs1, rs2, rd, .. } => (vec![*rs1, *rs2], *rd),
-            Instr::FpR4 {
-                rs1, rs2, rs3, rd, ..
-            } => (vec![*rs1, *rs2, *rs3], *rd),
-            Instr::FpU { rs1, rd, .. } => (vec![*rs1], *rd),
-            other => unreachable!("non-arith {other}"),
-        };
-        if !self.sources_ready(&srcs, now, core_id, ssr_enabled, streamers)? {
+        let rd = op.operands.rd;
+        let srcs = op.operands.srcs();
+        if !self.sources_ready(srcs, now, core_id, ssr_enabled, streamers)? {
             return Ok(false);
         }
         let dst_stream = if ssr_enabled {
@@ -389,39 +491,20 @@ impl FpSubsystem {
             }
         }
         // ---- issue ----
-        let vals: Vec<f64> = srcs
-            .iter()
-            .map(|&r| self.read_src(r, ssr_enabled, streamers))
-            .collect();
-        let (v, lat) = match instr {
-            Instr::FpR { op, .. } => (
-                op.apply(vals[0], vals[1]),
-                match op {
-                    saris_isa::FpROp::Add | saris_isa::FpROp::Sub => self.lat_add,
-                    saris_isa::FpROp::Mul => self.lat_mul,
-                    saris_isa::FpROp::Div => self.lat_div,
-                    saris_isa::FpROp::Min | saris_isa::FpROp::Max => self.lat_misc,
-                },
-            ),
-            Instr::FpR4 { op, .. } => (op.apply(vals[0], vals[1], vals[2]), self.lat_fma),
-            Instr::FpU { op, .. } => (
-                op.apply(vals[0]),
-                match op {
-                    saris_isa::FpUOp::Sqrt => self.lat_div,
-                    _ => self.lat_misc,
-                },
-            ),
-            _ => unreachable!(),
-        };
+        let mut vals = [0.0f64; 3];
+        for (slot, &r) in vals.iter_mut().zip(srcs) {
+            *slot = self.read_src(r, ssr_enabled, streamers);
+        }
+        let v = op.kind.apply(vals);
         if let Some(ssr) = dst_stream {
             streamers[ssr.index()].push(v);
             self.stats.stream_pushes += 1;
         } else {
             self.regs[rd.index() as usize] = v;
-            self.ready_at[rd.index() as usize] = now + lat;
+            self.ready_at[rd.index() as usize] = now + op.latency;
         }
         self.stats.arith += 1;
-        self.stats.flops += instr.flops();
+        self.stats.flops += op.flops as u64;
         self.stats.retired += 1;
         Ok(true)
     }
@@ -545,13 +628,17 @@ mod tests {
         [Streamer::new(cfg), Streamer::new(cfg), Streamer::new(cfg)]
     }
 
-    fn fadd(rd: u8, rs1: u8, rs2: u8) -> Instr {
-        Instr::FpR {
+    fn decode(instr: Instr) -> FpArithOp {
+        FpArithOp::decode(&instr, &cfg()).expect("FP arithmetic")
+    }
+
+    fn fadd(rd: u8, rs1: u8, rs2: u8) -> FpArithOp {
+        decode(Instr::FpR {
             op: FpROp::Add,
             rd: FpReg::new(rd).unwrap(),
             rs1: FpReg::new(rs1).unwrap(),
             rs2: FpReg::new(rs2).unwrap(),
-        }
+        })
     }
 
     #[test]
@@ -716,13 +803,13 @@ mod tests {
         fp.set_reg(FpReg::FT4, 2.0);
         fp.set_reg(FpReg::FT5, 3.0);
         fp.set_reg(FpReg::FT6, 1.0);
-        fp.offload_arith(Instr::FpR4 {
+        fp.offload_arith(decode(Instr::FpR4 {
             op: FpR4Op::Madd,
             rd: FpReg::FT3,
             rs1: FpReg::FT4,
             rs2: FpReg::FT5,
             rs3: FpReg::FT6,
-        });
+        }));
         for now in 0..5u64 {
             fp.step(now, 0, false, &mut ss).unwrap();
         }
@@ -783,12 +870,12 @@ mod tests {
             saris_isa::IndexWidth::U16,
         ));
         fp.set_reg(FpReg::FT4, 1.0);
-        fp.offload_arith(Instr::FpR {
+        fp.offload_arith(decode(Instr::FpR {
             op: FpROp::Add,
             rd: FpReg::FT3,
             rs1: FpReg::FT0,
             rs2: FpReg::FT4,
-        });
+        }));
         for now in 0..5u64 {
             fp.step(now, 0, true, &mut ss).unwrap();
         }
@@ -808,12 +895,12 @@ mod tests {
             strides: [8, 0, 0, 0],
             bounds: [4, 1, 1, 1],
         }));
-        fp.offload_arith(Instr::FpR {
+        fp.offload_arith(decode(Instr::FpR {
             op: FpROp::Add,
             rd: FpReg::FT3,
             rs1: FpReg::FT2,
             rs2: FpReg::FT3,
-        });
+        }));
         let err = fp.step(0, 0, true, &mut ss).unwrap_err();
         assert!(matches!(err, SimError::StreamMisuse { ssr: 2, .. }));
     }
@@ -842,5 +929,20 @@ mod tests {
         }
         assert_eq!(fp.stats.stalls.idle, 3);
         assert!(fp.is_drained());
+    }
+
+    #[test]
+    fn skip_idle_cycles_matches_stepping() {
+        // Fast-forwarding a drained FPU books exactly the idle stalls
+        // stepping would have.
+        let cfg = cfg();
+        let mut stepped = FpSubsystem::new(&cfg);
+        let mut skipped = FpSubsystem::new(&cfg);
+        let mut ss = streamers(&cfg);
+        for now in 0..7u64 {
+            stepped.step(now, 0, false, &mut ss).unwrap();
+        }
+        skipped.skip_idle_cycles(7);
+        assert_eq!(stepped.stats, skipped.stats);
     }
 }

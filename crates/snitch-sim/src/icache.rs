@@ -6,16 +6,25 @@
 //! effects the paper mentions: cold-start misses and capacity pressure
 //! from large unrolled kernels. A single refill port serializes
 //! concurrent misses.
-
-use std::collections::HashMap;
+//!
+//! # Hot-loop invariants
+//!
+//! Line indices are dense (pc / line size), so residency is tracked in a
+//! flat stamp vector instead of a hash map: a fetch on the hot path is an
+//! array load, and the only allocation is the one-time growth of the
+//! stamp vector to a program's largest line index. LRU behavior is
+//! identical to the previous map-based model (stamps are unique and
+//! monotonic, so the eviction minimum is unambiguous).
 
 use crate::config::ClusterConfig;
 
 /// Shared L1 instruction cache (fully associative, LRU).
 #[derive(Debug)]
 pub struct ICache {
-    /// line -> last-use stamp.
-    lines: HashMap<u64, u64>,
+    /// Last-use stamp per line index; 0 means "not resident".
+    stamps: Vec<u64>,
+    /// Number of resident lines (nonzero stamps).
+    resident: usize,
     capacity: usize,
     instrs_per_line: usize,
     miss_penalty: u32,
@@ -32,7 +41,8 @@ impl ICache {
     /// Creates an empty cache per `cfg`.
     pub fn new(cfg: &ClusterConfig) -> ICache {
         ICache {
-            lines: HashMap::with_capacity(cfg.icache_lines),
+            stamps: vec![0; cfg.icache_lines],
+            resident: 0,
             capacity: cfg.icache_lines,
             instrs_per_line: cfg.instrs_per_icache_line(),
             miss_penalty: cfg.icache_miss_penalty,
@@ -46,21 +56,34 @@ impl ICache {
     /// Looks up the line containing instruction index `pc` at `now`.
     /// Returns the stall cycles the fetching core must wait (0 on a hit).
     pub fn fetch(&mut self, pc: usize, now: u64) -> u32 {
-        let line = (pc / self.instrs_per_line) as u64;
+        let line = pc / self.instrs_per_line;
+        if line >= self.stamps.len() {
+            // One-time growth to the program's largest line index; never
+            // triggered again on the same program.
+            self.stamps.resize(line + 1, 0);
+        }
         self.use_stamp += 1;
-        if let Some(stamp) = self.lines.get_mut(&line) {
-            *stamp = self.use_stamp;
+        if self.stamps[line] != 0 {
+            self.stamps[line] = self.use_stamp;
             self.hits += 1;
             return 0;
         }
         self.misses += 1;
-        // Evict LRU if full.
-        if self.lines.len() >= self.capacity {
-            if let Some((&lru, _)) = self.lines.iter().min_by_key(|(_, &s)| s) {
-                self.lines.remove(&lru);
-            }
+        // Evict LRU if full (misses only — hits never scan).
+        if self.resident >= self.capacity {
+            let lru = self
+                .stamps
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s != 0)
+                .min_by_key(|(_, &s)| s)
+                .map(|(i, _)| i)
+                .expect("resident lines exist");
+            self.stamps[lru] = 0;
+        } else {
+            self.resident += 1;
         }
-        self.lines.insert(line, self.use_stamp);
+        self.stamps[line] = self.use_stamp;
         // Serialize refills through the single port.
         let start = self.refill_free_at.max(now);
         let done = start + self.miss_penalty as u64;
@@ -69,9 +92,10 @@ impl ICache {
     }
 
     /// Returns the cache to its power-on state (cold lines, zeroed
-    /// counters, idle refill port).
+    /// counters, idle refill port) without releasing the stamp storage.
     pub fn reset(&mut self) {
-        self.lines.clear();
+        self.stamps.fill(0);
+        self.resident = 0;
         self.refill_free_at = 0;
         self.use_stamp = 0;
         self.hits = 0;

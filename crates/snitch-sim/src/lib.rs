@@ -21,6 +21,26 @@
 //! structured payloads charged at their real write counts; dynamic launch
 //! bases flow through integer registers exactly as on hardware.
 //!
+//! # Hot-loop invariants
+//!
+//! Simulator throughput (simulated cycles per wall second) bounds every
+//! consumer of this crate, so the per-cycle path upholds two invariants,
+//! asserted in tests and tracked by the `sim_throughput` benchmark in
+//! `saris-bench`:
+//!
+//! 1. **No allocation or cloning per cycle.** Programs are pre-decoded
+//!    once into dense [`ExecTable`]s (operand registers in fixed arrays,
+//!    FP latencies resolved, `ssr_setup` payloads unboxed); the TCDM
+//!    arbiter reuses a per-bank grant scratch and streams over unit
+//!    ports in place; the instruction cache tracks residency in a flat
+//!    stamp vector. The only allocations after load time happen outside
+//!    the cycle loop (reports, error paths) or once per FREP capture.
+//! 2. **Fast-forwarding never changes results.** [`Cluster::run`] skips
+//!    spans where every unit is provably inert, booking the few
+//!    counters that tick in dead cycles exactly as stepping would; see
+//!    the [`cluster`] module docs for the conditions and
+//!    [`RunReport::cycles_fast_forwarded`] for the skipped-cycle tally.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,6 +63,7 @@
 pub mod cluster;
 pub mod config;
 pub mod core;
+pub mod decode;
 pub mod dma;
 pub mod error;
 pub mod fpu;
@@ -53,6 +74,7 @@ pub mod ssr;
 
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, MAIN_BASE, TCDM_BASE};
+pub use decode::ExecTable;
 pub use dma::{Dma, DmaDescriptor, DmaStats};
 pub use error::SimError;
 pub use metrics::{CoreReport, RunReport};

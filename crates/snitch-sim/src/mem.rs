@@ -109,13 +109,41 @@ impl MemPort {
 pub struct Tcdm {
     data: Vec<u8>,
     banks: usize,
+    /// `banks - 1` when the bank count is a power of two, so the per-
+    /// request bank computation is a mask instead of a modulo.
+    bank_mask: Option<usize>,
     /// Rotating arbitration offset.
     rr: usize,
+    /// Reusable per-cycle grant scratch, one flag per bank. Allocated
+    /// once at construction and cleared (never reallocated) every
+    /// arbitration cycle, keeping the hot loop allocation-free.
+    granted: Vec<bool>,
     /// Total conflict grants lost (a request existed but another was
     /// granted on the same bank that cycle).
     pub conflicts: u64,
     /// Total granted accesses.
     pub accesses: u64,
+}
+
+/// One arbitration cycle's bookkeeping, handed out by
+/// [`Tcdm::begin_cycle`] and consumed by [`Tcdm::offer`].
+///
+/// The round-robin priority start is frozen when the cycle begins;
+/// offering every port once per pass (pass 0 covers indices at or past
+/// the start, pass 1 the wrap-around) visits requesters in exactly the
+/// rotating order a gathered port list would.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbitrationCycle {
+    start: usize,
+}
+
+impl ArbitrationCycle {
+    /// The rotating-priority start index frozen for this cycle: ports at
+    /// or past it are visited first (pass 0), the wrap-around second
+    /// (pass 1).
+    pub fn start(&self) -> usize {
+        self.start
+    }
 }
 
 impl Tcdm {
@@ -124,7 +152,9 @@ impl Tcdm {
         Tcdm {
             data: vec![0; cfg.tcdm_bytes],
             banks: cfg.tcdm_banks,
+            bank_mask: cfg.tcdm_banks.is_power_of_two().then(|| cfg.tcdm_banks - 1),
             rr: 0,
+            granted: vec![false; cfg.tcdm_banks],
             conflicts: 0,
             accesses: 0,
         }
@@ -143,7 +173,10 @@ impl Tcdm {
     /// The bank servicing a byte address (word-interleaved, 64-bit words).
     pub fn bank_of(&self, addr: u64) -> Result<usize, SimError> {
         let off = self.offset_of(addr)?;
-        Ok((off / 8) % self.banks)
+        Ok(match self.bank_mask {
+            Some(mask) => (off >> 3) & mask,
+            None => (off / 8) % self.banks,
+        })
     }
 
     fn offset_of(&self, addr: u64) -> Result<usize, SimError> {
@@ -237,6 +270,7 @@ impl Tcdm {
     pub fn reset(&mut self) {
         self.data.fill(0);
         self.rr = 0;
+        self.granted.fill(false);
         self.conflicts = 0;
         self.accesses = 0;
     }
@@ -272,45 +306,120 @@ impl Tcdm {
         }
     }
 
+    /// Begins one arbitration cycle over `n_ports` requesters: clears the
+    /// reusable grant scratch and advances the rotating round-robin
+    /// priority. Offer every port to [`Tcdm::offer`] twice (pass 0, then
+    /// pass 1) in a fixed index order; the passes reconstruct the
+    /// rotating visit order without gathering ports into a per-cycle
+    /// list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ports` is zero.
+    pub fn begin_cycle(&mut self, n_ports: usize) -> ArbitrationCycle {
+        assert!(n_ports > 0, "arbitration needs at least one port");
+        let start = self.rr % n_ports;
+        self.rr = self.rr.wrapping_add(1);
+        self.granted.fill(false);
+        ArbitrationCycle { start }
+    }
+
+    /// Offers port `index` in `pass` (0 or 1) of the arbitration cycle:
+    /// grants the port's pending request if its index falls in the pass's
+    /// range, its bank is still free this cycle, and the access is valid.
+    /// Losers stay pending and accumulate wait time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the address/alignment error of an invalid granted access.
+    pub fn offer(
+        &mut self,
+        arb: ArbitrationCycle,
+        pass: usize,
+        index: usize,
+        port: &mut MemPort,
+        cycle: u64,
+    ) -> Result<(), SimError> {
+        let in_pass = if pass == 0 {
+            index >= arb.start
+        } else {
+            index < arb.start
+        };
+        if !in_pass {
+            return Ok(());
+        }
+        let Some(req) = port.pending else {
+            return Ok(());
+        };
+        let bank = self.bank_of(req.addr)?;
+        if self.granted[bank] {
+            self.conflicts += 1;
+            port.wait_cycles += 1;
+            return Ok(());
+        }
+        self.granted[bank] = true;
+        let data = self.execute(req)?;
+        self.accesses += 1;
+        port.pending = None;
+        port.grants += 1;
+        port.completed = Some(MemResp {
+            req,
+            data,
+            granted_at: cycle,
+        });
+        Ok(())
+    }
+
     /// Arbitrates one cycle over `ports`: grants at most one request per
     /// bank with a rotating round-robin start, executes granted accesses,
     /// and leaves losers pending (accumulating their wait time).
+    ///
+    /// This is the gathered-list convenience over
+    /// [`begin_cycle`](Tcdm::begin_cycle)/[`offer`](Tcdm::offer); the
+    /// cluster's cycle loop uses the streaming form directly so it never
+    /// builds a port list at all.
     ///
     /// # Errors
     ///
     /// Returns the first address/alignment error encountered.
     pub fn arbitrate(&mut self, ports: &mut [&mut MemPort], cycle: u64) -> Result<(), SimError> {
-        // Gather (port index) per bank.
-        let n = ports.len();
-        if n == 0 {
+        self.arbitrate_generic(ports, cycle)
+    }
+
+    /// [`arbitrate`](Tcdm::arbitrate) over a contiguous slice of owned
+    /// ports (e.g. the DMA engine's lanes) without collecting references.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first address/alignment error encountered.
+    pub fn arbitrate_slice(&mut self, ports: &mut [MemPort], cycle: u64) -> Result<(), SimError> {
+        self.arbitrate_generic(ports, cycle)
+    }
+
+    /// The shared two-pass offer loop behind both `arbitrate` flavors.
+    fn arbitrate_generic<P: std::borrow::BorrowMut<MemPort>>(
+        &mut self,
+        ports: &mut [P],
+        cycle: u64,
+    ) -> Result<(), SimError> {
+        if ports.is_empty() {
             return Ok(());
         }
-        let mut granted_bank = vec![false; self.banks];
-        let start = self.rr % n;
-        self.rr = self.rr.wrapping_add(1);
-        for k in 0..n {
-            let i = (start + k) % n;
-            let Some(req) = ports[i].pending else {
-                continue;
-            };
-            let bank = self.bank_of(req.addr)?;
-            if granted_bank[bank] {
-                self.conflicts += 1;
-                ports[i].wait_cycles += 1;
-                continue;
+        let arb = self.begin_cycle(ports.len());
+        for pass in 0..2 {
+            for (i, port) in ports.iter_mut().enumerate() {
+                self.offer(arb, pass, i, port.borrow_mut(), cycle)?;
             }
-            granted_bank[bank] = true;
-            let data = self.execute(req)?;
-            self.accesses += 1;
-            ports[i].pending = None;
-            ports[i].grants += 1;
-            ports[i].completed = Some(MemResp {
-                req,
-                data,
-                granted_at: cycle,
-            });
         }
         Ok(())
+    }
+
+    /// Books `cycles` arbitration cycles in which no port had a pending
+    /// request — the fast-forward path's equivalent of calling
+    /// [`arbitrate`](Tcdm::arbitrate) with all-idle ports that many
+    /// times. Only the rotating priority advances; no counters move.
+    pub(crate) fn skip_idle_cycles(&mut self, cycles: u64) {
+        self.rr = self.rr.wrapping_add(cycles as usize);
     }
 }
 
@@ -329,9 +438,16 @@ impl fmt::Display for Tcdm {
 
 /// Simulated main memory behind the DMA engine: flat storage with a
 /// bandwidth/latency model applied by the DMA, not here.
+///
+/// Writes maintain a dirty byte-range watermark so [`MainMemory::reset`]
+/// zeroes only what was touched: most kernel executions never write main
+/// memory at all, and a pooled cluster's reset must not pay for wiping a
+/// pristine 16 MiB arena.
 #[derive(Debug)]
 pub struct MainMemory {
     data: Vec<u8>,
+    /// Byte range `[lo, hi)` written since the last reset.
+    dirty: Option<(usize, usize)>,
 }
 
 impl MainMemory {
@@ -339,6 +455,7 @@ impl MainMemory {
     pub fn new(cfg: &ClusterConfig) -> MainMemory {
         MainMemory {
             data: vec![0; cfg.main_mem_bytes],
+            dirty: None,
         }
     }
 
@@ -377,13 +494,17 @@ impl MainMemory {
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), SimError> {
         let off = self.offset_of(addr, bytes.len())?;
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        let (lo, hi) = self.dirty.unwrap_or((off, off));
+        self.dirty = Some((lo.min(off), hi.max(off + bytes.len())));
         Ok(())
     }
 
     /// Returns the memory to its power-on state without releasing the
-    /// allocation.
+    /// allocation, zeroing only the bytes written since the last reset.
     pub fn reset(&mut self) {
-        self.data.fill(0);
+        if let Some((lo, hi)) = self.dirty.take() {
+            self.data[lo..hi].fill(0);
+        }
     }
 }
 

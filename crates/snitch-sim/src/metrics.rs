@@ -64,6 +64,12 @@ impl CoreReport {
 pub struct RunReport {
     /// Total cycles until every core halted and all units drained.
     pub cycles: u64,
+    /// Of [`cycles`](RunReport::cycles), how many the engine skipped via
+    /// idle fast-forwarding instead of stepping (0 when disabled via
+    /// [`ClusterConfig::fast_forward`](crate::ClusterConfig::fast_forward)).
+    /// Every other field is bit-identical whether or not dead cycles were
+    /// skipped — this is a throughput diagnostic, not a timing input.
+    pub cycles_fast_forwarded: u64,
     /// Per-core reports.
     pub cores: Vec<CoreReport>,
     /// Total TCDM accesses granted.
@@ -214,6 +220,7 @@ mod tests {
             .collect();
         RunReport {
             cycles,
+            cycles_fast_forwarded: 0,
             cores,
             tcdm_accesses: 0,
             tcdm_conflicts: 0,
@@ -309,6 +316,7 @@ mod detailed_tests {
     fn detailed_table_renders_all_cores() {
         let r = RunReport {
             cycles: 100,
+            cycles_fast_forwarded: 0,
             cores: vec![
                 CoreReport {
                     halted_at: 90,

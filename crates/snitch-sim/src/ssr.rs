@@ -216,10 +216,27 @@ impl Streamer {
             || !self.port.is_idle()
     }
 
+    /// Whether stepping this streamer provably does nothing: no active or
+    /// queued job, no outstanding memory request. Unlike
+    /// [`is_drained`](Streamer::is_drained) this tolerates residual FIFO
+    /// data (a stuck stream is inert too) — it is the condition the
+    /// cluster's fast-forward scan needs, since an inert streamer's
+    /// [`step`](Streamer::step) touches no state and no counters.
+    pub fn is_inert(&self) -> bool {
+        !self.can_make_progress()
+    }
+
     /// Advances the streamer one cycle: consume a completed memory
     /// response, activate queued jobs, and issue at most one new memory
     /// request through the port.
     pub fn step(&mut self) {
+        if self.is_inert() {
+            // Nothing to consume, activate, or issue — and no counters
+            // tick on an inert streamer, so returning here is exactly
+            // equivalent to falling through (unconfigured streamers take
+            // this exit every cycle of an integer-only kernel).
+            return;
+        }
         self.consume_response();
         self.activate_next_job();
         if self.port.is_pending() || self.pending_kind.is_some() {
@@ -306,70 +323,85 @@ impl Streamer {
     }
 
     fn issue_next_request(&mut self) {
-        let Some(cfg) = self.cfg.clone() else { return };
-        let Some(active) = self.active.as_mut() else {
+        // Destructure so the installed configuration is *borrowed* while
+        // the FIFOs, port, and active job are mutated — the hot loop
+        // issues every request without cloning the config.
+        let Streamer {
+            cfg,
+            active,
+            data_fifo,
+            idx_fifo,
+            pending_kind,
+            port,
+            fifo_depth,
+            idx_depth,
+            stats,
+            ..
+        } = self;
+        let Some(cfg) = cfg.as_ref() else { return };
+        let Some(active) = active.as_mut() else {
             return;
         };
         if active.issued == active.total {
             return;
         }
-        match (&cfg, cfg.dir()) {
+        match (cfg, cfg.dir()) {
             (SsrCfg::Indirect(icfg), dir) => {
                 let need_more_idx = active.idx_fetched < icfg.idx_count
-                    && self.idx_fifo.len() < self.idx_depth.min(icfg.idx_width.per_fetch());
-                let can_data = !self.idx_fifo.is_empty()
+                    && idx_fifo.len() < (*idx_depth).min(icfg.idx_width.per_fetch());
+                let can_data = !idx_fifo.is_empty()
                     && match dir {
-                        StreamDir::Read => self.data_fifo.len() < self.fifo_depth,
-                        StreamDir::Write => !self.data_fifo.is_empty(),
+                        StreamDir::Read => data_fifo.len() < *fifo_depth,
+                        StreamDir::Write => !data_fifo.is_empty(),
                     };
                 if can_data {
-                    let idx = self.idx_fifo.pop_front().expect("nonempty");
+                    let idx = idx_fifo.pop_front().expect("nonempty");
                     let addr = active.base.wrapping_add(idx << icfg.shift);
                     let op = match dir {
                         StreamDir::Read => MemOp::Read64,
                         StreamDir::Write => {
-                            let v = self.data_fifo.pop_front().expect("write data");
+                            let v = data_fifo.pop_front().expect("write data");
                             MemOp::Write64(v.to_bits())
                         }
                     };
                     active.issued += 1;
-                    self.pending_kind = Some(match dir {
+                    *pending_kind = Some(match dir {
                         StreamDir::Read => PendingKind::DataRead,
                         StreamDir::Write => PendingKind::DataWrite,
                     });
-                    self.port.issue(MemReq { addr, op });
+                    port.issue(MemReq { addr, op });
                 } else if need_more_idx {
                     // 64-bit aligned fetch of the next index word.
                     let fetch_no = active.idx_fetched as u64 / icfg.idx_width.per_fetch() as u64;
                     let addr = icfg.idx_base + fetch_no * 8;
-                    self.stats.idx_fetches += 1;
-                    self.pending_kind = Some(PendingKind::Index);
-                    self.port.issue(MemReq {
+                    stats.idx_fetches += 1;
+                    *pending_kind = Some(PendingKind::Index);
+                    port.issue(MemReq {
                         addr,
                         op: MemOp::Read64,
                     });
                 }
             }
             (SsrCfg::Affine(acfg), StreamDir::Read) => {
-                if self.data_fifo.len() < self.fifo_depth {
+                if data_fifo.len() < *fifo_depth {
                     let addr = affine_addr(acfg, active);
                     advance_affine(acfg, active);
                     active.issued += 1;
-                    self.pending_kind = Some(PendingKind::DataRead);
-                    self.port.issue(MemReq {
+                    *pending_kind = Some(PendingKind::DataRead);
+                    port.issue(MemReq {
                         addr,
                         op: MemOp::Read64,
                     });
                 }
             }
             (SsrCfg::Affine(acfg), StreamDir::Write) => {
-                if let Some(&v) = self.data_fifo.front() {
+                if let Some(&v) = data_fifo.front() {
                     let addr = affine_addr(acfg, active);
                     advance_affine(acfg, active);
-                    self.data_fifo.pop_front();
+                    data_fifo.pop_front();
                     active.issued += 1;
-                    self.pending_kind = Some(PendingKind::DataWrite);
-                    self.port.issue(MemReq {
+                    *pending_kind = Some(PendingKind::DataWrite);
+                    port.issue(MemReq {
                         addr,
                         op: MemOp::Write64(v.to_bits()),
                     });

@@ -1,0 +1,141 @@
+//! Fast-forward equivalence: the engine's idle fast-forwarding
+//! ([`ClusterConfig::fast_forward`]) must be observationally invisible.
+//! Property-style assertions across the paper's kernel gallery and DMA
+//! workloads: every [`RunReport`] — cycles, stall breakdowns, TCDM
+//! accesses/conflicts, DMA stats — is bit-identical between forced
+//! cycle-by-cycle stepping and the fast-forwarding `run`, except for the
+//! `cycles_fast_forwarded` diagnostic itself.
+
+use saris::prelude::*;
+
+/// A workload spec for `stencil` with fast-forwarding switched per `ff`.
+fn spec(stencil: &Stencil, variant: Variant, ff: bool, dma: bool) -> WorkloadSpec {
+    let mut opts = RunOptions::new(variant);
+    opts.cluster.fast_forward = ff;
+    if dma {
+        opts = opts.with_concurrent_dma();
+    }
+    let tile = match stencil.space() {
+        Space::Dim2 => Extent::new_2d(24, 24),
+        Space::Dim3 => Extent::cube(Space::Dim3, 10),
+    };
+    Workload::new(stencil.clone())
+        .extent(tile)
+        .input_seed(7)
+        .options(opts)
+        .freeze()
+        .expect("valid workload")
+}
+
+/// Asserts the fast-forwarded outcome equals the stepped one bit-for-bit
+/// (modulo the skipped-cycle diagnostic), returning how much was skipped.
+fn assert_equivalent(stepped: &Outcome, fast: &Outcome, name: &str) -> u64 {
+    assert_eq!(
+        stepped.reports.len(),
+        fast.reports.len(),
+        "{name}: step counts differ"
+    );
+    let mut skipped = 0;
+    for (s, f) in stepped.reports.iter().zip(&fast.reports) {
+        assert_eq!(
+            s.cycles_fast_forwarded, 0,
+            "{name}: stepped run must not fast-forward"
+        );
+        skipped += f.cycles_fast_forwarded;
+        let mut f = f.clone();
+        f.cycles_fast_forwarded = 0;
+        assert_eq!(s, &f, "{name}: reports diverge beyond the ff diagnostic");
+    }
+    for (s, f) in stepped.grids.iter().zip(&fast.grids) {
+        assert_eq!(s.max_abs_diff(f), 0.0, "{name}: output bits diverge");
+    }
+    skipped
+}
+
+#[test]
+fn gallery_reports_are_bit_identical() {
+    let stepped_session = Session::new();
+    let fast_session = Session::new();
+    let mut total_skipped = 0;
+    for stencil in gallery::all() {
+        for variant in [Variant::Base, Variant::Saris] {
+            let name = format!("{}/{variant}", stencil.name());
+            let stepped = stepped_session
+                .submit(&spec(&stencil, variant, false, false))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let fast = fast_session
+                .submit(&spec(&stencil, variant, true, false))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            total_skipped += assert_equivalent(&stepped, &fast, &name);
+        }
+    }
+    // The skipped-cycle diagnostic flows into per-workload telemetry and
+    // session stats; at least some gallery runs have dead spans.
+    assert!(total_skipped > 0, "fast-forward never fired on the gallery");
+    assert_eq!(fast_session.stats().cycles_fast_forwarded, total_skipped);
+    assert_eq!(stepped_session.stats().cycles_fast_forwarded, 0);
+}
+
+#[test]
+fn dma_double_buffering_reports_are_bit_identical() {
+    // Concurrent tile DMA exercises the engine's DMA wake classification
+    // (burst-latency waits overlapping compute).
+    let stencil = gallery::jacobi_2d();
+    let stepped = Session::new()
+        .submit(&spec(&stencil, Variant::Saris, false, true))
+        .unwrap();
+    let fast_session = Session::new();
+    let fast = fast_session
+        .submit(&spec(&stencil, Variant::Saris, true, true))
+        .unwrap();
+    let skipped = assert_equivalent(&stepped, &fast, "jacobi_2d+dma");
+    assert_eq!(fast.telemetry.cycles_fast_forwarded, skipped);
+    let report = fast.expect_report();
+    assert_eq!(report.dma.bytes, stepped.expect_report().dma.bytes);
+}
+
+#[test]
+fn dma_probe_utilization_is_identical() {
+    // A probe is pure DMA: every burst-start latency window is a dead
+    // span, so this is where fast-forwarding pays off most — and the
+    // measured utilization must not move at all.
+    let probe = |ff: bool| {
+        let mut opts = RunOptions::new(Variant::Saris);
+        opts.cluster.fast_forward = ff;
+        let spec = Workload::dma_probe(Extent::new_2d(64, 64))
+            .options(opts)
+            .freeze()
+            .expect("valid probe");
+        Session::new().submit(&spec).unwrap()
+    };
+    let stepped = probe(false);
+    let fast = probe(true);
+    assert_eq!(stepped.dma_utilization, fast.dma_utilization);
+}
+
+#[test]
+fn multi_step_and_tuned_workloads_are_bit_identical() {
+    let stencil = gallery::jacobi_2d();
+    let build = |ff: bool| {
+        let mut opts = RunOptions::new(Variant::Saris);
+        opts.cluster.fast_forward = ff;
+        Workload::new(stencil.clone())
+            .extent(Extent::new_2d(20, 20))
+            .input_seed(3)
+            .options(opts)
+            .tune(Tune::Auto)
+            .time_steps(3)
+            .verify(1e-9)
+            .freeze()
+            .expect("valid workload")
+    };
+    let stepped = Session::new().submit(&build(false)).unwrap();
+    let fast = Session::new().submit(&build(true)).unwrap();
+    assert_equivalent(&stepped, &fast, "jacobi_2d tuned+stepped");
+    assert_eq!(
+        stepped.tuning.as_ref().map(|t| (&t.measured, t.unroll)),
+        fast.tuning.as_ref().map(|t| (&t.measured, t.unroll)),
+        "tuning decisions must agree"
+    );
+    assert_eq!(stepped.verify_error, fast.verify_error);
+}
