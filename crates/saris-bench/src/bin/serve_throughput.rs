@@ -1,0 +1,475 @@
+//! Serving-layer throughput benchmark: requests per wall second through
+//! the `saris-serve` stack, against truly uncached submissions.
+//!
+//! Two experiments, both emitted into `BENCH_serve_throughput.json`:
+//!
+//! 1. **Duplication sweep** — request streams with 0% / 50% / 90%
+//!    duplicate specs, answered three ways: *uncached* (a session with
+//!    kernel cache and cluster pool disabled — every submission
+//!    recompiles and reconstructs, the pre-engine cost of a request),
+//!    *served without a response cache* (kernel cache + pool +
+//!    single-flight only), and the full *served* stack (response cache
+//!    included). The headline number is the full stack's speedup over
+//!    uncached submissions at each duplication ratio, plus a
+//!    bit-identity check that a cache-answered duplicate equals a fresh
+//!    execution.
+//! 2. **Analytic tier** — the paper's twenty `(code, variant)` estimate
+//!    requests answered by the roofline backend versus tuned cycle-level
+//!    simulation: wall-time speedup and whether the analytic tier
+//!    preserves every kernel's memory-/compute-bound classification
+//!    through the Figure 5 scaleout path.
+//!
+//! Usage: `serve_throughput [--subset] [--out PATH] [--print-calibration]`
+//!
+//! `--subset` shrinks both experiments to a CI-sized configuration.
+//! `--print-calibration` re-measures the roofline backend's gallery
+//! calibration table (tuned paper workloads on the cycle tier) and
+//! prints it in the `GalleryRow` format of
+//! `saris-codegen/src/backends.rs`, for pasting after simulator changes
+//! that move cycle counts.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use saris_bench::{paper_estimate_workload, paper_tile, paper_workload, scaleout_from, PAPER_SEED};
+use saris_codegen::{Session, SessionConfig, Variant, Workload, WorkloadSpec};
+use saris_core::{gallery, Extent, Stencil};
+use saris_serve::{ServeConfig, Server};
+
+/// The codes the duplication sweep draws its unique specs from: cheap
+/// 2D tiles so the benchmark measures serving overheads, not tile size.
+const SWEEP_CODES: [&str; 3] = ["jacobi_2d", "j2d5pt", "box2d1r"];
+const SWEEP_TILE: usize = 16;
+
+/// Duplication ratios measured (fraction of the stream that repeats an
+/// earlier request).
+const DUP_RATIOS: [f64; 3] = [0.0, 0.5, 0.9];
+
+fn sweep_spec(code: &str, seed: u64) -> WorkloadSpec {
+    let stencil = gallery::by_name(code).expect("sweep code");
+    Workload::new(stencil)
+        .extent(Extent::new_2d(SWEEP_TILE, SWEEP_TILE))
+        .input_seed(PAPER_SEED + seed)
+        .variant(Variant::Saris)
+        .freeze()
+        .expect("sweep specs are valid")
+}
+
+/// A request stream of `len` specs in which `1 - dup_ratio` of the
+/// requests are unique and the rest repeat earlier requests, duplicates
+/// interleaved round-robin so they arrive while their originals are
+/// hot (and sometimes still in flight).
+fn stream(len: usize, dup_ratio: f64) -> Vec<WorkloadSpec> {
+    let unique = (((len as f64) * (1.0 - dup_ratio)).round() as usize).max(1);
+    let pool: Vec<WorkloadSpec> = (0..unique)
+        .map(|i| {
+            sweep_spec(
+                SWEEP_CODES[i % SWEEP_CODES.len()],
+                (i / SWEEP_CODES.len()) as u64,
+            )
+        })
+        .collect();
+    (0..len).map(|i| pool[i % unique].clone()).collect()
+}
+
+struct SweepRow {
+    dup_ratio: f64,
+    requests: usize,
+    unique: usize,
+    uncached_rps: f64,
+    served_nocache_rps: f64,
+    served_rps: f64,
+}
+
+impl SweepRow {
+    fn speedup(&self) -> f64 {
+        self.served_rps / self.uncached_rps
+    }
+}
+
+fn run_sweep(len: usize) -> (Vec<SweepRow>, bool) {
+    let mut rows = Vec::new();
+    let mut bit_identical = true;
+    for dup_ratio in DUP_RATIOS {
+        let specs = stream(len, dup_ratio);
+        let unique = (((len as f64) * (1.0 - dup_ratio)).round() as usize).max(1);
+
+        // Uncached: no kernel cache, no cluster pool, no response cache —
+        // every submission recompiles its kernel and reconstructs a
+        // cluster, which is what answering a request cost before the
+        // engine and serving layers existed.
+        let uncached = Session::with_config(SessionConfig {
+            max_cached_kernels: 0,
+            max_pooled_clusters: 0,
+        });
+        let start = Instant::now();
+        for spec in &specs {
+            uncached.submit(spec).expect("sweep spec runs");
+        }
+        let uncached_rps = len as f64 / start.elapsed().as_secs_f64();
+
+        // The served measurements are *steady state*: a long-lived
+        // server has its kernel cache and cluster pool warm, so the
+        // engine-level warmup (submitted via the raw session, which
+        // bypasses the response cache) is excluded from the timed
+        // window. Every unique spec in the stream still *executes* a
+        // full simulation inside the window — only duplicates are
+        // answered by the response cache and single-flight layers.
+        let warm = |server: &Server| {
+            for spec in &specs[..unique] {
+                server.session().submit(spec).expect("warmup runs");
+            }
+        };
+
+        // Served, response cache off: kernel cache + pool + queue +
+        // single-flight only.
+        let nocache = Server::with_config(ServeConfig {
+            max_cached_responses: 0,
+            ..ServeConfig::default()
+        });
+        warm(&nocache);
+        let start = Instant::now();
+        for result in nocache.submit_all(&specs) {
+            result.expect("sweep spec serves");
+        }
+        let served_nocache_rps = len as f64 / start.elapsed().as_secs_f64();
+
+        // The full stack.
+        let served = Server::new();
+        warm(&served);
+        let start = Instant::now();
+        let outcomes = served.submit_all(&specs);
+        let served_rps = len as f64 / start.elapsed().as_secs_f64();
+
+        // Cached duplicates must be bit-identical to a fresh execution.
+        if dup_ratio > 0.0 {
+            let dup_index = unique; // first repeat of spec 0
+            let cached = outcomes[dup_index].as_ref().expect("duplicate serves");
+            let fresh = Session::new().submit(&specs[dup_index]).expect("fresh run");
+            let same_grids = cached.grids.len() == fresh.grids.len()
+                && cached.grids.iter().zip(&fresh.grids).all(|(c, f)| {
+                    c.as_slice()
+                        .iter()
+                        .zip(f.as_slice())
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+                });
+            bit_identical &= same_grids && cached.reports == fresh.reports;
+        }
+
+        rows.push(SweepRow {
+            dup_ratio,
+            requests: len,
+            unique,
+            uncached_rps,
+            served_nocache_rps,
+            served_rps,
+        });
+    }
+    (rows, bit_identical)
+}
+
+struct TierRow {
+    name: String,
+    sim_cycles: u64,
+    est_cycles: u64,
+    sim_memory_bound: bool,
+    est_memory_bound: bool,
+}
+
+impl TierRow {
+    fn agree(&self) -> bool {
+        self.sim_memory_bound == self.est_memory_bound
+    }
+}
+
+struct TierResult {
+    rows: Vec<TierRow>,
+    cycles_wall: f64,
+    analytic_wall: f64,
+    requests: usize,
+}
+
+/// Answers every gallery estimate request on both tiers: tuned
+/// cycle-level simulation versus the analytic roofline backend, timing
+/// the answer and comparing the Figure 5 bound classification each
+/// implies (SARIS variant, as the paper plots).
+fn run_tiers(codes: &[&str]) -> TierResult {
+    let session = Session::new();
+    let stencils: Vec<Arc<Stencil>> = codes
+        .iter()
+        .map(|name| Arc::new(gallery::by_name(name).expect("gallery code")))
+        .collect();
+    // One probe per tile shape, shared by both sides of the comparison.
+    let dma_util_of = |stencil: &Stencil| {
+        session
+            .submit(
+                &Workload::dma_probe(paper_tile(stencil))
+                    .freeze()
+                    .expect("probe is valid"),
+            )
+            .expect("probe runs")
+            .dma_utilization
+            .expect("probes measure")
+    };
+    let dma_2d = dma_util_of(&gallery::jacobi_2d());
+    let dma_3d = dma_util_of(&gallery::j3d27pt());
+
+    let variants = [Variant::Base, Variant::Saris];
+    let cycle_specs: Vec<WorkloadSpec> = stencils
+        .iter()
+        .flat_map(|s| variants.map(|v| paper_workload(s, v)))
+        .collect();
+    let estimate_specs: Vec<WorkloadSpec> = stencils
+        .iter()
+        .flat_map(|s| variants.map(|v| paper_estimate_workload(s, v)))
+        .collect();
+
+    // Warm the kernel cache and cluster pool so the timed cycle-tier
+    // pass measures simulation (what every repeat request pays), not
+    // one-time compilation.
+    for spec in &cycle_specs {
+        session.submit(spec).expect("cycle spec runs");
+    }
+    let start = Instant::now();
+    let cycle_outcomes: Vec<_> = cycle_specs
+        .iter()
+        .map(|spec| session.submit(spec).expect("cycle spec runs"))
+        .collect();
+    let cycles_wall = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let estimate_outcomes: Vec<_> = estimate_specs
+        .iter()
+        .map(|spec| session.submit(spec).expect("estimate spec runs"))
+        .collect();
+    let analytic_wall = start.elapsed().as_secs_f64();
+
+    // Classification: feed both outcomes through the same scaleout path
+    // (SARIS variant — the regime Figure 5 annotates).
+    let rows = stencils
+        .iter()
+        .enumerate()
+        .map(|(i, stencil)| {
+            let saris_idx = 2 * i + 1;
+            let sim = &cycle_outcomes[saris_idx];
+            let est = &estimate_outcomes[saris_idx];
+            assert!(est.telemetry.estimated, "analytic outcomes are flagged");
+            assert!(!sim.telemetry.estimated, "sim outcomes are measurements");
+            let result = saris_bench::CodeResult {
+                tile: paper_tile(stencil),
+                stencil: Arc::clone(stencil),
+                base: (cycle_outcomes[2 * i]).clone(),
+                saris: sim.clone(),
+            };
+            let dma = if paper_tile(stencil).nz == 1 {
+                dma_2d
+            } else {
+                dma_3d
+            };
+            TierRow {
+                name: stencil.name().to_string(),
+                sim_cycles: sim.expect_report().cycles,
+                est_cycles: est.expect_report().cycles,
+                sim_memory_bound: scaleout_from(&result, sim, dma).memory_bound,
+                est_memory_bound: scaleout_from(&result, est, dma).memory_bound,
+            }
+        })
+        .collect();
+    TierResult {
+        rows,
+        cycles_wall,
+        analytic_wall,
+        requests: cycle_specs.len(),
+    }
+}
+
+/// Re-measures the roofline calibration table (see
+/// `saris-codegen/src/backends.rs`).
+fn print_calibration() {
+    let session = Session::new();
+    for name in gallery::NAMES {
+        let stencil = Arc::new(gallery::by_name(name).expect("gallery code"));
+        let interior = stencil.interior(paper_tile(&stencil)).len();
+        for variant in [Variant::Base, Variant::Saris] {
+            let out = session
+                .submit(&paper_workload(&stencil, variant))
+                .expect("calibration run");
+            let r = out.expect_report();
+            let ops: u64 = r.cores.iter().map(|c| c.fpu.arith).sum();
+            let imb: Vec<String> = r
+                .runtime_imbalance()
+                .iter()
+                .map(|v| format!("{v:.6}"))
+                .collect();
+            println!(
+                "    GalleryRow {{ name: \"{name}\", variant: Variant::{variant:?}, \
+                 cycles: {}, fpu_ops: {ops}, flops: {}, points: {interior}, \
+                 imbalance: [{}] }},",
+                r.cycles,
+                r.flops(),
+                imb.join(", ")
+            );
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(
+    sweep: &[SweepRow],
+    bit_identical: bool,
+    tiers: &TierResult,
+    subset: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(out, "  \"subset\": {subset},");
+    let _ = writeln!(out, "  \"cached_outcomes_bit_identical\": {bit_identical},");
+    out.push_str("  \"duplication_sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        let comma = if i + 1 == sweep.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"dup_ratio\": {:.2}, \"requests\": {}, \"unique_specs\": {}, \
+             \"uncached_rps\": {:.1}, \"served_nocache_rps\": {:.1}, \
+             \"served_rps\": {:.1}, \"speedup_vs_uncached\": {:.2}}}{comma}",
+            r.dup_ratio,
+            r.requests,
+            r.unique,
+            r.uncached_rps,
+            r.served_nocache_rps,
+            r.served_rps,
+            r.speedup(),
+        );
+    }
+    out.push_str("  ],\n");
+    let analytic_speedup = tiers.cycles_wall / tiers.analytic_wall;
+    let all_agree = tiers.rows.iter().all(TierRow::agree);
+    let _ = writeln!(out, "  \"analytic_tier\": {{");
+    let _ = writeln!(out, "    \"estimate_requests\": {},", tiers.requests);
+    let _ = writeln!(
+        out,
+        "    \"cycles_tier_wall_seconds\": {:.6},",
+        tiers.cycles_wall
+    );
+    let _ = writeln!(
+        out,
+        "    \"analytic_tier_wall_seconds\": {:.6},",
+        tiers.analytic_wall
+    );
+    let _ = writeln!(out, "    \"speedup_vs_cycles\": {analytic_speedup:.1},");
+    let _ = writeln!(out, "    \"bound_classification_preserved\": {all_agree},");
+    out.push_str("    \"kernels\": [\n");
+    for (i, r) in tiers.rows.iter().enumerate() {
+        let comma = if i + 1 == tiers.rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      {{\"name\": \"{}\", \"sim_cycles\": {}, \"est_cycles\": {}, \
+             \"sim_bound\": \"{}\", \"est_bound\": \"{}\", \"agree\": {}}}{comma}",
+            json_escape(&r.name),
+            r.sim_cycles,
+            r.est_cycles,
+            if r.sim_memory_bound {
+                "memory"
+            } else {
+                "compute"
+            },
+            if r.est_memory_bound {
+                "memory"
+            } else {
+                "compute"
+            },
+            r.agree(),
+        );
+    }
+    out.push_str("    ]\n  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--print-calibration") {
+        print_calibration();
+        return;
+    }
+    let subset = args.iter().any(|a| a == "--subset");
+    let mut out_path = "BENCH_serve_throughput.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out takes a path").clone(),
+            "--subset" => {}
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("serve_throughput: requests per wall second through the serving stack\n");
+    let stream_len = if subset { 24 } else { 120 };
+    let (sweep, bit_identical) = run_sweep(stream_len);
+    println!(
+        "{:>10} {:>9} {:>8} {:>13} {:>15} {:>12} {:>9}",
+        "dup ratio", "requests", "unique", "uncached r/s", "no-rcache r/s", "served r/s", "speedup"
+    );
+    for r in &sweep {
+        println!(
+            "{:>10.2} {:>9} {:>8} {:>13.1} {:>15.1} {:>12.1} {:>8.2}x",
+            r.dup_ratio,
+            r.requests,
+            r.unique,
+            r.uncached_rps,
+            r.served_nocache_rps,
+            r.served_rps,
+            r.speedup()
+        );
+    }
+    println!("cached outcomes bit-identical to fresh executions: {bit_identical}");
+
+    let codes: Vec<&str> = if subset {
+        vec!["jacobi_2d", "star3d2r", "j3d27pt"]
+    } else {
+        gallery::NAMES.to_vec()
+    };
+    let tiers = run_tiers(&codes);
+    println!(
+        "\nanalytic tier: {} estimate requests in {:.4}s vs {:.4}s simulated ({:.0}x)",
+        tiers.requests,
+        tiers.analytic_wall,
+        tiers.cycles_wall,
+        tiers.cycles_wall / tiers.analytic_wall
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>9} {:>9} {:>6}",
+        "kernel", "sim cycles", "est cycles", "sim", "est", "agree"
+    );
+    for r in &tiers.rows {
+        println!(
+            "{:>12} {:>12} {:>12} {:>9} {:>9} {:>6}",
+            r.name,
+            r.sim_cycles,
+            r.est_cycles,
+            if r.sim_memory_bound {
+                "memory"
+            } else {
+                "compute"
+            },
+            if r.est_memory_bound {
+                "memory"
+            } else {
+                "compute"
+            },
+            r.agree()
+        );
+    }
+    println!(
+        "bound classification preserved on every kernel: {}",
+        tiers.rows.iter().all(TierRow::agree)
+    );
+
+    let json = render_json(&sweep, bit_identical, &tiers, subset);
+    std::fs::write(&out_path, json).expect("write benchmark artifact");
+    println!("\nwrote {out_path}");
+}

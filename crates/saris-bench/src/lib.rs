@@ -28,10 +28,11 @@
 
 use std::sync::Arc;
 
-use saris_codegen::{Outcome, Session, Tune, Variant, Workload, WorkloadSpec};
+use saris_codegen::{Fidelity, Outcome, Session, Tune, Variant, Workload, WorkloadSpec};
 use saris_core::{gallery, Extent, Grid, Space, Stencil};
 use saris_energy::{EnergyModel, PowerReport};
 use saris_scaleout::{estimate, ClusterMeasurement, MachineModel, ScaleoutEstimate};
+use saris_serve::Server;
 
 /// The base input seed every paper workload derives its grids from
 /// (input array `i` is seeded with `PAPER_SEED + i`).
@@ -79,6 +80,21 @@ pub fn paper_workload(stencil: &Arc<Stencil>, variant: Variant) -> WorkloadSpec 
         .verify(PAPER_TOLERANCE)
         .freeze()
         .expect("paper workloads are valid")
+}
+
+/// The estimate-class sibling of [`paper_workload`]: the same code,
+/// tile and inputs as an analytic-tier request — answered instantly by
+/// the roofline backend with estimate-flagged telemetry, no tuning or
+/// verification (the analytic tier measures nothing to tune on, and
+/// its grids are the reference output by construction).
+pub fn paper_estimate_workload(stencil: &Arc<Stencil>, variant: Variant) -> WorkloadSpec {
+    Workload::new(Arc::clone(stencil))
+        .extent(paper_tile(stencil))
+        .input_seed(PAPER_SEED)
+        .variant(variant)
+        .fidelity(Fidelity::Analytic)
+        .freeze()
+        .expect("paper estimate workloads are valid")
 }
 
 /// Both tuned variants of one code, verified against the reference.
@@ -201,6 +217,48 @@ pub fn evaluate_all() -> Vec<CodeResult> {
     evaluate_all_in(&Session::new())
 }
 
+/// [`evaluate_all_in`] through the serving layer: the same twenty
+/// tuned, verified paper specs submitted to a [`Server`], so repeated
+/// invocations (and the probe workloads of [`scaleout_of_served`])
+/// answer from the response cache instead of re-simulating.
+///
+/// # Panics
+///
+/// Panics if any code fails to compile, run, or verify.
+pub fn evaluate_all_served(server: &Server) -> Vec<CodeResult> {
+    let codes: Vec<Arc<Stencil>> = gallery::all().into_iter().map(Arc::new).collect();
+    let specs: Vec<WorkloadSpec> = codes
+        .iter()
+        .flat_map(|s| {
+            [
+                paper_workload(s, Variant::Base),
+                paper_workload(s, Variant::Saris),
+            ]
+        })
+        .collect();
+    let mut outcomes = server.submit_all(&specs).into_iter();
+    codes
+        .into_iter()
+        .map(|stencil| {
+            let mut next = |variant: Variant| {
+                let outcome = outcomes
+                    .next()
+                    .expect("one outcome per spec")
+                    .unwrap_or_else(|e| panic!("{} {variant}: {e}", stencil.name()));
+                (*outcome).clone()
+            };
+            let base = next(Variant::Base);
+            let saris = next(Variant::Saris);
+            CodeResult {
+                tile: paper_tile(&stencil),
+                stencil,
+                base,
+                saris,
+            }
+        })
+        .collect()
+}
+
 /// Geometric mean.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (mut sum, mut n) = (0.0, 0usize);
@@ -224,6 +282,33 @@ pub fn power_of(result: &CodeResult) -> (PowerReport, PowerReport) {
     )
 }
 
+/// The [`ClusterMeasurement`] one outcome's report feeds into the
+/// scaleout estimate — works identically for measured (cycle-tier) and
+/// estimate-flagged (analytic-tier) outcomes, which is exactly how the
+/// roofline backend slots into the Figure 5 path.
+pub fn cluster_measurement(run: &Outcome, dma_utilization: f64) -> ClusterMeasurement {
+    let report = run.expect_report();
+    ClusterMeasurement {
+        compute_cycles_per_tile: report.cycles as f64,
+        fpu_ops_per_tile: report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+        flops_per_tile: report.flops() as f64,
+        dma_utilization,
+        core_imbalance: report.runtime_imbalance(),
+    }
+}
+
+/// The scaleout estimate for one outcome on the paper grid, given a
+/// probe-measured DMA utilization.
+pub fn scaleout_from(result: &CodeResult, run: &Outcome, dma_util: f64) -> ScaleoutEstimate {
+    estimate(
+        &MachineModel::manticore_256s(),
+        &result.stencil,
+        result.tile,
+        paper_grid(&result.stencil),
+        &cluster_measurement(run, dma_util),
+    )
+}
+
 /// Scaleout estimates (base, saris) for one code result, using the
 /// paper's grids and the DMA utilization measured by a probe workload on
 /// a pooled cluster of the given session.
@@ -231,8 +316,6 @@ pub fn scaleout_of_in(
     session: &Session,
     result: &CodeResult,
 ) -> (ScaleoutEstimate, ScaleoutEstimate) {
-    let machine = MachineModel::manticore_256s();
-    let grid = paper_grid(&result.stencil);
     let probe = Workload::dma_probe(result.tile)
         .freeze()
         .expect("probe workloads are valid");
@@ -241,31 +324,30 @@ pub fn scaleout_of_in(
         .expect("dma measurement")
         .dma_utilization
         .expect("probes measure utilization");
-    let measure = |run: &Outcome| {
-        let report = run.expect_report();
-        ClusterMeasurement {
-            compute_cycles_per_tile: report.cycles as f64,
-            fpu_ops_per_tile: report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
-            flops_per_tile: report.flops() as f64,
-            dma_utilization: dma_util,
-            core_imbalance: report.runtime_imbalance(),
-        }
-    };
     (
-        estimate(
-            &machine,
-            &result.stencil,
-            result.tile,
-            grid,
-            &measure(&result.base),
-        ),
-        estimate(
-            &machine,
-            &result.stencil,
-            result.tile,
-            grid,
-            &measure(&result.saris),
-        ),
+        scaleout_from(result, &result.base, dma_util),
+        scaleout_from(result, &result.saris, dma_util),
+    )
+}
+
+/// [`scaleout_of_in`] through the serving layer: the probe workload
+/// goes through the server's response cache, so a ten-code report pays
+/// for one probe simulation per distinct tile shape instead of ten.
+pub fn scaleout_of_served(
+    server: &Server,
+    result: &CodeResult,
+) -> (ScaleoutEstimate, ScaleoutEstimate) {
+    let probe = Workload::dma_probe(result.tile)
+        .freeze()
+        .expect("probe workloads are valid");
+    let dma_util = server
+        .submit(&probe)
+        .expect("dma measurement")
+        .dma_utilization
+        .expect("probes measure utilization");
+    (
+        scaleout_from(result, &result.base, dma_util),
+        scaleout_from(result, &result.saris, dma_util),
     )
 }
 

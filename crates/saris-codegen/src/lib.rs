@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod base;
 pub mod error;
 pub mod map;
@@ -57,15 +58,16 @@ pub mod tuner;
 pub mod walk;
 pub mod workload;
 
+pub use backends::{
+    Backend, BackendRegistry, Calibration, ExecOutcome, ExecRequest, Fidelity, NativeBackend,
+    RooflineBackend, SimBackend,
+};
 pub use base::CompiledCore;
 pub use error::CodegenError;
 pub use map::TcdmMap;
 pub use runtime::{compile, BufferRotation, CompiledKernel, RunOptions, Variant};
 pub use saris::SarisPlans;
-pub use session::{
-    Backend, ClusterPool, ExecOutcome, ExecRequest, NativeBackend, Session, SessionConfig,
-    SessionStats, SimBackend,
-};
+pub use session::{ClusterPool, Session, SessionConfig, SessionStats};
 pub use tuner::{Tune, TuningDecision, DEFAULT_CANDIDATES};
 pub use walk::CoreWalk;
 pub use workload::{InputSpec, Outcome, Workload, WorkloadSpec, WorkloadTelemetry};

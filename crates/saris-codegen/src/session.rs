@@ -1,14 +1,14 @@
 //! The execution engine: a reusable [`Session`] that answers
 //! [`WorkloadSpec`]s — caching compiled kernels, pooling reset
-//! [`Cluster`] instances, and dispatching runs to a pluggable
-//! [`Backend`].
+//! [`Cluster`] instances, and routing each submission to the
+//! [`Fidelity`] tier it asked for through a [`BackendRegistry`].
 //!
 //! Everything that compiles-and-runs kernels — the paper harness in
-//! `saris-bench`, the examples, the tests — goes through one pair of
-//! calls: [`Session::submit`] for one workload,
-//! [`Session::submit_all`] to fan a spec list across worker threads.
-//! A single surface subsumes one-shot runs, unroll tuning, multi-step
-//! sweeps, batches, and DMA-utilization probes, so:
+//! `saris-bench`, the examples, the tests, the `saris-serve` service —
+//! goes through one pair of calls: [`Session::submit`] for one
+//! workload, [`Session::submit_all`] to fan a spec list across worker
+//! threads. A single surface subsumes one-shot runs, unroll tuning,
+//! multi-step sweeps, batches, and DMA-utilization probes, so:
 //!
 //! * a `(stencil fingerprint, extent, compile options)` kernel compiles
 //!   exactly once per session (bounded by
@@ -17,14 +17,19 @@
 //! * clusters are recycled via [`Cluster::reset`] instead of being
 //!   reconstructed, with the idle pool bounded by
 //!   [`SessionConfig::max_pooled_clusters`];
-//! * the execution substrate is swappable: the cycle-approximate
-//!   [`SimBackend`] for measurements, the [`NativeBackend`] (golden
-//!   reference executor) for correctness-only and large-scale scenarios.
+//! * the execution substrate is a three-tier registry: instant
+//!   [`RooflineBackend`](crate::RooflineBackend) estimates
+//!   ([`Fidelity::Analytic`]), the cycle-approximate [`SimBackend`]
+//!   ([`Fidelity::Cycles`]), and the golden-reference
+//!   [`NativeBackend`](crate::NativeBackend) ([`Fidelity::Golden`]). A
+//!   spec picks its tier with
+//!   [`Workload::fidelity`](crate::Workload::fidelity); specs that
+//!   don't choose run at the session's default tier.
 //!
 //! # Examples
 //!
 //! ```
-//! use saris_codegen::{Session, Variant, Workload};
+//! use saris_codegen::{Fidelity, Session, Variant, Workload};
 //! use saris_core::{gallery, Extent};
 //!
 //! # fn main() -> Result<(), saris_codegen::CodegenError> {
@@ -39,6 +44,19 @@
 //! assert_eq!(first.telemetry.compiles, 1);
 //! assert_eq!(again.telemetry.cache_hits, 1);
 //! assert_eq!(session.stats().compiles, 1);
+//!
+//! // The same spec as an estimate-class request: answered instantly by
+//! // the analytic tier, flagged as an estimate.
+//! let estimate = session.submit(
+//!     &Workload::new(gallery::jacobi_2d())
+//!         .extent(Extent::new_2d(16, 16))
+//!         .input_seed(1)
+//!         .variant(Variant::Saris)
+//!         .fidelity(Fidelity::Analytic)
+//!         .freeze()?,
+//! )?;
+//! assert_eq!(estimate.backend, "roofline");
+//! assert!(estimate.telemetry.estimated);
 //! # Ok(())
 //! # }
 //! ```
@@ -52,9 +70,10 @@ use saris_core::stencil::Stencil;
 use saris_core::{reference, Extent};
 use snitch_sim::{Cluster, ClusterConfig, RunReport};
 
+use crate::backends::{Backend, BackendRegistry, ExecRequest, Fidelity, SimBackend};
 use crate::error::CodegenError;
 use crate::runtime::{
-    compile, execute_on, measure_dma_utilization_on, BufferRotation, CompiledKernel, RunOptions,
+    compile, measure_dma_utilization_on, BufferRotation, CompiledKernel, RunOptions,
 };
 use crate::tuner::{is_infeasible_width, TuningDecision};
 use crate::workload::{Outcome, StencilWork, WorkloadKind, WorkloadSpec, WorkloadTelemetry};
@@ -182,110 +201,22 @@ impl ClusterPool {
     }
 }
 
-/// One execution request handed to a [`Backend`].
-pub struct ExecRequest<'a> {
-    /// The stencil to apply.
-    pub stencil: &'a Stencil,
-    /// One grid per declared input array, all of the same extent.
-    pub inputs: &'a [&'a Grid],
-    /// Execution options.
-    pub options: &'a RunOptions,
-    /// The cached kernel, when the backend asked for one.
-    pub kernel: Option<&'a Arc<CompiledKernel>>,
-    /// The session's cluster pool.
-    pub pool: &'a ClusterPool,
-}
-
-/// What a [`Backend`] produced for one request.
-pub struct ExecOutcome {
-    /// The computed output tile.
-    pub output: Grid,
-    /// The simulator measurement, when the backend simulates.
-    pub report: Option<RunReport>,
-    /// Whether a pooled cluster was recycled for this run.
-    pub cluster_reused: bool,
-}
-
-/// An execution substrate the [`Session`] dispatches runs to.
-pub trait Backend: Send + Sync {
-    /// A short identifier (`"sim"`, `"native"`, ...).
-    fn name(&self) -> &'static str;
-
-    /// Whether execution consumes compiled kernels. When `true` the
-    /// session compiles (through its cache) before calling
-    /// [`Backend::execute`]; when `false` no codegen happens at all.
-    fn needs_kernel(&self) -> bool;
-
-    /// Executes one request.
-    ///
-    /// # Errors
-    ///
-    /// Propagates compilation or execution errors.
-    fn execute(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, CodegenError>;
-}
-
-/// The cycle-approximate Snitch-cluster simulator backend: compiles
-/// kernels, runs them on pooled clusters, and reports cycles/activity.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SimBackend;
-
-impl Backend for SimBackend {
-    fn name(&self) -> &'static str {
-        "sim"
-    }
-
-    fn needs_kernel(&self) -> bool {
-        true
-    }
-
-    fn execute(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, CodegenError> {
-        let kernel = req.kernel.expect("sim backend runs need a compiled kernel");
-        let (mut cluster, cluster_reused) = req.pool.acquire(&req.options.cluster);
-        let result = execute_on(req.stencil, req.inputs, kernel, req.options, &mut cluster);
-        // Pool the cluster even after an error: acquisition resets it.
-        req.pool.release(cluster);
-        let (output, report) = result?;
-        Ok(ExecOutcome {
-            output,
-            report: Some(report),
-            cluster_reused,
-        })
-    }
-}
-
-/// The golden-reference backend: executes the stencil natively with the
-/// scalar reference executor. Orders of magnitude faster than the
-/// simulator and exact by construction, but produces no cycle report —
-/// use it for correctness runs and large-scale scenario sweeps.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NativeBackend;
-
-impl Backend for NativeBackend {
-    fn name(&self) -> &'static str {
-        "native"
-    }
-
-    fn needs_kernel(&self) -> bool {
-        false
-    }
-
-    fn execute(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, CodegenError> {
-        let extent = req.inputs[0].extent();
-        let mut refs: Vec<&Grid> = req.inputs.to_vec();
-        let output = reference::apply_to_new(req.stencil, &mut refs, extent);
-        Ok(ExecOutcome {
-            output,
-            report: None,
-            cluster_reused: false,
-        })
-    }
-}
-
-/// Counters describing what a session reused versus rebuilt.
+/// Counters describing what a session reused versus rebuilt, and which
+/// fidelity tiers answered its runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Kernel executions (tuning candidates, batch members, time steps).
     pub runs: u64,
+    /// Of [`runs`](SessionStats::runs), how many the analytic
+    /// (estimate) tier answered.
+    pub runs_analytic: u64,
+    /// Of [`runs`](SessionStats::runs), how many the cycle-level
+    /// simulation tier answered (DMA probes included — they always
+    /// measure on the simulated cluster).
+    pub runs_cycles: u64,
+    /// Of [`runs`](SessionStats::runs), how many the golden-reference
+    /// tier answered.
+    pub runs_golden: u64,
     /// Kernels compiled (cache misses).
     pub compiles: u64,
     /// Kernel-cache hits.
@@ -298,6 +229,16 @@ pub struct SessionStats {
     /// Simulated cycles the engine skipped via idle fast-forwarding
     /// across all runs (dead time the simulator never stepped through).
     pub cycles_fast_forwarded: u64,
+}
+
+impl SessionStats {
+    fn count_tier(&mut self, fidelity: Fidelity) {
+        match fidelity {
+            Fidelity::Analytic => self.runs_analytic += 1,
+            Fidelity::Cycles => self.runs_cycles += 1,
+            Fidelity::Golden => self.runs_golden += 1,
+        }
+    }
 }
 
 /// One kernel-cache entry: a per-key slot so concurrent compilations of
@@ -316,19 +257,28 @@ struct KernelCache {
     tick: u64,
 }
 
-/// What one internal kernel execution produced.
+/// What one internal kernel execution produced (`output` is `None` on
+/// estimate-only backends, which do no per-point work).
 struct RunOut {
-    output: Grid,
+    output: Option<Grid>,
     report: Option<RunReport>,
     kernel: Option<Arc<CompiledKernel>>,
 }
 
-/// A reusable execution engine: kernel cache + cluster pool + backend.
+/// A reusable execution engine: kernel cache + cluster pool + a
+/// three-tier [`BackendRegistry`].
 ///
 /// Sessions are `Sync`; a single session can serve many worker threads
-/// concurrently (that is exactly what [`Session::submit_all`] does).
+/// concurrently (that is exactly what [`Session::submit_all`] and the
+/// `saris-serve` service do). Each submission runs on the tier its spec
+/// requested ([`Workload::fidelity`](crate::Workload::fidelity)); specs
+/// that don't choose run at the session's *default* tier —
+/// [`Fidelity::Cycles`] for [`Session::new`], [`Fidelity::Golden`] for
+/// [`Session::native`], [`Fidelity::Analytic`] for
+/// [`Session::analytic`].
 pub struct Session {
-    backend: Arc<dyn Backend>,
+    registry: BackendRegistry,
+    default_fidelity: Fidelity,
     config: SessionConfig,
     pool: ClusterPool,
     cache: Mutex<KernelCache>,
@@ -342,30 +292,62 @@ impl Default for Session {
 }
 
 impl Session {
-    /// A session on the cycle-approximate simulator ([`SimBackend`]).
+    /// A session defaulting to the cycle-approximate simulator
+    /// ([`SimBackend`]).
     pub fn new() -> Session {
-        Session::with_backend(Arc::new(SimBackend))
+        Session::with_default_fidelity(Fidelity::Cycles)
     }
 
-    /// A session on the golden-reference executor ([`NativeBackend`]).
+    /// A session defaulting to the golden-reference executor
+    /// ([`NativeBackend`](crate::NativeBackend)).
     pub fn native() -> Session {
-        Session::with_backend(Arc::new(NativeBackend))
+        Session::with_default_fidelity(Fidelity::Golden)
     }
 
-    /// A simulator session with explicit cache/pool bounds.
+    /// A session defaulting to the analytic roofline tier
+    /// ([`RooflineBackend`](crate::RooflineBackend)).
+    pub fn analytic() -> Session {
+        Session::with_default_fidelity(Fidelity::Analytic)
+    }
+
+    /// A session on the standard registry with the given default tier.
+    pub fn with_default_fidelity(default_fidelity: Fidelity) -> Session {
+        Session::with_registry(
+            BackendRegistry::standard(),
+            default_fidelity,
+            SessionConfig::default(),
+        )
+    }
+
+    /// A simulator-default session with explicit cache/pool bounds.
     pub fn with_config(config: SessionConfig) -> Session {
-        Session::with_backend_and_config(Arc::new(SimBackend), config)
+        Session::with_registry(BackendRegistry::standard(), Fidelity::Cycles, config)
     }
 
-    /// A session on a custom backend with default bounds.
+    /// A session whose default tier is served by a custom backend (the
+    /// backend's own [`Backend::fidelity`] slot in an otherwise standard
+    /// registry).
     pub fn with_backend(backend: Arc<dyn Backend>) -> Session {
         Session::with_backend_and_config(backend, SessionConfig::default())
     }
 
-    /// A session on a custom backend with explicit cache/pool bounds.
+    /// [`Session::with_backend`] with explicit cache/pool bounds.
     pub fn with_backend_and_config(backend: Arc<dyn Backend>, config: SessionConfig) -> Session {
+        let default_fidelity = backend.fidelity();
+        let mut registry = BackendRegistry::standard();
+        registry.register(backend);
+        Session::with_registry(registry, default_fidelity, config)
+    }
+
+    /// A session on an explicit registry, default tier, and bounds.
+    pub fn with_registry(
+        registry: BackendRegistry,
+        default_fidelity: Fidelity,
+        config: SessionConfig,
+    ) -> Session {
         Session {
-            backend,
+            registry,
+            default_fidelity,
             config,
             pool: ClusterPool::bounded(config.max_pooled_clusters),
             cache: Mutex::new(KernelCache {
@@ -376,9 +358,19 @@ impl Session {
         }
     }
 
-    /// The active backend's name.
+    /// The name of the backend serving the session's default tier.
     pub fn backend_name(&self) -> &'static str {
-        self.backend.name()
+        self.registry.get(self.default_fidelity).name()
+    }
+
+    /// The tier specs run at when they don't request one.
+    pub fn default_fidelity(&self) -> Fidelity {
+        self.default_fidelity
+    }
+
+    /// The backend registry submissions are routed through.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
     }
 
     /// The configured cache/pool bounds.
@@ -487,6 +479,7 @@ impl Session {
     /// wants kernels), dispatch to the backend, account telemetry.
     fn run_one(
         &self,
+        backend: &dyn Backend,
         stencil: &Stencil,
         inputs: &[&Grid],
         options: &RunOptions,
@@ -496,7 +489,7 @@ impl Session {
             || panic!("stencil needs at least one input"),
             |g| g.extent(),
         );
-        let kernel = if self.backend.needs_kernel() {
+        let kernel = if backend.needs_kernel() {
             let (kernel, hit) = self.compile_cached(stencil, extent, options)?;
             if hit {
                 tel.cache_hits += 1;
@@ -507,7 +500,7 @@ impl Session {
         } else {
             None
         };
-        let outcome = self.backend.execute(&ExecRequest {
+        let outcome = backend.execute(&ExecRequest {
             stencil,
             inputs,
             options,
@@ -516,6 +509,7 @@ impl Session {
         })?;
         tel.runs += 1;
         tel.clusters_reused += u64::from(outcome.cluster_reused);
+        tel.estimated |= outcome.estimated;
         let fast_forwarded = outcome
             .report
             .as_ref()
@@ -524,6 +518,7 @@ impl Session {
         {
             let mut stats = self.stats.lock().expect("session stats lock");
             stats.runs += 1;
+            stats.count_tier(backend.fidelity());
             stats.clusters_reused += u64::from(outcome.cluster_reused);
             stats.cycles_fast_forwarded += fast_forwarded;
         }
@@ -595,6 +590,7 @@ impl Session {
         {
             let mut stats = self.stats.lock().expect("session stats lock");
             stats.runs += 1;
+            stats.count_tier(Fidelity::Cycles);
             stats.clusters_reused += u64::from(reused);
         }
         let utilization = result?;
@@ -622,6 +618,8 @@ impl Session {
         spec: &WorkloadSpec,
         work: &StencilWork,
     ) -> Result<Outcome, CodegenError> {
+        let fidelity = work.fidelity.unwrap_or(self.default_fidelity);
+        let backend = &**self.registry.get(fidelity);
         let stencil = &*work.stencil;
         // Explicit grids are borrowed straight from the spec's `Arc` —
         // only seeded inputs materialize fresh grids, and only the
@@ -641,73 +639,91 @@ impl Session {
         // widths the register file or FREP sequencer genuinely refuses,
         // keep the fastest. Codegen-free backends have nothing to tune.
         let mut first_run = None;
-        let (options, tuning) = if let (Some(candidates), true) =
-            (work.tune.candidates(), self.backend.needs_kernel())
-        {
-            let refs: Vec<&Grid> = inputs.iter().collect();
-            let mut best: Option<(usize, u64, RunOut)> = None;
-            let mut measured = Vec::new();
-            for &unroll in candidates {
-                let opts = work.options.clone().with_unroll(unroll);
-                match self.run_one(stencil, &refs, &opts, &mut tel) {
-                    Ok(run) => {
-                        let cycles = run.report.as_ref().map_or(u64::MAX, |r| r.cycles);
-                        measured.push((unroll, cycles));
-                        if best.as_ref().is_none_or(|(_, c, _)| cycles < *c) {
-                            best = Some((unroll, cycles, run));
+        let (options, tuning) =
+            if let (Some(candidates), true) = (work.tune.candidates(), backend.needs_kernel()) {
+                let refs: Vec<&Grid> = inputs.iter().collect();
+                let mut best: Option<(usize, u64, RunOut)> = None;
+                let mut measured = Vec::new();
+                for &unroll in candidates {
+                    let opts = work.options.clone().with_unroll(unroll);
+                    match self.run_one(backend, stencil, &refs, &opts, &mut tel) {
+                        Ok(run) => {
+                            let cycles = run.report.as_ref().map_or(u64::MAX, |r| r.cycles);
+                            measured.push((unroll, cycles));
+                            if best.as_ref().is_none_or(|(_, c, _)| cycles < *c) {
+                                best = Some((unroll, cycles, run));
+                            }
                         }
+                        Err(e) if is_infeasible_width(&e) => {}
+                        Err(e) => return Err(e),
                     }
-                    Err(e) if is_infeasible_width(&e) => {}
-                    Err(e) => return Err(e),
                 }
-            }
-            let (unroll, _, run) = best.ok_or(CodegenError::NoCandidates)?;
-            first_run = Some(run);
-            (
-                work.options.clone().with_unroll(unroll),
-                Some(TuningDecision { unroll, measured }),
-            )
-        } else {
-            (work.options.clone(), None)
-        };
+                let (unroll, _, run) = best.ok_or(CodegenError::NoCandidates)?;
+                first_run = Some(run);
+                (
+                    work.options.clone().with_unroll(unroll),
+                    Some(TuningDecision { unroll, measured }),
+                )
+            } else {
+                (work.options.clone(), None)
+            };
 
         // Time stepping: the winning configuration's first application is
         // reused from tuning; later steps rotate buffers per the spec.
         let mut reports = Vec::new();
         let mut kernel = None;
-        let mut take_step =
-            |working: &[Grid], first_run: &mut Option<RunOut>| -> Result<Grid, CodegenError> {
-                let run = match first_run.take() {
-                    Some(run) => run,
-                    None => {
-                        let refs: Vec<&Grid> = working.iter().collect();
-                        self.run_one(stencil, &refs, &options, &mut tel)?
-                    }
-                };
-                if let Some(report) = run.report {
-                    reports.push(report);
+        let mut take_step = |working: &[Grid],
+                             first_run: &mut Option<RunOut>|
+         -> Result<Option<Grid>, CodegenError> {
+            let run = match first_run.take() {
+                Some(run) => run,
+                None => {
+                    let refs: Vec<&Grid> = working.iter().collect();
+                    self.run_one(backend, stencil, &refs, &options, &mut tel)?
                 }
-                if run.kernel.is_some() {
-                    kernel = run.kernel;
-                }
-                Ok(run.output)
             };
+            if let Some(report) = run.report {
+                reports.push(report);
+            }
+            if run.kernel.is_some() {
+                kernel = run.kernel;
+            }
+            Ok(run.output)
+        };
+        // Estimate-only backends produce no grids: each step estimates
+        // from the same (never-rotated) inputs, and the outcome's grid
+        // list stays empty like a probe's.
         let grids = if let Some(rotation) = work.rotation {
             let mut working = inputs.to_vec();
+            let mut produced = false;
             for _ in 0..work.time_steps {
-                let output = take_step(&working, &mut first_run)?;
-                rotate(&mut working, output, rotation);
+                if let Some(output) = take_step(&working, &mut first_run)? {
+                    produced = true;
+                    rotate(&mut working, output, rotation);
+                }
             }
-            working
+            if produced {
+                working
+            } else {
+                Vec::new()
+            }
         } else {
-            let output = take_step(inputs, &mut first_run)?;
-            vec![output]
+            take_step(inputs, &mut first_run)?.map_or_else(Vec::new, |output| vec![output])
         };
 
         // Verification: march the golden reference through the same
         // steps and rotation, then compare every final grid.
         let verify_error = match work.verify {
             None => None,
+            Some(_) if grids.is_empty() => {
+                return Err(CodegenError::InvalidWorkload {
+                    reason: format!(
+                        "the `{}` backend produces estimates without output grids; \
+                         verification needs a grid-producing fidelity tier",
+                        backend.name()
+                    ),
+                })
+            }
             Some(tolerance) => {
                 let reference_grids = if let Some(rotation) = work.rotation {
                     let mut marched = inputs.to_vec();
@@ -739,7 +755,7 @@ impl Session {
 
         Ok(Outcome {
             fingerprint: spec.fingerprint(),
-            backend: self.backend.name(),
+            backend: backend.name(),
             grids,
             reports,
             kernel,
@@ -790,7 +806,8 @@ fn rotate(grids: &mut [Grid], output: Grid, rotation: BufferRotation) {
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("backend", &self.backend.name())
+            .field("registry", &self.registry)
+            .field("default_fidelity", &self.default_fidelity)
             .field("config", &self.config)
             .field("cached_kernels", &self.cached_kernels())
             .field("pooled_clusters", &self.pool.idle())
@@ -1093,6 +1110,95 @@ mod tests {
         let inf = Grid::filled(tile, f64::INFINITY);
         assert_eq!(verify_diff(&inf, &inf.clone()), 0.0);
         assert_eq!(verify_diff(&inf, &zeros), f64::INFINITY);
+    }
+
+    #[test]
+    fn fidelity_routes_to_the_matching_tier() {
+        let session = Session::new();
+        let spec_at = |fidelity| {
+            Workload::new(gallery::jacobi_2d())
+                .extent(Extent::new_2d(16, 16))
+                .input_seed(3)
+                .fidelity(fidelity)
+                .freeze()
+                .unwrap()
+        };
+        let analytic = session.submit(&spec_at(Fidelity::Analytic)).unwrap();
+        assert_eq!(analytic.backend, "roofline");
+        assert!(analytic.telemetry.estimated);
+        assert!(analytic.expect_report().cycles > 0);
+        assert!(
+            analytic.grids.is_empty(),
+            "estimates do no per-point work and carry no grids"
+        );
+        let cycles = session.submit(&spec_at(Fidelity::Cycles)).unwrap();
+        assert_eq!(cycles.backend, "sim");
+        assert!(!cycles.telemetry.estimated);
+        assert!(cycles.output().is_some());
+        let golden = session.submit(&spec_at(Fidelity::Golden)).unwrap();
+        assert_eq!(golden.backend, "native");
+        assert!(golden.reports.is_empty());
+        assert!(golden.output().is_some());
+        let stats = session.stats();
+        assert_eq!(
+            (stats.runs_analytic, stats.runs_cycles, stats.runs_golden),
+            (1, 1, 1)
+        );
+        assert_eq!(stats.runs, 3);
+        assert_eq!(stats.compiles, 1, "only the cycle tier compiles");
+    }
+
+    #[test]
+    fn default_fidelity_answers_unrouted_specs() {
+        let spec = jacobi_spec();
+        assert_eq!(spec.fidelity(), None);
+        let analytic = Session::analytic();
+        let outcome = analytic.submit(&spec).unwrap();
+        assert_eq!(outcome.backend, "roofline");
+        assert_eq!(analytic.default_fidelity(), Fidelity::Analytic);
+        assert_eq!(analytic.stats().runs_analytic, 1);
+        // An explicit tier still overrides the session default.
+        let routed = analytic
+            .submit(
+                &Workload::new(gallery::jacobi_2d())
+                    .extent(Extent::new_2d(16, 16))
+                    .input_seed(3)
+                    .fidelity(Fidelity::Golden)
+                    .freeze()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(routed.backend, "native");
+    }
+
+    #[test]
+    fn analytic_tier_does_not_tune() {
+        let spec = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .tune(crate::tuner::Tune::Auto)
+            .fidelity(Fidelity::Analytic)
+            .freeze()
+            .unwrap();
+        let outcome = Session::new().submit(&spec).unwrap();
+        assert!(outcome.tuning.is_none(), "no cycle measurements to tune on");
+        assert!(outcome.kernel.is_none(), "no codegen on the analytic tier");
+    }
+
+    #[test]
+    fn analytic_default_session_rejects_verification_at_submit() {
+        // The freeze-time check only fires for explicit Analytic
+        // fidelity; a verifying spec routed to the analytic tier by the
+        // *session default* must fail at submission instead of
+        // pretending to verify nonexistent grids.
+        let spec = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .verify(1e-9)
+            .freeze()
+            .unwrap();
+        let err = Session::analytic().submit(&spec).unwrap_err();
+        assert!(matches!(err, CodegenError::InvalidWorkload { .. }), "{err}");
     }
 
     #[test]

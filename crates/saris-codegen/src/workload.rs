@@ -41,6 +41,7 @@ use saris_core::stencil::Stencil;
 use saris_core::Extent;
 use snitch_sim::{ClusterConfig, RunReport};
 
+use crate::backends::Fidelity;
 use crate::error::CodegenError;
 use crate::runtime::{BufferRotation, CompiledKernel, RunOptions, Variant};
 use crate::tuner::{Tune, TuningDecision};
@@ -117,6 +118,7 @@ pub struct Workload {
     time_steps: usize,
     rotation: Option<BufferRotation>,
     verify: Option<f64>,
+    fidelity: Option<Fidelity>,
 }
 
 impl Workload {
@@ -134,6 +136,7 @@ impl Workload {
             time_steps: 1,
             rotation: None,
             verify: None,
+            fidelity: None,
         }
     }
 
@@ -156,6 +159,7 @@ impl Workload {
             time_steps: 1,
             rotation: None,
             verify: None,
+            fidelity: None,
         }
     }
 
@@ -250,6 +254,22 @@ impl Workload {
         self
     }
 
+    /// Requests a specific [`Fidelity`] tier: instant analytic estimates
+    /// ([`Fidelity::Analytic`]), cycle-approximate simulation
+    /// ([`Fidelity::Cycles`]), or the golden reference executor
+    /// ([`Fidelity::Golden`]). Specs that don't choose run at the
+    /// session's default tier. Tuning ([`tune`](Workload::tune)) only
+    /// measures on the cycle tier; on codegen-free tiers the policy is
+    /// inert and no [`TuningDecision`] is produced. The analytic tier
+    /// answers without output grids (and therefore rejects
+    /// [`verify`](Workload::verify)); its reports are estimates, flagged
+    /// in [`WorkloadTelemetry::estimated`].
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Workload {
+        self.fidelity = Some(fidelity);
+        self
+    }
+
     /// Validates the request and freezes it into an immutable
     /// [`WorkloadSpec`].
     ///
@@ -279,11 +299,13 @@ impl Workload {
                 || self.tune != Tune::Fixed
                 || self.inputs != InputSpec::Seeded(0)
                 || self.options != probe_defaults
+                || self.fidelity.is_some()
             {
                 return Err(invalid(
                     "DMA probes take only an extent and a cluster configuration; \
-                     inputs, tuning, time stepping, rotation, verification, and \
-                     non-cluster options do not apply",
+                     inputs, tuning, time stepping, rotation, verification, \
+                     fidelity, and non-cluster options do not apply (probes \
+                     always measure on the simulated cluster)",
                 ));
             }
             let kind = WorkloadKind::DmaProbe {
@@ -334,6 +356,12 @@ impl Workload {
                 "verification tolerance must be finite and non-negative",
             ));
         }
+        if self.fidelity == Some(Fidelity::Analytic) && self.verify.is_some() {
+            return Err(invalid(
+                "the analytic tier produces estimates without output grids; \
+                 verification needs Fidelity::Cycles or Fidelity::Golden",
+            ));
+        }
         let rotation = match (self.rotation, self.time_steps) {
             (Some(r), _) => {
                 if r == BufferRotation::Leapfrog && n_inputs != 2 {
@@ -366,6 +394,7 @@ impl Workload {
             time_steps: self.time_steps,
             rotation,
             verify: self.verify,
+            fidelity: self.fidelity,
         });
         let fingerprint = fingerprint_of(&kind);
         Ok(WorkloadSpec { kind, fingerprint })
@@ -384,6 +413,7 @@ pub(crate) struct StencilWork {
     pub time_steps: usize,
     pub rotation: Option<BufferRotation>,
     pub verify: Option<f64>,
+    pub fidelity: Option<Fidelity>,
 }
 
 /// What kind of work a spec describes.
@@ -469,6 +499,16 @@ impl WorkloadSpec {
         }
     }
 
+    /// The fidelity tier this spec requested (`None` means "whatever the
+    /// answering session's default is"; always `None` for probes, which
+    /// measure on the simulated cluster).
+    pub fn fidelity(&self) -> Option<Fidelity> {
+        match &self.kind {
+            WorkloadKind::Stencil(w) => w.fidelity,
+            WorkloadKind::DmaProbe { .. } => None,
+        }
+    }
+
     /// Whether this spec is a DMA-utilization probe.
     pub fn is_probe(&self) -> bool {
         matches!(self.kind, WorkloadKind::DmaProbe { .. })
@@ -490,7 +530,7 @@ fn fingerprint_of(kind: &WorkloadKind) -> u64 {
             "stencil".hash(&mut h);
             w.stencil.fingerprint().hash(&mut h);
             format!(
-                "{:?}|{}|{}|{}|{:?}|{}|{:?}|{:?}",
+                "{:?}|{}|{}|{}|{:?}|{}|{:?}|{:?}|{:?}",
                 w.extent,
                 w.options.compile_fingerprint(),
                 w.options.max_cycles,
@@ -499,6 +539,7 @@ fn fingerprint_of(kind: &WorkloadKind) -> u64 {
                 w.time_steps,
                 w.rotation,
                 w.verify.map(f64::to_bits),
+                w.fidelity,
             )
             .hash(&mut h);
             match &w.inputs {
@@ -540,6 +581,14 @@ pub struct WorkloadTelemetry {
     /// [`RunReport::cycles_fast_forwarded`]) — how much dead time the
     /// simulator never had to step through.
     pub cycles_fast_forwarded: u64,
+    /// Whether the outcome's reports carry *model estimates* rather than
+    /// measurements. Set by analytic-tier backends (e.g.
+    /// [`RooflineBackend`](crate::RooflineBackend)): the grids are still
+    /// exact, but cycle counts, FPU utilization and per-core runtimes in
+    /// [`Outcome::reports`] are synthesized from the roofline model and
+    /// calibration data, and must not be quoted as simulator
+    /// measurements.
+    pub estimated: bool,
 }
 
 /// The response half of the execution-engine API: everything one
@@ -552,7 +601,8 @@ pub struct Outcome {
     pub backend: &'static str,
     /// Final grid states, youngest field first: the rotated field set
     /// for time-stepped workloads, the single output tile otherwise.
-    /// Empty for DMA probes.
+    /// Empty for DMA probes and analytic estimates (estimate-class
+    /// answers do no per-point work).
     pub grids: Vec<Grid>,
     /// One simulator report per executed time step of the winning
     /// configuration (empty on report-free backends and probes).
@@ -574,7 +624,8 @@ pub struct Outcome {
 }
 
 impl Outcome {
-    /// The youngest final grid (the output tile), `None` for probes.
+    /// The youngest final grid (the output tile), `None` for probes and
+    /// analytic estimates.
     pub fn output(&self) -> Option<&Grid> {
         self.grids.first()
     }
@@ -583,7 +634,8 @@ impl Outcome {
     ///
     /// # Panics
     ///
-    /// Panics for probe outcomes, which produce no grids.
+    /// Panics for probe and analytic-estimate outcomes, which produce
+    /// no grids.
     pub fn expect_output(&self) -> &Grid {
         self.grids
             .first()
@@ -660,6 +712,8 @@ mod tests {
             base_workload().tune(Tune::Candidates(vec![])),
             base_workload().verify(f64::NAN),
             base_workload().verify(-1.0),
+            // The analytic tier has no grids to verify.
+            base_workload().fidelity(Fidelity::Analytic).verify(1e-9),
             // Leapfrog rotates two fields; jacobi_2d has one.
             base_workload()
                 .time_steps(2)
@@ -683,6 +737,7 @@ mod tests {
             Workload::dma_probe(extent).input_seed(7),
             Workload::dma_probe(extent).unroll(4),
             Workload::dma_probe(extent).variant(Variant::Base),
+            Workload::dma_probe(extent).fidelity(Fidelity::Analytic),
         ] {
             assert!(matches!(
                 wl.freeze(),
@@ -738,6 +793,7 @@ mod tests {
             base_workload().tune(Tune::Auto),
             base_workload().time_steps(2),
             base_workload().verify(1e-9),
+            base_workload().fidelity(Fidelity::Analytic),
         ];
         for (i, wl) in variants.into_iter().enumerate() {
             assert_ne!(

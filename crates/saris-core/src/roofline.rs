@@ -5,9 +5,66 @@
 //! a low CMTR, making them memory bound", and 3D halos depress the
 //! intensity further. This module computes those quantities directly from
 //! a stencil and a tile geometry, independent of any simulation.
+//!
+//! Two consumers share this one implementation of the per-tile traffic
+//! derivation ([`TileTraffic`]): the `saris-scaleout` manycore estimate
+//! (Figure 5 / Table 2) and the execution engine's analytic *roofline
+//! backend*, which answers estimate-class requests from
+//! [`estimate_tile`] without paying for cycle-level simulation.
 
 use crate::geom::{Extent, Halo};
 use crate::stencil::Stencil;
+
+/// Per-tile DMA traffic of a double-buffered stencil sweep.
+///
+/// This is the single shared derivation of "bytes a tile moves": each
+/// input array streams its interior plus *its own* halo in (an array
+/// only read at the center, like `ac_iso_cd`'s previous time step,
+/// needs no halo), and the output streams its interior out. 3D halos
+/// dominate this — the paper's explanation for `star3d2r` and
+/// `ac_iso_cd` regressing to memory-boundedness at scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileTraffic {
+    /// Bytes streamed in per tile (all input arrays, halo included).
+    pub bytes_in: u64,
+    /// Bytes streamed out per tile (interior of the output array).
+    pub bytes_out: u64,
+}
+
+impl TileTraffic {
+    /// Derives the traffic for `stencil` on tiles of `tile` (halo
+    /// included).
+    pub fn for_stencil(stencil: &Stencil, tile: Extent) -> TileTraffic {
+        let interior = stencil.interior(tile);
+        let mut bytes_in = 0u64;
+        for array in stencil.input_arrays() {
+            let halo = Halo::covering(
+                stencil
+                    .taps()
+                    .iter()
+                    .filter(|t| t.array == array)
+                    .map(|t| &t.offset),
+            );
+            let region = (interior.nx + 2 * halo.rx as usize).min(tile.nx)
+                * (interior.ny + 2 * halo.ry as usize).min(tile.ny)
+                * if tile.nz == 1 {
+                    1
+                } else {
+                    (interior.nz + 2 * halo.rz as usize).min(tile.nz)
+                };
+            bytes_in += region as u64 * 8;
+        }
+        TileTraffic {
+            bytes_in,
+            bytes_out: interior.len() as u64 * 8,
+        }
+    }
+
+    /// Total bytes per tile.
+    pub fn total(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+}
 
 /// Operational intensity of one double-buffered tile sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,24 +93,7 @@ pub struct TileIntensity {
 pub fn tile_intensity(stencil: &Stencil, tile: Extent) -> TileIntensity {
     let interior = stencil.interior(tile);
     let flops = stencil.stats().flops as f64 * interior.len() as f64;
-    let mut bytes = interior.len() as f64 * 8.0; // output
-    for array in stencil.input_arrays() {
-        let halo = Halo::covering(
-            stencil
-                .taps()
-                .iter()
-                .filter(|t| t.array == array)
-                .map(|t| &t.offset),
-        );
-        let region_len = (interior.nx + 2 * halo.rx as usize).min(tile.nx)
-            * (interior.ny + 2 * halo.ry as usize).min(tile.ny)
-            * if tile.nz == 1 {
-                1
-            } else {
-                (interior.nz + 2 * halo.rz as usize).min(tile.nz)
-            };
-        bytes += region_len as f64 * 8.0;
-    }
+    let bytes = TileTraffic::for_stencil(stencil, tile).total() as f64;
     TileIntensity {
         flops,
         bytes,
@@ -82,6 +122,120 @@ pub fn is_memory_bound(
     bytes_per_cycle: f64,
 ) -> bool {
     tile_intensity(stencil, tile).intensity < machine_balance(peak_flops_per_cycle, bytes_per_cycle)
+}
+
+/// The machine point an analytic tile estimate is computed against: one
+/// compute cluster and its fair share of main-memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachinePoint {
+    /// Compute cores in the cluster.
+    pub cores: usize,
+    /// Peak FLOPs per core per cycle (one DP FMA = 2).
+    pub flops_per_core_cycle: f64,
+    /// The cluster's main-memory bandwidth share in bytes per cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl MachinePoint {
+    /// The paper's single Snitch cluster inside a Manticore-256s group:
+    /// 8 cores at one DP FMA per cycle, and a 12.8 B/cycle fair share of
+    /// one HBM2E device split four ways.
+    pub fn manticore_cluster() -> MachinePoint {
+        MachinePoint {
+            cores: 8,
+            flops_per_core_cycle: 2.0,
+            bytes_per_cycle: 12.8,
+        }
+    }
+
+    /// Cluster-wide peak FLOPs per cycle.
+    pub fn peak_flops_per_cycle(&self) -> f64 {
+        self.cores as f64 * self.flops_per_core_cycle
+    }
+}
+
+/// Mean FLOPs per FPU issue slot across the gallery's operation mix
+/// (an FMA retires 2 FLOPs in one slot, an add or mul retires 1). Used
+/// by [`estimate_tile`] to convert a FLOP count into issue slots when
+/// no measured operation count is available.
+pub const MEAN_FLOPS_PER_FPU_OP: f64 = 1.8;
+
+/// A first-principles analytic estimate of one tile sweep — what the
+/// roofline backend answers estimate-class requests from when it has no
+/// calibration measurement for the stencil.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileEstimate {
+    /// Floating-point operations per tile.
+    pub flops: f64,
+    /// Estimated FPU issue slots per tile.
+    pub fpu_ops: f64,
+    /// DMA bytes per tile.
+    pub bytes: f64,
+    /// Estimated compute time in cycles (FPU issue slots over the
+    /// cluster's effective issue rate).
+    pub compute_cycles: f64,
+    /// Memory streaming time in cycles at the cluster's bandwidth share.
+    pub memory_cycles: f64,
+    /// Whether the tile is memory-bound at this machine point and
+    /// efficiency (`memory_cycles > compute_cycles`).
+    pub memory_bound: bool,
+}
+
+impl TileEstimate {
+    /// The double-buffered per-tile time: compute and memory overlap, so
+    /// the slower of the two governs.
+    pub fn tile_cycles(&self) -> f64 {
+        self.compute_cycles.max(self.memory_cycles)
+    }
+}
+
+/// Estimates one double-buffered tile sweep of `stencil` on tiles of
+/// `tile` at `point`, assuming the FPUs sustain `efficiency` issue slots
+/// per core-cycle (0..=1; the attainable utilization of the code variant,
+/// e.g. the paper's Figure 3b geomeans).
+///
+/// The compute side converts the tile's FLOPs into FPU issue slots via
+/// [`MEAN_FLOPS_PER_FPU_OP`] and divides by the effective issue rate;
+/// the memory side is the [`TileTraffic`] over the bandwidth share.
+///
+/// # Examples
+///
+/// ```
+/// use saris_core::{gallery, roofline, Extent, Space};
+///
+/// let point = roofline::MachinePoint::manticore_cluster();
+/// let j3d = roofline::estimate_tile(
+///     &gallery::j3d27pt(),
+///     Extent::cube(Space::Dim3, 16),
+///     &point,
+///     0.8,
+/// );
+/// assert!(!j3d.memory_bound, "27-point 3D is compute-bound");
+/// let jacobi =
+///     roofline::estimate_tile(&gallery::jacobi_2d(), Extent::new_2d(64, 64), &point, 0.8);
+/// assert!(jacobi.memory_bound, "5-point Jacobi streams more than it computes");
+/// ```
+pub fn estimate_tile(
+    stencil: &Stencil,
+    tile: Extent,
+    point: &MachinePoint,
+    efficiency: f64,
+) -> TileEstimate {
+    let interior = stencil.interior(tile);
+    let flops = stencil.stats().flops as f64 * interior.len() as f64;
+    let fpu_ops = flops / MEAN_FLOPS_PER_FPU_OP;
+    let issue_rate = (point.cores as f64 * efficiency.clamp(0.01, 1.0)).max(f64::MIN_POSITIVE);
+    let compute_cycles = fpu_ops / issue_rate;
+    let bytes = TileTraffic::for_stencil(stencil, tile).total() as f64;
+    let memory_cycles = bytes / point.bytes_per_cycle;
+    TileEstimate {
+        flops,
+        fpu_ops,
+        bytes,
+        compute_cycles,
+        memory_cycles,
+        memory_bound: memory_cycles > compute_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +305,49 @@ mod tests {
         // u with full halo (16^3) + um interior (8^3) + out interior (8^3).
         let expect_bytes = (4096 + 512 + 512) as f64 * 8.0;
         assert!((t.bytes - expect_bytes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_counts_inputs_and_interior() {
+        let s = gallery::jacobi_2d();
+        let tile = Extent::new_2d(64, 64);
+        let t = TileTraffic::for_stencil(&s, tile);
+        assert_eq!(t.bytes_in, 64 * 64 * 8);
+        assert_eq!(t.bytes_out, 62 * 62 * 8);
+        let s3 = gallery::ac_iso_cd();
+        let tile3 = Extent::cube(Space::Dim3, 16);
+        let t3 = TileTraffic::for_stencil(&s3, tile3);
+        // u needs its full radius-4 halo; um is only read at the center.
+        assert_eq!(t3.bytes_in, (16 * 16 * 16 + 8 * 8 * 8) * 8);
+        assert_eq!(t3.bytes_out, 8 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn intensity_and_traffic_share_one_byte_count() {
+        for s in gallery::all() {
+            let tile = paper_tile(&s);
+            let t = tile_intensity(&s, tile);
+            let traffic = TileTraffic::for_stencil(&s, tile);
+            assert_eq!(t.bytes, traffic.total() as f64, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn tile_estimate_sides_and_bound() {
+        let point = MachinePoint::manticore_cluster();
+        assert_eq!(point.peak_flops_per_cycle(), 16.0);
+        let s = gallery::jacobi_2d();
+        let tile = Extent::new_2d(64, 64);
+        let e = estimate_tile(&s, tile, &point, 0.8);
+        // 5 FLOPs x 62^2 points; (64^2 + 62^2) x 8 bytes over 12.8 B/cyc.
+        assert!((e.flops - 5.0 * 3844.0).abs() < 1e-9);
+        assert!((e.memory_cycles - (4096.0 + 3844.0) * 8.0 / 12.8).abs() < 1e-9);
+        assert!((e.fpu_ops - e.flops / MEAN_FLOPS_PER_FPU_OP).abs() < 1e-9);
+        assert!((e.compute_cycles - e.fpu_ops / 6.4).abs() < 1e-9);
+        assert!(e.memory_bound && e.tile_cycles() == e.memory_cycles);
+        // Lower efficiency inflates compute time until the bound flips.
+        let slow = estimate_tile(&s, tile, &point, 0.1);
+        assert!(!slow.memory_bound);
+        assert_eq!(slow.tile_cycles(), slow.compute_cycles);
     }
 }

@@ -17,19 +17,25 @@
 //!
 //! # Examples
 //!
-//! ```
-//! use saris_energy::EnergyModel;
-//! use snitch_sim::{Cluster, ClusterConfig};
-//! use saris_isa::{Instr, ProgramBuilder};
+//! Reports come from the execution engine — describe the run as a
+//! `Workload`, submit it to a `Session` (both in `saris-codegen`), and
+//! feed the outcome's report to the model:
 //!
-//! # fn main() -> Result<(), snitch_sim::SimError> {
-//! let mut cluster = Cluster::new(ClusterConfig::snitch());
-//! let mut b = ProgramBuilder::new();
-//! b.push(Instr::Halt);
-//! cluster.load_program_all(b.finish().expect("valid"));
-//! let report = cluster.run(100)?;
-//! let power = EnergyModel::gf12lp().estimate(&report);
-//! assert!(power.total_watts() > 0.0); // static floor
+//! ```
+//! use saris_codegen::{Session, Variant, Workload};
+//! use saris_core::{gallery, Extent};
+//! use saris_energy::EnergyModel;
+//!
+//! # fn main() -> Result<(), saris_codegen::CodegenError> {
+//! let outcome = Session::new().submit(
+//!     &Workload::new(gallery::jacobi_2d())
+//!         .extent(Extent::new_2d(16, 16))
+//!         .input_seed(1)
+//!         .variant(Variant::Saris)
+//!         .freeze()?,
+//! )?;
+//! let power = EnergyModel::gf12lp().estimate(outcome.expect_report());
+//! assert!(power.total_watts() > 0.045); // above the static floor
 //! # Ok(())
 //! # }
 //! ```

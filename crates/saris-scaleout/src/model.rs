@@ -6,56 +6,10 @@ use saris_core::{Extent, Stencil};
 
 use crate::machine::MachineModel;
 
-/// Per-tile DMA traffic of a double-buffered stencil sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TileTraffic {
-    /// Bytes streamed in per tile (all input arrays, halo included).
-    pub bytes_in: u64,
-    /// Bytes streamed out per tile (interior of the output array).
-    pub bytes_out: u64,
-}
-
-impl TileTraffic {
-    /// Derives the traffic for `stencil` on tiles of `tile` (including
-    /// halo): each input array moves the interior plus *its own* halo in
-    /// (an array only read at the center, like `ac_iso_cd`'s previous
-    /// time step, needs no halo), and the output moves its interior out.
-    /// 3D halos dominate this — the paper's explanation for `star3d2r`
-    /// and `ac_iso_cd` regressing to memory-boundedness.
-    pub fn for_stencil(stencil: &Stencil, tile: Extent) -> TileTraffic {
-        use saris_core::Halo;
-        let interior = stencil.interior(tile);
-        let mut bytes_in = 0u64;
-        for array in stencil.input_arrays() {
-            let halo = Halo::covering(
-                stencil
-                    .taps()
-                    .iter()
-                    .filter(|t| t.array == array)
-                    .map(|t| &t.offset),
-            );
-            let region = Extent {
-                nx: (interior.nx + 2 * halo.rx as usize).min(tile.nx),
-                ny: (interior.ny + 2 * halo.ry as usize).min(tile.ny),
-                nz: if tile.nz == 1 {
-                    1
-                } else {
-                    (interior.nz + 2 * halo.rz as usize).min(tile.nz)
-                },
-            };
-            bytes_in += region.len() as u64 * 8;
-        }
-        TileTraffic {
-            bytes_in,
-            bytes_out: interior.len() as u64 * 8,
-        }
-    }
-
-    /// Total bytes per tile.
-    pub fn total(&self) -> u64 {
-        self.bytes_in + self.bytes_out
-    }
-}
+// The per-tile traffic derivation lives in `saris_core::roofline` so the
+// scaleout estimate and the execution engine's analytic roofline backend
+// share one implementation; re-exported here for continuity.
+pub use saris_core::roofline::TileTraffic;
 
 /// What the single-cluster experiments feed into the estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,6 +126,51 @@ fn tiles_covering(grid: Extent, interior: Extent) -> u64 {
 ///
 /// `grid` is the global problem (the paper uses 16384^2 for 2D and 512^3
 /// for 3D, as in AN5D); `tile` the per-cluster tile including halo.
+///
+/// # Examples
+///
+/// The measurement feeding the estimate comes from the execution
+/// engine — a workload submission for the tile and a DMA probe for the
+/// bandwidth derate:
+///
+/// ```
+/// use saris_codegen::{Session, Variant, Workload};
+/// use saris_core::{gallery, Extent};
+/// use saris_scaleout::{estimate, ClusterMeasurement, MachineModel};
+///
+/// # fn main() -> Result<(), saris_codegen::CodegenError> {
+/// let session = Session::new();
+/// let tile = Extent::new_2d(32, 32);
+/// let run = session.submit(
+///     &Workload::new(gallery::jacobi_2d())
+///         .extent(tile)
+///         .input_seed(1)
+///         .variant(Variant::Saris)
+///         .freeze()?,
+/// )?;
+/// let dma_util = session
+///     .submit(&Workload::dma_probe(tile).freeze()?)?
+///     .dma_utilization
+///     .expect("probes measure utilization");
+/// let report = run.expect_report();
+/// let measurement = ClusterMeasurement {
+///     compute_cycles_per_tile: report.cycles as f64,
+///     fpu_ops_per_tile: report.cores.iter().map(|c| c.fpu.arith as f64).sum(),
+///     flops_per_tile: report.flops() as f64,
+///     dma_utilization: dma_util,
+///     core_imbalance: report.runtime_imbalance(),
+/// };
+/// let e = estimate(
+///     &MachineModel::manticore_256s(),
+///     &gallery::jacobi_2d(),
+///     tile,
+///     Extent::new_2d(16384, 16384),
+///     &measurement,
+/// );
+/// assert!(e.gflops > 0.0 && e.tiles_per_cluster > 0);
+/// # Ok(())
+/// # }
+/// ```
 pub fn estimate(
     machine: &MachineModel,
     stencil: &Stencil,
@@ -226,21 +225,6 @@ mod tests {
             dma_utilization: 0.9,
             core_imbalance: vec![1.0; 8],
         }
-    }
-
-    #[test]
-    fn traffic_counts_inputs_and_interior() {
-        let s = gallery::jacobi_2d();
-        let tile = Extent::new_2d(64, 64);
-        let t = TileTraffic::for_stencil(&s, tile);
-        assert_eq!(t.bytes_in, 64 * 64 * 8);
-        assert_eq!(t.bytes_out, 62 * 62 * 8);
-        let s3 = gallery::ac_iso_cd();
-        let tile3 = Extent::cube(saris_core::Space::Dim3, 16);
-        let t3 = TileTraffic::for_stencil(&s3, tile3);
-        // u needs its full radius-4 halo; um is only read at the center.
-        assert_eq!(t3.bytes_in, (16 * 16 * 16 + 8 * 8 * 8) * 8);
-        assert_eq!(t3.bytes_out, 8 * 8 * 8 * 8);
     }
 
     #[test]

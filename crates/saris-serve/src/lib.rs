@@ -1,0 +1,671 @@
+//! # saris-serve — the long-lived serving layer over the execution engine
+//!
+//! A [`Server`] turns a [`Session`] into a service: callers hand it
+//! [`WorkloadSpec`]s from any number of threads and get shared
+//! [`Outcome`]s back, while the server keeps the per-request cost as low
+//! as the traffic allows:
+//!
+//! * a **bounded work queue** feeds a fixed pool of worker threads (one
+//!   pooled cluster each via the session), so bursts queue instead of
+//!   oversubscribing the machine;
+//! * a **fingerprint-keyed LRU response cache** answers repeated specs
+//!   without executing anything — `WorkloadSpec` equality is the cache
+//!   key (its hash *is* the fingerprint), and outcomes are shared behind
+//!   `Arc`s, so a hit costs a map probe and a pointer clone;
+//! * **single-flight deduplication** coalesces concurrent identical
+//!   specs onto one execution: the first becomes the leader, the rest
+//!   wait on the same in-flight slot and share its `Arc<Outcome>` — a
+//!   duplicated spec executes exactly once no matter how many callers
+//!   race on it.
+//!
+//! Responses are cacheable because specs are deterministic by
+//! construction: seeded inputs, a deterministic simulator, and a
+//! fingerprint covering everything that affects the result (fidelity
+//! tier included). Failed submissions are *not* cached — a retry
+//! re-executes.
+//!
+//! ```
+//! use saris_codegen::{Fidelity, Workload};
+//! use saris_core::{gallery, Extent};
+//! use saris_serve::Server;
+//!
+//! # fn main() -> Result<(), saris_serve::ServeError> {
+//! let server = Server::new();
+//! let spec = Workload::new(gallery::jacobi_2d())
+//!     .extent(Extent::new_2d(16, 16))
+//!     .input_seed(1)
+//!     .freeze()
+//!     .expect("valid spec");
+//! let first = server.submit(&spec)?;
+//! let again = server.submit(&spec)?; // answered from the response cache
+//! assert!(std::sync::Arc::ptr_eq(&first, &again));
+//! let stats = server.stats();
+//! assert_eq!((stats.cache_hits, stats.executed), (1, 1));
+//!
+//! // Estimate-class requests ride the same surface on the analytic tier.
+//! let estimate = server.submit(
+//!     &Workload::new(gallery::jacobi_2d())
+//!         .extent(Extent::new_2d(16, 16))
+//!         .input_seed(1)
+//!         .fidelity(Fidelity::Analytic)
+//!         .freeze()
+//!         .expect("valid spec"),
+//! )?;
+//! assert!(estimate.telemetry.estimated);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use saris_codegen::{CodegenError, Outcome, Session, WorkloadSpec};
+
+/// What a served submission resolves to: a shared outcome, or a shared
+/// execution error.
+pub type ServeResult = Result<Arc<Outcome>, ServeError>;
+
+/// Why a served submission failed.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The execution engine rejected or failed the workload. The error
+    /// is shared (`Arc`) because every coalesced waiter of a failed
+    /// flight receives it.
+    Execution(Arc<CodegenError>),
+    /// The server shut down before the request could execute.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Execution(e) => write!(f, "execution failed: {e}"),
+            ServeError::ShutDown => f.write_str("server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Execution(e) => Some(&**e),
+            ServeError::ShutDown => None,
+        }
+    }
+}
+
+/// Sizing of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue. `0` means one per available
+    /// CPU.
+    pub workers: usize,
+    /// Maximum queued (accepted but not yet executing) requests;
+    /// submissions beyond this block until a worker drains the queue.
+    pub queue_depth: usize,
+    /// Maximum responses kept in the LRU cache (`0` disables response
+    /// caching; single-flight coalescing still applies to concurrent
+    /// duplicates).
+    pub max_cached_responses: usize,
+}
+
+impl Default for ServeConfig {
+    /// One worker per CPU, a queue deep enough to absorb bursts, and a
+    /// response cache sized like the session's kernel cache.
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 256,
+            max_cached_responses: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// Serving counters, in the spirit of
+/// [`SessionStats`](saris_codegen::SessionStats): everything the cache
+/// and single-flight layers saved, next to what actually executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted ([`Server::submit`] calls and
+    /// [`Server::submit_all`] elements).
+    pub requests: u64,
+    /// Requests answered from the response cache (no execution, no
+    /// queueing).
+    pub cache_hits: u64,
+    /// Requests that missed the cache and were enqueued as flight
+    /// leaders.
+    pub cache_misses: u64,
+    /// Responses evicted by the LRU bound.
+    pub cache_evictions: u64,
+    /// Requests coalesced onto an already-in-flight identical spec
+    /// (single-flight saves: these neither executed nor queued).
+    pub coalesced: u64,
+    /// Workloads actually executed by workers.
+    pub executed: u64,
+    /// Executions that failed (errors propagate to every coalesced
+    /// waiter and are never cached).
+    pub errors: u64,
+}
+
+/// One in-flight execution: coalesced waiters block on `done` until the
+/// leader's worker publishes the shared result.
+struct Flight {
+    result: Mutex<Option<ServeResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: ServeResult) {
+        *self.result.lock().expect("flight lock") = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> ServeResult {
+        let mut slot = self.result.lock().expect("flight lock");
+        loop {
+            match &*slot {
+                Some(result) => return result.clone(),
+                None => slot = self.done.wait(slot).expect("flight lock"),
+            }
+        }
+    }
+}
+
+/// A queued unit of work: the spec and the flight its waiters share.
+struct Job {
+    spec: WorkloadSpec,
+    flight: Arc<Flight>,
+}
+
+/// The bounded work queue (guarded by one mutex with two condvars).
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The LRU response cache (recency tracked with a logical tick, like
+/// the session's kernel cache).
+struct ResponseCache {
+    entries: HashMap<WorkloadSpec, (Arc<Outcome>, u64)>,
+    tick: u64,
+}
+
+struct Shared {
+    session: Session,
+    config: ServeConfig,
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    // Lock order: `flights` before `cache` (both submission and
+    // completion take them in that order; see `begin` / `finish`).
+    flights: Mutex<HashMap<WorkloadSpec, Arc<Flight>>>,
+    cache: Mutex<ResponseCache>,
+    stats: Mutex<ServeStats>,
+}
+
+impl Shared {
+    /// Cache lookup, bumping recency. Callers hold the `flights` lock
+    /// (see the invariant on [`Shared::flights`]).
+    fn cache_get(&self, spec: &WorkloadSpec) -> Option<Arc<Outcome>> {
+        if self.config.max_cached_responses == 0 {
+            return None;
+        }
+        let mut cache = self.cache.lock().expect("response cache lock");
+        cache.tick += 1;
+        let tick = cache.tick;
+        let (outcome, last_used) = cache.entries.get_mut(spec)?;
+        *last_used = tick;
+        Some(Arc::clone(outcome))
+    }
+
+    /// Inserts a response. O(1) — callers hold the `flights` lock, so
+    /// eviction (an O(capacity) scan) is deferred to
+    /// [`Shared::cache_evict`], which runs after that lock is released.
+    fn cache_put(&self, spec: &WorkloadSpec, outcome: &Arc<Outcome>) {
+        if self.config.max_cached_responses == 0 {
+            return;
+        }
+        let mut cache = self.cache.lock().expect("response cache lock");
+        cache.tick += 1;
+        let tick = cache.tick;
+        cache
+            .entries
+            .insert(spec.clone(), (Arc::clone(outcome), tick));
+    }
+
+    /// Evicts least-recently-used responses beyond the bound. Returns
+    /// the evictions performed. Takes only the cache lock, so the
+    /// O(capacity) LRU scan never serializes submissions behind the
+    /// `flights` lock.
+    fn cache_evict(&self) -> u64 {
+        if self.config.max_cached_responses == 0 {
+            return 0;
+        }
+        let mut cache = self.cache.lock().expect("response cache lock");
+        let mut evicted = 0;
+        while cache.entries.len() > self.config.max_cached_responses {
+            let lru = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("cache is non-empty");
+            cache.entries.remove(&lru);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// The submission path up to (but not including) waiting: cache
+    /// probe, single-flight attach, or leader enqueue.
+    fn begin(&self, spec: &WorkloadSpec) -> Wait {
+        // Holding the flights lock across the cache probe closes the
+        // hit-miss race: a worker inserts into the cache *before*
+        // removing the flight (also under this lock), so a spec is
+        // always visible as cached, in flight, or genuinely new.
+        let mut flights = self.flights.lock().expect("flights lock");
+        if let Some(outcome) = self.cache_get(spec) {
+            let mut stats = self.stats.lock().expect("serve stats lock");
+            stats.requests += 1;
+            stats.cache_hits += 1;
+            return Wait::Ready(Ok(outcome));
+        }
+        if let Some(flight) = flights.get(spec) {
+            let flight = Arc::clone(flight);
+            let mut stats = self.stats.lock().expect("serve stats lock");
+            stats.requests += 1;
+            stats.coalesced += 1;
+            return Wait::Pending(flight);
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(spec.clone(), Arc::clone(&flight));
+        drop(flights);
+        {
+            let mut stats = self.stats.lock().expect("serve stats lock");
+            stats.requests += 1;
+            stats.cache_misses += 1;
+        }
+        // Leader: enqueue, blocking while the queue is at capacity.
+        let mut queue = self.queue.lock().expect("work queue lock");
+        loop {
+            if queue.closed {
+                drop(queue);
+                self.abandon(spec, &flight);
+                return Wait::Ready(Err(ServeError::ShutDown));
+            }
+            if queue.jobs.len() < self.config.queue_depth {
+                break;
+            }
+            queue = self.not_full.wait(queue).expect("work queue lock");
+        }
+        queue.jobs.push_back(Job {
+            spec: spec.clone(),
+            flight: Arc::clone(&flight),
+        });
+        drop(queue);
+        self.not_empty.notify_one();
+        Wait::Pending(flight)
+    }
+
+    /// Removes a flight that will never execute and wakes its waiters.
+    fn abandon(&self, spec: &WorkloadSpec, flight: &Arc<Flight>) {
+        self.flights.lock().expect("flights lock").remove(spec);
+        flight.complete(Err(ServeError::ShutDown));
+    }
+
+    /// Executes one job and publishes its result (worker side).
+    fn finish(&self, job: Job) {
+        let result: ServeResult = self
+            .session
+            .submit(&job.spec)
+            .map(Arc::new)
+            .map_err(|e| ServeError::Execution(Arc::new(e)));
+        {
+            // Same lock order as `begin`: cache insertion happens before
+            // the flight disappears, so late duplicates can never slip
+            // between "not in flight" and "not yet cached".
+            let mut flights = self.flights.lock().expect("flights lock");
+            if let Ok(outcome) = &result {
+                self.cache_put(&job.spec, outcome);
+            }
+            flights.remove(&job.spec);
+        }
+        // The LRU bound is enforced outside the flights lock: over-cap
+        // entries linger only until here, and dropping them late never
+        // produces a wrong answer (a hit on an over-cap entry is still a
+        // valid response).
+        let evicted = self.cache_evict();
+        {
+            let mut stats = self.stats.lock().expect("serve stats lock");
+            stats.executed += 1;
+            stats.errors += u64::from(result.is_err());
+            stats.cache_evictions += evicted;
+        }
+        job.flight.complete(result);
+    }
+
+    /// Worker loop: drain jobs until the queue is closed *and* empty.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("work queue lock");
+                loop {
+                    if let Some(job) = queue.jobs.pop_front() {
+                        self.not_full.notify_one();
+                        break job;
+                    }
+                    if queue.closed {
+                        return;
+                    }
+                    queue = self.not_empty.wait(queue).expect("work queue lock");
+                }
+            };
+            self.finish(job);
+        }
+    }
+}
+
+/// A pending or already-answered submission.
+enum Wait {
+    Ready(ServeResult),
+    Pending(Arc<Flight>),
+}
+
+impl Wait {
+    fn wait(self) -> ServeResult {
+        match self {
+            Wait::Ready(result) => result,
+            Wait::Pending(flight) => flight.wait(),
+        }
+    }
+}
+
+/// A long-lived service answering [`WorkloadSpec`]s over a [`Session`].
+///
+/// Dropping the server closes the queue, lets the workers drain what
+/// was already accepted, and joins them; requests still blocked on a
+/// full queue at that point resolve to [`ServeError::ShutDown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Default for Server {
+    fn default() -> Server {
+        Server::new()
+    }
+}
+
+impl Server {
+    /// A server over a fresh simulator-default [`Session`] with default
+    /// sizing.
+    pub fn new() -> Server {
+        Server::with_config(ServeConfig::default())
+    }
+
+    /// A server over a fresh simulator-default [`Session`] with explicit
+    /// sizing.
+    pub fn with_config(config: ServeConfig) -> Server {
+        Server::over(Session::new(), config)
+    }
+
+    /// A server over a caller-built session (choose the default fidelity
+    /// tier, backend registry, and cache/pool bounds there).
+    pub fn over(session: Session, config: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            session,
+            config,
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            flights: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ResponseCache {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            stats: Mutex::new(ServeStats::default()),
+        });
+        let workers = (0..config.effective_workers())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("saris-serve-{i}"))
+                    .spawn(move || shared.work())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Answers one spec, blocking until the result is available: from
+    /// the response cache, from an in-flight identical request, or by
+    /// queueing an execution.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Execution`] when the engine fails the workload
+    /// (compilation, simulation, validation, or in-submission
+    /// verification), [`ServeError::ShutDown`] when the server stops
+    /// before the request runs.
+    pub fn submit(&self, spec: &WorkloadSpec) -> ServeResult {
+        self.shared.begin(spec).wait()
+    }
+
+    /// Answers a list of specs, returning results in spec order. All
+    /// specs enter the pipeline before any result is awaited, so
+    /// distinct specs execute concurrently across the worker pool and
+    /// duplicated specs coalesce onto single flights.
+    pub fn submit_all(&self, specs: &[WorkloadSpec]) -> Vec<ServeResult> {
+        let pending: Vec<Wait> = specs.iter().map(|spec| self.shared.begin(spec)).collect();
+        pending.into_iter().map(Wait::wait).collect()
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        *self.shared.stats.lock().expect("serve stats lock")
+    }
+
+    /// The underlying execution engine (for its
+    /// [`stats`](Session::stats), or to submit directly, bypassing the
+    /// serving layers).
+    pub fn session(&self) -> &Session {
+        &self.shared.session
+    }
+
+    /// The server's sizing.
+    pub fn config(&self) -> ServeConfig {
+        self.shared.config
+    }
+
+    /// Responses currently cached.
+    pub fn cached_responses(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .expect("response cache lock")
+            .entries
+            .len()
+    }
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.shared.config)
+            .field("workers", &self.workers.len())
+            .field("cached_responses", &self.cached_responses())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("work queue lock");
+            queue.closed = true;
+        }
+        // Wake every worker (to drain and exit) and every submitter
+        // blocked on a full queue (to observe the shutdown).
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_codegen::Workload;
+    use saris_core::{gallery, Extent};
+
+    fn spec(seed: u64) -> WorkloadSpec {
+        Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(seed)
+            .freeze()
+            .unwrap()
+    }
+
+    #[test]
+    fn cache_hit_shares_the_outcome() {
+        let server = Server::with_config(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let a = server.submit(&spec(1)).unwrap();
+        let b = server.submit(&spec(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = server.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(server.session().stats().runs, 1);
+    }
+
+    #[test]
+    fn disabled_cache_still_single_flights() {
+        let server = Server::with_config(ServeConfig {
+            workers: 2,
+            max_cached_responses: 0,
+            ..ServeConfig::default()
+        });
+        let results = server.submit_all(&[spec(1), spec(1), spec(2)]);
+        assert!(results.iter().all(Result::is_ok));
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 0);
+        // The duplicate either coalesced onto the in-flight spec(1) or —
+        // if a worker finished that flight before the duplicate's begin
+        // ran — re-executed (nothing is cached); never both, never lost.
+        assert_eq!(stats.coalesced + stats.executed, 3);
+        assert!(stats.executed >= 2, "both unique specs must execute");
+        // A later repeat re-executes: nothing was cached.
+        let executed_before = server.stats().executed;
+        server.submit(&spec(1)).unwrap();
+        assert_eq!(server.stats().executed, executed_before + 1);
+        assert_eq!(server.cached_responses(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_beyond_the_bound() {
+        let server = Server::with_config(ServeConfig {
+            workers: 1,
+            max_cached_responses: 2,
+            ..ServeConfig::default()
+        });
+        server.submit(&spec(1)).unwrap();
+        server.submit(&spec(2)).unwrap();
+        server.submit(&spec(1)).unwrap(); // refresh 1
+        server.submit(&spec(3)).unwrap(); // evicts 2
+        assert_eq!(server.cached_responses(), 2);
+        assert_eq!(server.stats().cache_evictions, 1);
+        server.submit(&spec(1)).unwrap(); // still cached
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.executed, 3);
+        server.submit(&spec(2)).unwrap(); // re-executes after eviction
+        assert_eq!(server.stats().executed, 4);
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        // j3d27pt at base unroll 4 hits register pressure.
+        let failing = Workload::new(gallery::j3d27pt())
+            .extent(Extent::cube(saris_core::Space::Dim3, 8))
+            .input_seed(1)
+            .variant(saris_codegen::Variant::Base)
+            .unroll(4)
+            .freeze()
+            .unwrap();
+        let server = Server::with_config(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let err = server.submit(&failing).unwrap_err();
+        assert!(matches!(err, ServeError::Execution(_)), "{err}");
+        assert!(err.to_string().contains("execution failed"));
+        assert_eq!(server.cached_responses(), 0);
+        let again = server.submit(&failing);
+        assert!(again.is_err());
+        let stats = server.stats();
+        assert_eq!(stats.executed, 2, "errors re-execute on retry");
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn submit_all_keeps_spec_order() {
+        let server = Server::with_config(ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        });
+        let specs: Vec<WorkloadSpec> = (0..6).map(|i| spec(i % 3)).collect();
+        let results = server.submit_all(&specs);
+        assert_eq!(results.len(), 6);
+        for (s, r) in specs.iter().zip(&results) {
+            assert_eq!(r.as_ref().unwrap().fingerprint, s.fingerprint());
+        }
+        // Three unique specs executed; the duplicates coalesced or hit.
+        assert_eq!(server.stats().executed, 3);
+        assert_eq!(server.session().stats().runs, 3);
+    }
+
+    #[test]
+    fn shutdown_fails_late_requests_cleanly() {
+        let server = Server::with_config(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        server.submit(&spec(1)).unwrap();
+        let shared = Arc::clone(&server.shared);
+        drop(server);
+        let wait = shared.begin(&spec(2));
+        assert!(matches!(wait.wait(), Err(ServeError::ShutDown)));
+    }
+}

@@ -1,5 +1,7 @@
-//! Quickstart: run one stencil on the simulated Snitch cluster in both
-//! variants and compare them.
+//! Quickstart: the three fidelity tiers through the serving layer —
+//! an instant analytic estimate, cycle-accurate measurements of both
+//! variants, and a golden-reference verification, all answered by one
+//! [`Server`].
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,56 +9,74 @@
 
 use saris::prelude::*;
 
-fn main() -> Result<(), saris::codegen::CodegenError> {
+fn main() -> Result<(), saris::serve::ServeError> {
     // The paper's simplest code: the PolyBench 5-point Jacobi.
     let stencil = gallery::jacobi_2d();
     println!("stencil: {stencil}");
 
-    // One execution engine for the whole program: kernels cache,
-    // clusters are recycled between runs.
-    let session = Session::new();
-
-    // One workload per variant: a 64x64 tile (halo included) of
-    // reproducible noise, the paper's "unroll iff beneficial" tuning,
-    // and verification against the golden reference executor.
+    // One serving stack for the whole program: kernels cache, clusters
+    // are recycled, repeated specs answer from the response cache.
+    let server = Server::new();
     let workload = |variant| {
         Workload::new(stencil.clone())
             .extent(Extent::new_2d(64, 64))
             .input_seed(42)
             .variant(variant)
-            .tune(Tune::Auto)
-            .verify(1e-12)
-            .freeze()
     };
 
-    // The optimized RV32G baseline.
-    let base = session.submit(&workload(Variant::Base)?)?;
+    // --- Tier 1: analytic. Is SARIS worth simulating here? The answer
+    // is instant (roofline + calibrated measurements) and flagged as an
+    // estimate.
+    let estimate = server.submit(
+        &workload(Variant::Saris)
+            .fidelity(Fidelity::Analytic)
+            .freeze()
+            .expect("valid workload"),
+    )?;
     println!(
-        "\nbase   (unroll {}):  {}",
+        "\nanalytic estimate: ~{} cycles, FPU util ~{:.0}% (estimated: {})",
+        estimate.expect_report().cycles,
+        100.0 * estimate.expect_report().fpu_util(),
+        estimate.telemetry.estimated
+    );
+
+    // --- Tier 2: cycle-accurate. Measure both variants with the
+    // paper's "unroll iff beneficial" tuning.
+    let measure = |variant| {
+        server.submit(
+            &workload(variant)
+                .tune(Tune::Auto)
+                .verify(1e-12)
+                .freeze()
+                .expect("valid workload"),
+        )
+    };
+    let base = measure(Variant::Base)?;
+    let saris = measure(Variant::Saris)?;
+    println!(
+        "base   (unroll {}):  {}",
         base.unroll().unwrap_or(1),
         base.expect_report()
     );
-
-    // The SARIS variant: indirect stream registers + FREP.
-    let saris = session.submit(&workload(Variant::Saris)?)?;
     println!(
         "saris  (unroll {}): {}",
         saris.unroll().unwrap_or(1),
         saris.expect_report()
     );
-
-    // Verification ran inside the submission; the outcome carries the
-    // measured error.
-    println!(
-        "\nmax |error| vs reference: {:.2e}",
-        saris.verify_error.unwrap_or(0.0)
-    );
-
     let speedup = base.expect_report().cycles as f64 / saris.expect_report().cycles as f64;
     println!(
         "SARIS speedup: {speedup:.2}x  (FPU util {:.0}% -> {:.0}%)",
         100.0 * base.expect_report().fpu_util(),
         100.0 * saris.expect_report().fpu_util()
+    );
+
+    // --- Tier 3: golden. Verification against the reference executor
+    // already ran inside the measured submissions; the outcome carries
+    // the error. An explicit Fidelity::Golden run would produce the
+    // reference grids themselves.
+    println!(
+        "max |error| vs golden reference: {:.2e}",
+        saris.verify_error.unwrap_or(0.0)
     );
 
     // And the calibrated energy model gives the Figure 4 metrics.
@@ -70,10 +90,22 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
         efficiency_gain(&pb, &ps)
     );
 
-    let stats = session.stats();
+    // A repeated request is a response-cache hit: same Arc, no work.
+    let cached = measure(Variant::Saris)?;
+    assert!(std::sync::Arc::ptr_eq(&saris, &cached));
+    let serve = server.stats();
+    let engine = server.session().stats();
     println!(
-        "engine: {} runs, {} kernels compiled, {} cluster reuses",
-        stats.runs, stats.compiles, stats.clusters_reused
+        "serve: {} requests, {} cache hits, {} executed; engine: {} runs \
+         [{} analytic / {} cycles / {} golden], {} kernels compiled",
+        serve.requests,
+        serve.cache_hits,
+        serve.executed,
+        engine.runs,
+        engine.runs_analytic,
+        engine.runs_cycles,
+        engine.runs_golden,
+        engine.compiles
     );
     Ok(())
 }

@@ -20,40 +20,68 @@
 //! * [`energy`] *(saris-energy)* — the calibrated power/energy model
 //!   behind Figure 4;
 //! * [`scaleout`] *(saris-scaleout)* — the analytic Manticore-256s
-//!   manycore estimate behind Figure 5 and Table 2.
+//!   manycore estimate behind Figure 5 and Table 2;
+//! * [`serve`] *(saris-serve)* — the long-lived serving layer: work
+//!   queue, worker threads, response cache, single-flight deduplication.
 //!
-//! # Quickstart
+//! # Quickstart: three fidelity tiers, one request surface
 //!
 //! Execution is a typed request/response pair: describe one unit of work
 //! with the [`Workload`](codegen::Workload) builder, freeze it into an
 //! immutable [`WorkloadSpec`](codegen::WorkloadSpec), and submit it to a
-//! [`Session`](codegen::Session). The [`Outcome`](codegen::Outcome)
-//! carries the grids, per-step reports, the tuning decision, the
-//! verification error, and cache/pool telemetry.
+//! [`Session`](codegen::Session). A spec names *how good an answer it
+//! needs* with a [`Fidelity`](codegen::Fidelity) tier, and the session
+//! routes it through its [`BackendRegistry`](codegen::BackendRegistry):
+//!
+//! 1. **Analytic** — the [`RooflineBackend`](codegen::RooflineBackend)
+//!    answers instantly from calibrated single-cluster measurements plus
+//!    a bandwidth model (the paper's own scaleout methodology). Its
+//!    cycle counts and utilizations are *estimates*, flagged in
+//!    [`WorkloadTelemetry::estimated`](codegen::WorkloadTelemetry::estimated),
+//!    and it produces no output grids.
+//! 2. **Cycles** — the [`SimBackend`](codegen::SimBackend) measures on
+//!    the cycle-approximate Snitch-cluster simulator: the tier behind
+//!    every paper figure.
+//! 3. **Golden** — the [`NativeBackend`](codegen::NativeBackend) runs
+//!    the exact scalar reference executor: bit-true grids, no timing.
 //!
 //! ```
 //! use saris::prelude::*;
 //!
 //! # fn main() -> Result<(), saris::codegen::CodegenError> {
-//! // Take a stencil from the paper's gallery; inputs are reproducible
-//! // pseudo-random tiles described by a seed.
 //! let session = Session::new();
-//! let workload = |variant| {
+//! let workload = |fidelity| {
 //!     Workload::new(gallery::jacobi_2d())
 //!         .extent(Extent::new_2d(32, 32))
 //!         .input_seed(1)
-//!         .variant(variant)
-//!         .verify(1e-12) // checked against the golden reference
+//!         .variant(Variant::Saris)
+//!         .fidelity(fidelity)
 //!         .freeze()
 //! };
 //!
-//! // Run both variants on the simulated Snitch cluster.
-//! let base = session.submit(&workload(Variant::Base)?)?;
-//! let saris = session.submit(&workload(Variant::Saris)?)?;
+//! // 1. Instant estimate: is this code worth simulating at this size?
+//! let estimate = session.submit(&workload(Fidelity::Analytic)?)?;
+//! assert!(estimate.telemetry.estimated && estimate.grids.is_empty());
 //!
-//! // Verified inside the submission, and faster.
-//! assert!(saris.verify_error.unwrap() < 1e-12);
-//! assert!(saris.expect_report().cycles < base.expect_report().cycles);
+//! // 2. Cycle-accurate measurement on the simulated cluster.
+//! let measured = session.submit(&workload(Fidelity::Cycles)?)?;
+//! assert!(!measured.telemetry.estimated);
+//!
+//! // The estimate was in the measurement's ballpark, for free.
+//! let (e, m) = (estimate.expect_report().cycles, measured.expect_report().cycles);
+//! assert!(e as f64 / m as f64 > 0.25 && (e as f64) / (m as f64) < 4.0);
+//!
+//! // 3. Golden verify: the reference executor is the ground truth
+//! //    (in-submission verification compares against it).
+//! let golden = session.submit(
+//!     &Workload::new(gallery::jacobi_2d())
+//!         .extent(Extent::new_2d(32, 32))
+//!         .input_seed(1)
+//!         .variant(Variant::Saris)
+//!         .verify(1e-12)
+//!         .freeze()?,
+//! )?;
+//! assert!(golden.verify_error.unwrap() < 1e-12);
 //! # Ok(())
 //! # }
 //! ```
@@ -61,15 +89,13 @@
 //! # The execution engine: `Session`, workloads, backends
 //!
 //! A [`Session`](codegen::Session) is the reusable execution engine
-//! behind the bench harness and the examples. It caches compiled kernels
-//! by `(stencil fingerprint, extent, compile options)` — bounded and
-//! LRU-evicted per [`SessionConfig`](codegen::SessionConfig) — recycles
-//! simulated clusters via `Cluster::reset` instead of reconstructing
-//! them, and dispatches to a pluggable [`Backend`](codegen::Backend):
-//! the cycle-approximate [`SimBackend`](codegen::SimBackend) for
-//! measurements or the golden-reference
-//! [`NativeBackend`](codegen::NativeBackend) for correctness-only and
-//! large-scale scenario sweeps.
+//! behind the bench harness, the examples, and the serving layer. It
+//! caches compiled kernels by `(stencil fingerprint, extent, compile
+//! options)` — bounded and LRU-evicted per
+//! [`SessionConfig`](codegen::SessionConfig) — recycles simulated
+//! clusters via `Cluster::reset` instead of reconstructing them, and
+//! breaks its [`SessionStats`](codegen::SessionStats) out per fidelity
+//! tier (`runs_analytic` / `runs_cycles` / `runs_golden`).
 //!
 //! One `submit` surface covers every scenario: fixed runs, the paper's
 //! "unroll iff beneficial" tuning ([`Tune`](codegen::Tune)), multi-step
@@ -85,7 +111,7 @@
 //! use saris::prelude::*;
 //!
 //! # fn main() -> Result<(), saris::codegen::CodegenError> {
-//! let session = Session::new(); // simulator backend
+//! let session = Session::new(); // default tier: Fidelity::Cycles
 //! let stencil = Arc::new(gallery::jacobi_2d());
 //!
 //! // A tuned, multi-step, verified workload in one request.
@@ -113,16 +139,33 @@
 //! for outcome in session.submit_all(&specs) {
 //!     outcome?;
 //! }
+//! # Ok(())
+//! # }
+//! ```
 //!
-//! // The native backend skips codegen and the simulator entirely.
-//! let exact = Session::native().submit(
-//!     &Workload::new(Arc::clone(&stencil))
-//!         .extent(Extent::new_2d(16, 16))
-//!         .input_seed(1)
-//!         .verify(0.0) // the native backend *is* the reference
-//!         .freeze()?,
-//! )?;
-//! assert_eq!(exact.verify_error, Some(0.0));
+//! # Serving: `saris-serve`
+//!
+//! For a long-lived service, wrap the session in a
+//! [`Server`](serve::Server): a bounded work queue feeding worker
+//! threads, a fingerprint-keyed LRU response cache, and single-flight
+//! deduplication (concurrent identical specs coalesce onto one
+//! execution and share the `Arc<Outcome>`). [`ServeStats`](serve::ServeStats)
+//! reports what the cache and coalescing saved.
+//!
+//! ```
+//! use saris::prelude::*;
+//!
+//! # fn main() -> Result<(), saris::serve::ServeError> {
+//! let server = Server::new();
+//! let spec = Workload::new(gallery::jacobi_2d())
+//!     .extent(Extent::new_2d(16, 16))
+//!     .input_seed(1)
+//!     .freeze()
+//!     .expect("valid spec");
+//! let first = server.submit(&spec)?;
+//! let again = server.submit(&spec)?; // response-cache hit
+//! assert!(std::sync::Arc::ptr_eq(&first, &again));
+//! assert_eq!(server.stats().executed, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -137,14 +180,16 @@ pub use saris_core as core;
 pub use saris_energy as energy;
 pub use saris_isa as isa;
 pub use saris_scaleout as scaleout;
+pub use saris_serve as serve;
 pub use snitch_sim as sim;
 
 /// The most commonly used items, re-exported for `use saris::prelude::*`.
 pub mod prelude {
     pub use saris_codegen::{
-        compile, Backend, BufferRotation, CodegenError, InputSpec, NativeBackend, Outcome,
-        RunOptions, Session, SessionConfig, SessionStats, SimBackend, Tune, TuningDecision,
-        Variant, Workload, WorkloadSpec, WorkloadTelemetry, DEFAULT_CANDIDATES,
+        compile, Backend, BackendRegistry, BufferRotation, CodegenError, Fidelity, InputSpec,
+        NativeBackend, Outcome, RooflineBackend, RunOptions, Session, SessionConfig, SessionStats,
+        SimBackend, Tune, TuningDecision, Variant, Workload, WorkloadSpec, WorkloadTelemetry,
+        DEFAULT_CANDIDATES,
     };
     pub use saris_core::{
         gallery, reference, ArenaLayout, Extent, Grid, Halo, InterleavePlan, Offset, Point,
@@ -152,5 +197,6 @@ pub mod prelude {
     };
     pub use saris_energy::{efficiency_gain, EnergyModel};
     pub use saris_scaleout::{estimate as scaleout_estimate, MachineModel};
+    pub use saris_serve::{ServeConfig, ServeError, ServeStats, Server};
     pub use snitch_sim::{Cluster, ClusterConfig, RunReport};
 }
