@@ -1,7 +1,7 @@
 //! Serving-layer throughput benchmark: requests per wall second through
 //! the `saris-serve` stack, against truly uncached submissions.
 //!
-//! Two experiments, both emitted into `BENCH_serve_throughput.json`:
+//! Up to three experiments, emitted into `BENCH_serve_throughput.json`:
 //!
 //! 1. **Duplication sweep** — request streams with 0% / 50% / 90%
 //!    duplicate specs, answered three ways: *uncached* (a session with
@@ -18,22 +18,39 @@
 //!    simulation: wall-time speedup and whether the analytic tier
 //!    preserves every kernel's memory-/compute-bound classification
 //!    through the Figure 5 scaleout path.
+//! 3. **Adaptive fidelity** (`--adaptive`) — `Fidelity::Auto` requests
+//!    for stencils the calibration store has never seen, served twice:
+//!    *cold* (every request escalates to tuned cycle-level simulation,
+//!    feeding the store) and *warmed* (differently seeded requests for
+//!    the same stencils, answered analytically from the live store).
+//!    Reports the cold/warmed requests-per-second split, the serve-level
+//!    `auto_*` counters, and whether every warmed estimate landed within
+//!    the accuracy budget of its cold measurement.
 //!
-//! Usage: `serve_throughput [--subset] [--out PATH] [--print-calibration]`
+//! Usage: `serve_throughput [--subset] [--adaptive] [--out PATH]
+//! [--export-calibration PATH] [--import-calibration PATH]`
 //!
-//! `--subset` shrinks both experiments to a CI-sized configuration.
-//! `--print-calibration` re-measures the roofline backend's gallery
-//! calibration table (tuned paper workloads on the cycle tier) and
-//! prints it in the `GalleryRow` format of
-//! `saris-codegen/src/backends.rs`, for pasting after simulator changes
-//! that move cycle counts.
+//! `--subset` shrinks the experiments to a CI-sized configuration.
+//! `--export-calibration PATH` re-measures the gallery calibration on
+//! the cycle tier (tuned paper workloads; the session's feedback loop
+//! fills its store) and writes the store's JSON to PATH — the same
+//! format the baked seed in
+//! `saris-codegen/src/calibration/gallery.json` ships in, and the same
+//! file `--import-calibration` loads to warm-start the analytic tier of
+//! the benchmark runs.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use saris_bench::{paper_estimate_workload, paper_tile, paper_workload, scaleout_from, PAPER_SEED};
-use saris_codegen::{Session, SessionConfig, Variant, Workload, WorkloadSpec};
+use saris_bench::{
+    adaptive_workload, custom_stencil_family, paper_estimate_workload, paper_tile, paper_workload,
+    scaleout_from, PAPER_SEED,
+};
+use saris_codegen::{
+    BackendRegistry, CalibrationStore, Fidelity, RooflineBackend, Session, SessionConfig, Variant,
+    Workload, WorkloadSpec,
+};
 use saris_core::{gallery, Extent, Stencil};
 use saris_serve::{ServeConfig, Server};
 
@@ -194,8 +211,7 @@ struct TierResult {
 /// cycle-level simulation versus the analytic roofline backend, timing
 /// the answer and comparing the Figure 5 bound classification each
 /// implies (SARIS variant, as the paper plots).
-fn run_tiers(codes: &[&str]) -> TierResult {
-    let session = Session::new();
+fn run_tiers(codes: &[&str], session: &Session) -> TierResult {
     let stencils: Vec<Arc<Stencil>> = codes
         .iter()
         .map(|name| Arc::new(gallery::by_name(name).expect("gallery code")))
@@ -225,6 +241,19 @@ fn run_tiers(codes: &[&str]) -> TierResult {
         .flat_map(|s| variants.map(|v| paper_estimate_workload(s, v)))
         .collect();
 
+    // The analytic pass runs FIRST: the session feeds every cycle-tier
+    // outcome back into its calibration store, so estimating after the
+    // simulations would compare the store against the very measurements
+    // that just filled it — always-equal by construction, and blind to
+    // a stale seed table. Estimating first keeps the experiment honest:
+    // it compares the seed (baked or imported) against fresh simulation.
+    let start = Instant::now();
+    let estimate_outcomes: Vec<_> = estimate_specs
+        .iter()
+        .map(|spec| session.submit(spec).expect("estimate spec runs"))
+        .collect();
+    let analytic_wall = start.elapsed().as_secs_f64();
+
     // Warm the kernel cache and cluster pool so the timed cycle-tier
     // pass measures simulation (what every repeat request pays), not
     // one-time compilation.
@@ -237,13 +266,6 @@ fn run_tiers(codes: &[&str]) -> TierResult {
         .map(|spec| session.submit(spec).expect("cycle spec runs"))
         .collect();
     let cycles_wall = start.elapsed().as_secs_f64();
-
-    let start = Instant::now();
-    let estimate_outcomes: Vec<_> = estimate_specs
-        .iter()
-        .map(|spec| session.submit(spec).expect("estimate spec runs"))
-        .collect();
-    let analytic_wall = start.elapsed().as_secs_f64();
 
     // Classification: feed both outcomes through the same scaleout path
     // (SARIS variant — the regime Figure 5 annotates).
@@ -284,33 +306,128 @@ fn run_tiers(codes: &[&str]) -> TierResult {
     }
 }
 
-/// Re-measures the roofline calibration table (see
-/// `saris-codegen/src/backends.rs`).
-fn print_calibration() {
+/// Re-measures the gallery calibration (tuned paper workloads on the
+/// cycle tier — the session's feedback loop records each measurement in
+/// its store) and writes the resulting store as JSON: the export half of
+/// the `--export-calibration` / `--import-calibration` pair, and the
+/// regeneration path for the baked seed in
+/// `saris-codegen/src/calibration/gallery.json`.
+fn export_calibration(path: &str) {
     let session = Session::new();
     for name in gallery::NAMES {
         let stencil = Arc::new(gallery::by_name(name).expect("gallery code"));
-        let interior = stencil.interior(paper_tile(&stencil)).len();
         for variant in [Variant::Base, Variant::Saris] {
-            let out = session
+            session
                 .submit(&paper_workload(&stencil, variant))
                 .expect("calibration run");
-            let r = out.expect_report();
-            let ops: u64 = r.cores.iter().map(|c| c.fpu.arith).sum();
-            let imb: Vec<String> = r
-                .runtime_imbalance()
-                .iter()
-                .map(|v| format!("{v:.6}"))
-                .collect();
-            println!(
-                "    GalleryRow {{ name: \"{name}\", variant: Variant::{variant:?}, \
-                 cycles: {}, fpu_ops: {ops}, flops: {}, points: {interior}, \
-                 imbalance: [{}] }},",
-                r.cycles,
-                r.flops(),
-                imb.join(", ")
-            );
         }
+    }
+    let store = session
+        .calibration()
+        .expect("standard registry has a store");
+    std::fs::write(path, store.to_json()).expect("write calibration export");
+    println!("wrote {} calibration entries to {path}", store.len());
+}
+
+/// A simulator-default session whose analytic tier answers from (and
+/// whose feedback loop feeds) the given store.
+fn session_over(store: &Arc<CalibrationStore>) -> Session {
+    let mut registry = BackendRegistry::standard();
+    registry.register(Arc::new(RooflineBackend::with_store(Arc::clone(store))));
+    Session::with_registry(registry, Fidelity::Cycles, SessionConfig::default())
+}
+
+struct AdaptiveResult {
+    stencils: usize,
+    accuracy_budget: f64,
+    cold_wall: f64,
+    warmed_wall: f64,
+    auto_escalated: u64,
+    auto_answered_analytic: u64,
+    /// Worst warmed-estimate relative error vs. the cold measurement
+    /// (`None` when the store arrived pre-warmed and nothing escalated).
+    max_rel_error: Option<f64>,
+}
+
+impl AdaptiveResult {
+    fn cold_rps(&self) -> f64 {
+        self.stencils as f64 / self.cold_wall
+    }
+
+    fn warmed_rps(&self) -> f64 {
+        self.stencils as f64 / self.warmed_wall
+    }
+
+    fn within_budget(&self) -> bool {
+        self.max_rel_error.is_none_or(|e| e <= self.accuracy_budget)
+    }
+}
+
+/// The adaptive-fidelity scenario: `Fidelity::Auto` requests for
+/// non-gallery stencils served cold (the store has never seen them, so
+/// each escalates to tuned simulation and feeds the store) and then
+/// warmed (same stencils, different input seeds — distinct specs, so the
+/// response cache cannot answer — all served analytically from the live
+/// store).
+fn run_adaptive(n_stencils: usize, store: &Arc<CalibrationStore>) -> AdaptiveResult {
+    const BUDGET: f64 = Fidelity::DEFAULT_ACCURACY_BUDGET;
+    let server = Server::over(session_over(store), ServeConfig::default());
+    let stencils: Vec<Arc<Stencil>> = custom_stencil_family(n_stencils)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let spec_round = |seed: u64| -> Vec<WorkloadSpec> {
+        stencils
+            .iter()
+            .map(|s| adaptive_workload(s, Variant::Saris, seed, BUDGET))
+            .collect()
+    };
+
+    let cold_specs = spec_round(0);
+    let start = Instant::now();
+    let cold = server.submit_all(&cold_specs);
+    let cold_wall = start.elapsed().as_secs_f64();
+
+    let warmed_specs = spec_round(1);
+    let start = Instant::now();
+    let warmed = server.submit_all(&warmed_specs);
+    let warmed_wall = start.elapsed().as_secs_f64();
+
+    let max_rel_error = cold
+        .iter()
+        .zip(&warmed)
+        .filter_map(|(c, w)| {
+            let (c, w) = (
+                c.as_ref().expect("cold runs"),
+                w.as_ref().expect("warm runs"),
+            );
+            // Accuracy is only measurable where cold actually simulated
+            // and warmed actually estimated (an imported pre-warmed
+            // store can answer the "cold" pass analytically too).
+            if c.telemetry.answered_by != Some(Fidelity::Cycles)
+                || w.telemetry.answered_by != Some(Fidelity::Analytic)
+            {
+                return None;
+            }
+            let (sim, est) = (
+                c.expect_report().cycles as f64,
+                w.expect_report().cycles as f64,
+            );
+            Some((est - sim).abs() / sim)
+        })
+        .fold(None, |acc: Option<f64>, e| {
+            Some(acc.map_or(e, |a| a.max(e)))
+        });
+
+    let stats = server.stats();
+    AdaptiveResult {
+        stencils: n_stencils,
+        accuracy_budget: BUDGET,
+        cold_wall,
+        warmed_wall,
+        auto_escalated: stats.auto_escalated,
+        auto_answered_analytic: stats.auto_answered_analytic,
+        max_rel_error,
     }
 }
 
@@ -322,6 +439,7 @@ fn render_json(
     sweep: &[SweepRow],
     bit_identical: bool,
     tiers: &TierResult,
+    adaptive: Option<&AdaptiveResult>,
     subset: bool,
 ) -> String {
     let mut out = String::new();
@@ -386,26 +504,79 @@ fn render_json(
             r.agree(),
         );
     }
-    out.push_str("    ]\n  }\n}\n");
+    match adaptive {
+        None => out.push_str("    ]\n  }\n}\n"),
+        Some(a) => {
+            out.push_str("    ]\n  },\n");
+            let _ = writeln!(out, "  \"adaptive\": {{");
+            let _ = writeln!(out, "    \"stencils\": {},", a.stencils);
+            let _ = writeln!(out, "    \"accuracy_budget\": {},", a.accuracy_budget);
+            let _ = writeln!(out, "    \"cold_wall_seconds\": {:.6},", a.cold_wall);
+            let _ = writeln!(out, "    \"warmed_wall_seconds\": {:.6},", a.warmed_wall);
+            let _ = writeln!(out, "    \"cold_rps\": {:.1},", a.cold_rps());
+            let _ = writeln!(out, "    \"warmed_rps\": {:.1},", a.warmed_rps());
+            let _ = writeln!(
+                out,
+                "    \"speedup_warmed_vs_cold\": {:.1},",
+                a.warmed_rps() / a.cold_rps()
+            );
+            let _ = writeln!(out, "    \"auto_escalated\": {},", a.auto_escalated);
+            let _ = writeln!(
+                out,
+                "    \"auto_answered_analytic\": {},",
+                a.auto_answered_analytic
+            );
+            let _ = writeln!(
+                out,
+                "    \"max_estimate_rel_error\": {},",
+                a.max_rel_error
+                    .map_or("null".to_string(), |e| format!("{e:.6}"))
+            );
+            let _ = writeln!(out, "    \"within_budget\": {}", a.within_budget());
+            out.push_str("  }\n}\n");
+        }
+    }
     out
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--print-calibration") {
-        print_calibration();
-        return;
-    }
     let subset = args.iter().any(|a| a == "--subset");
+    let adaptive = args.iter().any(|a| a == "--adaptive");
     let mut out_path = "BENCH_serve_throughput.json".to_string();
+    let mut import_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out_path = it.next().expect("--out takes a path").clone(),
-            "--subset" => {}
+            "--export-calibration" => {
+                let path = it.next().expect("--export-calibration takes a path");
+                export_calibration(path);
+                return;
+            }
+            "--import-calibration" => {
+                import_path = Some(
+                    it.next()
+                        .expect("--import-calibration takes a path")
+                        .clone(),
+                );
+            }
+            "--subset" | "--adaptive" => {}
             other => panic!("unknown argument {other}"),
         }
     }
+    // The analytic tier of every run answers from (and every cycle-tier
+    // run feeds) one shared store: imported when requested, the baked
+    // gallery seed otherwise.
+    let store: Arc<CalibrationStore> = match &import_path {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).expect("read calibration import");
+            let store = CalibrationStore::from_json(&json).expect("parse calibration import");
+            println!("imported {} calibration entries from {path}\n", store.len());
+            Arc::new(store)
+        }
+        None => Arc::new(CalibrationStore::with_gallery()),
+    };
 
     println!("serve_throughput: requests per wall second through the serving stack\n");
     let stream_len = if subset { 24 } else { 120 };
@@ -433,7 +604,7 @@ fn main() {
     } else {
         gallery::NAMES.to_vec()
     };
-    let tiers = run_tiers(&codes);
+    let tiers = run_tiers(&codes, &session_over(&store));
     println!(
         "\nanalytic tier: {} estimate requests in {:.4}s vs {:.4}s simulated ({:.0}x)",
         tiers.requests,
@@ -469,7 +640,37 @@ fn main() {
         tiers.rows.iter().all(TierRow::agree)
     );
 
-    let json = render_json(&sweep, bit_identical, &tiers, subset);
+    let adaptive_result = adaptive.then(|| {
+        let n = if subset { 3 } else { 6 };
+        let a = run_adaptive(n, &store);
+        println!(
+            "\nadaptive fidelity ({} custom stencils, budget {}): cold {:.1} r/s -> \
+             warmed {:.1} r/s ({:.0}x)",
+            a.stencils,
+            a.accuracy_budget,
+            a.cold_rps(),
+            a.warmed_rps(),
+            a.warmed_rps() / a.cold_rps()
+        );
+        println!(
+            "auto_escalated {}, auto_answered_analytic {}, max estimate error {} \
+             (within budget: {})",
+            a.auto_escalated,
+            a.auto_answered_analytic,
+            a.max_rel_error
+                .map_or("n/a".to_string(), |e| format!("{e:.4}")),
+            a.within_budget()
+        );
+        a
+    });
+
+    let json = render_json(
+        &sweep,
+        bit_identical,
+        &tiers,
+        adaptive_result.as_ref(),
+        subset,
+    );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     println!("\nwrote {out_path}");
 }

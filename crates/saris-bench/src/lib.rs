@@ -97,6 +97,72 @@ pub fn paper_estimate_workload(stencil: &Arc<Stencil>, variant: Variant) -> Work
         .expect("paper estimate workloads are valid")
 }
 
+/// The adaptive sibling of [`paper_workload`]: the same code, tile and
+/// tuning as a [`Fidelity::Auto`] request at `accuracy_budget`, with
+/// `seed` offsetting the inputs (distinct seeds make distinct specs that
+/// share one calibration key — exactly what exercises the
+/// learn-then-answer loop instead of the response cache).
+pub fn adaptive_workload(
+    stencil: &Arc<Stencil>,
+    variant: Variant,
+    seed: u64,
+    accuracy_budget: f64,
+) -> WorkloadSpec {
+    Workload::new(Arc::clone(stencil))
+        .extent(paper_tile(stencil))
+        .input_seed(PAPER_SEED + seed)
+        .variant(variant)
+        .tune(Tune::Auto)
+        .fidelity(Fidelity::Auto { accuracy_budget })
+        .freeze()
+        .expect("adaptive workloads are valid")
+}
+
+/// A deterministic family of `n` stencils that are *not* in the gallery
+/// (asymmetric 2D stars with k-dependent arm lengths), for exercising
+/// the uncalibrated/adaptive paths: the baked calibration table has
+/// never seen them, so the first cycle-tier run of each is what teaches
+/// the analytic tier.
+///
+/// # Panics
+///
+/// Panics if a generated stencil fails validation (a bug in this
+/// generator, not a runtime condition).
+pub fn custom_stencil_family(n: usize) -> Vec<Stencil> {
+    (0..n)
+        .map(|k| {
+            let mut b = saris_core::StencilBuilder::new(format!("adaptive{k}"), Space::Dim2);
+            let a = b.input("a");
+            b.output("out");
+            // Arm lengths cycle with k, so each family member has a
+            // structurally distinct tap set and halo.
+            let rx = 1 + (k as i32 % 3);
+            let ry = 1 + (k as i32 / 3 % 2);
+            let mut offsets = vec![saris_core::Offset::CENTER];
+            for d in 1..=rx {
+                offsets.push(saris_core::Offset::d2(d, 0));
+                offsets.push(saris_core::Offset::d2(-d, 0));
+            }
+            for d in 1..=ry {
+                offsets.push(saris_core::Offset::d2(0, d));
+                offsets.push(saris_core::Offset::d2(0, -d));
+            }
+            let w = b.coeff("w", 1.0 / offsets.len() as f64);
+            let mut acc = None;
+            for offset in offsets {
+                let tap = b.tap(a, offset);
+                let term = b.mul(w, tap);
+                acc = Some(match acc {
+                    None => term,
+                    Some(prev) => b.add(prev, term),
+                });
+            }
+            b.store(acc.expect("family stencils have taps"));
+            b.finish().expect("family stencils are valid")
+        })
+        .collect()
+}
+
 /// Both tuned variants of one code, verified against the reference.
 #[derive(Debug)]
 pub struct CodeResult {

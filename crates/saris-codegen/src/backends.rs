@@ -11,6 +11,7 @@
 //! | [`Analytic`](Fidelity::Analytic) | [`RooflineBackend`] | instant estimates from single-cluster measurements + a bandwidth model |
 //! | [`Cycles`](Fidelity::Cycles) | [`SimBackend`] | cycle-approximate measurements on the simulated Snitch cluster |
 //! | [`Golden`](Fidelity::Golden) | [`NativeBackend`] | exact grids from the scalar reference executor, no timing |
+//! | [`Auto`](Fidelity::Auto) | *routing policy* | the cheapest of Analytic/Cycles meeting an accuracy budget |
 //!
 //! This mirrors the paper's own methodology: SARIS sizes its
 //! Manticore-256 estimate from single-cluster measurements plus a
@@ -19,27 +20,35 @@
 //! roofline backend is that tier, and its numbers are *flagged as
 //! estimates* in the outcome telemetry
 //! ([`WorkloadTelemetry::estimated`](crate::WorkloadTelemetry::estimated)).
+//!
+//! The roofline backend's measurements live in a shared, mutable
+//! [`CalibrationStore`] — the session feeds every cycle-tier outcome
+//! back into it, which is what makes [`Fidelity::Auto`] converge: once a
+//! stencil has been simulated once, the store answers subsequent
+//! `Auto` requests analytically within the budget (see the
+//! [`calibration`](crate::calibration) module).
 
-use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use saris_core::grid::Grid;
+use saris_core::reference;
 use saris_core::roofline::{estimate_tile, MachinePoint};
 use saris_core::stencil::Stencil;
-use saris_core::{gallery, reference};
 use snitch_sim::core::IntStats;
 use snitch_sim::fpu::FpuStats;
 use snitch_sim::ssr::StreamerStats;
 use snitch_sim::{CoreReport, DmaStats, RunReport};
 
+use crate::calibration::{Calibration, CalibrationStore};
 use crate::error::CodegenError;
 use crate::runtime::{execute_on, CompiledKernel, RunOptions, Variant};
 use crate::session::ClusterPool;
 
 /// How good an answer a workload needs — the axis a
 /// [`BackendRegistry`] dispatches on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy)]
 pub enum Fidelity {
     /// Instant analytic estimates (roofline + calibrated single-cluster
     /// measurements). Cycle counts and utilizations are *estimates* and
@@ -50,11 +59,78 @@ pub enum Fidelity {
     Cycles,
     /// The golden reference executor: exact output grids, no timing.
     Golden,
+    /// A routing *policy* rather than a tier: the session answers from
+    /// the analytic tier when the calibration store's expected relative
+    /// error for the spec is within `accuracy_budget`, and otherwise
+    /// escalates to [`Fidelity::Cycles`] — recording the measurement in
+    /// the store so the *next* identical request is answered
+    /// analytically. Workloads that request verification always
+    /// escalate (verification needs grids). Which tier actually
+    /// answered lands in
+    /// [`WorkloadTelemetry::answered_by`](crate::WorkloadTelemetry::answered_by)
+    /// and the session's `auto_answered_analytic` / `auto_escalated`
+    /// counters.
+    Auto {
+        /// The acceptable relative cycle-count error of an analytic
+        /// answer (e.g. `0.05` = within 5% of what tuned simulation
+        /// would measure). Must be finite and non-negative; a budget of
+        /// `0.0` only accepts exact reproductions of live observations.
+        accuracy_budget: f64,
+    },
 }
 
 impl Fidelity {
-    /// All tiers, in increasing cost order.
+    /// The three concrete tiers, in increasing cost order
+    /// ([`Fidelity::Auto`] is a routing policy over the first two, not a
+    /// tier of its own).
     pub const ALL: [Fidelity; 3] = [Fidelity::Analytic, Fidelity::Cycles, Fidelity::Golden];
+
+    /// The default [`Fidelity::Auto`] accuracy budget: 5%, which the
+    /// baked gallery calibration satisfies at the paper tiles and any
+    /// live observation satisfies at its measured extent.
+    pub const DEFAULT_ACCURACY_BUDGET: f64 = 0.05;
+
+    /// [`Fidelity::Auto`] at the
+    /// [default budget](Fidelity::DEFAULT_ACCURACY_BUDGET).
+    pub fn auto() -> Fidelity {
+        Fidelity::Auto {
+            accuracy_budget: Fidelity::DEFAULT_ACCURACY_BUDGET,
+        }
+    }
+
+    fn discriminant(&self) -> u8 {
+        match self {
+            Fidelity::Analytic => 0,
+            Fidelity::Cycles => 1,
+            Fidelity::Golden => 2,
+            Fidelity::Auto { .. } => 3,
+        }
+    }
+}
+
+// Manual equality/hashing: `Auto` carries its budget as an `f64`, which
+// is compared bitwise so `Eq`'s reflexivity holds even for degenerate
+// budgets (freeze-time validation rejects them anyway).
+impl PartialEq for Fidelity {
+    fn eq(&self, other: &Fidelity) -> bool {
+        match (self, other) {
+            (Fidelity::Auto { accuracy_budget: a }, Fidelity::Auto { accuracy_budget: b }) => {
+                a.to_bits() == b.to_bits()
+            }
+            _ => self.discriminant() == other.discriminant(),
+        }
+    }
+}
+
+impl Eq for Fidelity {}
+
+impl Hash for Fidelity {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.discriminant().hash(state);
+        if let Fidelity::Auto { accuracy_budget } = self {
+            accuracy_budget.to_bits().hash(state);
+        }
+    }
 }
 
 impl fmt::Display for Fidelity {
@@ -63,6 +139,7 @@ impl fmt::Display for Fidelity {
             Fidelity::Analytic => f.write_str("analytic"),
             Fidelity::Cycles => f.write_str("cycles"),
             Fidelity::Golden => f.write_str("golden"),
+            Fidelity::Auto { accuracy_budget } => write!(f, "auto({accuracy_budget})"),
         }
     }
 }
@@ -107,13 +184,23 @@ pub trait Backend: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// The fidelity tier this backend serves (its slot in a
-    /// [`BackendRegistry`]).
+    /// [`BackendRegistry`]). Must be one of the concrete tiers in
+    /// [`Fidelity::ALL`] — [`Fidelity::Auto`] is a routing policy, not a
+    /// tier a backend can serve.
     fn fidelity(&self) -> Fidelity;
 
     /// Whether execution consumes compiled kernels. When `true` the
     /// session compiles (through its cache) before calling
     /// [`Backend::execute`]; when `false` no codegen happens at all.
     fn needs_kernel(&self) -> bool;
+
+    /// The live calibration table this backend answers from, when it has
+    /// one. Sessions feed every cycle-tier outcome back into the store
+    /// of their analytic backend — the default implementation returns
+    /// `None` (nothing to feed).
+    fn calibration_store(&self) -> Option<Arc<CalibrationStore>> {
+        None
+    }
 
     /// Executes one request.
     ///
@@ -190,78 +277,9 @@ impl Backend for NativeBackend {
     }
 }
 
-/// One single-cluster measurement the roofline backend is calibrated
-/// with: what the cycle tier measured for a gallery code at the paper
-/// tile, reduced to per-interior-point rates plus the per-core runtime
-/// imbalance distribution.
-///
-/// A calibration only describes the cluster shape it was measured on:
-/// `imbalance.len()` records the measured core count, and requests for
-/// clusters of a different size fall back to the first-principles
-/// roofline (which does scale with core count) instead of misapplying
-/// the measurement.
-#[derive(Debug, Clone)]
-pub struct Calibration {
-    /// Measured cycles per interior point (tuned kernel, paper tile).
-    pub cycles_per_point: f64,
-    /// Measured FPU issue slots per interior point.
-    pub fpu_ops_per_point: f64,
-    /// Measured FLOPs per interior point.
-    pub flops_per_point: f64,
-    /// Measured per-core runtime ratios (time / mean) inside the
-    /// cluster — what the scaleout bootstrap resamples from. One entry
-    /// per core of the measured cluster.
-    pub imbalance: Vec<f64>,
-}
-
-/// One row of the built-in gallery calibration: code name, variant, and
-/// the measurement at the paper tile (64^2 for 2D, 16^3 for 3D).
-struct GalleryRow {
-    name: &'static str,
-    variant: Variant,
-    cycles: u64,
-    fpu_ops: u64,
-    flops: u64,
-    points: u64,
-    imbalance: [f64; 8],
-}
-
-/// Single-cluster measurements of the ten gallery codes, both variants,
-/// at the paper tiles with the paper's "unroll iff beneficial" tuning —
-/// measured once on the deterministic cycle tier (seeded inputs, fixed
-/// bootstrap seeds, so the numbers are machine-independent). This is the
-/// paper's own methodology: the Manticore-256 estimate is sized from
-/// single-cluster measurements plus a bandwidth model, and the analytic
-/// tier reuses exactly those measurements. Regenerate by running the
-/// `serve_throughput` bench with `--print-calibration` after simulator
-/// changes that move cycle counts.
-#[rustfmt::skip]
-const GALLERY_CALIBRATION: &[GalleryRow] = &[
-    GalleryRow { name: "jacobi_2d", variant: Variant::Base, cycles: 6123, fpu_ops: 19220, flops: 19220, points: 3844, imbalance: [1.034362, 1.034362, 0.966441, 0.966272, 1.033010, 1.033010, 0.966272, 0.966272] },
-    GalleryRow { name: "jacobi_2d", variant: Variant::Saris, cycles: 2985, fpu_ops: 19220, flops: 19220, points: 3844, imbalance: [0.922256, 0.921532, 1.079282, 1.076026, 0.923703, 0.919361, 1.079644, 1.078196] },
-    GalleryRow { name: "j2d5pt", variant: Variant::Base, cycles: 7123, fpu_ops: 26908, flops: 38440, points: 3844, imbalance: [1.034141, 1.033705, 0.966186, 0.966331, 1.033996, 1.032979, 0.966186, 0.966476] },
-    GalleryRow { name: "j2d5pt", variant: Variant::Saris, cycles: 4108, fpu_ops: 26908, flops: 38440, points: 3844, imbalance: [0.928025, 0.928025, 1.073936, 1.072106, 0.925933, 0.925933, 1.072106, 1.073936] },
-    GalleryRow { name: "box2d1r", variant: Variant::Base, cycles: 10596, fpu_ops: 38440, flops: 65348, points: 3844, imbalance: [1.032802, 1.032802, 0.967685, 0.967100, 1.032802, 1.032705, 0.967393, 0.966711] },
-    GalleryRow { name: "box2d1r", variant: Variant::Saris, cycles: 5534, fpu_ops: 38440, flops: 65348, points: 3844, imbalance: [1.002901, 1.003082, 0.997825, 0.997643, 1.003082, 1.001450, 0.996918, 0.997099] },
-    GalleryRow { name: "j2d9pt", variant: Variant::Base, cycles: 10053, fpu_ops: 39600, flops: 64800, points: 3600, imbalance: [1.000460, 1.000460, 1.000460, 0.999863, 0.999664, 0.999664, 0.999664, 0.999764] },
-    GalleryRow { name: "j2d9pt", variant: Variant::Saris, cycles: 6090, fpu_ops: 39600, flops: 64800, points: 3600, imbalance: [0.999383, 0.997243, 1.002346, 1.000370, 0.999712, 0.997572, 1.002017, 1.001358] },
-    GalleryRow { name: "j2d9pt_gol", variant: Variant::Base, cycles: 11095, fpu_ops: 42284, flops: 69192, points: 3844, imbalance: [1.032859, 1.032859, 0.967583, 0.967118, 1.033045, 1.032766, 0.967304, 0.966466] },
-    GalleryRow { name: "j2d9pt_gol", variant: Variant::Saris, cycles: 6278, fpu_ops: 42284, flops: 69192, points: 3844, imbalance: [1.001856, 1.002175, 0.999780, 0.998184, 1.002175, 1.000738, 0.997705, 0.997386] },
-    GalleryRow { name: "star2d3r", variant: Variant::Base, cycles: 12773, fpu_ops: 47096, flops: 84100, points: 3364, imbalance: [1.033135, 1.033054, 0.967128, 0.967209, 1.033054, 1.033135, 0.966724, 0.966562] },
-    GalleryRow { name: "star2d3r", variant: Variant::Saris, cycles: 7219, fpu_ops: 47096, flops: 84100, points: 3364, imbalance: [1.062990, 1.069958, 0.930746, 0.924075, 1.064472, 1.070106, 0.935935, 0.941717] },
-    GalleryRow { name: "star3d2r", variant: Variant::Base, cycles: 7280, fpu_ops: 24192, flops: 43200, points: 1728, imbalance: [1.000963, 0.999862, 0.999862, 0.999862, 0.999862, 0.999862, 0.999862, 0.999862] },
-    GalleryRow { name: "star3d2r", variant: Variant::Saris, cycles: 4308, fpu_ops: 24192, flops: 43200, points: 1728, imbalance: [1.000058, 1.000756, 1.000988, 1.001453, 1.000291, 1.000058, 0.998198, 0.998198] },
-    GalleryRow { name: "ac_iso_cd", variant: Variant::Base, cycles: 4709, fpu_ops: 13824, flops: 19456, points: 512, imbalance: [1.000106, 0.999468, 0.999468, 1.000957, 1.000744, 1.000106, 0.999043, 1.000106] },
-    GalleryRow { name: "ac_iso_cd", variant: Variant::Saris, cycles: 2326, fpu_ops: 13824, flops: 19456, points: 512, imbalance: [1.002912, 1.001618, 1.000324, 1.000324, 1.000324, 1.000755, 0.996873, 0.996873] },
-    GalleryRow { name: "box3d1r", variant: Variant::Base, cycles: 35063, fpu_ops: 76832, flops: 145432, points: 2744, imbalance: [1.140367, 1.139911, 0.859747, 0.859682, 1.140237, 1.139781, 0.860072, 0.860202] },
-    GalleryRow { name: "box3d1r", variant: Variant::Saris, cycles: 13263, fpu_ops: 76832, flops: 145432, points: 2744, imbalance: [1.018823, 1.019209, 0.976617, 0.979013, 1.021528, 1.025161, 0.980404, 0.979245] },
-    GalleryRow { name: "j3d27pt", variant: Variant::Base, cycles: 36054, fpu_ops: 79576, flops: 148176, points: 2744, imbalance: [1.141563, 1.141278, 0.858587, 0.858809, 1.141184, 1.140899, 0.858777, 0.858904] },
-    GalleryRow { name: "j3d27pt", variant: Variant::Saris, cycles: 14145, fpu_ops: 79576, flops: 148176, points: 2744, imbalance: [1.021658, 1.021731, 0.976108, 0.975236, 1.024128, 1.027543, 0.975526, 0.978069] },
-];
-
 /// The analytic tier: answers requests instantly from the roofline model
-/// and calibrated single-cluster measurements, without compiling or
-/// simulating anything.
+/// and a live [`CalibrationStore`] of single-cluster measurements,
+/// without compiling or simulating anything.
 ///
 /// * **No grids**: an estimate costs no per-point work at all — that is
 ///   the entire point of the tier — so analytic outcomes carry an empty
@@ -274,12 +292,16 @@ const GALLERY_CALIBRATION: &[GalleryRow] = &[
 ///   counter zero, and the outcome telemetry
 ///   [flagged](crate::WorkloadTelemetry::estimated) so consumers cannot
 ///   mistake an estimate for a measurement.
+/// * The **store is shared and live**: sessions feed every cycle-tier
+///   outcome back into it, so estimates for hot custom stencils sharpen
+///   as the session runs (the store starts from the baked gallery
+///   table; see [`CalibrationStore::with_gallery`]).
 ///
-/// For the ten gallery codes the estimate interpolates measured
-/// per-point rates (see the paper's methodology of sizing estimates
-/// from single-cluster measurements); for unknown stencils it falls
-/// back to a first-principles roofline at the configured per-variant
-/// FPU efficiencies.
+/// For calibrated stencils the estimate interpolates measured per-point
+/// rates (the paper's methodology of sizing estimates from
+/// single-cluster measurements); for unknown stencils it falls back to a
+/// first-principles roofline at the configured per-variant FPU
+/// efficiencies.
 #[derive(Debug, Clone)]
 pub struct RooflineBackend {
     /// The machine point estimates are computed against.
@@ -291,7 +313,7 @@ pub struct RooflineBackend {
     /// Fallback FPU efficiency for SARIS kernels with no calibration
     /// entry — this repository's measured ten-code geomean.
     pub saris_efficiency: f64,
-    calibration: HashMap<(u64, Variant), Calibration>,
+    store: Arc<CalibrationStore>,
 }
 
 impl Default for RooflineBackend {
@@ -301,44 +323,46 @@ impl Default for RooflineBackend {
 }
 
 impl RooflineBackend {
-    /// A roofline backend at the Manticore cluster point, calibrated
-    /// with the built-in gallery measurements.
+    /// A roofline backend at the Manticore cluster point, answering from
+    /// a fresh gallery-seeded [`CalibrationStore`].
     pub fn new() -> RooflineBackend {
-        let mut calibration = HashMap::new();
-        for row in GALLERY_CALIBRATION {
-            let stencil = gallery::by_name(row.name)
-                .unwrap_or_else(|| panic!("calibration row for unknown code {}", row.name));
-            let points = row.points as f64;
-            calibration.insert(
-                (stencil.fingerprint(), row.variant),
-                Calibration {
-                    cycles_per_point: row.cycles as f64 / points,
-                    fpu_ops_per_point: row.fpu_ops as f64 / points,
-                    flops_per_point: row.flops as f64 / points,
-                    imbalance: row.imbalance.to_vec(),
-                },
-            );
-        }
+        RooflineBackend::with_store(Arc::new(CalibrationStore::with_gallery()))
+    }
+
+    /// A roofline backend answering from (and sharing) an explicit
+    /// calibration store — e.g. one imported from a previous server's
+    /// export, or one shared across several sessions.
+    pub fn with_store(store: Arc<CalibrationStore>) -> RooflineBackend {
         RooflineBackend {
             point: MachinePoint::manticore_cluster(),
             base_efficiency: 0.40,
             saris_efficiency: 0.78,
-            calibration,
+            store,
         }
     }
 
-    /// Registers (or replaces) a calibration measurement for a stencil
-    /// and variant, keyed by the stencil's structural fingerprint.
-    pub fn calibrate(&mut self, stencil: &Stencil, variant: Variant, calibration: Calibration) {
-        self.calibration
-            .insert((stencil.fingerprint(), variant), calibration);
+    /// The live calibration table this backend answers from.
+    pub fn store(&self) -> &Arc<CalibrationStore> {
+        &self.store
     }
 
-    /// Whether the backend holds a calibration measurement for this
-    /// stencil and variant.
+    /// Registers (or replaces) a calibration measurement for a stencil
+    /// and variant in the backend's store, keyed by the stencil's
+    /// structural fingerprint (and the core count implied by the
+    /// imbalance vector's length).
+    pub fn calibrate(&self, stencil: &Stencil, variant: Variant, calibration: Calibration) {
+        self.store.calibrate(stencil, variant, calibration);
+    }
+
+    /// Whether the store holds a calibration measurement for this
+    /// stencil and variant, for *any* cluster core count (entries are
+    /// per cluster shape; `estimate` only uses the one matching the
+    /// request's core count).
     pub fn is_calibrated(&self, stencil: &Stencil, variant: Variant) -> bool {
-        self.calibration
-            .contains_key(&(stencil.fingerprint(), variant))
+        !self
+            .store
+            .calibrated_core_counts(stencil, variant)
+            .is_empty()
     }
 
     fn fallback_efficiency(&self, variant: Variant) -> f64 {
@@ -352,18 +376,18 @@ impl RooflineBackend {
     fn estimate(&self, stencil: &Stencil, extent: saris_core::Extent, options: &RunOptions) -> Est {
         let interior = stencil.interior(extent).len() as f64;
         // A calibration only describes the cluster shape it was measured
-        // on; a request for a different core count falls through to the
-        // first-principles path, which scales with the cluster size.
+        // on (the core count is part of the store key); a request for a
+        // different core count falls through to the first-principles
+        // path, which scales with the cluster size.
         match self
-            .calibration
-            .get(&(stencil.fingerprint(), options.variant))
-            .filter(|cal| cal.imbalance.len() == options.cluster.n_cores)
+            .store
+            .lookup(stencil, options.variant, options.cluster.n_cores)
         {
             Some(cal) => Est {
                 cycles: cal.cycles_per_point * interior,
                 fpu_ops: cal.fpu_ops_per_point * interior,
                 flops: cal.flops_per_point * interior,
-                imbalance: cal.imbalance.clone(),
+                imbalance: cal.imbalance,
             },
             None => {
                 let mut point = self.point;
@@ -404,6 +428,10 @@ impl Backend for RooflineBackend {
 
     fn needs_kernel(&self) -> bool {
         false
+    }
+
+    fn calibration_store(&self) -> Option<Arc<CalibrationStore>> {
+        Some(Arc::clone(&self.store))
     }
 
     fn execute(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, CodegenError> {
@@ -486,20 +514,37 @@ impl BackendRegistry {
     }
 
     /// Replaces the slot for `backend.fidelity()` with `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend claims to serve [`Fidelity::Auto`], which
+    /// is a routing policy rather than a tier.
     pub fn register(&mut self, backend: Arc<dyn Backend>) {
         match backend.fidelity() {
             Fidelity::Analytic => self.analytic = backend,
             Fidelity::Cycles => self.cycles = backend,
             Fidelity::Golden => self.golden = backend,
+            Fidelity::Auto { .. } => {
+                panic!("Fidelity::Auto is a routing policy, not a backend tier")
+            }
         }
     }
 
     /// The backend serving `fidelity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Fidelity::Auto`]: sessions resolve the policy to
+    /// [`Fidelity::Analytic`] or [`Fidelity::Cycles`] *before*
+    /// dispatching.
     pub fn get(&self, fidelity: Fidelity) -> &Arc<dyn Backend> {
         match fidelity {
             Fidelity::Analytic => &self.analytic,
             Fidelity::Cycles => &self.cycles,
             Fidelity::Golden => &self.golden,
+            Fidelity::Auto { .. } => {
+                panic!("Fidelity::Auto resolves at submission; no backend serves it directly")
+            }
         }
     }
 }
@@ -517,12 +562,32 @@ impl fmt::Debug for BackendRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saris_core::Extent;
+    use saris_core::{gallery, Extent};
 
     #[test]
     fn fidelity_displays_and_orders() {
         let names: Vec<String> = Fidelity::ALL.iter().map(ToString::to_string).collect();
         assert_eq!(names, ["analytic", "cycles", "golden"]);
+        assert_eq!(Fidelity::auto().to_string(), "auto(0.05)");
+    }
+
+    #[test]
+    fn auto_compares_by_budget_bits() {
+        assert_eq!(Fidelity::auto(), Fidelity::auto());
+        assert_ne!(
+            Fidelity::auto(),
+            Fidelity::Auto {
+                accuracy_budget: 0.5
+            }
+        );
+        assert_ne!(Fidelity::auto(), Fidelity::Analytic);
+        // Hashing matches equality.
+        let mut set = std::collections::HashSet::new();
+        set.insert(Fidelity::auto());
+        assert!(set.contains(&Fidelity::auto()));
+        assert!(!set.contains(&Fidelity::Auto {
+            accuracy_budget: 0.5
+        }));
     }
 
     #[test]
@@ -534,6 +599,10 @@ mod tests {
         for fidelity in Fidelity::ALL {
             assert_eq!(reg.get(fidelity).fidelity(), fidelity);
         }
+        // Only the analytic tier exposes a calibration store.
+        assert!(reg.get(Fidelity::Analytic).calibration_store().is_some());
+        assert!(reg.get(Fidelity::Cycles).calibration_store().is_none());
+        assert!(reg.get(Fidelity::Golden).calibration_store().is_none());
     }
 
     #[test]
@@ -573,9 +642,8 @@ mod tests {
 
     #[test]
     fn uncalibrated_stencils_fall_back_to_first_principles() {
-        let mut backend = RooflineBackend::new();
+        let backend = RooflineBackend::with_store(Arc::new(CalibrationStore::new()));
         let stencil = gallery::jacobi_2d();
-        backend.calibration.clear();
         assert!(!backend.is_calibrated(&stencil, Variant::Saris));
         let opts = RunOptions::new(Variant::Saris);
         let est = backend.estimate(&stencil, Extent::new_2d(64, 64), &opts);
@@ -623,5 +691,32 @@ mod tests {
             est.cycles > eight.cycles,
             "fewer cores must estimate slower"
         );
+    }
+
+    #[test]
+    fn shared_store_updates_are_visible_to_the_backend() {
+        let store = Arc::new(CalibrationStore::new());
+        let backend = RooflineBackend::with_store(Arc::clone(&store));
+        let stencil = gallery::jacobi_2d();
+        let opts = RunOptions::new(Variant::Saris);
+        let fallback = backend.estimate(&stencil, Extent::new_2d(64, 64), &opts);
+        // Feeding the *store* (as a session does) changes what the
+        // backend answers — no re-registration needed.
+        store.observe(
+            &stencil,
+            Variant::Saris,
+            Extent::new_2d(64, 64),
+            7,
+            &crate::calibration::Observation {
+                cycles: 2985,
+                fpu_ops: 19220,
+                flops: 19220,
+                interior_points: 3844,
+                imbalance: vec![1.0; 8],
+            },
+        );
+        let calibrated = backend.estimate(&stencil, Extent::new_2d(64, 64), &opts);
+        assert_ne!(fallback.cycles, calibrated.cycles);
+        assert_eq!(calibrated.cycles.round() as u64, 2985);
     }
 }

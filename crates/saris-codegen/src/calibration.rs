@@ -1,0 +1,1285 @@
+//! The live calibration subsystem behind the analytic tier: a shared,
+//! thread-safe [`CalibrationStore`] of single-cluster measurements that
+//! the [`RooflineBackend`](crate::RooflineBackend) answers from and the
+//! [`Session`](crate::Session) *feeds* — every cycle-tier outcome flows
+//! back into the store as an [`Observation`], so a long-running server
+//! sharpens its own estimates for the stencils it actually serves.
+//!
+//! The paper's scaleout methodology is exactly this loop run once by
+//! hand: measure a kernel on one cluster, reduce the measurement to
+//! per-point rates, and extrapolate through a bandwidth model. The store
+//! makes the loop continuous and first-class:
+//!
+//! * entries are keyed by the subset of a workload's identity the
+//!   analytic model can resolve — stencil structure, code variant, and
+//!   cluster core count (deliberately coarser than the kernel-cache key,
+//!   so a tuned measurement answers default-option estimate requests);
+//! * each entry carries a **confidence** (the expected relative accuracy
+//!   of an analytic answer at the extent and [execution
+//!   context](execution_context) it was measured under) and an
+//!   **age** (observation count plus a logical update tick), which is
+//!   what [`Fidelity::Auto`](crate::Fidelity::Auto) routes on;
+//! * the store serializes to and from JSON ([`CalibrationStore::to_json`]
+//!   / [`CalibrationStore::from_json`]) with bit-exact round-tripping of
+//!   every rate, so a warmed store can be exported from one server and
+//!   imported into the next (`serve_throughput --export-calibration` /
+//!   `--import-calibration`);
+//! * the built-in gallery table — the paper's twenty tuned `(code,
+//!   variant)` measurements — ships as a baked JSON seed
+//!   ([`CalibrationStore::with_gallery`]) in the same format an export
+//!   produces.
+//!
+//! # Examples
+//!
+//! ```
+//! use saris_codegen::{Calibration, CalibrationStore, Variant};
+//! use saris_core::{gallery, Extent};
+//!
+//! let store = CalibrationStore::new();
+//! let stencil = gallery::jacobi_2d();
+//! assert!(!store.is_calibrated(&stencil, Variant::Saris, 8));
+//!
+//! store.calibrate(
+//!     &stencil,
+//!     Variant::Saris,
+//!     Calibration {
+//!         cycles_per_point: 0.8,
+//!         fpu_ops_per_point: 5.0,
+//!         flops_per_point: 5.0,
+//!         imbalance: vec![1.0; 8],
+//!     },
+//! );
+//! let cal = store.lookup(&stencil, Variant::Saris, 8).expect("calibrated");
+//! assert_eq!(cal.cycles_per_point, 0.8);
+//!
+//! // JSON round-trips reproduce every rate bit-for-bit.
+//! let copy = CalibrationStore::from_json(&store.to_json()).expect("parses");
+//! assert_eq!(copy.lookup(&stencil, Variant::Saris, 8), Some(cal));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use saris_core::stencil::Stencil;
+use saris_core::{gallery, Extent};
+
+use crate::error::CodegenError;
+use crate::runtime::{RunOptions, Variant};
+use crate::tuner::Tune;
+
+/// Confidence assigned to the baked-in gallery seed: measured on the
+/// deterministic cycle tier at the paper tiles, but pasted into the
+/// repository — a simulator change can drift it until the table is
+/// regenerated, so it tracks simulation within the documented 1.05
+/// calibration factor rather than exactly.
+pub const BAKED_CONFIDENCE: f64 = 0.95;
+
+/// Confidence assigned to live observations: the simulator is
+/// deterministic, so re-estimating at the observed extent reproduces the
+/// observed cycle count exactly.
+pub const OBSERVED_CONFIDENCE: f64 = 1.0;
+
+/// Confidence ceiling for estimates *away* from the extent an entry was
+/// measured on, where the per-point rates are scaled by the interior
+/// size and halo/startup amortization effects the model ignores show up
+/// (the documented factor-2 off-tile band).
+pub const OFF_EXTENT_CONFIDENCE: f64 = 0.5;
+
+/// The baked-in gallery seed (see [`CalibrationStore::with_gallery`]),
+/// regenerable with `serve_throughput --export-calibration` after
+/// simulator changes that move cycle counts.
+const GALLERY_JSON: &str = include_str!("calibration/gallery.json");
+
+/// One single-cluster measurement reduced to per-interior-point rates —
+/// what the analytic tier scales by a request's interior size to
+/// synthesize an estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Measured cycles per interior point.
+    pub cycles_per_point: f64,
+    /// Measured FPU issue slots per interior point.
+    pub fpu_ops_per_point: f64,
+    /// Measured FLOPs per interior point.
+    pub flops_per_point: f64,
+    /// Measured per-core runtime ratios (time / mean) inside the
+    /// cluster — what the scaleout bootstrap resamples from. One entry
+    /// per core of the measured cluster.
+    pub imbalance: Vec<f64>,
+}
+
+impl Calibration {
+    fn is_finite(&self) -> bool {
+        self.cycles_per_point.is_finite()
+            && self.fpu_ops_per_point.is_finite()
+            && self.flops_per_point.is_finite()
+            && !self.imbalance.is_empty()
+            && self.imbalance.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Where a calibration entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationSource {
+    /// The built-in gallery seed shipped with the crate.
+    Baked,
+    /// A live cycle-tier measurement fed through
+    /// [`CalibrationStore::observe`] (or registered via
+    /// [`CalibrationStore::calibrate`]).
+    Observed,
+    /// Loaded from a JSON export ([`CalibrationStore::from_json`]).
+    Imported,
+}
+
+impl fmt::Display for CalibrationSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationSource::Baked => f.write_str("baked"),
+            CalibrationSource::Observed => f.write_str("observed"),
+            CalibrationSource::Imported => f.write_str("imported"),
+        }
+    }
+}
+
+/// One store entry: the measurement plus the metadata
+/// [`Fidelity::Auto`](crate::Fidelity::Auto) routes on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationEntry {
+    /// Structural fingerprint of the measured stencil (the key's first
+    /// component).
+    pub stencil: u64,
+    /// The code variant the measurement ran as.
+    pub variant: Variant,
+    /// Core count of the measured cluster.
+    pub cores: usize,
+    /// The stencil's name when it was measured (export/debug metadata;
+    /// gallery names re-resolve to fingerprints on import).
+    pub name: String,
+    /// The per-point rates.
+    pub calibration: Calibration,
+    /// The tile extent the measurement was taken at (`None` for entries
+    /// registered without one, which are treated as off-extent
+    /// everywhere).
+    pub extent: Option<Extent>,
+    /// The [execution context](execution_context) the measurement ran
+    /// under (options + tuning policy). Full confidence only applies to
+    /// requests with the same context — an observation taken at a
+    /// pessimal fixed unroll must not answer a tuned request as if it
+    /// were exact. `None` (e.g. manual
+    /// [`calibrate`](CalibrationStore::calibrate) registrations) is
+    /// treated as context-mismatched everywhere.
+    pub context: Option<u64>,
+    /// Expected relative accuracy of an analytic answer *at the measured
+    /// extent and context* (`1.0` = exact reproduction). Away from
+    /// either, the effective confidence is capped at
+    /// [`OFF_EXTENT_CONFIDENCE`].
+    pub confidence: f64,
+    /// How many measurements have fed this entry (the rates are the most
+    /// recent observation's; this counts the history).
+    pub observations: u64,
+    /// Logical store tick of the last update — a relative age:
+    /// entries with smaller ticks are staler.
+    pub updated_tick: u64,
+    /// Provenance of the entry.
+    pub source: CalibrationSource,
+}
+
+/// What one cycle-tier run measured, before reduction to per-point
+/// rates — the payload a [`Session`](crate::Session) feeds back for
+/// every simulated stencil outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Measured cycles for the tile.
+    pub cycles: u64,
+    /// FPU issue slots retired across all cores.
+    pub fpu_ops: u64,
+    /// FLOPs retired across all cores.
+    pub flops: u64,
+    /// Interior points of the tile the run swept.
+    pub interior_points: u64,
+    /// Per-core runtime ratios (time / mean).
+    pub imbalance: Vec<f64>,
+}
+
+/// The key an entry is stored under: the subset of a workload's identity
+/// the analytic per-point-rate model resolves. Deliberately coarser than
+/// the kernel-cache key (no extent, no unroll), so one tuned measurement
+/// answers estimate requests across tile sizes and option sweeps — the
+/// finer request identity (extent, [`execution_context`]) affects the
+/// entry's *confidence*, not whether its rates are used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CalKey {
+    stencil: u64,
+    variant: Variant,
+    cores: usize,
+}
+
+/// The execution-context tag an observation is recorded under: a hash of
+/// the request's compile-relevant options and its tuning policy. Two
+/// requests with the same tag would run the identical configuration on
+/// the cycle tier, so an observation answers them at full confidence;
+/// any other combination (different unroll, different tuning policy,
+/// planner knobs, ...) only at [`OFF_EXTENT_CONFIDENCE`] — its measured
+/// rates may be arbitrarily far from what *that* configuration would
+/// measure.
+pub fn execution_context(options: &RunOptions, tune: &Tune) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    options.compile_fingerprint().hash(&mut h);
+    format!("{tune:?}").hash(&mut h);
+    h.finish()
+}
+
+struct Inner {
+    entries: HashMap<CalKey, CalibrationEntry>,
+    tick: u64,
+}
+
+/// A shared, mutable, thread-safe table of single-cluster calibration
+/// measurements (see the [module docs](self) for the full story).
+///
+/// Cloneless sharing: wrap the store in an `Arc` and hand it to both a
+/// [`RooflineBackend`](crate::RooflineBackend) (which answers from it)
+/// and any number of sessions (which feed it); all access is internally
+/// locked.
+pub struct CalibrationStore {
+    inner: Mutex<Inner>,
+}
+
+impl Default for CalibrationStore {
+    /// The gallery-seeded store ([`CalibrationStore::with_gallery`]).
+    fn default() -> CalibrationStore {
+        CalibrationStore::with_gallery()
+    }
+}
+
+impl fmt::Debug for CalibrationStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("calibration store lock");
+        f.debug_struct("CalibrationStore")
+            .field("entries", &inner.entries.len())
+            .field("tick", &inner.tick)
+            .finish()
+    }
+}
+
+impl CalibrationStore {
+    /// An empty store: every estimate falls back to first principles and
+    /// every [`Fidelity::Auto`](crate::Fidelity::Auto) request escalates
+    /// until observations arrive.
+    pub fn new() -> CalibrationStore {
+        CalibrationStore {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// A store seeded with the built-in gallery table: the ten paper
+    /// codes, both variants, tuned and measured at the paper tiles on
+    /// the deterministic cycle tier. Seed entries are clamped to
+    /// [`CalibrationSource::Baked`] / [`BAKED_CONFIDENCE`] whatever the
+    /// JSON says.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded seed fails to parse or names an unknown
+    /// gallery code — a build defect, not a runtime condition.
+    pub fn with_gallery() -> CalibrationStore {
+        let store =
+            CalibrationStore::from_json(GALLERY_JSON).expect("baked gallery calibration parses");
+        {
+            let mut inner = store.inner.lock().expect("calibration store lock");
+            for entry in inner.entries.values_mut() {
+                entry.source = CalibrationSource::Baked;
+                entry.confidence = entry.confidence.min(BAKED_CONFIDENCE);
+                // The gallery was measured under the paper flow: default
+                // options, "unroll iff beneficial" tuning. Tag the seed
+                // accordingly so tuned default-option requests get the
+                // baked confidence and anything else is off-context.
+                entry.context = Some(execution_context(
+                    &RunOptions::new(entry.variant),
+                    &Tune::Auto,
+                ));
+            }
+        }
+        store
+    }
+
+    fn key(stencil: &Stencil, variant: Variant, cores: usize) -> CalKey {
+        CalKey {
+            stencil: stencil.fingerprint(),
+            variant,
+            cores,
+        }
+    }
+
+    /// Registers (or replaces) a calibration for a stencil and variant,
+    /// keyed by the stencil's structural fingerprint and the core count
+    /// implied by `calibration.imbalance.len()`. The entry records no
+    /// measurement extent or [execution context](execution_context), so
+    /// it answers estimate requests everywhere but only at
+    /// [`OFF_EXTENT_CONFIDENCE`] for
+    /// [`Fidelity::Auto`](crate::Fidelity::Auto) routing. Non-finite
+    /// rates are ignored.
+    pub fn calibrate(&self, stencil: &Stencil, variant: Variant, calibration: Calibration) {
+        if !calibration.is_finite() {
+            return;
+        }
+        let cores = calibration.imbalance.len();
+        self.upsert(
+            CalibrationStore::key(stencil, variant, cores),
+            stencil.name().to_string(),
+            calibration,
+            None,
+            None,
+            OBSERVED_CONFIDENCE,
+            CalibrationSource::Observed,
+        );
+    }
+
+    /// Feeds one cycle-tier measurement back into the store: the
+    /// observation is reduced to per-interior-point rates and recorded at
+    /// full [`OBSERVED_CONFIDENCE`] for `extent` under the request's
+    /// [execution context](execution_context). Repeat observations
+    /// replace the rates (latest wins — the simulator is deterministic,
+    /// so same-spec repeats agree) and bump the entry's observation
+    /// count and age tick. Degenerate observations (no interior points,
+    /// empty imbalance) are ignored.
+    pub fn observe(
+        &self,
+        stencil: &Stencil,
+        variant: Variant,
+        extent: Extent,
+        context: u64,
+        observation: &Observation,
+    ) {
+        if observation.interior_points == 0 || observation.imbalance.is_empty() {
+            return;
+        }
+        let points = observation.interior_points as f64;
+        let calibration = Calibration {
+            cycles_per_point: observation.cycles as f64 / points,
+            fpu_ops_per_point: observation.fpu_ops as f64 / points,
+            flops_per_point: observation.flops as f64 / points,
+            imbalance: observation.imbalance.clone(),
+        };
+        if !calibration.is_finite() {
+            return;
+        }
+        let cores = observation.imbalance.len();
+        self.upsert(
+            CalibrationStore::key(stencil, variant, cores),
+            stencil.name().to_string(),
+            calibration,
+            Some(extent),
+            Some(context),
+            OBSERVED_CONFIDENCE,
+            CalibrationSource::Observed,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn upsert(
+        &self,
+        key: CalKey,
+        name: String,
+        calibration: Calibration,
+        extent: Option<Extent>,
+        context: Option<u64>,
+        confidence: f64,
+        source: CalibrationSource,
+    ) {
+        let mut inner = self.inner.lock().expect("calibration store lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let observations = inner.entries.get(&key).map_or(0, |e| e.observations) + 1;
+        inner.entries.insert(
+            key,
+            CalibrationEntry {
+                stencil: key.stencil,
+                variant: key.variant,
+                cores: key.cores,
+                name,
+                calibration,
+                extent,
+                context,
+                confidence,
+                observations,
+                updated_tick: tick,
+                source,
+            },
+        );
+    }
+
+    /// The calibrated per-point rates for a stencil, variant and cluster
+    /// core count, if the store holds a matching entry.
+    pub fn lookup(&self, stencil: &Stencil, variant: Variant, cores: usize) -> Option<Calibration> {
+        let inner = self.inner.lock().expect("calibration store lock");
+        inner
+            .entries
+            .get(&CalibrationStore::key(stencil, variant, cores))
+            .map(|e| e.calibration.clone())
+    }
+
+    /// A snapshot of the full entry for a stencil, variant and core
+    /// count (metadata included).
+    pub fn entry(
+        &self,
+        stencil: &Stencil,
+        variant: Variant,
+        cores: usize,
+    ) -> Option<CalibrationEntry> {
+        let inner = self.inner.lock().expect("calibration store lock");
+        inner
+            .entries
+            .get(&CalibrationStore::key(stencil, variant, cores))
+            .cloned()
+    }
+
+    /// Whether the store holds a calibration for this stencil, variant
+    /// and cluster core count.
+    pub fn is_calibrated(&self, stencil: &Stencil, variant: Variant, cores: usize) -> bool {
+        let inner = self.inner.lock().expect("calibration store lock");
+        inner
+            .entries
+            .contains_key(&CalibrationStore::key(stencil, variant, cores))
+    }
+
+    /// The cluster core counts the store holds calibrations for, for
+    /// this stencil and variant (entries are per cluster shape).
+    pub fn calibrated_core_counts(&self, stencil: &Stencil, variant: Variant) -> Vec<usize> {
+        let fingerprint = stencil.fingerprint();
+        let inner = self.inner.lock().expect("calibration store lock");
+        let mut cores: Vec<usize> = inner
+            .entries
+            .keys()
+            .filter(|k| k.stencil == fingerprint && k.variant == variant)
+            .map(|k| k.cores)
+            .collect();
+        cores.sort_unstable();
+        cores
+    }
+
+    /// The expected relative accuracy of an analytic answer for this
+    /// request: the entry's confidence when both the measured extent and
+    /// the [execution context](execution_context) match the request,
+    /// capped at [`OFF_EXTENT_CONFIDENCE`] otherwise, and `0.0` when no
+    /// entry matches at all (the first-principles fallback carries no
+    /// accuracy claim).
+    pub fn confidence(
+        &self,
+        stencil: &Stencil,
+        variant: Variant,
+        cores: usize,
+        extent: Extent,
+        context: u64,
+    ) -> f64 {
+        let inner = self.inner.lock().expect("calibration store lock");
+        match inner
+            .entries
+            .get(&CalibrationStore::key(stencil, variant, cores))
+        {
+            None => 0.0,
+            Some(entry) if entry.extent == Some(extent) && entry.context == Some(context) => {
+                entry.confidence
+            }
+            Some(entry) => entry.confidence.min(OFF_EXTENT_CONFIDENCE),
+        }
+    }
+
+    /// Whether an analytic answer for this request meets an
+    /// [`Fidelity::Auto`](crate::Fidelity::Auto) accuracy budget: the
+    /// expected relative error (`1 - confidence`) must not exceed the
+    /// budget. This is the routing predicate a
+    /// [`Session`](crate::Session) evaluates for every `Auto`
+    /// submission.
+    #[allow(clippy::too_many_arguments)]
+    pub fn meets_budget(
+        &self,
+        stencil: &Stencil,
+        variant: Variant,
+        cores: usize,
+        extent: Extent,
+        context: u64,
+        accuracy_budget: f64,
+    ) -> bool {
+        self.confidence(stencil, variant, cores, extent, context) >= 1.0 - accuracy_budget
+    }
+
+    /// Number of entries held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("calibration store lock")
+            .entries
+            .len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of every entry, ordered by (name, variant, cores) —
+    /// the order [`to_json`](CalibrationStore::to_json) exports in.
+    pub fn entries(&self) -> Vec<CalibrationEntry> {
+        let mut entries: Vec<CalibrationEntry> = {
+            let inner = self.inner.lock().expect("calibration store lock");
+            inner.entries.values().cloned().collect()
+        };
+        entries.sort_by(|a, b| {
+            (&a.name, a.variant as u8, a.cores).cmp(&(&b.name, b.variant as u8, b.cores))
+        });
+        entries
+    }
+
+    /// Serializes the store to JSON. Every `f64` is written in Rust's
+    /// shortest round-trip decimal form, so
+    /// [`from_json`](CalibrationStore::from_json) reproduces it
+    /// bit-for-bit. The format is the same one the baked gallery seed
+    /// ships in.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let rows = self.entries();
+        let mut out = String::from("{\n \"version\": 1,\n \"entries\": [\n");
+        for (i, e) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            let extent = match e.extent {
+                Some(x) => format!("[{}, {}, {}]", x.nx, x.ny, x.nz),
+                None => "null".to_string(),
+            };
+            let context = match e.context {
+                Some(c) => format!("\"{c}\""),
+                None => "null".to_string(),
+            };
+            let imbalance: Vec<String> = e
+                .calibration
+                .imbalance
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {{\"name\": \"{}\", \"stencil\": \"{}\", \"variant\": \"{}\", \
+                 \"cores\": {}, \"extent\": {}, \"context\": {}, \
+                 \"cycles_per_point\": {:?}, \
+                 \"fpu_ops_per_point\": {:?}, \"flops_per_point\": {:?}, \
+                 \"imbalance\": [{}], \"confidence\": {:?}, \"observations\": {}, \
+                 \"source\": \"{}\"}}{comma}",
+                json_escape(&e.name),
+                e.stencil,
+                e.variant,
+                e.cores,
+                extent,
+                context,
+                e.calibration.cycles_per_point,
+                e.calibration.fpu_ops_per_point,
+                e.calibration.flops_per_point,
+                imbalance.join(", "),
+                e.confidence,
+                e.observations,
+                e.source,
+            );
+        }
+        out.push_str(" ]\n}\n");
+        out
+    }
+
+    /// Parses a store from the JSON format [`to_json`](CalibrationStore::to_json)
+    /// emits. Entries whose `name` resolves to a gallery code are
+    /// re-keyed by that code's current structural fingerprint (robust
+    /// across builds); other entries trust the serialized fingerprint,
+    /// which — like [`WorkloadSpec::fingerprint`](crate::WorkloadSpec::fingerprint)
+    /// — is only stable within one build of this crate. Imported entries
+    /// are marked [`CalibrationSource::Imported`] unless they declare
+    /// another source.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::Calibration`] when the input is not valid JSON,
+    /// misses required fields, or contains non-finite rates.
+    pub fn from_json(json: &str) -> Result<CalibrationStore, CodegenError> {
+        let value = json::parse(json)?;
+        let top = value.as_object("calibration document")?;
+        let entries = top
+            .get("entries")
+            .ok_or_else(|| json::err("missing \"entries\""))?
+            .as_array("entries")?;
+        let store = CalibrationStore::new();
+        {
+            let mut inner = store.inner.lock().expect("calibration store lock");
+            for (i, row) in entries.iter().enumerate() {
+                let at = |msg: &str| format!("entry {i}: {msg}");
+                let obj = row.as_object("entry")?;
+                let field = |name: &str| {
+                    obj.get(name)
+                        .ok_or_else(|| json::err(&at(&format!("missing \"{name}\""))))
+                };
+                let name = field("name")?.as_str("name")?.to_string();
+                let variant = match field("variant")?.as_str("variant")? {
+                    "base" => Variant::Base,
+                    "saris" => Variant::Saris,
+                    other => {
+                        return Err(json::err(&at(&format!("unknown variant \"{other}\""))));
+                    }
+                };
+                let cores = field("cores")?.as_u64("cores")? as usize;
+                if cores == 0 {
+                    return Err(json::err(&at("cores must be positive")));
+                }
+                let stencil = match gallery::by_name(&name) {
+                    Some(code) => code.fingerprint(),
+                    None => field("stencil")?
+                        .as_str("stencil")?
+                        .parse::<u64>()
+                        .map_err(|_| json::err(&at("stencil fingerprint is not a u64")))?,
+                };
+                let extent = match field("extent")? {
+                    json::Value::Null => None,
+                    value => {
+                        let dims = value.as_array("extent")?;
+                        if dims.len() != 3 {
+                            return Err(json::err(&at("extent needs [nx, ny, nz]")));
+                        }
+                        let d = |j: usize| dims[j].as_u64("extent dim").map(|v| v as usize);
+                        let (nx, ny, nz) = (d(0)?, d(1)?, d(2)?);
+                        if nx == 0 || ny == 0 || nz == 0 {
+                            return Err(json::err(&at("extent dims must be positive")));
+                        }
+                        Some(if nz == 1 {
+                            Extent::new_2d(nx, ny)
+                        } else {
+                            Extent::new_3d(nx, ny, nz)
+                        })
+                    }
+                };
+                let calibration = Calibration {
+                    cycles_per_point: field("cycles_per_point")?.as_f64("cycles_per_point")?,
+                    fpu_ops_per_point: field("fpu_ops_per_point")?.as_f64("fpu_ops_per_point")?,
+                    flops_per_point: field("flops_per_point")?.as_f64("flops_per_point")?,
+                    imbalance: field("imbalance")?
+                        .as_array("imbalance")?
+                        .iter()
+                        .map(|v| v.as_f64("imbalance value"))
+                        .collect::<Result<_, _>>()?,
+                };
+                if !calibration.is_finite() {
+                    return Err(json::err(&at("non-finite or empty calibration rates")));
+                }
+                if calibration.imbalance.len() != cores {
+                    return Err(json::err(&at("imbalance length disagrees with cores")));
+                }
+                let confidence = field("confidence")?.as_f64("confidence")?;
+                if !(0.0..=1.0).contains(&confidence) {
+                    return Err(json::err(&at("confidence must be within 0..=1")));
+                }
+                // The execution-context tag is optional and — like the
+                // stencil fingerprint — only meaningful within one build
+                // of this crate.
+                let context = match obj.get("context") {
+                    None | Some(json::Value::Null) => None,
+                    Some(value) => Some(
+                        value
+                            .as_str("context")?
+                            .parse::<u64>()
+                            .map_err(|_| json::err(&at("context tag is not a u64")))?,
+                    ),
+                };
+                let observations = field("observations")?.as_u64("observations")?;
+                let source = match field("source")?.as_str("source")? {
+                    "baked" => CalibrationSource::Baked,
+                    _ => CalibrationSource::Imported,
+                };
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.entries.insert(
+                    CalKey {
+                        stencil,
+                        variant,
+                        cores,
+                    },
+                    CalibrationEntry {
+                        stencil,
+                        variant,
+                        cores,
+                        name,
+                        calibration,
+                        extent,
+                        context,
+                        confidence,
+                        observations,
+                        updated_tick: tick,
+                        source,
+                    },
+                );
+            }
+        }
+        Ok(store)
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal: backslash,
+/// quote, and every control character (so stencil names containing
+/// newlines or tabs still export as *valid* JSON that standard tooling
+/// can parse).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A minimal JSON reader for the calibration format: objects, arrays,
+/// strings (with the standard escapes), numbers, and `null` — exactly
+/// what [`CalibrationStore::to_json`] emits. Numbers are kept as their
+/// source slices and parsed on demand, so `f64` values survive
+/// bit-for-bit through Rust's correctly-rounded `str::parse`.
+mod json {
+    use std::collections::HashMap;
+
+    use crate::error::CodegenError;
+
+    pub(super) fn err(reason: &str) -> CodegenError {
+        CodegenError::Calibration {
+            reason: reason.to_string(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub(super) enum Value {
+        Null,
+        Number(String),
+        String(String),
+        Array(Vec<Value>),
+        Object(HashMap<String, Value>),
+    }
+
+    impl Value {
+        pub(super) fn as_object(
+            &self,
+            what: &str,
+        ) -> Result<&HashMap<String, Value>, CodegenError> {
+            match self {
+                Value::Object(map) => Ok(map),
+                _ => Err(err(&format!("{what} is not an object"))),
+            }
+        }
+
+        pub(super) fn as_array(&self, what: &str) -> Result<&[Value], CodegenError> {
+            match self {
+                Value::Array(values) => Ok(values),
+                _ => Err(err(&format!("{what} is not an array"))),
+            }
+        }
+
+        pub(super) fn as_str(&self, what: &str) -> Result<&str, CodegenError> {
+            match self {
+                Value::String(s) => Ok(s),
+                _ => Err(err(&format!("{what} is not a string"))),
+            }
+        }
+
+        pub(super) fn as_f64(&self, what: &str) -> Result<f64, CodegenError> {
+            match self {
+                Value::Number(n) => n
+                    .parse::<f64>()
+                    .map_err(|_| err(&format!("{what} is not a number"))),
+                _ => Err(err(&format!("{what} is not a number"))),
+            }
+        }
+
+        pub(super) fn as_u64(&self, what: &str) -> Result<u64, CodegenError> {
+            match self {
+                Value::Number(n) => n
+                    .parse::<u64>()
+                    .map_err(|_| err(&format!("{what} is not an unsigned integer"))),
+                _ => Err(err(&format!("{what} is not an unsigned integer"))),
+            }
+        }
+    }
+
+    pub(super) fn parse(input: &str) -> Result<Value, CodegenError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(err("trailing content after JSON document"));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, CodegenError> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| err("unexpected end of JSON"))
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), CodegenError> {
+            if self.peek()? == byte {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(err(&format!(
+                    "expected '{}' at byte {}",
+                    byte as char, self.pos
+                )))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, CodegenError> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::String(self.string()?)),
+                b'n' => {
+                    if self.bytes[self.pos..].starts_with(b"null") {
+                        self.pos += 4;
+                        Ok(Value::Null)
+                    } else {
+                        Err(err(&format!("invalid literal at byte {}", self.pos)))
+                    }
+                }
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(err(&format!(
+                    "unexpected '{}' at byte {}",
+                    other as char, self.pos
+                ))),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, CodegenError> {
+            self.expect(b'{')?;
+            let mut map = HashMap::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                map.insert(key, self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    other => {
+                        return Err(err(&format!(
+                            "expected ',' or '}}', got '{}' at byte {}",
+                            other as char, self.pos
+                        )));
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, CodegenError> {
+            self.expect(b'[')?;
+            let mut values = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Array(values));
+            }
+            loop {
+                values.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Array(values));
+                    }
+                    other => {
+                        return Err(err(&format!(
+                            "expected ',' or ']', got '{}' at byte {}",
+                            other as char, self.pos
+                        )));
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, CodegenError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self
+                    .bytes
+                    .get(self.pos)
+                    .copied()
+                    .ok_or_else(|| err("unterminated string"))?
+                {
+                    b'"' => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        let escaped = self
+                            .bytes
+                            .get(self.pos + 1)
+                            .copied()
+                            .ok_or_else(|| err("unterminated escape"))?;
+                        self.pos += 2;
+                        match escaped {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| err("truncated \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| err("invalid \\u escape"))?;
+                                // Surrogate halves never appear in our
+                                // exports (we only \u-escape control
+                                // characters); reject rather than
+                                // mis-decode.
+                                let c = char::from_u32(code)
+                                    .ok_or_else(|| err("\\u escape is not a scalar value"))?;
+                                out.push(c);
+                                self.pos += 4;
+                            }
+                            other => {
+                                return Err(err(&format!(
+                                    "unsupported escape '\\{}'",
+                                    other as char
+                                )));
+                            }
+                        }
+                    }
+                    byte => {
+                        // Multi-byte UTF-8 sequences pass through intact:
+                        // the input is a &str, so byte runs outside the
+                        // escapes are valid UTF-8.
+                        let start = self.pos;
+                        self.pos += 1;
+                        while !byte.is_ascii()
+                            && self
+                                .bytes
+                                .get(self.pos)
+                                .is_some_and(|b| b & 0b1100_0000 == 0b1000_0000)
+                        {
+                            self.pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos])
+                                .expect("input is valid UTF-8"),
+                        );
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, CodegenError> {
+            let start = self.pos;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+            {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+            if text.is_empty() {
+                return Err(err(&format!("empty number at byte {start}")));
+            }
+            Ok(Value::Number(text.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Variant;
+
+    fn sample_calibration() -> Calibration {
+        Calibration {
+            cycles_per_point: 6123.0 / 3844.0,
+            fpu_ops_per_point: 5.0,
+            flops_per_point: 5.0,
+            imbalance: vec![1.01, 0.99, 1.0, 1.0, 1.0, 1.0, 0.98, 1.02],
+        }
+    }
+
+    #[test]
+    fn gallery_seed_covers_both_variants_of_every_code() {
+        let store = CalibrationStore::with_gallery();
+        assert_eq!(store.len(), 20);
+        for name in gallery::NAMES {
+            let stencil = gallery::by_name(name).unwrap();
+            for variant in [Variant::Base, Variant::Saris] {
+                let entry = store.entry(&stencil, variant, 8).unwrap_or_else(|| {
+                    panic!("{name} {variant} lacks a baked calibration");
+                });
+                assert_eq!(entry.source, CalibrationSource::Baked);
+                assert_eq!(entry.confidence, BAKED_CONFIDENCE);
+                assert!(entry.extent.is_some(), "baked entries record their tile");
+            }
+        }
+    }
+
+    /// A fixed execution-context tag for store-level tests (any value
+    /// works — the store only compares tags for equality).
+    const CTX: u64 = 0x5a71;
+
+    #[test]
+    fn observe_records_per_point_rates_at_full_confidence() {
+        let store = CalibrationStore::new();
+        let stencil = gallery::jacobi_2d();
+        let extent = Extent::new_2d(64, 64);
+        store.observe(
+            &stencil,
+            Variant::Saris,
+            extent,
+            CTX,
+            &Observation {
+                cycles: 2985,
+                fpu_ops: 19220,
+                flops: 19220,
+                interior_points: 3844,
+                imbalance: vec![1.0; 8],
+            },
+        );
+        let entry = store.entry(&stencil, Variant::Saris, 8).expect("observed");
+        assert_eq!(entry.calibration.cycles_per_point, 2985.0 / 3844.0);
+        assert_eq!(entry.confidence, OBSERVED_CONFIDENCE);
+        assert_eq!(entry.observations, 1);
+        assert_eq!(entry.source, CalibrationSource::Observed);
+        assert_eq!(entry.context, Some(CTX));
+        assert_eq!((entry.variant, entry.cores), (Variant::Saris, 8));
+        assert_eq!(entry.stencil, stencil.fingerprint());
+        // Confidence is full at the measured extent and context, capped
+        // away from either, zero where nothing matches.
+        assert_eq!(
+            store.confidence(&stencil, Variant::Saris, 8, extent, CTX),
+            1.0
+        );
+        assert_eq!(
+            store.confidence(&stencil, Variant::Saris, 8, Extent::new_2d(32, 32), CTX),
+            OFF_EXTENT_CONFIDENCE
+        );
+        assert_eq!(
+            store.confidence(&stencil, Variant::Saris, 8, extent, CTX + 1),
+            OFF_EXTENT_CONFIDENCE,
+            "a different execution context must not be treated as exact"
+        );
+        assert_eq!(
+            store.confidence(&stencil, Variant::Base, 8, extent, CTX),
+            0.0
+        );
+        assert_eq!(
+            store.confidence(&stencil, Variant::Saris, 4, extent, CTX),
+            0.0
+        );
+        // A second observation replaces the rates and bumps the count.
+        store.observe(
+            &stencil,
+            Variant::Saris,
+            extent,
+            CTX,
+            &Observation {
+                cycles: 3000,
+                fpu_ops: 19220,
+                flops: 19220,
+                interior_points: 3844,
+                imbalance: vec![1.0; 8],
+            },
+        );
+        let entry = store.entry(&stencil, Variant::Saris, 8).expect("observed");
+        assert_eq!(entry.calibration.cycles_per_point, 3000.0 / 3844.0);
+        assert_eq!(entry.observations, 2);
+    }
+
+    #[test]
+    fn meets_budget_thresholds_on_expected_error() {
+        let store = CalibrationStore::with_gallery();
+        let stencil = gallery::jacobi_2d();
+        let paper = Extent::new_2d(64, 64);
+        // The baked seed's context: tuned paper flow on default options.
+        let ctx = execution_context(&RunOptions::new(Variant::Saris), &Tune::Auto);
+        // Baked entries (confidence 0.95) satisfy a 5% budget at the
+        // measured tile and context, but not off-tile, not off-context,
+        // and not a 1% budget.
+        assert!(store.meets_budget(&stencil, Variant::Saris, 8, paper, ctx, 0.05));
+        assert!(!store.meets_budget(&stencil, Variant::Saris, 8, paper, ctx, 0.01));
+        assert!(!store.meets_budget(
+            &stencil,
+            Variant::Saris,
+            8,
+            Extent::new_2d(48, 48),
+            ctx,
+            0.05
+        ));
+        let fixed_ctx = execution_context(&RunOptions::new(Variant::Saris), &Tune::Fixed);
+        assert!(
+            !store.meets_budget(&stencil, Variant::Saris, 8, paper, fixed_ctx, 0.05),
+            "an untuned request must not borrow the tuned measurement as exact"
+        );
+        // An unknown stencil/core-count never meets a sub-1.0 budget.
+        assert!(!store.meets_budget(&stencil, Variant::Saris, 4, paper, ctx, 0.5));
+        assert!(store.meets_budget(&stencil, Variant::Saris, 4, paper, ctx, 1.0));
+    }
+
+    #[test]
+    fn degenerate_observations_and_rates_are_ignored() {
+        let store = CalibrationStore::new();
+        let stencil = gallery::jacobi_2d();
+        store.observe(
+            &stencil,
+            Variant::Saris,
+            Extent::new_2d(64, 64),
+            CTX,
+            &Observation {
+                cycles: 100,
+                fpu_ops: 10,
+                flops: 10,
+                interior_points: 0,
+                imbalance: vec![1.0; 8],
+            },
+        );
+        store.calibrate(
+            &stencil,
+            Variant::Saris,
+            Calibration {
+                cycles_per_point: f64::NAN,
+                fpu_ops_per_point: 5.0,
+                flops_per_point: 5.0,
+                imbalance: vec![1.0; 8],
+            },
+        );
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let store = CalibrationStore::with_gallery();
+        store.calibrate(&gallery::jacobi_2d(), Variant::Saris, sample_calibration());
+        store.observe(
+            &gallery::star3d2r(),
+            Variant::Base,
+            Extent::new_3d(16, 16, 16),
+            CTX,
+            &Observation {
+                cycles: 7281,
+                fpu_ops: 24192,
+                flops: 43200,
+                interior_points: 1728,
+                imbalance: vec![1.000963, 0.999862, 1.0, 1.0, 1.0, 1.0, 1.0, 0.999862],
+            },
+        );
+        let json = store.to_json();
+        let copy = CalibrationStore::from_json(&json).expect("round-trip parses");
+        assert_eq!(copy.len(), store.len());
+        for entry in store.entries() {
+            let stencil = gallery::by_name(&entry.name).expect("gallery entry");
+            let variant = if copy
+                .entry(&stencil, Variant::Base, entry.calibration.imbalance.len())
+                .is_some_and(|e| e.calibration == entry.calibration)
+            {
+                Variant::Base
+            } else {
+                Variant::Saris
+            };
+            let restored = copy
+                .entry(&stencil, variant, entry.calibration.imbalance.len())
+                .expect("entry survives");
+            // Bit-for-bit: rates, extent and confidence all survive.
+            assert_eq!(restored.calibration, entry.calibration, "{}", entry.name);
+            assert_eq!(restored.extent, entry.extent);
+            assert_eq!(restored.confidence, entry.confidence);
+            assert_eq!(restored.observations, entry.observations);
+        }
+        // Imports re-mark non-baked sources as "imported", so exports
+        // are textually stable from the second round trip onwards.
+        let second = copy.to_json();
+        let again = CalibrationStore::from_json(&second).expect("parses");
+        assert_eq!(again.to_json(), second);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for (doc, what) in [
+            ("", "empty"),
+            ("{", "truncated"),
+            ("[]", "not an object"),
+            ("{\"version\": 1}", "missing entries"),
+            ("{\"version\": 1, \"entries\": [{}]}", "missing fields"),
+            (
+                "{\"version\": 1, \"entries\": [{\"name\": \"nope\", \"stencil\": \"x\", \
+                 \"variant\": \"saris\", \"cores\": 8, \"extent\": null, \
+                 \"cycles_per_point\": 1.0, \"fpu_ops_per_point\": 1.0, \
+                 \"flops_per_point\": 1.0, \"imbalance\": [1.0], \"confidence\": 0.5, \
+                 \"observations\": 1, \"source\": \"observed\"}]}",
+                "bad fingerprint and imbalance length",
+            ),
+        ] {
+            assert!(
+                matches!(
+                    CalibrationStore::from_json(doc),
+                    Err(CodegenError::Calibration { .. })
+                ),
+                "{what} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn imported_non_gallery_entries_keep_their_fingerprint() {
+        let doc = "{\"version\": 1, \"entries\": [{\"name\": \"custom\", \
+                   \"stencil\": \"12345\", \"variant\": \"saris\", \"cores\": 8, \
+                   \"extent\": [64, 64, 1], \"cycles_per_point\": 1.5, \
+                   \"fpu_ops_per_point\": 5.0, \"flops_per_point\": 5.0, \
+                   \"imbalance\": [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0], \
+                   \"confidence\": 1.0, \"observations\": 3, \"source\": \"observed\"}]}";
+        let store = CalibrationStore::from_json(doc).expect("parses");
+        assert_eq!(store.len(), 1);
+        let entry = &store.entries()[0];
+        assert_eq!(entry.name, "custom");
+        assert_eq!(entry.source, CalibrationSource::Imported);
+        assert_eq!(entry.observations, 3);
+    }
+}

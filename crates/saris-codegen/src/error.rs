@@ -68,6 +68,12 @@ pub enum CodegenError {
         /// What was inconsistent or missing.
         reason: String,
     },
+    /// A serialized [`CalibrationStore`](crate::CalibrationStore) could
+    /// not be parsed.
+    Calibration {
+        /// What was malformed.
+        reason: String,
+    },
     /// A workload requested verification and the executed output diverged
     /// from the golden reference by more than the requested tolerance.
     VerificationFailed {
@@ -120,6 +126,9 @@ impl fmt::Display for CodegenError {
             }
             CodegenError::InvalidWorkload { reason } => {
                 write!(f, "invalid workload: {reason}")
+            }
+            CodegenError::Calibration { reason } => {
+                write!(f, "invalid calibration data: {reason}")
             }
             CodegenError::VerificationFailed {
                 name,

@@ -48,6 +48,7 @@
 
 pub mod backends;
 pub mod base;
+pub mod calibration;
 pub mod error;
 pub mod map;
 pub mod runtime;
@@ -59,10 +60,13 @@ pub mod walk;
 pub mod workload;
 
 pub use backends::{
-    Backend, BackendRegistry, Calibration, ExecOutcome, ExecRequest, Fidelity, NativeBackend,
-    RooflineBackend, SimBackend,
+    Backend, BackendRegistry, ExecOutcome, ExecRequest, Fidelity, NativeBackend, RooflineBackend,
+    SimBackend,
 };
 pub use base::CompiledCore;
+pub use calibration::{
+    Calibration, CalibrationEntry, CalibrationSource, CalibrationStore, Observation,
+};
 pub use error::CodegenError;
 pub use map::TcdmMap;
 pub use runtime::{compile, BufferRotation, CompiledKernel, RunOptions, Variant};

@@ -24,7 +24,11 @@
 //!   [`NativeBackend`](crate::NativeBackend) ([`Fidelity::Golden`]). A
 //!   spec picks its tier with
 //!   [`Workload::fidelity`](crate::Workload::fidelity); specs that
-//!   don't choose run at the session's default tier.
+//!   don't choose run at the session's default tier, and
+//!   [`Fidelity::Auto`] specs are routed adaptively — answered
+//!   analytically when the session's live
+//!   [`CalibrationStore`] meets their accuracy budget, escalated to the
+//!   cycle tier (which feeds the store back) otherwise.
 //!
 //! # Examples
 //!
@@ -71,6 +75,7 @@ use saris_core::{reference, Extent};
 use snitch_sim::{Cluster, ClusterConfig, RunReport};
 
 use crate::backends::{Backend, BackendRegistry, ExecRequest, Fidelity, SimBackend};
+use crate::calibration::{execution_context, CalibrationStore, Observation};
 use crate::error::CodegenError;
 use crate::runtime::{
     compile, measure_dma_utilization_on, BufferRotation, CompiledKernel, RunOptions,
@@ -217,6 +222,14 @@ pub struct SessionStats {
     /// Of [`runs`](SessionStats::runs), how many the golden-reference
     /// tier answered.
     pub runs_golden: u64,
+    /// [`Fidelity::Auto`] submissions the calibration store answered
+    /// analytically (the accuracy budget was met without simulating).
+    pub auto_answered_analytic: u64,
+    /// [`Fidelity::Auto`] submissions that escalated to the cycle tier —
+    /// because the store's confidence missed the budget, or because the
+    /// workload requested verification. Each escalation feeds the store,
+    /// so identical requests answer analytically afterwards.
+    pub auto_escalated: u64,
     /// Kernels compiled (cache misses).
     pub compiles: u64,
     /// Kernel-cache hits.
@@ -237,6 +250,9 @@ impl SessionStats {
             Fidelity::Analytic => self.runs_analytic += 1,
             Fidelity::Cycles => self.runs_cycles += 1,
             Fidelity::Golden => self.runs_golden += 1,
+            // Backends serve concrete tiers only; Auto resolves to one
+            // of the above before any run is counted.
+            Fidelity::Auto { .. } => {}
         }
     }
 }
@@ -283,6 +299,11 @@ pub struct Session {
     pool: ClusterPool,
     cache: Mutex<KernelCache>,
     stats: Mutex<SessionStats>,
+    /// The analytic backend's live calibration table, when it has one
+    /// (the standard registry's [`RooflineBackend`](crate::RooflineBackend)
+    /// does). Every cycle-tier stencil outcome is fed back into it, and
+    /// [`Fidelity::Auto`] routes on its confidence.
+    calibration: Option<Arc<CalibrationStore>>,
 }
 
 impl Default for Session {
@@ -345,6 +366,7 @@ impl Session {
         default_fidelity: Fidelity,
         config: SessionConfig,
     ) -> Session {
+        let calibration = registry.get(Fidelity::Analytic).calibration_store();
         Session {
             registry,
             default_fidelity,
@@ -355,12 +377,18 @@ impl Session {
                 tick: 0,
             }),
             stats: Mutex::new(SessionStats::default()),
+            calibration,
         }
     }
 
-    /// The name of the backend serving the session's default tier.
+    /// The name of the backend serving the session's default tier
+    /// (`"auto"` when the default is the [`Fidelity::Auto`] routing
+    /// policy, which resolves per submission).
     pub fn backend_name(&self) -> &'static str {
-        self.registry.get(self.default_fidelity).name()
+        match self.default_fidelity {
+            Fidelity::Auto { .. } => "auto",
+            fidelity => self.registry.get(fidelity).name(),
+        }
     }
 
     /// The tier specs run at when they don't request one.
@@ -371,6 +399,17 @@ impl Session {
     /// The backend registry submissions are routed through.
     pub fn registry(&self) -> &BackendRegistry {
         &self.registry
+    }
+
+    /// The live calibration store behind the session's analytic tier,
+    /// when its analytic backend exposes one. This is the table every
+    /// cycle-tier outcome feeds and [`Fidelity::Auto`] routes on —
+    /// export it with
+    /// [`CalibrationStore::to_json`], or share it across sessions by
+    /// building their registries from
+    /// [`RooflineBackend::with_store`](crate::RooflineBackend::with_store).
+    pub fn calibration(&self) -> Option<&Arc<CalibrationStore>> {
+        self.calibration.as_ref()
     }
 
     /// The configured cache/pool bounds.
@@ -608,9 +647,62 @@ impl Session {
             telemetry: WorkloadTelemetry {
                 runs: 1,
                 clusters_reused: u64::from(reused),
+                answered_by: Some(Fidelity::Cycles),
                 ..WorkloadTelemetry::default()
             },
         })
+    }
+
+    /// Resolves the [`Fidelity::Auto`] routing policy for one stencil
+    /// workload: escalate to the cycle tier when the workload verifies
+    /// (verification needs grids) or when the calibration store's
+    /// expected accuracy for the spec — its extent *and* its execution
+    /// context (options + tuning policy) — misses the budget; answer
+    /// analytically otherwise.
+    fn resolve_auto(&self, work: &StencilWork, accuracy_budget: f64) -> Fidelity {
+        if work.verify.is_some() {
+            return Fidelity::Cycles;
+        }
+        let analytic_ok = self.calibration.as_ref().is_some_and(|store| {
+            store.meets_budget(
+                &work.stencil,
+                work.options.variant,
+                work.options.cluster.n_cores,
+                work.extent,
+                execution_context(&work.options, &work.tune),
+                accuracy_budget,
+            )
+        });
+        if analytic_ok {
+            Fidelity::Analytic
+        } else {
+            Fidelity::Cycles
+        }
+    }
+
+    /// Feeds one cycle-tier measurement back into the calibration store
+    /// (the adaptive-fidelity learning half: see
+    /// [`CalibrationStore::observe`]), tagged with the workload's
+    /// execution context so only configuration-identical requests treat
+    /// it as exact.
+    fn feed_calibration(&self, work: &StencilWork, report: &RunReport) {
+        let Some(store) = &self.calibration else {
+            return;
+        };
+        let interior = work.stencil.interior(work.extent).len() as u64;
+        store.observe(
+            &work.stencil,
+            work.options.variant,
+            work.extent,
+            execution_context(&work.options, &work.tune),
+            &Observation {
+                cycles: report.cycles,
+                fpu_ops: report.cores.iter().map(|c| c.fpu.arith).sum(),
+                flops: report.flops(),
+                interior_points: interior,
+                imbalance: report.runtime_imbalance(),
+            },
+        );
     }
 
     fn submit_stencil(
@@ -618,7 +710,18 @@ impl Session {
         spec: &WorkloadSpec,
         work: &StencilWork,
     ) -> Result<Outcome, CodegenError> {
-        let fidelity = work.fidelity.unwrap_or(self.default_fidelity);
+        let requested = work.fidelity.unwrap_or(self.default_fidelity);
+        let (fidelity, auto_requested) = match requested {
+            Fidelity::Auto { accuracy_budget } => (self.resolve_auto(work, accuracy_budget), true),
+            concrete => (concrete, false),
+        };
+        if auto_requested {
+            let mut stats = self.stats.lock().expect("session stats lock");
+            match fidelity {
+                Fidelity::Analytic => stats.auto_answered_analytic += 1,
+                _ => stats.auto_escalated += 1,
+            }
+        }
         let backend = &**self.registry.get(fidelity);
         let stencil = &*work.stencil;
         // Explicit grids are borrowed straight from the spec's `Arc` —
@@ -752,6 +855,18 @@ impl Session {
                 Some(error)
             }
         };
+
+        // The adaptive feedback loop: every cycle-tier measurement — the
+        // winning configuration's first step, after any tuning — flows
+        // back into the calibration store, so the analytic tier's next
+        // answer for this (stencil, variant, cluster shape) reproduces
+        // what the simulator just measured.
+        if fidelity == Fidelity::Cycles {
+            if let Some(report) = reports.first() {
+                self.feed_calibration(work, report);
+            }
+        }
+        tel.answered_by = Some(fidelity);
 
         Ok(Outcome {
             fingerprint: spec.fingerprint(),
@@ -1199,6 +1314,197 @@ mod tests {
             .unwrap();
         let err = Session::analytic().submit(&spec).unwrap_err();
         assert!(matches!(err, CodegenError::InvalidWorkload { .. }), "{err}");
+    }
+
+    #[test]
+    fn cycle_runs_feed_the_calibration_store() {
+        let session = Session::new();
+        let stencil = gallery::jacobi_2d();
+        let extent = Extent::new_2d(16, 16);
+        let store = session.calibration().expect("standard registry").clone();
+        // The baked entry was measured at the paper tile, not 16x16.
+        assert_ne!(
+            store
+                .entry(&stencil, Variant::Saris, 8)
+                .expect("baked")
+                .extent,
+            Some(extent)
+        );
+        let outcome = session.submit(&jacobi_spec()).unwrap();
+        assert_eq!(outcome.telemetry.answered_by, Some(Fidelity::Cycles));
+        let entry = store
+            .entry(&stencil, Variant::Saris, 8)
+            .expect("fed by the run");
+        assert_eq!(entry.extent, Some(extent), "observation replaced the seed");
+        assert_eq!(entry.confidence, crate::calibration::OBSERVED_CONFIDENCE);
+        // The analytic tier now reproduces the measurement exactly.
+        let est = session
+            .submit(
+                &Workload::new(gallery::jacobi_2d())
+                    .extent(extent)
+                    .input_seed(3)
+                    .variant(Variant::Saris)
+                    .fidelity(Fidelity::Analytic)
+                    .freeze()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(
+            est.expect_report().cycles,
+            outcome.expect_report().cycles,
+            "per-point rates reproduce the observed cycle count"
+        );
+    }
+
+    #[test]
+    fn auto_escalates_then_answers_analytically() {
+        let session = Session::new();
+        let auto_spec = || {
+            Workload::new(gallery::jacobi_2d())
+                .extent(Extent::new_2d(16, 16))
+                .input_seed(3)
+                .variant(Variant::Saris)
+                .fidelity(Fidelity::auto())
+                .freeze()
+                .unwrap()
+        };
+        // Cold: the baked gallery entry is for the paper tile, so a
+        // 16x16 request is off-extent and escalates...
+        let first = session.submit(&auto_spec()).unwrap();
+        assert_eq!(first.backend, "sim");
+        assert_eq!(first.telemetry.answered_by, Some(Fidelity::Cycles));
+        assert!(!first.telemetry.estimated);
+        // ...which feeds the store, so the identical spec now answers
+        // analytically, repeatably.
+        for _ in 0..3 {
+            let again = session.submit(&auto_spec()).unwrap();
+            assert_eq!(again.backend, "roofline");
+            assert_eq!(again.telemetry.answered_by, Some(Fidelity::Analytic));
+            assert!(again.telemetry.estimated);
+            assert!(again.grids.is_empty());
+            assert_eq!(
+                again.expect_report().cycles,
+                first.expect_report().cycles,
+                "the analytic answer reproduces the observed measurement"
+            );
+        }
+        let stats = session.stats();
+        assert_eq!(stats.auto_escalated, 1);
+        assert_eq!(stats.auto_answered_analytic, 3);
+        assert_eq!((stats.runs_cycles, stats.runs_analytic), (1, 3));
+    }
+
+    #[test]
+    fn auto_with_verification_always_escalates() {
+        let session = Session::new();
+        let spec = Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(3)
+            .variant(Variant::Saris)
+            .verify(1e-9)
+            .fidelity(Fidelity::auto())
+            .freeze()
+            .expect("Auto + verify is a valid request");
+        for _ in 0..2 {
+            // Even with a warmed store (second iteration) verification
+            // forces the grid-producing cycle tier.
+            let outcome = session.submit(&spec).unwrap();
+            assert_eq!(outcome.backend, "sim");
+            assert_eq!(outcome.telemetry.answered_by, Some(Fidelity::Cycles));
+            assert!(outcome.verify_error.is_some());
+            assert!(!outcome.grids.is_empty());
+        }
+        let stats = session.stats();
+        assert_eq!(stats.auto_escalated, 2);
+        assert_eq!(stats.auto_answered_analytic, 0);
+    }
+
+    #[test]
+    fn auto_budget_zero_needs_an_exact_observation() {
+        let session = Session::new();
+        let spec_with = |budget| {
+            // Tuned, default options: the execution context the baked
+            // gallery table was measured under.
+            Workload::new(gallery::jacobi_2d())
+                .extent(Extent::new_2d(64, 64))
+                .input_seed(3)
+                .variant(Variant::Saris)
+                .tune(crate::tuner::Tune::Auto)
+                .fidelity(Fidelity::Auto {
+                    accuracy_budget: budget,
+                })
+                .freeze()
+                .unwrap()
+        };
+        // The baked paper-tile entry meets the default 5% budget
+        // immediately (no simulation at all)...
+        let default_budget = session
+            .submit(&spec_with(Fidelity::DEFAULT_ACCURACY_BUDGET))
+            .unwrap();
+        assert_eq!(
+            default_budget.telemetry.answered_by,
+            Some(Fidelity::Analytic)
+        );
+        // ...but a zero budget only accepts live observations.
+        let exact = session.submit(&spec_with(0.0)).unwrap();
+        assert_eq!(exact.telemetry.answered_by, Some(Fidelity::Cycles));
+        let exact = session.submit(&spec_with(0.0)).unwrap();
+        assert_eq!(exact.telemetry.answered_by, Some(Fidelity::Analytic));
+    }
+
+    #[test]
+    fn auto_does_not_trust_observations_from_other_configurations() {
+        let session = Session::new();
+        let base = || {
+            Workload::new(gallery::jacobi_2d())
+                .extent(Extent::new_2d(16, 16))
+                .input_seed(3)
+                .variant(Variant::Saris)
+        };
+        // Observe the stencil at a pessimal fixed unroll...
+        let pessimal = base()
+            .unroll(2)
+            .fidelity(Fidelity::Cycles)
+            .freeze()
+            .unwrap();
+        session.submit(&pessimal).unwrap();
+        // ...then ask Auto for the tuned configuration: the store holds
+        // an entry for this (stencil, variant, cores), but its execution
+        // context differs, so trusting it would break the accuracy
+        // budget — the request must escalate and measure for itself.
+        let tuned_auto = || {
+            base()
+                .tune(crate::tuner::Tune::Auto)
+                .fidelity(Fidelity::auto())
+                .freeze()
+                .unwrap()
+        };
+        let first = session.submit(&tuned_auto()).unwrap();
+        assert_eq!(first.telemetry.answered_by, Some(Fidelity::Cycles));
+        assert_eq!(session.stats().auto_escalated, 1);
+        // The escalation re-observed under the tuned context; now the
+        // identical request answers analytically with the *tuned* count.
+        let again = session.submit(&tuned_auto()).unwrap();
+        assert_eq!(again.telemetry.answered_by, Some(Fidelity::Analytic));
+        assert_eq!(
+            again.expect_report().cycles,
+            first.expect_report().cycles,
+            "the analytic answer reproduces the tuned measurement, not the pessimal one"
+        );
+    }
+
+    #[test]
+    fn auto_default_session_routes_unrouted_specs() {
+        let session = Session::with_default_fidelity(Fidelity::auto());
+        assert_eq!(session.backend_name(), "auto");
+        let spec = jacobi_spec();
+        assert_eq!(spec.fidelity(), None);
+        let first = session.submit(&spec).unwrap();
+        assert_eq!(first.telemetry.answered_by, Some(Fidelity::Cycles));
+        let again = session.submit(&spec).unwrap();
+        assert_eq!(again.telemetry.answered_by, Some(Fidelity::Analytic));
+        assert_eq!(session.stats().auto_escalated, 1);
+        assert_eq!(session.stats().auto_answered_analytic, 1);
     }
 
     #[test]

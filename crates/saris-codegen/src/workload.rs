@@ -256,14 +256,24 @@ impl Workload {
 
     /// Requests a specific [`Fidelity`] tier: instant analytic estimates
     /// ([`Fidelity::Analytic`]), cycle-approximate simulation
-    /// ([`Fidelity::Cycles`]), or the golden reference executor
-    /// ([`Fidelity::Golden`]). Specs that don't choose run at the
+    /// ([`Fidelity::Cycles`]), the golden reference executor
+    /// ([`Fidelity::Golden`]), or adaptive routing
+    /// ([`Fidelity::Auto`]). Specs that don't choose run at the
     /// session's default tier. Tuning ([`tune`](Workload::tune)) only
     /// measures on the cycle tier; on codegen-free tiers the policy is
     /// inert and no [`TuningDecision`] is produced. The analytic tier
     /// answers without output grids (and therefore rejects
     /// [`verify`](Workload::verify)); its reports are estimates, flagged
     /// in [`WorkloadTelemetry::estimated`].
+    ///
+    /// [`Fidelity::Auto`] picks the cheapest of the analytic and cycle
+    /// tiers meeting its accuracy budget, based on the answering
+    /// session's live calibration store — combined with
+    /// [`verify`](Workload::verify) it *always* escalates to the cycle
+    /// tier (verification is meaningless without grids), unlike plain
+    /// `Analytic`, which such a combination rejects at freeze. The tier
+    /// that actually answered lands in
+    /// [`WorkloadTelemetry::answered_by`].
     #[must_use]
     pub fn fidelity(mut self, fidelity: Fidelity) -> Workload {
         self.fidelity = Some(fidelity);
@@ -356,11 +366,23 @@ impl Workload {
                 "verification tolerance must be finite and non-negative",
             ));
         }
+        // Verification needs output grids, which the analytic tier never
+        // produces. Three cases: a grid-producing tier verifies, plain
+        // `Analytic` is rejected here, and `Auto` stays valid — the
+        // session resolves it by *forcing* escalation to the cycle tier.
         if self.fidelity == Some(Fidelity::Analytic) && self.verify.is_some() {
             return Err(invalid(
                 "the analytic tier produces estimates without output grids; \
-                 verification needs Fidelity::Cycles or Fidelity::Golden",
+                 verification needs Fidelity::Cycles or Fidelity::Golden \
+                 (or Fidelity::Auto, which escalates verifying workloads)",
             ));
+        }
+        if let Some(Fidelity::Auto { accuracy_budget }) = self.fidelity {
+            if !accuracy_budget.is_finite() || accuracy_budget < 0.0 {
+                return Err(invalid(
+                    "an Auto accuracy budget must be finite and non-negative",
+                ));
+            }
         }
         let rotation = match (self.rotation, self.time_steps) {
             (Some(r), _) => {
@@ -589,6 +611,13 @@ pub struct WorkloadTelemetry {
     /// calibration data, and must not be quoted as simulator
     /// measurements.
     pub estimated: bool,
+    /// The concrete tier that answered this workload. For most specs
+    /// this restates the requested (or session-default) tier; for
+    /// [`Fidelity::Auto`] it records the routing decision —
+    /// [`Fidelity::Analytic`] when the calibration store met the
+    /// accuracy budget, [`Fidelity::Cycles`] when the request escalated.
+    /// DMA probes always answer on the cycle tier.
+    pub answered_by: Option<Fidelity>,
 }
 
 /// The response half of the execution-engine API: everything one
@@ -714,6 +743,16 @@ mod tests {
             base_workload().verify(-1.0),
             // The analytic tier has no grids to verify.
             base_workload().fidelity(Fidelity::Analytic).verify(1e-9),
+            // Auto budgets must be finite and non-negative.
+            base_workload().fidelity(Fidelity::Auto {
+                accuracy_budget: f64::NAN,
+            }),
+            base_workload().fidelity(Fidelity::Auto {
+                accuracy_budget: -0.1,
+            }),
+            base_workload().fidelity(Fidelity::Auto {
+                accuracy_budget: f64::INFINITY,
+            }),
             // Leapfrog rotates two fields; jacobi_2d has one.
             base_workload()
                 .time_steps(2)
@@ -724,6 +763,26 @@ mod tests {
                 Err(CodegenError::InvalidWorkload { .. })
             ));
         }
+    }
+
+    #[test]
+    fn auto_accepts_verification_unlike_analytic() {
+        // The third freeze case: verification on `Auto` is valid (the
+        // session escalates it to a grid-producing tier), while plain
+        // `Analytic` still rejects it.
+        let spec = base_workload()
+            .fidelity(Fidelity::auto())
+            .verify(1e-9)
+            .freeze()
+            .expect("Auto + verify freezes");
+        assert_eq!(spec.fidelity(), Some(Fidelity::auto()));
+        assert!(matches!(
+            base_workload()
+                .fidelity(Fidelity::Analytic)
+                .verify(1e-9)
+                .freeze(),
+            Err(CodegenError::InvalidWorkload { .. })
+        ));
     }
 
     #[test]
@@ -794,6 +853,10 @@ mod tests {
             base_workload().time_steps(2),
             base_workload().verify(1e-9),
             base_workload().fidelity(Fidelity::Analytic),
+            base_workload().fidelity(Fidelity::auto()),
+            base_workload().fidelity(Fidelity::Auto {
+                accuracy_budget: 0.5,
+            }),
         ];
         for (i, wl) in variants.into_iter().enumerate() {
             assert_ne!(

@@ -8,10 +8,15 @@
 //! * a **bounded work queue** feeds a fixed pool of worker threads (one
 //!   pooled cluster each via the session), so bursts queue instead of
 //!   oversubscribing the machine;
-//! * a **fingerprint-keyed LRU response cache** answers repeated specs
-//!   without executing anything — `WorkloadSpec` equality is the cache
-//!   key (its hash *is* the fingerprint), and outcomes are shared behind
-//!   `Arc`s, so a hit costs a map probe and a pointer clone;
+//! * a **fingerprint-keyed, cost-aware response cache** answers repeated
+//!   specs without executing anything — `WorkloadSpec` equality is the
+//!   cache key (its hash *is* the fingerprint), and outcomes are shared
+//!   behind `Arc`s, so a hit costs a map probe and a pointer clone.
+//!   Entries are weighed by their *cost of recompute* (a cycle-tier
+//!   response is ~700x more expensive to regenerate than an analytic
+//!   one — the measured tier gap in `BENCH_serve_throughput.json`), so
+//!   eviction drops cheap-to-recompute responses first instead of going
+//!   by pure recency;
 //! * **single-flight deduplication** coalesces concurrent identical
 //!   specs onto one execution: the first becomes the leader, the rest
 //!   wait on the same in-flight slot and share its `Arc<Outcome>` — a
@@ -63,7 +68,7 @@ use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use saris_codegen::{CodegenError, Outcome, Session, WorkloadSpec};
+use saris_codegen::{CodegenError, Fidelity, Outcome, Session, WorkloadSpec};
 
 /// What a served submission resolves to: a shared outcome, or a shared
 /// execution error.
@@ -158,6 +163,42 @@ pub struct ServeStats {
     /// Executions that failed (errors propagate to every coalesced
     /// waiter and are never cached).
     pub errors: u64,
+    /// Total recompute cost the response cache saved: the sum of the
+    /// cost units of every cache hit — what those requests would have
+    /// paid to re-execute, in analytic-answer units (a cycle-tier run
+    /// counts ~700, the measured tier gap).
+    pub cost_units_saved: u64,
+    /// Executed [`Fidelity::Auto`] requests the session answered
+    /// analytically (the calibration store met the accuracy budget).
+    /// Cache hits on `Auto` specs make no routing decision and count in
+    /// [`cache_hits`](ServeStats::cache_hits) only.
+    pub auto_answered_analytic: u64,
+    /// Executed [`Fidelity::Auto`] requests that escalated to the cycle
+    /// tier (feeding the calibration store for next time).
+    pub auto_escalated: u64,
+}
+
+/// Relative cost of recomputing one cached response, in analytic-answer
+/// units: how much work re-executing the spec would take if the entry
+/// were evicted. The tier weights follow the measured gap in
+/// `BENCH_serve_throughput.json` — tuned cycle-level simulation answers
+/// ~700x slower than the roofline tier, the reference executor sits in
+/// between — scaled by how many kernel executions the workload performed
+/// (tuning candidates, time steps). Deterministic by construction, so
+/// cost-weighted eviction decisions are reproducible.
+fn recompute_cost(outcome: &Outcome) -> f64 {
+    const COST_ANALYTIC: f64 = 1.0;
+    const COST_GOLDEN: f64 = 30.0;
+    const COST_CYCLES: f64 = 700.0;
+    let per_run = match outcome.telemetry.answered_by {
+        Some(Fidelity::Analytic) => COST_ANALYTIC,
+        Some(Fidelity::Golden) => COST_GOLDEN,
+        // Cycle-tier answers and probes (which always simulate); also
+        // the conservative default for custom backends that don't
+        // record a tier.
+        _ => COST_CYCLES,
+    };
+    per_run * outcome.telemetry.runs.max(1) as f64
 }
 
 /// One in-flight execution: coalesced waiters block on `done` until the
@@ -203,10 +244,31 @@ struct Queue {
     closed: bool,
 }
 
-/// The LRU response cache (recency tracked with a logical tick, like
-/// the session's kernel cache).
+/// One cached response with its eviction bookkeeping.
+struct CachedResponse {
+    outcome: Arc<Outcome>,
+    /// Recompute cost in analytic-answer units (see [`recompute_cost`]).
+    cost: f64,
+    /// GreedyDual priority: `floor-at-touch + cost`. Hits refresh it, so
+    /// recency and cost both keep an entry alive.
+    priority: f64,
+    /// Logical touch tick — the LRU tie-breaker among equal priorities
+    /// (with uniform costs the policy degenerates to exactly LRU).
+    last_used: u64,
+}
+
+/// The cost-aware response cache: a GreedyDual policy over recompute
+/// cost. Every insert or hit sets the entry's priority to the current
+/// floor plus its recompute cost; eviction removes the lowest-priority
+/// entry and raises the floor to it. Expensive responses (cycle-tier
+/// simulations) therefore survive ~700x more cache pressure than
+/// analytic estimates, while repeated hits keep any entry fresh.
 struct ResponseCache {
-    entries: HashMap<WorkloadSpec, (Arc<Outcome>, u64)>,
+    entries: HashMap<WorkloadSpec, CachedResponse>,
+    /// The GreedyDual aging floor (the priority of the last eviction):
+    /// rises monotonically, so entries untouched for long eventually
+    /// fall below newly touched ones regardless of cost.
+    floor: f64,
     tick: u64,
 }
 
@@ -224,38 +286,51 @@ struct Shared {
 }
 
 impl Shared {
-    /// Cache lookup, bumping recency. Callers hold the `flights` lock
-    /// (see the invariant on [`Shared::flights`]).
-    fn cache_get(&self, spec: &WorkloadSpec) -> Option<Arc<Outcome>> {
+    /// Cache lookup, refreshing the hit entry's GreedyDual priority and
+    /// recency tick. Returns the shared outcome and the recompute cost
+    /// the hit saved. Callers hold the `flights` lock (see the invariant
+    /// on [`Shared::flights`]).
+    fn cache_get(&self, spec: &WorkloadSpec) -> Option<(Arc<Outcome>, f64)> {
         if self.config.max_cached_responses == 0 {
             return None;
         }
         let mut cache = self.cache.lock().expect("response cache lock");
         cache.tick += 1;
-        let tick = cache.tick;
-        let (outcome, last_used) = cache.entries.get_mut(spec)?;
-        *last_used = tick;
-        Some(Arc::clone(outcome))
+        let (tick, floor) = (cache.tick, cache.floor);
+        let entry = cache.entries.get_mut(spec)?;
+        entry.priority = floor + entry.cost;
+        entry.last_used = tick;
+        Some((Arc::clone(&entry.outcome), entry.cost))
     }
 
-    /// Inserts a response. O(1) — callers hold the `flights` lock, so
-    /// eviction (an O(capacity) scan) is deferred to
-    /// [`Shared::cache_evict`], which runs after that lock is released.
+    /// Inserts a response at `floor + recompute_cost` priority. O(1) —
+    /// callers hold the `flights` lock, so eviction (an O(capacity)
+    /// scan) is deferred to [`Shared::cache_evict`], which runs after
+    /// that lock is released.
     fn cache_put(&self, spec: &WorkloadSpec, outcome: &Arc<Outcome>) {
         if self.config.max_cached_responses == 0 {
             return;
         }
+        let cost = recompute_cost(outcome);
         let mut cache = self.cache.lock().expect("response cache lock");
         cache.tick += 1;
-        let tick = cache.tick;
-        cache
-            .entries
-            .insert(spec.clone(), (Arc::clone(outcome), tick));
+        let (tick, floor) = (cache.tick, cache.floor);
+        cache.entries.insert(
+            spec.clone(),
+            CachedResponse {
+                outcome: Arc::clone(outcome),
+                cost,
+                priority: floor + cost,
+                last_used: tick,
+            },
+        );
     }
 
-    /// Evicts least-recently-used responses beyond the bound. Returns
+    /// Evicts the lowest-priority responses beyond the bound —
+    /// cheapest-to-recompute first, least-recently-used among equals —
+    /// raising the GreedyDual floor to each evicted priority. Returns
     /// the evictions performed. Takes only the cache lock, so the
-    /// O(capacity) LRU scan never serializes submissions behind the
+    /// O(capacity) scan never serializes submissions behind the
     /// `flights` lock.
     fn cache_evict(&self) -> u64 {
         if self.config.max_cached_responses == 0 {
@@ -264,13 +339,18 @@ impl Shared {
         let mut cache = self.cache.lock().expect("response cache lock");
         let mut evicted = 0;
         while cache.entries.len() > self.config.max_cached_responses {
-            let lru = cache
+            let victim = cache
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| k.clone())
+                .min_by(|(_, a), (_, b)| {
+                    a.priority
+                        .total_cmp(&b.priority)
+                        .then(a.last_used.cmp(&b.last_used))
+                })
+                .map(|(k, e)| (k.clone(), e.priority))
                 .expect("cache is non-empty");
-            cache.entries.remove(&lru);
+            cache.entries.remove(&victim.0);
+            cache.floor = cache.floor.max(victim.1);
             evicted += 1;
         }
         evicted
@@ -284,10 +364,11 @@ impl Shared {
         // removing the flight (also under this lock), so a spec is
         // always visible as cached, in flight, or genuinely new.
         let mut flights = self.flights.lock().expect("flights lock");
-        if let Some(outcome) = self.cache_get(spec) {
+        if let Some((outcome, cost)) = self.cache_get(spec) {
             let mut stats = self.stats.lock().expect("serve stats lock");
             stats.requests += 1;
             stats.cache_hits += 1;
+            stats.cost_units_saved += cost as u64;
             return Wait::Ready(Ok(outcome));
         }
         if let Some(flight) = flights.get(spec) {
@@ -343,22 +424,46 @@ impl Shared {
         {
             // Same lock order as `begin`: cache insertion happens before
             // the flight disappears, so late duplicates can never slip
-            // between "not in flight" and "not yet cached".
+            // between "not in flight" and "not yet cached". The
+            // `executed`/`errors` counters are booked inside the same
+            // critical section — before the response becomes hittable —
+            // so a snapshot can never observe a cache hit whose
+            // execution is not yet counted (the counter race the old
+            // after-the-fact accounting allowed).
             let mut flights = self.flights.lock().expect("flights lock");
             if let Ok(outcome) = &result {
                 self.cache_put(&job.spec, outcome);
             }
+            {
+                // A spec is Auto-routed when it requests Auto itself, or
+                // when it requests nothing and the session's default
+                // tier is Auto (probes never route).
+                let auto_routed = !job.spec.is_probe()
+                    && matches!(
+                        job.spec
+                            .fidelity()
+                            .unwrap_or_else(|| self.session.default_fidelity()),
+                        Fidelity::Auto { .. }
+                    );
+                let mut stats = self.stats.lock().expect("serve stats lock");
+                stats.executed += 1;
+                stats.errors += u64::from(result.is_err());
+                if let (true, Ok(outcome)) = (auto_routed, &result) {
+                    match outcome.telemetry.answered_by {
+                        Some(Fidelity::Analytic) => stats.auto_answered_analytic += 1,
+                        _ => stats.auto_escalated += 1,
+                    }
+                }
+            }
             flights.remove(&job.spec);
         }
-        // The LRU bound is enforced outside the flights lock: over-cap
+        // The cache bound is enforced outside the flights lock: over-cap
         // entries linger only until here, and dropping them late never
         // produces a wrong answer (a hit on an over-cap entry is still a
         // valid response).
         let evicted = self.cache_evict();
-        {
+        if evicted > 0 {
             let mut stats = self.stats.lock().expect("serve stats lock");
-            stats.executed += 1;
-            stats.errors += u64::from(result.is_err());
             stats.cache_evictions += evicted;
         }
         job.flight.complete(result);
@@ -444,6 +549,7 @@ impl Server {
             flights: Mutex::new(HashMap::new()),
             cache: Mutex::new(ResponseCache {
                 entries: HashMap::new(),
+                floor: 0.0,
                 tick: 0,
             }),
             stats: Mutex::new(ServeStats::default()),

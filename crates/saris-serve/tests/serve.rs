@@ -128,6 +128,161 @@ fn deep_bursts_survive_a_tiny_queue() {
     assert!(server.stats().cache_evictions >= 4);
 }
 
+fn estimate_spec(seed: u64) -> WorkloadSpec {
+    Workload::new(gallery::jacobi_2d())
+        .extent(Extent::new_2d(16, 16))
+        .input_seed(seed)
+        .fidelity(Fidelity::Analytic)
+        .freeze()
+        .unwrap()
+}
+
+/// Cost-weighted eviction: under cache pressure from cheap analytic
+/// responses, the expensive cycle-tier response survives even though it
+/// is the *oldest* entry — pure LRU would evict it first.
+#[test]
+fn eviction_prefers_cheap_to_recompute_responses() {
+    let server = Server::with_config(ServeConfig {
+        workers: 1,
+        max_cached_responses: 2,
+        ..ServeConfig::default()
+    });
+    let expensive = spec(1); // cycle tier: ~700 cost units
+    server.submit(&expensive).unwrap();
+    // Flood the cache with cheap analytic entries (1 cost unit each).
+    for seed in 0..4 {
+        server.submit(&estimate_spec(seed)).unwrap();
+    }
+    assert_eq!(server.cached_responses(), 2);
+    assert_eq!(server.stats().cache_evictions, 3);
+    // The cycle-tier entry is still cached: a repeat is a hit, not a
+    // re-execution.
+    let executed = server.stats().executed;
+    server.submit(&expensive).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.executed, executed, "expensive entry survived");
+    assert!(stats.cost_units_saved >= 700);
+    // The evicted analytic entries re-execute on repeat.
+    server.submit(&estimate_spec(0)).unwrap();
+    assert_eq!(server.stats().executed, executed + 1);
+}
+
+/// Hits refresh an entry's standing: among equal-cost entries the
+/// policy is exactly LRU, so a recently hit entry outlives an older
+/// untouched one (the recency half of the cost-aware policy).
+#[test]
+fn cache_hits_refresh_recency_under_cost_weighting() {
+    let server = Server::with_config(ServeConfig {
+        workers: 1,
+        max_cached_responses: 2,
+        ..ServeConfig::default()
+    });
+    server.submit(&spec(1)).unwrap();
+    server.submit(&spec(2)).unwrap();
+    server.submit(&spec(1)).unwrap(); // hit: refreshes spec(1)
+    server.submit(&spec(3)).unwrap(); // evicts spec(2), the stale one
+    let executed = server.stats().executed;
+    server.submit(&spec(1)).unwrap(); // still cached
+    assert_eq!(server.stats().executed, executed);
+    server.submit(&spec(2)).unwrap(); // re-executes
+    assert_eq!(server.stats().executed, executed + 1);
+}
+
+/// Regression for the executed-counter race: a cache hit must never be
+/// observable while the execution that filled the cache is still
+/// uncounted. Snapshots taken while submitters hammer one spec must
+/// always satisfy `cache_hits > 0 => executed >= 1` and conservation of
+/// requests.
+#[test]
+fn stats_snapshots_never_show_hits_before_executions() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let server = Server::with_config(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = &server;
+        let done = &done;
+        let watcher = scope.spawn(move || {
+            let mut saw_hits = false;
+            while !done.load(Ordering::Acquire) {
+                let stats = server.stats();
+                assert!(
+                    stats.cache_hits == 0 || stats.executed >= 1,
+                    "observed a cache hit before its execution was counted: {stats:?}"
+                );
+                assert_eq!(
+                    stats.requests,
+                    stats.cache_hits + stats.cache_misses + stats.coalesced,
+                    "request conservation violated: {stats:?}"
+                );
+                saw_hits |= stats.cache_hits > 0;
+                std::thread::yield_now();
+            }
+            saw_hits
+        });
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    server.submit(&spec(9)).expect("spec runs");
+                }
+            });
+        }
+        // Submitters finish first (scope joins them after this block
+        // returns), then stop the watcher via the flag below once the
+        // last handle we spawned here is done; easiest is to join
+        // through a dedicated closing thread.
+        let closer = scope.spawn(move || {
+            // Wait until all 32 submissions are visible, then stop.
+            while server.stats().requests < 32 {
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+        closer.join().unwrap();
+        assert!(watcher.join().unwrap(), "the stress run produced hits");
+    });
+}
+
+/// Adaptive serving: `Fidelity::Auto` requests escalate exactly once
+/// per unique workload shape, then the warmed calibration store answers
+/// new (differently seeded) requests analytically — the serve-level
+/// counters record the split.
+#[test]
+fn auto_requests_warm_the_store_through_the_server() {
+    let server = Server::with_config(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let auto_spec = |seed: u64| {
+        Workload::new(gallery::jacobi_2d())
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(seed)
+            .fidelity(Fidelity::auto())
+            .freeze()
+            .unwrap()
+    };
+    let first = server.submit(&auto_spec(1)).unwrap();
+    assert_eq!(first.telemetry.answered_by, Some(Fidelity::Cycles));
+    // Different seeds are different specs (no response-cache hit), but
+    // the same calibration key: all answered analytically now.
+    for seed in 2..6 {
+        let outcome = server.submit(&auto_spec(seed)).unwrap();
+        assert_eq!(outcome.telemetry.answered_by, Some(Fidelity::Analytic));
+        assert!(outcome.telemetry.estimated);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.auto_escalated, 1);
+    assert_eq!(stats.auto_answered_analytic, 4);
+    assert_eq!(stats.cache_hits, 0, "every request was a distinct spec");
+    // A response-cache hit on an Auto spec is a hit, not a new decision.
+    server.submit(&auto_spec(1)).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.auto_escalated, 1);
+}
+
 /// Mixed-fidelity serving: estimate-class requests ride the analytic
 /// tier through the same cache, flagged as estimates, and never touch
 /// the compiler.

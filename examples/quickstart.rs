@@ -1,6 +1,7 @@
 //! Quickstart: the three fidelity tiers through the serving layer —
 //! an instant analytic estimate, cycle-accurate measurements of both
-//! variants, and a golden-reference verification, all answered by one
+//! variants, a golden-reference verification, and the adaptive
+//! `Fidelity::Auto` learn-then-answer loop, all answered by one
 //! [`Server`].
 //!
 //! ```sh
@@ -90,21 +91,45 @@ fn main() -> Result<(), saris::serve::ServeError> {
         efficiency_gain(&pb, &ps)
     );
 
+    // --- Adaptive fidelity: `Auto` answers from the cheapest tier that
+    // meets its accuracy budget. The tuned cycle-tier measurements above
+    // already fed the server's live calibration store, so a new tuned
+    // Auto request for this shape (different inputs!) is answered
+    // analytically — no simulation, telemetry says which tier answered.
+    let auto = server.submit(
+        &workload(Variant::Saris)
+            .input_seed(7)
+            .tune(Tune::Auto)
+            .fidelity(Fidelity::auto())
+            .freeze()
+            .expect("valid workload"),
+    )?;
+    println!(
+        "\nauto request answered by the {} tier (estimated: {})",
+        auto.telemetry
+            .answered_by
+            .expect("stencil outcomes record it"),
+        auto.telemetry.estimated
+    );
+
     // A repeated request is a response-cache hit: same Arc, no work.
     let cached = measure(Variant::Saris)?;
     assert!(std::sync::Arc::ptr_eq(&saris, &cached));
     let serve = server.stats();
     let engine = server.session().stats();
     println!(
-        "serve: {} requests, {} cache hits, {} executed; engine: {} runs \
-         [{} analytic / {} cycles / {} golden], {} kernels compiled",
+        "serve: {} requests, {} cache hits, {} executed, {} recompute cost \
+         units saved; engine: {} runs [{} analytic / {} cycles / {} golden], \
+         {} auto answered analytically, {} kernels compiled",
         serve.requests,
         serve.cache_hits,
         serve.executed,
+        serve.cost_units_saved,
         engine.runs,
         engine.runs_analytic,
         engine.runs_cycles,
         engine.runs_golden,
+        engine.auto_answered_analytic,
         engine.compiles
     );
     Ok(())

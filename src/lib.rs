@@ -86,6 +86,69 @@
 //! # }
 //! ```
 //!
+//! # Adaptive fidelity: `Fidelity::Auto` and the live calibration loop
+//!
+//! The analytic tier answers from a shared, *mutable*
+//! [`CalibrationStore`](codegen::CalibrationStore): every cycle-tier
+//! outcome a session produces feeds the store back (observed cycles,
+//! FPU activity, per-core imbalance, reduced to per-point rates), so a
+//! long-running engine sharpens its own estimates for the stencils it
+//! actually serves — the paper's measure-then-extrapolate methodology
+//! run continuously.
+//!
+//! [`Fidelity::Auto`](codegen::Fidelity::Auto) turns that loop into a
+//! routing policy: submit at `Auto { accuracy_budget }` and the session
+//! answers analytically when the store's expected error for the spec is
+//! within the budget, and otherwise escalates to the cycle tier once —
+//! recording the measurement so the *next* identical request is
+//! answered analytically. Learn once, answer instantly thereafter:
+//!
+//! ```
+//! use saris::prelude::*;
+//!
+//! # fn main() -> Result<(), saris::codegen::CodegenError> {
+//! let session = Session::new();
+//! let auto = Workload::new(gallery::jacobi_2d())
+//!     .extent(Extent::new_2d(16, 16))
+//!     .input_seed(1)
+//!     .variant(Variant::Saris)
+//!     .fidelity(Fidelity::auto()) // Auto { accuracy_budget: 0.05 }
+//!     .freeze()?;
+//!
+//! // Cold: the store has no measurement at this tile, so the request
+//! // escalates to the simulator — and teaches the store.
+//! let first = session.submit(&auto)?;
+//! assert_eq!(first.telemetry.answered_by, Some(Fidelity::Cycles));
+//!
+//! // Warm: the same request is now answered analytically, reproducing
+//! // the observed cycle count, flagged as an estimate.
+//! let again = session.submit(&auto)?;
+//! assert_eq!(again.telemetry.answered_by, Some(Fidelity::Analytic));
+//! assert!(again.telemetry.estimated);
+//! assert_eq!(
+//!     again.expect_report().cycles,
+//!     first.expect_report().cycles,
+//! );
+//! assert_eq!(session.stats().auto_escalated, 1);
+//! assert_eq!(session.stats().auto_answered_analytic, 1);
+//!
+//! // The store itself is first-class: export it, import it into the
+//! // next deployment, and start warm.
+//! let json = session.calibration().expect("standard registry").to_json();
+//! let warm_start = saris::codegen::CalibrationStore::from_json(&json)?;
+//! assert_eq!(warm_start.len(), session.calibration().unwrap().len());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Workloads that request verification always escalate under `Auto`
+//! (verification needs grids), and the serving layer accounts the
+//! decisions ([`ServeStats`](serve::ServeStats)
+//! `auto_answered_analytic` / `auto_escalated`) while weighing its
+//! response-cache eviction by each entry's cost of recompute — a
+//! cycle-tier response is ~700x more expensive to regenerate than an
+//! analytic one, and survives cache pressure accordingly.
+//!
 //! # The execution engine: `Session`, workloads, backends
 //!
 //! A [`Session`](codegen::Session) is the reusable execution engine
@@ -186,10 +249,10 @@ pub use snitch_sim as sim;
 /// The most commonly used items, re-exported for `use saris::prelude::*`.
 pub mod prelude {
     pub use saris_codegen::{
-        compile, Backend, BackendRegistry, BufferRotation, CodegenError, Fidelity, InputSpec,
-        NativeBackend, Outcome, RooflineBackend, RunOptions, Session, SessionConfig, SessionStats,
-        SimBackend, Tune, TuningDecision, Variant, Workload, WorkloadSpec, WorkloadTelemetry,
-        DEFAULT_CANDIDATES,
+        compile, Backend, BackendRegistry, BufferRotation, Calibration, CalibrationStore,
+        CodegenError, Fidelity, InputSpec, NativeBackend, Outcome, RooflineBackend, RunOptions,
+        Session, SessionConfig, SessionStats, SimBackend, Tune, TuningDecision, Variant, Workload,
+        WorkloadSpec, WorkloadTelemetry, DEFAULT_CANDIDATES,
     };
     pub use saris_core::{
         gallery, reference, ArenaLayout, Extent, Grid, Halo, InterleavePlan, Offset, Point,

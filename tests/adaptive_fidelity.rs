@@ -1,0 +1,260 @@
+//! The adaptive-fidelity acceptance properties: the cycle-tier feedback
+//! loop sharpens analytic estimates below the `Fidelity::Auto` accuracy
+//! budget after a single observation, subsequent `Auto` submissions are
+//! answered analytically at a fraction of the cycle-tier latency with
+//! the memory-/compute-bound classification preserved, mixed-tier
+//! batches account consistently, routing is deterministic, and a
+//! calibration export/import round trip reproduces estimates
+//! bit-for-bit.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use saris::prelude::*;
+use saris_bench::{custom_stencil_family, scaleout_from, CodeResult, PAPER_SEED};
+use saris_codegen::CalibrationStore;
+
+const BUDGET: f64 = 0.05;
+
+fn custom_stencil() -> Arc<Stencil> {
+    Arc::new(custom_stencil_family(1).remove(0))
+}
+
+fn spec_for(stencil: &Arc<Stencil>, fidelity: Option<Fidelity>) -> WorkloadSpec {
+    let wl = Workload::new(Arc::clone(stencil))
+        .extent(Extent::new_2d(64, 64))
+        .input_seed(PAPER_SEED)
+        .variant(Variant::Saris)
+        .tune(Tune::Auto);
+    match fidelity {
+        Some(f) => wl.fidelity(f),
+        None => wl,
+    }
+    .freeze()
+    .expect("valid spec")
+}
+
+/// The pinned feedback-loop property: for a non-gallery stencil, one
+/// cycle-tier observation shrinks the analytic estimate's cycle-count
+/// error versus tuned simulation from the first-principles fallback
+/// error to below the `Auto` accuracy budget; subsequent `Auto`
+/// submissions are answered analytically (flagged as estimates, counted
+/// in `auto_answered_analytic`) at >= 100x the cycle-tier latency, with
+/// the memory-/compute-bound classification unchanged.
+#[test]
+fn one_observation_shrinks_estimates_below_the_auto_budget() {
+    let session = Session::new();
+    let stencil = custom_stencil();
+    let auto_spec = spec_for(
+        &stencil,
+        Some(Fidelity::Auto {
+            accuracy_budget: BUDGET,
+        }),
+    );
+    let analytic_spec = spec_for(&stencil, Some(Fidelity::Analytic));
+
+    // Before any observation: the estimate is the first-principles
+    // fallback (the store has never seen this stencil).
+    let est_before = session.submit(&analytic_spec).expect("estimate runs");
+    assert!(est_before.telemetry.estimated);
+
+    // First Auto submission: the store cannot meet the budget, so it
+    // escalates to tuned cycle-level simulation and learns from it.
+    let start = Instant::now();
+    let measured = session.submit(&auto_spec).expect("escalated run");
+    let cycle_wall = start.elapsed();
+    assert_eq!(measured.backend, "sim");
+    assert_eq!(measured.telemetry.answered_by, Some(Fidelity::Cycles));
+    assert!(!measured.telemetry.estimated);
+    assert!(
+        measured.tuning.is_some(),
+        "escalation runs the tuned paper flow"
+    );
+    assert_eq!(session.stats().auto_escalated, 1);
+
+    // The single observation shrinks the estimate error below the
+    // budget (and strictly below the fallback's error).
+    let sim_cycles = measured.expect_report().cycles as f64;
+    let err_of =
+        |outcome: &Outcome| (outcome.expect_report().cycles as f64 - sim_cycles).abs() / sim_cycles;
+    let est_after = session.submit(&analytic_spec).expect("estimate runs");
+    assert!(
+        err_of(&est_after) <= BUDGET,
+        "post-observation error {} exceeds the budget {BUDGET}",
+        err_of(&est_after)
+    );
+    assert!(
+        err_of(&est_after) < err_of(&est_before),
+        "error must shrink: before {} vs after {}",
+        err_of(&est_before),
+        err_of(&est_after)
+    );
+
+    // Subsequent Auto submissions answer analytically...
+    const REPEATS: u32 = 20;
+    let start = Instant::now();
+    for _ in 0..REPEATS {
+        let answered = session.submit(&auto_spec).expect("analytic answer");
+        assert_eq!(answered.backend, "roofline");
+        assert_eq!(answered.telemetry.answered_by, Some(Fidelity::Analytic));
+        assert!(answered.telemetry.estimated, "telemetry flags the estimate");
+        assert_eq!(
+            answered.expect_report().cycles,
+            measured.expect_report().cycles,
+            "the warmed estimate reproduces the observation"
+        );
+    }
+    let analytic_wall = start.elapsed() / REPEATS;
+    assert_eq!(session.stats().auto_answered_analytic, u64::from(REPEATS));
+    // ...at a small fraction of the cycle-tier latency.
+    assert!(
+        cycle_wall >= analytic_wall * 100,
+        "cycle tier {cycle_wall:?} vs analytic {analytic_wall:?}: less than 100x apart"
+    );
+
+    // And the scaleout classification the estimate implies matches the
+    // measurement's.
+    let probe = Workload::dma_probe(Extent::new_2d(64, 64))
+        .freeze()
+        .expect("valid probe");
+    let dma_util = session
+        .submit(&probe)
+        .expect("probe runs")
+        .dma_utilization
+        .expect("probes measure");
+    let result = CodeResult {
+        tile: Extent::new_2d(64, 64),
+        stencil: Arc::clone(&stencil),
+        base: measured.clone(),
+        saris: measured.clone(),
+    };
+    let warmed_est = session.submit(&auto_spec).expect("analytic answer");
+    assert_eq!(
+        scaleout_from(&result, &measured, dma_util).memory_bound,
+        scaleout_from(&result, &warmed_est, dma_util).memory_bound,
+        "classification must survive the analytic answer"
+    );
+}
+
+/// Mixed-tier batches: per-tier `SessionStats` counters sum to the
+/// total runs, and the Auto decision split is fully accounted.
+#[test]
+fn mixed_tier_batches_account_per_tier() {
+    let session = Session::new();
+    let stencil = Arc::new(gallery::jacobi_2d());
+    let spec_at = |seed: u64, fidelity: Option<Fidelity>| {
+        let wl = Workload::new(Arc::clone(&stencil))
+            .extent(Extent::new_2d(16, 16))
+            .input_seed(seed)
+            .variant(Variant::Saris);
+        match fidelity {
+            Some(f) => wl.fidelity(f),
+            None => wl,
+        }
+        .freeze()
+        .expect("valid spec")
+    };
+    let specs = vec![
+        spec_at(1, Some(Fidelity::Analytic)),
+        spec_at(2, Some(Fidelity::Analytic)),
+        spec_at(3, Some(Fidelity::Cycles)),
+        spec_at(4, Some(Fidelity::Cycles)),
+        spec_at(5, Some(Fidelity::Golden)),
+        spec_at(6, Some(Fidelity::auto())),
+        spec_at(7, Some(Fidelity::auto())),
+        spec_at(8, None), // session default: Cycles
+    ];
+    let results = session.submit_all(&specs);
+    assert_eq!(results.len(), specs.len());
+    for (spec, result) in specs.iter().zip(&results) {
+        let outcome = result.as_ref().expect("spec runs");
+        assert_eq!(outcome.fingerprint, spec.fingerprint());
+        assert!(outcome.telemetry.answered_by.is_some());
+    }
+    let stats = session.stats();
+    // Every run is attributed to exactly one concrete tier.
+    assert_eq!(
+        stats.runs,
+        stats.runs_analytic + stats.runs_cycles + stats.runs_golden,
+        "{stats:?}"
+    );
+    assert_eq!(stats.runs, specs.len() as u64);
+    assert_eq!(stats.runs_golden, 1);
+    assert!(stats.runs_analytic >= 2, "{stats:?}");
+    // Both Auto submissions made exactly one decision each (the split
+    // between them may depend on batch interleaving — escalations feed
+    // the store concurrently — but the accounting never loses one).
+    assert_eq!(stats.auto_escalated + stats.auto_answered_analytic, 2);
+}
+
+/// Auto routing is deterministic: identical spec sequences submitted
+/// sequentially to fresh sessions produce identical decisions, reports
+/// and counters.
+#[test]
+fn auto_decisions_are_deterministic_for_identical_specs() {
+    let stencil = custom_stencil();
+    let run_sequence = || {
+        let session = Session::new();
+        let spec = spec_for(
+            &stencil,
+            Some(Fidelity::Auto {
+                accuracy_budget: BUDGET,
+            }),
+        );
+        let outcomes: Vec<Outcome> = (0..4)
+            .map(|_| session.submit(&spec).expect("spec runs"))
+            .collect();
+        let stats = session.stats();
+        (
+            outcomes
+                .iter()
+                .map(|o| (o.backend, o.telemetry.answered_by, o.reports.clone()))
+                .collect::<Vec<_>>(),
+            (stats.auto_escalated, stats.auto_answered_analytic),
+        )
+    };
+    let (first, first_counters) = run_sequence();
+    let (second, second_counters) = run_sequence();
+    assert_eq!(first, second, "identical sequences must route identically");
+    assert_eq!(first_counters, second_counters);
+    assert_eq!(first_counters, (1, 3));
+    assert_eq!(first[0].1, Some(Fidelity::Cycles));
+    assert!(first[1..]
+        .iter()
+        .all(|(_, tier, _)| *tier == Some(Fidelity::Analytic)));
+}
+
+/// A calibration round trip — export a live store to JSON, import it
+/// into a fresh store — reproduces identical analytic estimates
+/// bit-for-bit, custom stencils included.
+#[test]
+fn calibration_round_trip_reproduces_estimates_bit_for_bit() {
+    let session = Session::new();
+    let stencils: Vec<Arc<Stencil>> = custom_stencil_family(3).into_iter().map(Arc::new).collect();
+    // Teach the live store: one tuned cycle-tier run per stencil.
+    for stencil in &stencils {
+        session.submit(&spec_for(stencil, None)).expect("cycle run");
+    }
+    let exported = session
+        .calibration()
+        .expect("standard registry has a store")
+        .to_json();
+
+    // A fresh session whose analytic tier answers from the imported copy.
+    let imported = Arc::new(CalibrationStore::from_json(&exported).expect("import parses"));
+    let mut registry = BackendRegistry::standard();
+    registry.register(Arc::new(saris_codegen::RooflineBackend::with_store(
+        imported,
+    )));
+    let restored = Session::with_registry(registry, Fidelity::Cycles, SessionConfig::default());
+
+    for stencil in &stencils {
+        let spec = spec_for(stencil, Some(Fidelity::Analytic));
+        let original = session.submit(&spec).expect("estimate runs");
+        let roundtrip = restored.submit(&spec).expect("estimate runs");
+        // Bit-for-bit: the synthesized reports (cycles, per-core FPU
+        // activity, imbalance-scaled halt times) are identical.
+        assert_eq!(original.reports, roundtrip.reports, "{}", stencil.name());
+        assert_eq!(original.backend, roundtrip.backend);
+    }
+}
