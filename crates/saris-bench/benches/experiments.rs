@@ -119,8 +119,7 @@ fn bench_reference() {
     let tile = Extent::cube(Space::Dim3, 12);
     let input = Grid::pseudo_random(tile, 9);
     bench("reference", "apply_box3d1r_12c", 20, || {
-        let mut refs = vec![&input];
-        saris_core::reference::apply_to_new(&stencil, &mut refs, tile)
+        saris_core::reference::apply_to_new(&stencil, &[&input], tile)
     });
 }
 

@@ -26,11 +26,25 @@
 //!    Reports the cold/warmed requests-per-second split, the serve-level
 //!    `auto_*` counters, and whether every warmed estimate landed within
 //!    the accuracy budget of its cold measurement.
+//! 4. **Golden sweep** (`--golden-sweep`) — gallery-wide
+//!    `Fidelity::Golden` throughput: the same requests answered by the
+//!    pre-batch golden tier (the scalar reference executor, one spec at
+//!    a time) versus `Session::submit_all` through the batched
+//!    data-parallel path (`NativeBackend::execute_batch`: SIMD row
+//!    sweeps, arena-pooled grids, worker-pool fan-out), with every
+//!    batched output grid checked bit-identical to the scalar oracle's.
 //!
-//! Usage: `serve_throughput [--subset] [--adaptive] [--out PATH]
-//! [--export-calibration PATH] [--import-calibration PATH]`
+//! Usage: `serve_throughput [--subset] [--adaptive] [--golden-sweep]
+//! [--baseline PATH] [--out PATH] [--export-calibration PATH]
+//! [--import-calibration PATH]`
 //!
 //! `--subset` shrinks the experiments to a CI-sized configuration.
+//! `--baseline PATH` reads a previously committed artifact and fails the
+//! run (exit 1, after writing the fresh artifact) when the golden-sweep
+//! speedup regresses more than 20% below the committed value — the CI
+//! regression gate. When a `--subset` run is gated against a committed
+//! full-gallery artifact (the code counts differ), the gate takes an
+//! extra 20% of slack for the structurally slower subset mix.
 //! `--export-calibration PATH` re-measures the gallery calibration on
 //! the cycle tier (tuned paper workloads; the session's feedback loop
 //! fills its store) and writes the store's JSON to PATH — the same
@@ -51,7 +65,7 @@ use saris_codegen::{
     BackendRegistry, CalibrationStore, Fidelity, RooflineBackend, Session, SessionConfig, Variant,
     Workload, WorkloadSpec,
 };
-use saris_core::{gallery, Extent, Stencil};
+use saris_core::{gallery, reference, Extent, Grid, Stencil};
 use saris_serve::{ServeConfig, Server};
 
 /// The codes the duplication sweep draws its unique specs from: cheap
@@ -431,6 +445,156 @@ fn run_adaptive(n_stencils: usize, store: &Arc<CalibrationStore>) -> AdaptiveRes
     }
 }
 
+struct GoldenResult {
+    requests: usize,
+    codes: usize,
+    scalar_wall: f64,
+    batched_wall: f64,
+    bit_identical: bool,
+}
+
+impl GoldenResult {
+    fn scalar_rps(&self) -> f64 {
+        self.requests as f64 / self.scalar_wall
+    }
+
+    fn batched_rps(&self) -> f64 {
+        self.requests as f64 / self.batched_wall
+    }
+
+    fn speedup(&self) -> f64 {
+        self.batched_rps() / self.scalar_rps()
+    }
+}
+
+/// The golden-sweep scenario: `repeats` differently seeded
+/// `Fidelity::Golden` requests per gallery code at the paper tiles, with
+/// explicit input grids so the scalar baseline executes byte-identical
+/// work. The baseline is the pre-batch golden tier — the scalar
+/// reference executor, one point and one spec at a time; the measured
+/// path is `Session::submit_all`, which batches the whole sweep through
+/// `NativeBackend::execute_batch`. Every batched output grid is compared
+/// bit-for-bit against the scalar oracle's.
+fn run_golden_sweep(codes: &[&str], repeats: usize) -> GoldenResult {
+    let mut entries: Vec<(Arc<Stencil>, Extent, Arc<Vec<Grid>>)> = Vec::new();
+    for (ci, name) in codes.iter().enumerate() {
+        let stencil = Arc::new(gallery::by_name(name).expect("gallery code"));
+        let tile = paper_tile(&stencil);
+        for r in 0..repeats {
+            let inputs: Vec<Grid> = stencil
+                .input_arrays()
+                .enumerate()
+                .map(|(k, _)| {
+                    Grid::pseudo_random(tile, PAPER_SEED + ((ci * repeats + r) * 31 + k) as u64)
+                })
+                .collect();
+            entries.push((Arc::clone(&stencil), tile, Arc::new(inputs)));
+        }
+    }
+
+    let specs: Vec<WorkloadSpec> = entries
+        .iter()
+        .map(|(stencil, tile, inputs)| {
+            Workload::new(Arc::clone(stencil))
+                .extent(*tile)
+                .shared_inputs(Arc::clone(inputs))
+                .fidelity(Fidelity::Golden)
+                .freeze()
+                .expect("golden sweep specs are valid")
+        })
+        .collect();
+    let session = Session::native();
+
+    // One untimed warm-up pass of each path: first-touch page faults,
+    // allocator growth and thread-pool spin-up land here, so the timed
+    // passes below compare steady-state executors — the regime the
+    // serving layer actually runs in — instead of cold allocators. This
+    // matters most for the CI-sized subset, where a handful of requests
+    // cannot amortize one-time costs.
+    for (stencil, tile, inputs) in &entries {
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        std::hint::black_box(reference::apply_scalar_to_new(stencil, &refs, *tile));
+    }
+    std::hint::black_box(session.submit_all(&specs));
+
+    // Best-of-five timed passes per path (minimum wall): the sweep is
+    // short enough that a single scheduler preemption would dominate one
+    // pass, and the minimum is the standard noise-resistant estimator
+    // for deterministic work.
+    const PASSES: usize = 5;
+
+    // Scalar baseline.
+    let mut scalar_wall = f64::INFINITY;
+    let mut scalar_outputs = Vec::new();
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let outputs: Vec<Grid> = entries
+            .iter()
+            .map(|(stencil, tile, inputs)| {
+                let refs: Vec<&Grid> = inputs.iter().collect();
+                reference::apply_scalar_to_new(stencil, &refs, *tile)
+            })
+            .collect();
+        scalar_wall = scalar_wall.min(start.elapsed().as_secs_f64());
+        scalar_outputs = outputs;
+    }
+
+    // Batched data-parallel path, same requests.
+    let mut batched_wall = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let batch = session.submit_all(&specs);
+        batched_wall = batched_wall.min(start.elapsed().as_secs_f64());
+        outcomes = batch;
+    }
+
+    let bit_identical = outcomes
+        .iter()
+        .zip(&scalar_outputs)
+        .all(|(outcome, oracle)| {
+            let grid = outcome
+                .as_ref()
+                .expect("golden sweep spec runs")
+                .expect_output();
+            grid.as_slice()
+                .iter()
+                .zip(oracle.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+
+    GoldenResult {
+        requests: entries.len(),
+        codes: codes.len(),
+        scalar_wall,
+        batched_wall,
+        bit_identical,
+    }
+}
+
+/// Extracts a numeric field from the `golden_sweep` section of a
+/// committed artifact with a plain string scan (the artifact is
+/// hand-rolled JSON; there is no JSON parser in-tree). `None` when the
+/// artifact predates the golden sweep or lacks the field.
+fn baseline_golden_field(json: &str, field: &str) -> Option<f64> {
+    let section = json.split("\"golden_sweep\"").nth(1)?;
+    let tail = section.split(&format!("\"{field}\":")).nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The committed golden-sweep baseline the regression gate compares
+/// against: the speedup plus the number of gallery codes it was measured
+/// over (the gate loosens when the shapes differ).
+struct GoldenBaseline {
+    speedup: f64,
+    codes: Option<f64>,
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -440,6 +604,7 @@ fn render_json(
     bit_identical: bool,
     tiers: &TierResult,
     adaptive: Option<&AdaptiveResult>,
+    golden: Option<&GoldenResult>,
     subset: bool,
 ) -> String {
     let mut out = String::new();
@@ -504,38 +669,52 @@ fn render_json(
             r.agree(),
         );
     }
-    match adaptive {
-        None => out.push_str("    ]\n  }\n}\n"),
-        Some(a) => {
-            out.push_str("    ]\n  },\n");
-            let _ = writeln!(out, "  \"adaptive\": {{");
-            let _ = writeln!(out, "    \"stencils\": {},", a.stencils);
-            let _ = writeln!(out, "    \"accuracy_budget\": {},", a.accuracy_budget);
-            let _ = writeln!(out, "    \"cold_wall_seconds\": {:.6},", a.cold_wall);
-            let _ = writeln!(out, "    \"warmed_wall_seconds\": {:.6},", a.warmed_wall);
-            let _ = writeln!(out, "    \"cold_rps\": {:.1},", a.cold_rps());
-            let _ = writeln!(out, "    \"warmed_rps\": {:.1},", a.warmed_rps());
-            let _ = writeln!(
-                out,
-                "    \"speedup_warmed_vs_cold\": {:.1},",
-                a.warmed_rps() / a.cold_rps()
-            );
-            let _ = writeln!(out, "    \"auto_escalated\": {},", a.auto_escalated);
-            let _ = writeln!(
-                out,
-                "    \"auto_answered_analytic\": {},",
-                a.auto_answered_analytic
-            );
-            let _ = writeln!(
-                out,
-                "    \"max_estimate_rel_error\": {},",
-                a.max_rel_error
-                    .map_or("null".to_string(), |e| format!("{e:.6}"))
-            );
-            let _ = writeln!(out, "    \"within_budget\": {}", a.within_budget());
-            out.push_str("  }\n}\n");
-        }
+    if adaptive.is_some() || golden.is_some() {
+        out.push_str("    ]\n  },\n");
+    } else {
+        out.push_str("    ]\n  }\n");
     }
+    if let Some(a) = adaptive {
+        let _ = writeln!(out, "  \"adaptive\": {{");
+        let _ = writeln!(out, "    \"stencils\": {},", a.stencils);
+        let _ = writeln!(out, "    \"accuracy_budget\": {},", a.accuracy_budget);
+        let _ = writeln!(out, "    \"cold_wall_seconds\": {:.6},", a.cold_wall);
+        let _ = writeln!(out, "    \"warmed_wall_seconds\": {:.6},", a.warmed_wall);
+        let _ = writeln!(out, "    \"cold_rps\": {:.1},", a.cold_rps());
+        let _ = writeln!(out, "    \"warmed_rps\": {:.1},", a.warmed_rps());
+        let _ = writeln!(
+            out,
+            "    \"speedup_warmed_vs_cold\": {:.1},",
+            a.warmed_rps() / a.cold_rps()
+        );
+        let _ = writeln!(out, "    \"auto_escalated\": {},", a.auto_escalated);
+        let _ = writeln!(
+            out,
+            "    \"auto_answered_analytic\": {},",
+            a.auto_answered_analytic
+        );
+        let _ = writeln!(
+            out,
+            "    \"max_estimate_rel_error\": {},",
+            a.max_rel_error
+                .map_or("null".to_string(), |e| format!("{e:.6}"))
+        );
+        let _ = writeln!(out, "    \"within_budget\": {}", a.within_budget());
+        out.push_str(if golden.is_some() { "  },\n" } else { "  }\n" });
+    }
+    if let Some(g) = golden {
+        let _ = writeln!(out, "  \"golden_sweep\": {{");
+        let _ = writeln!(out, "    \"requests\": {},", g.requests);
+        let _ = writeln!(out, "    \"codes\": {},", g.codes);
+        let _ = writeln!(out, "    \"scalar_wall_seconds\": {:.6},", g.scalar_wall);
+        let _ = writeln!(out, "    \"batched_wall_seconds\": {:.6},", g.batched_wall);
+        let _ = writeln!(out, "    \"scalar_rps\": {:.1},", g.scalar_rps());
+        let _ = writeln!(out, "    \"batched_rps\": {:.1},", g.batched_rps());
+        let _ = writeln!(out, "    \"speedup_vs_scalar\": {:.2},", g.speedup());
+        let _ = writeln!(out, "    \"grids_bit_identical\": {}", g.bit_identical);
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -543,12 +722,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let subset = args.iter().any(|a| a == "--subset");
     let adaptive = args.iter().any(|a| a == "--adaptive");
+    let golden_sweep = args.iter().any(|a| a == "--golden-sweep");
     let mut out_path = "BENCH_serve_throughput.json".to_string();
     let mut import_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out_path = it.next().expect("--out takes a path").clone(),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline takes a path").clone());
+            }
             "--export-calibration" => {
                 let path = it.next().expect("--export-calibration takes a path");
                 export_calibration(path);
@@ -561,10 +745,19 @@ fn main() {
                         .clone(),
                 );
             }
-            "--subset" | "--adaptive" => {}
+            "--subset" | "--adaptive" | "--golden-sweep" => {}
             other => panic!("unknown argument {other}"),
         }
     }
+    // Read the committed baseline up front: the regression gate compares
+    // against it *after* the fresh artifact overwrites the same path.
+    let baseline = baseline_path.as_ref().and_then(|path| {
+        let json = std::fs::read_to_string(path).expect("read baseline artifact");
+        Some(GoldenBaseline {
+            speedup: baseline_golden_field(&json, "speedup_vs_scalar")?,
+            codes: baseline_golden_field(&json, "codes"),
+        })
+    });
     // The analytic tier of every run answers from (and every cycle-tier
     // run feeds) one shared store: imported when requested, the baked
     // gallery seed otherwise.
@@ -664,13 +857,70 @@ fn main() {
         a
     });
 
+    let golden_result = golden_sweep.then(|| {
+        // The subset keeps full-sized repeats: the gate below compares
+        // a CI subset run against the committed full-run speedup, so the
+        // per-code request count must match for the ratio to be fair.
+        let repeats = 6;
+        let g = run_golden_sweep(&codes, repeats);
+        println!(
+            "\ngolden sweep ({} codes x {} seeds at the paper tiles): scalar {:.1} r/s -> \
+             batched {:.1} r/s ({:.2}x)",
+            g.codes,
+            repeats,
+            g.scalar_rps(),
+            g.batched_rps(),
+            g.speedup()
+        );
+        println!(
+            "batched grids bit-identical to the scalar oracle: {}",
+            g.bit_identical
+        );
+        assert!(
+            g.bit_identical,
+            "golden sweep outputs diverged from the scalar oracle"
+        );
+        g
+    });
+
     let json = render_json(
         &sweep,
         bit_identical,
         &tiers,
         adaptive_result.as_ref(),
+        golden_result.as_ref(),
         subset,
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     println!("\nwrote {out_path}");
+
+    // The CI regression gate: fail (after writing the artifact, so the
+    // upload still happens) when the fresh golden speedup falls more
+    // than 20% below the committed baseline. When the shapes differ — a
+    // CI subset (3 codes) measured against the committed full-gallery
+    // sweep — the smaller code mix is structurally a bit slower, so the
+    // gate takes a further 20% of slack; a real regression (the golden
+    // tier falling back to scalar execution) lands far below either bar.
+    if let (Some(g), Some(b)) = (&golden_result, baseline) {
+        let same_shape = b.codes.is_none_or(|c| c == g.codes as f64);
+        let (factor, label) = if same_shape {
+            (0.8, "80%")
+        } else {
+            (0.64, "64%, subset vs full-sweep baseline")
+        };
+        let floor = factor * b.speedup;
+        if g.speedup() < floor {
+            eprintln!(
+                "golden sweep regression: {:.2}x is below {label} of the committed {:.2}x",
+                g.speedup(),
+                b.speedup
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "golden sweep vs committed baseline: {:.2}x >= {floor:.2}x ({label} of {:.2}x)",
+            g.speedup(),
+            b.speedup
+        );
+    }
 }

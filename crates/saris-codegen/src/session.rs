@@ -69,7 +69,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use saris_core::grid::Grid;
+use saris_core::grid::{Grid, GridArena};
 use saris_core::stencil::Stencil;
 use saris_core::{reference, Extent};
 use snitch_sim::{Cluster, ClusterConfig, RunReport};
@@ -304,6 +304,10 @@ pub struct Session {
     /// does). Every cycle-tier stencil outcome is fed back into it, and
     /// [`Fidelity::Auto`] routes on its confidence.
     calibration: Option<Arc<CalibrationStore>>,
+    /// Recycled scratch buffers for verification reference grids:
+    /// repeated `verify(tol)` sweeps reuse these instead of allocating a
+    /// fresh grid per comparison.
+    scratch: GridArena,
 }
 
 impl Default for Session {
@@ -378,6 +382,7 @@ impl Session {
             }),
             stats: Mutex::new(SessionStats::default()),
             calibration,
+            scratch: GridArena::new(),
         }
     }
 
@@ -590,29 +595,207 @@ impl Session {
     /// slots, so identical compile requests never compile twice even when
     /// their workers race. Outcomes come back in spec order; each spec
     /// fails or succeeds independently.
+    ///
+    /// Golden-tier specs of the plain single-step shape take the bulk
+    /// path: one [`Backend::execute_batch`] call fans them across the
+    /// golden backend's worker pool (SIMD row sweeps over arena-pooled
+    /// grids), and any `verify(tol)` they carry is checked against the
+    /// retained scalar oracle — in parallel — instead of serializing one
+    /// point loop per spec. Everything else runs through the generic
+    /// per-spec worker loop; outcomes merge back in spec order.
     pub fn submit_all(&self, specs: &[WorkloadSpec]) -> Vec<Result<Outcome, CodegenError>> {
-        let workers = std::thread::available_parallelism()
-            .map_or(1, std::num::NonZeroUsize::get)
-            .min(specs.len().max(1));
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<Outcome, CodegenError>>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let outcome = self.submit(spec);
-                    *results[i].lock().expect("batch result lock") = Some(outcome);
-                });
+        let mut results: Vec<Option<Result<Outcome, CodegenError>>> =
+            specs.iter().map(|_| None).collect();
+
+        // Bulk golden path: batch all eligible specs in one call.
+        let bulk: Vec<usize> = (0..specs.len())
+            .filter(|&i| self.bulk_golden_work(&specs[i]).is_some())
+            .collect();
+        if bulk.len() > 1 {
+            let batch: Vec<&WorkloadSpec> = bulk.iter().map(|&i| &specs[i]).collect();
+            for (&i, outcome) in bulk.iter().zip(self.submit_golden_bulk(&batch)) {
+                results[i] = Some(outcome);
             }
-        });
+        }
+
+        // Generic path for whatever the bulk pass did not answer.
+        let rest: Vec<usize> = (0..specs.len()).filter(|&i| results[i].is_none()).collect();
+        if !rest.is_empty() {
+            let workers = std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(rest.len());
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Result<Outcome, CodegenError>>>> =
+                rest.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let r = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = rest.get(r) else { break };
+                        let outcome = self.submit(&specs[i]);
+                        *slots[r].lock().expect("batch result lock") = Some(outcome);
+                    });
+                }
+            });
+            for (&i, slot) in rest.iter().zip(slots) {
+                results[i] = slot.into_inner().expect("batch result lock");
+            }
+        }
+
         results
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("batch result lock")
-                    .expect("every spec index was visited")
+            .map(|slot| slot.expect("every spec index was visited"))
+            .collect()
+    }
+
+    /// The stencil work of `spec` when it is eligible for the bulk
+    /// golden path: resolves to [`Fidelity::Golden`] on a kernel-free
+    /// backend, single time step, no rotation, no tuning. (The
+    /// [`Fidelity::Auto`] policy never resolves to Golden, so only
+    /// explicit golden requests and golden-default sessions land here.)
+    fn bulk_golden_work<'s>(&self, spec: &'s WorkloadSpec) -> Option<&'s StencilWork> {
+        let WorkloadKind::Stencil(work) = spec.kind() else {
+            return None;
+        };
+        let requested = work.fidelity.unwrap_or(self.default_fidelity);
+        if requested != Fidelity::Golden {
+            return None;
+        }
+        // A custom golden backend that compiles kernels needs the
+        // per-spec path (tuning, kernel cache); the batch entry point
+        // never compiles.
+        if self.registry.get(Fidelity::Golden).needs_kernel() {
+            return None;
+        }
+        if work.rotation.is_some() || work.time_steps != 1 {
+            return None;
+        }
+        Some(work)
+    }
+
+    /// Answers a batch of bulk-eligible golden specs (see
+    /// [`Session::bulk_golden_work`]) through the golden backend's
+    /// [`Backend::execute_batch`].
+    fn submit_golden_bulk(&self, specs: &[&WorkloadSpec]) -> Vec<Result<Outcome, CodegenError>> {
+        let backend = &**self.registry.get(Fidelity::Golden);
+        let works: Vec<&StencilWork> = specs
+            .iter()
+            .map(|spec| match spec.kind() {
+                WorkloadKind::Stencil(work) => work,
+                WorkloadKind::DmaProbe { .. } => unreachable!("bulk specs are stencil work"),
+            })
+            .collect();
+        // Explicit grids are borrowed straight from each spec's `Arc`;
+        // only seeded inputs materialize fresh grids.
+        let seeded: Vec<Vec<Grid>> = works
+            .iter()
+            .map(|work| match &work.inputs {
+                crate::workload::InputSpec::Grids(_) => Vec::new(),
+                spec => spec.materialize(&work.stencil, work.extent),
+            })
+            .collect();
+        let refs: Vec<Vec<&Grid>> = works
+            .iter()
+            .zip(&seeded)
+            .map(|(work, store)| match &work.inputs {
+                crate::workload::InputSpec::Grids(grids) => grids.iter().collect(),
+                _ => store.iter().collect(),
+            })
+            .collect();
+        let reqs: Vec<ExecRequest<'_>> = works
+            .iter()
+            .zip(&refs)
+            .map(|(work, inputs)| ExecRequest {
+                stencil: &work.stencil,
+                inputs,
+                options: &work.options,
+                kernel: None,
+                pool: &self.pool,
+            })
+            .collect();
+        let outcomes = backend.execute_batch(&reqs);
+        {
+            let mut stats = self.stats.lock().expect("session stats lock");
+            for _ in &outcomes {
+                stats.runs += 1;
+                stats.count_tier(Fidelity::Golden);
+            }
+        }
+
+        // Verification, against the retained scalar oracle (the batch
+        // outputs come from the SIMD path, so this doubles as a live
+        // bit-exactness audit). Oracle grids recycle through the session
+        // scratch arena, and the checks fan across the same worker pool
+        // shape so verification sweeps stay parallel.
+        let mut verify_errors: Vec<Option<Result<f64, CodegenError>>> =
+            specs.iter().map(|_| None).collect();
+        let to_verify: Vec<usize> = (0..works.len())
+            .filter(|&i| works[i].verify.is_some() && outcomes[i].is_ok())
+            .collect();
+        if !to_verify.is_empty() {
+            let workers = std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(to_verify.len());
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Result<f64, CodegenError>>>> =
+                to_verify.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let v = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = to_verify.get(v) else { break };
+                        let work = works[i];
+                        let tolerance = work.verify.expect("filtered on verify");
+                        let output = match &outcomes[i] {
+                            Ok(outcome) => {
+                                outcome.output.as_ref().expect("golden runs yield grids")
+                            }
+                            Err(_) => unreachable!("filtered on Ok outcomes"),
+                        };
+                        let mut oracle = self.scratch.take_zeroed(work.extent);
+                        reference::apply_scalar(&work.stencil, &refs[i], &mut oracle);
+                        let error = verify_diff(output, &oracle);
+                        self.scratch.recycle(oracle);
+                        let checked = if error > tolerance {
+                            Err(CodegenError::VerificationFailed {
+                                name: work.stencil.name().to_string(),
+                                error,
+                                tolerance,
+                            })
+                        } else {
+                            Ok(error)
+                        };
+                        *slots[v].lock().expect("verify result lock") = Some(checked);
+                    });
+                }
+            });
+            for (&i, slot) in to_verify.iter().zip(slots) {
+                verify_errors[i] = slot.into_inner().expect("verify result lock");
+            }
+        }
+
+        specs
+            .iter()
+            .zip(outcomes)
+            .zip(verify_errors)
+            .map(|((spec, outcome), verified)| {
+                let outcome = outcome?;
+                let verify_error = verified.transpose()?;
+                Ok(Outcome {
+                    fingerprint: spec.fingerprint(),
+                    backend: backend.name(),
+                    grids: outcome.output.map_or_else(Vec::new, |output| vec![output]),
+                    reports: Vec::new(),
+                    kernel: None,
+                    tuning: None,
+                    verify_error,
+                    dma_utilization: None,
+                    telemetry: WorkloadTelemetry {
+                        runs: 1,
+                        answered_by: Some(Fidelity::Golden),
+                        ..WorkloadTelemetry::default()
+                    },
+                })
             })
             .collect()
     }
@@ -828,23 +1011,36 @@ impl Session {
                 })
             }
             Some(tolerance) => {
+                // The reference march runs the data-parallel row sweep
+                // (bit-identical to the scalar oracle) and draws its
+                // grids from the session scratch arena so repeated
+                // verification sweeps recycle buffers.
                 let reference_grids = if let Some(rotation) = work.rotation {
                     let mut marched = inputs.to_vec();
                     for _ in 0..work.time_steps {
-                        let mut refs: Vec<&Grid> = marched.iter().collect();
-                        let out = reference::apply_to_new(stencil, &mut refs, work.extent);
+                        let refs: Vec<&Grid> = marched.iter().collect();
+                        let out =
+                            reference::apply_to_new_in(stencil, &refs, work.extent, &self.scratch);
                         rotate(&mut marched, out, rotation);
                     }
                     marched
                 } else {
-                    let mut refs: Vec<&Grid> = inputs.iter().collect();
-                    vec![reference::apply_to_new(stencil, &mut refs, work.extent)]
+                    let refs: Vec<&Grid> = inputs.iter().collect();
+                    vec![reference::apply_to_new_in(
+                        stencil,
+                        &refs,
+                        work.extent,
+                        &self.scratch,
+                    )]
                 };
                 let error = grids
                     .iter()
                     .zip(&reference_grids)
                     .map(|(a, b)| verify_diff(a, b))
                     .fold(0.0, f64::max);
+                for reference_grid in reference_grids {
+                    self.scratch.recycle(reference_grid);
+                }
                 if error > tolerance {
                     return Err(CodegenError::VerificationFailed {
                         name: stencil.name().to_string(),

@@ -7,8 +7,10 @@
 //!   point-update operation sequence;
 //! * the ten evaluation codes of the paper's Table 1 ([`gallery`]), with
 //!   per-point characteristics asserted against the paper;
-//! * a golden scalar executor ([`mod@reference`]) used to verify simulated
-//!   kernels;
+//! * a golden executor ([`mod@reference`]) used to verify simulated
+//!   kernels — a data-parallel row sweep ([`simd`]) with the scalar
+//!   path retained as the bit-exactness oracle, plus a recycling
+//!   [`grid::GridArena`] for allocation-free batched sweeps;
 //! * the **SARIS method** ([`method`]): partitioning grid loads over
 //!   indirect stream registers, pairing operands for concurrent stream
 //!   reads, streaming register-exhausting coefficients, and materializing
@@ -47,12 +49,14 @@ pub mod method;
 pub mod parallel;
 pub mod reference;
 pub mod roofline;
+pub mod simd;
 pub mod stencil;
 
 pub use error::{PlanError, StencilError};
 pub use geom::{Extent, Halo, Offset, Point, Space};
-pub use grid::Grid;
+pub use grid::{Grid, GridArena};
 pub use layout::ArenaLayout;
 pub use method::{SarisOptions, SarisPlan, StreamMode};
 pub use parallel::InterleavePlan;
+pub use simd::F64x4;
 pub use stencil::{Stencil, StencilBuilder, StencilStats};

@@ -1,0 +1,369 @@
+//! Data-parallel row sweep for the golden reference executor.
+//!
+//! The paper's premise is that stencil point updates are embarrassingly
+//! data-parallel: the inner loop is a dense FMA sweep over contiguous `x`
+//! positions. This module exploits exactly that structure for the golden
+//! tier. [`F64x4`] is a manual four-lane vector struct on stable Rust (no
+//! nightly `std::simd`): every operation is four independent scalar IEEE
+//! operations written so LLVM keeps the lanes in vector registers.
+//!
+//! Bit-exactness with the scalar executor is guaranteed by construction:
+//! each lane performs the *same* operation sequence, in the same order,
+//! with the same `+`/`-`/`*`/[`f64::mul_add`] primitives as
+//! [`Stencil::eval_point`]. There is no reassociation, no approximation,
+//! and NaN payloads propagate identically — the lanes merely batch four
+//! adjacent update points per instruction.
+//!
+//! The row sweep precompiles the stencil into a flat tape: per tap an
+//! `(input slot, linear displacement)` pair — the displacement
+//! `Extent::linear_offset` is point-independent, so a tap load for four
+//! consecutive `x` positions is one contiguous four-element slice read —
+//! plus the coefficient values and the op list as-is. Remainder lanes
+//! (interior width not divisible by four) run the same tape in scalar
+//! form, preserving the exact per-point semantics.
+//!
+//! On x86-64 the sweep is additionally compiled under
+//! `#[target_feature(enable = "avx2,fma")]` and dispatched by one-time
+//! runtime detection: `f64::mul_add` then lowers to a hardware `vfmadd`
+//! (correctly rounded, exactly like the baseline's `fma` fallback) and
+//! the lanes live in 256-bit registers. Hosts without those features run
+//! the identical code compiled for the baseline target.
+
+use crate::grid::Grid;
+use crate::stencil::{Operand, PointOp, Stencil};
+
+/// A four-lane `f64` vector for the data-parallel golden path.
+///
+/// Plain `[f64; 4]` arithmetic on stable Rust: each method maps the same
+/// scalar primitive over the lanes, which the optimizer lowers to vector
+/// instructions where the target supports them. Because every lane is an
+/// independent scalar IEEE-754 operation, results are bit-identical to
+/// the scalar executor — including NaN propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    /// Loads four consecutive values from the front of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has fewer than four elements (the same
+    /// out-of-bounds semantics as the scalar grid reads).
+    #[inline(always)]
+    pub fn load(src: &[f64]) -> F64x4 {
+        F64x4([src[0], src[1], src[2], src[3]])
+    }
+
+    /// Stores the lanes into the front of `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` has fewer than four elements.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f64]) {
+        dst[..Self::LANES].copy_from_slice(&self.0);
+    }
+
+    /// Lane-wise fused multiply-add `self * b + c`.
+    ///
+    /// Uses [`f64::mul_add`] per lane — the same single-rounding fused
+    /// primitive the scalar executor uses for [`PointOp::Fma`], so the
+    /// vector path contracts exactly where the scalar path contracts.
+    #[inline(always)]
+    pub fn mul_add(self, b: F64x4, c: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0].mul_add(b.0[0], c.0[0]),
+            self.0[1].mul_add(b.0[1], c.0[1]),
+            self.0[2].mul_add(b.0[2], c.0[2]),
+            self.0[3].mul_add(b.0[3], c.0[3]),
+        ])
+    }
+}
+
+/// Lane-wise addition.
+impl std::ops::Add for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn add(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + o.0[0],
+            self.0[1] + o.0[1],
+            self.0[2] + o.0[2],
+            self.0[3] + o.0[3],
+        ])
+    }
+}
+
+/// Lane-wise subtraction.
+impl std::ops::Sub for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn sub(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] - o.0[0],
+            self.0[1] - o.0[1],
+            self.0[2] - o.0[2],
+            self.0[3] - o.0[3],
+        ])
+    }
+}
+
+/// Lane-wise multiplication.
+impl std::ops::Mul for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn mul(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * o.0[0],
+            self.0[1] * o.0[1],
+            self.0[2] * o.0[2],
+            self.0[3] * o.0[3],
+        ])
+    }
+}
+
+use crate::stencil::BinKind;
+
+impl BinKind {
+    /// Applies the operation lane-wise.
+    #[inline(always)]
+    pub fn apply_v(self, a: F64x4, b: F64x4) -> F64x4 {
+        match self {
+            BinKind::Add => a + b,
+            BinKind::Sub => a - b,
+            BinKind::Mul => a * b,
+        }
+    }
+}
+
+/// The precompiled tape plus interior bounds for one row sweep.
+///
+/// Splitting the sweep body out of [`apply_rows`] lets it be compiled
+/// twice: once for the baseline target, and (on x86-64) once inside an
+/// `avx2,fma`-enabled clone, selected by runtime feature detection. The
+/// feature flags change only *how* the identical IEEE operations are
+/// scheduled — hardware `vfmadd` and the baseline `fma` fallback are
+/// both correctly rounded — so the two compilations are bit-identical.
+struct RowTape<'a> {
+    taps: Vec<(usize, i64)>,
+    coeffs: Vec<f64>,
+    ops: &'a [PointOp],
+    result: Operand,
+    data: Vec<&'a [f64]>,
+    nx: usize,
+    ny: usize,
+    bounds: [(usize, usize); 3],
+}
+
+impl RowTape<'_> {
+    #[inline(always)]
+    fn sweep(&self, out_data: &mut [f64]) {
+        let (x0, x1) = self.bounds[0];
+        let (y0, y1) = self.bounds[1];
+        let (z0, z1) = self.bounds[2];
+        let mut vtmps: Vec<F64x4> = vec![F64x4::splat(0.0); self.ops.len()];
+        let mut stmps: Vec<f64> = vec![0.0; self.ops.len()];
+
+        let mut z = z0;
+        while z < z1 {
+            let mut y = y0;
+            while y < y1 {
+                let row = (z * self.ny + y) * self.nx;
+                let mut x = x0;
+                // Vector chunks: each tap load is a contiguous 4-wide
+                // slice read at (row + x) + displacement.
+                while x + F64x4::LANES <= x1 {
+                    let base = (row + x) as i64;
+                    let read_v = |operand: Operand, tmps: &[F64x4]| -> F64x4 {
+                        match operand {
+                            Operand::Tap(i) => {
+                                let (slot, disp) = self.taps[i];
+                                let at = (base + disp) as usize;
+                                F64x4::load(&self.data[slot][at..at + F64x4::LANES])
+                            }
+                            Operand::Coeff(i) => F64x4::splat(self.coeffs[i]),
+                            Operand::Tmp(i) => tmps[i],
+                        }
+                    };
+                    for (o, op) in self.ops.iter().enumerate() {
+                        vtmps[o] = match op {
+                            PointOp::Bin { kind, a, b } => {
+                                kind.apply_v(read_v(*a, &vtmps), read_v(*b, &vtmps))
+                            }
+                            PointOp::Fma { a, b, c } => {
+                                read_v(*a, &vtmps).mul_add(read_v(*b, &vtmps), read_v(*c, &vtmps))
+                            }
+                        };
+                    }
+                    read_v(self.result, &vtmps)
+                        .store(&mut out_data[row + x..row + x + F64x4::LANES]);
+                    x += F64x4::LANES;
+                }
+                // Remainder lanes: the same tape, one point at a time, in
+                // the identical operation order — bit-exact with the
+                // chunks.
+                while x < x1 {
+                    let base = (row + x) as i64;
+                    let read_s = |operand: Operand, tmps: &[f64]| -> f64 {
+                        match operand {
+                            Operand::Tap(i) => {
+                                let (slot, disp) = self.taps[i];
+                                self.data[slot][(base + disp) as usize]
+                            }
+                            Operand::Coeff(i) => self.coeffs[i],
+                            Operand::Tmp(i) => tmps[i],
+                        }
+                    };
+                    for (o, op) in self.ops.iter().enumerate() {
+                        stmps[o] = match op {
+                            PointOp::Bin { kind, a, b } => {
+                                kind.apply(read_s(*a, &stmps), read_s(*b, &stmps))
+                            }
+                            PointOp::Fma { a, b, c } => {
+                                read_s(*a, &stmps).mul_add(read_s(*b, &stmps), read_s(*c, &stmps))
+                            }
+                        };
+                    }
+                    out_data[row + x] = read_s(self.result, &stmps);
+                    x += 1;
+                }
+                y += 1;
+            }
+            z += 1;
+        }
+    }
+
+    /// The sweep recompiled with AVX2 + FMA enabled: `f64::mul_add`
+    /// lowers to a single `vfmadd` instead of a libm call, and the
+    /// four-lane structs stay in `ymm` registers.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the host supports
+    /// `avx2` and `fma`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn sweep_avx2(&self, out_data: &mut [f64]) {
+        self.sweep(out_data)
+    }
+}
+
+/// Sweeps the interior of `out` row by row, evaluating `stencil` in
+/// four-wide chunks along `x` with a scalar tail for remainder lanes.
+///
+/// `inputs` holds the input grids in declaration order (the output array
+/// has no slot here — validation guarantees no tap ever reads it). The
+/// halo of `out` is left untouched. Callers ([`crate::reference::apply`])
+/// are responsible for the input-count and extent assertions.
+///
+/// On x86-64 hosts with AVX2 and FMA (detected once at runtime), the
+/// sweep runs through a `#[target_feature]`-compiled clone whose lane
+/// operations lower to real vector instructions; results are bit-exact
+/// with the baseline compilation because both perform the same
+/// correctly-rounded IEEE operations in the same order.
+pub(crate) fn apply_rows(stencil: &Stencil, inputs: &[&Grid], out: &mut Grid) {
+    let extent = out.extent();
+    let halo = stencil.halo();
+
+    // Precompile the tape: taps become (input slot, flat displacement).
+    // ArrayIds index the declaration list including the output; map them
+    // to positions in `inputs`, which holds input arrays only.
+    let mut input_pos = vec![usize::MAX; stencil.arrays().len()];
+    for (slot, id) in stencil.input_arrays().enumerate() {
+        input_pos[id.index()] = slot;
+    }
+    let taps: Vec<(usize, i64)> = stencil
+        .taps()
+        .iter()
+        .map(|t| (input_pos[t.array.index()], extent.linear_offset(t.offset)))
+        .collect();
+    let coeffs: Vec<f64> = stencil.coeffs().iter().map(|c| c.value()).collect();
+    let data: Vec<&[f64]> = inputs.iter().map(|g| g.as_slice()).collect();
+
+    let (nx, ny, nz) = (extent.nx, extent.ny, extent.nz);
+    let x0 = halo.rx as usize;
+    let x1 = nx.saturating_sub(halo.rx as usize);
+    let y0 = halo.ry as usize;
+    let y1 = ny.saturating_sub(halo.ry as usize);
+    // 2D tiles (nz == 1) carry no z halo, matching `interior_points`.
+    let (z0, z1) = if nz == 1 {
+        (0, 1)
+    } else {
+        (halo.rz as usize, nz.saturating_sub(halo.rz as usize))
+    };
+
+    let tape = RowTape {
+        taps,
+        coeffs,
+        ops: stencil.ops(),
+        result: stencil.result(),
+        data,
+        nx,
+        ny,
+        bounds: [(x0, x1), (y0, y1), (z0, z1)],
+    };
+    let out_data = out.as_mut_slice();
+
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: both required features were just detected on the host.
+        unsafe { tape.sweep_avx2(out_data) };
+        return;
+    }
+    tape.sweep(out_data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_scalar_ops_bitwise() {
+        let a = F64x4([1.5, -0.0, f64::NAN, f64::INFINITY]);
+        let b = F64x4([2.5, 3.0, 1.0, -f64::INFINITY]);
+        let c = F64x4([-1.0, 0.5, 2.0, 7.0]);
+        let fma = a.mul_add(b, c);
+        for i in 0..F64x4::LANES {
+            assert_eq!(
+                (a.0[i] + b.0[i]).to_bits(),
+                (a + b).0[i].to_bits(),
+                "add lane {i}"
+            );
+            assert_eq!(
+                (a.0[i] - b.0[i]).to_bits(),
+                (a - b).0[i].to_bits(),
+                "sub lane {i}"
+            );
+            assert_eq!(
+                (a.0[i] * b.0[i]).to_bits(),
+                (a * b).0[i].to_bits(),
+                "mul lane {i}"
+            );
+            assert_eq!(
+                a.0[i].mul_add(b.0[i], c.0[i]).to_bits(),
+                fma.0[i].to_bits(),
+                "fma lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn splat_load_store_roundtrip() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let v = F64x4::load(&src);
+        let mut dst = [0.0; 4];
+        v.store(&mut dst);
+        assert_eq!(dst, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(F64x4::splat(9.0).0, [9.0; 4]);
+    }
+}

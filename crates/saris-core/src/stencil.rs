@@ -1053,10 +1053,9 @@ mod reassoc_tests {
             .enumerate()
             .map(|(i, _)| Grid::pseudo_random(tile, 77 + i as u64))
             .collect();
-        let mut refs_a: Vec<&Grid> = inputs.iter().collect();
-        let a = reference::apply_to_new(original, &mut refs_a, tile);
-        let mut refs_b: Vec<&Grid> = inputs.iter().collect();
-        let b = reference::apply_to_new(transformed, &mut refs_b, tile);
+        let refs: Vec<&Grid> = inputs.iter().collect();
+        let a = reference::apply_to_new(original, &refs, tile);
+        let b = reference::apply_to_new(transformed, &refs, tile);
         a.max_abs_diff(&b)
     }
 

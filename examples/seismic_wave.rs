@@ -70,8 +70,7 @@ fn main() -> Result<(), saris::codegen::CodegenError> {
         total_cycles += run.expect_report().cycles;
 
         // The same iteration on the golden reference.
-        let mut refs = vec![&ref_u, &ref_um];
-        let ref_out = reference::apply_to_new(&stencil, &mut refs, tile);
+        let ref_out = reference::apply_to_new(&stencil, &[&ref_u, &ref_um], tile);
 
         let energy = wavefield_energy(run.expect_output(), halo);
         println!(

@@ -43,7 +43,9 @@
 //!    the cycle-approximate Snitch-cluster simulator: the tier behind
 //!    every paper figure.
 //! 3. **Golden** — the [`NativeBackend`](codegen::NativeBackend) runs
-//!    the exact scalar reference executor: bit-true grids, no timing.
+//!    the data-parallel (SIMD) reference executor: bit-true grids, no
+//!    timing. The scalar executor is retained as the oracle the SIMD
+//!    path is verified against, bit for bit.
 //!
 //! ```
 //! use saris::prelude::*;
@@ -201,6 +203,50 @@
 //!     .collect::<Result<_, _>>()?;
 //! for outcome in session.submit_all(&specs) {
 //!     outcome?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Bulk golden verification
+//!
+//! The golden tier is itself data-parallel: [`reference::apply`](core::reference::apply)
+//! sweeps rows in four-wide SIMD chunks (bit-exact with the retained
+//! scalar oracle by construction — same IEEE primitives, same order,
+//! NaN payloads included), outputs come from a recycling
+//! [`GridArena`](core::GridArena) instead of fresh allocations, and
+//! `submit_all` fans a batch of golden specs across
+//! [`NativeBackend::execute_batch`](codegen::NativeBackend). That makes
+//! "check the whole gallery against ground truth" a bulk operation:
+//! submit every spec at [`Fidelity::Golden`](codegen::Fidelity) with
+//! `verify(0.0)` and the batch executes data-parallel, then re-derives
+//! every grid through the scalar oracle — tolerance zero holds because
+//! the two paths agree bit for bit (the `golden_sweep` section of
+//! `BENCH_serve_throughput.json` tracks the batched-over-scalar
+//! speedup).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use saris::prelude::*;
+//!
+//! # fn main() -> Result<(), saris::codegen::CodegenError> {
+//! let session = Session::native(); // golden tier: no kernel compilation
+//! let stencil = Arc::new(gallery::jacobi_2d());
+//! let specs: Vec<WorkloadSpec> = (0..4)
+//!     .map(|seed| {
+//!         Workload::new(Arc::clone(&stencil))
+//!             .extent(Extent::new_2d(20, 14))
+//!             .input_seed(seed)
+//!             .fidelity(Fidelity::Golden)
+//!             .verify(0.0) // bit-exact against the scalar oracle
+//!             .freeze()
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//! for outcome in session.submit_all(&specs) {
+//!     let outcome = outcome?;
+//!     assert_eq!(outcome.telemetry.answered_by, Some(Fidelity::Golden));
+//!     assert_eq!(outcome.verify_error, Some(0.0));
+//!     assert_eq!(outcome.grids.len(), 1);
 //! }
 //! # Ok(())
 //! # }

@@ -182,10 +182,8 @@ fn reassociation_tolerance() {
         let t = stencil.reassociated(acc);
         let tile = Extent::new_2d(12, 12);
         let input = Grid::pseudo_random(tile, seed);
-        let mut ra = vec![&input];
-        let a = saris::core::reference::apply_to_new(&stencil, &mut ra, tile);
-        let mut rb = vec![&input];
-        let b = saris::core::reference::apply_to_new(&t, &mut rb, tile);
+        let a = saris::core::reference::apply_to_new(&stencil, &[&input], tile);
+        let b = saris::core::reference::apply_to_new(&t, &[&input], tile);
         assert!(a.max_abs_diff(&b) < 1e-12, "case {case} (acc {acc})");
     }
 }
