@@ -133,6 +133,7 @@ fn run_sweep(len: usize) -> (Vec<SweepRow>, bool) {
         let uncached = Session::with_config(SessionConfig {
             max_cached_kernels: 0,
             max_pooled_clusters: 0,
+            ..SessionConfig::default()
         });
         let start = Instant::now();
         for spec in &specs {
@@ -750,14 +751,36 @@ fn main() {
         }
     }
     // Read the committed baseline up front: the regression gate compares
-    // against it *after* the fresh artifact overwrites the same path.
-    let baseline = baseline_path.as_ref().and_then(|path| {
-        let json = std::fs::read_to_string(path).expect("read baseline artifact");
-        Some(GoldenBaseline {
-            speedup: baseline_golden_field(&json, "speedup_vs_scalar")?,
-            codes: baseline_golden_field(&json, "codes"),
-        })
+    // against it *after* the fresh artifact overwrites the same path. A
+    // missing or gate-less baseline is a hard error — silently skipping
+    // the gate would let a real regression through as a green run.
+    let baseline = baseline_path.as_ref().map(|path| {
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("error: cannot read baseline artifact `{path}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        match baseline_golden_field(&json, "speedup_vs_scalar") {
+            Some(speedup) => GoldenBaseline {
+                speedup,
+                codes: baseline_golden_field(&json, "codes"),
+            },
+            None => {
+                eprintln!(
+                    "error: baseline artifact `{path}` has no `golden_sweep` section with a \
+                     `speedup_vs_scalar` field; the regression gate has nothing to compare \
+                     against (re-generate it with --golden-sweep)"
+                );
+                std::process::exit(1);
+            }
+        }
     });
+    if baseline.is_some() && !golden_sweep {
+        eprintln!("error: --baseline requires --golden-sweep (nothing is measured to gate)");
+        std::process::exit(1);
+    }
     // The analytic tier of every run answers from (and every cycle-tier
     // run feeds) one shared store: imported when requested, the baked
     // gallery seed otherwise.

@@ -1,0 +1,120 @@
+//! Static-verification sweep: every gallery code × variant × unroll
+//! candidate is compiled at its paper tile and pushed through
+//! `saris-verify` — no simulator cycle is executed.
+//!
+//! ```text
+//! verify_kernels [--subset]
+//! ```
+//!
+//! Prints one row per compiled kernel: the verifier's verdict, the
+//! proven static cycle lower bound and its binding component, and any
+//! findings. Unroll widths the code generator genuinely refuses
+//! (register pressure, FREP capacity) are reported as `infeasible` and
+//! skipped, mirroring the tuner. The process exits non-zero when any
+//! kernel carries an error-severity finding, which is what makes this a
+//! CI gate: a codegen change that mis-sizes a stream job, breaks a loop
+//! bound, or drops a `halt` fails the build before any simulation runs.
+
+use std::sync::Arc;
+
+use saris_bench::paper_tile;
+use saris_codegen::{
+    compile, verify_kernel, CodegenError, RunOptions, Variant, DEFAULT_CANDIDATES,
+};
+use saris_core::gallery;
+use saris_verify::Severity;
+
+fn main() {
+    let subset = std::env::args().skip(1).any(|a| a == "--subset");
+    let codes: Vec<Arc<saris_core::Stencil>> = gallery::all()
+        .into_iter()
+        .filter(|s| !subset || matches!(s.name(), "jacobi_2d" | "star3d2r" | "j3d27pt"))
+        .map(Arc::new)
+        .collect();
+
+    println!("verify_kernels: static verification of every compiled kernel\n");
+    println!(
+        "{:>12} {:>6} {:>7} {:>11} {:>12} {:>9} {:>7}",
+        "kernel", "var", "unroll", "verdict", "bound cyc", "warnings", "errors"
+    );
+
+    let mut kernels = 0usize;
+    let mut infeasible = 0usize;
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut findings: Vec<String> = Vec::new();
+    for stencil in &codes {
+        let tile = paper_tile(stencil);
+        for variant in [Variant::Base, Variant::Saris] {
+            for &unroll in &DEFAULT_CANDIDATES {
+                let options = RunOptions::new(variant).with_unroll(unroll);
+                let kernel = match compile(stencil, tile, &options) {
+                    Ok(kernel) => kernel,
+                    Err(
+                        CodegenError::RegisterPressure { .. }
+                        | CodegenError::FrepBodyTooLarge { .. },
+                    ) => {
+                        infeasible += 1;
+                        println!(
+                            "{:>12} {:>6} {:>7} {:>11} {:>12} {:>9} {:>7}",
+                            stencil.name(),
+                            format!("{variant:?}").to_lowercase(),
+                            unroll,
+                            "infeasible",
+                            "-",
+                            "-",
+                            "-"
+                        );
+                        continue;
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "{}: {variant:?} u{unroll}: compile failed: {e}",
+                            stencil.name()
+                        );
+                        std::process::exit(1);
+                    }
+                };
+                let report = verify_kernel(stencil, &kernel, &options);
+                let errors = report.diags.iter().filter(|d| d.is_error()).count();
+                let warnings = report
+                    .diags
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Warning)
+                    .count();
+                kernels += 1;
+                total_errors += errors;
+                total_warnings += warnings;
+                println!(
+                    "{:>12} {:>6} {:>7} {:>11} {:>12} {:>9} {:>7}",
+                    stencil.name(),
+                    format!("{variant:?}").to_lowercase(),
+                    unroll,
+                    if errors > 0 { "REJECTED" } else { "clean" },
+                    report.bound.cycles,
+                    warnings,
+                    errors
+                );
+                for d in &report.diags {
+                    findings.push(format!("{} {variant:?} u{unroll}: {d}", stencil.name()));
+                }
+            }
+        }
+    }
+
+    if !findings.is_empty() {
+        println!("\nfindings:");
+        for f in &findings {
+            println!("  {f}");
+        }
+    }
+    println!(
+        "\n{kernels} kernels verified ({infeasible} infeasible widths skipped): \
+         {total_errors} errors, {total_warnings} warnings"
+    );
+    if total_errors > 0 {
+        eprintln!("static verification found error-severity problems");
+        std::process::exit(1);
+    }
+    println!("all compiled kernels statically verified clean");
+}

@@ -24,6 +24,7 @@
 //! (one `Arc`-shared stencil per code), each `(code, variant, unroll)`
 //! kernel compiles exactly once, and clusters are recycled between runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::Arc;

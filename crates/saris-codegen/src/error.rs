@@ -74,6 +74,15 @@ pub enum CodegenError {
         /// What was malformed.
         reason: String,
     },
+    /// The static kernel verifier (`saris-verify`) found error-severity
+    /// problems in a freshly compiled kernel — the kernel was rejected
+    /// before any cycle was simulated.
+    StaticVerification {
+        /// Stencil name.
+        name: String,
+        /// Rendered error-severity findings, one per line entry.
+        findings: Vec<String>,
+    },
     /// A workload requested verification and the executed output diverged
     /// from the golden reference by more than the requested tolerance.
     VerificationFailed {
@@ -130,6 +139,13 @@ impl fmt::Display for CodegenError {
             CodegenError::Calibration { reason } => {
                 write!(f, "invalid calibration data: {reason}")
             }
+            CodegenError::StaticVerification { name, findings } => write!(
+                f,
+                "{name}: static verification rejected the kernel ({} finding{}): {}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+                findings.join("; ")
+            ),
             CodegenError::VerificationFailed {
                 name,
                 error,

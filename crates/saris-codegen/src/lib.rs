@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backends;
@@ -56,6 +57,7 @@ pub mod saris;
 pub mod session;
 pub mod slots;
 pub mod tuner;
+pub mod verify;
 pub mod walk;
 pub mod workload;
 
@@ -73,5 +75,6 @@ pub use runtime::{compile, BufferRotation, CompiledKernel, RunOptions, Variant};
 pub use saris::SarisPlans;
 pub use session::{ClusterPool, Session, SessionConfig, SessionStats};
 pub use tuner::{Tune, TuningDecision, DEFAULT_CANDIDATES};
+pub use verify::{kernel_memory_map, verify_kernel};
 pub use walk::CoreWalk;
 pub use workload::{InputSpec, Outcome, Workload, WorkloadSpec, WorkloadTelemetry};

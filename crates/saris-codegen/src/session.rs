@@ -72,6 +72,7 @@ use std::sync::{Arc, Mutex};
 use saris_core::grid::{Grid, GridArena};
 use saris_core::stencil::Stencil;
 use saris_core::{reference, Extent};
+use saris_verify::StaticBound;
 use snitch_sim::{Cluster, ClusterConfig, RunReport};
 
 use crate::backends::{Backend, BackendRegistry, ExecRequest, Fidelity, SimBackend};
@@ -115,6 +116,15 @@ pub struct SessionConfig {
     pub max_cached_kernels: usize,
     /// Maximum idle clusters kept in the pool (`0` disables pooling).
     pub max_pooled_clusters: usize,
+    /// Whether every fresh compile is gated through the static kernel
+    /// verifier (`saris-verify`): error-severity findings reject the
+    /// kernel as [`CodegenError::StaticVerification`] before any cycle is
+    /// simulated, and clean kernels record their proven
+    /// [`StaticBound`] for the
+    /// calibration-drift cross-check. On by default in debug builds
+    /// (tests included); opt-in for release sessions, where compile
+    /// latency matters more.
+    pub verify_kernels: bool,
 }
 
 impl Default for SessionConfig {
@@ -125,6 +135,7 @@ impl Default for SessionConfig {
         SessionConfig {
             max_cached_kernels: 1024,
             max_pooled_clusters: 64,
+            verify_kernels: cfg!(debug_assertions),
         }
     }
 }
@@ -234,6 +245,13 @@ pub struct SessionStats {
     pub compiles: u64,
     /// Kernel-cache hits.
     pub cache_hits: u64,
+    /// Fresh compiles that passed the static verifier gate
+    /// ([`SessionConfig::verify_kernels`]).
+    pub kernels_verified: u64,
+    /// Analytic-tier answers whose estimated cycle count fell *below* a
+    /// kernel's statically proven lower bound — an impossible cycle
+    /// count, flagging calibration drift in the roofline model.
+    pub bound_violations: u64,
     /// Runs that recycled a pooled cluster.
     pub clusters_reused: u64,
     /// Cache/pool entries dropped by the [`SessionConfig`] bounds
@@ -308,6 +326,12 @@ pub struct Session {
     /// repeated `verify(tol)` sweeps reuse these instead of allocating a
     /// fresh grid per comparison.
     scratch: GridArena,
+    /// Statically proven cycle lower bounds, one per verified kernel.
+    /// Fed by the [`SessionConfig::verify_kernels`] gate (and
+    /// [`Session::static_bound`] on demand); read by the analytic-tier
+    /// cross-check that counts
+    /// [`SessionStats::bound_violations`].
+    bounds: Mutex<HashMap<KernelKey, StaticBound>>,
 }
 
 impl Default for Session {
@@ -383,6 +407,7 @@ impl Session {
             stats: Mutex::new(SessionStats::default()),
             calibration,
             scratch: GridArena::new(),
+            bounds: Mutex::new(HashMap::new()),
         }
     }
 
@@ -494,7 +519,31 @@ impl Session {
             stats.cache_hits += 1;
             return Ok((Arc::clone(kernel), true));
         }
-        let kernel = match compile(stencil, extent, options) {
+        // Fresh compiles pass through the static verifier gate before
+        // they become visible to any caller: a kernel with error-severity
+        // findings is rejected like a failed compile, and a clean one
+        // records its proven cycle lower bound.
+        let compiled = compile(stencil, extent, options).and_then(|kernel| {
+            if self.config.verify_kernels {
+                let report = crate::verify::verify_kernel(stencil, &kernel, options);
+                if report.has_errors() {
+                    return Err(CodegenError::StaticVerification {
+                        name: stencil.name().to_string(),
+                        findings: report.errors().map(ToString::to_string).collect(),
+                    });
+                }
+                self.bounds
+                    .lock()
+                    .expect("static bound lock")
+                    .insert(key, report.bound);
+                self.stats
+                    .lock()
+                    .expect("session stats lock")
+                    .kernels_verified += 1;
+            }
+            Ok(kernel)
+        });
+        let kernel = match compiled {
             Ok(kernel) => Arc::new(kernel),
             Err(e) => {
                 // Drop the failed key's entry so it neither occupies LRU
@@ -517,6 +566,36 @@ impl Session {
         let mut stats = self.stats.lock().expect("session stats lock");
         stats.compiles += 1;
         Ok((kernel, false))
+    }
+
+    /// The statically proven cycle lower bound for `stencil` at `extent`
+    /// under `options`, computing (and caching) it on demand when the
+    /// [`SessionConfig::verify_kernels`] gate has not already recorded
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors, including
+    /// [`CodegenError::StaticVerification`] when the gate is on and the
+    /// kernel fails it.
+    pub fn static_bound(
+        &self,
+        stencil: &Stencil,
+        extent: Extent,
+        options: &RunOptions,
+    ) -> Result<StaticBound, CodegenError> {
+        let key = KernelKey::new(stencil, extent, options);
+        if let Some(bound) = self.bounds.lock().expect("static bound lock").get(&key) {
+            return Ok(bound.clone());
+        }
+        let (kernel, _) = self.compile_cached(stencil, extent, options)?;
+        let mut bounds = self.bounds.lock().expect("static bound lock");
+        if let Some(bound) = bounds.get(&key) {
+            return Ok(bound.clone());
+        }
+        let report = crate::verify::verify_kernel(stencil, &kernel, options);
+        bounds.insert(key, report.bound.clone());
+        Ok(report.bound)
     }
 
     /// One kernel execution: compile (through the cache, when the backend
@@ -1062,6 +1141,32 @@ impl Session {
                 self.feed_calibration(work, report);
             }
         }
+        // The drift detector's other half: an *analytic* estimate below a
+        // kernel's statically proven cycle floor is an impossible number —
+        // the roofline model (or its calibration data) has drifted.
+        // Opportunistic: only kernels the verifier gate (or a
+        // `static_bound` call) has already bounded are checked.
+        if fidelity == Fidelity::Analytic {
+            let key = KernelKey::new(stencil, work.extent, &options);
+            if let Some(bound) = self.bounds.lock().expect("static bound lock").get(&key) {
+                let low = reports.iter().filter(|r| r.cycles < bound.cycles).count();
+                if low > 0 {
+                    self.stats
+                        .lock()
+                        .expect("session stats lock")
+                        .bound_violations += low as u64;
+                }
+            }
+        }
+        // Surface the winning kernel's per-point-visit instruction mix
+        // (the paper's Section 2.1 accounting) alongside the cache/pool
+        // counters.
+        if let Some(k) = &kernel {
+            if let Some(cc) = k.cores.first() {
+                tel.mix_counts =
+                    saris_isa::analysis::point_mix(&cc.program, cc.point_loop.as_ref()).counts();
+            }
+        }
         tel.answered_by = Some(fidelity);
 
         Ok(Outcome {
@@ -1343,6 +1448,7 @@ mod tests {
         let session = Session::with_config(SessionConfig {
             max_cached_kernels: 1,
             max_pooled_clusters: 64,
+            ..SessionConfig::default()
         });
         let u1 = jacobi_spec();
         let u2 = Workload::new(gallery::jacobi_2d())
@@ -1366,6 +1472,7 @@ mod tests {
         let session = Session::with_config(SessionConfig {
             max_cached_kernels: 1024,
             max_pooled_clusters: 0,
+            ..SessionConfig::default()
         });
         let spec = jacobi_spec();
         session.submit(&spec).unwrap();
@@ -1380,6 +1487,7 @@ mod tests {
         let session = Session::with_config(SessionConfig {
             max_cached_kernels: 2,
             max_pooled_clusters: 64,
+            ..SessionConfig::default()
         });
         // j3d27pt at base unroll 4 fails on register pressure; the
         // failed key must not linger as an empty entry that occupies

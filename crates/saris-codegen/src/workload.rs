@@ -618,6 +618,23 @@ pub struct WorkloadTelemetry {
     /// accuracy budget, [`Fidelity::Cycles`] when the request escalated.
     /// DMA probes always answer on the cycle tier.
     pub answered_by: Option<Fidelity>,
+    /// Per-class issue-slot counts of the winning kernel's steady-state
+    /// per-point-visit work (the paper's Section 2.1 accounting), in
+    /// [`InstrClass::ALL`](saris_isa::analysis::InstrClass::ALL) order.
+    /// All zeros on codegen-free backends. Decode with
+    /// [`WorkloadTelemetry::instr_mix`].
+    pub mix_counts: [u64; 6],
+}
+
+impl WorkloadTelemetry {
+    /// The kernel's per-point-visit instruction mix — compute vs memory
+    /// vs address-calculation issue-slot shares ([`mix_counts`] decoded
+    /// into the [`InstrMix`](saris_isa::analysis::InstrMix) vocabulary).
+    ///
+    /// [`mix_counts`]: WorkloadTelemetry::mix_counts
+    pub fn instr_mix(&self) -> saris_isa::analysis::InstrMix {
+        saris_isa::analysis::InstrMix::from_counts(self.mix_counts)
+    }
 }
 
 /// The response half of the execution-engine API: everything one

@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod error;

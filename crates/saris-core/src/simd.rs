@@ -251,7 +251,7 @@ impl RowTape<'_> {
     ///
     /// The caller must have verified at runtime that the host supports
     /// `avx2` and `fma`.
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn sweep_avx2(&self, out_data: &mut [f64]) {
         self.sweep(out_data)
@@ -314,7 +314,10 @@ pub(crate) fn apply_rows(stencil: &Stencil, inputs: &[&Grid], out: &mut Grid) {
     };
     let out_data = out.as_mut_slice();
 
-    #[cfg(target_arch = "x86_64")]
+    // Miri cannot execute `#[target_feature]` clones (and feature
+    // detection is meaningless under it), so interpretation always
+    // takes the portable sweep.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
         // SAFETY: both required features were just detected on the host.
         unsafe { tape.sweep_avx2(out_data) };

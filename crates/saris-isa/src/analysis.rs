@@ -120,6 +120,18 @@ impl InstrMix {
         mix
     }
 
+    /// Reconstructs a mix from a raw count array (the inverse of
+    /// [`InstrMix::counts`]) — used by telemetry types that store the
+    /// counts as plain integers to stay `Copy + Eq`.
+    pub fn from_counts(counts: [u64; 6]) -> InstrMix {
+        InstrMix { counts }
+    }
+
+    /// The raw per-class issue-slot counts, in [`InstrClass::ALL`] order.
+    pub fn counts(&self) -> [u64; 6] {
+        self.counts
+    }
+
     /// Instructions in `class`.
     pub fn count(&self, class: InstrClass) -> u64 {
         self.counts[class.index()]
@@ -218,6 +230,49 @@ pub fn loop_body_mix(program: &Program, range: Range<usize>) -> InstrMix {
         } else {
             mix.counts[classify(instr).index()] += instr.issue_cost() as u64;
             i += 1;
+        }
+    }
+    mix
+}
+
+/// The steady-state *per-point-visit* instruction mix of a compiled
+/// kernel: the paper's Section 2.1 accounting, generalized to both code
+/// variants.
+///
+/// `point_loop` is the code generator's annotated innermost loop (falls
+/// back to [`innermost_loop`] when `None`). For baseline kernels that
+/// range *is* the per-point work and the mix is counted directly. For
+/// SARIS kernels the annotated range is the per-window launch loop
+/// (`SetBase`/`Commit`/bump/branch) while the FP work sits in an `frep`
+/// body outside it that replays once per window — so the first FREP
+/// body's instructions are added once each, giving the same
+/// per-window issue-slot accounting as the paper's Listing 1d.
+pub fn point_mix(program: &Program, point_loop: Option<&Range<usize>>) -> InstrMix {
+    let fallback;
+    let range = match point_loop {
+        Some(r) => r.clone(),
+        None => match innermost_loop(program) {
+            Some(r) => {
+                fallback = r;
+                fallback
+            }
+            None => return InstrMix::default(),
+        },
+    };
+    let mut mix = InstrMix::of(&program.instrs()[range.start..range.end.min(program.len())]);
+    // Add the first FREP body (one execution per window) when it lies
+    // outside the counted range.
+    for (i, instr) in program.iter() {
+        if let Instr::Frep { n_instrs, .. } = instr {
+            if range.contains(&i) {
+                break;
+            }
+            let body = i + 1..(i + 1 + *n_instrs as usize).min(program.len());
+            let body_mix = InstrMix::of(&program.instrs()[body]);
+            for (slot, add) in mix.counts.iter_mut().zip(body_mix.counts) {
+                *slot += add;
+            }
+            break;
         }
     }
     mix
@@ -476,6 +531,64 @@ mod tests {
         // frep (control, 1) + fadd x 4 repetitions.
         assert_eq!(mix.count(InstrClass::Control), 1);
         assert_eq!(mix.count(InstrClass::Compute), 4);
+    }
+
+    #[test]
+    fn point_mix_adds_frep_body_outside_the_launch_loop() {
+        use crate::instr::{SsrId, SsrSet};
+        // SARIS shape: frep + 2-instr FP body, then a launch loop of
+        // SetBase/Commit/bump/branch.
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Frep {
+            count: FrepCount::Imm(9),
+            n_instrs: 2,
+        });
+        b.push(Instr::FpR {
+            op: FpROp::Mul,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT0,
+            rs2: FpReg::FT4,
+        });
+        b.push(Instr::FpR4 {
+            op: FpR4Op::Madd,
+            rd: FpReg::FT2,
+            rs1: FpReg::FT0,
+            rs2: FpReg::FT3,
+            rs3: FpReg::FT3,
+        });
+        let head = b.bind_here();
+        b.push(Instr::SsrSetBase {
+            ssr: SsrId::Ssr0,
+            rs1: IntReg::T0,
+        });
+        b.push(Instr::SsrCommit {
+            ssrs: SsrSet::of(SsrId::Ssr0),
+        });
+        b.addi(IntReg::T0, IntReg::T0, 8);
+        b.bne(IntReg::T0, IntReg::T1, head);
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        let mix = point_mix(&p, Some(&(3..7)));
+        // Launch loop: 2 stream + 1 addr + 1 control; body: 2 compute.
+        assert_eq!(mix.count(InstrClass::Stream), 2);
+        assert_eq!(mix.count(InstrClass::AddrCalc), 1);
+        assert_eq!(mix.count(InstrClass::Control), 1);
+        assert_eq!(mix.count(InstrClass::Compute), 2);
+        assert_eq!(mix.total(), 6);
+        // Round-trip through the raw counts array.
+        assert_eq!(InstrMix::from_counts(mix.counts()), mix);
+    }
+
+    #[test]
+    fn point_mix_counts_plain_loops_directly() {
+        let loop_body = listing_1b_loop();
+        let mut instrs = loop_body.clone();
+        instrs.push(Instr::Halt);
+        let p = Program::from_raw_instrs(instrs);
+        let mix = point_mix(&p, Some(&(0..loop_body.len())));
+        assert_eq!(mix, InstrMix::of(&loop_body));
+        // Fallback path: no annotation, innermost backward branch found.
+        assert_eq!(point_mix(&p, None), InstrMix::of(&loop_body));
     }
 
     #[test]

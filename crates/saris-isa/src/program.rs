@@ -78,6 +78,19 @@ impl Program {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Instr)> {
         self.instrs.iter().enumerate()
     }
+
+    /// Builds a program directly from raw instructions, *bypassing*
+    /// [`validate`]. Exists so analyzers and negative tests can construct
+    /// deliberately malformed programs (dangling branches, missing
+    /// `halt`, corrupted stream configurations) that [`ProgramBuilder`]
+    /// would refuse; never hand such a program to the simulator without
+    /// validating it first.
+    pub fn from_raw_instrs(instrs: Vec<Instr>) -> Program {
+        Program {
+            instrs,
+            markers: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Program {

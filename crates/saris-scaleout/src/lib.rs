@@ -18,6 +18,7 @@
 //!   bootstrapping (seeded) from the per-core runtime distribution
 //!   observed inside one cluster.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod machine;

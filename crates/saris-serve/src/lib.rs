@@ -61,6 +61,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::{HashMap, VecDeque};

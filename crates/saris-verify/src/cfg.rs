@@ -1,0 +1,241 @@
+//! Control-flow graph recovery and termination-shape checks.
+//!
+//! Programs in this ISA carry absolute branch targets, so CFG recovery is
+//! exact: block leaders are instruction 0, every branch/jump target, and
+//! every instruction following a control transfer or `halt`. The two
+//! properties checked here are purely structural:
+//!
+//! * every reachable block must be able to *reach* a `halt` — a reachable
+//!   strongly-trapped loop is a static non-termination proof (the only
+//!   way a core stops is `halt`);
+//! * unreachable blocks are flagged as dead code (warning).
+//!
+//! FREP hardware loops need no special casing: their bodies are straight
+//! FP code with no control transfers (enforced by program validation).
+
+use saris_isa::{Instr, Program};
+
+use crate::diag::{DiagKind, Diagnostic};
+
+/// One basic block: the half-open instruction range `start..end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor blocks, as indices into [`Cfg::blocks`].
+    pub succs: Vec<usize>,
+}
+
+/// A recovered control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in ascending instruction order.
+    pub blocks: Vec<Block>,
+    /// Per-block reachability from instruction 0.
+    pub reachable: Vec<bool>,
+    /// Per-block: can any path from this block reach a `halt`?
+    pub reaches_halt: Vec<bool>,
+}
+
+impl Cfg {
+    /// Recovers the CFG of `program` and computes both reachability sets.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        let mut leader = vec![false; n.max(1)];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, instr) in program.iter() {
+            match instr {
+                Instr::Branch { target, .. } => {
+                    if *target < n {
+                        leader[*target] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Instr::Jump { target } => {
+                    if *target < n {
+                        leader[*target] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Instr::Halt if i + 1 < n => leader[i + 1] = true,
+                _ => {}
+            }
+        }
+
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let block_of = |pc: usize| -> usize {
+            match starts.binary_search(&pc) {
+                Ok(b) => b,
+                Err(b) => b.saturating_sub(1),
+            }
+        };
+
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n);
+            let last = &program.instrs()[end - 1];
+            let mut succs = Vec::new();
+            match last {
+                Instr::Branch { target, .. } => {
+                    if *target < n {
+                        succs.push(block_of(*target));
+                    }
+                    if end < n {
+                        succs.push(block_of(end));
+                    }
+                }
+                Instr::Jump { target } => {
+                    if *target < n {
+                        succs.push(block_of(*target));
+                    }
+                }
+                Instr::Halt => {}
+                _ => {
+                    if end < n {
+                        succs.push(block_of(end));
+                    }
+                }
+            }
+            blocks.push(Block { start, end, succs });
+        }
+
+        let reachable = forward_reach(&blocks);
+        let reaches_halt = backward_halt_reach(program, &blocks);
+        Cfg {
+            blocks,
+            reachable,
+            reaches_halt,
+        }
+    }
+
+    /// Structural findings: unreachable blocks (warnings) and reachable
+    /// blocks from which no `halt` is reachable (non-termination errors).
+    pub fn diagnostics(&self, core: usize) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (b, block) in self.blocks.iter().enumerate() {
+            if !self.reachable[b] {
+                out.push(Diagnostic {
+                    core,
+                    at: Some(block.start),
+                    kind: DiagKind::Unreachable {
+                        block_start: block.start,
+                    },
+                });
+            } else if !self.reaches_halt[b] {
+                out.push(Diagnostic {
+                    core,
+                    at: Some(block.start),
+                    kind: DiagKind::NonTermination {
+                        reason: format!("no path from block @{} reaches halt", block.start),
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+fn forward_reach(blocks: &[Block]) -> Vec<bool> {
+    let mut seen = vec![false; blocks.len()];
+    let mut stack = Vec::new();
+    if !blocks.is_empty() {
+        seen[0] = true;
+        stack.push(0);
+    }
+    while let Some(b) = stack.pop() {
+        for &s in &blocks[b].succs {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+fn backward_halt_reach(program: &Program, blocks: &[Block]) -> Vec<bool> {
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); blocks.len()];
+    for (b, block) in blocks.iter().enumerate() {
+        for &s in &block.succs {
+            preds[s].push(b);
+        }
+    }
+    let mut seen = vec![false; blocks.len()];
+    let mut stack = Vec::new();
+    for (b, block) in blocks.iter().enumerate() {
+        if matches!(program.instrs()[block.end - 1], Instr::Halt) {
+            seen[b] = true;
+            stack.push(b);
+        }
+    }
+    while let Some(b) = stack.pop() {
+        for &p in &preds[b] {
+            if !seen[p] {
+                seen[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_isa::{IntReg, ProgramBuilder};
+
+    fn counted_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 3);
+        let head = b.bind_here();
+        b.addi(IntReg::T0, IntReg::T0, -1);
+        b.bne(IntReg::T0, IntReg::ZERO, head);
+        b.push(Instr::Halt);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn loop_blocks_and_reachability() {
+        let cfg = Cfg::build(&counted_loop());
+        // Blocks: [li], [addi, bne], [halt].
+        assert_eq!(cfg.blocks.len(), 3);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        assert!(cfg.reaches_halt.iter().all(|&r| r));
+        assert!(cfg.diagnostics(0).is_empty());
+        // The loop body branches back to itself and falls through to halt.
+        assert_eq!(cfg.blocks[1].succs, vec![1, 2]);
+    }
+
+    #[test]
+    fn trapped_loop_is_a_nontermination_error() {
+        // jump over an infinite jump-to-self... made reachable:
+        //   0: j @1    1: j @1    (halt unreachable from block 1)
+        let program = Program::from_raw_instrs(vec![
+            Instr::Jump { target: 1 },
+            Instr::Jump { target: 1 },
+            Instr::Halt,
+        ]);
+        let cfg = Cfg::build(&program);
+        let diags = cfg.diagnostics(0);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::NonTermination { .. })),
+            "{diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::Unreachable { block_start: 2 })),
+            "{diags:?}"
+        );
+    }
+}

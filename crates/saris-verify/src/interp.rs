@@ -1,0 +1,953 @@
+//! Bounded concrete interpretation of one core's program.
+//!
+//! SARIS kernels are *closed* programs: every loop bound, pointer, and
+//! stream base is materialized by `li`/`addi` chains at compile time, so a
+//! concrete interpreter with an `Uninit | Known | Unknown` value lattice
+//! resolves essentially everything without executing the simulator. The
+//! interpreter walks the integer pipeline exactly (following concretely
+//! resolved branches under a step budget), models the three streamers'
+//! setup/stage/arm protocol, and at each `ssr_commit` enumerates the armed
+//! job's full address sequence against the kernel's [`MemoryMap`] — this
+//! is the heart of the stream-legality proof.
+//!
+//! Along the way it accumulates everything the static cost bound needs:
+//! issue cycles (FREP bodies issued once), FP executions and flops
+//! (replays included), a RAW-dependency latency chain through the FP
+//! register file, and a per-bank TCDM access histogram.
+//!
+//! Everything here is *optimistic*: where precision is lost (capped
+//! enumeration, unknown values) the interpreter under-counts and emits a
+//! warning rather than inventing cycles, so the resulting bound stays a
+//! true lower bound.
+
+use saris_isa::{FrepCount, Instr, IntReg, Program, SsrCfg, SsrId, StreamDir};
+use snitch_sim::{ClusterConfig, ExecTable, TCDM_BASE};
+
+use crate::diag::{DiagKind, Diagnostic};
+use crate::memmap::MemoryMap;
+
+/// Full address enumeration is abandoned past this many elements per job;
+/// the corner (min/max address) check takes over.
+const ADDR_ENUM_CAP: u64 = 1 << 22;
+
+/// Interpreter step budget; exceeding it yields a non-termination error.
+const STEP_BUDGET: u64 = 20_000_000;
+
+/// What the interpreter learned about one core.
+#[derive(Debug, Clone)]
+pub struct CoreAnalysis {
+    /// Findings, in discovery order.
+    pub diags: Vec<Diagnostic>,
+    /// Whether interpretation reached `halt` (false on early bail).
+    pub halted: bool,
+    /// Integer-pipeline issue cycles (FREP bodies issued once).
+    pub issue_cycles: u64,
+    /// FP arithmetic executions, replays included (FPU is single-issue).
+    pub fpu_cycles: u64,
+    /// Floating-point operations executed (FMAs count 2).
+    pub flops: u64,
+    /// Length of the longest RAW dependency chain through the FP
+    /// register file, in cycles.
+    pub latency_chain: u64,
+    /// TCDM accesses per bank (stream elements, index fetches, scalar
+    /// memory operations).
+    pub bank_hist: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Uninit,
+    Known(i64),
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamState {
+    cfg: SsrCfg,
+    set_at: usize,
+    armed: bool,
+}
+
+struct Interp<'a> {
+    program: &'a Program,
+    table: ExecTable,
+    map: &'a MemoryMap,
+    cfg: &'a ClusterConfig,
+    core: usize,
+
+    int: [Val; 32],
+    int_reported: [bool; 32],
+    fp_def: [bool; 32],
+    fp_reported: [bool; 32],
+    fp_avail: [u64; 32],
+
+    ssr_enabled: bool,
+    streams: [Option<StreamState>; 3],
+    staged: [Option<Val>; 3],
+
+    out: CoreAnalysis,
+    write_spans: Vec<(u64, u64)>,
+    core_stores: Vec<(u64, usize)>,
+    steps: u64,
+    stopped: bool,
+}
+
+/// Interprets `program` against `map`, reporting findings as `core`.
+pub fn interpret(
+    program: &Program,
+    map: &MemoryMap,
+    cfg: &ClusterConfig,
+    core: usize,
+) -> CoreAnalysis {
+    let mut interp = Interp {
+        program,
+        table: ExecTable::decode(program, cfg),
+        map,
+        cfg,
+        core,
+        int: [Val::Uninit; 32],
+        int_reported: [false; 32],
+        fp_def: [false; 32],
+        fp_reported: [false; 32],
+        fp_avail: [0; 32],
+        ssr_enabled: false,
+        streams: [None; 3],
+        staged: [None; 3],
+        out: CoreAnalysis {
+            diags: Vec::new(),
+            halted: false,
+            issue_cycles: 0,
+            fpu_cycles: 0,
+            flops: 0,
+            latency_chain: 0,
+            bank_hist: vec![0; cfg.tcdm_banks],
+        },
+        write_spans: Vec::new(),
+        core_stores: Vec::new(),
+        steps: 0,
+        stopped: false,
+    };
+    interp.int[0] = Val::Known(0);
+    interp.run();
+    interp.finish()
+}
+
+impl Interp<'_> {
+    fn diag(&mut self, at: Option<usize>, kind: DiagKind) {
+        self.out.diags.push(Diagnostic {
+            core: self.core,
+            at,
+            kind,
+        });
+    }
+
+    fn issue(&mut self, pc: usize) {
+        if let Some(meta) = self.table.meta(pc) {
+            self.out.issue_cycles += u64::from(meta.issue_cost);
+        }
+    }
+
+    fn read_int(&mut self, reg: IntReg, at: usize) -> Val {
+        let i = reg.index() as usize;
+        match self.int[i] {
+            Val::Uninit => {
+                if !self.int_reported[i] {
+                    self.int_reported[i] = true;
+                    self.diag(
+                        Some(at),
+                        DiagKind::UseBeforeDef {
+                            reg: reg.to_string(),
+                        },
+                    );
+                }
+                Val::Unknown
+            }
+            v => v,
+        }
+    }
+
+    fn write_int(&mut self, reg: IntReg, val: Val) {
+        if !reg.is_zero() {
+            self.int[reg.index() as usize] = val;
+        }
+    }
+
+    /// Reads an FP register for def-use purposes; returns its availability
+    /// cycle for the latency chain (streams are always ready).
+    fn read_fp(&mut self, reg: saris_isa::FpReg, at: usize) -> u64 {
+        if reg.is_stream_capable() && self.ssr_enabled {
+            return 0;
+        }
+        let i = reg.index() as usize;
+        if !self.fp_def[i] && !self.fp_reported[i] {
+            self.fp_reported[i] = true;
+            self.diag(
+                Some(at),
+                DiagKind::UseBeforeDef {
+                    reg: reg.to_string(),
+                },
+            );
+        }
+        self.fp_avail[i]
+    }
+
+    fn touch_bank(&mut self, addr: u64) {
+        let tcdm_end = TCDM_BASE + self.cfg.tcdm_bytes as u64;
+        if (TCDM_BASE..tcdm_end).contains(&addr) {
+            let word = (addr - TCDM_BASE) / 8;
+            self.out.bank_hist[(word % self.cfg.tcdm_banks as u64) as usize] += 1;
+        }
+    }
+
+    fn check_scalar(&mut self, addr: u64, len: u64, write: bool, at: usize) {
+        let ok = if write {
+            self.map.writable(addr, len)
+        } else {
+            self.map.readable(addr, len)
+        };
+        if !ok {
+            self.diag(Some(at), DiagKind::MemOutOfBounds { addr, write });
+        }
+        self.touch_bank(addr);
+        if write {
+            self.core_stores.push((addr, at));
+        }
+    }
+
+    fn run(&mut self) {
+        let mut pc = 0usize;
+        while !self.stopped {
+            self.steps += 1;
+            if self.steps > STEP_BUDGET {
+                self.diag(
+                    Some(pc),
+                    DiagKind::NonTermination {
+                        reason: format!("step budget ({STEP_BUDGET}) exhausted"),
+                    },
+                );
+                return;
+            }
+            let Some(instr) = self.program.get(pc) else {
+                // `validate` guarantees a terminator; running off the end
+                // only happens on raw (mutated) programs.
+                self.diag(
+                    Some(pc.saturating_sub(1)),
+                    DiagKind::NonTermination {
+                        reason: "execution ran off the end of the program".into(),
+                    },
+                );
+                return;
+            };
+            let instr = instr.clone();
+            self.issue(pc);
+            match &instr {
+                Instr::Li { rd, imm } => {
+                    self.write_int(*rd, Val::Known(*imm));
+                }
+                Instr::Addi { rd, rs1, imm } => {
+                    let v = self.read_int(*rs1, pc);
+                    self.write_int(*rd, combine(v, Val::Known(i64::from(*imm)), |a, b| a + b));
+                }
+                Instr::Add { rd, rs1, rs2 } => {
+                    let (a, b) = (self.read_int(*rs1, pc), self.read_int(*rs2, pc));
+                    self.write_int(*rd, combine(a, b, |a, b| a.wrapping_add(b)));
+                }
+                Instr::Sub { rd, rs1, rs2 } => {
+                    let (a, b) = (self.read_int(*rs1, pc), self.read_int(*rs2, pc));
+                    self.write_int(*rd, combine(a, b, |a, b| a.wrapping_sub(b)));
+                }
+                Instr::Mul { rd, rs1, rs2 } => {
+                    let (a, b) = (self.read_int(*rs1, pc), self.read_int(*rs2, pc));
+                    self.write_int(*rd, combine(a, b, |a, b| a.wrapping_mul(b)));
+                }
+                Instr::Slli { rd, rs1, shamt } => {
+                    let v = self.read_int(*rs1, pc);
+                    let s = *shamt;
+                    self.write_int(
+                        *rd,
+                        combine(v, Val::Known(0), |a, _| a.wrapping_shl(s.into())),
+                    );
+                }
+                Instr::Lw { rd, base, imm } => {
+                    if let Val::Known(b) = self.read_int(*base, pc) {
+                        self.check_scalar((b + i64::from(*imm)) as u64, 4, false, pc);
+                    }
+                    // TCDM data contents are not modeled.
+                    self.write_int(*rd, Val::Unknown);
+                }
+                Instr::Sw { rs2, base, imm } => {
+                    self.read_int(*rs2, pc);
+                    if let Val::Known(b) = self.read_int(*base, pc) {
+                        self.check_scalar((b + i64::from(*imm)) as u64, 4, true, pc);
+                    }
+                }
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let (a, b) = (self.read_int(*rs1, pc), self.read_int(*rs2, pc));
+                    let (Val::Known(a), Val::Known(b)) = (a, b) else {
+                        self.diag(
+                            Some(pc),
+                            DiagKind::UnresolvedValue {
+                                what: "branch condition".into(),
+                            },
+                        );
+                        return;
+                    };
+                    if cond.eval(a as u64, b as u64) {
+                        if *target == pc {
+                            self.diag(
+                                Some(pc),
+                                DiagKind::NonTermination {
+                                    reason: "taken branch targets itself".into(),
+                                },
+                            );
+                            return;
+                        }
+                        self.out.issue_cycles += u64::from(self.cfg.branch_taken_penalty);
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::Jump { target } => {
+                    if *target == pc {
+                        self.diag(
+                            Some(pc),
+                            DiagKind::NonTermination {
+                                reason: "jump targets itself".into(),
+                            },
+                        );
+                        return;
+                    }
+                    self.out.issue_cycles += u64::from(self.cfg.branch_taken_penalty);
+                    pc = *target;
+                    continue;
+                }
+                Instr::Fld { .. }
+                | Instr::Fsd { .. }
+                | Instr::FpR { .. }
+                | Instr::FpR4 { .. }
+                | Instr::FpU { .. } => {
+                    self.exec_fp(&instr, pc);
+                }
+                Instr::Frep { count, n_instrs } => {
+                    let reps = match count {
+                        FrepCount::Imm(k) => u64::from(*k) + 1,
+                        FrepCount::Reg(r) => match self.read_int(*r, pc) {
+                            Val::Known(v) => (v.max(0) as u64) + 1,
+                            _ => {
+                                self.diag(
+                                    Some(pc),
+                                    DiagKind::UnresolvedValue {
+                                        what: "frep repetition count".into(),
+                                    },
+                                );
+                                return;
+                            }
+                        },
+                    };
+                    let body = pc + 1..(pc + 1 + *n_instrs as usize).min(self.program.len());
+                    // Body instructions consume issue slots once (the
+                    // sequencer replays them for free).
+                    for i in body.clone() {
+                        self.issue(i);
+                    }
+                    self.steps += reps.saturating_mul(body.len() as u64);
+                    if self.steps > STEP_BUDGET {
+                        self.diag(
+                            Some(pc),
+                            DiagKind::NonTermination {
+                                reason: format!("step budget ({STEP_BUDGET}) exhausted"),
+                            },
+                        );
+                        return;
+                    }
+                    for _ in 0..reps {
+                        for i in body.clone() {
+                            let body_instr = self.program.instrs()[i].clone();
+                            self.exec_fp(&body_instr, i);
+                        }
+                    }
+                    pc = body.end;
+                    continue;
+                }
+                Instr::SsrEnable => self.ssr_enabled = true,
+                Instr::SsrDisable => self.ssr_enabled = false,
+                Instr::SsrSetup { ssr, cfg } => self.ssr_setup(*ssr, cfg.as_ref(), pc),
+                Instr::SsrSetBase { ssr, rs1 } => {
+                    let v = self.read_int(*rs1, pc);
+                    self.staged[ssr.index()] = Some(v);
+                }
+                Instr::SsrCommit { ssrs } => {
+                    for ssr in ssrs.iter() {
+                        self.commit_job(ssr, pc);
+                    }
+                }
+                Instr::Nop => {}
+                Instr::Halt => {
+                    self.out.halted = true;
+                    return;
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    fn exec_fp(&mut self, instr: &Instr, pc: usize) {
+        match instr {
+            Instr::Fld { rd, base, imm } => {
+                if let Val::Known(b) = self.read_int(*base, pc) {
+                    self.check_scalar((b + i64::from(*imm)) as u64, 8, false, pc);
+                }
+                self.fp_def[rd.index() as usize] = true;
+                // Loads are treated as ready immediately (optimistic).
+                self.fp_avail[rd.index() as usize] = 0;
+            }
+            Instr::Fsd { rs2, base, imm } => {
+                self.read_fp(*rs2, pc);
+                if let Val::Known(b) = self.read_int(*base, pc) {
+                    self.check_scalar((b + i64::from(*imm)) as u64, 8, true, pc);
+                }
+            }
+            _ => {
+                let Some(ops) = instr.fp_operands() else {
+                    return;
+                };
+                let mut start = 0u64;
+                for src in ops.srcs() {
+                    start = start.max(self.read_fp(*src, pc));
+                }
+                let lat = self.table.meta(pc).and_then(|m| m.fp_latency).unwrap_or(1);
+                let done = start + lat;
+                self.out.latency_chain = self.out.latency_chain.max(done);
+                self.out.fpu_cycles += 1;
+                self.out.flops += instr.flops();
+                if !(ops.rd.is_stream_capable() && self.ssr_enabled) {
+                    self.fp_def[ops.rd.index() as usize] = true;
+                    self.fp_avail[ops.rd.index() as usize] = done;
+                }
+            }
+        }
+    }
+
+    fn ssr_setup(&mut self, ssr: SsrId, cfg: &SsrCfg, pc: usize) {
+        if matches!(cfg, SsrCfg::Indirect(_)) && !ssr.supports_indirection() {
+            self.diag(Some(pc), DiagKind::IllegalIndirection { ssr });
+        }
+        if let Some(prev) = self.streams[ssr.index()] {
+            if !prev.armed {
+                self.diag(Some(prev.set_at), DiagKind::DeadStreamConfig { ssr });
+            }
+        }
+        self.streams[ssr.index()] = Some(StreamState {
+            cfg: *cfg,
+            set_at: pc,
+            armed: false,
+        });
+    }
+
+    fn commit_job(&mut self, ssr: SsrId, pc: usize) {
+        let Some(mut state) = self.streams[ssr.index()] else {
+            self.diag(Some(pc), DiagKind::CommitWithoutSetup { ssr });
+            return;
+        };
+        state.armed = true;
+        self.streams[ssr.index()] = Some(state);
+        let staged = self.staged[ssr.index()].take();
+        match state.cfg {
+            SsrCfg::Affine(a) => {
+                let extra = match staged {
+                    None => 0,
+                    Some(Val::Known(v)) => v,
+                    Some(_) => {
+                        self.diag(
+                            Some(pc),
+                            DiagKind::UnresolvedValue {
+                                what: format!("{ssr} staged base"),
+                            },
+                        );
+                        return;
+                    }
+                };
+                self.affine_job(ssr, &a, a.base.wrapping_add(extra as u64), pc);
+            }
+            SsrCfg::Indirect(i) => {
+                let base = match staged {
+                    Some(Val::Known(v)) => v as u64,
+                    _ => {
+                        self.diag(
+                            Some(pc),
+                            DiagKind::UnresolvedValue {
+                                what: format!("{ssr} indirect base"),
+                            },
+                        );
+                        return;
+                    }
+                };
+                self.indirect_job(ssr, &i, base, pc);
+            }
+        }
+    }
+
+    fn stream_access_ok(&self, addr: u64, dir: StreamDir) -> bool {
+        match dir {
+            StreamDir::Read => self.map.readable(addr, 8),
+            StreamDir::Write => self.map.writable(addr, 8),
+        }
+    }
+
+    fn affine_job(&mut self, ssr: SsrId, a: &saris_isa::AffineCfg, base: u64, pc: usize) {
+        let dims = a.dims as usize;
+        for k in 0..dims {
+            if a.bounds[k] == 0 {
+                self.diag(Some(pc), DiagKind::ZeroBound { ssr });
+                return;
+            }
+        }
+        let total = a.total_elems();
+        if total > ADDR_ENUM_CAP {
+            // Corner check: with per-dimension extremes the min/max
+            // addresses bound the whole affine sequence.
+            let (mut lo, mut hi) = (base as i64, base as i64);
+            for k in 0..dims {
+                let span = a.strides[k] * (i64::from(a.bounds[k]) - 1);
+                lo += span.min(0);
+                hi += span.max(0);
+            }
+            for corner in [lo as u64, hi as u64] {
+                if !self.stream_access_ok(corner, a.dir) {
+                    self.diag(
+                        Some(pc),
+                        DiagKind::StreamOutOfBounds {
+                            ssr,
+                            addr: corner,
+                            dir: a.dir,
+                        },
+                    );
+                    return;
+                }
+            }
+            if a.dir == StreamDir::Write {
+                self.write_spans.push((lo as u64, (hi as u64) + 8));
+            }
+            return;
+        }
+        let mut dma_flagged = false;
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        let bound = |k: usize| -> u32 {
+            if k < dims {
+                a.bounds[k]
+            } else {
+                1
+            }
+        };
+        for i3 in 0..bound(3) {
+            for i2 in 0..bound(2) {
+                for i1 in 0..bound(1) {
+                    for i0 in 0..bound(0) {
+                        let off = i64::from(i0) * a.strides[0]
+                            + i64::from(i1) * a.strides[1]
+                            + i64::from(i2) * a.strides[2]
+                            + i64::from(i3) * a.strides[3];
+                        let addr = base.wrapping_add(off as u64);
+                        if !self.stream_access_ok(addr, a.dir) {
+                            self.diag(
+                                Some(pc),
+                                DiagKind::StreamOutOfBounds {
+                                    ssr,
+                                    addr,
+                                    dir: a.dir,
+                                },
+                            );
+                            return;
+                        }
+                        self.touch_bank(addr);
+                        if a.dir == StreamDir::Write {
+                            lo = lo.min(addr);
+                            hi = hi.max(addr);
+                            if !dma_flagged && self.map.overlaps_dma_writes(addr, 8) {
+                                dma_flagged = true;
+                                self.diag(Some(pc), DiagKind::DmaHazard { addr });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if a.dir == StreamDir::Write && lo <= hi {
+            self.write_spans.push((lo, hi + 8));
+        }
+    }
+
+    fn indirect_job(&mut self, ssr: SsrId, i: &saris_isa::IndirectCfg, base: u64, pc: usize) {
+        let width = i.idx_width.bytes() as u64;
+        let per_fetch = i.idx_width.per_fetch() as u64;
+        let count = u64::from(i.idx_count);
+        // Index fetch traffic: 64-bit reads over the packed index array.
+        let fetches = count.div_ceil(per_fetch);
+        for f in 0..fetches {
+            let faddr = i.idx_base + f * 8;
+            if !self
+                .map
+                .readable(faddr, ((count - f * per_fetch).min(per_fetch)) * width)
+            {
+                self.diag(
+                    Some(pc),
+                    DiagKind::StreamOutOfBounds {
+                        ssr,
+                        addr: faddr,
+                        dir: StreamDir::Read,
+                    },
+                );
+                return;
+            }
+            self.touch_bank(faddr);
+        }
+        let mut unresolved = false;
+        let mut dma_flagged = false;
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for n in 0..count {
+            let Some(bytes) = self.map.table_bytes(i.idx_base + n * width, width as usize) else {
+                if !unresolved {
+                    unresolved = true;
+                    self.diag(
+                        Some(pc),
+                        DiagKind::UnresolvedValue {
+                            what: format!("{ssr} index array contents"),
+                        },
+                    );
+                }
+                continue;
+            };
+            let mut idx = 0u64;
+            for (b, byte) in bytes.iter().enumerate() {
+                idx |= u64::from(*byte) << (8 * b);
+            }
+            let addr = base.wrapping_add(idx << i.shift);
+            if !self.stream_access_ok(addr, i.dir) {
+                self.diag(
+                    Some(pc),
+                    DiagKind::StreamOutOfBounds {
+                        ssr,
+                        addr,
+                        dir: i.dir,
+                    },
+                );
+                return;
+            }
+            self.touch_bank(addr);
+            if i.dir == StreamDir::Write {
+                lo = lo.min(addr);
+                hi = hi.max(addr);
+                if !dma_flagged && self.map.overlaps_dma_writes(addr, 8) {
+                    dma_flagged = true;
+                    self.diag(Some(pc), DiagKind::DmaHazard { addr });
+                }
+            }
+        }
+        if i.dir == StreamDir::Write && lo <= hi {
+            self.write_spans.push((lo, hi + 8));
+        }
+    }
+
+    fn finish(mut self) -> CoreAnalysis {
+        if self.out.halted {
+            for ssr in SsrId::ALL {
+                if let Some(state) = self.streams[ssr.index()] {
+                    if !state.armed {
+                        self.diag(Some(state.set_at), DiagKind::DeadStreamConfig { ssr });
+                    }
+                }
+            }
+        }
+        let mut hazards = Vec::new();
+        for &(addr, at) in &self.core_stores {
+            if self
+                .write_spans
+                .iter()
+                .any(|&(lo, hi)| addr >= lo && addr < hi)
+            {
+                hazards.push((at, addr));
+            }
+        }
+        for (at, addr) in hazards {
+            self.diag(Some(at), DiagKind::WriteHazard { addr });
+        }
+        self.out
+    }
+}
+
+fn combine(a: Val, b: Val, f: impl Fn(i64, i64) -> i64) -> Val {
+    match (a, b) {
+        (Val::Known(a), Val::Known(b)) => Val::Known(f(a, b)),
+        _ => Val::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_isa::{AffineCfg, IndexWidth, IndirectCfg, ProgramBuilder};
+
+    fn map_with_arena() -> MemoryMap {
+        let mut m = MemoryMap::default();
+        m.grant("in", TCDM_BASE, 512, false);
+        m.grant("out", TCDM_BASE + 512, 512, true);
+        m
+    }
+
+    fn snitch() -> ClusterConfig {
+        ClusterConfig::snitch()
+    }
+
+    #[test]
+    fn counted_loop_halts_cleanly() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 8);
+        let head = b.bind_here();
+        b.addi(IntReg::T0, IntReg::T0, -1);
+        b.bne(IntReg::T0, IntReg::ZERO, head);
+        b.push(Instr::Halt);
+        let r = interpret(&b.finish().unwrap(), &map_with_arena(), &snitch(), 0);
+        assert!(r.halted);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+        // 2-cycle li + 8 * (addi + bne) + 7 taken-branch bubbles + halt.
+        assert!(r.issue_cycles >= 8 * 2);
+    }
+
+    #[test]
+    fn use_before_def_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.addi(IntReg::T1, IntReg::T0, 1); // t0 never defined
+        b.push(Instr::Halt);
+        let r = interpret(&b.finish().unwrap(), &map_with_arena(), &snitch(), 0);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| matches!(&d.kind, DiagKind::UseBeforeDef { reg } if reg == "t0")));
+    }
+
+    #[test]
+    fn self_branch_is_nontermination() {
+        let program = Program::from_raw_instrs(vec![
+            Instr::Li {
+                rd: IntReg::T0,
+                imm: 1,
+            },
+            Instr::Branch {
+                cond: saris_isa::BranchCond::Ne,
+                rs1: IntReg::T0,
+                rs2: IntReg::ZERO,
+                target: 1,
+            },
+            Instr::Halt,
+        ]);
+        let r = interpret(&program, &map_with_arena(), &snitch(), 0);
+        assert!(!r.halted);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::NonTermination { .. })));
+    }
+
+    fn stream_program(cfg: SsrCfg, set_base: Option<i64>) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::SsrEnable);
+        b.push(Instr::SsrSetup {
+            ssr: SsrId::Ssr0,
+            cfg: Box::new(cfg),
+        });
+        if let Some(base) = set_base {
+            b.li(IntReg::T0, base);
+            b.push(Instr::SsrSetBase {
+                ssr: SsrId::Ssr0,
+                rs1: IntReg::T0,
+            });
+        }
+        b.push(Instr::SsrCommit {
+            ssrs: saris_isa::SsrSet::of(SsrId::Ssr0),
+        });
+        b.push(Instr::SsrDisable);
+        b.push(Instr::Halt);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn affine_in_bounds_job_is_clean_and_counts_banks() {
+        let cfg = SsrCfg::Affine(AffineCfg {
+            dir: StreamDir::Read,
+            base: TCDM_BASE,
+            dims: 2,
+            strides: [8, 64, 0, 0],
+            bounds: [8, 8, 1, 1],
+        });
+        let r = interpret(&stream_program(cfg, None), &map_with_arena(), &snitch(), 0);
+        assert!(r.halted);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+        assert_eq!(r.bank_hist.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn affine_escape_is_out_of_bounds_error() {
+        let cfg = SsrCfg::Affine(AffineCfg {
+            dir: StreamDir::Write,
+            base: TCDM_BASE + 512,
+            dims: 1,
+            strides: [8, 0, 0, 0],
+            bounds: [65, 1, 1, 1], // one element past the 512-byte arena
+        });
+        let r = interpret(&stream_program(cfg, None), &map_with_arena(), &snitch(), 0);
+        assert!(r.diags.iter().any(
+            |d| matches!(d.kind, DiagKind::StreamOutOfBounds { addr, .. }
+                if addr == TCDM_BASE + 1024)
+        ));
+    }
+
+    #[test]
+    fn affine_write_into_readonly_region_is_flagged() {
+        let cfg = SsrCfg::Affine(AffineCfg {
+            dir: StreamDir::Write,
+            base: TCDM_BASE, // the read-only input region
+            dims: 1,
+            strides: [8, 0, 0, 0],
+            bounds: [4, 1, 1, 1],
+        });
+        let r = interpret(&stream_program(cfg, None), &map_with_arena(), &snitch(), 0);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::StreamOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn zero_bound_is_flagged() {
+        let cfg = SsrCfg::Affine(AffineCfg {
+            dir: StreamDir::Read,
+            base: TCDM_BASE,
+            dims: 2,
+            strides: [8, 64, 0, 0],
+            bounds: [8, 0, 1, 1],
+        });
+        let r = interpret(&stream_program(cfg, None), &map_with_arena(), &snitch(), 0);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::ZeroBound { ssr: SsrId::Ssr0 })));
+    }
+
+    #[test]
+    fn indirect_job_decodes_installed_indices() {
+        let mut map = map_with_arena();
+        // Index array: [0, 1, 2, 63] as u16 at the start of "out" space.
+        let idx_base = TCDM_BASE + 512;
+        let mut bytes = Vec::new();
+        for idx in [0u16, 1, 2, 63] {
+            bytes.extend_from_slice(&idx.to_le_bytes());
+        }
+        map.tables.push((idx_base, bytes));
+        let cfg = SsrCfg::Indirect(IndirectCfg {
+            dir: StreamDir::Read,
+            idx_base,
+            idx_count: 4,
+            idx_width: IndexWidth::U16,
+            shift: 3,
+        });
+        let r = interpret(
+            &stream_program(cfg, Some(TCDM_BASE as i64)),
+            &map,
+            &snitch(),
+            0,
+        );
+        assert!(r.halted);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+
+        // Index 128 points past every granted region: error.
+        let mut map2 = map_with_arena();
+        let mut bytes2 = Vec::new();
+        for idx in [0u16, 128] {
+            bytes2.extend_from_slice(&idx.to_le_bytes());
+        }
+        map2.tables.push((idx_base, bytes2));
+        let cfg2 = SsrCfg::Indirect(IndirectCfg {
+            dir: StreamDir::Read,
+            idx_base,
+            idx_count: 2,
+            idx_width: IndexWidth::U16,
+            shift: 3,
+        });
+        let r2 = interpret(
+            &stream_program(cfg2, Some(TCDM_BASE as i64)),
+            &map2,
+            &snitch(),
+            0,
+        );
+        assert!(r2.diags.iter().any(
+            |d| matches!(d.kind, DiagKind::StreamOutOfBounds { addr, .. }
+                if addr == TCDM_BASE + 1024)
+        ));
+    }
+
+    #[test]
+    fn commit_without_setup_and_dead_config() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::SsrCommit {
+            ssrs: saris_isa::SsrSet::of(SsrId::Ssr1),
+        });
+        b.push(Instr::SsrSetup {
+            ssr: SsrId::Ssr2,
+            cfg: Box::new(SsrCfg::Affine(AffineCfg {
+                dir: StreamDir::Read,
+                base: TCDM_BASE,
+                dims: 1,
+                strides: [8, 0, 0, 0],
+                bounds: [1, 1, 1, 1],
+            })),
+        });
+        b.push(Instr::Halt);
+        let r = interpret(&b.finish().unwrap(), &map_with_arena(), &snitch(), 0);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::CommitWithoutSetup { ssr: SsrId::Ssr1 })));
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::DeadStreamConfig { ssr: SsrId::Ssr2 })));
+    }
+
+    #[test]
+    fn frep_accumulates_fpu_work_and_latency_chain() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, TCDM_BASE as i64);
+        b.push(Instr::Fld {
+            rd: saris_isa::FpReg::FT3,
+            base: IntReg::T0,
+            imm: 0,
+        });
+        b.push(Instr::SsrEnable);
+        b.push(Instr::Frep {
+            count: FrepCount::Imm(9),
+            n_instrs: 1,
+        });
+        b.push(Instr::FpR4 {
+            op: saris_isa::FpR4Op::Madd,
+            rd: saris_isa::FpReg::FT3,
+            rs1: saris_isa::FpReg::FT0,
+            rs2: saris_isa::FpReg::FT0,
+            rs3: saris_isa::FpReg::FT3,
+        });
+        b.push(Instr::SsrDisable);
+        b.push(Instr::Halt);
+        let cfg = snitch();
+        let r = interpret(&b.finish().unwrap(), &map_with_arena(), &cfg, 0);
+        assert!(r.halted);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+        assert_eq!(r.fpu_cycles, 10, "10 replays of one FMA");
+        assert_eq!(r.flops, 20);
+        // The accumulator chains across replays through ft3.
+        assert_eq!(r.latency_chain, 10 * u64::from(cfg.fpu_latency_fma));
+    }
+}

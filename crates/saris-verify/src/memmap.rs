@@ -1,0 +1,137 @@
+//! The memory-permission model the verifier checks stream and scalar
+//! accesses against.
+//!
+//! A [`MemoryMap`] describes, for one core, which byte ranges the kernel's
+//! TCDM layout grants it — input/output arrays, coefficient tables, index
+//! arrays, guard padding — plus two extras the analysis needs:
+//!
+//! * **tables**: byte images of memory installed before the run (index
+//!   arrays, coefficient streams). The verifier decodes indirect-stream
+//!   index values out of these, which is what lets it enumerate gather
+//!   and scatter addresses exactly.
+//! * **dma_writes**: address spans an overlapped DMA transfer writes
+//!   while the kernel runs, for write-hazard detection.
+//!
+//! The map is deliberately generic — plain named ranges — so the verifier
+//! depends only on `saris-isa`/`snitch-sim` and any code generator can
+//! describe its layout.
+
+/// One granted byte range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name (shows up in diagnostics and reports).
+    pub name: String,
+    /// First byte address.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Whether the kernel may write this range (reading is always allowed
+    /// inside a granted region).
+    pub writable: bool,
+}
+
+impl Region {
+    /// Whether `addr..addr + len` lies entirely inside this region.
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base && addr.saturating_add(len) <= self.base.saturating_add(self.len)
+    }
+}
+
+/// The memory grants and pre-installed contents visible to one core.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryMap {
+    /// Granted regions. Accesses must land entirely inside one region.
+    pub regions: Vec<Region>,
+    /// Pre-installed byte images, as `(base address, bytes)` pairs; used
+    /// to decode indirect-stream index arrays.
+    pub tables: Vec<(u64, Vec<u8>)>,
+    /// Address spans `(base, len)` written by DMA concurrently with the
+    /// kernel (empty unless the run overlaps transfers with compute).
+    pub dma_writes: Vec<(u64, u64)>,
+}
+
+impl MemoryMap {
+    /// Adds a granted region.
+    pub fn grant(&mut self, name: impl Into<String>, base: u64, len: u64, writable: bool) {
+        self.regions.push(Region {
+            name: name.into(),
+            base,
+            len,
+            writable,
+        });
+    }
+
+    /// The region fully containing `addr..addr + len`, if any.
+    pub fn region_of(&self, addr: u64, len: u64) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr, len))
+    }
+
+    /// Whether `addr..addr + len` may be read.
+    pub fn readable(&self, addr: u64, len: u64) -> bool {
+        self.region_of(addr, len).is_some()
+    }
+
+    /// Whether `addr..addr + len` may be written.
+    pub fn writable(&self, addr: u64, len: u64) -> bool {
+        self.region_of(addr, len).is_some_and(|r| r.writable)
+    }
+
+    /// Reads `n` installed bytes at `addr`, if a table image covers them.
+    pub fn table_bytes(&self, addr: u64, n: usize) -> Option<&[u8]> {
+        self.tables.iter().find_map(|(base, bytes)| {
+            let off = addr.checked_sub(*base)? as usize;
+            bytes.get(off..off.checked_add(n)?)
+        })
+    }
+
+    /// Whether `addr..addr + len` overlaps any concurrent DMA write span.
+    pub fn overlaps_dma_writes(&self, addr: u64, len: u64) -> bool {
+        let end = addr.saturating_add(len);
+        self.dma_writes
+            .iter()
+            .any(|&(base, dlen)| addr < base.saturating_add(dlen) && base < end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> MemoryMap {
+        let mut m = MemoryMap::default();
+        m.grant("in", 0x1000, 0x100, false);
+        m.grant("out", 0x2000, 0x100, true);
+        m.tables.push((0x1000, vec![1, 2, 3, 4]));
+        m.dma_writes.push((0x1080, 0x10));
+        m
+    }
+
+    #[test]
+    fn containment_and_permissions() {
+        let m = map();
+        assert!(m.readable(0x1000, 8));
+        assert!(m.readable(0x10f8, 8));
+        assert!(!m.readable(0x10f9, 8), "straddles the region end");
+        assert!(!m.writable(0x1000, 8), "read-only region");
+        assert!(m.writable(0x2000, 8));
+        assert!(!m.readable(0x3000, 8));
+        assert_eq!(m.region_of(0x2004, 4).unwrap().name, "out");
+    }
+
+    #[test]
+    fn table_reads() {
+        let m = map();
+        assert_eq!(m.table_bytes(0x1001, 2), Some(&[2u8, 3][..]));
+        assert_eq!(m.table_bytes(0x1003, 2), None, "runs past the image");
+        assert_eq!(m.table_bytes(0x0fff, 1), None);
+    }
+
+    #[test]
+    fn dma_overlap() {
+        let m = map();
+        assert!(m.overlaps_dma_writes(0x1088, 8));
+        assert!(m.overlaps_dma_writes(0x1078, 16), "partial overlap counts");
+        assert!(!m.overlaps_dma_writes(0x1090, 8));
+        assert!(!m.overlaps_dma_writes(0x1070, 0x10));
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic program mutations for negative-testing the verifier.
+//!
+//! Each [`Mutation`] corrupts one specific property a correct kernel
+//! upholds, modeled on real codegen bug classes:
+//!
+//! * [`Mutation::SwapSsrStride`] — swaps the window-step stride of a
+//!   deep affine stream with its outermost (plane) stride, the classic
+//!   transposed-layout bug: addresses leap out of the output slot.
+//! * [`Mutation::DropSsrBound`] — zeroes an inner dimension bound: the
+//!   job produces no elements and the consumer starves.
+//! * [`Mutation::RetargetBranch`] — redirects a backward loop branch at
+//!   itself: a taken self-branch can never exit.
+//! * [`Mutation::RemoveHalt`] — replaces the final `halt` with `nop`:
+//!   execution runs off the end of the program.
+//!
+//! Mutants are built with [`Program::from_raw_instrs`] (they are by
+//! construction invalid) and must each be caught by
+//! [`verify_program`](crate::verify_program) with at least one error.
+
+use saris_isa::{Instr, Program, SsrCfg};
+
+/// One deterministic corruption of a valid program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Swap the window-step and plane strides of the first ≥3-D affine
+    /// stream configuration.
+    SwapSsrStride,
+    /// Zero the second bound of the first ≥3-D affine stream
+    /// configuration.
+    DropSsrBound,
+    /// Point the last backward branch at itself.
+    RetargetBranch,
+    /// Replace the final `halt` with `nop`.
+    RemoveHalt,
+}
+
+impl Mutation {
+    /// All mutation classes.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::SwapSsrStride,
+        Mutation::DropSsrBound,
+        Mutation::RetargetBranch,
+        Mutation::RemoveHalt,
+    ];
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mutation::SwapSsrStride => f.write_str("swap-ssr-stride"),
+            Mutation::DropSsrBound => f.write_str("drop-ssr-bound"),
+            Mutation::RetargetBranch => f.write_str("retarget-branch"),
+            Mutation::RemoveHalt => f.write_str("remove-halt"),
+        }
+    }
+}
+
+/// Applies `mutation` to a copy of `program`.
+///
+/// Returns `None` when the program has no applicable site (e.g. no deep
+/// affine stream for the stride mutations).
+pub fn mutate(program: &Program, mutation: Mutation) -> Option<Program> {
+    let mut instrs: Vec<Instr> = program.instrs().to_vec();
+    match mutation {
+        Mutation::SwapSsrStride => {
+            let (i, mut a) = find_deep_affine(&instrs)?;
+            let dims = a.dims as usize;
+            a.strides.swap(1, dims - 1);
+            set_affine(&mut instrs[i], a);
+        }
+        Mutation::DropSsrBound => {
+            let (i, mut a) = find_deep_affine(&instrs)?;
+            a.bounds[1] = 0;
+            set_affine(&mut instrs[i], a);
+        }
+        Mutation::RetargetBranch => {
+            let i = instrs.iter().enumerate().rev().find_map(|(i, instr)| {
+                matches!(instr, Instr::Branch { target, .. } if *target < i).then_some(i)
+            })?;
+            if let Instr::Branch { target, .. } = &mut instrs[i] {
+                *target = i;
+            }
+        }
+        Mutation::RemoveHalt => {
+            let i = instrs
+                .iter()
+                .rposition(|instr| matches!(instr, Instr::Halt))?;
+            instrs[i] = Instr::Nop;
+        }
+    }
+    Some(Program::from_raw_instrs(instrs))
+}
+
+fn find_deep_affine(instrs: &[Instr]) -> Option<(usize, saris_isa::AffineCfg)> {
+    instrs.iter().enumerate().find_map(|(i, instr)| {
+        if let Instr::SsrSetup { cfg, .. } = instr {
+            if let SsrCfg::Affine(a) = cfg.as_ref() {
+                if a.dims >= 3 {
+                    return Some((i, *a));
+                }
+            }
+        }
+        None
+    })
+}
+
+fn set_affine(instr: &mut Instr, a: saris_isa::AffineCfg) {
+    if let Instr::SsrSetup { cfg, .. } = instr {
+        **cfg = SsrCfg::Affine(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saris_isa::{AffineCfg, IntReg, ProgramBuilder, SsrId, StreamDir};
+
+    fn program_with_deep_affine() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::SsrSetup {
+            ssr: SsrId::Ssr2,
+            cfg: Box::new(SsrCfg::Affine(AffineCfg {
+                dir: StreamDir::Write,
+                base: 0x1_0000,
+                dims: 4,
+                strides: [8, 32, 512, 4096],
+                bounds: [4, 2, 8, 2],
+            })),
+        });
+        b.li(IntReg::T0, 3);
+        let head = b.bind_here();
+        b.addi(IntReg::T0, IntReg::T0, -1);
+        b.bne(IntReg::T0, IntReg::ZERO, head);
+        b.push(Instr::Halt);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stride_swap_exchanges_window_and_plane_strides() {
+        let p = program_with_deep_affine();
+        let m = mutate(&p, Mutation::SwapSsrStride).unwrap();
+        let (_, a) = find_deep_affine(m.instrs()).unwrap();
+        assert_eq!(a.strides, [8, 4096, 512, 32]);
+    }
+
+    #[test]
+    fn drop_bound_zeroes_dimension_one() {
+        let p = program_with_deep_affine();
+        let m = mutate(&p, Mutation::DropSsrBound).unwrap();
+        let (_, a) = find_deep_affine(m.instrs()).unwrap();
+        assert_eq!(a.bounds[1], 0);
+    }
+
+    #[test]
+    fn retarget_points_backward_branch_at_itself() {
+        let p = program_with_deep_affine();
+        let m = mutate(&p, Mutation::RetargetBranch).unwrap();
+        let branch = m
+            .instrs()
+            .iter()
+            .enumerate()
+            .find_map(|(i, instr)| match instr {
+                Instr::Branch { target, .. } => Some((i, *target)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(branch.0, branch.1);
+    }
+
+    #[test]
+    fn remove_halt_leaves_no_terminator() {
+        let p = program_with_deep_affine();
+        let m = mutate(&p, Mutation::RemoveHalt).unwrap();
+        assert!(!m.instrs().iter().any(|i| matches!(i, Instr::Halt)));
+        assert!(saris_isa::program::validate(&m).is_err());
+    }
+
+    #[test]
+    fn inapplicable_mutations_return_none() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert!(mutate(&p, Mutation::SwapSsrStride).is_none());
+        assert!(mutate(&p, Mutation::RetargetBranch).is_none());
+    }
+}

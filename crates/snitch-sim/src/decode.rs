@@ -110,6 +110,21 @@ pub(crate) enum Op {
     Halt,
 }
 
+/// Static per-instruction metadata resolved at decode time: everything an
+/// external analyzer (e.g. the `saris-verify` static cost model) needs
+/// about one pc without re-deriving the simulator's latency tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMeta {
+    /// Issue cycles consumed on the single-issue integer core (`li`
+    /// pairs and `ssr_setup` configuration writes cost extra).
+    pub issue_cost: u32,
+    /// FPU result latency in cycles, for FP arithmetic ops (`None` for
+    /// everything else, including FP loads/stores).
+    pub fp_latency: Option<u64>,
+    /// Floating-point operations per execution (FMAs count 2).
+    pub flops: u64,
+}
+
 /// A [`Program`] decoded once, up front, into dense per-pc ops.
 ///
 /// Tables are immutable and shareable: [`Cluster::load_program_all`]
@@ -145,6 +160,27 @@ impl ExecTable {
     /// The decoded op at `pc`, if in range.
     pub(crate) fn get(&self, pc: usize) -> Option<Op> {
         self.ops.get(pc).copied()
+    }
+
+    /// The decode-time metadata of the op at `pc`, if in range.
+    pub fn meta(&self, pc: usize) -> Option<OpMeta> {
+        self.ops.get(pc).map(|op| match op {
+            Op::Li { cost, .. } | Op::SsrSetup { cost, .. } => OpMeta {
+                issue_cost: *cost,
+                fp_latency: None,
+                flops: 0,
+            },
+            Op::FpArith(fp) => OpMeta {
+                issue_cost: 1,
+                fp_latency: Some(fp.latency()),
+                flops: fp.flops(),
+            },
+            _ => OpMeta {
+                issue_cost: 1,
+                fp_latency: None,
+                flops: 0,
+            },
+        })
     }
 }
 
@@ -270,6 +306,30 @@ mod tests {
         }
         assert!(matches!(table.get(2), Some(Op::Halt)));
         assert_eq!(table.get(3), None);
+    }
+
+    #[test]
+    fn meta_exposes_costs_latencies_and_flops() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 1 << 20); // 2-cycle li
+        b.push(Instr::FpR4 {
+            op: saris_isa::FpR4Op::Madd,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT4,
+            rs2: FpReg::FT5,
+            rs3: FpReg::FT3,
+        });
+        b.push(Instr::Halt);
+        let cfg = ClusterConfig::snitch();
+        let table = ExecTable::decode(&b.finish().unwrap(), &cfg);
+        let li = table.meta(0).unwrap();
+        assert_eq!(li.issue_cost, 2);
+        assert_eq!(li.fp_latency, None);
+        let fma = table.meta(1).unwrap();
+        assert_eq!(fma.issue_cost, 1);
+        assert_eq!(fma.fp_latency, Some(cfg.fpu_latency_fma as u64));
+        assert_eq!(fma.flops, 2);
+        assert_eq!(table.meta(3), None);
     }
 
     #[test]

@@ -158,6 +158,11 @@ impl FpArithOp {
     pub fn latency(&self) -> u64 {
         self.latency
     }
+
+    /// Floating-point operations per execution (FMA = 2).
+    pub fn flops(&self) -> u64 {
+        u64::from(self.flops)
+    }
 }
 
 /// One entry of the offload queue.

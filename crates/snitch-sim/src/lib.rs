@@ -58,6 +58,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;
@@ -74,7 +75,8 @@ pub mod ssr;
 
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, MAIN_BASE, TCDM_BASE};
-pub use decode::ExecTable;
+pub use decode::{ExecTable, OpMeta};
 pub use dma::{Dma, DmaDescriptor, DmaStats};
 pub use error::SimError;
+pub use fpu::FpArithOp;
 pub use metrics::{CoreReport, RunReport};

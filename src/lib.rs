@@ -22,7 +22,9 @@
 //! * [`scaleout`] *(saris-scaleout)* — the analytic Manticore-256s
 //!   manycore estimate behind Figure 5 and Table 2;
 //! * [`serve`] *(saris-serve)* — the long-lived serving layer: work
-//!   queue, worker threads, response cache, single-flight deduplication.
+//!   queue, worker threads, response cache, single-flight deduplication;
+//! * [`verify`] *(saris-verify)* — the static kernel verifier and
+//!   cost-bound analyzer gating every compiled program.
 //!
 //! # Quickstart: three fidelity tiers, one request surface
 //!
@@ -252,6 +254,57 @@
 //! # }
 //! ```
 //!
+//! # Static verification: every kernel proven before it runs
+//!
+//! Stream-register kernels fail *silently*: a misconfigured SSR stride
+//! scatters writes across TCDM without a trap, and a broken loop bound
+//! hangs the cluster. The [`verify`] crate proves the absence of those
+//! failure classes for every compiled program — CFG termination
+//! structure, def-use over both register files, exact enumeration of
+//! every stream job's addresses against the kernel's TCDM grants — and
+//! derives a [`StaticBound`](verify::StaticBound): a cycle count the
+//! kernel provably cannot beat (issue slots, FPU occupancy, RAW latency
+//! chains, TCDM bank pressure).
+//!
+//! Sessions gate every fresh compile through the verifier when
+//! [`SessionConfig::verify_kernels`](codegen::SessionConfig) is set (the
+//! default in debug builds): error-severity findings reject the kernel
+//! as [`CodegenError::StaticVerification`](codegen::CodegenError) before
+//! a single cycle is simulated, and each clean kernel's proven bound
+//! doubles as a calibration-drift detector — an *analytic* estimate
+//! below the proven floor is an impossible number, counted in
+//! [`SessionStats::bound_violations`](codegen::SessionStats).
+//!
+//! ```
+//! use saris::prelude::*;
+//! use saris::verify::{mutate, Mutation};
+//!
+//! # fn main() -> Result<(), saris::codegen::CodegenError> {
+//! let stencil = gallery::jacobi_2d();
+//! let extent = Extent::new_2d(32, 32);
+//! let options = RunOptions::new(Variant::Saris);
+//!
+//! // Every compiled kernel verifies clean, with a provable cycle floor.
+//! let kernel = compile(&stencil, extent, &options)?;
+//! let report = saris::codegen::verify_kernel(&stencil, &kernel, &options);
+//! assert!(!report.has_errors());
+//! assert!(report.bound.cycles > 0);
+//!
+//! // Corrupt one stream stride and the verifier catches it statically.
+//! let mut broken = kernel.clone();
+//! broken.cores[0].program =
+//!     mutate(&broken.cores[0].program, Mutation::SwapSsrStride).expect("has a deep stream");
+//! let report = saris::codegen::verify_kernel(&stencil, &broken, &options);
+//! assert!(report.has_errors());
+//!
+//! // Sessions can answer the proven floor directly.
+//! let session = Session::new();
+//! let bound = session.static_bound(&stencil, extent, &options)?;
+//! assert!(bound.cycles > 0 && bound.flops > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Serving: `saris-serve`
 //!
 //! For a long-lived service, wrap the session in a
@@ -282,6 +335,7 @@
 //! To regenerate the paper's tables and figures, see the `saris-bench`
 //! crate (`cargo run --release -p saris-bench --bin all`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use saris_codegen as codegen;
@@ -290,6 +344,7 @@ pub use saris_energy as energy;
 pub use saris_isa as isa;
 pub use saris_scaleout as scaleout;
 pub use saris_serve as serve;
+pub use saris_verify as verify;
 pub use snitch_sim as sim;
 
 /// The most commonly used items, re-exported for `use saris::prelude::*`.
@@ -307,5 +362,6 @@ pub mod prelude {
     pub use saris_energy::{efficiency_gain, EnergyModel};
     pub use saris_scaleout::{estimate as scaleout_estimate, MachineModel};
     pub use saris_serve::{ServeConfig, ServeError, ServeStats, Server};
+    pub use saris_verify::{verify_cluster, verify_program, MemoryMap, StaticBound};
     pub use snitch_sim::{Cluster, ClusterConfig, RunReport};
 }
