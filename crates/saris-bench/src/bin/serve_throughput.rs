@@ -1,7 +1,7 @@
 //! Serving-layer throughput benchmark: requests per wall second through
 //! the `saris-serve` stack, against truly uncached submissions.
 //!
-//! Up to three experiments, emitted into `BENCH_serve_throughput.json`:
+//! Up to five experiments, emitted into `BENCH_serve_throughput.json`:
 //!
 //! 1. **Duplication sweep** — request streams with 0% / 50% / 90%
 //!    duplicate specs, answered three ways: *uncached* (a session with
@@ -33,9 +33,16 @@
 //!    data-parallel path (`NativeBackend::execute_batch`: SIMD row
 //!    sweeps, arena-pooled grids, worker-pool fan-out), with every
 //!    batched output grid checked bit-identical to the scalar oracle's.
+//! 5. **Chaos storm** (`--chaos`) — the same serving stack over a
+//!    fault-injecting cycle tier (seeded [`FaultPlan`]: panics,
+//!    transient errors, delays) with retry, analytic degradation and
+//!    quarantine active: proves the fault-tolerance machinery holds up
+//!    under a realistic mixed-fault request storm and reports what it
+//!    cost — retries, recovered flights, degraded answers, quarantined
+//!    specs — plus whether the server still serves cleanly afterwards.
 //!
 //! Usage: `serve_throughput [--subset] [--adaptive] [--golden-sweep]
-//! [--baseline PATH] [--out PATH] [--export-calibration PATH]
+//! [--chaos] [--baseline PATH] [--out PATH] [--export-calibration PATH]
 //! [--import-calibration PATH]`
 //!
 //! `--subset` shrinks the experiments to a CI-sized configuration.
@@ -55,15 +62,15 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use saris_bench::{
     adaptive_workload, custom_stencil_family, paper_estimate_workload, paper_tile, paper_workload,
     scaleout_from, PAPER_SEED,
 };
 use saris_codegen::{
-    BackendRegistry, CalibrationStore, Fidelity, RooflineBackend, Session, SessionConfig, Variant,
-    Workload, WorkloadSpec,
+    Backend, BackendRegistry, CalibrationStore, FaultInjectingBackend, FaultKind, FaultPlan,
+    Fidelity, RooflineBackend, Session, SessionConfig, SimBackend, Variant, Workload, WorkloadSpec,
 };
 use saris_core::{gallery, reference, Extent, Grid, Stencil};
 use saris_serve::{ServeConfig, Server};
@@ -159,7 +166,8 @@ fn run_sweep(len: usize) -> (Vec<SweepRow>, bool) {
         let nocache = Server::with_config(ServeConfig {
             max_cached_responses: 0,
             ..ServeConfig::default()
-        });
+        })
+        .expect("spawn serve workers");
         warm(&nocache);
         let start = Instant::now();
         for result in nocache.submit_all(&specs) {
@@ -168,7 +176,7 @@ fn run_sweep(len: usize) -> (Vec<SweepRow>, bool) {
         let served_nocache_rps = len as f64 / start.elapsed().as_secs_f64();
 
         // The full stack.
-        let served = Server::new();
+        let served = Server::new().expect("spawn serve workers");
         warm(&served);
         let start = Instant::now();
         let outcomes = served.submit_all(&specs);
@@ -386,7 +394,8 @@ impl AdaptiveResult {
 /// store).
 fn run_adaptive(n_stencils: usize, store: &Arc<CalibrationStore>) -> AdaptiveResult {
     const BUDGET: f64 = Fidelity::DEFAULT_ACCURACY_BUDGET;
-    let server = Server::over(session_over(store), ServeConfig::default());
+    let server =
+        Server::over(session_over(store), ServeConfig::default()).expect("spawn serve workers");
     let stencils: Vec<Arc<Stencil>> = custom_stencil_family(n_stencils)
         .into_iter()
         .map(Arc::new)
@@ -573,6 +582,121 @@ fn run_golden_sweep(codes: &[&str], repeats: usize) -> GoldenResult {
     }
 }
 
+struct ChaosResult {
+    requests: usize,
+    wall: f64,
+    failed: usize,
+    injected_errors: u64,
+    injected_panics: u64,
+    injected_delays: u64,
+    retries: u64,
+    recovered: u64,
+    degraded: u64,
+    panics: u64,
+    quarantine_rejections: u64,
+    healthy_after: bool,
+}
+
+impl ChaosResult {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.wall
+    }
+}
+
+/// The chaos scenario: the full serving stack over a cycle tier wrapped
+/// in seeded fault injection (panics, transient errors, delays), with
+/// retry, analytic degradation, and per-spec quarantine active. A storm
+/// of unique requests is followed by repeated submissions of a
+/// known-always-panicking spec (found by scanning the pure fault
+/// schedules) until quarantine rejects it, and finally a clean request
+/// proving the server still serves. The circuit breaker is disabled
+/// here: its consecutive-failure count depends on cross-worker
+/// completion order, and the artifact's counters should not churn from
+/// run to run.
+fn run_chaos(n_requests: usize, store: &Arc<CalibrationStore>) -> ChaosResult {
+    const QUARANTINE_AFTER: u32 = 3;
+    let mut plan = FaultPlan::seeded(0xC4A05);
+    plan.panic_rate = 0.05;
+    plan.error_rate = 0.20;
+    plan.delay_rate = 0.05;
+    plan.delay = Duration::from_millis(1);
+    let chaos = Arc::new(FaultInjectingBackend::new(Arc::new(SimBackend), plan));
+    let mut registry = BackendRegistry::standard();
+    registry.register(Arc::new(RooflineBackend::with_store(Arc::clone(store))));
+    registry.register(Arc::clone(&chaos) as Arc<dyn Backend>);
+    let session = Session::with_registry(registry, Fidelity::Cycles, SessionConfig::default());
+    let server = Server::over(
+        session,
+        ServeConfig {
+            breaker_threshold: 0,
+            quarantine_threshold: QUARANTINE_AFTER,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn serve workers");
+
+    // The storm: unique cycle-tier specs, every fault decided purely by
+    // the plan's hash of (spec key, attempt).
+    let specs: Vec<WorkloadSpec> = (0..n_requests)
+        .map(|i| {
+            sweep_spec(
+                SWEEP_CODES[i % SWEEP_CODES.len()],
+                1000 + (i / SWEEP_CODES.len()) as u64,
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    let outcomes = server.submit_all(&specs);
+    let wall = start.elapsed().as_secs_f64();
+    let failed = outcomes.iter().filter(|r| r.is_err()).count();
+
+    // A spec whose first attempts all panic gets struck out: each
+    // submission is answered by analytic degradation, but the strikes
+    // accumulate and quarantine rejects it at admission.
+    let poison = (100_000u64..)
+        .map(|seed| sweep_spec(SWEEP_CODES[0], seed))
+        .find(|s| {
+            chaos
+                .schedule(s, u64::from(QUARANTINE_AFTER))
+                .expect("sweep specs have keys")
+                .iter()
+                .all(|f| *f == Some(FaultKind::Panic))
+        })
+        .expect("an always-panicking seed exists");
+    for _ in 0..QUARANTINE_AFTER {
+        let degraded = server.submit(&poison).expect("degradation answers");
+        assert!(degraded.telemetry.degraded, "panics degrade to analytic");
+    }
+    let quarantined = server.submit(&poison).is_err();
+    assert!(quarantined, "the poison spec must be quarantined");
+
+    // The server survives: a clean analytic request still serves.
+    let probe = Workload::new(gallery::by_name(SWEEP_CODES[0]).expect("sweep code"))
+        .extent(Extent::new_2d(SWEEP_TILE, SWEEP_TILE))
+        .input_seed(PAPER_SEED)
+        .fidelity(Fidelity::Analytic)
+        .freeze()
+        .expect("probe spec is valid");
+    let healthy_after = server.submit(&probe).is_ok();
+
+    let stats = server.stats();
+    let injected = chaos.injected();
+    ChaosResult {
+        requests: n_requests,
+        wall,
+        failed,
+        injected_errors: injected.errors,
+        injected_panics: injected.panics,
+        injected_delays: injected.delays,
+        retries: stats.retries,
+        recovered: stats.recovered,
+        degraded: stats.degraded,
+        panics: stats.panics,
+        quarantine_rejections: stats.quarantine_rejections,
+        healthy_after,
+    }
+}
+
 /// Extracts a numeric field from the `golden_sweep` section of a
 /// committed artifact with a plain string scan (the artifact is
 /// hand-rolled JSON; there is no JSON parser in-tree). `None` when the
@@ -606,6 +730,7 @@ fn render_json(
     tiers: &TierResult,
     adaptive: Option<&AdaptiveResult>,
     golden: Option<&GoldenResult>,
+    chaos: Option<&ChaosResult>,
     subset: bool,
 ) -> String {
     let mut out = String::new();
@@ -670,7 +795,7 @@ fn render_json(
             r.agree(),
         );
     }
-    if adaptive.is_some() || golden.is_some() {
+    if adaptive.is_some() || golden.is_some() || chaos.is_some() {
         out.push_str("    ]\n  },\n");
     } else {
         out.push_str("    ]\n  }\n");
@@ -701,7 +826,11 @@ fn render_json(
                 .map_or("null".to_string(), |e| format!("{e:.6}"))
         );
         let _ = writeln!(out, "    \"within_budget\": {}", a.within_budget());
-        out.push_str(if golden.is_some() { "  },\n" } else { "  }\n" });
+        out.push_str(if golden.is_some() || chaos.is_some() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
     }
     if let Some(g) = golden {
         let _ = writeln!(out, "  \"golden_sweep\": {{");
@@ -713,6 +842,27 @@ fn render_json(
         let _ = writeln!(out, "    \"batched_rps\": {:.1},", g.batched_rps());
         let _ = writeln!(out, "    \"speedup_vs_scalar\": {:.2},", g.speedup());
         let _ = writeln!(out, "    \"grids_bit_identical\": {}", g.bit_identical);
+        out.push_str(if chaos.is_some() { "  },\n" } else { "  }\n" });
+    }
+    if let Some(c) = chaos {
+        let _ = writeln!(out, "  \"chaos\": {{");
+        let _ = writeln!(out, "    \"requests\": {},", c.requests);
+        let _ = writeln!(out, "    \"wall_seconds\": {:.6},", c.wall);
+        let _ = writeln!(out, "    \"rps\": {:.1},", c.rps());
+        let _ = writeln!(out, "    \"injected_errors\": {},", c.injected_errors);
+        let _ = writeln!(out, "    \"injected_panics\": {},", c.injected_panics);
+        let _ = writeln!(out, "    \"injected_delays\": {},", c.injected_delays);
+        let _ = writeln!(out, "    \"retries\": {},", c.retries);
+        let _ = writeln!(out, "    \"recovered\": {},", c.recovered);
+        let _ = writeln!(out, "    \"degraded\": {},", c.degraded);
+        let _ = writeln!(out, "    \"panics_isolated\": {},", c.panics);
+        let _ = writeln!(
+            out,
+            "    \"quarantine_rejections\": {},",
+            c.quarantine_rejections
+        );
+        let _ = writeln!(out, "    \"failed_requests\": {},", c.failed);
+        let _ = writeln!(out, "    \"healthy_after\": {}", c.healthy_after);
         out.push_str("  }\n");
     }
     out.push_str("}\n");
@@ -724,6 +874,7 @@ fn main() {
     let subset = args.iter().any(|a| a == "--subset");
     let adaptive = args.iter().any(|a| a == "--adaptive");
     let golden_sweep = args.iter().any(|a| a == "--golden-sweep");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let mut out_path = "BENCH_serve_throughput.json".to_string();
     let mut import_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -746,7 +897,7 @@ fn main() {
                         .clone(),
                 );
             }
-            "--subset" | "--adaptive" | "--golden-sweep" => {}
+            "--subset" | "--adaptive" | "--golden-sweep" | "--chaos" => {}
             other => panic!("unknown argument {other}"),
         }
     }
@@ -906,12 +1057,40 @@ fn main() {
         g
     });
 
+    let chaos_result = chaos.then(|| {
+        let n = if subset { 24 } else { 60 };
+        let c = run_chaos(n, &store);
+        println!(
+            "\nchaos storm ({} requests, seeded faults): {:.1} r/s; injected {} errors / \
+             {} panics / {} delays",
+            c.requests,
+            c.rps(),
+            c.injected_errors,
+            c.injected_panics,
+            c.injected_delays
+        );
+        println!(
+            "retried {}, recovered {}, degraded {}, panics isolated {}, quarantined {}, \
+             failed {}; healthy after: {}",
+            c.retries,
+            c.recovered,
+            c.degraded,
+            c.panics,
+            c.quarantine_rejections,
+            c.failed,
+            c.healthy_after
+        );
+        assert!(c.healthy_after, "server did not survive the chaos storm");
+        c
+    });
+
     let json = render_json(
         &sweep,
         bit_identical,
         &tiers,
         adaptive_result.as_ref(),
         golden_result.as_ref(),
+        chaos_result.as_ref(),
         subset,
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");

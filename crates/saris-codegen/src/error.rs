@@ -93,6 +93,31 @@ pub enum CodegenError {
         /// The tolerance the workload requested.
         tolerance: f64,
     },
+    /// A transient infrastructure fault: the backend failed for a reason
+    /// unrelated to the workload itself (an injected chaos fault, a
+    /// wedged cluster, an exhausted pool). Unlike every other variant,
+    /// retrying the same spec may succeed — [`is_transient`] returns
+    /// `true` only for this case, and `saris-serve` uses it to drive its
+    /// bounded retry-with-backoff policy.
+    ///
+    /// [`is_transient`]: CodegenError::is_transient
+    Transient {
+        /// What faulted.
+        reason: String,
+    },
+}
+
+impl CodegenError {
+    /// Whether retrying the same workload could plausibly succeed.
+    ///
+    /// Deterministic failures (planning, register pressure, static
+    /// verification, a diverging output, an invalid workload) will fail
+    /// identically every time, so callers should not burn retries on
+    /// them. Only [`CodegenError::Transient`] infrastructure faults are
+    /// worth a second attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CodegenError::Transient { .. })
+    }
 }
 
 impl fmt::Display for CodegenError {
@@ -154,6 +179,9 @@ impl fmt::Display for CodegenError {
                 f,
                 "{name}: output diverges from the golden reference by {error:e} (tolerance {tolerance:e})"
             ),
+            CodegenError::Transient { reason } => {
+                write!(f, "transient backend fault: {reason}")
+            }
         }
     }
 }

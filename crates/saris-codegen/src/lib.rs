@@ -50,6 +50,7 @@
 pub mod backends;
 pub mod base;
 pub mod calibration;
+pub mod chaos;
 pub mod error;
 pub mod map;
 pub mod runtime;
@@ -69,6 +70,7 @@ pub use base::CompiledCore;
 pub use calibration::{
     Calibration, CalibrationEntry, CalibrationSource, CalibrationStore, Observation,
 };
+pub use chaos::{FaultInjectingBackend, FaultKind, FaultPlan, InjectedFaults};
 pub use error::CodegenError;
 pub use map::TcdmMap;
 pub use runtime::{compile, BufferRotation, CompiledKernel, RunOptions, Variant};

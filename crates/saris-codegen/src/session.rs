@@ -84,6 +84,23 @@ use crate::runtime::{
 use crate::tuner::{is_infeasible_width, TuningDecision};
 use crate::workload::{Outcome, StencilWork, WorkloadKind, WorkloadSpec, WorkloadTelemetry};
 
+/// Locks `m`, recovering from lock poisoning instead of cascading the
+/// panic. Session state under these locks is counters and caches whose
+/// every update is a single consistent step, so a holder that died
+/// mid-critical-section left nothing half-written — but the recovery is
+/// never silent: each one increments `recoveries`, surfaced as
+/// [`SessionStats::lock_recoveries`], so operators can tell a server
+/// that has been absorbing worker deaths from a healthy one.
+fn relock<'a, T>(m: &'a Mutex<T>, recoveries: &AtomicU64) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        recoveries.fetch_add(1, Ordering::Relaxed);
+        // Clear the flag so the counter measures distinct panics, not
+        // one poisoning event re-counted on every later lock.
+        m.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
 /// The key a compiled kernel is cached under: stencil structure, tile
 /// extent, and the compile-relevant option fields. This is the
 /// compile-relevant *subset* of a workload's
@@ -151,6 +168,7 @@ pub struct ClusterPool {
     free: Mutex<Vec<Cluster>>,
     cap: usize,
     evicted: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl Default for ClusterPool {
@@ -171,6 +189,7 @@ impl ClusterPool {
             free: Mutex::new(Vec::new()),
             cap,
             evicted: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
         }
     }
 
@@ -178,7 +197,7 @@ impl ClusterPool {
     /// and whether it was recycled from the pool (vs newly constructed).
     pub fn acquire(&self, cfg: &ClusterConfig) -> (Cluster, bool) {
         let recycled = {
-            let mut free = self.free.lock().expect("cluster pool lock");
+            let mut free = relock(&self.free, &self.recovered);
             free.iter()
                 .position(|c| c.config() == cfg)
                 .map(|pos| free.swap_remove(pos))
@@ -195,7 +214,7 @@ impl ClusterPool {
     /// Returns a cluster to the pool for later reuse. When the pool is
     /// at capacity the *oldest* idle cluster is dropped instead.
     pub fn release(&self, cluster: Cluster) {
-        let mut free = self.free.lock().expect("cluster pool lock");
+        let mut free = relock(&self.free, &self.recovered);
         if free.len() >= self.cap {
             self.evicted.fetch_add(1, Ordering::Relaxed);
             if self.cap == 0 {
@@ -208,12 +227,18 @@ impl ClusterPool {
 
     /// Number of idle clusters currently pooled.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("cluster pool lock").len()
+        relock(&self.free, &self.recovered).len()
     }
 
     /// Clusters dropped because the pool was at capacity.
     pub fn evictions(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Times the pool lock was recovered from poisoning (a panicking
+    /// holder) — see [`SessionStats::lock_recoveries`].
+    pub fn lock_recoveries(&self) -> u64 {
+        self.recovered.load(Ordering::Relaxed)
     }
 }
 
@@ -260,6 +285,15 @@ pub struct SessionStats {
     /// Simulated cycles the engine skipped via idle fast-forwarding
     /// across all runs (dead time the simulator never stepped through).
     pub cycles_fast_forwarded: u64,
+    /// Times a session lock was recovered from poisoning — a holder
+    /// panicked mid-critical-section (e.g. an injected chaos panic) and
+    /// the session kept serving with
+    /// [`PoisonError::into_inner`](std::sync::PoisonError::into_inner)
+    /// instead of cascading. Non-zero values mean worker threads have
+    /// been dying; the counters under those locks stay consistent
+    /// because every update is a single atomic step, but the signal
+    /// deserves operator attention.
+    pub lock_recoveries: u64,
 }
 
 impl SessionStats {
@@ -332,6 +366,9 @@ pub struct Session {
     /// cross-check that counts
     /// [`SessionStats::bound_violations`].
     bounds: Mutex<HashMap<KernelKey, StaticBound>>,
+    /// Poison recoveries on the session's own locks (the pool counts its
+    /// separately); see [`SessionStats::lock_recoveries`].
+    recovered: AtomicU64,
 }
 
 impl Default for Session {
@@ -408,6 +445,7 @@ impl Session {
             calibration,
             scratch: GridArena::new(),
             bounds: Mutex::new(HashMap::new()),
+            recovered: AtomicU64::new(0),
         }
     }
 
@@ -449,19 +487,19 @@ impl Session {
 
     /// A snapshot of the reuse counters.
     pub fn stats(&self) -> SessionStats {
-        let mut stats = *self.stats.lock().expect("session stats lock");
+        let mut stats = *relock(&self.stats, &self.recovered);
         stats.evictions += self.pool.evictions();
+        stats.lock_recoveries =
+            self.recovered.load(Ordering::Relaxed) + self.pool.lock_recoveries();
         stats
     }
 
     /// Number of kernels currently cached (successful compiles only).
     pub fn cached_kernels(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("kernel cache lock")
+        relock(&self.cache, &self.recovered)
             .entries
             .values()
-            .filter(|entry| entry.slot.lock().expect("kernel slot lock").is_some())
+            .filter(|entry| relock(&entry.slot, &self.recovered).is_some())
             .count()
     }
 
@@ -492,7 +530,7 @@ impl Session {
         // key serialize on the slot lock — the winner compiles, the
         // losers wake up to a hit.
         let slot_arc = {
-            let mut cache = self.cache.lock().expect("kernel cache lock");
+            let mut cache = relock(&self.cache, &self.recovered);
             cache.tick += 1;
             let tick = cache.tick;
             let entry = cache.entries.entry(key).or_insert_with(|| CacheEntry {
@@ -509,13 +547,13 @@ impl Session {
                     .map(|(k, _)| *k)
                     .expect("cache is non-empty");
                 cache.entries.remove(&lru);
-                self.stats.lock().expect("session stats lock").evictions += 1;
+                relock(&self.stats, &self.recovered).evictions += 1;
             }
             slot
         };
-        let mut slot = slot_arc.lock().expect("kernel slot lock");
+        let mut slot = relock(&slot_arc, &self.recovered);
         if let Some(kernel) = &*slot {
-            let mut stats = self.stats.lock().expect("session stats lock");
+            let mut stats = relock(&self.stats, &self.recovered);
             stats.cache_hits += 1;
             return Ok((Arc::clone(kernel), true));
         }
@@ -532,14 +570,8 @@ impl Session {
                         findings: report.errors().map(ToString::to_string).collect(),
                     });
                 }
-                self.bounds
-                    .lock()
-                    .expect("static bound lock")
-                    .insert(key, report.bound);
-                self.stats
-                    .lock()
-                    .expect("session stats lock")
-                    .kernels_verified += 1;
+                relock(&self.bounds, &self.recovered).insert(key, report.bound);
+                relock(&self.stats, &self.recovered).kernels_verified += 1;
             }
             Ok(kernel)
         });
@@ -551,7 +583,7 @@ impl Session {
                 // it. Skip the cleanup if a racing retry already holds
                 // the slot (it will do its own bookkeeping).
                 drop(slot);
-                let mut cache = self.cache.lock().expect("kernel cache lock");
+                let mut cache = relock(&self.cache, &self.recovered);
                 let still_empty = cache.entries.get(&key).is_some_and(|entry| {
                     Arc::ptr_eq(&entry.slot, &slot_arc)
                         && entry.slot.try_lock().is_ok_and(|s| s.is_none())
@@ -563,7 +595,7 @@ impl Session {
             }
         };
         *slot = Some(Arc::clone(&kernel));
-        let mut stats = self.stats.lock().expect("session stats lock");
+        let mut stats = relock(&self.stats, &self.recovered);
         stats.compiles += 1;
         Ok((kernel, false))
     }
@@ -585,11 +617,11 @@ impl Session {
         options: &RunOptions,
     ) -> Result<StaticBound, CodegenError> {
         let key = KernelKey::new(stencil, extent, options);
-        if let Some(bound) = self.bounds.lock().expect("static bound lock").get(&key) {
+        if let Some(bound) = relock(&self.bounds, &self.recovered).get(&key) {
             return Ok(bound.clone());
         }
         let (kernel, _) = self.compile_cached(stencil, extent, options)?;
-        let mut bounds = self.bounds.lock().expect("static bound lock");
+        let mut bounds = relock(&self.bounds, &self.recovered);
         if let Some(bound) = bounds.get(&key) {
             return Ok(bound.clone());
         }
@@ -639,7 +671,7 @@ impl Session {
             .map_or(0, |r| r.cycles_fast_forwarded);
         tel.cycles_fast_forwarded += fast_forwarded;
         {
-            let mut stats = self.stats.lock().expect("session stats lock");
+            let mut stats = relock(&self.stats, &self.recovered);
             stats.runs += 1;
             stats.count_tier(backend.fidelity());
             stats.clusters_reused += u64::from(outcome.cluster_reused);
@@ -667,6 +699,51 @@ impl Session {
             WorkloadKind::DmaProbe { extent, cluster } => self.submit_probe(spec, *extent, cluster),
             WorkloadKind::Stencil(work) => self.submit_stencil(spec, work),
         }
+    }
+
+    /// Re-answers a stencil spec from the analytic tier after its
+    /// requested tier failed or blew its deadline — the graceful
+    /// degradation path `saris-serve` falls back to. The outcome keeps
+    /// the spec's fingerprint but is answered by the roofline backend
+    /// and flagged [`WorkloadTelemetry::degraded`], so callers (and
+    /// response caches) can tell a stand-in estimate from the
+    /// full-fidelity answer the spec asked for.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::InvalidWorkload`] for specs an estimate cannot
+    /// stand in for: DMA probes (they *are* measurements), verifying
+    /// workloads (verification needs output grids), and golden-tier
+    /// requests (the caller asked for exact grids). Analytic-tier
+    /// failures propagate.
+    pub fn submit_degraded(&self, spec: &WorkloadSpec) -> Result<Outcome, CodegenError> {
+        let WorkloadKind::Stencil(work) = spec.kind() else {
+            return Err(CodegenError::InvalidWorkload {
+                reason: "DMA probes measure on the simulated cluster; \
+                         there is no analytic answer to degrade to"
+                    .to_string(),
+            });
+        };
+        if work.verify.is_some() {
+            return Err(CodegenError::InvalidWorkload {
+                reason: "verifying workloads need output grids; \
+                         the grid-free analytic tier cannot answer them degraded"
+                    .to_string(),
+            });
+        }
+        let requested = work.fidelity.unwrap_or(self.default_fidelity);
+        if requested == Fidelity::Golden {
+            return Err(CodegenError::InvalidWorkload {
+                reason: "golden-tier workloads ask for exact grids; \
+                         an analytic estimate is no substitute"
+                    .to_string(),
+            });
+        }
+        let mut degraded = work.clone();
+        degraded.fidelity = Some(Fidelity::Analytic);
+        let mut outcome = self.submit_stencil(spec, &degraded)?;
+        outcome.telemetry.degraded = true;
+        Ok(outcome)
     }
 
     /// Answers a list of specs, fanning out across worker threads (one
@@ -794,7 +871,7 @@ impl Session {
             .collect();
         let outcomes = backend.execute_batch(&reqs);
         {
-            let mut stats = self.stats.lock().expect("session stats lock");
+            let mut stats = relock(&self.stats, &self.recovered);
             for _ in &outcomes {
                 stats.runs += 1;
                 stats.count_tier(Fidelity::Golden);
@@ -889,7 +966,7 @@ impl Session {
         let result = measure_dma_utilization_on(extent, &mut cluster);
         self.pool.release(cluster);
         {
-            let mut stats = self.stats.lock().expect("session stats lock");
+            let mut stats = relock(&self.stats, &self.recovered);
             stats.runs += 1;
             stats.count_tier(Fidelity::Cycles);
             stats.clusters_reused += u64::from(reused);
@@ -978,7 +1055,7 @@ impl Session {
             concrete => (concrete, false),
         };
         if auto_requested {
-            let mut stats = self.stats.lock().expect("session stats lock");
+            let mut stats = relock(&self.stats, &self.recovered);
             match fidelity {
                 Fidelity::Analytic => stats.auto_answered_analytic += 1,
                 _ => stats.auto_escalated += 1,
@@ -1148,13 +1225,10 @@ impl Session {
         // `static_bound` call) has already bounded are checked.
         if fidelity == Fidelity::Analytic {
             let key = KernelKey::new(stencil, work.extent, &options);
-            if let Some(bound) = self.bounds.lock().expect("static bound lock").get(&key) {
+            if let Some(bound) = relock(&self.bounds, &self.recovered).get(&key) {
                 let low = reports.iter().filter(|r| r.cycles < bound.cycles).count();
                 if low > 0 {
-                    self.stats
-                        .lock()
-                        .expect("session stats lock")
-                        .bound_violations += low as u64;
+                    relock(&self.stats, &self.recovered).bound_violations += low as u64;
                 }
             }
         }

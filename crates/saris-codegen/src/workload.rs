@@ -618,6 +618,15 @@ pub struct WorkloadTelemetry {
     /// accuracy budget, [`Fidelity::Cycles`] when the request escalated.
     /// DMA probes always answer on the cycle tier.
     pub answered_by: Option<Fidelity>,
+    /// Whether this outcome is a *degraded* answer: the requested tier
+    /// failed (or blew its deadline) and the session re-answered from the
+    /// analytic tier via
+    /// [`Session::submit_degraded`](crate::Session::submit_degraded).
+    /// Degraded answers are always estimates; `answered_by` records
+    /// [`Fidelity::Analytic`] regardless of what the spec asked for.
+    /// Serving layers must not cache degraded outcomes as if they were
+    /// full-fidelity responses.
+    pub degraded: bool,
     /// Per-class issue-slot counts of the winning kernel's steady-state
     /// per-point-visit work (the paper's Section 2.1 accounting), in
     /// [`InstrClass::ALL`](saris_isa::analysis::InstrClass::ALL) order.

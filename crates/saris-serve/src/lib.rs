@@ -29,13 +29,48 @@
 //! tier included). Failed submissions are *not* cached — a retry
 //! re-executes.
 //!
+//! # Fault tolerance
+//!
+//! The serving layer assumes the execution engine can misbehave — the
+//! chaos harness ([`FaultInjectingBackend`]) exists precisely to make it
+//! do so on demand — and survives every failure mode it can observe:
+//!
+//! * **panic isolation** — a worker catches backend panics
+//!   (`catch_unwind`), converts them to
+//!   [`ServeError::BackendPanicked`], and publishes that to every
+//!   coalesced waiter; the flight is always removed and its condvar
+//!   always signaled, so nobody hangs on a dead execution;
+//! * **poison recovery** — every serve-side lock recovers from
+//!   poisoning (`PoisonError::into_inner` + `clear_poison`) and counts
+//!   the event in [`ServeStats::lock_recoveries`]; a panic while a lock
+//!   is held degrades one snapshot, never the server;
+//! * **deadlines** — [`Server::submit_with_deadline`] (or
+//!   [`ServeConfig::default_deadline`]) bounds end-to-end latency:
+//!   expiry is enforced while blocked on a full queue, at dequeue, and
+//!   in the waiters' timed condvar waits;
+//! * **bounded retry** — [`CodegenError::is_transient`] faults are
+//!   retried up to [`ServeConfig::max_retries`] times with doubling
+//!   backoff; deterministic workload errors are never retried;
+//! * **graceful degradation** — when retries are exhausted, a backend
+//!   panics, a deadline expires, or a circuit is open, the server
+//!   re-answers cycle-tier and auto-routed requests from the analytic
+//!   tier instead of failing (the outcome carries
+//!   `telemetry.degraded = true` and is never cached);
+//! * **circuit breaking & quarantine** — consecutive infrastructure
+//!   failures open a per-tier breaker (requests degrade or fail fast
+//!   until a cooldown passes), and specs that keep failing are
+//!   quarantined by fingerprint until one succeeds.
+//!
+//! [`FaultInjectingBackend`]: saris_codegen::FaultInjectingBackend
+//! [`CodegenError::is_transient`]: saris_codegen::CodegenError::is_transient
+//!
 //! ```
 //! use saris_codegen::{Fidelity, Workload};
 //! use saris_core::{gallery, Extent};
 //! use saris_serve::Server;
 //!
 //! # fn main() -> Result<(), saris_serve::ServeError> {
-//! let server = Server::new();
+//! let server = Server::new()?;
 //! let spec = Workload::new(gallery::jacobi_2d())
 //!     .extent(Extent::new_2d(16, 16))
 //!     .input_seed(1)
@@ -66,8 +101,11 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use saris_codegen::{CodegenError, Fidelity, Outcome, Session, WorkloadSpec};
 
@@ -82,6 +120,39 @@ pub enum ServeError {
     /// is shared (`Arc`) because every coalesced waiter of a failed
     /// flight receives it.
     Execution(Arc<CodegenError>),
+    /// The backend panicked while executing the workload. The worker
+    /// caught the unwind, so the panic took down one execution — not the
+    /// worker, not the server — and every coalesced waiter receives this
+    /// same error.
+    BackendPanicked {
+        /// The panic payload, when it was a string (the usual case);
+        /// `"opaque panic payload"` otherwise.
+        message: String,
+    },
+    /// The request's deadline expired before a result was available —
+    /// while blocked on a full queue, while queued, or while waiting on
+    /// an in-flight execution.
+    DeadlineExceeded,
+    /// The fidelity tier this request routes to has seen too many
+    /// consecutive infrastructure failures and its circuit breaker is
+    /// open; the request was rejected without queueing. Degradation (if
+    /// enabled) is attempted first — this error surfaces only when the
+    /// analytic tier cannot stand in.
+    CircuitOpen {
+        /// The backend tier whose breaker is open.
+        tier: &'static str,
+    },
+    /// This exact spec (by fingerprint) has failed too many times in a
+    /// row and is quarantined until some submission of it succeeds or
+    /// the server is dropped.
+    Quarantined,
+    /// A worker thread could not be spawned while constructing the
+    /// server (resource exhaustion). No server is returned; any workers
+    /// already spawned were shut down and joined.
+    Spawn {
+        /// The OS error that failed the spawn.
+        reason: String,
+    },
     /// The server shut down before the request could execute.
     ShutDown,
 }
@@ -90,6 +161,19 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Execution(e) => write!(f, "execution failed: {e}"),
+            ServeError::BackendPanicked { message } => {
+                write!(f, "backend panicked: {message}")
+            }
+            ServeError::DeadlineExceeded => {
+                f.write_str("deadline exceeded before the request completed")
+            }
+            ServeError::CircuitOpen { tier } => {
+                write!(f, "circuit breaker open for the `{tier}` tier")
+            }
+            ServeError::Quarantined => f.write_str("workload quarantined after repeated failures"),
+            ServeError::Spawn { reason } => {
+                write!(f, "failed to spawn serve worker: {reason}")
+            }
             ServeError::ShutDown => f.write_str("server shut down"),
         }
     }
@@ -99,34 +183,125 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Execution(e) => Some(&**e),
-            ServeError::ShutDown => None,
+            _ => None,
         }
     }
 }
 
-/// Sizing of a [`Server`].
+/// Sizing and fault-tolerance policy of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker threads draining the queue. `0` means one per available
     /// CPU.
+    ///
+    /// Default `0`: serving throughput scales with cores, and each
+    /// worker holds at most one pooled cluster, so per-CPU sizing never
+    /// oversubscribes the simulator.
     pub workers: usize,
     /// Maximum queued (accepted but not yet executing) requests;
     /// submissions beyond this block until a worker drains the queue.
+    ///
+    /// Default `256`: deep enough to absorb a gallery-sized burst
+    /// without blocking submitters, small enough that a wedged backend
+    /// surfaces as blocked submissions (back-pressure) rather than
+    /// unbounded memory growth.
     pub queue_depth: usize,
     /// Maximum responses kept in the LRU cache (`0` disables response
     /// caching; single-flight coalescing still applies to concurrent
     /// duplicates).
+    ///
+    /// Default `1024`, matching the session's kernel-cache bound: one
+    /// cached response per cached kernel is the steady state for
+    /// repeated traffic.
     pub max_cached_responses: usize,
+    /// Deadline applied to every [`Server::submit`] /
+    /// [`Server::submit_all`] request that does not carry an explicit
+    /// one ([`Server::submit_with_deadline`] always wins).
+    ///
+    /// Default `None`: requests wait as long as execution takes.
+    /// Latency-sensitive callers opt in; the serving layer then bounds
+    /// queue-full blocking, queue residency, and result waits by the
+    /// same instant, degrading to the analytic tier on expiry when
+    /// [`degrade_to_analytic`](ServeConfig::degrade_to_analytic) is set.
+    pub default_deadline: Option<Duration>,
+    /// Retries for *transient* execution faults
+    /// ([`CodegenError::is_transient`]); deterministic workload errors
+    /// are never retried.
+    ///
+    /// Default `2` (three attempts total): enough to ride out a blip
+    /// without tripling worst-case latency for genuinely-down backends
+    /// — the circuit breaker handles those.
+    ///
+    /// [`CodegenError::is_transient`]: saris_codegen::CodegenError::is_transient
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    ///
+    /// Default `1ms`: transient faults in this system are
+    /// scheduling-scale (a wedged cluster slot, an injected chaos
+    /// fault), not network-scale, so millisecond backoff is enough to
+    /// reorder around them without stalling a worker visibly.
+    pub retry_backoff: Duration,
+    /// Re-answer failed cycle-tier and auto-routed requests from the
+    /// analytic tier (marked `telemetry.degraded`, never cached) when
+    /// retries are exhausted, the backend panics, a deadline expires, or
+    /// a circuit is open.
+    ///
+    /// Default `true`: the paper's roofline model is exactly the "fast,
+    /// always-available estimate" a degraded answer calls for. Callers
+    /// that must never see an estimate where they asked for a
+    /// measurement set this to `false` and handle the errors.
+    pub degrade_to_analytic: bool,
+    /// Consecutive *infrastructure* failures (transient faults, panics)
+    /// on one fidelity tier that open its circuit breaker; `0` disables
+    /// breaking.
+    ///
+    /// Default `8`: far above anything deterministic test traffic
+    /// produces, low enough that a genuinely wedged backend stops
+    /// burning retry budget within a dozen requests.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects (or degrades) requests before
+    /// letting one probe request through half-open.
+    ///
+    /// Default `250ms`: long enough for a transient infrastructure
+    /// condition to clear, short enough that tests and interactive
+    /// callers see recovery promptly.
+    pub breaker_cooldown: Duration,
+    /// Final failures (any cause) of one spec fingerprint that
+    /// quarantine it — subsequent submissions fail fast with
+    /// [`ServeError::Quarantined`] until one succeeds; `0` disables
+    /// quarantine.
+    ///
+    /// Default `8`: a deterministic failure re-submitted a few times in
+    /// tests stays visible as an error; only a caller hammering a known
+    /// -bad spec gets cut off.
+    pub quarantine_threshold: u32,
+    /// How long [`Server::drop`] waits for workers to finish their
+    /// in-flight jobs before detaching wedged ones (with a logged
+    /// warning) instead of hanging the dropping thread forever.
+    ///
+    /// Default `5s`: an order of magnitude above the slowest single
+    /// cycle-tier execution in the bench suite, so a healthy server
+    /// always joins cleanly.
+    pub shutdown_timeout: Duration,
 }
 
 impl Default for ServeConfig {
-    /// One worker per CPU, a queue deep enough to absorb bursts, and a
-    /// response cache sized like the session's kernel cache.
+    /// One worker per CPU, a queue deep enough to absorb bursts, a
+    /// response cache sized like the session's kernel cache, and the
+    /// fault-tolerance defaults documented on each field.
     fn default() -> ServeConfig {
         ServeConfig {
             workers: 0,
             queue_depth: 256,
             max_cached_responses: 1024,
+            default_deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            degrade_to_analytic: true,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(250),
+            quarantine_threshold: 8,
+            shutdown_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -142,7 +317,11 @@ impl ServeConfig {
 
 /// Serving counters, in the spirit of
 /// [`SessionStats`](saris_codegen::SessionStats): everything the cache
-/// and single-flight layers saved, next to what actually executed.
+/// and single-flight layers saved, next to what actually executed and
+/// what the fault-tolerance machinery absorbed.
+///
+/// Conservation: `requests == cache_hits + cache_misses + coalesced +
+/// breaker_rejections + quarantine_rejections`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests accepted ([`Server::submit`] calls and
@@ -159,11 +338,34 @@ pub struct ServeStats {
     /// Requests coalesced onto an already-in-flight identical spec
     /// (single-flight saves: these neither executed nor queued).
     pub coalesced: u64,
-    /// Workloads actually executed by workers.
+    /// Workloads actually executed by workers (deadline-expired jobs
+    /// dropped at dequeue are not counted here).
     pub executed: u64,
-    /// Executions that failed (errors propagate to every coalesced
-    /// waiter and are never cached).
+    /// Executions whose final result was an error (after retries and
+    /// degradation; errors propagate to every coalesced waiter and are
+    /// never cached).
     pub errors: u64,
+    /// Backend panics caught and isolated by workers.
+    pub panics: u64,
+    /// Retry attempts made for transient execution faults.
+    pub retries: u64,
+    /// Executions that failed transiently but succeeded on a retry.
+    pub recovered: u64,
+    /// Requests re-answered from the analytic tier after an
+    /// infrastructure failure, deadline expiry, or open circuit (the
+    /// outcome carries `telemetry.degraded` and is never cached).
+    pub degraded: u64,
+    /// Deadline expiries observed — while blocked on a full queue, at
+    /// dequeue, or in a waiter's timed wait.
+    pub deadline_exceeded: u64,
+    /// Requests rejected (or degraded) because their tier's circuit
+    /// breaker was open.
+    pub breaker_rejections: u64,
+    /// Requests rejected because their spec fingerprint is quarantined.
+    pub quarantine_rejections: u64,
+    /// Poisoned serve-side locks recovered (a panic unwound through a
+    /// critical section; the lock was cleared and service continued).
+    pub lock_recoveries: u64,
     /// Total recompute cost the response cache saved: the sum of the
     /// cost units of every cache hit — what those requests would have
     /// paid to re-execute, in analytic-answer units (a cycle-tier run
@@ -208,6 +410,29 @@ fn recompute_cost(outcome: &Outcome) -> f64 {
     per_run * outcome.telemetry.runs.max(1) as f64
 }
 
+/// Recovers a poisoned lock result: counts the recovery, clears the
+/// poison flag (so later locks are clean and the counter reflects
+/// distinct panics, not one panic forever), and returns the guard. A
+/// serve-side critical section that unwinds leaves at most one
+/// inconsistent *snapshot* (a stats read), never inconsistent *state* —
+/// every structure guarded here is valid at each await point.
+fn recover<'a, T>(
+    mutex: &Mutex<T>,
+    locked: LockResult<MutexGuard<'a, T>>,
+    recovered: &AtomicU64,
+) -> MutexGuard<'a, T> {
+    locked.unwrap_or_else(|poisoned| {
+        recovered.fetch_add(1, Ordering::Relaxed);
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// Locks with poison recovery (see [`recover`]).
+fn relock<'a, T>(mutex: &'a Mutex<T>, recovered: &AtomicU64) -> MutexGuard<'a, T> {
+    recover(mutex, mutex.lock(), recovered)
+}
+
 /// One in-flight execution: coalesced waiters block on `done` until the
 /// leader's worker publishes the shared result.
 struct Flight {
@@ -223,26 +448,48 @@ impl Flight {
         }
     }
 
-    fn complete(&self, result: ServeResult) {
-        *self.result.lock().expect("flight lock") = Some(result);
+    fn complete(&self, result: ServeResult, recovered: &AtomicU64) {
+        *relock(&self.result, recovered) = Some(result);
         self.done.notify_all();
     }
 
-    fn wait(&self) -> ServeResult {
-        let mut slot = self.result.lock().expect("flight lock");
+    /// Waits for the result, up to `deadline`. `None` means the wait
+    /// timed out (the flight itself keeps running for its other
+    /// waiters); the caller decides what a timed-out waiter receives.
+    fn wait_until(&self, deadline: Option<Instant>, recovered: &AtomicU64) -> Option<ServeResult> {
+        let mut slot = relock(&self.result, recovered);
         loop {
-            match &*slot {
-                Some(result) => return result.clone(),
-                None => slot = self.done.wait(slot).expect("flight lock"),
+            if let Some(result) = &*slot {
+                return Some(result.clone());
+            }
+            match deadline {
+                None => slot = recover(&self.result, self.done.wait(slot), recovered),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _timed_out) = self
+                        .done
+                        .wait_timeout(slot, deadline - now)
+                        .unwrap_or_else(|poisoned| {
+                            recovered.fetch_add(1, Ordering::Relaxed);
+                            self.result.clear_poison();
+                            poisoned.into_inner()
+                        });
+                    slot = guard;
+                }
             }
         }
     }
 }
 
-/// A queued unit of work: the spec and the flight its waiters share.
+/// A queued unit of work: the spec, the flight its waiters share, and
+/// the leader's deadline (enforced again at dequeue).
 struct Job {
     spec: WorkloadSpec,
     flight: Arc<Flight>,
+    deadline: Option<Instant>,
 }
 
 /// The bounded work queue (guarded by one mutex with two condvars).
@@ -279,6 +526,32 @@ struct ResponseCache {
     tick: u64,
 }
 
+/// Per-tier consecutive-infrastructure-failure breaker state.
+#[derive(Default)]
+struct Breaker {
+    consecutive: u32,
+    open_until: Option<Instant>,
+}
+
+/// Breaker slots: [`TIER_NAMES`] indexes. Probes and `Auto` requests
+/// route to the cycle tier's slot — that is where their infrastructure
+/// risk lives.
+const TIER_NAMES: [&str; 3] = ["analytic", "cycles", "golden"];
+
+/// Failure-tracking state: per-tier breakers plus per-spec quarantine
+/// strike counts (keyed by fingerprint; a success clears the entry).
+struct Health {
+    breakers: [Breaker; 3],
+    quarantine: HashMap<u64, u32>,
+}
+
+/// Admission verdict for a would-be flight leader.
+enum Admission {
+    Allow,
+    Quarantined,
+    BreakerOpen(&'static str),
+}
+
 struct Shared {
     session: Session,
     config: ServeConfig,
@@ -287,12 +560,25 @@ struct Shared {
     not_full: Condvar,
     // Lock order: `flights` before `cache` (both submission and
     // completion take them in that order; see `begin` / `finish`).
+    // `health` and `stats` are leaves: taken last, never while waiting.
     flights: Mutex<HashMap<WorkloadSpec, Arc<Flight>>>,
     cache: Mutex<ResponseCache>,
     stats: Mutex<ServeStats>,
+    health: Mutex<Health>,
+    /// Workers whose loop is still running; `worker_exit` signals each
+    /// decrement so shutdown can wait with a bound.
+    live_workers: Mutex<usize>,
+    worker_exit: Condvar,
+    /// Poisoned-lock recoveries (see [`recover`]).
+    recovered: AtomicU64,
 }
 
 impl Shared {
+    /// Locks a serve-side mutex with poison recovery (see [`recover`]).
+    fn relock<'a, T>(&self, mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        relock(mutex, &self.recovered)
+    }
+
     /// Cache lookup, refreshing the hit entry's GreedyDual priority and
     /// recency tick. Returns the shared outcome and the recompute cost
     /// the hit saved. Callers hold the `flights` lock (see the invariant
@@ -301,7 +587,7 @@ impl Shared {
         if self.config.max_cached_responses == 0 {
             return None;
         }
-        let mut cache = self.cache.lock().expect("response cache lock");
+        let mut cache = self.relock(&self.cache);
         cache.tick += 1;
         let (tick, floor) = (cache.tick, cache.floor);
         let entry = cache.entries.get_mut(spec)?;
@@ -319,7 +605,7 @@ impl Shared {
             return;
         }
         let cost = recompute_cost(outcome);
-        let mut cache = self.cache.lock().expect("response cache lock");
+        let mut cache = self.relock(&self.cache);
         cache.tick += 1;
         let (tick, floor) = (cache.tick, cache.floor);
         cache.entries.insert(
@@ -343,7 +629,7 @@ impl Shared {
         if self.config.max_cached_responses == 0 {
             return 0;
         }
-        let mut cache = self.cache.lock().expect("response cache lock");
+        let mut cache = self.relock(&self.cache);
         let mut evicted = 0;
         while cache.entries.len() > self.config.max_cached_responses {
             let victim = cache
@@ -363,16 +649,105 @@ impl Shared {
         evicted
     }
 
+    /// The breaker slot a spec's execution risk lives in: probes and
+    /// `Auto` requests simulate, so they share the cycle tier's slot.
+    fn tier_slot(&self, spec: &WorkloadSpec) -> usize {
+        if spec.is_probe() {
+            return 1;
+        }
+        match spec
+            .fidelity()
+            .unwrap_or_else(|| self.session.default_fidelity())
+        {
+            Fidelity::Analytic => 0,
+            Fidelity::Golden => 2,
+            _ => 1,
+        }
+    }
+
+    /// Quarantine and breaker check for a would-be leader. An expired
+    /// breaker cooldown lets exactly one probe request through
+    /// half-open: the counter is reset to one-below-threshold, so the
+    /// probe's failure re-opens immediately and its success resets.
+    fn admission(&self, spec: &WorkloadSpec) -> Admission {
+        let mut health = self.relock(&self.health);
+        if self.config.quarantine_threshold > 0
+            && health
+                .quarantine
+                .get(&spec.fingerprint())
+                .is_some_and(|strikes| *strikes >= self.config.quarantine_threshold)
+        {
+            return Admission::Quarantined;
+        }
+        if self.config.breaker_threshold > 0 {
+            let slot = self.tier_slot(spec);
+            let breaker = &mut health.breakers[slot];
+            if let Some(open_until) = breaker.open_until {
+                if Instant::now() < open_until {
+                    return Admission::BreakerOpen(TIER_NAMES[slot]);
+                }
+                breaker.open_until = None;
+                breaker.consecutive = self.config.breaker_threshold.saturating_sub(1);
+            }
+        }
+        Admission::Allow
+    }
+
+    /// Books a final failure: infrastructure failures advance the
+    /// tier's breaker (opening it at the threshold); every final
+    /// failure adds a quarantine strike against the spec.
+    fn note_failure(&self, spec: &WorkloadSpec, infrastructure: bool) {
+        let mut health = self.relock(&self.health);
+        if infrastructure && self.config.breaker_threshold > 0 {
+            let slot = self.tier_slot(spec);
+            let breaker = &mut health.breakers[slot];
+            breaker.consecutive += 1;
+            if breaker.consecutive >= self.config.breaker_threshold {
+                breaker.open_until = Some(Instant::now() + self.config.breaker_cooldown);
+            }
+        }
+        if self.config.quarantine_threshold > 0 {
+            *health.quarantine.entry(spec.fingerprint()).or_insert(0) += 1;
+        }
+    }
+
+    /// Books a success: closes the tier's breaker and clears the spec's
+    /// quarantine strikes.
+    fn note_success(&self, spec: &WorkloadSpec) {
+        let mut health = self.relock(&self.health);
+        let slot = self.tier_slot(spec);
+        health.breakers[slot] = Breaker::default();
+        health.quarantine.remove(&spec.fingerprint());
+    }
+
+    /// Degrades a failed request to a fresh analytic answer when the
+    /// policy and the spec allow it; otherwise returns `err`. Degraded
+    /// outcomes carry `telemetry.degraded` and are never cached.
+    fn degrade_or(&self, spec: &WorkloadSpec, err: ServeError) -> ServeResult {
+        if !self.config.degrade_to_analytic {
+            return Err(err);
+        }
+        match self.session.submit_degraded(spec) {
+            Ok(outcome) => {
+                self.relock(&self.stats).degraded += 1;
+                Ok(Arc::new(outcome))
+            }
+            // Probes, verifying workloads, and golden requests have no
+            // analytic stand-in; the original failure is the answer.
+            Err(_) => Err(err),
+        }
+    }
+
     /// The submission path up to (but not including) waiting: cache
-    /// probe, single-flight attach, or leader enqueue.
-    fn begin(&self, spec: &WorkloadSpec) -> Wait {
+    /// probe, single-flight attach, admission check, or leader enqueue.
+    fn begin(&self, spec: &WorkloadSpec, deadline: Option<Instant>) -> Wait {
         // Holding the flights lock across the cache probe closes the
         // hit-miss race: a worker inserts into the cache *before*
         // removing the flight (also under this lock), so a spec is
         // always visible as cached, in flight, or genuinely new.
-        let mut flights = self.flights.lock().expect("flights lock");
+        let mut flights = self.relock(&self.flights);
         if let Some((outcome, cost)) = self.cache_get(spec) {
-            let mut stats = self.stats.lock().expect("serve stats lock");
+            let mut stats = self.relock(&self.stats);
             stats.requests += 1;
             stats.cache_hits += 1;
             stats.cost_units_saved += cost as u64;
@@ -380,54 +755,160 @@ impl Shared {
         }
         if let Some(flight) = flights.get(spec) {
             let flight = Arc::clone(flight);
-            let mut stats = self.stats.lock().expect("serve stats lock");
+            let mut stats = self.relock(&self.stats);
             stats.requests += 1;
             stats.coalesced += 1;
-            return Wait::Pending(flight);
+            return Wait::Pending {
+                flight,
+                deadline,
+                spec: spec.clone(),
+            };
+        }
+        match self.admission(spec) {
+            Admission::Allow => {}
+            Admission::Quarantined => {
+                let mut stats = self.relock(&self.stats);
+                stats.requests += 1;
+                stats.quarantine_rejections += 1;
+                return Wait::Ready(Err(ServeError::Quarantined));
+            }
+            Admission::BreakerOpen(tier) => {
+                {
+                    let mut stats = self.relock(&self.stats);
+                    stats.requests += 1;
+                    stats.breaker_rejections += 1;
+                }
+                drop(flights);
+                return Wait::Ready(self.degrade_or(spec, ServeError::CircuitOpen { tier }));
+            }
         }
         let flight = Arc::new(Flight::new());
         flights.insert(spec.clone(), Arc::clone(&flight));
         drop(flights);
         {
-            let mut stats = self.stats.lock().expect("serve stats lock");
+            let mut stats = self.relock(&self.stats);
             stats.requests += 1;
             stats.cache_misses += 1;
         }
-        // Leader: enqueue, blocking while the queue is at capacity.
-        let mut queue = self.queue.lock().expect("work queue lock");
+        // Leader: enqueue, blocking while the queue is at capacity —
+        // but never past the request's deadline.
+        let mut queue = self.relock(&self.queue);
         loop {
             if queue.closed {
                 drop(queue);
-                self.abandon(spec, &flight);
+                self.abandon(spec, &flight, ServeError::ShutDown);
                 return Wait::Ready(Err(ServeError::ShutDown));
             }
             if queue.jobs.len() < self.config.queue_depth {
                 break;
             }
-            queue = self.not_full.wait(queue).expect("work queue lock");
+            match deadline {
+                None => queue = recover(&self.queue, self.not_full.wait(queue), &self.recovered),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        drop(queue);
+                        self.abandon(spec, &flight, ServeError::DeadlineExceeded);
+                        self.relock(&self.stats).deadline_exceeded += 1;
+                        return Wait::Ready(self.degrade_or(spec, ServeError::DeadlineExceeded));
+                    }
+                    let (guard, _timed_out) = self
+                        .not_full
+                        .wait_timeout(queue, d - now)
+                        .unwrap_or_else(|poisoned| {
+                            self.recovered.fetch_add(1, Ordering::Relaxed);
+                            self.queue.clear_poison();
+                            poisoned.into_inner()
+                        });
+                    queue = guard;
+                }
+            }
         }
         queue.jobs.push_back(Job {
             spec: spec.clone(),
             flight: Arc::clone(&flight),
+            deadline,
         });
         drop(queue);
         self.not_empty.notify_one();
-        Wait::Pending(flight)
+        Wait::Pending {
+            flight,
+            deadline,
+            spec: spec.clone(),
+        }
     }
 
-    /// Removes a flight that will never execute and wakes its waiters.
-    fn abandon(&self, spec: &WorkloadSpec, flight: &Arc<Flight>) {
-        self.flights.lock().expect("flights lock").remove(spec);
-        flight.complete(Err(ServeError::ShutDown));
+    /// Removes a flight that will never execute and wakes its waiters
+    /// with `err`.
+    fn abandon(&self, spec: &WorkloadSpec, flight: &Arc<Flight>, err: ServeError) {
+        self.relock(&self.flights).remove(spec);
+        flight.complete(Err(err), &self.recovered);
     }
 
-    /// Executes one job and publishes its result (worker side).
+    /// Executes one job with panic isolation and bounded retry
+    /// (worker side). Final infrastructure failures degrade; final
+    /// deterministic failures propagate untouched.
+    fn execute_with_retry(&self, job: &Job) -> ServeResult {
+        let mut attempt: u32 = 0;
+        loop {
+            let run = catch_unwind(AssertUnwindSafe(|| self.session.submit(&job.spec)));
+            match run {
+                Err(payload) => {
+                    // A panic is not retried: the unwind may have left
+                    // session-side caches for this spec in a recovered-
+                    // but-unknown state, and the analytic stand-in is
+                    // both safe and cheap.
+                    self.relock(&self.stats).panics += 1;
+                    self.note_failure(&job.spec, true);
+                    let message = panic_message(payload.as_ref());
+                    return self.degrade_or(&job.spec, ServeError::BackendPanicked { message });
+                }
+                Ok(Ok(outcome)) => {
+                    if attempt > 0 {
+                        self.relock(&self.stats).recovered += 1;
+                    }
+                    self.note_success(&job.spec);
+                    return Ok(Arc::new(outcome));
+                }
+                Ok(Err(err)) => {
+                    let transient = err.is_transient();
+                    let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+                    if transient && attempt < self.config.max_retries && !expired {
+                        attempt += 1;
+                        self.relock(&self.stats).retries += 1;
+                        std::thread::sleep(
+                            self.config.retry_backoff * 2u32.saturating_pow(attempt - 1),
+                        );
+                        continue;
+                    }
+                    self.note_failure(&job.spec, transient);
+                    let shared = ServeError::Execution(Arc::new(err));
+                    if transient {
+                        // Retries exhausted (or deadline too close to
+                        // burn one): infrastructure fault, degrade.
+                        return self.degrade_or(&job.spec, shared);
+                    }
+                    // Deterministic workload error: retrying or
+                    // degrading would mask a real answer.
+                    return Err(shared);
+                }
+            }
+        }
+    }
+
+    /// Executes one job and publishes its result (worker side). The
+    /// flight is removed and completed on every path — success, error,
+    /// panic, expiry — so waiters can never hang.
     fn finish(&self, job: Job) {
-        let result: ServeResult = self
-            .session
-            .submit(&job.spec)
-            .map(Arc::new)
-            .map_err(|e| ServeError::Execution(Arc::new(e)));
+        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+        let result: ServeResult = if expired {
+            // Spent its whole deadline queued: don't burn a cluster on
+            // an answer nobody is waiting for.
+            self.relock(&self.stats).deadline_exceeded += 1;
+            self.degrade_or(&job.spec, ServeError::DeadlineExceeded)
+        } else {
+            self.execute_with_retry(&job)
+        };
         {
             // Same lock order as `begin`: cache insertion happens before
             // the flight disappears, so late duplicates can never slip
@@ -435,11 +916,15 @@ impl Shared {
             // `executed`/`errors` counters are booked inside the same
             // critical section — before the response becomes hittable —
             // so a snapshot can never observe a cache hit whose
-            // execution is not yet counted (the counter race the old
-            // after-the-fact accounting allowed).
-            let mut flights = self.flights.lock().expect("flights lock");
+            // execution is not yet counted.
+            let mut flights = self.relock(&self.flights);
+            let degraded = matches!(&result, Ok(outcome) if outcome.telemetry.degraded);
             if let Ok(outcome) = &result {
-                self.cache_put(&job.spec, outcome);
+                // Degraded outcomes answer *this* failure, not the spec:
+                // a later identical request deserves a real attempt.
+                if !degraded {
+                    self.cache_put(&job.spec, outcome);
+                }
             }
             {
                 // A spec is Auto-routed when it requests Auto itself, or
@@ -452,10 +937,10 @@ impl Shared {
                             .unwrap_or_else(|| self.session.default_fidelity()),
                         Fidelity::Auto { .. }
                     );
-                let mut stats = self.stats.lock().expect("serve stats lock");
-                stats.executed += 1;
-                stats.errors += u64::from(result.is_err());
-                if let (true, Ok(outcome)) = (auto_routed, &result) {
+                let mut stats = self.relock(&self.stats);
+                stats.executed += u64::from(!expired);
+                stats.errors += u64::from(!expired && result.is_err());
+                if let (true, Ok(outcome)) = (auto_routed && !degraded, &result) {
                     match outcome.telemetry.answered_by {
                         Some(Fidelity::Analytic) => stats.auto_answered_analytic += 1,
                         _ => stats.auto_escalated += 1,
@@ -470,17 +955,16 @@ impl Shared {
         // valid response).
         let evicted = self.cache_evict();
         if evicted > 0 {
-            let mut stats = self.stats.lock().expect("serve stats lock");
-            stats.cache_evictions += evicted;
+            self.relock(&self.stats).cache_evictions += evicted;
         }
-        job.flight.complete(result);
+        job.flight.complete(result, &self.recovered);
     }
 
     /// Worker loop: drain jobs until the queue is closed *and* empty.
     fn work(&self) {
         loop {
             let job = {
-                let mut queue = self.queue.lock().expect("work queue lock");
+                let mut queue = self.relock(&self.queue);
                 loop {
                     if let Some(job) = queue.jobs.pop_front() {
                         self.not_full.notify_one();
@@ -489,7 +973,7 @@ impl Shared {
                     if queue.closed {
                         return;
                     }
-                    queue = self.not_empty.wait(queue).expect("work queue lock");
+                    queue = recover(&self.queue, self.not_empty.wait(queue), &self.recovered);
                 }
             };
             self.finish(job);
@@ -497,17 +981,59 @@ impl Shared {
     }
 }
 
+/// Renders a caught panic payload (worker side).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Decrements `live_workers` when the worker's loop exits — normally or
+/// by unwind — so [`Server::drop`]'s bounded wait always sees the truth.
+struct WorkerGuard(Arc<Shared>);
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        *relock(&self.0.live_workers, &self.0.recovered) -= 1;
+        self.0.worker_exit.notify_all();
+    }
+}
+
 /// A pending or already-answered submission.
+// The size skew is fine: exactly one `Wait` exists per submission, on
+// the submitting caller's stack, and boxing `Pending` would cost an
+// allocation per request on the hot path.
+#[allow(clippy::large_enum_variant)]
 enum Wait {
     Ready(ServeResult),
-    Pending(Arc<Flight>),
+    Pending {
+        flight: Arc<Flight>,
+        deadline: Option<Instant>,
+        spec: WorkloadSpec,
+    },
 }
 
 impl Wait {
-    fn wait(self) -> ServeResult {
+    fn wait(self, shared: &Shared) -> ServeResult {
         match self {
             Wait::Ready(result) => result,
-            Wait::Pending(flight) => flight.wait(),
+            Wait::Pending {
+                flight,
+                deadline,
+                spec,
+            } => match flight.wait_until(deadline, &shared.recovered) {
+                Some(result) => result,
+                None => {
+                    // This waiter's deadline expired; the flight keeps
+                    // running for everyone else.
+                    shared.relock(&shared.stats).deadline_exceeded += 1;
+                    shared.degrade_or(&spec, ServeError::DeadlineExceeded)
+                }
+            },
         }
     }
 }
@@ -515,35 +1041,45 @@ impl Wait {
 /// A long-lived service answering [`WorkloadSpec`]s over a [`Session`].
 ///
 /// Dropping the server closes the queue, lets the workers drain what
-/// was already accepted, and joins them; requests still blocked on a
-/// full queue at that point resolve to [`ServeError::ShutDown`].
+/// was already accepted, and joins them — waiting at most
+/// [`ServeConfig::shutdown_timeout`] before detaching wedged workers
+/// with a logged warning. Requests still blocked on a full queue at
+/// shutdown resolve to [`ServeError::ShutDown`].
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl Default for Server {
-    fn default() -> Server {
-        Server::new()
-    }
-}
-
 impl Server {
     /// A server over a fresh simulator-default [`Session`] with default
     /// sizing.
-    pub fn new() -> Server {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] when a worker thread cannot be created.
+    pub fn new() -> Result<Server, ServeError> {
         Server::with_config(ServeConfig::default())
     }
 
     /// A server over a fresh simulator-default [`Session`] with explicit
     /// sizing.
-    pub fn with_config(config: ServeConfig) -> Server {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] when a worker thread cannot be created.
+    pub fn with_config(config: ServeConfig) -> Result<Server, ServeError> {
         Server::over(Session::new(), config)
     }
 
     /// A server over a caller-built session (choose the default fidelity
     /// tier, backend registry, and cache/pool bounds there).
-    pub fn over(session: Session, config: ServeConfig) -> Server {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] when a worker thread cannot be created
+    /// (resource exhaustion); any workers spawned before the failure
+    /// are shut down and joined, so no threads leak.
+    pub fn over(session: Session, config: ServeConfig) -> Result<Server, ServeError> {
         let shared = Arc::new(Shared {
             session,
             config,
@@ -560,45 +1096,111 @@ impl Server {
                 tick: 0,
             }),
             stats: Mutex::new(ServeStats::default()),
+            health: Mutex::new(Health {
+                breakers: [Breaker::default(), Breaker::default(), Breaker::default()],
+                quarantine: HashMap::new(),
+            }),
+            live_workers: Mutex::new(0),
+            worker_exit: Condvar::new(),
+            recovered: AtomicU64::new(0),
         });
-        let workers = (0..config.effective_workers())
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("saris-serve-{i}"))
-                    .spawn(move || shared.work())
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Server { shared, workers }
+        let mut workers = Vec::with_capacity(config.effective_workers());
+        for i in 0..config.effective_workers() {
+            *shared.relock(&shared.live_workers) += 1;
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("saris-serve-{i}"))
+                .spawn(move || {
+                    let _live = WorkerGuard(Arc::clone(&worker_shared));
+                    worker_shared.work();
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // This worker never started: take back its liveness
+                    // count, then shut down the ones that did.
+                    *shared.relock(&shared.live_workers) -= 1;
+                    shared.relock(&shared.queue).closed = true;
+                    shared.not_empty.notify_all();
+                    shared.not_full.notify_all();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(ServeError::Spawn {
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Server { shared, workers })
     }
 
     /// Answers one spec, blocking until the result is available: from
     /// the response cache, from an in-flight identical request, or by
-    /// queueing an execution.
+    /// queueing an execution. [`ServeConfig::default_deadline`], when
+    /// set, bounds the wait.
     ///
     /// # Errors
     ///
     /// [`ServeError::Execution`] when the engine fails the workload
     /// (compilation, simulation, validation, or in-submission
-    /// verification), [`ServeError::ShutDown`] when the server stops
-    /// before the request runs.
+    /// verification), [`ServeError::BackendPanicked`] when the backend
+    /// panicked, [`ServeError::DeadlineExceeded`] when the default
+    /// deadline expired, [`ServeError::CircuitOpen`] /
+    /// [`ServeError::Quarantined`] when admission rejected the request,
+    /// [`ServeError::ShutDown`] when the server stops before the
+    /// request runs. With
+    /// [`degrade_to_analytic`](ServeConfig::degrade_to_analytic) set
+    /// (the default), infrastructure failures on degradable specs
+    /// return an analytic `Ok` outcome (`telemetry.degraded`) instead.
     pub fn submit(&self, spec: &WorkloadSpec) -> ServeResult {
-        self.shared.begin(spec).wait()
+        let deadline = self
+            .shared
+            .config
+            .default_deadline
+            .map(|budget| Instant::now() + budget);
+        self.shared.begin(spec, deadline).wait(&self.shared)
+    }
+
+    /// Like [`submit`](Server::submit), with an explicit end-to-end
+    /// latency budget overriding [`ServeConfig::default_deadline`]. The
+    /// deadline is enforced while blocked on a full queue, when the job
+    /// is dequeued, and while waiting on the in-flight result; on
+    /// expiry the request degrades to an analytic answer (when policy
+    /// and spec allow) or fails with [`ServeError::DeadlineExceeded`].
+    pub fn submit_with_deadline(&self, spec: &WorkloadSpec, budget: Duration) -> ServeResult {
+        let deadline = Some(Instant::now() + budget);
+        self.shared.begin(spec, deadline).wait(&self.shared)
     }
 
     /// Answers a list of specs, returning results in spec order. All
     /// specs enter the pipeline before any result is awaited, so
     /// distinct specs execute concurrently across the worker pool and
     /// duplicated specs coalesce onto single flights.
+    /// [`ServeConfig::default_deadline`] applies per element.
     pub fn submit_all(&self, specs: &[WorkloadSpec]) -> Vec<ServeResult> {
-        let pending: Vec<Wait> = specs.iter().map(|spec| self.shared.begin(spec)).collect();
-        pending.into_iter().map(Wait::wait).collect()
+        let pending: Vec<Wait> = specs
+            .iter()
+            .map(|spec| {
+                let deadline = self
+                    .shared
+                    .config
+                    .default_deadline
+                    .map(|budget| Instant::now() + budget);
+                self.shared.begin(spec, deadline)
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|wait| wait.wait(&self.shared))
+            .collect()
     }
 
     /// A snapshot of the serving counters.
     pub fn stats(&self) -> ServeStats {
-        *self.shared.stats.lock().expect("serve stats lock")
+        let mut stats = *self.shared.relock(&self.shared.stats);
+        stats.lock_recoveries = self.shared.recovered.load(Ordering::Relaxed);
+        stats
     }
 
     /// The underlying execution engine (for its
@@ -615,12 +1217,7 @@ impl Server {
 
     /// Responses currently cached.
     pub fn cached_responses(&self) -> usize {
-        self.shared
-            .cache
-            .lock()
-            .expect("response cache lock")
-            .entries
-            .len()
+        self.shared.relock(&self.shared.cache).entries.len()
     }
 }
 
@@ -637,16 +1234,47 @@ impl fmt::Debug for Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().expect("work queue lock");
-            queue.closed = true;
-        }
+        self.shared.relock(&self.shared.queue).closed = true;
         // Wake every worker (to drain and exit) and every submitter
         // blocked on a full queue (to observe the shutdown).
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Bounded join: wait for the workers to drain, but never hang
+        // the dropping thread on a wedged backend — detach instead.
+        let deadline = Instant::now() + self.shared.config.shutdown_timeout;
+        let mut live = self.shared.relock(&self.shared.live_workers);
+        while *live > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .worker_exit
+                .wait_timeout(live, deadline - now)
+                .unwrap_or_else(|poisoned| {
+                    self.shared.recovered.fetch_add(1, Ordering::Relaxed);
+                    self.shared.live_workers.clear_poison();
+                    poisoned.into_inner()
+                });
+            live = guard;
+        }
+        let wedged = *live;
+        drop(live);
+        if wedged > 0 {
+            eprintln!(
+                "saris-serve: {wedged} worker(s) still busy after the {:?} shutdown timeout; \
+                 detaching them",
+                self.shared.config.shutdown_timeout
+            );
+            // Dropping the handles detaches the threads; they own an
+            // `Arc<Shared>` via their guard, so nothing they touch is
+            // freed under them.
+            self.workers.clear();
+        } else {
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
         }
     }
 }
@@ -670,7 +1298,8 @@ mod tests {
         let server = Server::with_config(ServeConfig {
             workers: 2,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         let a = server.submit(&spec(1)).unwrap();
         let b = server.submit(&spec(1)).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
@@ -688,7 +1317,8 @@ mod tests {
             workers: 2,
             max_cached_responses: 0,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         let results = server.submit_all(&[spec(1), spec(1), spec(2)]);
         assert!(results.iter().all(Result::is_ok));
         let stats = server.stats();
@@ -711,7 +1341,8 @@ mod tests {
             workers: 1,
             max_cached_responses: 2,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         server.submit(&spec(1)).unwrap();
         server.submit(&spec(2)).unwrap();
         server.submit(&spec(1)).unwrap(); // refresh 1
@@ -728,7 +1359,8 @@ mod tests {
 
     #[test]
     fn errors_propagate_and_are_not_cached() {
-        // j3d27pt at base unroll 4 hits register pressure.
+        // j3d27pt at base unroll 4 hits register pressure — a
+        // deterministic workload error: never retried, never degraded.
         let failing = Workload::new(gallery::j3d27pt())
             .extent(Extent::cube(saris_core::Space::Dim3, 8))
             .input_seed(1)
@@ -739,7 +1371,8 @@ mod tests {
         let server = Server::with_config(ServeConfig {
             workers: 1,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         let err = server.submit(&failing).unwrap_err();
         assert!(matches!(err, ServeError::Execution(_)), "{err}");
         assert!(err.to_string().contains("execution failed"));
@@ -749,6 +1382,8 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.executed, 2, "errors re-execute on retry");
         assert_eq!(stats.errors, 2);
+        assert_eq!(stats.retries, 0, "deterministic errors burn no retries");
+        assert_eq!(stats.degraded, 0, "deterministic errors never degrade");
         assert_eq!(stats.cache_hits, 0);
     }
 
@@ -757,7 +1392,8 @@ mod tests {
         let server = Server::with_config(ServeConfig {
             workers: 3,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         let specs: Vec<WorkloadSpec> = (0..6).map(|i| spec(i % 3)).collect();
         let results = server.submit_all(&specs);
         assert_eq!(results.len(), 6);
@@ -774,11 +1410,39 @@ mod tests {
         let server = Server::with_config(ServeConfig {
             workers: 1,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
         server.submit(&spec(1)).unwrap();
         let shared = Arc::clone(&server.shared);
         drop(server);
-        let wait = shared.begin(&spec(2));
-        assert!(matches!(wait.wait(), Err(ServeError::ShutDown)));
+        let wait = shared.begin(&spec(2), None);
+        assert!(matches!(wait.wait(&shared), Err(ServeError::ShutDown)));
+    }
+
+    #[test]
+    fn poisoned_locks_recover_and_count() {
+        let server = Server::with_config(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // Poison the stats lock from a doomed thread.
+        let shared = Arc::clone(&server.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.stats.lock().unwrap();
+            panic!("poison the serve stats lock");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(server.shared.stats.is_poisoned());
+        // The next snapshot recovers, clears the poison, and counts it.
+        let stats = server.stats();
+        assert_eq!(stats.lock_recoveries, 1);
+        assert!(!server.shared.stats.is_poisoned());
+        // The server still serves, and the recovery counter does not
+        // inflate on subsequent (clean) locks.
+        server.submit(&spec(1)).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.lock_recoveries, 1);
     }
 }

@@ -30,7 +30,8 @@ fn single_flight_executes_a_duplicated_spec_exactly_once() {
     let server = Server::with_config(ServeConfig {
         workers: 4,
         ..ServeConfig::default()
-    });
+    })
+    .unwrap();
     let barrier = Barrier::new(CALLERS);
     let outcomes: Vec<Arc<saris_codegen::Outcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CALLERS)
@@ -67,7 +68,8 @@ fn concurrent_mixed_stream_executes_each_unique_spec_once() {
     let server = Server::with_config(ServeConfig {
         workers: 4,
         ..ServeConfig::default()
-    });
+    })
+    .unwrap();
     let barrier = Barrier::new(CALLERS);
     std::thread::scope(|scope| {
         for i in 0..CALLERS {
@@ -92,7 +94,8 @@ fn cached_outcomes_are_bit_identical_to_fresh_ones() {
     let server = Server::with_config(ServeConfig {
         workers: 2,
         ..ServeConfig::default()
-    });
+    })
+    .unwrap();
     let spec = spec(42);
     server.submit(&spec).unwrap(); // populate the cache
     let cached = server.submit(&spec).unwrap();
@@ -115,7 +118,9 @@ fn deep_bursts_survive_a_tiny_queue() {
         workers: 2,
         queue_depth: 2,
         max_cached_responses: 4,
-    });
+        ..ServeConfig::default()
+    })
+    .unwrap();
     let specs: Vec<WorkloadSpec> = (0..24).map(|i| spec(i % 8)).collect();
     let results = server.submit_all(&specs);
     assert_eq!(results.len(), 24);
@@ -146,7 +151,8 @@ fn eviction_prefers_cheap_to_recompute_responses() {
         workers: 1,
         max_cached_responses: 2,
         ..ServeConfig::default()
-    });
+    })
+    .unwrap();
     let expensive = spec(1); // cycle tier: ~700 cost units
     server.submit(&expensive).unwrap();
     // Flood the cache with cheap analytic entries (1 cost unit each).
@@ -176,7 +182,8 @@ fn cache_hits_refresh_recency_under_cost_weighting() {
         workers: 1,
         max_cached_responses: 2,
         ..ServeConfig::default()
-    });
+    })
+    .unwrap();
     server.submit(&spec(1)).unwrap();
     server.submit(&spec(2)).unwrap();
     server.submit(&spec(1)).unwrap(); // hit: refreshes spec(1)
@@ -199,7 +206,8 @@ fn stats_snapshots_never_show_hits_before_executions() {
     let server = Server::with_config(ServeConfig {
         workers: 2,
         ..ServeConfig::default()
-    });
+    })
+    .unwrap();
     let done = AtomicBool::new(false);
     std::thread::scope(|scope| {
         let server = &server;
@@ -254,7 +262,8 @@ fn auto_requests_warm_the_store_through_the_server() {
     let server = Server::with_config(ServeConfig {
         workers: 2,
         ..ServeConfig::default()
-    });
+    })
+    .unwrap();
     let auto_spec = |seed: u64| {
         Workload::new(gallery::jacobi_2d())
             .extent(Extent::new_2d(16, 16))
@@ -288,7 +297,7 @@ fn auto_requests_warm_the_store_through_the_server() {
 /// the compiler.
 #[test]
 fn estimate_requests_serve_from_the_analytic_tier() {
-    let server = Server::new();
+    let server = Server::new().unwrap();
     let estimate_spec = Workload::new(gallery::jacobi_2d())
         .extent(Extent::new_2d(16, 16))
         .input_seed(7)
@@ -311,4 +320,114 @@ fn estimate_requests_serve_from_the_analytic_tier() {
         session_stats.compiles, 1,
         "the analytic run compiled nothing"
     );
+}
+
+/// A failing flight delivers its error to *every* coalesced waiter
+/// identically: waiters that attached to one execution share the same
+/// `Arc<CodegenError>`, the error counter books one error per actual
+/// execution, and nothing enters the response cache.
+#[test]
+fn coalesced_waiters_share_a_failed_flights_error() {
+    const WAITERS: usize = 8;
+    // j3d27pt at base unroll 4 hits register pressure deterministically.
+    let failing = Workload::new(gallery::j3d27pt())
+        .extent(Extent::cube(saris_core::Space::Dim3, 8))
+        .input_seed(1)
+        .variant(saris_codegen::Variant::Base)
+        .unroll(4)
+        .freeze()
+        .unwrap();
+    let server = Server::with_config(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    // Occupy the single worker with a multi-step cycle-tier job so the
+    // failing spec's flight stays in-flight while the waiters pile on.
+    let slow = Workload::new(gallery::jacobi_2d())
+        .extent(Extent::new_2d(16, 16))
+        .input_seed(3)
+        .time_steps(24)
+        .freeze()
+        .unwrap();
+    let barrier = Barrier::new(WAITERS + 1);
+    let errors: Vec<saris_serve::ServeError> = std::thread::scope(|scope| {
+        let server = &server;
+        let barrier = &barrier;
+        let slow_handle = scope.spawn(move || {
+            barrier.wait();
+            server.submit(&slow).expect("slow spec runs")
+        });
+        let handles: Vec<_> = (0..WAITERS)
+            .map(|_| {
+                let failing = &failing;
+                scope.spawn(move || {
+                    barrier.wait();
+                    server.submit(failing).expect_err("spec must fail")
+                })
+            })
+            .collect();
+        let errors = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        slow_handle.join().unwrap();
+        errors
+    });
+    // Every waiter saw an execution error; waiters of one flight share
+    // the *same* error allocation, so the number of distinct Arcs equals
+    // the number of actual executions — which the error counter matches.
+    let arcs: Vec<&Arc<saris_codegen::CodegenError>> = errors
+        .iter()
+        .map(|e| match e {
+            saris_serve::ServeError::Execution(inner) => inner,
+            other => panic!("expected an execution error, got {other}"),
+        })
+        .collect();
+    let mut distinct: Vec<&Arc<saris_codegen::CodegenError>> = Vec::new();
+    for arc in &arcs {
+        if !distinct.iter().any(|seen| Arc::ptr_eq(seen, arc)) {
+            distinct.push(arc);
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(
+        distinct.len() as u64,
+        stats.errors,
+        "one shared error per failed execution"
+    );
+    assert!(
+        stats.coalesced >= 1,
+        "the busy worker forces coalescing: {stats:?}"
+    );
+    assert_eq!(
+        stats.retries, 0,
+        "deterministic failures must not burn retries"
+    );
+    // Error results never enter the GreedyDual cache: only the slow
+    // success is cached, and re-submitting the failing spec re-executes.
+    assert_eq!(server.cached_responses(), 1);
+}
+
+/// Error results never enter the cost-aware response cache, even when
+/// interleaved with cacheable successes on the same server.
+#[test]
+fn failed_results_never_enter_the_response_cache() {
+    let failing = Workload::new(gallery::j3d27pt())
+        .extent(Extent::cube(saris_core::Space::Dim3, 8))
+        .input_seed(1)
+        .variant(saris_codegen::Variant::Base)
+        .unroll(4)
+        .freeze()
+        .unwrap();
+    let server = Server::with_config(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    server.submit(&spec(1)).unwrap();
+    assert!(server.submit(&failing).is_err());
+    server.submit(&spec(2)).unwrap();
+    assert!(server.submit(&failing).is_err());
+    assert_eq!(server.cached_responses(), 2, "only successes are cached");
+    let stats = server.stats();
+    assert_eq!(stats.errors, 2, "the failure re-executed (never cached)");
+    assert_eq!(stats.cache_hits, 0);
 }

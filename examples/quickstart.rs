@@ -17,7 +17,7 @@ fn main() -> Result<(), saris::serve::ServeError> {
 
     // One serving stack for the whole program: kernels cache, clusters
     // are recycled, repeated specs answer from the response cache.
-    let server = Server::new();
+    let server = Server::new()?;
     let workload = |variant| {
         Workload::new(stencil.clone())
             .extent(Extent::new_2d(64, 64))

@@ -318,7 +318,7 @@
 //! use saris::prelude::*;
 //!
 //! # fn main() -> Result<(), saris::serve::ServeError> {
-//! let server = Server::new();
+//! let server = Server::new()?;
 //! let spec = Workload::new(gallery::jacobi_2d())
 //!     .extent(Extent::new_2d(16, 16))
 //!     .input_seed(1)
@@ -328,6 +328,57 @@
 //! let again = server.submit(&spec)?; // response-cache hit
 //! assert!(std::sync::Arc::ptr_eq(&first, &again));
 //! assert_eq!(server.stats().executed, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Fault tolerance & deadlines
+//!
+//! The server assumes backends can misbehave. A panicking execution is
+//! caught and isolated (the worker keeps serving; every coalesced
+//! waiter gets the same error), transient errors are retried with
+//! exponential backoff, and when a cycle-tier request still cannot be
+//! answered — panic, exhausted retries, expired deadline, open circuit
+//! breaker — the server re-answers it from the analytic tier, flagged
+//! [`degraded`](codegen::WorkloadTelemetry::degraded) and never cached.
+//! Per-request deadlines bound how long a caller waits; a per-tier
+//! circuit breaker and a per-spec quarantine fail sick work fast at
+//! admission. Every knob lives on [`ServeConfig`](serve::ServeConfig),
+//! and the [`chaos`](codegen::chaos) module provides the seeded
+//! fault-injecting backend the soak tests drive all of this with.
+//!
+//! ```
+//! use saris::prelude::*;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), saris::serve::ServeError> {
+//! let server = Server::with_config(ServeConfig {
+//!     default_deadline: Some(Duration::from_secs(30)),
+//!     max_retries: 2,
+//!     degrade_to_analytic: true,
+//!     ..ServeConfig::default()
+//! })?;
+//! let spec = Workload::new(gallery::jacobi_2d())
+//!     .extent(Extent::new_2d(16, 16))
+//!     .input_seed(1)
+//!     .freeze()
+//!     .expect("valid spec");
+//! // A request with no latency budget left cannot simulate, so the
+//! // analytic tier answers it; telemetry says so.
+//! let rushed = server.submit_with_deadline(&spec, Duration::ZERO)?;
+//! assert!(rushed.telemetry.degraded);
+//! assert_eq!(rushed.telemetry.answered_by, Some(Fidelity::Analytic));
+//! assert!(server.stats().deadline_exceeded >= 1);
+//! // With time to work, a request gets the real measurement. (A
+//! // distinct spec: identical concurrent specs coalesce onto one
+//! // flight, and the rushed flight above may still be in the queue.)
+//! let patient = Workload::new(gallery::jacobi_2d())
+//!     .extent(Extent::new_2d(16, 16))
+//!     .input_seed(2)
+//!     .freeze()
+//!     .expect("valid spec");
+//! let measured = server.submit_with_deadline(&patient, Duration::from_secs(60))?;
+//! assert!(!measured.telemetry.degraded);
 //! # Ok(())
 //! # }
 //! ```
@@ -351,9 +402,10 @@ pub use snitch_sim as sim;
 pub mod prelude {
     pub use saris_codegen::{
         compile, Backend, BackendRegistry, BufferRotation, Calibration, CalibrationStore,
-        CodegenError, Fidelity, InputSpec, NativeBackend, Outcome, RooflineBackend, RunOptions,
-        Session, SessionConfig, SessionStats, SimBackend, Tune, TuningDecision, Variant, Workload,
-        WorkloadSpec, WorkloadTelemetry, DEFAULT_CANDIDATES,
+        CodegenError, FaultInjectingBackend, FaultKind, FaultPlan, Fidelity, InjectedFaults,
+        InputSpec, NativeBackend, Outcome, RooflineBackend, RunOptions, Session, SessionConfig,
+        SessionStats, SimBackend, Tune, TuningDecision, Variant, Workload, WorkloadSpec,
+        WorkloadTelemetry, DEFAULT_CANDIDATES,
     };
     pub use saris_core::{
         gallery, reference, ArenaLayout, Extent, Grid, Halo, InterleavePlan, Offset, Point,
