@@ -68,6 +68,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use saris_core::grid::{Grid, GridArena};
 use saris_core::stencil::Stencil;
@@ -266,10 +267,27 @@ pub struct SessionStats {
     /// workload requested verification. Each escalation feeds the store,
     /// so identical requests answer analytically afterwards.
     pub auto_escalated: u64,
+    /// [`Fidelity::Auto`] submissions that *would* have escalated but
+    /// were answered analytically because the modeled simulation cost
+    /// did not fit the caller's remaining deadline
+    /// ([`Session::submit_within`]). Counted on top of
+    /// [`auto_answered_analytic`](SessionStats::auto_answered_analytic)
+    /// — the request *was* answered analytically, just for a different
+    /// reason than calibration confidence.
+    pub auto_deadline_capped: u64,
     /// Kernels compiled (cache misses).
     pub compiles: u64,
     /// Kernel-cache hits.
     pub cache_hits: u64,
+    /// Of [`cache_hits`](SessionStats::cache_hits), how many were
+    /// *contended* hits: the caller found another thread already
+    /// compiling the same key and woke up to the finished kernel — a
+    /// compile the per-key slot machinery saved outright.
+    pub compiles_saved: u64,
+    /// Batches the bulk golden path formed: each one answered several
+    /// golden-tier specs with a single [`Backend::execute_batch`] call
+    /// (see [`Session::submit_all`]).
+    pub batches_formed: u64,
     /// Fresh compiles that passed the static verifier gate
     /// ([`SessionConfig::verify_kernels`]).
     pub kernels_verified: u64,
@@ -551,10 +569,20 @@ impl Session {
             }
             slot
         };
+        // A failed `try_lock` here means another thread holds the slot —
+        // it is compiling this exact key right now, and blocking on the
+        // slot below converts what would have been a duplicate compile
+        // into a hit. Count those separately: they are the compiles the
+        // per-key slot machinery saved.
+        let contended = matches!(
+            slot_arc.try_lock(),
+            Err(std::sync::TryLockError::WouldBlock)
+        );
         let mut slot = relock(&slot_arc, &self.recovered);
         if let Some(kernel) = &*slot {
             let mut stats = relock(&self.stats, &self.recovered);
             stats.cache_hits += 1;
+            stats.compiles_saved += u64::from(contended);
             return Ok((Arc::clone(kernel), true));
         }
         // Fresh compiles pass through the static verifier gate before
@@ -695,10 +723,85 @@ impl Session {
     /// unroll, and [`CodegenError::VerificationFailed`] when the spec
     /// requested verification and the output diverges beyond tolerance.
     pub fn submit(&self, spec: &WorkloadSpec) -> Result<Outcome, CodegenError> {
+        self.submit_within(spec, None)
+    }
+
+    /// [`Session::submit`] with a remaining latency budget steering the
+    /// [`Fidelity::Auto`] routing policy: when an `Auto` request would
+    /// escalate to the cycle tier but the modeled simulation cost
+    /// ([`Session::modeled_cycle_cost`]) does not fit `budget`, the
+    /// session answers analytically instead — flagging the outcome
+    /// [`WorkloadTelemetry::deadline_capped`] and counting
+    /// [`SessionStats::auto_deadline_capped`] — rather than blowing the
+    /// caller's deadline on a measurement nobody will wait for.
+    ///
+    /// `None` (and any non-`Auto` spec) behaves exactly like
+    /// [`Session::submit`]: an explicit tier request is honored whatever
+    /// it costs, and workloads that verify always escalate (verification
+    /// needs grids, which the analytic tier cannot produce).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::submit`].
+    pub fn submit_within(
+        &self,
+        spec: &WorkloadSpec,
+        budget: Option<Duration>,
+    ) -> Result<Outcome, CodegenError> {
         match spec.kind() {
             WorkloadKind::DmaProbe { extent, cluster } => self.submit_probe(spec, *extent, cluster),
-            WorkloadKind::Stencil(work) => self.submit_stencil(spec, work),
+            WorkloadKind::Stencil(work) => self.submit_stencil(spec, work, budget),
         }
+    }
+
+    /// The modeled wall-clock cost of answering `spec` on the cycle
+    /// tier: calibrated cycles-per-point (falling back to a conservative
+    /// first-principles rate when the store has never seen the stencil)
+    /// times the interior point count and the spec's
+    /// [`planned_runs`](WorkloadSpec::planned_runs), divided by the
+    /// measured simulator throughput. Deterministic given the
+    /// calibration state, so deadline-aware routing decisions are
+    /// reproducible. `None` for DMA probes.
+    pub fn modeled_cycle_cost(&self, spec: &WorkloadSpec) -> Option<Duration> {
+        let WorkloadKind::Stencil(work) = spec.kind() else {
+            return None;
+        };
+        Some(self.modeled_cycle_cost_work(work, spec.planned_runs()))
+    }
+
+    fn modeled_cycle_cost_work(&self, work: &StencilWork, planned_runs: u64) -> Duration {
+        // The committed `BENCH_sim_throughput.json` trajectory: the tuned
+        // simulator steps ~2.4e6 simulated cycles per wall-second.
+        const SIM_CYCLES_PER_SEC: f64 = 2.4e6;
+        // First-principles fallback when nothing is calibrated: gallery
+        // kernels land between ~3 and ~40 cycles/point, so 20 is a
+        // mid-range guess that errs toward answering fast requests
+        // analytically — exactly the conservative direction for a
+        // deadline decision.
+        const FALLBACK_CYCLES_PER_POINT: f64 = 20.0;
+        let cycles_per_point = self
+            .calibration
+            .as_ref()
+            .and_then(|store| {
+                store.lookup(
+                    &work.stencil,
+                    work.options.variant,
+                    work.options.cluster.n_cores,
+                )
+            })
+            .map_or(FALLBACK_CYCLES_PER_POINT, |c| c.cycles_per_point);
+        let points = work.stencil.interior(work.extent).len() as f64;
+        let secs = cycles_per_point * points * planned_runs as f64 / SIM_CYCLES_PER_SEC;
+        Duration::from_secs_f64(secs.max(0.0))
+    }
+
+    /// Whether [`Session::submit_all`] would answer `spec` through the
+    /// bulk golden path ([`Backend::execute_batch`]): it resolves to
+    /// [`Fidelity::Golden`] on a kernel-free backend, runs a single time
+    /// step, and carries no rotation. Schedulers use this to group
+    /// queued golden work into batches that amortize dispatch.
+    pub fn golden_batchable(&self, spec: &WorkloadSpec) -> bool {
+        self.bulk_golden_work(spec).is_some()
     }
 
     /// Re-answers a stencil spec from the analytic tier after its
@@ -741,7 +844,7 @@ impl Session {
         }
         let mut degraded = work.clone();
         degraded.fidelity = Some(Fidelity::Analytic);
-        let mut outcome = self.submit_stencil(spec, &degraded)?;
+        let mut outcome = self.submit_stencil(spec, &degraded, None)?;
         outcome.telemetry.degraded = true;
         Ok(outcome)
     }
@@ -872,6 +975,7 @@ impl Session {
         let outcomes = backend.execute_batch(&reqs);
         {
             let mut stats = relock(&self.stats, &self.recovered);
+            stats.batches_formed += 1;
             for _ in &outcomes {
                 stats.runs += 1;
                 stats.count_tier(Fidelity::Golden);
@@ -1048,14 +1152,30 @@ impl Session {
         &self,
         spec: &WorkloadSpec,
         work: &StencilWork,
+        budget: Option<Duration>,
     ) -> Result<Outcome, CodegenError> {
         let requested = work.fidelity.unwrap_or(self.default_fidelity);
-        let (fidelity, auto_requested) = match requested {
+        let (mut fidelity, auto_requested) = match requested {
             Fidelity::Auto { accuracy_budget } => (self.resolve_auto(work, accuracy_budget), true),
             concrete => (concrete, false),
         };
+        // Deadline-aware routing (Auto only): an escalation whose modeled
+        // simulation cost cannot fit the caller's remaining budget is
+        // answered analytically instead — the caller asked for "good
+        // enough, in time", and a measurement that arrives late is
+        // neither. Workloads that verify are exempt (they *need* grids).
+        let mut deadline_capped = false;
+        if auto_requested && fidelity == Fidelity::Cycles && work.verify.is_none() {
+            if let Some(budget) = budget {
+                if self.modeled_cycle_cost_work(work, spec.planned_runs()) > budget {
+                    fidelity = Fidelity::Analytic;
+                    deadline_capped = true;
+                }
+            }
+        }
         if auto_requested {
             let mut stats = relock(&self.stats, &self.recovered);
+            stats.auto_deadline_capped += u64::from(deadline_capped);
             match fidelity {
                 Fidelity::Analytic => stats.auto_answered_analytic += 1,
                 _ => stats.auto_escalated += 1,
@@ -1242,6 +1362,7 @@ impl Session {
             }
         }
         tel.answered_by = Some(fidelity);
+        tel.deadline_capped = deadline_capped;
 
         Ok(Outcome {
             fingerprint: spec.fingerprint(),

@@ -536,6 +536,77 @@ impl WorkloadSpec {
         matches!(self.kind, WorkloadKind::DmaProbe { .. })
     }
 
+    /// The compile-relevant identity of this spec: a hash over the
+    /// stencil structure, tile extent, and compile-relevant option
+    /// fields — the same subset the session keys its kernel cache on.
+    /// Two specs with equal compile keys share a compiled kernel, so a
+    /// scheduler can group queued work by this value and pay one compile
+    /// for the whole group. `None` for DMA probes (nothing compiles) and
+    /// for tuned workloads (tuning sweeps several compile options, so no
+    /// single key describes them).
+    pub fn compile_key(&self) -> Option<u64> {
+        let WorkloadKind::Stencil(w) = &self.kind else {
+            return None;
+        };
+        if w.tune.candidates().is_some() {
+            return None;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        w.stencil.fingerprint().hash(&mut h);
+        format!("{:?}|{}", w.extent, w.options.compile_fingerprint()).hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// How many kernel executions answering this spec will perform:
+    /// every tuning candidate is measured once, and the winner's first
+    /// application is reused as time step one, so the total is
+    /// `candidates + time_steps - 1` (and `1` for probes). This is the
+    /// deterministic work multiplier cost-aware schedulers and caches
+    /// scale the per-tier recompute cost by.
+    pub fn planned_runs(&self) -> u64 {
+        let WorkloadKind::Stencil(w) = &self.kind else {
+            return 1;
+        };
+        let candidates = w.tune.candidates().map_or(1, <[usize]>::len).max(1) as u64;
+        candidates + w.time_steps.saturating_sub(1) as u64
+    }
+
+    /// Whether this spec sweeps unroll candidates
+    /// ([`Tune::Auto`](crate::Tune) or explicit candidate lists) rather
+    /// than running one fixed configuration.
+    pub fn tunes(&self) -> bool {
+        match &self.kind {
+            WorkloadKind::Stencil(w) => w.tune.candidates().is_some(),
+            WorkloadKind::DmaProbe { .. } => false,
+        }
+    }
+
+    /// This spec re-frozen at a different fidelity tier — the same work,
+    /// inputs, tuning, and stepping, answered at `fidelity` (with the
+    /// fingerprint recomputed, so the derived spec caches independently).
+    /// This is how a serving layer schedules a background cycle-tier run
+    /// of a request it just answered analytically: derive the
+    /// [`Fidelity::Cycles`] twin and submit it when capacity allows.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::InvalidWorkload`] for DMA probes, which always
+    /// measure on the simulated cluster and have no tier to change.
+    pub fn with_fidelity(&self, fidelity: Fidelity) -> Result<WorkloadSpec, CodegenError> {
+        let WorkloadKind::Stencil(work) = &self.kind else {
+            return Err(CodegenError::InvalidWorkload {
+                reason: "DMA probes always measure on the simulated cluster; \
+                         they have no fidelity tier to change"
+                    .to_string(),
+            });
+        };
+        let mut work = work.clone();
+        work.fidelity = Some(fidelity);
+        let kind = WorkloadKind::Stencil(work);
+        let fingerprint = fingerprint_of(&kind);
+        Ok(WorkloadSpec { kind, fingerprint })
+    }
+
     pub(crate) fn kind(&self) -> &WorkloadKind {
         &self.kind
     }
@@ -627,6 +698,15 @@ pub struct WorkloadTelemetry {
     /// Serving layers must not cache degraded outcomes as if they were
     /// full-fidelity responses.
     pub degraded: bool,
+    /// Whether a [`Fidelity::Auto`] request that *would* have escalated
+    /// to the cycle tier was answered analytically instead because the
+    /// modeled simulation cost did not fit the caller's remaining
+    /// deadline (see [`Session::submit_within`](crate::Session::submit_within)).
+    /// The answer is a legitimate analytic estimate for *this* request's
+    /// latency budget — not a routing decision for the spec — so serving
+    /// layers must not cache it, and may schedule a background cycle-tier
+    /// run to warm the calibration store for next time.
+    pub deadline_capped: bool,
     /// Per-class issue-slot counts of the winning kernel's steady-state
     /// per-point-visit work (the paper's Section 2.1 accounting), in
     /// [`InstrClass::ALL`](saris_isa::analysis::InstrClass::ALL) order.

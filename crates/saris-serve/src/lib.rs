@@ -21,7 +21,22 @@
 //!   specs onto one execution: the first becomes the leader, the rest
 //!   wait on the same in-flight slot and share its `Arc<Outcome>` — a
 //!   duplicated spec executes exactly once no matter how many callers
-//!   race on it.
+//!   race on it;
+//! * a **cost- and deadline-aware scheduler** ([`SchedPolicy::CostAware`],
+//!   the default) orders the queue by deadline slack and the same
+//!   deterministic per-tier recompute costs the response cache weighs
+//!   eviction by (cycles ~700x / golden 2x / analytic 1x), with aging so
+//!   bulk work cannot starve behind a stream of interactive requests;
+//!   at dequeue it forms **compile-fingerprint batches** — queued golden
+//!   specs sharing a compile key dispatch as one bulk
+//!   [`Session::submit_all`] call, and a kernel-compiling group's leader
+//!   precompiles the shared kernel so its peers dequeue straight into
+//!   cache hits ([`ServeStats::batches_formed`],
+//!   [`ServeStats::compiles_saved`]);
+//! * **asynchronous admission** ([`Server::submit_async`]) returns a
+//!   [`ResponseHandle`] the producer polls, waits on, or attaches a
+//!   completion callback to, so submission decouples from completion and
+//!   one producer thread can keep the whole worker pool fed.
 //!
 //! Responses are cacheable because specs are deterministic by
 //! construction: seeded inputs, a deterministic simulator, and a
@@ -99,7 +114,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -188,8 +203,31 @@ impl std::error::Error for ServeError {
     }
 }
 
+/// How a [`Server`] orders its queued work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict arrival order — the scheduler the serving layer shipped
+    /// with, kept as the control policy the mixed-traffic benchmark
+    /// measures [`CostAware`](SchedPolicy::CostAware) against.
+    Fifo,
+    /// Deadline- and cost-aware ordering (the default). Each queued job
+    /// is scored by its deadline slack plus its modeled recompute cost
+    /// (the same deterministic per-tier units the response cache weighs
+    /// eviction by: cycles ~700x / golden 2x / analytic 1x), minus an
+    /// aging credit that grows while it waits
+    /// ([`ServeConfig::aging_rate`]); the lowest score runs next, with
+    /// arrival order as the deterministic tie-breaker. Interactive
+    /// requests therefore jump ahead of queued bulk sweeps, and bulk
+    /// work still drains because waiting alone eventually wins. At
+    /// dequeue, jobs sharing a compile fingerprint are formed into
+    /// batches (up to [`ServeConfig::max_batch`]).
+    #[default]
+    CostAware,
+}
+
 /// Sizing and fault-tolerance policy of a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// Not `Eq`: `aging_rate` is an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads draining the queue. `0` means one per available
     /// CPU.
@@ -283,6 +321,48 @@ pub struct ServeConfig {
     /// cycle-tier execution in the bench suite, so a healthy server
     /// always joins cleanly.
     pub shutdown_timeout: Duration,
+    /// How queued work is ordered (see [`SchedPolicy`]).
+    ///
+    /// Default [`SchedPolicy::CostAware`]: arrival order is the wrong
+    /// order whenever a deadline-carrying estimate queues behind a bulk
+    /// sweep — the known per-tier cost model makes the better order
+    /// deterministic and free to compute.
+    pub policy: SchedPolicy,
+    /// Aging rate for [`SchedPolicy::CostAware`]: every second a job
+    /// waits in the queue subtracts `aging_rate` seconds from its
+    /// effective slack, so bulk work cannot starve behind an unbounded
+    /// stream of urgent requests. `0.0` disables aging (pure
+    /// slack-plus-cost ordering).
+    ///
+    /// Default `1.0` — waiting one second is worth one second of slack:
+    /// a deadline-free bulk job (which schedules as if it had
+    /// [`BULK_SLACK_SECS`] of slack) outranks a fresh interactive
+    /// request after about a second in queue, which bounds bulk latency
+    /// at roughly the interactive deadline scale without ever letting a
+    /// sweep preempt a request that is actually about to expire.
+    pub aging_rate: f64,
+    /// Maximum jobs dispatched together as one compile-fingerprint
+    /// group under [`SchedPolicy::CostAware`] — golden groups answer
+    /// with a single bulk session call; kernel-compiling groups get
+    /// their shared kernel compiled once by the leader. `1` disables
+    /// batch formation.
+    ///
+    /// Default `16`: matches the widest SIMD sweep the golden tier's
+    /// batched executor fans out in one call, and bounds how much work
+    /// one worker claims before other workers see the queue again.
+    pub max_batch: usize,
+    /// Schedule a background cycle-tier run for every `Auto` request
+    /// that was answered analytically *only because* its modeled
+    /// simulation cost did not fit the remaining deadline
+    /// (`telemetry.deadline_capped`). The background twin carries no
+    /// deadline (so it schedules behind all urgent work), feeds the
+    /// session's calibration store, and is never delivered to the
+    /// capped caller.
+    ///
+    /// Default `false`: background work inflates `requests` /
+    /// `cache_misses` and burns worker time, so warming the store off
+    /// the critical path is opt-in.
+    pub background_calibration: bool,
 }
 
 impl Default for ServeConfig {
@@ -302,6 +382,10 @@ impl Default for ServeConfig {
             breaker_cooldown: Duration::from_millis(250),
             quarantine_threshold: 8,
             shutdown_timeout: Duration::from_secs(5),
+            policy: SchedPolicy::CostAware,
+            aging_rate: 1.0,
+            max_batch: 16,
+            background_calibration: false,
         }
     }
 }
@@ -321,7 +405,9 @@ impl ServeConfig {
 /// what the fault-tolerance machinery absorbed.
 ///
 /// Conservation: `requests == cache_hits + cache_misses + coalesced +
-/// breaker_rejections + quarantine_rejections`.
+/// breaker_rejections + quarantine_rejections`. Background calibration
+/// runs ([`ServeStats::background_runs`]) are booked as a request plus a
+/// cache miss, so the law holds with them in the stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests accepted ([`Server::submit`] calls and
@@ -379,6 +465,20 @@ pub struct ServeStats {
     /// Executed [`Fidelity::Auto`] requests that escalated to the cycle
     /// tier (feeding the calibration store for next time).
     pub auto_escalated: u64,
+    /// Compile-fingerprint groups the scheduler dispatched: golden
+    /// groups answered by one bulk session call, and kernel-compiling
+    /// groups whose leader precompiled the shared kernel for its queued
+    /// peers.
+    pub batches_formed: u64,
+    /// Compiles batch formation saved: queued peers whose group leader
+    /// compiled their shared kernel once, so they dequeued into kernel-
+    /// cache hits instead of compiling (the session's own
+    /// `compiles_saved` separately counts compile-slot contention it
+    /// absorbed).
+    pub compiles_saved: u64,
+    /// Background cycle-tier runs scheduled for deadline-capped `Auto`
+    /// answers ([`ServeConfig::background_calibration`]).
+    pub background_runs: u64,
 }
 
 /// Relative cost of recomputing one cached response, in analytic-answer
@@ -433,37 +533,80 @@ fn relock<'a, T>(mutex: &'a Mutex<T>, recovered: &AtomicU64) -> MutexGuard<'a, T
     recover(mutex, mutex.lock(), recovered)
 }
 
-/// One in-flight execution: coalesced waiters block on `done` until the
-/// leader's worker publishes the shared result.
+/// A completion callback registered through
+/// [`ResponseHandle::on_complete`].
+type Callback = Box<dyn FnOnce(ServeResult) + Send>;
+
+/// The guarded state of a [`Flight`]: the eventual shared result, plus
+/// callbacks to invoke exactly once when it lands.
+struct FlightSlot {
+    result: Option<ServeResult>,
+    callbacks: Vec<Callback>,
+}
+
+/// One in-flight execution: coalesced waiters block on `done` (or
+/// register a callback) until the leader's worker publishes the shared
+/// result.
 struct Flight {
-    result: Mutex<Option<ServeResult>>,
+    slot: Mutex<FlightSlot>,
     done: Condvar,
 }
 
 impl Flight {
     fn new() -> Flight {
         Flight {
-            result: Mutex::new(None),
+            slot: Mutex::new(FlightSlot {
+                result: None,
+                callbacks: Vec::new(),
+            }),
             done: Condvar::new(),
         }
     }
 
+    /// Publishes the result and invokes every registered callback with a
+    /// clone of it. Every flight completes on exactly one path (execute,
+    /// abandon, shutdown), so callbacks fire exactly once — on the
+    /// completing thread, after the slot lock is released.
     fn complete(&self, result: ServeResult, recovered: &AtomicU64) {
-        *relock(&self.result, recovered) = Some(result);
-        self.done.notify_all();
+        let callbacks = {
+            let mut slot = relock(&self.slot, recovered);
+            slot.result = Some(result.clone());
+            self.done.notify_all();
+            std::mem::take(&mut slot.callbacks)
+        };
+        for callback in callbacks {
+            callback(result.clone());
+        }
+    }
+
+    /// Non-blocking probe for the published result.
+    fn poll(&self, recovered: &AtomicU64) -> Option<ServeResult> {
+        relock(&self.slot, recovered).result.clone()
+    }
+
+    /// Registers `callback` to run on completion — or runs it right here
+    /// when the flight already completed.
+    fn on_complete(&self, callback: Callback, recovered: &AtomicU64) {
+        let mut slot = relock(&self.slot, recovered);
+        if let Some(result) = slot.result.clone() {
+            drop(slot);
+            callback(result);
+        } else {
+            slot.callbacks.push(callback);
+        }
     }
 
     /// Waits for the result, up to `deadline`. `None` means the wait
     /// timed out (the flight itself keeps running for its other
     /// waiters); the caller decides what a timed-out waiter receives.
     fn wait_until(&self, deadline: Option<Instant>, recovered: &AtomicU64) -> Option<ServeResult> {
-        let mut slot = relock(&self.result, recovered);
+        let mut slot = relock(&self.slot, recovered);
         loop {
-            if let Some(result) = &*slot {
+            if let Some(result) = &slot.result {
                 return Some(result.clone());
             }
             match deadline {
-                None => slot = recover(&self.result, self.done.wait(slot), recovered),
+                None => slot = recover(&self.slot, self.done.wait(slot), recovered),
                 Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
@@ -474,7 +617,7 @@ impl Flight {
                         .wait_timeout(slot, deadline - now)
                         .unwrap_or_else(|poisoned| {
                             recovered.fetch_add(1, Ordering::Relaxed);
-                            self.result.clear_poison();
+                            self.slot.clear_poison();
                             poisoned.into_inner()
                         });
                     slot = guard;
@@ -484,18 +627,106 @@ impl Flight {
     }
 }
 
-/// A queued unit of work: the spec, the flight its waiters share, and
-/// the leader's deadline (enforced again at dequeue).
+/// What kind of compile-fingerprint group a job can join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupClass {
+    /// Bulk-eligible golden work: a formed group dispatches as one
+    /// [`Session::submit_all`] call — a single `execute_batch`.
+    Golden,
+    /// Kernel-compiling cycle-tier work: the group leader precompiles
+    /// the shared kernel once, so its queued peers dequeue straight
+    /// into kernel-cache hits instead of racing on the compile slot.
+    Kernel,
+}
+
+/// The batch-formation key: jobs with equal keys share one compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupKey {
+    class: GroupClass,
+    /// [`WorkloadSpec::compile_key`] — the `KernelKey` subset that
+    /// decides whether two specs compile the same kernel.
+    compile: u64,
+}
+
+/// A queued unit of work: the spec, the flight its waiters share, the
+/// leader's deadline (enforced again at dequeue), and the scheduling
+/// metadata the cost-aware policy orders by.
 struct Job {
     spec: WorkloadSpec,
     flight: Arc<Flight>,
     deadline: Option<Instant>,
+    /// Admission order — the deterministic tie-breaker, and the whole
+    /// order under [`SchedPolicy::Fifo`].
+    seq: u64,
+    enqueued_at: Instant,
+    /// Modeled recompute cost in analytic-answer units (the response
+    /// cache's scale; see [`recompute_cost`]), fixed at admission.
+    cost: f64,
+    /// The compile-fingerprint group this job can batch with, when any.
+    group: Option<GroupKey>,
 }
 
 /// The bounded work queue (guarded by one mutex with two condvars).
+/// Jobs live in an unordered `Vec`; [`pick_index`] decides what runs
+/// next, so changing the policy never touches the queue structure.
 struct Queue {
-    jobs: VecDeque<Job>,
+    jobs: Vec<Job>,
     closed: bool,
+    next_seq: u64,
+}
+
+/// The slack a deadline-free job schedules with, in seconds: far enough
+/// out that every live deadline beats it, close enough that aging
+/// ([`ServeConfig::aging_rate`]) promotes waiting bulk work within
+/// interactive timescales.
+pub const BULK_SLACK_SECS: f64 = 1.0;
+
+/// Seconds one analytic-answer cost unit is worth in the scheduler's
+/// score — the measured wall cost of one analytic request (~30µs in
+/// `BENCH_serve_throughput.json`), which makes a ~700-unit cycle-tier
+/// job weigh in at ~21ms of slack-equivalent: ahead of nothing urgent,
+/// behind everything interactive.
+const COST_UNIT_SECS: f64 = 30e-6;
+
+/// A job's scheduling score under [`SchedPolicy::CostAware`]: deadline
+/// slack (seconds; negative once expired) plus modeled cost, minus the
+/// aging credit. Lower runs sooner.
+fn urgency(job: &Job, now: Instant, aging_rate: f64) -> f64 {
+    let slack = match job.deadline {
+        None => BULK_SLACK_SECS,
+        Some(deadline) => {
+            if deadline >= now {
+                (deadline - now).as_secs_f64()
+            } else {
+                -(now - deadline).as_secs_f64()
+            }
+        }
+    };
+    let age = now.saturating_duration_since(job.enqueued_at).as_secs_f64();
+    slack + job.cost * COST_UNIT_SECS - age * aging_rate
+}
+
+/// Picks the next job to run. Pure over its inputs (`now` included), so
+/// scheduling decisions are unit-testable without a server. Ties break
+/// by admission order, which keeps equal-score traffic — and all of
+/// [`SchedPolicy::Fifo`] — deterministically first-in-first-out.
+fn pick_index(jobs: &[Job], now: Instant, policy: SchedPolicy, aging_rate: f64) -> Option<usize> {
+    match policy {
+        SchedPolicy::Fifo => jobs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, job)| job.seq)
+            .map(|(i, _)| i),
+        SchedPolicy::CostAware => jobs
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                urgency(a, now, aging_rate)
+                    .total_cmp(&urgency(b, now, aging_rate))
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i),
+    }
 }
 
 /// One cached response with its eviction bookkeeping.
@@ -665,6 +896,64 @@ impl Shared {
         }
     }
 
+    /// The modeled recompute cost of a spec *before* execution, on the
+    /// same per-tier scale as [`recompute_cost`] — the scheduler's
+    /// ordering weight. `Auto` is costed like the cycle tier (the
+    /// expensive outcome it may escalate to): conservative, and exactly
+    /// the case where running it late is cheap.
+    fn planned_cost(&self, spec: &WorkloadSpec) -> f64 {
+        const COST_ANALYTIC: f64 = 1.0;
+        const COST_GOLDEN: f64 = 2.0;
+        const COST_CYCLES: f64 = 700.0;
+        let per_run = if spec.is_probe() {
+            COST_CYCLES
+        } else {
+            match spec
+                .fidelity()
+                .unwrap_or_else(|| self.session.default_fidelity())
+            {
+                Fidelity::Analytic => COST_ANALYTIC,
+                Fidelity::Golden => COST_GOLDEN,
+                _ => COST_CYCLES,
+            }
+        };
+        per_run * spec.planned_runs() as f64
+    }
+
+    /// The compile-fingerprint group a spec can batch with, when any:
+    /// bulk-eligible golden work groups for one-shot bulk dispatch;
+    /// kernel-compiling cycle work groups for leader precompilation.
+    /// Probes, tuning sweeps (many kernels per spec), and `Auto`
+    /// requests (tier unknown until routed) never group.
+    fn group_key(&self, spec: &WorkloadSpec) -> Option<GroupKey> {
+        if spec.is_probe() || spec.tunes() {
+            return None;
+        }
+        let compile = spec.compile_key()?;
+        match spec
+            .fidelity()
+            .unwrap_or_else(|| self.session.default_fidelity())
+        {
+            Fidelity::Golden if self.session.golden_batchable(spec) => Some(GroupKey {
+                class: GroupClass::Golden,
+                compile,
+            }),
+            Fidelity::Cycles if self.session.registry().get(Fidelity::Cycles).needs_kernel() => {
+                Some(GroupKey {
+                    class: GroupClass::Kernel,
+                    compile,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `spec` is currently cached, without refreshing its
+    /// GreedyDual standing (a peek, not a hit).
+    fn cache_peek(&self, spec: &WorkloadSpec) -> bool {
+        self.config.max_cached_responses > 0 && self.relock(&self.cache).entries.contains_key(spec)
+    }
+
     /// Quarantine and breaker check for a would-be leader. An expired
     /// breaker cooldown lets exactly one probe request through
     /// half-open: the counter is reset to one-below-threshold, so the
@@ -790,6 +1079,9 @@ impl Shared {
             stats.requests += 1;
             stats.cache_misses += 1;
         }
+        // Scheduling metadata is computed outside the queue lock.
+        let cost = self.planned_cost(spec);
+        let group = self.group_key(spec);
         // Leader: enqueue, blocking while the queue is at capacity —
         // but never past the request's deadline.
         let mut queue = self.relock(&self.queue);
@@ -824,10 +1116,16 @@ impl Shared {
                 }
             }
         }
-        queue.jobs.push_back(Job {
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        queue.jobs.push(Job {
             spec: spec.clone(),
             flight: Arc::clone(&flight),
             deadline,
+            seq,
+            enqueued_at: Instant::now(),
+            cost,
+            group,
         });
         drop(queue);
         self.not_empty.notify_one();
@@ -851,7 +1149,17 @@ impl Shared {
     fn execute_with_retry(&self, job: &Job) -> ServeResult {
         let mut attempt: u32 = 0;
         loop {
-            let run = catch_unwind(AssertUnwindSafe(|| self.session.submit(&job.spec)));
+            // The remaining deadline budget rides into the session, where
+            // it caps `Auto` escalation: an Auto request whose modeled
+            // simulation cost no longer fits is answered analytically
+            // (`telemetry.deadline_capped`) instead of blowing the
+            // deadline in the simulator.
+            let remaining = job
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                self.session.submit_within(&job.spec, remaining)
+            }));
             match run {
                 Err(payload) => {
                     // A panic is not retried: the unwind may have left
@@ -896,19 +1204,12 @@ impl Shared {
         }
     }
 
-    /// Executes one job and publishes its result (worker side). The
-    /// flight is removed and completed on every path — success, error,
-    /// panic, expiry — so waiters can never hang.
-    fn finish(&self, job: Job) {
-        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
-        let result: ServeResult = if expired {
-            // Spent its whole deadline queued: don't burn a cluster on
-            // an answer nobody is waiting for.
-            self.relock(&self.stats).deadline_exceeded += 1;
-            self.degrade_or(&job.spec, ServeError::DeadlineExceeded)
-        } else {
-            self.execute_with_retry(&job)
-        };
+    /// Publishes one job's final result: cache insertion, counter
+    /// booking, flight removal, eviction, and flight completion — the
+    /// single exit path every execution strategy (solo, golden group,
+    /// background) funnels through. The flight is removed and completed
+    /// on every path, so waiters can never hang.
+    fn publish(&self, job: &Job, result: ServeResult, expired: bool) {
         {
             // Same lock order as `begin`: cache insertion happens before
             // the flight disappears, so late duplicates can never slip
@@ -919,10 +1220,13 @@ impl Shared {
             // execution is not yet counted.
             let mut flights = self.relock(&self.flights);
             let degraded = matches!(&result, Ok(outcome) if outcome.telemetry.degraded);
+            let capped = matches!(&result, Ok(outcome) if outcome.telemetry.deadline_capped);
             if let Ok(outcome) = &result {
-                // Degraded outcomes answer *this* failure, not the spec:
-                // a later identical request deserves a real attempt.
-                if !degraded {
+                // Degraded outcomes answer *this* failure — and
+                // deadline-capped outcomes *this* request's budget — not
+                // the spec: a later identical request deserves a real
+                // attempt.
+                if !degraded && !capped {
                     self.cache_put(&job.spec, outcome);
                 }
             }
@@ -957,18 +1261,224 @@ impl Shared {
         if evicted > 0 {
             self.relock(&self.stats).cache_evictions += evicted;
         }
+        if self.config.background_calibration {
+            if let Ok(outcome) = &result {
+                if outcome.telemetry.deadline_capped {
+                    self.spawn_background(&job.spec);
+                }
+            }
+        }
         job.flight.complete(result, &self.recovered);
     }
 
-    /// Worker loop: drain jobs until the queue is closed *and* empty.
+    /// Enqueues a background cycle-tier twin of a deadline-capped `Auto`
+    /// spec, so the calibration store learns the measurement no caller
+    /// was willing to wait for. Best-effort by design: skipped when the
+    /// twin is already cached or in flight, when admission rejects it,
+    /// or when the queue is closed or full — a background run never
+    /// blocks and never displaces foreground work (it carries no
+    /// deadline, so it schedules behind everything urgent and relies on
+    /// aging to run at idle).
+    fn spawn_background(&self, spec: &WorkloadSpec) {
+        let Ok(twin) = spec.with_fidelity(Fidelity::Cycles) else {
+            return;
+        };
+        // Taking `queue` while holding `flights` is a new-but-safe edge:
+        // nothing in the serving layer acquires `flights` while holding
+        // `queue`, and neither lock is held across a wait here.
+        let mut flights = self.relock(&self.flights);
+        if self.cache_peek(&twin) || flights.contains_key(&twin) {
+            return;
+        }
+        if !matches!(self.admission(&twin), Admission::Allow) {
+            return;
+        }
+        let cost = self.planned_cost(&twin);
+        let group = self.group_key(&twin);
+        let mut queue = self.relock(&self.queue);
+        if queue.closed || queue.jobs.len() >= self.config.queue_depth {
+            return;
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(twin.clone(), Arc::clone(&flight));
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        queue.jobs.push(Job {
+            spec: twin,
+            flight,
+            deadline: None,
+            seq,
+            enqueued_at: Instant::now(),
+            cost,
+            group,
+        });
+        drop(queue);
+        drop(flights);
+        {
+            // Booked like any other admitted miss, so the stats
+            // conservation law keeps holding with background traffic in
+            // the stream.
+            let mut stats = self.relock(&self.stats);
+            stats.requests += 1;
+            stats.cache_misses += 1;
+            stats.background_runs += 1;
+        }
+        self.not_empty.notify_one();
+    }
+
+    /// Executes one job and publishes its result (worker side).
+    fn finish(&self, job: Job) {
+        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+        let result: ServeResult = if expired {
+            // Spent its whole deadline queued: don't burn a cluster on
+            // an answer nobody is waiting for.
+            self.relock(&self.stats).deadline_exceeded += 1;
+            self.degrade_or(&job.spec, ServeError::DeadlineExceeded)
+        } else {
+            self.execute_with_retry(&job)
+        };
+        self.publish(&job, result, expired);
+    }
+
+    /// Dispatches a golden compile-fingerprint group as one bulk session
+    /// call, so a single `execute_batch` answers every member. Expired
+    /// members settle without executing; a member the bulk call failed
+    /// transiently falls back to the solo retry path; a panic anywhere
+    /// in the batch is isolated once and settles every live member
+    /// (golden work has no analytic stand-in, so each sees the same
+    /// [`ServeError::BackendPanicked`]).
+    fn finish_golden_group(&self, leader: Job, peers: Vec<Job>) {
+        let mut jobs = Vec::with_capacity(peers.len() + 1);
+        jobs.push(leader);
+        jobs.extend(peers);
+        let now = Instant::now();
+        let (live, expired): (Vec<Job>, Vec<Job>) = jobs
+            .into_iter()
+            .partition(|job| job.deadline.is_none_or(|d| now < d));
+        for job in &expired {
+            self.relock(&self.stats).deadline_exceeded += 1;
+            let result = self.degrade_or(&job.spec, ServeError::DeadlineExceeded);
+            self.publish(job, result, true);
+        }
+        if live.len() <= 1 {
+            if let Some(job) = live.into_iter().next() {
+                self.finish(job);
+            }
+            return;
+        }
+        let specs: Vec<WorkloadSpec> = live.iter().map(|job| job.spec.clone()).collect();
+        match catch_unwind(AssertUnwindSafe(|| self.session.submit_all(&specs))) {
+            Err(payload) => {
+                // The batch died as a unit: one isolated panic, and every
+                // member gets the same story.
+                self.relock(&self.stats).panics += 1;
+                let message = panic_message(payload.as_ref());
+                for job in &live {
+                    self.note_failure(&job.spec, true);
+                    let result = self.degrade_or(
+                        &job.spec,
+                        ServeError::BackendPanicked {
+                            message: message.clone(),
+                        },
+                    );
+                    self.publish(job, result, false);
+                }
+            }
+            Ok(results) => {
+                self.relock(&self.stats).batches_formed += 1;
+                for (job, outcome) in live.iter().zip(results) {
+                    match outcome {
+                        Ok(outcome) => {
+                            self.note_success(&job.spec);
+                            self.publish(job, Ok(Arc::new(outcome)), false);
+                        }
+                        Err(err) if err.is_transient() => {
+                            // Infrastructure noise on the bulk attempt:
+                            // this member gets the solo retry path.
+                            self.relock(&self.stats).retries += 1;
+                            let result = self.execute_with_retry(job);
+                            self.publish(job, result, false);
+                        }
+                        Err(err) => {
+                            self.note_failure(&job.spec, false);
+                            self.publish(job, Err(ServeError::Execution(Arc::new(err))), false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compiles a kernel group's shared kernel once on behalf of `peers`
+    /// still-queued jobs, so they dequeue into kernel-cache hits instead
+    /// of serializing on the compile slot. Compile errors are ignored
+    /// here — the leader's own execution path surfaces them with full
+    /// retry/degrade semantics.
+    fn precompile_for_group(&self, job: &Job, peers: u64) {
+        let (Some(stencil), Some(options)) = (job.spec.stencil(), job.spec.options()) else {
+            return;
+        };
+        let fresh = catch_unwind(AssertUnwindSafe(|| {
+            self.session
+                .compile_cached(stencil, job.spec.extent(), options)
+                .map(|(_, hit)| !hit)
+                .unwrap_or(false)
+        }))
+        .unwrap_or(false);
+        if fresh {
+            // Only a fresh compile saved anyone anything; a kernel that
+            // was already cached makes the peers hits regardless.
+            let mut stats = self.relock(&self.stats);
+            stats.batches_formed += 1;
+            stats.compiles_saved += peers;
+        }
+    }
+
+    /// Worker loop: schedule jobs until the queue is closed *and* empty.
+    /// Under [`SchedPolicy::CostAware`] the pick is score-ordered
+    /// ([`pick_index`]) and compile-fingerprint groups are formed at
+    /// dequeue: golden peers are extracted and dispatched as one bulk
+    /// call; kernel peers stay queued while the leader precompiles
+    /// their shared kernel.
     fn work(&self) {
         loop {
-            let job = {
+            let (job, golden_peers, kernel_peers) = {
                 let mut queue = self.relock(&self.queue);
                 loop {
-                    if let Some(job) = queue.jobs.pop_front() {
-                        self.not_full.notify_one();
-                        break job;
+                    let now = Instant::now();
+                    if let Some(i) =
+                        pick_index(&queue.jobs, now, self.config.policy, self.config.aging_rate)
+                    {
+                        let job = queue.jobs.swap_remove(i);
+                        let mut golden_peers = Vec::new();
+                        let mut kernel_peers = 0u64;
+                        if self.config.policy == SchedPolicy::CostAware && self.config.max_batch > 1
+                        {
+                            match job.group {
+                                Some(group) if group.class == GroupClass::Golden => {
+                                    let mut i = 0;
+                                    while i < queue.jobs.len()
+                                        && golden_peers.len() + 1 < self.config.max_batch
+                                    {
+                                        if queue.jobs[i].group == Some(group) {
+                                            golden_peers.push(queue.jobs.swap_remove(i));
+                                        } else {
+                                            i += 1;
+                                        }
+                                    }
+                                }
+                                Some(group) if group.class == GroupClass::Kernel => {
+                                    kernel_peers = queue
+                                        .jobs
+                                        .iter()
+                                        .filter(|peer| peer.group == Some(group))
+                                        .count()
+                                        as u64;
+                                }
+                                _ => {}
+                            }
+                        }
+                        break (job, golden_peers, kernel_peers);
                     }
                     if queue.closed {
                         return;
@@ -976,7 +1486,18 @@ impl Shared {
                     queue = recover(&self.queue, self.not_empty.wait(queue), &self.recovered);
                 }
             };
-            self.finish(job);
+            // Every extracted job freed a queue slot.
+            for _ in 0..=golden_peers.len() {
+                self.not_full.notify_one();
+            }
+            if golden_peers.is_empty() {
+                if kernel_peers > 0 {
+                    self.precompile_for_group(&job, kernel_peers);
+                }
+                self.finish(job);
+            } else {
+                self.finish_golden_group(job, golden_peers);
+            }
         }
     }
 }
@@ -1038,6 +1559,81 @@ impl Wait {
     }
 }
 
+/// An asynchronously submitted request ([`Server::submit_async`]): the
+/// producer's side of a pending (or already-answered) submission. Poll
+/// it ([`try_result`](ResponseHandle::try_result)), block on it
+/// ([`wait`](ResponseHandle::wait)), or attach a completion callback
+/// ([`on_complete`](ResponseHandle::on_complete)) — submission itself
+/// never blocks on execution, only on queue back-pressure.
+///
+/// Dropping the handle abandons nothing: the request stays admitted,
+/// executes (or coalesces) normally, and still lands in the response
+/// cache — fire-and-forget warming is just `submit_async` plus drop.
+pub struct ResponseHandle {
+    shared: Arc<Shared>,
+    state: Wait,
+}
+
+impl ResponseHandle {
+    /// Whether the shared result is already available (a subsequent
+    /// [`try_result`](ResponseHandle::try_result) returns `Some`).
+    pub fn is_complete(&self) -> bool {
+        match &self.state {
+            Wait::Ready(_) => true,
+            Wait::Pending { flight, .. } => flight.poll(&self.shared.recovered).is_some(),
+        }
+    }
+
+    /// Non-blocking poll: the shared result when available, `None` while
+    /// the request is still queued or executing. Polling has no deadline
+    /// side effects — only [`wait`](ResponseHandle::wait) converts an
+    /// expired wait into a degraded answer or error.
+    pub fn try_result(&self) -> Option<ServeResult> {
+        match &self.state {
+            Wait::Ready(result) => Some(result.clone()),
+            Wait::Pending { flight, .. } => flight.poll(&self.shared.recovered),
+        }
+    }
+
+    /// Blocks until the result is available and returns it, bounded by
+    /// the submission's deadline exactly like a synchronous
+    /// [`Server::submit`] — on expiry the request degrades to an
+    /// analytic answer (when policy and spec allow) or fails with
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn wait(self) -> ServeResult {
+        let shared = Arc::clone(&self.shared);
+        self.state.wait(&shared)
+    }
+
+    /// Registers `callback` to be invoked exactly once with the shared
+    /// result — immediately on this thread when the result is already
+    /// available, otherwise on the worker thread that completes the
+    /// flight (keep callbacks short; they run inside the serving path).
+    /// The callback observes the *flight's* result: it fires when the
+    /// execution completes even if this submission's deadline expires
+    /// first — deadlines bound queue admission, dequeue, and
+    /// [`wait`](ResponseHandle::wait), not callback delivery.
+    pub fn on_complete<F>(self, callback: F)
+    where
+        F: FnOnce(ServeResult) + Send + 'static,
+    {
+        match self.state {
+            Wait::Ready(result) => callback(result),
+            Wait::Pending { flight, .. } => {
+                flight.on_complete(Box::new(callback), &self.shared.recovered);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResponseHandle")
+            .field("complete", &self.is_complete())
+            .finish_non_exhaustive()
+    }
+}
+
 /// A long-lived service answering [`WorkloadSpec`]s over a [`Session`].
 ///
 /// Dropping the server closes the queue, lets the workers drain what
@@ -1084,8 +1680,9 @@ impl Server {
             session,
             config,
             queue: Mutex::new(Queue {
-                jobs: VecDeque::new(),
+                jobs: Vec::new(),
                 closed: false,
+                next_seq: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -1171,6 +1768,42 @@ impl Server {
     pub fn submit_with_deadline(&self, spec: &WorkloadSpec, budget: Duration) -> ServeResult {
         let deadline = Some(Instant::now() + budget);
         self.shared.begin(spec, deadline).wait(&self.shared)
+    }
+
+    /// Submits one spec without blocking on its execution, returning a
+    /// [`ResponseHandle`] to poll, wait on, or attach a callback to.
+    /// Admission still runs synchronously — cache probe, single-flight
+    /// attach, health checks, and queue back-pressure (a full queue
+    /// blocks until a slot frees or the deadline expires) — so the
+    /// handle always represents an *accepted* request.
+    /// [`ServeConfig::default_deadline`] applies when set.
+    pub fn submit_async(&self, spec: &WorkloadSpec) -> ResponseHandle {
+        let deadline = self
+            .shared
+            .config
+            .default_deadline
+            .map(|budget| Instant::now() + budget);
+        ResponseHandle {
+            state: self.shared.begin(spec, deadline),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// [`submit_async`](Server::submit_async) with an explicit
+    /// end-to-end latency budget overriding
+    /// [`ServeConfig::default_deadline`]. Under
+    /// [`SchedPolicy::CostAware`] the deadline also drives scheduling
+    /// priority (slack ordering) and deadline-aware `Auto` routing.
+    pub fn submit_async_with_deadline(
+        &self,
+        spec: &WorkloadSpec,
+        budget: Duration,
+    ) -> ResponseHandle {
+        let deadline = Some(Instant::now() + budget);
+        ResponseHandle {
+            state: self.shared.begin(spec, deadline),
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Answers a list of specs, returning results in spec order. All
@@ -1291,6 +1924,80 @@ mod tests {
             .input_seed(seed)
             .freeze()
             .unwrap()
+    }
+
+    /// A queued job for scheduler-order tests: `pick_index` is pure over
+    /// its inputs, so ordering is testable without a server.
+    fn job(seq: u64, now: Instant, cost: f64, slack: Option<Duration>, age: Duration) -> Job {
+        Job {
+            spec: spec(seq),
+            flight: Arc::new(Flight::new()),
+            deadline: slack.map(|s| now + s),
+            seq,
+            enqueued_at: now - age,
+            cost,
+            group: None,
+        }
+    }
+
+    #[test]
+    fn fifo_policy_picks_arrival_order() {
+        let now = Instant::now();
+        // Urgency says the tight-deadline job should win; FIFO ignores
+        // it and runs the earlier arrival.
+        let jobs = vec![
+            job(0, now, 700.0, None, Duration::ZERO),
+            job(1, now, 1.0, Some(Duration::from_millis(5)), Duration::ZERO),
+        ];
+        assert_eq!(pick_index(&jobs, now, SchedPolicy::Fifo, 1.0), Some(0));
+        assert_eq!(pick_index(&jobs, now, SchedPolicy::CostAware, 1.0), Some(1));
+        assert_eq!(pick_index(&[], now, SchedPolicy::Fifo, 1.0), None);
+    }
+
+    #[test]
+    fn tight_deadlines_preempt_queued_bulk_work() {
+        let now = Instant::now();
+        // A bulk cycle-tier sweep (no deadline, cost 700) arrived first;
+        // an interactive analytic request with 20ms of slack arrives
+        // behind it and must still run first.
+        let jobs = vec![
+            job(0, now, 700.0, None, Duration::ZERO),
+            job(1, now, 1.0, Some(Duration::from_millis(20)), Duration::ZERO),
+        ];
+        assert_eq!(pick_index(&jobs, now, SchedPolicy::CostAware, 1.0), Some(1));
+    }
+
+    #[test]
+    fn cheap_work_outranks_expensive_work_at_equal_slack() {
+        let now = Instant::now();
+        let jobs = vec![
+            job(0, now, 700.0, None, Duration::ZERO),
+            job(1, now, 1.0, None, Duration::ZERO),
+        ];
+        assert_eq!(pick_index(&jobs, now, SchedPolicy::CostAware, 1.0), Some(1));
+    }
+
+    #[test]
+    fn aging_eventually_promotes_bulk_over_fresh_interactive() {
+        let now = Instant::now();
+        let bulk_waiting = job(0, now, 700.0, None, Duration::from_secs(2));
+        let fresh_interactive = job(1, now, 1.0, Some(Duration::from_millis(20)), Duration::ZERO);
+        // With aging, two seconds in queue beats the fresh deadline...
+        let jobs = vec![bulk_waiting, fresh_interactive];
+        assert_eq!(pick_index(&jobs, now, SchedPolicy::CostAware, 1.0), Some(0));
+        // ...and with aging disabled the interactive request always wins.
+        assert_eq!(pick_index(&jobs, now, SchedPolicy::CostAware, 0.0), Some(1));
+    }
+
+    #[test]
+    fn equal_scores_fall_back_to_arrival_order() {
+        let now = Instant::now();
+        let jobs = vec![
+            job(2, now, 1.0, None, Duration::ZERO),
+            job(0, now, 1.0, None, Duration::ZERO),
+            job(1, now, 1.0, None, Duration::ZERO),
+        ];
+        assert_eq!(pick_index(&jobs, now, SchedPolicy::CostAware, 1.0), Some(1));
     }
 
     #[test]

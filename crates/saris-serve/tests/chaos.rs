@@ -16,7 +16,7 @@ use saris_codegen::{
     Session, SessionConfig, SimBackend, Workload, WorkloadSpec,
 };
 use saris_core::{gallery, Extent, Grid};
-use saris_serve::{ServeConfig, ServeError, Server};
+use saris_serve::{ResponseHandle, SchedPolicy, ServeConfig, ServeError, Server};
 
 /// A single-step, untuned cycle-tier spec: exactly one backend call per
 /// execution attempt, so the serve layer's retry attempt `k` is the
@@ -297,6 +297,143 @@ fn seeded_soak_is_deterministic_and_counts_errors_exactly_once() {
 
     // The server is still healthy: a fresh fault-free spec serves.
     server.submit(&hot).expect("server survives the soak");
+}
+
+/// The soak again, but through the scheduler's new surfaces: async
+/// admission (`submit_async`), explicit cost-aware ordering, and batch
+/// formation enabled. Faults are injected at *execution* (never at
+/// compilation), so the kernel-group precompile cannot perturb the
+/// per-attempt fault schedule — exactly-once error accounting must
+/// survive reordering and grouping unchanged.
+#[test]
+fn scheduler_path_preserves_exactly_once_error_accounting() {
+    const UNIQUE: u64 = 12;
+    const MAX_RETRIES: u64 = 2;
+    let mut plan = FaultPlan::seeded(0x5C4ED);
+    plan.panic_rate = 0.08;
+    plan.error_rate = 0.25;
+    plan.delay_rate = 0.10;
+    plan.delay = Duration::from_millis(1);
+    let (server, chaos) = chaos_server(
+        plan,
+        ServeConfig {
+            workers: 4,
+            max_retries: MAX_RETRIES as u32,
+            degrade_to_analytic: false,
+            breaker_threshold: 0,
+            quarantine_threshold: 0,
+            policy: SchedPolicy::CostAware,
+            max_batch: 16,
+            ..ServeConfig::default()
+        },
+    );
+    // Same quota-based seed scan as the synchronous soak: reserve slots
+    // for panicking and retry-exhausting seeds so every outcome class is
+    // exercised on the scheduler path too.
+    let classify = |s: &WorkloadSpec| {
+        let schedule = chaos
+            .schedule(s, MAX_RETRIES + 1)
+            .expect("stencil specs have keys");
+        expected(&schedule, MAX_RETRIES)
+    };
+    let mut specs: Vec<WorkloadSpec> = Vec::new();
+    let mut outcomes: Vec<Expected> = Vec::new();
+    let mut quota = [UNIQUE as usize - 4, 2, 2];
+    for seed in 0..100_000 {
+        if outcomes.len() == UNIQUE as usize {
+            break;
+        }
+        let s = spec(seed);
+        let o = classify(&s);
+        let slot = match o {
+            Expected::Ok { .. } => 0,
+            Expected::Panicked => 1,
+            Expected::Transient { .. } => 2,
+        };
+        if quota[slot] == 0 {
+            continue;
+        }
+        quota[slot] -= 1;
+        specs.push(s);
+        outcomes.push(o);
+    }
+    assert_eq!(outcomes.len(), UNIQUE as usize);
+
+    // Async admission: every spec enters the scheduler before any
+    // result is consumed, so the queue actually reorders and groups.
+    let handles: Vec<ResponseHandle> = specs.iter().map(|s| server.submit_async(s)).collect();
+    let results: Vec<Result<bool, ServeError>> = handles
+        .into_iter()
+        .map(|h| h.wait().map(|o| o.telemetry.degraded))
+        .collect();
+
+    for (idx, result) in results.iter().enumerate() {
+        match outcomes[idx] {
+            Expected::Ok { .. } => {
+                assert_eq!(
+                    result.as_ref().ok(),
+                    Some(&false),
+                    "spec {idx} must succeed"
+                )
+            }
+            Expected::Panicked => assert!(
+                matches!(result, Err(ServeError::BackendPanicked { .. })),
+                "spec {idx} must surface its panic, got {result:?}"
+            ),
+            Expected::Transient { .. } => {
+                let Err(ServeError::Execution(inner)) = result else {
+                    panic!("spec {idx} must fail transiently, got {result:?}");
+                };
+                assert!(matches!(**inner, CodegenError::Transient { .. }));
+            }
+        }
+    }
+
+    // Exactly-once accounting, identical to the FIFO soak's rules.
+    let stats = server.stats();
+    let expect_errors = outcomes
+        .iter()
+        .filter(|o| !matches!(o, Expected::Ok { .. }))
+        .count() as u64;
+    let expect_panics = outcomes
+        .iter()
+        .filter(|o| matches!(o, Expected::Panicked))
+        .count() as u64;
+    let expect_retries: u64 = outcomes
+        .iter()
+        .map(|o| match o {
+            Expected::Ok { retries } | Expected::Transient { retries } => *retries,
+            Expected::Panicked => 0,
+        })
+        .sum();
+    assert_eq!(stats.requests, UNIQUE);
+    assert_eq!(stats.executed, UNIQUE, "one flight per unique spec");
+    assert_eq!(stats.errors, expect_errors, "errors counted exactly once");
+    assert_eq!(stats.panics, expect_panics);
+    assert_eq!(stats.retries, expect_retries);
+    assert_eq!(stats.degraded, 0, "degradation was disabled");
+    assert_eq!(
+        stats.requests,
+        stats.cache_hits + stats.cache_misses + stats.coalesced,
+        "conservation on the scheduler path: {stats:?}"
+    );
+
+    // Results are bit-identical to a clean serial engine for untouched
+    // specs — reordering and grouping changed nothing observable.
+    let clean = Session::new();
+    let mut checked = 0;
+    for (s, outcome) in specs.iter().zip(&outcomes) {
+        if !matches!(outcome, Expected::Ok { retries: 0 }) {
+            continue;
+        }
+        let served = server.submit(s).expect("clean specs are cached");
+        let fresh = clean.submit(s).expect("clean engine runs");
+        for (a, b) in served.grids.iter().zip(&fresh.grids) {
+            assert_eq!(bits(a), bits(b), "scheduler must not touch clean results");
+        }
+        checked += 1;
+    }
+    assert!(checked > 0, "the soak seed must leave some specs untouched");
 }
 
 /// Transient faults are retried with backoff and recover within the

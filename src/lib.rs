@@ -383,6 +383,65 @@
 //! # }
 //! ```
 //!
+//! # Async submission & scheduling
+//!
+//! `submit` blocks the calling thread; a service thread should not.
+//! [`Server::submit_async`](serve::Server::submit_async) admits a
+//! request without waiting and returns a
+//! [`ResponseHandle`](serve::ResponseHandle) — poll it with
+//! [`try_result`](serve::ResponseHandle::try_result), block on it with
+//! [`wait`](serve::ResponseHandle::wait), or attach a completion
+//! callback with [`on_complete`](serve::ResponseHandle::on_complete).
+//!
+//! Admission order is not execution order. Under
+//! [`SchedPolicy::CostAware`](serve::SchedPolicy) (the default) the
+//! queue is a priority scheduler: each job is ranked by its deadline
+//! slack plus a deterministic per-tier recompute cost (a cycle-tier
+//! simulation is ~700x an analytic estimate), with aging so bulk work
+//! cannot starve. Tight-deadline analytic requests overtake a
+//! deadlocked-in-FIFO bulk backlog; jobs sharing a compile fingerprint
+//! are dispatched together so the kernel compiles once
+//! ([`ServeStats::batches_formed`](serve::ServeStats) /
+//! [`compiles_saved`](serve::ServeStats)); golden-tier groups ride the
+//! data-parallel batch executor. The `mixed` section of
+//! `BENCH_serve_throughput.json` measures all of this against a
+//! [`SchedPolicy::Fifo`](serve::SchedPolicy) control on one
+//! unique-heavy mixed stream.
+//!
+//! ```
+//! use saris::prelude::*;
+//!
+//! # fn main() -> Result<(), saris::serve::ServeError> {
+//! let server = Server::with_config(ServeConfig {
+//!     policy: SchedPolicy::CostAware, // the default
+//!     ..ServeConfig::default()
+//! })?;
+//! let spec = |seed| {
+//!     Workload::new(gallery::jacobi_2d())
+//!         .extent(Extent::new_2d(16, 16))
+//!         .input_seed(seed)
+//!         .freeze()
+//!         .expect("valid spec")
+//! };
+//!
+//! // Admit a batch without blocking; every handle resolves exactly once.
+//! let handles: Vec<ResponseHandle> =
+//!     (0..4).map(|seed| server.submit_async(&spec(seed))).collect();
+//! for handle in handles {
+//!     let outcome = handle.wait()?;
+//!     assert!(!outcome.telemetry.degraded);
+//! }
+//!
+//! // Or don't wait at all: hand the result to a callback.
+//! let (tx, rx) = std::sync::mpsc::channel();
+//! server
+//!     .submit_async(&spec(99))
+//!     .on_complete(move |result| tx.send(result.is_ok()).unwrap());
+//! assert!(rx.recv().unwrap());
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! To regenerate the paper's tables and figures, see the `saris-bench`
 //! crate (`cargo run --release -p saris-bench --bin all`).
 
@@ -413,7 +472,9 @@ pub mod prelude {
     };
     pub use saris_energy::{efficiency_gain, EnergyModel};
     pub use saris_scaleout::{estimate as scaleout_estimate, MachineModel};
-    pub use saris_serve::{ServeConfig, ServeError, ServeStats, Server};
+    pub use saris_serve::{
+        ResponseHandle, SchedPolicy, ServeConfig, ServeError, ServeStats, Server,
+    };
     pub use saris_verify::{verify_cluster, verify_program, MemoryMap, StaticBound};
     pub use snitch_sim::{Cluster, ClusterConfig, RunReport};
 }
