@@ -1,7 +1,7 @@
 //! Serving-layer throughput benchmark: requests per wall second through
 //! the `saris-serve` stack, against truly uncached submissions.
 //!
-//! Up to five experiments, emitted into `BENCH_serve_throughput.json`:
+//! Up to seven experiments, emitted into `BENCH_serve_throughput.json`:
 //!
 //! 1. **Duplication sweep** — request streams with 0% / 50% / 90%
 //!    duplicate specs, answered three ways: *uncached* (a session with
@@ -60,16 +60,27 @@
 //!    under a realistic mixed-fault request storm and reports what it
 //!    cost — retries, recovered flights, degraded answers, quarantined
 //!    specs — plus whether the server still serves cleanly afterwards.
+//! 7. **Sharded serving** (`--sharded`) — the same duplicate-light
+//!    cycle-tier stream driven by concurrent producers through a
+//!    `saris-shard` [`Coordinator`] over single-worker
+//!    [`ShardWorker`] processes-in-spirit (each a full `saris-serve`
+//!    stack behind the length-prefixed TCP protocol), measured warmed
+//!    at one shard and again at four: consistent-hash fingerprint
+//!    affinity keeps every shard's kernel and response caches hot, so
+//!    warmed requests-per-second should scale near-linearly with the
+//!    shard count. A sample of stream specs plus one golden request is
+//!    checked bit-identical against a single-process reference server.
 //!
 //! Usage: `serve_throughput [--subset] [--adaptive] [--golden-sweep]
-//! [--mixed] [--chaos] [--baseline PATH] [--out PATH]
+//! [--mixed] [--chaos] [--sharded] [--baseline PATH] [--out PATH]
 //! [--export-calibration PATH] [--import-calibration PATH]`
 //!
 //! `--subset` shrinks the experiments to a CI-sized configuration.
 //! `--baseline PATH` reads a previously committed artifact and fails the
 //! run (exit 1, after writing the fresh artifact) when a gated headline
-//! — the golden-sweep speedup, the adaptive warmed-vs-cold speedup, or
-//! the mixed-traffic speedup over the FIFO control — regresses more
+//! — the golden-sweep speedup, the adaptive warmed-vs-cold speedup,
+//! the mixed-traffic speedup over the FIFO control, or the sharded
+//! four-vs-one shard scaling — regresses more
 //! than 20% below the committed value: the CI regression gate. A gated
 //! scenario whose section is missing from the baseline is a hard error
 //! (exit 1), never a silent skip. When a `--subset` run is gated
@@ -99,6 +110,7 @@ use saris_codegen::{
 };
 use saris_core::{gallery, reference, Extent, Grid, Stencil};
 use saris_serve::{ResponseHandle, SchedPolicy, ServeConfig, ServeResult, Server};
+use saris_shard::{Coordinator, ShardWorker};
 use snitch_sim::ClusterConfig;
 
 /// The codes the duplication sweep draws its unique specs from: cheap
@@ -1134,6 +1146,158 @@ fn run_chaos(n_requests: usize, store: &Arc<CalibrationStore>) -> ChaosResult {
     }
 }
 
+/// Producer threads driving the sharded coordinator: well above the
+/// shard fan, because the coordinator serializes requests per shard —
+/// a producer blocked on a busy shard contributes nothing to an idle
+/// one, so spare producers are what keep every shard's pipeline full.
+const SHARD_PRODUCERS: usize = 16;
+
+/// The shard count the scaling headline is measured at.
+const SHARD_FAN: usize = 4;
+
+struct ShardedResult {
+    requests: usize,
+    threads: usize,
+    wall_one: f64,
+    wall_fan: f64,
+    bit_identical: bool,
+}
+
+impl ShardedResult {
+    fn rps_one(&self) -> f64 {
+        self.requests as f64 / self.wall_one
+    }
+    fn rps_fan(&self) -> f64 {
+        self.requests as f64 / self.wall_fan
+    }
+    fn scaling(&self) -> f64 {
+        self.rps_fan() / self.rps_one()
+    }
+}
+
+/// A duplicate-light request stream: mostly unique cycle-tier specs,
+/// with every eighth slot repeating an earlier spec — fingerprint
+/// affinity routes the repeat back to the shard whose response cache
+/// already holds its answer.
+fn sharded_stream(n: usize, seed_base: u64) -> Vec<WorkloadSpec> {
+    (0..n)
+        .map(|i| {
+            let slot = if i % 8 == 7 { i - 3 } else { i };
+            sweep_spec(
+                SWEEP_CODES[slot % SWEEP_CODES.len()],
+                seed_base + (slot / SWEEP_CODES.len()) as u64,
+            )
+        })
+        .collect()
+}
+
+/// One shard: a full single-worker `saris-serve` stack over its own
+/// gallery-seeded calibration store, listening on a loopback socket.
+fn shard_worker() -> ShardWorker {
+    let store = Arc::new(CalibrationStore::with_gallery());
+    let server = Server::over(
+        session_over(&store),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn shard worker");
+    ShardWorker::spawn(server).expect("shard worker socket")
+}
+
+/// Drives every spec through the coordinator from `threads` concurrent
+/// producers (strided split, so duplicates land after their originals).
+fn submit_all_sharded(coordinator: &Coordinator, specs: &[WorkloadSpec], threads: usize) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for spec in specs.iter().skip(t).step_by(threads) {
+                    coordinator
+                        .submit(spec)
+                        .expect("sharded request must serve");
+                }
+            });
+        }
+    });
+}
+
+/// The sharded scenario: the duplicate-light stream measured through a
+/// one-shard and a [`SHARD_FAN`]-shard coordinator, each warmed first by
+/// an unmeasured same-shape pass (compiling every kernel on the shard
+/// that owns it), plus a sampled bit-identity check of sharded answers
+/// against a single-process reference server.
+fn run_sharded(n_requests: usize, threads: usize) -> ShardedResult {
+    let specs = sharded_stream(n_requests, 2000);
+    let warm = sharded_stream(n_requests, 5000);
+
+    let wall_one = {
+        let workers = vec![shard_worker()];
+        let coordinator = Coordinator::over(&workers).expect("coordinator");
+        submit_all_sharded(&coordinator, &warm, threads);
+        let start = Instant::now();
+        submit_all_sharded(&coordinator, &specs, threads);
+        start.elapsed().as_secs_f64()
+    };
+
+    let workers: Vec<ShardWorker> = (0..SHARD_FAN).map(|_| shard_worker()).collect();
+    let coordinator = Coordinator::over(&workers).expect("coordinator");
+    submit_all_sharded(&coordinator, &warm, threads);
+    let start = Instant::now();
+    submit_all_sharded(&coordinator, &specs, threads);
+    let wall_fan = start.elapsed().as_secs_f64();
+
+    // Sampled bit-identity: a spread of stream specs plus one golden
+    // request, answered by the live deployment and by a single-process
+    // reference server over an identical session.
+    let reference_store = Arc::new(CalibrationStore::with_gallery());
+    let reference = Server::over(
+        session_over(&reference_store),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("reference server");
+    let golden = Workload::new(gallery::by_name(SWEEP_CODES[0]).expect("sweep code"))
+        .extent(Extent::new_2d(SWEEP_TILE, SWEEP_TILE))
+        .input_seed(PAPER_SEED + 77)
+        .fidelity(Fidelity::Golden)
+        .freeze()
+        .expect("golden sample spec");
+    let samples: Vec<&WorkloadSpec> = specs
+        .iter()
+        .step_by((n_requests / 4).max(1))
+        .chain(std::iter::once(&golden))
+        .collect();
+    let bit_identical = samples.iter().all(|spec| {
+        let sharded = coordinator.submit(spec).expect("sharded sample");
+        let local = reference.submit(spec).expect("reference sample");
+        sharded.fingerprint == local.fingerprint
+            && sharded
+                .reports
+                .iter()
+                .map(|r| r.cycles)
+                .eq(local.reports.iter().map(|r| r.cycles))
+            && sharded.grids.len() == local.grids.len()
+            && sharded.grids.iter().zip(&local.grids).all(|(a, b)| {
+                a.extent() == b.extent()
+                    && a.as_slice()
+                        .iter()
+                        .zip(b.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+    });
+
+    ShardedResult {
+        requests: n_requests,
+        threads,
+        wall_one,
+        wall_fan,
+        bit_identical,
+    }
+}
+
 /// Extracts a numeric field from one named section of a committed
 /// artifact with a plain string scan (the artifact is hand-rolled JSON;
 /// there is no JSON parser in-tree). `None` when the artifact predates
@@ -1224,6 +1388,7 @@ fn render_json(
     golden: Option<&GoldenResult>,
     mixed: Option<&MixedResult>,
     chaos: Option<&ChaosResult>,
+    sharded: Option<&ShardedResult>,
     subset: bool,
 ) -> String {
     let mut out = String::new();
@@ -1288,7 +1453,12 @@ fn render_json(
             r.agree(),
         );
     }
-    if adaptive.is_some() || golden.is_some() || mixed.is_some() || chaos.is_some() {
+    if adaptive.is_some()
+        || golden.is_some()
+        || mixed.is_some()
+        || chaos.is_some()
+        || sharded.is_some()
+    {
         out.push_str("    ]\n  },\n");
     } else {
         out.push_str("    ]\n  }\n");
@@ -1319,11 +1489,13 @@ fn render_json(
                 .map_or("null".to_string(), |e| format!("{e:.6}"))
         );
         let _ = writeln!(out, "    \"within_budget\": {}", a.within_budget());
-        out.push_str(if golden.is_some() || mixed.is_some() || chaos.is_some() {
-            "  },\n"
-        } else {
-            "  }\n"
-        });
+        out.push_str(
+            if golden.is_some() || mixed.is_some() || chaos.is_some() || sharded.is_some() {
+                "  },\n"
+            } else {
+                "  }\n"
+            },
+        );
     }
     if let Some(g) = golden {
         let _ = writeln!(out, "  \"golden_sweep\": {{");
@@ -1335,7 +1507,7 @@ fn render_json(
         let _ = writeln!(out, "    \"batched_rps\": {:.1},", g.batched_rps());
         let _ = writeln!(out, "    \"speedup_vs_scalar\": {:.2},", g.speedup());
         let _ = writeln!(out, "    \"grids_bit_identical\": {}", g.bit_identical);
-        out.push_str(if mixed.is_some() || chaos.is_some() {
+        out.push_str(if mixed.is_some() || chaos.is_some() || sharded.is_some() {
             "  },\n"
         } else {
             "  }\n"
@@ -1387,7 +1559,11 @@ fn render_json(
             m.cost_aware.compiles_saved
         );
         let _ = writeln!(out, "    \"bulk_bit_identical\": {}", m.bit_identical);
-        out.push_str(if chaos.is_some() { "  },\n" } else { "  }\n" });
+        out.push_str(if chaos.is_some() || sharded.is_some() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
     }
     if let Some(c) = chaos {
         let _ = writeln!(out, "  \"chaos\": {{");
@@ -1408,6 +1584,19 @@ fn render_json(
         );
         let _ = writeln!(out, "    \"failed_requests\": {},", c.failed);
         let _ = writeln!(out, "    \"healthy_after\": {}", c.healthy_after);
+        out.push_str(if sharded.is_some() { "  },\n" } else { "  }\n" });
+    }
+    if let Some(sh) = sharded {
+        let _ = writeln!(out, "  \"sharded\": {{");
+        let _ = writeln!(out, "    \"requests\": {},", sh.requests);
+        let _ = writeln!(out, "    \"producer_threads\": {},", sh.threads);
+        let _ = writeln!(out, "    \"shard_fan\": {SHARD_FAN},");
+        let _ = writeln!(out, "    \"wall_seconds_1shard\": {:.6},", sh.wall_one);
+        let _ = writeln!(out, "    \"wall_seconds_4shard\": {:.6},", sh.wall_fan);
+        let _ = writeln!(out, "    \"rps_1shard\": {:.1},", sh.rps_one());
+        let _ = writeln!(out, "    \"rps_4shard\": {:.1},", sh.rps_fan());
+        let _ = writeln!(out, "    \"scaling_4x_vs_1\": {:.2},", sh.scaling());
+        let _ = writeln!(out, "    \"sampled_bit_identical\": {}", sh.bit_identical);
         out.push_str("  }\n");
     }
     out.push_str("}\n");
@@ -1421,6 +1610,7 @@ fn main() {
     let golden_sweep = args.iter().any(|a| a == "--golden-sweep");
     let mixed = args.iter().any(|a| a == "--mixed");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let sharded = args.iter().any(|a| a == "--sharded");
     let mut out_path = "BENCH_serve_throughput.json".to_string();
     let mut import_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -1443,7 +1633,7 @@ fn main() {
                         .clone(),
                 );
             }
-            "--subset" | "--adaptive" | "--golden-sweep" | "--mixed" | "--chaos" => {}
+            "--subset" | "--adaptive" | "--golden-sweep" | "--mixed" | "--chaos" | "--sharded" => {}
             other => panic!("unknown argument {other}"),
         }
     }
@@ -1454,10 +1644,10 @@ fn main() {
     // silently skipping a gate would let a real regression through as a
     // green run.
     let baseline = baseline_path.as_ref().map(|path| {
-        if !(golden_sweep || adaptive || mixed) {
+        if !(golden_sweep || adaptive || mixed || sharded) {
             eprintln!(
                 "error: --baseline requires a gated scenario (--golden-sweep, --adaptive, \
-                 or --mixed); nothing is measured to gate"
+                 --mixed, or --sharded); nothing is measured to gate"
             );
             std::process::exit(1);
         }
@@ -1481,7 +1671,9 @@ fn main() {
         });
         let mixed_gate =
             mixed.then(|| load_gate(&json, path, "mixed", "speedup_vs_fifo", "requests"));
-        (golden_gate, adaptive_gate, mixed_gate)
+        let sharded_gate =
+            sharded.then(|| load_gate(&json, path, "sharded", "scaling_4x_vs_1", "requests"));
+        (golden_gate, adaptive_gate, mixed_gate, sharded_gate)
     });
     // The analytic tier of every run answers from (and every cycle-tier
     // run feeds) one shared store: imported when requested, the baked
@@ -1670,6 +1862,30 @@ fn main() {
         c
     });
 
+    let sharded_result = sharded.then(|| {
+        let n = if subset { 24 } else { 96 };
+        let r = run_sharded(n, SHARD_PRODUCERS);
+        println!(
+            "\nsharded serving ({} requests, {} producers): 1 shard {:.1} r/s -> {} shards \
+             {:.1} r/s ({:.2}x)",
+            r.requests,
+            r.threads,
+            r.rps_one(),
+            SHARD_FAN,
+            r.rps_fan(),
+            r.scaling()
+        );
+        println!(
+            "sampled sharded outcomes bit-identical to single-process execution: {}",
+            r.bit_identical
+        );
+        assert!(
+            r.bit_identical,
+            "sharded outcomes diverged from single-process execution"
+        );
+        r
+    });
+
     let json = render_json(
         &sweep,
         bit_identical,
@@ -1678,6 +1894,7 @@ fn main() {
         golden_result.as_ref(),
         mixed_result.as_ref(),
         chaos_result.as_ref(),
+        sharded_result.as_ref(),
         subset,
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
@@ -1692,7 +1909,7 @@ fn main() {
     // back to scalar execution, `Auto` routing losing its analytic
     // fast path, the scheduler degenerating to FIFO) lands far below
     // either bar.
-    if let Some((golden_gate, adaptive_gate, mixed_gate)) = baseline {
+    if let Some((golden_gate, adaptive_gate, mixed_gate, sharded_gate)) = baseline {
         if let (Some(gate), Some(g)) = (&golden_gate, &golden_result) {
             apply_gate(gate, g.speedup(), g.codes as f64);
         }
@@ -1701,6 +1918,9 @@ fn main() {
         }
         if let (Some(gate), Some(m)) = (&mixed_gate, &mixed_result) {
             apply_gate(gate, m.speedup_vs_fifo(), m.requests() as f64);
+        }
+        if let (Some(gate), Some(r)) = (&sharded_gate, &sharded_result) {
+            apply_gate(gate, r.scaling(), r.requests as f64);
         }
     }
 }

@@ -93,6 +93,20 @@ pub enum CodegenError {
         /// The tolerance the workload requested.
         tolerance: f64,
     },
+    /// A wire frame or serialized workload/outcome could not be decoded
+    /// (see [`crate::wire`]): malformed JSON, an unknown tag, a
+    /// truncated or oversized frame.
+    Wire {
+        /// What was malformed.
+        reason: String,
+    },
+    /// An execution failure reported by a remote serve process, carried
+    /// across the wire as its rendered message (the structured variant
+    /// does not survive serialization).
+    Remote {
+        /// The remote error's rendered message.
+        detail: String,
+    },
     /// A transient infrastructure fault: the backend failed for a reason
     /// unrelated to the workload itself (an injected chaos fault, a
     /// wedged cluster, an exhausted pool). Unlike every other variant,
@@ -179,6 +193,12 @@ impl fmt::Display for CodegenError {
                 f,
                 "{name}: output diverges from the golden reference by {error:e} (tolerance {tolerance:e})"
             ),
+            CodegenError::Wire { reason } => {
+                write!(f, "invalid wire data: {reason}")
+            }
+            CodegenError::Remote { detail } => {
+                write!(f, "remote execution failed: {detail}")
+            }
             CodegenError::Transient { reason } => {
                 write!(f, "transient backend fault: {reason}")
             }

@@ -1,0 +1,427 @@
+//! A minimal, dependency-free JSON reader and string escaper, shared by
+//! the calibration store ([`CalibrationStore::from_json`]) and the wire
+//! codec ([`crate::wire`]).
+//!
+//! The reader covers exactly what this workspace's writers emit: objects,
+//! arrays, strings (with the standard escapes), numbers, booleans, and
+//! `null`. Numbers are kept as their source slices and parsed on demand,
+//! so `f64` values written in Rust's shortest round-trip decimal form
+//! (`{v:?}`) survive **bit-for-bit** through Rust's correctly-rounded
+//! `str::parse` — the property both the calibration export and the wire
+//! codec's bit-identity guarantees rest on.
+//!
+//! Errors are the module-local [`JsonError`]; callers map it into their
+//! own vocabulary at the boundary ([`CodegenError::Calibration`] for
+//! calibration documents, [`CodegenError::Wire`] for wire frames).
+//!
+//! [`CalibrationStore::from_json`]: crate::CalibrationStore::from_json
+//! [`CodegenError::Calibration`]: crate::CodegenError::Calibration
+//! [`CodegenError::Wire`]: crate::CodegenError::Wire
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A malformed JSON document (or a value of the wrong shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What was malformed.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl Error for JsonError {}
+
+/// Builds a [`JsonError`] from a reason string.
+pub fn error(reason: &str) -> JsonError {
+    JsonError {
+        reason: reason.to_string(),
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The `null` literal.
+    Null,
+    /// The `true` / `false` literals.
+    Bool(bool),
+    /// A number, kept as its source text and parsed on demand (which is
+    /// what makes `f64` round trips bit-exact).
+    Number(String),
+    /// A string (escapes already decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(HashMap<String, Value>),
+}
+
+impl Value {
+    /// The object's map, or an error naming `what`.
+    pub fn as_object(&self, what: &str) -> Result<&HashMap<String, Value>, JsonError> {
+        match self {
+            Value::Object(map) => Ok(map),
+            _ => Err(error(&format!("{what} is not an object"))),
+        }
+    }
+
+    /// The array's elements, or an error naming `what`.
+    pub fn as_array(&self, what: &str) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(values) => Ok(values),
+            _ => Err(error(&format!("{what} is not an array"))),
+        }
+    }
+
+    /// The string's contents, or an error naming `what`.
+    pub fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            _ => Err(error(&format!("{what} is not a string"))),
+        }
+    }
+
+    /// The boolean, or an error naming `what`.
+    pub fn as_bool(&self, what: &str) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(error(&format!("{what} is not a boolean"))),
+        }
+    }
+
+    /// The number parsed as `f64` (correctly rounded, so shortest
+    /// round-trip decimals reproduce their source bits), or an error
+    /// naming `what`.
+    pub fn as_f64(&self, what: &str) -> Result<f64, JsonError> {
+        match self {
+            Value::Number(n) => n
+                .parse::<f64>()
+                .map_err(|_| error(&format!("{what} is not a number"))),
+            _ => Err(error(&format!("{what} is not a number"))),
+        }
+    }
+
+    /// The number parsed as `u64`, or an error naming `what`.
+    pub fn as_u64(&self, what: &str) -> Result<u64, JsonError> {
+        match self {
+            Value::Number(n) => n
+                .parse::<u64>()
+                .map_err(|_| error(&format!("{what} is not an unsigned integer"))),
+            _ => Err(error(&format!("{what} is not an unsigned integer"))),
+        }
+    }
+
+    /// The number parsed as `i64`, or an error naming `what`.
+    pub fn as_i64(&self, what: &str) -> Result<i64, JsonError> {
+        match self {
+            Value::Number(n) => n
+                .parse::<i64>()
+                .map_err(|_| error(&format!("{what} is not an integer"))),
+            _ => Err(error(&format!("{what} is not an integer"))),
+        }
+    }
+}
+
+/// Parses one JSON document. Trailing non-whitespace content is an
+/// error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(error("trailing content after JSON document"));
+    }
+    Ok(value)
+}
+
+/// Escapes a string for embedding in a JSON string literal: backslash,
+/// quote, and every control character (so stencil names containing
+/// newlines or tabs still export as *valid* JSON that standard tooling
+/// can parse).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| error("unexpected end of JSON"))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(error(&format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, text: &'static [u8], value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(error(&format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'n' => self.literal(b"null", Value::Null),
+            b't' => self.literal(b"true", Value::Bool(true)),
+            b'f' => self.literal(b"false", Value::Bool(false)),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(error(&format!(
+                "unexpected '{}' at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = HashMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(error(&format!(
+                        "expected ',' or '}}', got '{}' at byte {}",
+                        other as char, self.pos
+                    )));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut values = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(values));
+        }
+        loop {
+            values.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(values));
+                }
+                other => {
+                    return Err(error(&format!(
+                        "expected ',' or ']', got '{}' at byte {}",
+                        other as char, self.pos
+                    )));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| error("unterminated string"))?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let escaped = self
+                        .bytes
+                        .get(self.pos + 1)
+                        .copied()
+                        .ok_or_else(|| error("unterminated escape"))?;
+                    self.pos += 2;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| error("invalid \\u escape"))?;
+                            // Surrogate halves never appear in our
+                            // exports (we only \u-escape control
+                            // characters); reject rather than
+                            // mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| error("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(error(&format!(
+                                "unsupported escape '\\{}'",
+                                other as char
+                            )));
+                        }
+                    }
+                }
+                byte => {
+                    // Multi-byte UTF-8 sequences pass through intact:
+                    // the input is a &str, so byte runs outside the
+                    // escapes are valid UTF-8.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while !byte.is_ascii()
+                        && self
+                            .bytes
+                            .get(self.pos)
+                            .is_some_and(|b| b & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if text.is_empty() {
+            return Err(error(&format!("empty number at byte {start}")));
+        }
+        Ok(Value::Number(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn booleans_and_integers_parse() {
+        let value = parse("{\"a\": true, \"b\": false, \"c\": -42, \"d\": 18446744073709551615}")
+            .expect("parses");
+        let obj = value.as_object("doc").expect("object");
+        assert!(obj["a"].as_bool("a").unwrap());
+        assert!(!obj["b"].as_bool("b").unwrap());
+        assert_eq!(obj["c"].as_i64("c").unwrap(), -42);
+        assert_eq!(obj["d"].as_u64("d").unwrap(), u64::MAX);
+        assert!(obj["a"].as_u64("a").is_err());
+        assert!(obj["c"].as_bool("c").is_err());
+    }
+
+    #[test]
+    fn shortest_roundtrip_decimals_are_bit_exact() {
+        for bits in [
+            0u64,
+            1,
+            f64::MIN_POSITIVE.to_bits(),
+            (0.1f64).to_bits(),
+            (6123.0f64 / 3844.0).to_bits(),
+            f64::MAX.to_bits(),
+            (-1.0f64 / 3.0).to_bits(),
+        ] {
+            let v = f64::from_bits(bits);
+            let text = format!("{v:?}");
+            let parsed = parse(&text).expect("parses").as_f64("v").expect("number");
+            assert_eq!(parsed.to_bits(), bits, "{text}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — ünïcode";
+        let doc = format!("\"{}\"", escape(nasty));
+        let back = parse(&doc).expect("parses");
+        assert_eq!(back.as_str("s").expect("string"), nasty);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for doc in ["", "{", "[1,", "tru", "nul", "{\"a\" 1}", "1 2", "[1] x"] {
+            assert!(parse(doc).is_err(), "{doc:?} must be rejected");
+        }
+    }
+}

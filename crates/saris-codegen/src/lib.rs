@@ -52,6 +52,7 @@ pub mod base;
 pub mod calibration;
 pub mod chaos;
 pub mod error;
+pub mod json;
 pub mod map;
 pub mod runtime;
 pub mod saris;
@@ -60,6 +61,7 @@ pub mod slots;
 pub mod tuner;
 pub mod verify;
 pub mod walk;
+pub mod wire;
 pub mod workload;
 
 pub use backends::{
@@ -79,4 +81,8 @@ pub use session::{ClusterPool, Session, SessionConfig, SessionStats};
 pub use tuner::{Tune, TuningDecision, DEFAULT_CANDIDATES};
 pub use verify::{kernel_memory_map, verify_kernel};
 pub use walk::CoreWalk;
+pub use wire::{
+    decode_outcome, decode_spec, encode_outcome, encode_spec, read_frame, write_frame,
+    MAX_FRAME_LEN,
+};
 pub use workload::{InputSpec, Outcome, Workload, WorkloadSpec, WorkloadTelemetry};

@@ -124,6 +124,10 @@ use std::time::{Duration, Instant};
 
 use saris_codegen::{CodegenError, Fidelity, Outcome, Session, WorkloadSpec};
 
+pub mod net;
+
+pub use net::{NetClient, NetServer};
+
 /// What a served submission resolves to: a shared outcome, or a shared
 /// execution error.
 pub type ServeResult = Result<Arc<Outcome>, ServeError>;
@@ -481,32 +485,41 @@ pub struct ServeStats {
     pub background_runs: u64,
 }
 
-/// Relative cost of recomputing one cached response, in analytic-answer
-/// units: how much work re-executing the spec would take if the entry
-/// were evicted. The tier weights follow the measured gaps in
-/// `BENCH_serve_throughput.json` — tuned cycle-level simulation answers
-/// ~700x slower than the roofline tier, while the golden tier sits just
-/// above analytic — scaled by how many kernel executions the workload
-/// performed (tuning candidates, time steps). Deterministic by
-/// construction, so cost-weighted eviction decisions are reproducible.
+/// Relative per-run cost of answering on a tier, in analytic-answer
+/// units — the single scale shared by the GreedyDual cache's eviction
+/// weights ([`recompute_cost`]) and the CostAware scheduler's ordering
+/// weights (`planned_cost`). The weights follow the measured gaps in
+/// `BENCH_serve_throughput.json`:
+///
+/// * analytic = 1.0 — the roofline tier's ~30µs estimates are the unit;
+/// * golden = 2.0 — re-measured after the golden tier went
+///   data-parallel (SIMD sweep + batch fan-out): the `golden_sweep`
+///   section serves the gallery at ~23.3k golden requests/s against
+///   ~33k analytic estimates/s (~43µs vs ~30µs per request), down from
+///   the ~30x the scalar reference executor cost before the batched
+///   path;
+/// * cycles = 700.0 — tuned cycle-level simulation answers ~700x slower
+///   than the roofline tier.
+///
+/// [`Fidelity::Auto`] is costed like the cycle tier: the expensive
+/// outcome it may escalate to. Deterministic by construction, so
+/// cost-weighted decisions are reproducible.
+fn tier_cost(fidelity: Fidelity) -> f64 {
+    match fidelity {
+        Fidelity::Analytic => 1.0,
+        Fidelity::Golden => 2.0,
+        Fidelity::Cycles | Fidelity::Auto { .. } => 700.0,
+    }
+}
+
+/// Relative cost of recomputing one cached response: the answering
+/// tier's [`tier_cost`] scaled by how many kernel executions the
+/// workload performed (tuning candidates, time steps) — how much work
+/// re-executing the spec would take if the entry were evicted.
 fn recompute_cost(outcome: &Outcome) -> f64 {
-    const COST_ANALYTIC: f64 = 1.0;
-    // Re-measured after the golden tier went data-parallel (SIMD sweep +
-    // batch fan-out): the `golden_sweep` section of
-    // `BENCH_serve_throughput.json` serves the gallery at ~23.3k golden
-    // requests/s against ~33k analytic estimates/s (~43µs vs ~30µs per
-    // request) — call it 2x analytic, down from the ~30x the scalar
-    // reference executor cost before the batched path.
-    const COST_GOLDEN: f64 = 2.0;
-    const COST_CYCLES: f64 = 700.0;
-    let per_run = match outcome.telemetry.answered_by {
-        Some(Fidelity::Analytic) => COST_ANALYTIC,
-        Some(Fidelity::Golden) => COST_GOLDEN,
-        // Cycle-tier answers and probes (which always simulate); also
-        // the conservative default for custom backends that don't
-        // record a tier.
-        _ => COST_CYCLES,
-    };
+    // Cycle-tier cost is the conservative default for probes (which
+    // always simulate) and for custom backends that don't record a tier.
+    let per_run = tier_cost(outcome.telemetry.answered_by.unwrap_or(Fidelity::Cycles));
     per_run * outcome.telemetry.runs.max(1) as f64
 }
 
@@ -902,20 +915,13 @@ impl Shared {
     /// expensive outcome it may escalate to): conservative, and exactly
     /// the case where running it late is cheap.
     fn planned_cost(&self, spec: &WorkloadSpec) -> f64 {
-        const COST_ANALYTIC: f64 = 1.0;
-        const COST_GOLDEN: f64 = 2.0;
-        const COST_CYCLES: f64 = 700.0;
         let per_run = if spec.is_probe() {
-            COST_CYCLES
+            tier_cost(Fidelity::Cycles)
         } else {
-            match spec
-                .fidelity()
-                .unwrap_or_else(|| self.session.default_fidelity())
-            {
-                Fidelity::Analytic => COST_ANALYTIC,
-                Fidelity::Golden => COST_GOLDEN,
-                _ => COST_CYCLES,
-            }
+            tier_cost(
+                spec.fidelity()
+                    .unwrap_or_else(|| self.session.default_fidelity()),
+            )
         };
         per_run * spec.planned_runs() as f64
     }

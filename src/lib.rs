@@ -22,7 +22,11 @@
 //! * [`scaleout`] *(saris-scaleout)* — the analytic Manticore-256s
 //!   manycore estimate behind Figure 5 and Table 2;
 //! * [`serve`] *(saris-serve)* — the long-lived serving layer: work
-//!   queue, worker threads, response cache, single-flight deduplication;
+//!   queue, worker threads, response cache, single-flight deduplication,
+//!   plus the length-prefixed TCP transport that puts a server behind a
+//!   socket;
+//! * [`shard`] *(saris-shard)* — the consistent-hash coordinator that
+//!   scales serving across networked workers, with calibration gossip;
 //! * [`verify`] *(saris-verify)* — the static kernel verifier and
 //!   cost-bound analyzer gating every compiled program.
 //!
@@ -442,6 +446,54 @@
 //! # }
 //! ```
 //!
+//! # Sharded serving: `saris-shard`
+//!
+//! One server is one process. To scale past it, put each server behind
+//! a socket ([`NetServer`](serve::NetServer) speaks a length-prefixed,
+//! dependency-free wire protocol that round-trips specs and outcomes
+//! bit-identically, NaN payloads included) and route requests through a
+//! [`Coordinator`](shard::Coordinator): fingerprints are
+//! consistent-hashed across the shards, so every repeat of a spec lands
+//! on the shard whose kernel and response caches are already hot. A
+//! dead worker is retried within a bounded budget, then marked dead and
+//! its keyspace rehashed onto the survivors — accepted requests are
+//! never lost (execution is deterministic, so at-least-once retry is
+//! safe). [`Coordinator::gossip_round`](shard::Coordinator::gossip_round)
+//! exchanges calibration stores between shards with a
+//! newest-confidence-wins merge, so a stencil measured on one shard is
+//! answered analytically on all of them. The `sharded` section of
+//! `BENCH_serve_throughput.json` tracks the warmed four-vs-one shard
+//! throughput scaling.
+//!
+//! ```
+//! use saris::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workers: Vec<ShardWorker> = (0..2)
+//!     .map(|_| ShardWorker::spawn(Server::new().expect("server")))
+//!     .collect::<std::io::Result<_>>()?;
+//! let coordinator = Coordinator::over(&workers)?;
+//!
+//! // Requests route by fingerprint; answers are the remote worker's
+//! // outcomes, decoded bit-identically.
+//! for seed in 0..4 {
+//!     let spec = Workload::new(gallery::jacobi_2d())
+//!         .extent(Extent::new_2d(16, 16))
+//!         .input_seed(seed)
+//!         .fidelity(Fidelity::Golden)
+//!         .freeze()?;
+//!     let outcome = coordinator.submit(&spec)?;
+//!     assert_eq!(outcome.fingerprint, spec.fingerprint());
+//!     assert_eq!(outcome.grids.len(), 1);
+//! }
+//! assert_eq!(coordinator.live_shards(), 2);
+//!
+//! // Spread calibration knowledge across the fleet.
+//! coordinator.gossip_round();
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! To regenerate the paper's tables and figures, see the `saris-bench`
 //! crate (`cargo run --release -p saris-bench --bin all`).
 
@@ -454,6 +506,7 @@ pub use saris_energy as energy;
 pub use saris_isa as isa;
 pub use saris_scaleout as scaleout;
 pub use saris_serve as serve;
+pub use saris_shard as shard;
 pub use saris_verify as verify;
 pub use snitch_sim as sim;
 
@@ -473,8 +526,10 @@ pub mod prelude {
     pub use saris_energy::{efficiency_gain, EnergyModel};
     pub use saris_scaleout::{estimate as scaleout_estimate, MachineModel};
     pub use saris_serve::{
-        ResponseHandle, SchedPolicy, ServeConfig, ServeError, ServeStats, Server,
+        NetClient, NetServer, ResponseHandle, SchedPolicy, ServeConfig, ServeError, ServeStats,
+        Server,
     };
+    pub use saris_shard::{Coordinator, CoordinatorStats, ShardConfig, ShardWorker};
     pub use saris_verify::{verify_cluster, verify_program, MemoryMap, StaticBound};
     pub use snitch_sim::{Cluster, ClusterConfig, RunReport};
 }
